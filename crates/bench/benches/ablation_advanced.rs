@@ -1,0 +1,38 @@
+//! Ablation bench: the cost of each low-level process truth source (APL vs
+//! thread table vs handle table) and of the dump-based outside scan — the
+//! price of defeating DKOM.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use strider_bench::victim_machine_sized;
+use strider_ghostbuster::{AdvancedSource, ProcessScanner};
+use strider_kernel::MemoryDump;
+use strider_workload::WorkloadSpec;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_advanced");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let machine = victim_machine_sized(&WorkloadSpec::large(42)).expect("machine builds");
+    let scanner = ProcessScanner::new();
+
+    group.bench_function("truth/apl", |b| {
+        b.iter(|| scanner.low_scan_apl(&machine));
+    });
+    group.bench_function("truth/thread_table", |b| {
+        b.iter(|| scanner.low_scan_advanced(&machine, AdvancedSource::ThreadTable));
+    });
+    group.bench_function("truth/handle_table", |b| {
+        b.iter(|| scanner.low_scan_advanced(&machine, AdvancedSource::HandleTable));
+    });
+    let dump_bytes = machine.kernel().crash_dump();
+    let dump = MemoryDump::parse(&dump_bytes).expect("dump parses");
+    group.bench_function("truth/outside_dump_advanced", |b| {
+        b.iter(|| scanner.outside_scan(&dump, true));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

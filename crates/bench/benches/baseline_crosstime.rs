@@ -1,0 +1,57 @@
+//! Baseline bench: the cross-time (Tripwire-style) checkpoint + diff versus
+//! the cross-view sweep on the same machine — the Introduction's
+//! comparison, measured.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use strider_bench::victim_machine;
+use strider_ghostbuster::{CrossTimeDiff, GhostBuster, HookScanner};
+use strider_ghostware::{Ghostware, HackerDefender};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_crosstime");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+
+    group.bench_function("cross_time/checkpoint", |b| {
+        let m = victim_machine(3000).expect("machine builds");
+        b.iter(|| CrossTimeDiff::new().checkpoint(&m));
+    });
+
+    group.bench_function("cross_time/diff_after_churn", |b| {
+        b.iter_batched(
+            || {
+                let mut m = victim_machine(3001).expect("machine builds");
+                let baseline = CrossTimeDiff::new().checkpoint(&m);
+                m.tick(600);
+                (m, baseline)
+            },
+            |(m, baseline)| CrossTimeDiff::new().diff(&m, &baseline),
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("cross_view/full_sweep_infected", |b| {
+        b.iter_batched(
+            || {
+                let mut m = victim_machine(3002).expect("machine builds");
+                HackerDefender::default().infect(&mut m).expect("infects");
+                m
+            },
+            |mut m| GhostBuster::new().inside_sweep(&mut m).expect("sweeps"),
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("hook_scan/mechanism_scan", |b| {
+        let mut m = victim_machine(3003).expect("machine builds");
+        HackerDefender::default().infect(&mut m).expect("infects");
+        b.iter(|| HookScanner::new().scan(&m));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

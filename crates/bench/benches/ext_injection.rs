@@ -1,0 +1,59 @@
+//! Section 5 extension bench: the injected per-process sweep (every process
+//! becomes a GhostBuster) and the signature scanner, against targeting
+//! attacks.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use strider_bench::victim_machine;
+use strider_ghostbuster::{injected_sweep, SignatureScanner};
+use strider_ghostware::prelude::UtilityTargetedHider;
+use strider_ghostware::{Ghostware, HackerDefender};
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_injection");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+
+    group.bench_function("injected_sweep/targeted_hider", |b| {
+        b.iter_batched(
+            || {
+                let mut m = victim_machine(4000).expect("machine builds");
+                UtilityTargetedHider::default().infect(&mut m).expect("infects");
+                m.spawn_process("taskmgr.exe", "C:\\windows\\system32\\taskmgr.exe")
+                    .expect("spawns");
+                m
+            },
+            |m| {
+                let report = injected_sweep(&m).expect("sweeps");
+                assert!(report.is_infected());
+                report
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("signature_scan/hxdef_hiding", |b| {
+        b.iter_batched(
+            || {
+                let mut m = victim_machine(4001).expect("machine builds");
+                HackerDefender::default().infect(&mut m).expect("infects");
+                let ctx = m
+                    .ensure_process("InocIT.exe", "C:\\Program Files\\eTrust\\InocIT.exe")
+                    .expect("context");
+                (m, ctx)
+            },
+            |(m, ctx)| {
+                SignatureScanner::with_default_database()
+                    .scan(&m, &ctx)
+                    .expect("scan")
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 4 bench: inside-the-box hidden-ASEP detection per Registry-hiding
+//! sample.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use strider_bench::victim_machine;
+use strider_ghostbuster::GhostBuster;
+use strider_ghostware::registry_hiding_corpus;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_hidden_asep");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for (i, sample) in registry_hiding_corpus().into_iter().enumerate() {
+        let name = sample.name().to_string();
+        group.bench_function(&name, |b| {
+            b.iter_batched(
+                || {
+                    let mut m = victim_machine(1100 + i as u64).expect("machine builds");
+                    sample.infect(&mut m).expect("infection succeeds");
+                    m
+                },
+                |mut m| {
+                    let report = GhostBuster::new()
+                        .scan_registry_inside(&mut m)
+                        .expect("scan succeeds");
+                    assert!(report.has_detections());
+                    report
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

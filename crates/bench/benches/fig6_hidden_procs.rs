@@ -1,0 +1,48 @@
+//! Figure 6 bench: hidden-process/module detection per sample, in both
+//! normal and advanced mode.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use strider_bench::victim_machine;
+use strider_ghostbuster::{AdvancedSource, GhostBuster};
+use strider_ghostware::process_hiding_corpus;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_hidden_procs");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+    for (i, sample) in process_hiding_corpus().into_iter().enumerate() {
+        for advanced in [false, true] {
+            let label = format!(
+                "{}/{}",
+                sample.name(),
+                if advanced { "advanced" } else { "normal" }
+            );
+            group.bench_function(&label, |b| {
+                b.iter_batched(
+                    || {
+                        let mut m = victim_machine(1200 + i as u64).expect("machine builds");
+                        sample.infect(&mut m).expect("infection succeeds");
+                        m
+                    },
+                    |mut m| {
+                        let gb = if advanced {
+                            GhostBuster::new().with_advanced(AdvancedSource::ThreadTable)
+                        } else {
+                            GhostBuster::new()
+                        };
+                        let procs = gb.scan_processes_inside(&mut m).expect("scan succeeds");
+                        let modules = gb.scan_modules_inside(&mut m).expect("scan succeeds");
+                        (procs, modules)
+                    },
+                    BatchSize::LargeInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

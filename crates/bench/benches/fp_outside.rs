@@ -1,0 +1,53 @@
+//! False-positive bench: the full WinPE outside-the-box flow and the VM
+//! flow on a clean, churning machine (the FP experiments of Sections 2–3).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use strider_bench::victim_machine;
+use strider_ghostbuster::GhostBuster;
+
+fn bench_fp_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fp_outside");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+
+    group.bench_function("winpe_flow_reboot150", |b| {
+        b.iter_batched(
+            || {
+                let mut m = victim_machine(2000).expect("machine builds");
+                m.tick(311);
+                m
+            },
+            |mut m| {
+                let sweep = GhostBuster::new()
+                    .winpe_outside_sweep(&mut m, 150)
+                    .expect("flow succeeds");
+                assert_eq!(sweep.files.net_detections().len(), 0);
+                sweep
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("vm_flow_zero_gap", |b| {
+        b.iter_batched(
+            || {
+                let mut m = victim_machine(2001).expect("machine builds");
+                m.tick(311);
+                m
+            },
+            |mut m| {
+                let report = GhostBuster::new().vm_outside_files(&mut m).expect("flow");
+                assert_eq!(report.detections.len(), 0);
+                report
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fp_flows);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Section 5 Linux bench: inside (`ls` vs `echo *`) and outside
+//! (clean-boot) diffs per Unix rootkit.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use strider_ghostbuster::UnixGhostBuster;
+use strider_ghostware::unix::unix_corpus;
+use strider_unixfs::UnixMachine;
+use strider_workload::populate_unix;
+
+fn bench_linux(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linux_rootkits");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for rk in unix_corpus() {
+        let name = rk.name().to_string();
+        group.bench_function(format!("{name}/outside_diff"), |b| {
+            b.iter_batched(
+                || {
+                    let mut m = UnixMachine::with_base_system("ux");
+                    populate_unix(&mut m, 7, 400);
+                    rk.infect(&mut m);
+                    let lie = m.ls_scan_all();
+                    (m, lie)
+                },
+                |(m, lie)| {
+                    let report = UnixGhostBuster::new().outside_diff(&m, &lie);
+                    assert!(report.is_infected());
+                    report
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        group.bench_function(format!("{name}/inside_diff"), |b| {
+            b.iter_batched(
+                || {
+                    let mut m = UnixMachine::with_base_system("ux");
+                    populate_unix(&mut m, 7, 400);
+                    rk.infect(&mut m);
+                    m
+                },
+                |m| UnixGhostBuster::new().inside_diff(&m),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linux);
+criterion_main!(benches);

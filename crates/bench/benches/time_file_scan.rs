@@ -1,0 +1,55 @@
+//! Timing bench (Section 2): the hidden-file scan's three phases — the
+//! high-level API walk, the low-level MFT parse, and the diff — across
+//! machine sizes. The paper's wall-clock numbers scale with disk size; the
+//! throughput measured here feeds the cost model's per-entry constants.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use strider_bench::victim_machine_sized;
+use strider_ghostbuster::{FileScanner, GhostBuster};
+use strider_winapi::ChainEntry;
+use strider_workload::WorkloadSpec;
+
+fn bench_file_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("time_file_scan");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for (label, spec) in [
+        ("small-300", WorkloadSpec::small(42)),
+        ("medium-3k", WorkloadSpec::medium(42)),
+        ("large-30k", WorkloadSpec::large(42)),
+    ] {
+        let mut machine = victim_machine_sized(&spec).expect("machine builds");
+        let gb = GhostBuster::new();
+        let ctx = gb.enter(&mut machine).expect("context");
+        let scanner = FileScanner::new();
+        let files = machine.volume().record_count() as u64;
+        group.throughput(Throughput::Elements(files));
+
+        group.bench_function(format!("{label}/high_scan"), |b| {
+            b.iter(|| scanner.high_scan(&machine, &ctx, ChainEntry::Win32).unwrap());
+        });
+        group.bench_function(format!("{label}/low_scan_mft_parse"), |b| {
+            b.iter(|| scanner.low_scan(&machine).unwrap());
+        });
+        let high = scanner
+            .high_scan(&machine, &ctx, ChainEntry::Win32)
+            .unwrap();
+        let low = scanner.low_scan(&machine).unwrap();
+        group.bench_function(format!("{label}/diff"), |b| {
+            b.iter(|| scanner.diff(&low, &high));
+        });
+        group.bench_function(format!("{label}/end_to_end"), |b| {
+            b.iter_batched(
+                || (),
+                |()| scanner.scan_inside(&machine, &ctx).unwrap(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_file_scans);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Timing bench (Section 4): hidden-process/module detection — the paper's
+//! fastest scan (1–5 s wall-clock on 2005 hardware) — plus the crash-dump
+//! serialization/parse that the outside-the-box flow adds (15–45 s there).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use strider_bench::victim_machine_sized;
+use strider_ghostbuster::{AdvancedSource, GhostBuster, ProcessScanner};
+use strider_kernel::MemoryDump;
+use strider_winapi::ChainEntry;
+use strider_workload::WorkloadSpec;
+
+fn bench_process_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("time_process_scan");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for (label, spec) in [
+        ("small-17procs", WorkloadSpec::small(42)),
+        ("large-49procs", WorkloadSpec::large(42)),
+    ] {
+        let mut machine = victim_machine_sized(&spec).expect("machine builds");
+        let gb = GhostBuster::new();
+        let ctx = gb.enter(&mut machine).expect("context");
+        let scanner = ProcessScanner::new();
+        group.throughput(Throughput::Elements(
+            machine.kernel().active_process_list().len() as u64,
+        ));
+
+        group.bench_function(format!("{label}/high_scan"), |b| {
+            b.iter(|| scanner.high_scan(&machine, &ctx, ChainEntry::Win32).unwrap());
+        });
+        group.bench_function(format!("{label}/low_scan_apl"), |b| {
+            b.iter(|| scanner.low_scan_apl(&machine));
+        });
+        group.bench_function(format!("{label}/low_scan_thread_table"), |b| {
+            b.iter(|| scanner.low_scan_advanced(&machine, AdvancedSource::ThreadTable));
+        });
+        group.bench_function(format!("{label}/module_scan"), |b| {
+            b.iter(|| scanner.scan_modules_inside(&machine, &ctx).unwrap());
+        });
+        group.bench_function(format!("{label}/crash_dump_write"), |b| {
+            b.iter(|| machine.kernel().crash_dump());
+        });
+        let dump_bytes = machine.kernel().crash_dump();
+        group.bench_function(format!("{label}/crash_dump_parse"), |b| {
+            b.iter(|| MemoryDump::parse(&dump_bytes).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_process_scans);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Timing bench (Section 3): hidden-ASEP detection phases — the high-level
+//! API extraction, the hive copy + raw parse, and the hook diff.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use strider_bench::victim_machine_sized;
+use strider_ghostbuster::{GhostBuster, RegistryScanner};
+use strider_winapi::ChainEntry;
+use strider_workload::WorkloadSpec;
+
+fn bench_registry_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("time_registry_scan");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+    for (label, spec) in [
+        ("small-150keys", WorkloadSpec::small(42)),
+        ("medium-1.5kkeys", WorkloadSpec::medium(42)),
+        ("large-10kkeys", WorkloadSpec::large(42)),
+    ] {
+        let mut machine = victim_machine_sized(&spec).expect("machine builds");
+        let gb = GhostBuster::new();
+        let ctx = gb.enter(&mut machine).expect("context");
+        let scanner = RegistryScanner::new();
+        group.throughput(Throughput::Elements(machine.registry().key_count() as u64));
+
+        group.bench_function(format!("{label}/high_scan"), |b| {
+            b.iter(|| scanner.high_scan(&machine, &ctx, ChainEntry::Win32));
+        });
+        group.bench_function(format!("{label}/low_scan_hive_parse"), |b| {
+            b.iter(|| scanner.low_scan(&machine).unwrap());
+        });
+        let lie = scanner.high_scan(&machine, &ctx, ChainEntry::Win32);
+        let truth = scanner.low_scan(&machine).unwrap();
+        group.bench_function(format!("{label}/diff"), |b| {
+            b.iter(|| scanner.diff(&truth, &lie));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_registry_scans);
+criterion_main!(benches);

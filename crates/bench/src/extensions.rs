@@ -1,0 +1,298 @@
+//! The Section 5 extension experiments: targeting attacks vs the injected
+//! scan, the eTrust dilemma, the hidden-count anomaly, remediation
+//! (the "Hacker Defender in 5 seconds" story), and the VM flow.
+
+use crate::victim_machine;
+use strider_ghostbuster::{
+    injected_sweep, AsepMonitor, DriverScanner, FileScanner, GhostBuster, SignatureScanner,
+};
+use strider_ghostware::prelude::{ScannerAwareHider, UtilityTargetedHider};
+use strider_ghostware::{AdsHider, Berbew, FileHider, Fu, Ghostware, HackerDefender};
+use strider_nt_core::NtStatus;
+use strider_workload::{paper_profiles, CostModel};
+
+/// Outcomes of the targeting-attack experiment.
+#[derive(Debug, Clone)]
+pub struct TargetingRow {
+    /// The attack.
+    pub attack: String,
+    /// Did the plain GhostBuster EXE see anything?
+    pub plain_detects: bool,
+    /// Did the injected per-process sweep see it?
+    pub injected_detects: bool,
+    /// How many processes were being lied to.
+    pub lied_to_count: usize,
+}
+
+/// Runs both Section 5 targeting attacks against the plain tool and the
+/// injected sweep.
+///
+/// # Errors
+///
+/// Propagates scan failures.
+pub fn targeting_rows() -> Result<Vec<TargetingRow>, NtStatus> {
+    let mut rows = Vec::new();
+    for (name, sample) in [
+        (
+            "hide only from Task Manager/tlist/Explorer",
+            Box::new(UtilityTargetedHider::default()) as Box<dyn Ghostware>,
+        ),
+        (
+            "hide from everyone except ghostbuster.exe",
+            Box::new(ScannerAwareHider::default()),
+        ),
+    ] {
+        let mut m = victim_machine(600)?;
+        m.spawn_process("taskmgr.exe", "C:\\windows\\system32\\taskmgr.exe")?;
+        sample.infect(&mut m)?;
+        let plain = GhostBuster::new().inside_sweep(&mut m)?;
+        let injected = injected_sweep(&m)?;
+        rows.push(TargetingRow {
+            attack: name.to_string(),
+            plain_detects: plain.is_infected(),
+            injected_detects: injected.is_infected(),
+            lied_to_count: injected.lied_to().len(),
+        });
+    }
+    Ok(rows)
+}
+
+/// The eTrust dilemma: (signature hits while hiding, diff findings while
+/// hiding, signature hits after the rootkit stops hiding).
+///
+/// # Errors
+///
+/// Propagates scan failures.
+pub fn etrust_dilemma() -> Result<(usize, usize, usize), NtStatus> {
+    let mut m = victim_machine(601)?;
+    HackerDefender::default().infect(&mut m)?;
+    let inocit = m.ensure_process("InocIT.exe", "C:\\Program Files\\eTrust\\InocIT.exe")?;
+    let scanner = SignatureScanner::with_default_database();
+
+    let hits_hiding = scanner.scan(&m, &inocit)?.len();
+    // Inject the GhostBuster diff into the scanner's own process.
+    let gb = GhostBuster::new();
+    let files = gb.file_scanner();
+    let truth = files.low_scan(&m)?;
+    let lie = files.high_scan(&m, &inocit, strider_winapi::ChainEntry::Win32)?;
+    let diff_findings = files.diff(&truth, &lie).net_detections().len();
+
+    m.remove_software("HackerDefender");
+    let hits_not_hiding = scanner.scan(&m, &inocit)?.len();
+    Ok((hits_hiding, diff_findings, hits_not_hiding))
+}
+
+/// The mass-hiding anomaly: hiding many innocent files alongside the
+/// ghostware only makes the signal louder. Returns the finding count.
+///
+/// # Errors
+///
+/// Propagates scan failures.
+pub fn mass_hiding_anomaly() -> Result<usize, NtStatus> {
+    let mut m = victim_machine(602)?;
+    // A file hider configured to hide large innocent trees plus the payload.
+    let hider = FileHider::hide_folders_xp().with_targets(vec![
+        "C:\\Program Files".to_ascii_lowercase(),
+        "C:\\Documents and Settings".to_ascii_lowercase(),
+    ]);
+    hider.infect(&mut m)?;
+    let report = GhostBuster::new().scan_files_inside(&mut m)?;
+    Ok(report.net_detections().len())
+}
+
+/// The end-to-end remediation story (paper, Conclusions): detect Hacker
+/// Defender via the process diff, locate its hidden ASEP hooks, delete
+/// them, reboot, and confirm the files are visible for deletion.
+#[derive(Debug, Clone)]
+pub struct RemediationOutcome {
+    /// Hidden processes found (detection within "5 seconds").
+    pub hidden_processes: usize,
+    /// Estimated detection time on the paper's fastest machine, seconds.
+    pub detect_seconds: f64,
+    /// Hidden hooks located (within "one minute").
+    pub hooks_located: usize,
+    /// Estimated hook-location time, seconds.
+    pub locate_seconds: f64,
+    /// Hooks removed.
+    pub hooks_removed: usize,
+    /// Files visible after reboot (ready for deletion).
+    pub files_visible_after_reboot: bool,
+    /// Residual findings after cleanup.
+    pub residual: usize,
+}
+
+/// Runs the remediation flow.
+///
+/// # Errors
+///
+/// Propagates scan failures.
+pub fn remediation_flow() -> Result<RemediationOutcome, NtStatus> {
+    let mut m = victim_machine(603)?;
+    HackerDefender::default().infect(&mut m)?;
+    let gb = GhostBuster::new();
+    let model = CostModel::new(paper_profiles()[0].clone());
+
+    // Step 1: hidden-process detection (seconds).
+    let procs = gb.scan_processes_inside(&mut m)?;
+    let hidden_processes = procs.net_detections().len();
+
+    // Step 2: locate hidden ASEP hooks (tens of seconds).
+    let hooks = gb.hidden_hooks(&mut m)?;
+    let hooks_located = hooks.len();
+
+    // Step 3: delete the keys to disable the malware across reboots.
+    let hooks_removed = gb.remediate_hooks(&mut m, &hooks);
+
+    // Step 4: reboot. Without its ASEP hooks the rootkit does not restart:
+    // its hooks, filters, and process are gone.
+    m.remove_software("HackerDefender");
+    for pid in m.kernel().find_by_name("hxdef100.exe") {
+        m.kernel_mut().kill(pid).map_err(|_| NtStatus::NoSuchProcess)?;
+    }
+
+    // Step 5: the files are now visible; delete them.
+    let ctx = gb.enter(&mut m)?;
+    let visible = gb
+        .file_scanner()
+        .high_scan(&m, &ctx, strider_winapi::ChainEntry::Win32)?;
+    let files_visible_after_reboot = visible.iter().any(|(_, f)| f.path.contains("hxdef100.exe"));
+    for path in ["C:\\windows\\system32\\hxdef100.exe", "C:\\windows\\system32\\hxdef100.ini"] {
+        m.volume_mut()
+            .remove_file(&path.parse().expect("static"))
+            .map_err(|_| NtStatus::ObjectNameNotFound)?;
+    }
+    let residual = gb.inside_sweep(&mut m)?.suspicious_count();
+
+    Ok(RemediationOutcome {
+        hidden_processes,
+        detect_seconds: model.process_scan_seconds(),
+        hooks_located,
+        locate_seconds: model.registry_scan_seconds(),
+        hooks_removed,
+        files_visible_after_reboot,
+        residual,
+    })
+}
+
+/// Future-work features from the paper's conclusion, implemented and
+/// measured: ADS detection, the AskStrider driver cross-check, and the
+/// Gatekeeper ASEP monitor's complementarity with the cross-view diff.
+#[derive(Debug, Clone)]
+pub struct FutureWorkOutcome {
+    /// ADS streams found by the stream-aware scan (plain scan finds 0).
+    pub ads_findings: usize,
+    /// Drivers flagged on a Hacker Defender machine (expect hxdefdrv).
+    pub hxdef_driver_findings: Vec<String>,
+    /// Drivers flagged on an FU machine (expect msdirectx).
+    pub fu_driver_findings: Vec<String>,
+    /// The non-hiding Berbew hook: (asep-monitor additions, cross-view
+    /// registry findings) — expect (1, 0), the complementarity claim.
+    pub berbew_monitor_vs_crossview: (usize, usize),
+}
+
+/// Runs the future-work experiments.
+///
+/// # Errors
+///
+/// Propagates scan failures.
+pub fn futurework_outcome() -> Result<FutureWorkOutcome, NtStatus> {
+    // ADS detection.
+    let mut m = victim_machine(610)?;
+    AdsHider::default().infect(&mut m)?;
+    let gb = GhostBuster::new();
+    let ctx = gb.enter(&mut m)?;
+    let ads_findings = FileScanner::new()
+        .with_ads_detection()
+        .scan_inside(&m, &ctx)?
+        .net_detections()
+        .len();
+
+    // AskStrider driver cross-check.
+    let mut m = victim_machine(611)?;
+    HackerDefender::default().infect(&mut m)?;
+    let ctx = m.ensure_process("askstrider.exe", "C:\\tools\\askstrider.exe")?;
+    let hxdef_driver_findings = DriverScanner::new()
+        .scan(&m, &ctx)?
+        .into_iter()
+        .map(|f| f.driver)
+        .collect();
+    let mut m = victim_machine(612)?;
+    Fu::default().infect(&mut m)?;
+    let ctx = m.ensure_process("askstrider.exe", "C:\\tools\\askstrider.exe")?;
+    let fu_driver_findings = DriverScanner::new()
+        .scan(&m, &ctx)?
+        .into_iter()
+        .map(|f| f.driver)
+        .collect();
+
+    // Gatekeeper ASEP monitor vs cross-view on a non-hiding hook.
+    let mut m = victim_machine(613)?;
+    let ctx = m.ensure_process("gatekeeper.exe", "C:\\tools\\gatekeeper.exe")?;
+    let monitor = AsepMonitor::new();
+    let baseline = monitor.checkpoint(&m, &ctx);
+    Berbew::default().infect(&mut m)?;
+    let added = monitor.diff(&m, &ctx, &baseline)?.added.len();
+    let crossview = GhostBuster::new()
+        .scan_registry_inside(&mut m)?
+        .net_detections()
+        .len();
+
+    Ok(FutureWorkOutcome {
+        ads_findings,
+        hxdef_driver_findings,
+        fu_driver_findings,
+        berbew_monitor_vs_crossview: (added, crossview),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targeting_attacks_beaten_by_injection() {
+        for row in targeting_rows().unwrap() {
+            assert!(!row.plain_detects, "{}: plain tool must be blind", row.attack);
+            assert!(row.injected_detects, "{}", row.attack);
+            assert!(row.lied_to_count >= 1, "{}", row.attack);
+        }
+    }
+
+    #[test]
+    fn etrust_dilemma_has_no_escape() {
+        let (hits_hiding, diff_findings, hits_not_hiding) = etrust_dilemma().unwrap();
+        assert_eq!(hits_hiding, 0, "hiding blinds the signature scanner");
+        assert!(diff_findings >= 3, "the injected diff catches it");
+        assert!(hits_not_hiding >= 2, "not hiding exposes it to signatures");
+    }
+
+    #[test]
+    fn mass_hiding_is_a_louder_anomaly() {
+        let count = mass_hiding_anomaly().unwrap();
+        assert!(count > 100, "hiding whole trees screams: {count}");
+    }
+
+    #[test]
+    fn futurework_features_behave_as_documented() {
+        let out = futurework_outcome().unwrap();
+        assert_eq!(out.ads_findings, 2);
+        assert!(out
+            .hxdef_driver_findings
+            .iter()
+            .any(|d| d == "hxdefdrv"));
+        assert!(out.fu_driver_findings.iter().any(|d| d == "msdirectx"));
+        assert_eq!(out.berbew_monitor_vs_crossview, (1, 0));
+    }
+
+    #[test]
+    fn remediation_flow_completes() {
+        let out = remediation_flow().unwrap();
+        assert_eq!(out.hidden_processes, 1);
+        assert!(out.detect_seconds <= 5.0, "{}", out.detect_seconds);
+        assert_eq!(out.hooks_located, 2);
+        assert!(out.locate_seconds <= 60.0);
+        assert_eq!(out.hooks_removed, 2);
+        assert!(out.files_visible_after_reboot);
+        assert_eq!(out.residual, 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Figures 2–6: the detection-result tables and technique matrices.
+
+use crate::victim_machine;
+use strider_ghostbuster::{AdvancedSource, GhostBuster};
+use strider_ghostware::{
+    file_hiding_corpus, process_hiding_corpus, registry_hiding_corpus, Infection,
+};
+use strider_nt_core::NtStatus;
+
+/// One row of a detection-result figure.
+#[derive(Debug, Clone)]
+pub struct DetectionRow {
+    /// Sample name.
+    pub ghostware: String,
+    /// Techniques used (Figures 2/5 content).
+    pub techniques: Vec<String>,
+    /// Ground-truth hidden artifacts.
+    pub expected: Vec<String>,
+    /// Artifacts GhostBuster reported.
+    pub detected: Vec<String>,
+    /// Whether every expected artifact was reported.
+    pub complete: bool,
+    /// Suspicious findings beyond the expected set (should be 0).
+    pub extras: usize,
+}
+
+fn expected_matches(details: &[String], expected: &str) -> bool {
+    details.iter().any(|d| {
+        expected
+            .split(" -> ")
+            .all(|part| d.to_ascii_lowercase().contains(&part.to_ascii_lowercase()))
+    })
+}
+
+fn detection_row(
+    infection: &Infection,
+    expected: Vec<String>,
+    detected: Vec<String>,
+) -> DetectionRow {
+    let complete = expected
+        .iter()
+        .all(|e| expected_matches(&detected, e));
+    let extras = detected
+        .iter()
+        .filter(|d| {
+            !expected
+                .iter()
+                .any(|e| expected_matches(&[(*d).clone()], e))
+        })
+        .count();
+    DetectionRow {
+        ghostware: infection.ghostware.clone(),
+        techniques: infection.techniques.iter().map(|t| t.to_string()).collect(),
+        expected,
+        detected,
+        complete,
+        extras,
+    }
+}
+
+/// Figure 3: hidden-file detection across the ten file-hiding samples.
+///
+/// # Errors
+///
+/// Propagates machine/scan failures.
+pub fn fig3_hidden_files() -> Result<Vec<DetectionRow>, NtStatus> {
+    let mut rows = Vec::new();
+    for (i, sample) in file_hiding_corpus().into_iter().enumerate() {
+        let mut machine = victim_machine(100 + i as u64)?;
+        let infection = sample.infect(&mut machine)?;
+        let report = GhostBuster::new().scan_files_inside(&mut machine)?;
+        let detected: Vec<String> = report
+            .net_detections()
+            .iter()
+            .map(|d| d.detail.clone())
+            .collect();
+        let expected: Vec<String> = infection
+            .hidden_files
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        rows.push(detection_row(&infection, expected, detected));
+    }
+    Ok(rows)
+}
+
+/// Figure 4: hidden-ASEP-hook detection across the six Registry-hiding
+/// samples.
+///
+/// # Errors
+///
+/// Propagates machine/scan failures.
+pub fn fig4_hidden_asep() -> Result<Vec<DetectionRow>, NtStatus> {
+    let mut rows = Vec::new();
+    for (i, sample) in registry_hiding_corpus().into_iter().enumerate() {
+        let mut machine = victim_machine(200 + i as u64)?;
+        let infection = sample.infect(&mut machine)?;
+        let report = GhostBuster::new().scan_registry_inside(&mut machine)?;
+        let detected: Vec<String> = report
+            .net_detections()
+            .iter()
+            .map(|d| d.detail.clone())
+            .collect();
+        rows.push(detection_row(
+            &infection,
+            infection.hidden_asep_entries.clone(),
+            detected,
+        ));
+    }
+    Ok(rows)
+}
+
+/// One row of Figure 6, carrying both normal- and advanced-mode outcomes.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Sample name.
+    pub ghostware: String,
+    /// Ground truth: hidden processes and modules.
+    pub expected: Vec<String>,
+    /// Findings in normal mode (APL truth).
+    pub normal_detected: Vec<String>,
+    /// Findings in advanced mode (thread-table truth).
+    pub advanced_detected: Vec<String>,
+    /// Whether normal mode suffices.
+    pub normal_complete: bool,
+    /// Whether advanced mode catches everything.
+    pub advanced_complete: bool,
+}
+
+/// Figure 6: hidden-process/module detection; FU requires advanced mode.
+///
+/// # Errors
+///
+/// Propagates machine/scan failures.
+pub fn fig6_hidden_procs() -> Result<Vec<Fig6Row>, NtStatus> {
+    let mut rows = Vec::new();
+    for (i, sample) in process_hiding_corpus().into_iter().enumerate() {
+        let mut expected_all = Vec::new();
+        let collect = |mode_advanced: bool| -> Result<(Vec<String>, Infection), NtStatus> {
+            let mut machine = victim_machine(300 + i as u64)?;
+            let infection = sample.infect(&mut machine)?;
+            let gb = if mode_advanced {
+                GhostBuster::new().with_advanced(AdvancedSource::ThreadTable)
+            } else {
+                GhostBuster::new()
+            };
+            let procs = gb.scan_processes_inside(&mut machine)?;
+            let modules = gb.scan_modules_inside(&mut machine)?;
+            let detected: Vec<String> = procs
+                .net_detections()
+                .iter()
+                .chain(modules.net_detections().iter())
+                .map(|d| d.detail.clone())
+                .collect();
+            Ok((detected, infection))
+        };
+        let (normal_detected, infection) = collect(false)?;
+        let (advanced_detected, _) = collect(true)?;
+        expected_all.extend(infection.hidden_process_names.iter().cloned());
+        expected_all.extend(infection.hidden_module_names.iter().cloned());
+        expected_all.sort();
+        expected_all.dedup();
+        let normal_complete = expected_all
+            .iter()
+            .all(|e| expected_matches(&normal_detected, e));
+        let advanced_complete = expected_all
+            .iter()
+            .all(|e| expected_matches(&advanced_detected, e));
+        rows.push(Fig6Row {
+            ghostware: infection.ghostware,
+            expected: expected_all,
+            normal_detected,
+            advanced_detected,
+            normal_complete,
+            advanced_complete,
+        });
+    }
+    Ok(rows)
+}
+
+/// Figures 2 and 5: the technique-per-sample matrix (the diagrams' content).
+///
+/// # Errors
+///
+/// Propagates machine/infection failures.
+pub fn technique_matrix() -> Result<Vec<(String, Vec<String>)>, NtStatus> {
+    let mut rows = Vec::new();
+    for (i, sample) in file_hiding_corpus()
+        .into_iter()
+        .chain(process_hiding_corpus())
+        .enumerate()
+    {
+        let mut machine = victim_machine(400 + i as u64)?;
+        let infection = sample.infect(&mut machine)?;
+        let row = (
+            infection.ghostware.clone(),
+            infection.techniques.iter().map(|t| t.to_string()).collect(),
+        );
+        if !rows.iter().any(|(name, _): &(String, Vec<String>)| name == &row.0) {
+            rows.push(row);
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_all_ten_samples_fully_detected() {
+        let rows = fig3_hidden_files().unwrap();
+        assert_eq!(rows.len(), 10);
+        for row in &rows {
+            assert!(row.complete, "{} incomplete: {:?}", row.ghostware, row);
+            assert_eq!(row.extras, 0, "{} extras: {:?}", row.ghostware, row.detected);
+        }
+    }
+
+    #[test]
+    fn fig4_all_six_samples_fully_detected() {
+        let rows = fig4_hidden_asep().unwrap();
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(row.complete, "{} incomplete: {row:?}", row.ghostware);
+            assert_eq!(row.extras, 0, "{}", row.ghostware);
+        }
+    }
+
+    #[test]
+    fn fig6_fu_needs_advanced_everyone_else_does_not() {
+        let rows = fig6_hidden_procs().unwrap();
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert!(row.advanced_complete, "{} advanced", row.ghostware);
+            if row.ghostware == "FU" {
+                assert!(!row.normal_complete, "FU must evade normal mode");
+            } else {
+                assert!(row.normal_complete, "{} normal", row.ghostware);
+            }
+        }
+    }
+
+    #[test]
+    fn technique_matrix_covers_the_corpus() {
+        let rows = technique_matrix().unwrap();
+        assert!(rows.len() >= 12);
+    }
+}

@@ -1,0 +1,189 @@
+//! The false-positive results: zero inside the box, a handful outside,
+//! one Registry corruption case (Sections 2–3).
+
+use strider_ghostbuster::{GhostBuster, NoiseClass};
+use strider_hive::{Value, ValueData};
+use strider_nt_core::{NtPath, NtStatus};
+use strider_workload::{paper_profiles, standard_lab_machine, WorkloadSpec};
+
+/// One machine's false-positive counts across scan flows.
+#[derive(Debug, Clone)]
+pub struct FpRow {
+    /// Machine name.
+    pub machine: String,
+    /// Whether CCM runs on the machine.
+    pub ccm: bool,
+    /// Inside-the-box file-scan FPs (paper: zero).
+    pub inside_files: usize,
+    /// Inside-the-box process-scan FPs (paper: zero).
+    pub inside_processes: usize,
+    /// Outside-the-box file-scan FPs before manual filtering.
+    pub outside_files_raw: usize,
+    /// Outside FPs surviving the noise classifier (paper: all filtered).
+    pub outside_files_after_filter: usize,
+    /// VM-flow FPs (paper: zero — same image, no gap).
+    pub vm_files: usize,
+}
+
+/// Runs the clean-machine FP experiment on the paper's eight machine
+/// profiles: warm the machine up, scan inside, run the WinPE flow with a
+/// boot-sized gap, and run the VM flow.
+///
+/// # Errors
+///
+/// Propagates scan failures.
+pub fn fp_rows() -> Result<Vec<FpRow>, NtStatus> {
+    let mut rows = Vec::new();
+    for (i, profile) in paper_profiles().into_iter().enumerate() {
+        let mut m = standard_lab_machine(
+            profile.name,
+            &WorkloadSpec::small(500 + i as u64),
+            profile.ccm_enabled,
+        )?;
+        // Each machine has been up a different amount of time.
+        m.tick(311 + 67 * i as u64);
+
+        let gb = GhostBuster::new();
+        let inside_files = gb.scan_files_inside(&mut m)?.detections.len();
+        let inside_processes = gb.scan_processes_inside(&mut m)?.detections.len();
+
+        // WinPE flow with a boot-sized gap (1.5–3 simulated minutes).
+        let reboot = 90 + 12 * i as u64;
+        let sweep = gb.winpe_outside_sweep(&mut m, reboot)?;
+        let outside_files_raw = sweep.files.detections.len();
+        let outside_files_after_filter = sweep.files.net_detections().len();
+
+        let vm_files = gb.vm_outside_files(&mut m)?.detections.len();
+
+        rows.push(FpRow {
+            machine: profile.name.to_string(),
+            ccm: profile.ccm_enabled,
+            inside_files,
+            inside_processes,
+            outside_files_raw,
+            outside_files_after_filter,
+            vm_files,
+        });
+    }
+    Ok(rows)
+}
+
+/// The CCM remediation experiment: the noisy machine re-run with CCM
+/// disabled, as the paper did (7 FPs → 2).
+///
+/// # Errors
+///
+/// Propagates scan failures.
+pub fn ccm_remediation() -> Result<(usize, usize), NtStatus> {
+    let run = |ccm: bool| -> Result<usize, NtStatus> {
+        let mut m = standard_lab_machine("m-ccm", &WorkloadSpec::small(77), ccm)?;
+        m.tick(400);
+        let sweep = GhostBuster::new().winpe_outside_sweep(&mut m, 150)?;
+        Ok(sweep.files.detections.len())
+    };
+    Ok((run(true)?, run(false)?))
+}
+
+/// The Registry corruption FP (Section 3): corrupted `AppInit_DLLs` data
+/// appears in the raw parse but not in RegEdit; the export/delete/re-import
+/// repair clears it.
+///
+/// # Errors
+///
+/// Propagates scan failures.
+pub fn registry_corruption_fp() -> Result<(usize, usize, usize), NtStatus> {
+    let mut m = standard_lab_machine("m-corrupt", &WorkloadSpec::small(88), false)?;
+    let windows_key: NtPath = "HKLM\\SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion\\Windows"
+        .parse()
+        .expect("static");
+    let mut v = Value::new("AppInit_DLLs", ValueData::sz("stale-bytes.dll"));
+    v.corrupt_data = true;
+    m.registry_mut()
+        .set_value_raw(&windows_key, v)
+        .map_err(|_| NtStatus::ObjectNameNotFound)?;
+
+    let gb = GhostBuster::new();
+    let before = gb.scan_registry_inside(&mut m)?;
+    let raw_fps = before.detections.len();
+    let classified = before
+        .detections
+        .iter()
+        .filter(|d| d.noise == NoiseClass::LikelyCorruption)
+        .count();
+
+    // The paper's fix: export the parent key (sans corrupted data), delete
+    // it, re-import. Net effect: the value is rewritten healthy.
+    m.registry_mut()
+        .set_value(&windows_key, "AppInit_DLLs", ValueData::sz(""))
+        .map_err(|_| NtStatus::ObjectNameNotFound)?;
+    let after = gb.scan_registry_inside(&mut m)?.detections.len();
+    Ok((raw_fps, classified, after))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inside_and_vm_scans_have_zero_fps_everywhere() {
+        for row in fp_rows().unwrap() {
+            assert_eq!(row.inside_files, 0, "{}", row.machine);
+            assert_eq!(row.inside_processes, 0, "{}", row.machine);
+            assert_eq!(row.vm_files, 0, "{}", row.machine);
+        }
+    }
+
+    #[test]
+    fn outside_fps_are_small_and_fully_filterable() {
+        let rows = fp_rows().unwrap();
+        for row in &rows {
+            assert_eq!(
+                row.outside_files_after_filter, 0,
+                "{}: residue after filtering",
+                row.machine
+            );
+            let cap = if row.ccm { 12 } else { 6 };
+            assert!(
+                row.outside_files_raw <= cap,
+                "{}: {} raw FPs",
+                row.machine,
+                row.outside_files_raw
+            );
+        }
+        // At least one machine should actually experience churn.
+        assert!(rows.iter().any(|r| r.outside_files_raw > 0));
+        // CCM machines churn more than the quietest machine.
+        let max_ccm = rows
+            .iter()
+            .filter(|r| r.ccm)
+            .map(|r| r.outside_files_raw)
+            .max()
+            .unwrap();
+        let min_other = rows
+            .iter()
+            .filter(|r| !r.ccm)
+            .map(|r| r.outside_files_raw)
+            .min()
+            .unwrap();
+        assert!(max_ccm > min_other);
+    }
+
+    #[test]
+    fn ccm_disable_reduces_fps() {
+        let (with_ccm, without) = ccm_remediation().unwrap();
+        assert!(
+            with_ccm > without,
+            "disabling CCM must reduce FPs ({with_ccm} -> {without})"
+        );
+        assert!(with_ccm >= 5, "the noisy machine approximates 7: {with_ccm}");
+        assert!(without <= 4, "after disabling: {without}");
+    }
+
+    #[test]
+    fn registry_corruption_is_one_classified_fp_repairable() {
+        let (raw, classified, after) = registry_corruption_fp().unwrap();
+        assert_eq!(raw, 1);
+        assert_eq!(classified, 1);
+        assert_eq!(after, 0);
+    }
+}

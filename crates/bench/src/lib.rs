@@ -1,0 +1,95 @@
+//! Experiment drivers reproducing every table and figure of the paper.
+//!
+//! Each `figN_results` / `*_results` function runs one experiment
+//! end-to-end on freshly-built simulated machines and returns structured
+//! rows; the `paper_tables` binary renders them in the paper's layout, and
+//! the Criterion benches in `benches/` time the underlying scans. See
+//! `EXPERIMENTS.md` at the workspace root for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod baselines;
+pub mod extensions;
+pub mod figures;
+pub mod fp;
+pub mod linux;
+pub mod timing;
+
+use strider_nt_core::NtStatus;
+use strider_winapi::Machine;
+use strider_workload::{standard_lab_machine, WorkloadSpec};
+
+/// Builds the standard victim machine used across experiments.
+///
+/// # Errors
+///
+/// Propagates machine-construction failures.
+pub fn victim_machine(seed: u64) -> Result<Machine, NtStatus> {
+    standard_lab_machine("victim", &WorkloadSpec::small(seed), false)
+}
+
+/// Builds a victim machine of a chosen workload size.
+///
+/// # Errors
+///
+/// Propagates machine-construction failures.
+pub fn victim_machine_sized(spec: &WorkloadSpec) -> Result<Machine, NtStatus> {
+    standard_lab_machine("victim", spec, false)
+}
+
+/// Renders a row-oriented table with a header.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:<width$}", width = widths[i]))
+        .collect();
+    out.push_str(&header_line.join(" | "));
+    out.push('\n');
+    out.push_str(&"-".repeat(header_line.join(" | ").len()));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<width$}", width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        out.push_str(&line.join(" | "));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            "demo",
+            &["a", "bb"],
+            &[vec!["x".into(), "y".into()], vec!["longer".into(), "z".into()]],
+        );
+        assert!(t.contains("== demo =="));
+        assert!(t.contains("longer | z"));
+    }
+
+    #[test]
+    fn victim_machine_builds() {
+        let m = victim_machine(1).unwrap();
+        assert!(m.volume().record_count() > 100);
+    }
+}

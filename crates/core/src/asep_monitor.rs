@@ -1,0 +1,187 @@
+//! A Gatekeeper-style ASEP monitor (the paper's [WRV+04] companion work).
+//!
+//! "By extensively studying 120 real-world spyware programs, we have shown
+//! that the ASEP-based monitoring and scanning technique is effective for
+//! detecting spyware programs" (paper, Section 3). The monitor is a
+//! *cross-time* diff restricted to the auto-start catalog: it checkpoints
+//! the visible ASEP hooks and reports later additions/removals. It catches
+//! malware that hooks ASEPs *without hiding* (which the cross-view diff,
+//! by design, never flags) — the two techniques are complementary, and the
+//! `baselines` experiments quantify the overlap.
+
+use crate::registry::RegistryScanner;
+use crate::snapshot::HookFact;
+use strider_nt_core::NtStatus;
+use strider_winapi::{CallContext, ChainEntry, Machine};
+
+/// A point-in-time record of the visible ASEP hooks.
+#[derive(Debug, Clone)]
+pub struct AsepCheckpoint {
+    hooks: Vec<(String, HookFact)>,
+}
+
+impl AsepCheckpoint {
+    /// Number of hooks recorded.
+    pub fn len(&self) -> usize {
+        self.hooks.len()
+    }
+
+    /// Whether the checkpoint is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hooks.is_empty()
+    }
+}
+
+/// Hook changes between a checkpoint and now.
+#[derive(Debug, Clone, Default)]
+pub struct AsepChanges {
+    /// Hooks present now but not at the checkpoint — new auto-start code.
+    pub added: Vec<HookFact>,
+    /// Hooks gone since the checkpoint.
+    pub removed: Vec<HookFact>,
+}
+
+impl AsepChanges {
+    /// Total change count.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// Whether anything changed.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// The ASEP monitor.
+#[derive(Debug, Clone, Default)]
+pub struct AsepMonitor {
+    scanner: RegistryScanner,
+}
+
+impl AsepMonitor {
+    /// Creates a monitor over the standard ASEP catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checkpoints the currently *visible* hooks (the monitor is an
+    /// ordinary program: it sees what the APIs show it).
+    pub fn checkpoint(&self, machine: &Machine, ctx: &CallContext) -> AsepCheckpoint {
+        let snap = self.scanner.high_scan(machine, ctx, ChainEntry::Win32);
+        AsepCheckpoint {
+            hooks: snap
+                .iter()
+                .map(|(k, h)| (k.clone(), h.clone()))
+                .collect(),
+        }
+    }
+
+    /// Diffs the current visible hooks against a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan failures.
+    pub fn diff(
+        &self,
+        machine: &Machine,
+        ctx: &CallContext,
+        baseline: &AsepCheckpoint,
+    ) -> Result<AsepChanges, NtStatus> {
+        let now = self.scanner.high_scan(machine, ctx, ChainEntry::Win32);
+        let mut changes = AsepChanges::default();
+        for (key, hook) in now.iter() {
+            if !baseline.hooks.iter().any(|(k, _)| k == key) {
+                changes.added.push(hook.clone());
+            }
+        }
+        for (key, hook) in &baseline.hooks {
+            if !now.contains(key) {
+                changes.removed.push(hook.clone());
+            }
+        }
+        Ok(changes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strider_ghostware::{Berbew, Ghostware, HackerDefender};
+
+    fn ctx(machine: &mut Machine) -> CallContext {
+        machine
+            .ensure_process("gatekeeper.exe", "C:\\tools\\gatekeeper.exe")
+            .unwrap()
+    }
+
+    #[test]
+    fn catches_non_hiding_asep_malware_that_cross_view_misses() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        let c = ctx(&mut m);
+        let monitor = AsepMonitor::new();
+        let baseline = monitor.checkpoint(&m, &c);
+        // Berbew hides its process but leaves its Run hook visible.
+        Berbew::default().infect(&mut m).unwrap();
+        let changes = monitor.diff(&m, &c, &baseline).unwrap();
+        assert_eq!(changes.added.len(), 1);
+        assert_eq!(changes.added[0].asep_id, "Run");
+        // The cross-view Registry diff sees nothing: the hook is not hidden.
+        let report = crate::ghostbuster::GhostBuster::new()
+            .scan_registry_inside(&mut m)
+            .unwrap();
+        assert!(!report.has_detections());
+    }
+
+    #[test]
+    fn blind_to_hidden_hooks_the_cross_view_diff_catches() {
+        // The complementarity in the other direction: hidden hooks never
+        // appear in the monitor's visible view, at install or after.
+        let mut m = Machine::with_base_system("victim").unwrap();
+        let c = ctx(&mut m);
+        let monitor = AsepMonitor::new();
+        let baseline = monitor.checkpoint(&m, &c);
+        HackerDefender::default().infect(&mut m).unwrap();
+        let changes = monitor.diff(&m, &c, &baseline).unwrap();
+        assert!(
+            !changes
+                .added
+                .iter()
+                .any(|h| h.entry.contains("HackerDefender")),
+            "{changes:?}"
+        );
+        let report = crate::ghostbuster::GhostBuster::new()
+            .scan_registry_inside(&mut m)
+            .unwrap();
+        assert!(report.has_detections());
+    }
+
+    #[test]
+    fn removal_is_reported() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        let c = ctx(&mut m);
+        let monitor = AsepMonitor::new();
+        let baseline = monitor.checkpoint(&m, &c);
+        assert!(!baseline.is_empty());
+        m.registry_mut()
+            .delete_value(
+                &"HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run"
+                    .parse()
+                    .unwrap(),
+                &strider_nt_core::NtString::from("ctfmon"),
+            )
+            .unwrap();
+        let changes = monitor.diff(&m, &c, &baseline).unwrap();
+        assert_eq!(changes.removed.len(), 1);
+        assert_eq!(changes.len(), 1);
+    }
+
+    #[test]
+    fn quiet_registry_quiet_monitor() {
+        let mut m = Machine::with_base_system("q").unwrap();
+        let c = ctx(&mut m);
+        let monitor = AsepMonitor::new();
+        let baseline = monitor.checkpoint(&m, &c);
+        assert!(monitor.diff(&m, &c, &baseline).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,167 @@
+//! An AskStrider-style loaded-driver cross-check.
+//!
+//! The paper notes that "AskStrider can be used to quickly detect a Hacker
+//! Defender infection today by revealing its unhidden hxdefdrv.sys driver":
+//! rootkits that hide their *service keys* often cannot hide the driver
+//! object itself from the kernel's loaded-driver list. This scanner
+//! correlates the two views — every loaded driver should be accounted for
+//! by a *visible* service entry; a driver whose service is hidden (or
+//! absent entirely, as with FU's exploit-loaded `msdirectx.sys`) is an
+//! anomaly.
+
+use std::fmt;
+use strider_nt_core::{NtPath, NtStatus};
+use strider_winapi::{CallContext, ChainEntry, Machine, Query, Row};
+
+/// Why a driver was flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverAnomaly {
+    /// No visible service references the driver's image at all.
+    NoVisibleService,
+}
+
+impl fmt::Display for DriverAnomaly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverAnomaly::NoVisibleService => write!(f, "no visible service references it"),
+        }
+    }
+}
+
+/// One flagged driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriverFinding {
+    /// Driver name from the loaded-driver list.
+    pub driver: String,
+    /// Driver image path.
+    pub image_path: String,
+    /// Why it was flagged.
+    pub anomaly: DriverAnomaly,
+}
+
+impl fmt::Display for DriverFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "driver {} ({}): {}", self.driver, self.image_path, self.anomaly)
+    }
+}
+
+/// The loaded-driver cross-checker.
+#[derive(Debug, Clone, Default)]
+pub struct DriverScanner;
+
+impl DriverScanner {
+    /// Creates the scanner.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Flags every loaded driver not referenced by any *visible* service
+    /// entry (name match or ImagePath match, case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Propagates Registry enumeration failures.
+    pub fn scan(
+        &self,
+        machine: &Machine,
+        ctx: &CallContext,
+    ) -> Result<Vec<DriverFinding>, NtStatus> {
+        let services_key: NtPath = "HKLM\\SYSTEM\\CurrentControlSet\\Services"
+            .parse()
+            .expect("static");
+        // The visible view of services, through the (possibly hooked) APIs.
+        let service_rows = machine.query(
+            ctx,
+            &Query::RegEnumKeys {
+                key: services_key.clone(),
+            },
+            ChainEntry::Win32,
+        )?;
+        let mut references: Vec<String> = Vec::new();
+        for row in service_rows {
+            let Row::RegKey(k) = row else { continue };
+            references.push(k.name.to_win32_lossy().to_ascii_lowercase());
+            let values = machine.query(
+                ctx,
+                &Query::RegEnumValues { key: k.path },
+                ChainEntry::Win32,
+            )?;
+            for v in values {
+                if let Row::RegValue(v) = v {
+                    if v.name.to_win32_lossy().eq_ignore_ascii_case("ImagePath") {
+                        references.push(v.data.to_ascii_lowercase());
+                    }
+                }
+            }
+        }
+
+        let mut findings = Vec::new();
+        for driver in machine.kernel().drivers() {
+            let name = driver.name.to_win32_lossy().to_ascii_lowercase();
+            let image = driver
+                .image_path
+                .file_name()
+                .map(|n| n.to_win32_lossy().to_ascii_lowercase())
+                .unwrap_or_default();
+            let referenced = references
+                .iter()
+                .any(|r| r == &name || (!image.is_empty() && r.contains(&image)));
+            if !referenced {
+                findings.push(DriverFinding {
+                    driver: driver.name.to_win32_lossy(),
+                    image_path: driver.image_path.to_string(),
+                    anomaly: DriverAnomaly::NoVisibleService,
+                });
+            }
+        }
+        Ok(findings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strider_ghostware::{Fu, Ghostware, HackerDefender, ProBotSe};
+
+    fn ctx(machine: &mut Machine) -> CallContext {
+        machine
+            .ensure_process("askstrider.exe", "C:\\tools\\askstrider.exe")
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_machine_drivers_all_accounted_for() {
+        let mut m = Machine::with_base_system("clean").unwrap();
+        let c = ctx(&mut m);
+        assert!(DriverScanner::new().scan(&m, &c).unwrap().is_empty());
+    }
+
+    #[test]
+    fn hxdef_driver_flagged_because_its_service_is_hidden() {
+        // The paper's AskStrider observation: the driver is visible, the
+        // service key is not — the mismatch is the tell.
+        let mut m = Machine::with_base_system("victim").unwrap();
+        HackerDefender::default().infect(&mut m).unwrap();
+        let c = ctx(&mut m);
+        let findings = DriverScanner::new().scan(&m, &c).unwrap();
+        assert!(findings.iter().any(|f| f.driver == "hxdefdrv"), "{findings:?}");
+    }
+
+    #[test]
+    fn fu_msdirectx_flagged_no_service_at_all() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        Fu::default().infect(&mut m).unwrap();
+        let c = ctx(&mut m);
+        let findings = DriverScanner::new().scan(&m, &c).unwrap();
+        assert!(findings.iter().any(|f| f.driver == "msdirectx"));
+    }
+
+    #[test]
+    fn probot_drivers_flagged_hidden_services() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        ProBotSe::default().infect(&mut m).unwrap();
+        let c = ctx(&mut m);
+        let findings = DriverScanner::new().scan(&m, &c).unwrap();
+        assert_eq!(findings.len(), 2, "{findings:?}");
+    }
+}

@@ -1,0 +1,346 @@
+//! Hidden-file detection (paper, Section 2).
+
+use crate::diff::cross_view_diff;
+use crate::report::{Detection, DiffReport, FileCategory, NoiseClass, NoiseFilter, ResourceKind};
+use crate::snapshot::{FileFact, ScanMeta, Snapshot, ViewKind};
+use strider_nt_core::{NtPath, NtStatus, Tick};
+use strider_ntfs::VolumeImage;
+use strider_winapi::{CallContext, ChainEntry, DiskImage, Machine, Query, Row};
+
+/// The hidden-file scanner: high-level API walks, low-level MFT parses,
+/// and outside-the-box disk-image scans.
+#[derive(Debug, Clone, Default)]
+pub struct FileScanner {
+    noise: NoiseFilter,
+    detect_ads: bool,
+}
+
+impl FileScanner {
+    /// Creates a scanner with the standard noise filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the noise filter.
+    pub fn with_noise_filter(mut self, noise: NoiseFilter) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Enables alternate-data-stream detection: the low-level views report
+    /// each named stream as a pseudo-entry (`host.txt:stream`), which the
+    /// Win32 enumeration never shows — one of the "beyond ghostware" hiding
+    /// places the paper's conclusion lists as future work.
+    pub fn with_ads_detection(mut self) -> Self {
+        self.detect_ads = true;
+        self
+    }
+
+    /// The high-level scan: a recursive `dir /s /b`-style walk through the
+    /// (possibly hooked) API chain. Directories hidden from enumeration are
+    /// never descended into, exactly like the real tool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates API failures other than vanishing directories.
+    pub fn high_scan(
+        &self,
+        machine: &Machine,
+        ctx: &CallContext,
+        entry: ChainEntry,
+    ) -> Result<Snapshot<FileFact>, NtStatus> {
+        let view = match entry {
+            ChainEntry::Win32 => ViewKind::HighLevelWin32,
+            ChainEntry::Native => ViewKind::HighLevelNative,
+        };
+        let mut snap = Snapshot::new(ScanMeta::new(view, machine.now()));
+        let mut stack = vec![NtPath::root_of(machine.volume().label())];
+        while let Some(dir) = stack.pop() {
+            snap.meta.io.record_api_call();
+            snap.meta.io.record_seek();
+            let rows = match machine.query(ctx, &Query::DirectoryEnum { path: dir }, entry) {
+                Ok(rows) => rows,
+                // A directory deleted mid-walk is normal churn, not an error.
+                Err(NtStatus::ObjectNameNotFound) => continue,
+                Err(e) => return Err(e),
+            };
+            snap.meta.io.record_entries(rows.len() as u64);
+            for row in rows {
+                if let Row::File(f) = row {
+                    if f.is_dir {
+                        stack.push(f.path.clone());
+                    }
+                    snap.insert(
+                        f.path.fold_key(),
+                        FileFact {
+                            path: f.path.to_string(),
+                            is_dir: f.is_dir,
+                            size: f.size,
+                            created: None,
+                        },
+                    );
+                }
+            }
+        }
+        Ok(snap)
+    }
+
+    /// The low-level inside-the-box scan: read the raw volume image (which
+    /// privileged ghostware may tamper with — a truth *approximation*) and
+    /// parse the MFT directly, reconstructing paths from parent references.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the image does not parse.
+    pub fn low_scan(&self, machine: &Machine) -> Result<Snapshot<FileFact>, NtStatus> {
+        let bytes = machine.read_raw_volume_image();
+        self.scan_image_bytes(&bytes, ViewKind::LowLevelMft, machine.now())
+    }
+
+    /// The outside-the-box scan: parse a clean-boot disk image.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the image does not parse.
+    pub fn outside_scan(&self, image: &DiskImage) -> Result<Snapshot<FileFact>, NtStatus> {
+        self.scan_image_bytes(&image.volume_image, ViewKind::OutsideDisk, image.taken_at)
+    }
+
+    fn scan_image_bytes(
+        &self,
+        bytes: &[u8],
+        view: ViewKind,
+        taken_at: Tick,
+    ) -> Result<Snapshot<FileFact>, NtStatus> {
+        let raw = VolumeImage::parse(bytes)
+            .map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
+        let mut snap = Snapshot::new(ScanMeta::new(view, taken_at));
+        snap.meta.io.record_sequential(raw.image_len());
+        for (path, entry) in raw.all_paths() {
+            snap.meta.io.record_entries(1);
+            if self.detect_ads {
+                for ads in &entry.ads_names {
+                    let pseudo = format!("{}:{}", path, ads.to_display_string());
+                    snap.insert(
+                        format!("{}:{}", path.fold_key(), String::from_utf16_lossy(&ads.fold_key())),
+                        FileFact {
+                            path: pseudo,
+                            is_dir: false,
+                            size: 0,
+                            created: Some(entry.created),
+                        },
+                    );
+                }
+            }
+            snap.insert(
+                path.fold_key(),
+                FileFact {
+                    path: path.to_string(),
+                    is_dir: entry.is_directory(),
+                    size: entry.data_len,
+                    created: Some(entry.created),
+                },
+            );
+        }
+        Ok(snap)
+    }
+
+    /// Diffs a truth-side snapshot against the high-level lie, classifying
+    /// each finding (Figure 3 categories and noise classes).
+    pub fn diff(&self, truth: &Snapshot<FileFact>, lie: &Snapshot<FileFact>) -> DiffReport {
+        let lie_taken = lie.meta.taken_at;
+        cross_view_diff(truth, lie, |key, fact| {
+            let mut noise = self.noise.classify_path(&fact.path);
+            if noise == NoiseClass::Suspicious {
+                // Anything created after the lie-side scan cannot have been
+                // hidden from it — it is scan-gap churn.
+                if let Some(created) = fact.created {
+                    if created > lie_taken {
+                        noise = NoiseClass::LikelyServiceChurn;
+                    }
+                }
+            }
+            Detection {
+                kind: ResourceKind::File,
+                identity: key.to_string(),
+                detail: fact.path.clone(),
+                category: (!fact.is_dir).then(|| FileCategory::from_path(&fact.path)),
+                noise,
+            }
+        })
+    }
+
+    /// One-call inside-the-box hidden-file detection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan failures.
+    pub fn scan_inside(
+        &self,
+        machine: &Machine,
+        ctx: &CallContext,
+    ) -> Result<DiffReport, NtStatus> {
+        let lie = self.high_scan(machine, ctx, ChainEntry::Win32)?;
+        let truth = self.low_scan(machine)?;
+        Ok(self.diff(&truth, &lie))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strider_ghostware::{Ghostware, HackerDefender, NamingTrick, Vanquish};
+
+    fn gb_ctx(machine: &mut Machine) -> CallContext {
+        machine
+            .ensure_process("ghostbuster.exe", "C:\\ghostbuster.exe")
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_machine_has_zero_findings() {
+        let mut m = Machine::with_base_system("clean").unwrap();
+        let ctx = gb_ctx(&mut m);
+        let report = FileScanner::new().scan_inside(&m, &ctx).unwrap();
+        assert!(!report.has_detections(), "{report}");
+    }
+
+    #[test]
+    fn hxdef_files_detected_and_categorized() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        let inf = HackerDefender::default().infect(&mut m).unwrap();
+        let ctx = gb_ctx(&mut m);
+        let report = FileScanner::new().scan_inside(&m, &ctx).unwrap();
+        let found: Vec<&str> = report
+            .net_detections()
+            .iter()
+            .map(|d| d.detail.as_str())
+            .collect();
+        for hidden in &inf.hidden_files {
+            assert!(
+                found.contains(&hidden.to_string().as_str()),
+                "missing {hidden} in {found:?}"
+            );
+        }
+        let (bin, data, _) = report.category_counts();
+        assert_eq!(bin, 2, "exe + sys");
+        assert_eq!(data, 1, "ini");
+    }
+
+    #[test]
+    fn naming_tricks_detected_without_any_hook() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        let inf = NamingTrick.infect(&mut m).unwrap();
+        let ctx = gb_ctx(&mut m);
+        let report = FileScanner::new().scan_inside(&m, &ctx).unwrap();
+        let found: Vec<String> = report
+            .net_detections()
+            .iter()
+            .map(|d| d.detail.clone())
+            .collect();
+        for hidden in &inf.hidden_files {
+            assert!(
+                found.contains(&hidden.to_string()),
+                "missing {hidden} in {found:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hidden_directory_children_are_detected() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        Vanquish::default().infect(&mut m).unwrap();
+        // Files inside a *vanquish* directory are unreachable by the walk.
+        m.volume_mut()
+            .mkdir_p(&"C:\\vanquish-stash".parse().unwrap())
+            .unwrap();
+        m.volume_mut()
+            .create_file(&"C:\\vanquish-stash\\loot.txt".parse().unwrap(), b"x")
+            .unwrap();
+        let ctx = gb_ctx(&mut m);
+        let report = FileScanner::new().scan_inside(&m, &ctx).unwrap();
+        assert!(report
+            .net_detections()
+            .iter()
+            .any(|d| d.detail == "C:\\vanquish-stash\\loot.txt"));
+    }
+
+    #[test]
+    fn native_high_scan_catches_win32_only_hiders() {
+        // Urbin hooks only the IAT: the Win32 walk lies, the native walk
+        // does not, so diffing native-vs-win32 already exposes it.
+        let mut m = Machine::with_base_system("victim").unwrap();
+        strider_ghostware::Urbin.infect(&mut m).unwrap();
+        let ctx = gb_ctx(&mut m);
+        let s = FileScanner::new();
+        let win32 = s.high_scan(&m, &ctx, ChainEntry::Win32).unwrap();
+        let native = s.high_scan(&m, &ctx, ChainEntry::Native).unwrap();
+        let report = s.diff(&native, &win32);
+        assert!(report
+            .net_detections()
+            .iter()
+            .any(|d| d.detail.contains("msvsres")));
+    }
+
+    #[test]
+    fn outside_scan_flags_reboot_churn_as_noise() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        strider_workload::services::install_standard_services(&mut m, false);
+        m.tick(1);
+        let ctx = gb_ctx(&mut m);
+        let s = FileScanner::new();
+        let lie = s.high_scan(&m, &ctx, ChainEntry::Win32).unwrap();
+        m.tick(150); // the WinPE reboot window
+        let image = m.snapshot_disk().unwrap();
+        let truth = s.outside_scan(&image).unwrap();
+        let report = s.diff(&truth, &lie);
+        assert!(report.net_detections().is_empty(), "no real ghostware");
+        assert!(
+            !report.noise_detections().is_empty(),
+            "service churn must be present and classified"
+        );
+    }
+
+    #[test]
+    fn ads_detection_reveals_streams_only_when_enabled() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        strider_ghostware::AdsHider::default().infect(&mut m).unwrap();
+        let ctx = gb_ctx(&mut m);
+        // Default scanner: streams are out of scope, nothing to report.
+        let plain = FileScanner::new().scan_inside(&m, &ctx).unwrap();
+        assert!(!plain.has_detections(), "{plain}");
+        // ADS-aware scanner: both streams are findings.
+        let ads = FileScanner::new().with_ads_detection();
+        let report = ads.scan_inside(&m, &ctx).unwrap();
+        let details: Vec<&str> = report
+            .net_detections()
+            .iter()
+            .map(|d| d.detail.as_str())
+            .collect();
+        assert!(details.contains(&"C:\\windows\\system32\\calc.txt:payload.exe"));
+        assert!(details.contains(&"C:\\windows\\system32\\calc.txt:keys.log"));
+        assert_eq!(report.net_detections().len(), 2);
+    }
+
+    #[test]
+    fn ads_detection_is_quiet_on_stream_free_machines() {
+        let mut m = Machine::with_base_system("clean").unwrap();
+        let ctx = gb_ctx(&mut m);
+        let report = FileScanner::new()
+            .with_ads_detection()
+            .scan_inside(&m, &ctx)
+            .unwrap();
+        assert!(!report.has_detections(), "{report}");
+    }
+
+    #[test]
+    fn io_stats_are_recorded() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        let ctx = gb_ctx(&mut m);
+        let s = FileScanner::new();
+        let high = s.high_scan(&m, &ctx, ChainEntry::Win32).unwrap();
+        assert!(high.meta.io.api_calls > 5, "one call per directory");
+        let low = s.low_scan(&m).unwrap();
+        assert!(low.meta.io.bytes_read > 1000, "sequential image read");
+    }
+}

@@ -1,0 +1,434 @@
+//! The GhostBuster facade: one-call sweeps, outside-the-box flows, and
+//! remediation.
+
+use crate::files::FileScanner;
+use crate::process::{AdvancedSource, ProcessScanner};
+use crate::registry::{OutsideRegistryMode, RegistryScanner};
+use crate::report::DiffReport;
+use std::fmt;
+use strider_hive::prelude::AsepHook;
+use strider_kernel::MemoryDump;
+use strider_nt_core::{NtStatus, NtString};
+use strider_winapi::{CallContext, ChainEntry, Machine};
+
+/// The image name GhostBuster runs under — itself a targetable artifact,
+/// which is what motivates the DLL-injection extension.
+pub const GHOSTBUSTER_IMAGE: &str = "ghostbuster.exe";
+
+/// Results of a full sweep across all four resource types.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Hidden-file findings.
+    pub files: DiffReport,
+    /// Hidden-ASEP findings.
+    pub hooks: DiffReport,
+    /// Hidden-process findings.
+    pub processes: DiffReport,
+    /// Hidden-module findings.
+    pub modules: DiffReport,
+}
+
+impl SweepReport {
+    /// Whether anything suspicious (post-noise-classification) was found.
+    pub fn is_infected(&self) -> bool {
+        !self.files.net_detections().is_empty()
+            || !self.hooks.net_detections().is_empty()
+            || !self.processes.net_detections().is_empty()
+            || !self.modules.net_detections().is_empty()
+    }
+
+    /// Total suspicious findings.
+    pub fn suspicious_count(&self) -> usize {
+        self.files.net_detections().len()
+            + self.hooks.net_detections().len()
+            + self.processes.net_detections().len()
+            + self.modules.net_detections().len()
+    }
+
+    /// Total noise-classified findings (false-positive candidates).
+    pub fn noise_count(&self) -> usize {
+        self.files.noise_detections().len()
+            + self.hooks.noise_detections().len()
+            + self.processes.noise_detections().len()
+            + self.modules.noise_detections().len()
+    }
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "GhostBuster sweep: {} suspicious, {} noise",
+            self.suspicious_count(),
+            self.noise_count()
+        )?;
+        for report in [&self.files, &self.hooks, &self.processes, &self.modules] {
+            write!(f, "{report}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The detector.
+///
+/// # Examples
+///
+/// ```
+/// use strider_ghostbuster::GhostBuster;
+/// use strider_ghostware::{Ghostware, HackerDefender};
+/// use strider_winapi::Machine;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut machine = Machine::with_base_system("victim")?;
+/// HackerDefender::default().infect(&mut machine)?;
+/// let report = GhostBuster::new().inside_sweep(&mut machine)?;
+/// assert!(report.is_infected());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GhostBuster {
+    files: FileScanner,
+    registry: RegistryScanner,
+    processes: ProcessScanner,
+    advanced: Option<AdvancedSource>,
+}
+
+impl GhostBuster {
+    /// Creates a detector in normal mode (Active Process List truth).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables advanced mode: the process truth additionally traverses the
+    /// given kernel structure, defeating DKOM.
+    pub fn with_advanced(mut self, source: AdvancedSource) -> Self {
+        self.advanced = Some(source);
+        self
+    }
+
+    /// The file scanner in use.
+    pub fn file_scanner(&self) -> &FileScanner {
+        &self.files
+    }
+
+    /// The Registry scanner in use.
+    pub fn registry_scanner(&self) -> &RegistryScanner {
+        &self.registry
+    }
+
+    /// The process scanner in use.
+    pub fn process_scanner(&self) -> &ProcessScanner {
+        &self.processes
+    }
+
+    /// Enters the machine as the `ghostbuster.exe` process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spawn failures.
+    pub fn enter(&self, machine: &mut Machine) -> Result<CallContext, NtStatus> {
+        machine.ensure_process(GHOSTBUSTER_IMAGE, "C:\\Program Files\\strider\\ghostbuster.exe")
+    }
+
+    /// Inside-the-box hidden-file detection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan failures.
+    pub fn scan_files_inside(&self, machine: &mut Machine) -> Result<DiffReport, NtStatus> {
+        let ctx = self.enter(machine)?;
+        self.files.scan_inside(machine, &ctx)
+    }
+
+    /// Inside-the-box hidden-ASEP detection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan failures.
+    pub fn scan_registry_inside(&self, machine: &mut Machine) -> Result<DiffReport, NtStatus> {
+        let ctx = self.enter(machine)?;
+        self.registry.scan_inside(machine, &ctx)
+    }
+
+    /// Inside-the-box full-Registry hidden-key/value detection: walks every
+    /// hive entirely instead of just the ASEP catalog — slower, broader.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan failures.
+    pub fn scan_registry_full_inside(&self, machine: &mut Machine) -> Result<DiffReport, NtStatus> {
+        let ctx = self.enter(machine)?;
+        self.registry.scan_full_inside(machine, &ctx)
+    }
+
+    /// Inside-the-box hidden-process detection (honours advanced mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan failures.
+    pub fn scan_processes_inside(&self, machine: &mut Machine) -> Result<DiffReport, NtStatus> {
+        let ctx = self.enter(machine)?;
+        self.processes.scan_inside(machine, &ctx, self.advanced)
+    }
+
+    /// Inside-the-box hidden-module detection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan failures.
+    pub fn scan_modules_inside(&self, machine: &mut Machine) -> Result<DiffReport, NtStatus> {
+        let ctx = self.enter(machine)?;
+        self.processes.scan_modules_inside(machine, &ctx)
+    }
+
+    /// The full inside-the-box sweep: files, ASEPs, processes, modules.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan failures.
+    pub fn inside_sweep(&self, machine: &mut Machine) -> Result<SweepReport, NtStatus> {
+        Ok(SweepReport {
+            files: self.scan_files_inside(machine)?,
+            hooks: self.scan_registry_inside(machine)?,
+            processes: self.scan_processes_inside(machine)?,
+            modules: self.scan_modules_inside(machine)?,
+        })
+    }
+
+    /// The WinPE CD outside-the-box flow: take the high-level scans and a
+    /// crash dump now, reboot (`reboot_ticks` of service churn — the paper's
+    /// 1.5–3 minutes), then scan the captured disk from the clean OS and
+    /// diff against the pre-reboot high-level views.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan failures.
+    pub fn winpe_outside_sweep(
+        &self,
+        machine: &mut Machine,
+        reboot_ticks: u64,
+    ) -> Result<SweepReport, NtStatus> {
+        let ctx = self.enter(machine)?;
+        let file_lie = self.files.high_scan(machine, &ctx, ChainEntry::Win32)?;
+        let hook_lie = self.registry.high_scan(machine, &ctx, ChainEntry::Win32);
+        let proc_lie = self.processes.high_scan(machine, &ctx, ChainEntry::Win32)?;
+        let module_lie = self.processes.high_module_scan(machine, &ctx, ChainEntry::Win32)?;
+        let dump = MemoryDump::parse(&machine.kernel().crash_dump())
+            .map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
+
+        machine.tick(reboot_ticks);
+        let image = machine.snapshot_disk()?;
+
+        let file_truth = self.files.outside_scan(&image)?;
+        let hook_truth = self
+            .registry
+            .outside_scan(&image, OutsideRegistryMode::MountedWin32)?;
+        let proc_truth = self.processes.outside_scan(&dump, self.advanced.is_some());
+        // Outside module truth: the dump's kernel-side lists for processes
+        // the high-level view could see.
+        let mut module_truth = crate::snapshot::Snapshot::new(crate::snapshot::ScanMeta::new(
+            crate::snapshot::ViewKind::OutsideDump,
+            image.taken_at,
+        ));
+        for (_, pf) in proc_lie.iter() {
+            if let Some(p) = dump.process(pf.pid) {
+                for m in &p.kernel_modules {
+                    module_truth.insert(
+                        format!("pid:{}|{}", pf.pid.0, m.name.to_win32_lossy().to_ascii_lowercase()),
+                        crate::snapshot::ModuleFact {
+                            pid: pf.pid,
+                            process_name: pf.image_name.clone(),
+                            module: m.name.to_win32_lossy(),
+                            path: m.path.to_win32_lossy(),
+                        },
+                    );
+                }
+            }
+        }
+
+        Ok(SweepReport {
+            files: self.files.diff(&file_truth, &file_lie),
+            hooks: self.registry.diff(&hook_truth, &hook_lie),
+            processes: self.processes.diff(&proc_truth, &proc_lie),
+            modules: self.processes.diff_modules(&module_truth, &module_lie),
+        })
+    }
+
+    /// The RIS (network-boot) outside flow of Section 5: identical scans to
+    /// the WinPE CD flow — only the boot transport differs, so enterprises
+    /// can run it remotely on many desktops. The reboot gap is typically
+    /// shorter than a CD boot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan failures.
+    pub fn ris_outside_sweep(
+        &self,
+        machine: &mut Machine,
+        reboot_ticks: u64,
+    ) -> Result<SweepReport, NtStatus> {
+        self.winpe_outside_sweep(machine, reboot_ticks)
+    }
+
+    /// The VM-based outside flow of Section 5: the guest is paused rather
+    /// than rebooted, so both scans describe *exactly* the same disk image —
+    /// zero time gap, zero false positives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan failures.
+    pub fn vm_outside_files(&self, machine: &mut Machine) -> Result<DiffReport, NtStatus> {
+        let ctx = self.enter(machine)?;
+        let lie = self.files.high_scan(machine, &ctx, ChainEntry::Win32)?;
+        // "Power down" the VM: no further ticks happen before capture.
+        let image = machine.snapshot_disk()?;
+        let truth = self.files.outside_scan(&image)?;
+        Ok(self.files.diff(&truth, &lie))
+    }
+
+    /// The fully-automated VM flow, exchanging the guest's scan through a
+    /// scan-result *file* exactly as Section 5 describes: the guest scans and
+    /// serializes, the host "powers down" the VM, grabs the released drive,
+    /// parses the guest's file, and diffs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan and parse failures.
+    pub fn vm_outside_files_via_scanfile(
+        &self,
+        machine: &mut Machine,
+    ) -> Result<DiffReport, NtStatus> {
+        // Inside the guest: high-level scan, saved to the result file.
+        let ctx = self.enter(machine)?;
+        let guest_scan = self.files.high_scan(machine, &ctx, ChainEntry::Win32)?;
+        let result_file = crate::scanfile::write_scan_file(&guest_scan);
+
+        // Host side: power down, take the drive, parse the guest's file.
+        let image = machine.snapshot_disk()?;
+        let lie = crate::scanfile::parse_scan_file(&result_file)
+            .map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
+        let truth = self.files.outside_scan(&image)?;
+        Ok(self.files.diff(&truth, &lie))
+    }
+
+    /// Computes the hidden ASEP hooks (the structured form of
+    /// [`GhostBuster::scan_registry_inside`]) for remediation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan failures.
+    pub fn hidden_hooks(&self, machine: &mut Machine) -> Result<Vec<AsepHook>, NtStatus> {
+        let ctx = self.enter(machine)?;
+        let lie = self.registry.high_scan(machine, &ctx, ChainEntry::Win32);
+        let truth = self.registry.low_scan(machine)?;
+        Ok(truth
+            .iter()
+            .filter(|(key, _)| !lie.contains(key))
+            .map(|(_, hook)| hook.clone())
+            .collect())
+    }
+
+    /// Deletes the Registry entries behind hidden hooks — the paper's
+    /// removal story: "it locates the Registry keys that can be deleted to
+    /// disable the ghostware after a reboot". Returns how many were removed.
+    pub fn remediate_hooks(&self, machine: &mut Machine, hooks: &[AsepHook]) -> usize {
+        let catalog_paths: Vec<_> = self
+            .registry
+            .catalog()
+            .iter()
+            .map(|l| l.key_path.clone())
+            .collect();
+        let mut removed = 0;
+        for hook in hooks {
+            let is_subkey_hook = !catalog_paths
+                .iter()
+                .any(|p| p.eq_ignore_case(&hook.key_path));
+            let ok = if is_subkey_hook {
+                machine.registry_mut().delete_key(&hook.key_path).is_ok()
+            } else {
+                machine
+                    .registry_mut()
+                    .delete_value(&hook.key_path, &NtString::from(hook.entry.as_str()))
+                    .is_ok()
+            };
+            if ok {
+                removed += 1;
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strider_ghostware::{Ghostware, HackerDefender};
+
+    #[test]
+    fn inside_sweep_on_clean_machine_is_clean() {
+        let mut m = Machine::with_base_system("clean").unwrap();
+        let report = GhostBuster::new().inside_sweep(&mut m).unwrap();
+        assert!(!report.is_infected());
+        assert_eq!(report.suspicious_count(), 0);
+    }
+
+    #[test]
+    fn inside_sweep_detects_hxdef_everywhere() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        HackerDefender::default().infect(&mut m).unwrap();
+        let report = GhostBuster::new().inside_sweep(&mut m).unwrap();
+        assert!(report.is_infected());
+        assert!(report.files.has_detections());
+        assert!(report.hooks.has_detections());
+        assert!(report.processes.has_detections());
+        let rendered = report.to_string();
+        assert!(rendered.contains("suspicious"));
+    }
+
+    #[test]
+    fn winpe_flow_detects_hxdef_with_bounded_noise() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        strider_workload::services::install_standard_services(&mut m, false);
+        m.tick(400); // the machine has been running for a while
+        HackerDefender::default().infect(&mut m).unwrap();
+        let report = GhostBuster::new()
+            .winpe_outside_sweep(&mut m, 150)
+            .unwrap();
+        assert!(report.is_infected());
+        assert!(report
+            .files
+            .net_detections()
+            .iter()
+            .any(|d| d.detail.contains("hxdef100.exe")));
+        assert!(report.noise_count() <= 8, "noise bounded: {}", report.noise_count());
+    }
+
+    #[test]
+    fn vm_flow_has_zero_false_positives_on_clean_machine() {
+        let mut m = Machine::with_base_system("clean").unwrap();
+        strider_workload::services::install_standard_services(&mut m, true);
+        m.tick(1);
+        let report = GhostBuster::new().vm_outside_files(&mut m).unwrap();
+        assert!(!report.has_detections(), "{report}");
+    }
+
+    #[test]
+    fn remediation_deletes_hidden_hooks() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        HackerDefender::default().infect(&mut m).unwrap();
+        let gb = GhostBuster::new();
+        let hooks = gb.hidden_hooks(&mut m).unwrap();
+        assert_eq!(hooks.len(), 2);
+        let removed = gb.remediate_hooks(&mut m, &hooks);
+        assert_eq!(removed, 2);
+        assert!(!m.registry().key_exists(
+            &"HKLM\\SYSTEM\\CurrentControlSet\\Services\\HackerDefender100"
+                .parse()
+                .unwrap()
+        ));
+        // Re-scan: the hooks are gone from the truth too.
+        let hooks = gb.hidden_hooks(&mut m).unwrap();
+        assert!(hooks.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Strider GhostBuster: cross-view diff detection of hidden files, Registry
+//! entries, processes, and loaded modules.
+//!
+//! This crate is the paper's primary contribution. Ghostware hides its
+//! resources from the OS query/enumeration APIs; GhostBuster "leverages the
+//! hiding behavior as a detection mechanism" by comparing two views of the
+//! same state at the same time:
+//!
+//! * **inside-the-box** — a high-level scan through the (hooked) APIs
+//!   versus a low-level scan of the underlying structures: the raw MFT for
+//!   files ([`FileScanner`]), raw hive files for the Registry
+//!   ([`RegistryScanner`]), and kernel process structures — the Active
+//!   Process List, or in *advanced mode* the scheduler thread table /
+//!   subsystem handle table, which defeats FU-style DKOM
+//!   ([`ProcessScanner`]);
+//! * **outside-the-box** — the inside high-level scan versus a clean-boot
+//!   scan of the captured disk image (WinPE flow) or a crash-dump image for
+//!   volatile state ([`GhostBuster::winpe_outside_sweep`]), or the
+//!   zero-gap VM variant ([`GhostBuster::vm_outside_files`]).
+//!
+//! Extensions from Section 5: per-process injected scans
+//! ([`injected_sweep`]) that defeat utility-targeted and scanner-aware
+//! hiding, the signature-scanner dilemma ([`SignatureScanner`]), and the
+//! Unix port ([`UnixGhostBuster`]). Two baselines exist for head-to-head
+//! benchmarks: the Tripwire-style [`CrossTimeDiff`] and the VICE-style
+//! [`HookScanner`].
+//!
+//! # Examples
+//!
+//! ```
+//! use strider_ghostbuster::GhostBuster;
+//! use strider_ghostbuster::AdvancedSource;
+//! use strider_ghostware::{Ghostware, Fu};
+//! use strider_winapi::Machine;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut machine = Machine::with_base_system("victim")?;
+//! Fu::default().infect(&mut machine)?; // DKOM process hiding
+//!
+//! // Normal mode cannot see DKOM…
+//! let normal = GhostBuster::new().scan_processes_inside(&mut machine)?;
+//! assert!(!normal.has_detections());
+//!
+//! // …advanced mode can.
+//! let advanced = GhostBuster::new()
+//!     .with_advanced(AdvancedSource::ThreadTable)
+//!     .scan_processes_inside(&mut machine)?;
+//! assert!(advanced.has_detections());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asep_monitor;
+mod crosstime;
+mod diff;
+mod drivers;
+mod files;
+mod ghostbuster;
+mod hookscan;
+mod inject;
+mod process;
+mod registry;
+mod report;
+mod scanfile;
+mod signature;
+mod snapshot;
+mod unixgb;
+
+pub use asep_monitor::{AsepChanges, AsepCheckpoint, AsepMonitor};
+pub use crosstime::{ChangeSet, Checkpoint, CrossTimeDiff};
+pub use drivers::{DriverAnomaly, DriverFinding, DriverScanner};
+pub use diff::cross_view_diff;
+pub use files::FileScanner;
+pub use ghostbuster::{GhostBuster, SweepReport, GHOSTBUSTER_IMAGE};
+pub use hookscan::{install_benign_wrapper, HookFinding, HookScanner};
+pub use inject::{injected_sweep, InjectedSweepReport, PerProcessReport};
+pub use process::{AdvancedSource, ProcessScanner};
+pub use registry::{OutsideRegistryMode, RegistryScanner};
+pub use scanfile::{parse_scan_file, write_scan_file, ScanFileError};
+pub use report::{
+    Detection, DiffReport, FileCategory, NoiseClass, NoiseFilter, ResourceKind,
+};
+pub use signature::{Signature, SignatureHit, SignatureScanner};
+pub use snapshot::{FileFact, HookFact, ModuleFact, ProcessFact, ScanMeta, Snapshot, ViewKind};
+pub use unixgb::{UnixBinaryIntegrity, UnixDetection, UnixGhostBuster, UnixReport};
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::{
+        cross_view_diff, injected_sweep, install_benign_wrapper, AdvancedSource, AsepMonitor,
+        CrossTimeDiff, Detection, DiffReport, DriverScanner,
+        FileCategory, FileScanner, GhostBuster, HookScanner, InjectedSweepReport, NoiseClass,
+        NoiseFilter, OutsideRegistryMode, ProcessScanner, RegistryScanner, ResourceKind, ScanMeta,
+        SignatureScanner, Snapshot, SweepReport, UnixGhostBuster, ViewKind,
+    };
+}

@@ -1,0 +1,428 @@
+//! Hidden-process and hidden-module detection (paper, Section 4).
+
+use crate::diff::cross_view_diff;
+use crate::report::{Detection, DiffReport, NoiseClass, ResourceKind};
+use crate::snapshot::{ModuleFact, ProcessFact, ScanMeta, Snapshot, ViewKind};
+use strider_kernel::MemoryDump;
+use strider_nt_core::{NtStatus, Pid};
+use strider_winapi::{CallContext, ChainEntry, Machine, Query, Row};
+
+/// Which kernel structure the advanced-mode low-level scan traverses in
+/// addition to the Active Process List.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvancedSource {
+    /// The scheduler thread table: every schedulable thread names its owner.
+    ThreadTable,
+    /// The subsystem (csrss) handle table.
+    HandleTable,
+}
+
+/// The hidden-process/hidden-module scanner.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessScanner;
+
+impl ProcessScanner {
+    /// Creates a scanner.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// The high-level scan through the (possibly hooked) API chain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates API failures.
+    pub fn high_scan(
+        &self,
+        machine: &Machine,
+        ctx: &CallContext,
+        entry: ChainEntry,
+    ) -> Result<Snapshot<ProcessFact>, NtStatus> {
+        let view = match entry {
+            ChainEntry::Win32 => ViewKind::HighLevelWin32,
+            ChainEntry::Native => ViewKind::HighLevelNative,
+        };
+        let mut snap = Snapshot::new(ScanMeta::new(view, machine.now()));
+        snap.meta.io.record_api_call();
+        let rows = machine.query(ctx, &Query::ProcessList, entry)?;
+        snap.meta.io.record_entries(rows.len() as u64);
+        for row in rows {
+            if let Row::Process(p) = row {
+                snap.insert(
+                    format!("pid:{}", p.pid.0),
+                    ProcessFact {
+                        pid: p.pid,
+                        image_name: p.image_name.to_win32_lossy(),
+                        image_path: p.image_path,
+                    },
+                );
+            }
+        }
+        Ok(snap)
+    }
+
+    /// The normal-mode low-level scan: a driver walks the Active Process
+    /// List. Catches every API-intercepting hider; blind to DKOM, because
+    /// this list is only the truth *approximation* the APIs themselves use.
+    pub fn low_scan_apl(&self, machine: &Machine) -> Snapshot<ProcessFact> {
+        let mut snap = Snapshot::new(ScanMeta::new(ViewKind::LowLevelApl, machine.now()));
+        for pid in machine.kernel().active_process_list() {
+            self.push_kernel_fact(machine, pid, &mut snap);
+        }
+        snap
+    }
+
+    /// The advanced-mode low-level scan: traverse a kernel structure that
+    /// exists for OS bookkeeping other than answering enumeration queries.
+    /// DKOM-hidden processes reappear here.
+    pub fn low_scan_advanced(
+        &self,
+        machine: &Machine,
+        source: AdvancedSource,
+    ) -> Snapshot<ProcessFact> {
+        let (view, mut pids) = match source {
+            AdvancedSource::ThreadTable => (
+                ViewKind::LowLevelThreadTable,
+                machine.kernel().processes_via_threads(),
+            ),
+            AdvancedSource::HandleTable => (
+                ViewKind::LowLevelHandleTable,
+                machine.kernel().processes_via_handles(),
+            ),
+        };
+        // Union with the APL: the advanced structure augments rather than
+        // replaces the primary one (csrss tracks no System process, etc.).
+        pids.extend(machine.kernel().active_process_list());
+        pids.sort();
+        pids.dedup();
+        let mut snap = Snapshot::new(ScanMeta::new(view, machine.now()));
+        for pid in pids {
+            self.push_kernel_fact(machine, pid, &mut snap);
+        }
+        snap
+    }
+
+    fn push_kernel_fact(&self, machine: &Machine, pid: Pid, snap: &mut Snapshot<ProcessFact>) {
+        if let Some(p) = machine.kernel().process(pid) {
+            snap.meta.io.record_entries(1);
+            snap.insert(
+                format!("pid:{}", pid.0),
+                ProcessFact {
+                    pid,
+                    image_name: p.image_name.to_win32_lossy(),
+                    image_path: p.image_path.to_string(),
+                },
+            );
+        }
+    }
+
+    /// The outside-the-box scan over a crash-dump image.
+    pub fn outside_scan(&self, dump: &MemoryDump, advanced: bool) -> Snapshot<ProcessFact> {
+        let mut snap = Snapshot::new(ScanMeta::new(ViewKind::OutsideDump, strider_nt_core::Tick::ZERO));
+        snap.meta.io.record_sequential(dump.byte_len());
+        let mut pids = dump.processes_via_apl();
+        if advanced {
+            pids.extend(dump.processes_via_threads());
+            pids.sort();
+            pids.dedup();
+        }
+        for pid in pids {
+            if let Some(p) = dump.process(pid) {
+                snap.meta.io.record_entries(1);
+                snap.insert(
+                    format!("pid:{}", pid.0),
+                    ProcessFact {
+                        pid,
+                        image_name: p.image_name.to_win32_lossy(),
+                        image_path: p.image_path.to_string(),
+                    },
+                );
+            }
+        }
+        snap
+    }
+
+    /// Diffs process snapshots.
+    pub fn diff(&self, truth: &Snapshot<ProcessFact>, lie: &Snapshot<ProcessFact>) -> DiffReport {
+        cross_view_diff(truth, lie, |key, fact: &ProcessFact| Detection {
+            kind: ResourceKind::Process,
+            identity: key.to_string(),
+            detail: format!("{} {} ({})", fact.pid, fact.image_name, fact.image_path),
+            category: None,
+            noise: NoiseClass::Suspicious,
+        })
+    }
+
+    /// One-call inside-the-box hidden-process detection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan failures.
+    pub fn scan_inside(
+        &self,
+        machine: &Machine,
+        ctx: &CallContext,
+        advanced: Option<AdvancedSource>,
+    ) -> Result<DiffReport, NtStatus> {
+        let lie = self.high_scan(machine, ctx, ChainEntry::Win32)?;
+        let truth = match advanced {
+            Some(source) => self.low_scan_advanced(machine, source),
+            None => self.low_scan_apl(machine),
+        };
+        Ok(self.diff(&truth, &lie))
+    }
+
+    // ------------------------------------------------------------------
+    // Modules
+    // ------------------------------------------------------------------
+
+    /// The high-level module scan: enumerate modules of every *visible*
+    /// process through the API chain (PEB-based, Tool Help semantics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates API failures other than processes that die mid-scan.
+    pub fn high_module_scan(
+        &self,
+        machine: &Machine,
+        ctx: &CallContext,
+        entry: ChainEntry,
+    ) -> Result<Snapshot<ModuleFact>, NtStatus> {
+        let procs = self.high_scan(machine, ctx, entry)?;
+        let view = match entry {
+            ChainEntry::Win32 => ViewKind::HighLevelWin32,
+            ChainEntry::Native => ViewKind::HighLevelNative,
+        };
+        let mut snap = Snapshot::new(ScanMeta::new(view, machine.now()));
+        for (_, proc_fact) in procs.iter() {
+            snap.meta.io.record_api_call();
+            let rows = match machine.query(
+                ctx,
+                &Query::ModuleList { pid: proc_fact.pid },
+                entry,
+            ) {
+                Ok(rows) => rows,
+                Err(NtStatus::NoSuchProcess) => continue,
+                Err(e) => return Err(e),
+            };
+            snap.meta.io.record_entries(rows.len() as u64);
+            for row in rows {
+                if let Row::Module(m) = row {
+                    snap.insert(
+                        module_key(proc_fact.pid, &m.name.to_win32_lossy()),
+                        ModuleFact {
+                            pid: proc_fact.pid,
+                            process_name: proc_fact.image_name.clone(),
+                            module: m.name.to_win32_lossy(),
+                            path: m.path.to_win32_lossy(),
+                        },
+                    );
+                }
+            }
+        }
+        Ok(snap)
+    }
+
+    /// The low-level module scan: the kernel's own mapped-image lists,
+    /// restricted to processes visible in `visible` (module hiding in
+    /// *hidden* processes is already covered by process detection).
+    pub fn low_module_scan(
+        &self,
+        machine: &Machine,
+        visible: &Snapshot<ProcessFact>,
+    ) -> Snapshot<ModuleFact> {
+        let mut snap = Snapshot::new(ScanMeta::new(
+            ViewKind::LowLevelKernelModules,
+            machine.now(),
+        ));
+        for (_, proc_fact) in visible.iter() {
+            let Some(p) = machine.kernel().process(proc_fact.pid) else {
+                continue;
+            };
+            for m in &p.kernel_modules {
+                snap.meta.io.record_entries(1);
+                snap.insert(
+                    module_key(p.pid, &m.name.to_win32_lossy()),
+                    ModuleFact {
+                        pid: p.pid,
+                        process_name: proc_fact.image_name.clone(),
+                        module: m.name.to_win32_lossy(),
+                        path: m.path.to_win32_lossy(),
+                    },
+                );
+            }
+        }
+        snap
+    }
+
+    /// Diffs module snapshots.
+    pub fn diff_modules(
+        &self,
+        truth: &Snapshot<ModuleFact>,
+        lie: &Snapshot<ModuleFact>,
+    ) -> DiffReport {
+        cross_view_diff(truth, lie, |key, fact: &ModuleFact| Detection {
+            kind: ResourceKind::Module,
+            identity: key.to_string(),
+            detail: format!(
+                "{} hidden inside {} {}",
+                fact.module, fact.pid, fact.process_name
+            ),
+            category: None,
+            noise: NoiseClass::Suspicious,
+        })
+    }
+
+    /// One-call inside-the-box hidden-module detection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan failures.
+    pub fn scan_modules_inside(
+        &self,
+        machine: &Machine,
+        ctx: &CallContext,
+    ) -> Result<DiffReport, NtStatus> {
+        let lie = self.high_module_scan(machine, ctx, ChainEntry::Win32)?;
+        let visible = self.high_scan(machine, ctx, ChainEntry::Win32)?;
+        let truth = self.low_module_scan(machine, &visible);
+        Ok(self.diff_modules(&truth, &lie))
+    }
+}
+
+fn module_key(pid: Pid, module: &str) -> String {
+    format!("pid:{}|{}", pid.0, module.to_ascii_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strider_ghostware::{Berbew, Fu, Ghostware, HackerDefender, Vanquish};
+    use strider_kernel::MemoryDump;
+
+    fn gb_ctx(machine: &mut Machine) -> CallContext {
+        machine
+            .ensure_process("ghostbuster.exe", "C:\\ghostbuster.exe")
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_machine_zero_findings_both_modes() {
+        let mut m = Machine::with_base_system("clean").unwrap();
+        let ctx = gb_ctx(&mut m);
+        let s = ProcessScanner::new();
+        for advanced in [None, Some(AdvancedSource::ThreadTable), Some(AdvancedSource::HandleTable)]
+        {
+            let report = s.scan_inside(&m, &ctx, advanced).unwrap();
+            assert!(!report.has_detections(), "{advanced:?}: {report}");
+        }
+    }
+
+    #[test]
+    fn api_hiders_caught_by_normal_mode() {
+        for sample in [
+            Box::new(HackerDefender::default()) as Box<dyn Ghostware>,
+            Box::new(Berbew::default()),
+        ] {
+            let mut m = Machine::with_base_system("victim").unwrap();
+            let inf = sample.infect(&mut m).unwrap();
+            let ctx = gb_ctx(&mut m);
+            let report = ProcessScanner::new().scan_inside(&m, &ctx, None).unwrap();
+            for name in &inf.hidden_process_names {
+                assert!(
+                    report.net_detections().iter().any(|d| d.detail.contains(name)),
+                    "{} missed {name}",
+                    inf.ghostware
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fu_requires_advanced_mode() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        Fu::default().infect(&mut m).unwrap();
+        let ctx = gb_ctx(&mut m);
+        let s = ProcessScanner::new();
+        let normal = s.scan_inside(&m, &ctx, None).unwrap();
+        assert!(
+            !normal.has_detections(),
+            "normal mode cannot see DKOM: {normal}"
+        );
+        for source in [AdvancedSource::ThreadTable, AdvancedSource::HandleTable] {
+            let advanced = s.scan_inside(&m, &ctx, Some(source)).unwrap();
+            assert!(
+                advanced
+                    .net_detections()
+                    .iter()
+                    .any(|d| d.detail.contains("fu_payload.exe")),
+                "{source:?} must reveal the DKOM-hidden process"
+            );
+        }
+    }
+
+    #[test]
+    fn vanquish_module_hiding_detected_in_many_processes() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        let inf = Vanquish::default().infect(&mut m).unwrap();
+        let ctx = gb_ctx(&mut m);
+        let report = ProcessScanner::new().scan_modules_inside(&m, &ctx).unwrap();
+        let vanquish_hits = report
+            .net_detections()
+            .iter()
+            .filter(|d| d.detail.contains("vanquish.dll"))
+            .count();
+        assert_eq!(vanquish_hits, inf.hidden_module_names.len());
+        assert!(vanquish_hits >= 6, "many such entries, as in the paper");
+    }
+
+    #[test]
+    fn clean_module_scan_is_silent() {
+        let mut m = Machine::with_base_system("clean").unwrap();
+        let ctx = gb_ctx(&mut m);
+        let report = ProcessScanner::new().scan_modules_inside(&m, &ctx).unwrap();
+        assert!(!report.has_detections(), "{report}");
+    }
+
+    #[test]
+    fn outside_dump_scan_detects_dkom_with_advanced_parse() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        Fu::default().infect(&mut m).unwrap();
+        let ctx = gb_ctx(&mut m);
+        let s = ProcessScanner::new();
+        let lie = s.high_scan(&m, &ctx, ChainEntry::Win32).unwrap();
+        let dump = MemoryDump::parse(&m.kernel().crash_dump()).unwrap();
+        let normal = s.diff(&s.outside_scan(&dump, false), &lie);
+        assert!(!normal.has_detections(), "APL in the dump is also doctored");
+        let advanced = s.diff(&s.outside_scan(&dump, true), &lie);
+        assert!(advanced
+            .net_detections()
+            .iter()
+            .any(|d| d.detail.contains("fu_payload.exe")));
+    }
+
+    #[test]
+    fn dump_scrubbing_defeats_even_the_outside_dump_scan() {
+        // The paper's caveat: a future ghostware trapping the blue screen
+        // makes the dump a truth approximation too.
+        let mut m = Machine::with_base_system("victim").unwrap();
+        Fu::default().infect(&mut m).unwrap();
+        let pid = m.kernel().find_by_name("fu_payload.exe")[0];
+        m.kernel_mut().register_dump_scrubber(strider_kernel::DumpScrub {
+            pids: vec![pid],
+            module_names: Vec::new(),
+        });
+        let ctx = gb_ctx(&mut m);
+        let s = ProcessScanner::new();
+        let lie = s.high_scan(&m, &ctx, ChainEntry::Win32).unwrap();
+        let dump = MemoryDump::parse(&m.kernel().crash_dump()).unwrap();
+        let advanced = s.diff(&s.outside_scan(&dump, true), &lie);
+        assert!(
+            !advanced
+                .net_detections()
+                .iter()
+                .any(|d| d.detail.contains("fu_payload.exe")),
+            "scrubbed dump hides the process"
+        );
+    }
+}

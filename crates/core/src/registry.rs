@@ -1,0 +1,606 @@
+//! Hidden-ASEP and hidden-Registry detection (paper, Section 3).
+
+use crate::diff::cross_view_diff;
+use crate::report::{Detection, DiffReport, NoiseClass, ResourceKind};
+use crate::snapshot::{HookFact, ScanMeta, Snapshot, ViewKind};
+use std::cell::RefCell;
+use std::rc::Rc;
+use strider_hive::prelude::{AsepHook, AsepLocation, KeyView, ViewedValue};
+use strider_hive::{asep, RawHive};
+use strider_nt_core::{IoStats, NtPath, NtStatus, NtString};
+use strider_winapi::{CallContext, ChainEntry, DiskImage, Machine, Query, Row};
+
+/// How the outside-the-box Registry scan reads the hive files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutsideRegistryMode {
+    /// Mount the hive files under the clean OS and scan with the ordinary
+    /// Win32 APIs (the paper's flow): corrupt records and NUL-embedded names
+    /// are invisible here too.
+    MountedWin32,
+    /// Parse the raw bytes with the forensic parser: everything visible.
+    RawParse,
+}
+
+/// A [`KeyView`] over the machine's live query chain — the high-level scan.
+struct ApiKeyView<'a> {
+    machine: &'a Machine,
+    ctx: &'a CallContext,
+    entry: ChainEntry,
+    path: NtPath,
+    io: Rc<RefCell<IoStats>>,
+}
+
+impl<'a> ApiKeyView<'a> {
+    fn query(&self, query: Query) -> Vec<Row> {
+        let mut io = self.io.borrow_mut();
+        io.record_api_call();
+        let rows = self.machine.query(self.ctx, &query, self.entry).unwrap_or_default();
+        io.record_entries(rows.len() as u64);
+        rows
+    }
+}
+
+impl<'a> KeyView for ApiKeyView<'a> {
+    fn subkey(&self, name: &NtString) -> Option<Self> {
+        self.subkeys()
+            .into_iter()
+            .find(|(n, _)| n.eq_ignore_case(name))
+            .map(|(_, v)| v)
+    }
+
+    fn subkeys(&self) -> Vec<(NtString, Self)> {
+        self.query(Query::RegEnumKeys {
+            key: self.path.clone(),
+        })
+        .into_iter()
+        .filter_map(|row| match row {
+            Row::RegKey(k) => Some((
+                k.name.clone(),
+                ApiKeyView {
+                    machine: self.machine,
+                    ctx: self.ctx,
+                    entry: self.entry,
+                    path: self.path.join(k.name),
+                    io: Rc::clone(&self.io),
+                },
+            )),
+            _ => None,
+        })
+        .collect()
+    }
+
+    fn values(&self) -> Vec<ViewedValue> {
+        self.query(Query::RegEnumValues {
+            key: self.path.clone(),
+        })
+        .into_iter()
+        .filter_map(|row| match row {
+            Row::RegValue(v) => Some(ViewedValue {
+                name: v.name,
+                target: v.data,
+                corrupt: false,
+            }),
+            _ => None,
+        })
+        .collect()
+    }
+
+    fn render_name(&self, name: &NtString) -> String {
+        match self.entry {
+            ChainEntry::Win32 => name.to_win32_lossy(),
+            ChainEntry::Native => name.to_display_string(),
+        }
+    }
+}
+
+/// A Win32 lens over raw parsed hives: what mounting the files under a clean
+/// OS shows (corrupt records dropped, names truncated at `NUL`s).
+struct Win32OverRaw<'a>(asep::RawKeyView<'a>);
+
+impl<'a> KeyView for Win32OverRaw<'a> {
+    fn subkey(&self, name: &NtString) -> Option<Self> {
+        self.0.subkey(name).map(Win32OverRaw)
+    }
+
+    fn subkeys(&self) -> Vec<(NtString, Self)> {
+        self.0
+            .subkeys()
+            .into_iter()
+            .map(|(n, v)| (n, Win32OverRaw(v)))
+            .collect()
+    }
+
+    fn values(&self) -> Vec<ViewedValue> {
+        self.0.values().into_iter().filter(|v| !v.corrupt).collect()
+    }
+
+    fn render_name(&self, name: &NtString) -> String {
+        name.to_win32_lossy()
+    }
+}
+
+/// The hidden-ASEP scanner.
+#[derive(Debug, Clone)]
+pub struct RegistryScanner {
+    catalog: Vec<AsepLocation>,
+}
+
+impl Default for RegistryScanner {
+    fn default() -> Self {
+        Self {
+            catalog: asep::catalog(),
+        }
+    }
+}
+
+impl RegistryScanner {
+    /// Creates a scanner over the standard ASEP catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The catalog in use.
+    pub fn catalog(&self) -> &[AsepLocation] {
+        &self.catalog
+    }
+
+    /// The high-level scan: extract every ASEP hook through the (possibly
+    /// hooked) Registry enumeration APIs.
+    pub fn high_scan(
+        &self,
+        machine: &Machine,
+        ctx: &CallContext,
+        entry: ChainEntry,
+    ) -> Snapshot<HookFact> {
+        let view = match entry {
+            ChainEntry::Win32 => ViewKind::HighLevelWin32,
+            ChainEntry::Native => ViewKind::HighLevelNative,
+        };
+        let io = Rc::new(RefCell::new(IoStats::default()));
+        let hooks = asep::extract_hooks_with(
+            |path| {
+                // The key must be enumerable for the view to exist.
+                machine
+                    .query(ctx, &Query::RegEnumValues { key: path.clone() }, entry)
+                    .ok()
+                    .map(|_| ApiKeyView {
+                        machine,
+                        ctx,
+                        entry,
+                        path: path.clone(),
+                        io: Rc::clone(&io),
+                    })
+            },
+            &self.catalog,
+        );
+        let mut snap = Snapshot::new(ScanMeta::new(view, machine.now()));
+        snap.meta.io = *io.borrow();
+        for hook in hooks {
+            snap.insert(hook.identity(), hook);
+        }
+        snap
+    }
+
+    /// The low-level inside-the-box scan: copy each hive's bytes (a step
+    /// privileged ghostware may tamper with) and parse them with the
+    /// forensic parser.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a hive copy does not parse.
+    pub fn low_scan(&self, machine: &Machine) -> Result<Snapshot<HookFact>, NtStatus> {
+        let mut parsed = Vec::new();
+        let mut io = IoStats::default();
+        for hive in machine.registry().hives() {
+            let mount = hive.mount().clone();
+            let bytes = machine
+                .copy_hive_bytes(&mount)
+                .ok_or(NtStatus::ObjectNameNotFound)?;
+            io.record_sequential(bytes.len() as u64);
+            let raw = RawHive::parse(&bytes)
+                .map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
+            parsed.push((mount, raw));
+        }
+        let hooks = asep::extract_raw(&parsed, &self.catalog);
+        let mut snap = Snapshot::new(ScanMeta::new(ViewKind::LowLevelHiveParse, machine.now()));
+        snap.meta.io = io;
+        snap.meta.io.record_entries(hooks.len() as u64);
+        for hook in hooks {
+            snap.insert(hook.identity(), hook);
+        }
+        Ok(snap)
+    }
+
+    /// The outside-the-box scan over a captured disk image.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a hive image does not parse.
+    pub fn outside_scan(
+        &self,
+        image: &DiskImage,
+        mode: OutsideRegistryMode,
+    ) -> Result<Snapshot<HookFact>, NtStatus> {
+        let mut parsed = Vec::new();
+        let mut io = IoStats::default();
+        for (mount, bytes) in &image.hives {
+            io.record_sequential(bytes.len() as u64);
+            let raw = RawHive::parse(bytes)
+                .map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
+            parsed.push((mount.clone(), raw));
+        }
+        let hooks = match mode {
+            OutsideRegistryMode::RawParse => asep::extract_raw(&parsed, &self.catalog),
+            OutsideRegistryMode::MountedWin32 => asep::extract_hooks_with(
+                |path| {
+                    let (mount, raw) = parsed
+                        .iter()
+                        .filter(|(m, _)| path.starts_with(m))
+                        .max_by_key(|(m, _)| m.components().len())?;
+                    let rel = path.components()[mount.components().len()..].to_vec();
+                    raw.descend(&rel)
+                        .map(|k| Win32OverRaw(asep::RawKeyView(k)))
+                },
+                &self.catalog,
+            ),
+        };
+        let view = match mode {
+            OutsideRegistryMode::RawParse => ViewKind::OutsideDisk,
+            OutsideRegistryMode::MountedWin32 => ViewKind::OutsideMountedHives,
+        };
+        let mut snap = Snapshot::new(ScanMeta::new(view, image.taken_at));
+        snap.meta.io = io;
+        for hook in hooks {
+            snap.insert(hook.identity(), hook);
+        }
+        Ok(snap)
+    }
+
+    /// Diffs hook snapshots, classifying corrupt-record findings as the
+    /// paper's Registry false positive.
+    pub fn diff(&self, truth: &Snapshot<HookFact>, lie: &Snapshot<HookFact>) -> DiffReport {
+        cross_view_diff(truth, lie, |key, hook: &AsepHook| Detection {
+            kind: ResourceKind::AsepHook,
+            identity: key.to_string(),
+            detail: hook.to_string(),
+            category: None,
+            noise: if hook.corrupt {
+                NoiseClass::LikelyCorruption
+            } else {
+                NoiseClass::Suspicious
+            },
+        })
+    }
+
+    /// One-call inside-the-box hidden-ASEP detection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan failures.
+    pub fn scan_inside(
+        &self,
+        machine: &Machine,
+        ctx: &CallContext,
+    ) -> Result<DiffReport, NtStatus> {
+        let lie = self.high_scan(machine, ctx, ChainEntry::Win32);
+        let truth = self.low_scan(machine)?;
+        Ok(self.diff(&truth, &lie))
+    }
+
+    // ------------------------------------------------------------------
+    // Full-tree scans: hidden keys/values anywhere, not just ASEPs
+    // ------------------------------------------------------------------
+
+    /// The full-tree high-level scan: every key and value in every hive,
+    /// enumerated through the API chain. Slower than the ASEP scan (the
+    /// paper's 18–63 s vs minutes trade-off) but catches hiding outside
+    /// the auto-start catalog.
+    pub fn full_high_scan(
+        &self,
+        machine: &Machine,
+        ctx: &CallContext,
+        entry: ChainEntry,
+    ) -> Snapshot<String> {
+        let view = match entry {
+            ChainEntry::Win32 => ViewKind::HighLevelWin32,
+            ChainEntry::Native => ViewKind::HighLevelNative,
+        };
+        let io = Rc::new(RefCell::new(IoStats::default()));
+        let mut snap = Snapshot::new(ScanMeta::new(view, machine.now()));
+        for hive in machine.registry().hives() {
+            let root = ApiKeyView {
+                machine,
+                ctx,
+                entry,
+                path: hive.mount().clone(),
+                io: Rc::clone(&io),
+            };
+            walk_key_view(&root, &hive.mount().to_string().to_ascii_lowercase(), &mut snap);
+        }
+        snap.meta.io = *io.borrow();
+        snap
+    }
+
+    /// The full-tree low-level scan over copied hive bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a hive copy does not parse.
+    pub fn full_low_scan(&self, machine: &Machine) -> Result<Snapshot<String>, NtStatus> {
+        let mut snap = Snapshot::new(ScanMeta::new(ViewKind::LowLevelHiveParse, machine.now()));
+        for hive in machine.registry().hives() {
+            let mount = hive.mount().clone();
+            let bytes = machine
+                .copy_hive_bytes(&mount)
+                .ok_or(NtStatus::ObjectNameNotFound)?;
+            snap.meta.io.record_sequential(bytes.len() as u64);
+            let raw = RawHive::parse(&bytes)
+                .map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
+            let root = asep::RawKeyView(raw.root());
+            walk_key_view(&root, &mount.to_string().to_ascii_lowercase(), &mut snap);
+        }
+        Ok(snap)
+    }
+
+    /// Diffs full-tree snapshots into a report.
+    pub fn diff_full(&self, truth: &Snapshot<String>, lie: &Snapshot<String>) -> DiffReport {
+        cross_view_diff(truth, lie, |key, display: &String| Detection {
+            kind: ResourceKind::AsepHook,
+            identity: key.to_string(),
+            detail: display.clone(),
+            category: None,
+            noise: NoiseClass::Suspicious,
+        })
+    }
+
+    /// One-call inside-the-box full-Registry hidden-key/value detection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan failures.
+    pub fn scan_full_inside(
+        &self,
+        machine: &Machine,
+        ctx: &CallContext,
+    ) -> Result<DiffReport, NtStatus> {
+        let lie = self.full_high_scan(machine, ctx, ChainEntry::Win32);
+        let truth = self.full_low_scan(machine)?;
+        Ok(self.diff_full(&truth, &lie))
+    }
+}
+
+/// Walks a [`KeyView`] tree, recording one fact per key and per value.
+fn walk_key_view<V: KeyView>(view: &V, path_key: &str, snap: &mut Snapshot<String>) {
+    snap.meta.io.record_entries(1);
+    for value in view.values() {
+        let rendered = view.render_name(&value.name);
+        snap.insert(
+            format!("val:{path_key}|{}|{}", rendered.to_ascii_lowercase(), value.target.to_ascii_lowercase()),
+            format!("{path_key}\\{rendered} = {}", value.target),
+        );
+    }
+    for (name, sub) in view.subkeys() {
+        let rendered = view.render_name(&name);
+        let child_key = format!("{path_key}\\{}", rendered.to_ascii_lowercase());
+        snap.insert(format!("key:{child_key}"), child_key.clone());
+        walk_key_view(&sub, &child_key, snap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strider_ghostware::{Ghostware, HackerDefender, ProBotSe, Urbin, Vanquish};
+    use strider_hive::{Value, ValueData};
+
+    fn gb_ctx(machine: &mut Machine) -> CallContext {
+        machine
+            .ensure_process("ghostbuster.exe", "C:\\ghostbuster.exe")
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_machine_has_zero_hook_findings() {
+        let mut m = Machine::with_base_system("clean").unwrap();
+        let ctx = gb_ctx(&mut m);
+        let report = RegistryScanner::new().scan_inside(&m, &ctx).unwrap();
+        assert!(!report.has_detections(), "{report}");
+    }
+
+    #[test]
+    fn hxdef_service_hooks_detected() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        HackerDefender::default().infect(&mut m).unwrap();
+        let ctx = gb_ctx(&mut m);
+        let report = RegistryScanner::new().scan_inside(&m, &ctx).unwrap();
+        let details: Vec<&str> = report
+            .net_detections()
+            .iter()
+            .map(|d| d.detail.as_str())
+            .collect();
+        assert!(details.iter().any(|d| d.contains("HackerDefender100")));
+        assert!(details.iter().any(|d| d.contains("HackerDefenderDrv100")));
+    }
+
+    #[test]
+    fn urbin_appinit_scrub_detected() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        Urbin.infect(&mut m).unwrap();
+        let ctx = gb_ctx(&mut m);
+        let report = RegistryScanner::new().scan_inside(&m, &ctx).unwrap();
+        assert!(report
+            .net_detections()
+            .iter()
+            .any(|d| d.detail.contains("msvsres.dll")));
+    }
+
+    #[test]
+    fn probot_three_hooks_detected() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        let inf = ProBotSe::default().infect(&mut m).unwrap();
+        let ctx = gb_ctx(&mut m);
+        let report = RegistryScanner::new().scan_inside(&m, &ctx).unwrap();
+        assert_eq!(report.net_detections().len(), inf.hidden_asep_entries.len());
+    }
+
+    #[test]
+    fn vanquish_service_hook_detected() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        Vanquish::default().infect(&mut m).unwrap();
+        let ctx = gb_ctx(&mut m);
+        let report = RegistryScanner::new().scan_inside(&m, &ctx).unwrap();
+        assert!(report
+            .net_detections()
+            .iter()
+            .any(|d| d.detail.contains("vanquish.exe")));
+    }
+
+    #[test]
+    fn corrupt_appinit_value_is_classified_as_corruption_fp() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        let win: NtPath = "HKLM\\SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion\\Windows"
+            .parse()
+            .unwrap();
+        let mut v = Value::new("AppInit_DLLs", ValueData::sz("stale-garbage.dll"));
+        v.corrupt_data = true;
+        m.registry_mut().set_value_raw(&win, v).unwrap();
+        let ctx = gb_ctx(&mut m);
+        let report = RegistryScanner::new().scan_inside(&m, &ctx).unwrap();
+        assert!(report.net_detections().is_empty());
+        let noise = report.noise_detections();
+        assert_eq!(noise.len(), 1);
+        assert_eq!(noise[0].noise, NoiseClass::LikelyCorruption);
+    }
+
+    #[test]
+    fn outside_mounted_win32_matches_high_scan_on_clean_machine() {
+        let mut m = Machine::with_base_system("clean").unwrap();
+        let ctx = gb_ctx(&mut m);
+        let s = RegistryScanner::new();
+        let lie = s.high_scan(&m, &ctx, ChainEntry::Win32);
+        let image = m.snapshot_disk().unwrap();
+        let truth = s
+            .outside_scan(&image, OutsideRegistryMode::MountedWin32)
+            .unwrap();
+        let report = s.diff(&truth, &lie);
+        assert!(!report.has_detections(), "{report}");
+        assert!(report.phantom_in_lie.is_empty());
+    }
+
+    #[test]
+    fn outside_scan_detects_hxdef_hooks() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        HackerDefender::default().infect(&mut m).unwrap();
+        let ctx = gb_ctx(&mut m);
+        let s = RegistryScanner::new();
+        let lie = s.high_scan(&m, &ctx, ChainEntry::Win32);
+        let image = m.snapshot_disk().unwrap();
+        for mode in [OutsideRegistryMode::MountedWin32, OutsideRegistryMode::RawParse] {
+            let truth = s.outside_scan(&image, mode).unwrap();
+            let report = s.diff(&truth, &lie);
+            assert!(
+                report
+                    .net_detections()
+                    .iter()
+                    .any(|d| d.detail.contains("HackerDefender100")),
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nul_name_hiding_detected_by_raw_but_not_mounted_outside() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        let run: NtPath = "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run"
+            .parse()
+            .unwrap();
+        let mut units: Vec<u16> = "svc".encode_utf16().collect();
+        units.push(0);
+        units.extend("2".encode_utf16());
+        m.registry_mut()
+            .set_value_raw(
+                &run,
+                Value::new(NtString::from_units(&units), ValueData::sz("evil.exe")),
+            )
+            .unwrap();
+        let ctx = gb_ctx(&mut m);
+        let s = RegistryScanner::new();
+        let lie = s.high_scan(&m, &ctx, ChainEntry::Win32);
+
+        // Inside low-level raw parse sees the counted name.
+        let truth = s.low_scan(&m).unwrap();
+        let report = s.diff(&truth, &lie);
+        assert!(report
+            .net_detections()
+            .iter()
+            .any(|d| d.detail.contains("svc\\02") || d.detail.contains("svc\\0")));
+
+        // Mounted-Win32 outside scan truncates identically to the lie: the
+        // documented blind spot of that mode.
+        let image = m.snapshot_disk().unwrap();
+        let mounted = s
+            .outside_scan(&image, OutsideRegistryMode::MountedWin32)
+            .unwrap();
+        let report = s.diff(&mounted, &lie);
+        assert!(!report.has_detections());
+    }
+
+    #[test]
+    fn full_scan_catches_hidden_keys_outside_the_asep_catalog() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        HackerDefender::default().infect(&mut m).unwrap();
+        // A configuration key far from any ASEP, hidden by the same detour.
+        let cfg: NtPath = "HKLM\\SOFTWARE\\HackerDefenderCfg\\Settings".parse().unwrap();
+        m.registry_mut().create_key(&cfg).unwrap();
+        let ctx = gb_ctx(&mut m);
+        let s = RegistryScanner::new();
+        // The ASEP scan does not cover it.
+        let asep_report = s.scan_inside(&m, &ctx).unwrap();
+        assert!(!asep_report
+            .net_detections()
+            .iter()
+            .any(|d| d.detail.contains("hackerdefendercfg")));
+        // The full-tree scan does.
+        let full = s.scan_full_inside(&m, &ctx).unwrap();
+        assert!(
+            full.net_detections()
+                .iter()
+                .any(|d| d.detail.contains("hackerdefendercfg")),
+            "{full}"
+        );
+    }
+
+    #[test]
+    fn full_scan_is_silent_on_clean_machines() {
+        let mut m = Machine::with_base_system("clean").unwrap();
+        let ctx = gb_ctx(&mut m);
+        let report = RegistryScanner::new().scan_full_inside(&m, &ctx).unwrap();
+        assert!(!report.has_detections(), "{report}");
+        assert!(report.phantom_in_lie.is_empty());
+    }
+
+    #[test]
+    fn full_scan_detects_scrubbed_value_data() {
+        // Urbin leaves the AppInit value visible but scrubs its data; the
+        // full scan keys on (name, data) so the mismatch surfaces.
+        let mut m = Machine::with_base_system("victim").unwrap();
+        Urbin.infect(&mut m).unwrap();
+        let ctx = gb_ctx(&mut m);
+        let report = RegistryScanner::new().scan_full_inside(&m, &ctx).unwrap();
+        assert!(report
+            .net_detections()
+            .iter()
+            .any(|d| d.detail.contains("msvsres.dll")));
+    }
+
+    #[test]
+    fn registry_io_stats_recorded() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        let ctx = gb_ctx(&mut m);
+        let s = RegistryScanner::new();
+        let high = s.high_scan(&m, &ctx, ChainEntry::Win32);
+        assert!(high.meta.io.api_calls > 5);
+        let low = s.low_scan(&m).unwrap();
+        assert!(low.meta.io.bytes_read > 100);
+    }
+}

@@ -1,0 +1,228 @@
+//! Scan snapshots: what a view saw, when, and at what I/O cost.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use strider_nt_core::{IoStats, Pid, Tick};
+
+/// Which view produced a snapshot — the axis of the cross-view diff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViewKind {
+    /// High-level scan through the Win32 APIs (`dir /s`, RegEdit, Task
+    /// Manager). The ghostware's preferred audience: "the lie".
+    HighLevelWin32,
+    /// High-level scan through the native NtDll APIs (tlist-style).
+    HighLevelNative,
+    /// Low-level inside-the-box scan: raw MFT parse.
+    LowLevelMft,
+    /// Low-level inside-the-box scan: raw hive-file parse.
+    LowLevelHiveParse,
+    /// Low-level inside-the-box scan: Active Process List traversal by a
+    /// driver. A truth *approximation*: DKOM beats it.
+    LowLevelApl,
+    /// Advanced-mode low-level scan: scheduler thread-table traversal.
+    LowLevelThreadTable,
+    /// Advanced-mode low-level scan: subsystem handle-table traversal.
+    LowLevelHandleTable,
+    /// Low-level module truth: the kernel's mapped-image lists.
+    LowLevelKernelModules,
+    /// Outside-the-box scan of a disk image from a clean (WinPE) boot.
+    OutsideDisk,
+    /// Outside-the-box scan of hive files mounted under a clean OS.
+    OutsideMountedHives,
+    /// Outside-the-box scan of a crash-dump memory image.
+    OutsideDump,
+}
+
+impl ViewKind {
+    /// Whether this view is "the truth side" relative to a high-level scan.
+    pub fn is_truth_side(self) -> bool {
+        !matches!(self, ViewKind::HighLevelWin32 | ViewKind::HighLevelNative)
+    }
+}
+
+impl fmt::Display for ViewKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViewKind::HighLevelWin32 => "high-level (Win32)",
+            ViewKind::HighLevelNative => "high-level (native)",
+            ViewKind::LowLevelMft => "low-level (MFT parse)",
+            ViewKind::LowLevelHiveParse => "low-level (raw hive parse)",
+            ViewKind::LowLevelApl => "low-level (Active Process List)",
+            ViewKind::LowLevelThreadTable => "advanced (thread table)",
+            ViewKind::LowLevelHandleTable => "advanced (handle table)",
+            ViewKind::LowLevelKernelModules => "low-level (kernel module lists)",
+            ViewKind::OutsideDisk => "outside (clean-boot disk scan)",
+            ViewKind::OutsideMountedHives => "outside (mounted hives)",
+            ViewKind::OutsideDump => "outside (memory dump)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Metadata common to every snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanMeta {
+    /// The producing view.
+    pub view: ViewKind,
+    /// Logical time the snapshot was taken.
+    pub taken_at: Tick,
+    /// Accumulated I/O work (feeds the cost model).
+    pub io: IoStats,
+}
+
+impl ScanMeta {
+    /// Creates metadata for a view at a time.
+    pub fn new(view: ViewKind, taken_at: Tick) -> Self {
+        Self {
+            view,
+            taken_at,
+            io: IoStats::default(),
+        }
+    }
+}
+
+/// A snapshot of keyed facts: the unit the diff engine consumes.
+///
+/// Keys are view-independent identities (case-folded paths, hook
+/// identities, pids); values are display facts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot<T> {
+    /// Scan metadata.
+    pub meta: ScanMeta,
+    facts: BTreeMap<String, T>,
+}
+
+impl<T> Snapshot<T> {
+    /// Creates an empty snapshot.
+    pub fn new(meta: ScanMeta) -> Self {
+        Self {
+            meta,
+            facts: BTreeMap::new(),
+        }
+    }
+
+    /// Inserts a fact under its identity key. Last write wins, as with
+    /// repeated directory entries in a rescan.
+    pub fn insert(&mut self, key: String, fact: T) {
+        self.facts.insert(key, fact);
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Whether an identity is present.
+    pub fn contains(&self, key: &str) -> bool {
+        self.facts.contains_key(key)
+    }
+
+    /// Fetches a fact by identity.
+    pub fn get(&self, key: &str) -> Option<&T> {
+        self.facts.get(key)
+    }
+
+    /// Iterates `(identity, fact)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &T)> {
+        self.facts.iter()
+    }
+}
+
+/// A file or directory fact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileFact {
+    /// Display path.
+    pub path: String,
+    /// Whether the entry is a directory.
+    pub is_dir: bool,
+    /// Data size in bytes.
+    pub size: u64,
+    /// Creation tick, when the view knows it.
+    pub created: Option<Tick>,
+}
+
+/// An ASEP-hook fact (re-exported identity lives on the hook itself).
+pub type HookFact = strider_hive::prelude::AsepHook;
+
+/// A process fact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessFact {
+    /// Process id.
+    pub pid: Pid,
+    /// Image name.
+    pub image_name: String,
+    /// Image path, when the view knows it.
+    pub image_path: String,
+}
+
+/// A loaded-module fact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModuleFact {
+    /// The process the module is loaded in.
+    pub pid: Pid,
+    /// The hosting process's image name.
+    pub process_name: String,
+    /// Module name.
+    pub module: String,
+    /// Module path.
+    pub path: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_basics() {
+        let mut s: Snapshot<FileFact> =
+            Snapshot::new(ScanMeta::new(ViewKind::HighLevelWin32, Tick(3)));
+        assert!(s.is_empty());
+        s.insert(
+            "c:\\a".into(),
+            FileFact {
+                path: "C:\\a".into(),
+                is_dir: false,
+                size: 1,
+                created: None,
+            },
+        );
+        assert_eq!(s.len(), 1);
+        assert!(s.contains("c:\\a"));
+        assert!(s.get("c:\\a").is_some());
+        assert_eq!(s.meta.taken_at, Tick(3));
+    }
+
+    #[test]
+    fn truth_side_classification() {
+        assert!(!ViewKind::HighLevelWin32.is_truth_side());
+        assert!(!ViewKind::HighLevelNative.is_truth_side());
+        assert!(ViewKind::LowLevelMft.is_truth_side());
+        assert!(ViewKind::OutsideDump.is_truth_side());
+    }
+
+    #[test]
+    fn view_display_names_are_distinct() {
+        use std::collections::HashSet;
+        let all = [
+            ViewKind::HighLevelWin32,
+            ViewKind::HighLevelNative,
+            ViewKind::LowLevelMft,
+            ViewKind::LowLevelHiveParse,
+            ViewKind::LowLevelApl,
+            ViewKind::LowLevelThreadTable,
+            ViewKind::LowLevelHandleTable,
+            ViewKind::LowLevelKernelModules,
+            ViewKind::OutsideDisk,
+            ViewKind::OutsideMountedHives,
+            ViewKind::OutsideDump,
+        ];
+        let names: HashSet<String> = all.iter().map(|v| v.to_string()).collect();
+        assert_eq!(names.len(), all.len());
+    }
+}

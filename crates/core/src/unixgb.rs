@@ -1,0 +1,228 @@
+//! GhostBuster for Linux/Unix (paper, Section 5).
+//!
+//! The same cross-view framework on the Unix substrate:
+//!
+//! * **inside-the-box**: `ls` versus direct-`getdents` globbing (`echo *`) —
+//!   the Brumley check, which exposes trojaned `ls` binaries (T0rnkit);
+//! * **outside-the-box**: the recursive `ls` scan versus a clean scan of
+//!   the same partitions from a bootable CD — which additionally exposes
+//!   LKM-based syscall interception, since the clean kernel runs no LKM.
+
+use crate::report::{NoiseClass, NoiseFilter};
+use strider_unixfs::UnixMachine;
+
+/// One Unix finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnixDetection {
+    /// The hidden absolute path.
+    pub path: String,
+    /// Noise verdict.
+    pub noise: NoiseClass,
+}
+
+/// A Unix cross-view report.
+#[derive(Debug, Clone, Default)]
+pub struct UnixReport {
+    /// All findings.
+    pub detections: Vec<UnixDetection>,
+}
+
+impl UnixReport {
+    /// Suspicious findings after noise classification.
+    pub fn net_detections(&self) -> Vec<&UnixDetection> {
+        self.detections
+            .iter()
+            .filter(|d| d.noise == NoiseClass::Suspicious)
+            .collect()
+    }
+
+    /// Noise-classified findings (daemon temp/log files).
+    pub fn noise_detections(&self) -> Vec<&UnixDetection> {
+        self.detections
+            .iter()
+            .filter(|d| d.noise != NoiseClass::Suspicious)
+            .collect()
+    }
+
+    /// Whether anything suspicious remains.
+    pub fn is_infected(&self) -> bool {
+        !self.net_detections().is_empty()
+    }
+}
+
+/// The Unix detector.
+#[derive(Debug, Clone, Default)]
+pub struct UnixGhostBuster {
+    noise: NoiseFilter,
+}
+
+impl UnixGhostBuster {
+    /// Creates a detector with the standard noise filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn build_report(&self, truth: &[String], lie: &[String]) -> UnixReport {
+        let mut detections = Vec::new();
+        for path in truth {
+            if !lie.contains(path) {
+                detections.push(UnixDetection {
+                    path: path.clone(),
+                    noise: self.noise.classify_path(path),
+                });
+            }
+        }
+        UnixReport { detections }
+    }
+
+    /// The inside-the-box check: `ls` output versus direct-syscall globbing.
+    /// Exposes trojaned `ls` binaries; an LKM lies to both views.
+    pub fn inside_diff(&self, machine: &UnixMachine) -> UnixReport {
+        let lie = machine.ls_scan_all();
+        let truth = machine.glob_scan_all();
+        self.build_report(&truth, &lie)
+    }
+
+    /// The outside-the-box check: the inside `ls` scan versus the clean-boot
+    /// scan of the same partitions. Exposes both LKM and trojan hiding; any
+    /// daemon churn between the two scans shows up as classified noise.
+    pub fn outside_diff(&self, machine: &UnixMachine, lie: &[String]) -> UnixReport {
+        let truth = machine.offline_scan();
+        self.build_report(&truth, lie)
+    }
+}
+
+/// A Tripwire-style binary-integrity baseline for Unix: compares utility
+/// binaries against known-good contents. Catches utility-replacement
+/// rootkits (T0rnkit) but not LKM interception, which never touches the
+/// binaries — the mechanism-vs-behaviour trade-off again.
+#[derive(Debug, Clone, Default)]
+pub struct UnixBinaryIntegrity {
+    known_good: Vec<(String, Vec<u8>)>,
+}
+
+impl UnixBinaryIntegrity {
+    /// Creates an empty baseline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the current contents of the given binaries as known-good.
+    pub fn baseline(machine: &UnixMachine, paths: &[&str]) -> Self {
+        let known_good = paths
+            .iter()
+            .filter_map(|p| {
+                machine
+                    .fs()
+                    .read(p)
+                    .ok()
+                    .map(|data| (p.to_string(), data.to_vec()))
+            })
+            .collect();
+        Self { known_good }
+    }
+
+    /// Binaries whose contents no longer match the baseline.
+    pub fn modified_binaries(&self, machine: &UnixMachine) -> Vec<String> {
+        self.known_good
+            .iter()
+            .filter(|(path, good)| machine.fs().read(path).map(|d| d != good.as_slice()).unwrap_or(true))
+            .map(|(path, _)| path.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strider_ghostware::prelude::{Darkside, Superkit, Synapsis, T0rnkit, UnixRootkit};
+    use strider_ghostware::unix::unix_corpus;
+    use strider_workload::populate_unix;
+
+    #[test]
+    fn t0rnkit_caught_inside_the_box() {
+        let mut m = UnixMachine::with_base_system("u");
+        let inf = T0rnkit.infect(&mut m);
+        let report = UnixGhostBuster::new().inside_diff(&m);
+        assert!(report.is_infected());
+        for p in &inf.hidden_paths {
+            assert!(report.net_detections().iter().any(|d| &d.path == p));
+        }
+    }
+
+    #[test]
+    fn lkm_rootkits_need_the_outside_diff() {
+        for rk in [&Darkside as &dyn UnixRootkit, &Superkit, &Synapsis] {
+            let mut m = UnixMachine::with_base_system("u");
+            let inf = rk.infect(&mut m);
+            let gb = UnixGhostBuster::new();
+            assert!(
+                !gb.inside_diff(&m).is_infected(),
+                "{}: LKM lies to ls AND echo *",
+                inf.rootkit
+            );
+            let lie = m.ls_scan_all();
+            let report = gb.outside_diff(&m, &lie);
+            for p in &inf.hidden_paths {
+                assert!(
+                    report.net_detections().iter().any(|d| &d.path == p),
+                    "{} leaked {p}",
+                    inf.rootkit
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn daemon_churn_is_classified_noise_and_bounded() {
+        let mut m = UnixMachine::with_base_system("u");
+        populate_unix(&mut m, 3, 300);
+        m.tick(1);
+        let lie = m.ls_scan_all();
+        m.tick(150); // gap while rebooting into the CD
+        let report = UnixGhostBuster::new().outside_diff(&m, &lie);
+        assert!(report.net_detections().is_empty(), "clean machine");
+        let fp = report.noise_detections().len();
+        assert!(
+            (1..=4).contains(&fp),
+            "paper: four or fewer FPs, mostly temp/log files; got {fp}"
+        );
+    }
+
+    #[test]
+    fn binary_integrity_catches_t0rnkit_but_not_lkms() {
+        let mut m = UnixMachine::with_base_system("u");
+        let baseline = UnixBinaryIntegrity::baseline(&m, &["/bin/ls", "/bin/ps", "/bin/sh"]);
+        T0rnkit.infect(&mut m);
+        let modified = baseline.modified_binaries(&m);
+        assert_eq!(modified, vec!["/bin/ls".to_string()]);
+
+        let mut m2 = UnixMachine::with_base_system("u2");
+        let baseline2 = UnixBinaryIntegrity::baseline(&m2, &["/bin/ls", "/bin/ps", "/bin/sh"]);
+        Superkit.infect(&mut m2);
+        assert!(
+            baseline2.modified_binaries(&m2).is_empty(),
+            "LKM interception touches no binaries"
+        );
+        // But the cross-view diff catches both (earlier tests).
+    }
+
+    #[test]
+    fn integrity_flags_deleted_binaries_too() {
+        let mut m = UnixMachine::with_base_system("u");
+        let baseline = UnixBinaryIntegrity::baseline(&m, &["/bin/ps"]);
+        m.fs_mut().remove("/bin/ps").unwrap();
+        assert_eq!(baseline.modified_binaries(&m), vec!["/bin/ps".to_string()]);
+    }
+
+    #[test]
+    fn whole_corpus_detected_outside() {
+        for rk in unix_corpus() {
+            let mut m = UnixMachine::with_base_system("u");
+            let inf = rk.infect(&mut m);
+            let lie = m.ls_scan_all();
+            let report = UnixGhostBuster::new().outside_diff(&m, &lie);
+            assert!(report.is_infected(), "{} must be detected", inf.rootkit);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Reusable query-filter bodies for the ghostware corpus.
+
+use std::sync::Arc;
+use strider_winapi::{CallContext, Query, QueryFilter, Row};
+
+/// A filter that removes rows whose name contains any of the given
+/// case-insensitive substrings — the workhorse of pattern-based hiders
+/// (Hacker Defender's ini patterns, Aphex's prefix, Vanquish's
+/// `*vanquish*`).
+pub fn hide_names_containing(patterns: &[&str]) -> Arc<dyn QueryFilter> {
+    let patterns: Vec<String> = patterns.iter().map(|p| p.to_ascii_lowercase()).collect();
+    Arc::new(move |_: &CallContext, _: &Query, rows: Vec<Row>| {
+        rows.into_iter()
+            .filter(|r| {
+                let name = r.name().to_win32_lossy().to_ascii_lowercase();
+                !patterns.iter().any(|p| name.contains(p.as_str()))
+            })
+            .collect()
+    })
+}
+
+/// A filter that removes rows whose *full path* (files) or name contains any
+/// pattern — used by folder hiders where the hidden folder name only appears
+/// in the path.
+pub fn hide_paths_containing(patterns: &[String]) -> Arc<dyn QueryFilter> {
+    let patterns: Vec<String> = patterns.iter().map(|p| p.to_ascii_lowercase()).collect();
+    Arc::new(move |_: &CallContext, _: &Query, rows: Vec<Row>| {
+        rows.into_iter()
+            .filter(|r| {
+                let hay = match r {
+                    Row::File(f) => f.path.to_string().to_ascii_lowercase(),
+                    other => other.name().to_win32_lossy().to_ascii_lowercase(),
+                };
+                !patterns.iter().any(|p| hay.contains(p.as_str()))
+            })
+            .collect()
+    })
+}
+
+/// A filter that scrubs a substring out of the *data* of one named Registry
+/// value — how Urbin and Mersting hide their `AppInit_DLLs` hook while
+/// leaving the value itself visible.
+pub fn scrub_value_data(value_name: &str, remove: &str) -> Arc<dyn QueryFilter> {
+    let value_name = value_name.to_ascii_lowercase();
+    let remove = remove.to_string();
+    Arc::new(move |_: &CallContext, _: &Query, rows: Vec<Row>| {
+        rows.into_iter()
+            .map(|r| match r {
+                Row::RegValue(mut v)
+                    if v.name.to_win32_lossy().to_ascii_lowercase() == value_name =>
+                {
+                    v.data = v.data.replace(&remove, "").trim().to_string();
+                    Row::RegValue(v)
+                }
+                other => other,
+            })
+            .collect()
+    })
+}
+
+/// A filter that removes process rows by pid — process hiders that match on
+/// pid rather than name (FU's `-ph <pid>` interface, though FU itself uses
+/// DKOM and needs no filter).
+pub fn hide_pids(pids: Vec<u32>) -> Arc<dyn QueryFilter> {
+    Arc::new(move |_: &CallContext, _: &Query, rows: Vec<Row>| {
+        rows.into_iter()
+            .filter(|r| match r {
+                Row::Process(p) => !pids.contains(&p.pid.0),
+                _ => true,
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strider_nt_core::Pid;
+    use strider_winapi::{FileRow, ProcessRow, RegValueRow};
+
+    fn ctx() -> CallContext {
+        CallContext::new(Pid(4), "x.exe")
+    }
+
+    fn file_row(path: &str) -> Row {
+        let path: strider_nt_core::NtPath = path.parse().unwrap();
+        Row::File(FileRow {
+            name: path.file_name().unwrap().clone(),
+            path: path.clone(),
+            is_dir: false,
+            attributes: strider_ntfs::FileAttributes::NORMAL,
+            size: 0,
+        })
+    }
+
+    #[test]
+    fn name_patterns_filter_case_insensitively() {
+        let f = hide_names_containing(&["hxdef"]);
+        let rows = vec![file_row("C:\\HxDef100.exe"), file_row("C:\\notepad.exe")];
+        let out = f.filter(
+            &ctx(),
+            &Query::DirectoryEnum {
+                path: "C:".parse().unwrap(),
+            },
+            rows,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].name().to_win32_lossy(), "notepad.exe");
+    }
+
+    #[test]
+    fn path_patterns_hide_children_of_hidden_folders() {
+        let f = hide_paths_containing(&["\\secret stuff\\".to_string()]);
+        let rows = vec![
+            file_row("C:\\secret stuff\\x.doc"),
+            file_row("C:\\public\\y.doc"),
+        ];
+        let out = f.filter(
+            &ctx(),
+            &Query::DirectoryEnum {
+                path: "C:".parse().unwrap(),
+            },
+            rows,
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn scrub_edits_only_the_named_value() {
+        let f = scrub_value_data("AppInit_DLLs", "msvsres.dll");
+        let rows = vec![
+            Row::RegValue(RegValueRow {
+                name: "AppInit_DLLs".into(),
+                key: "HKLM\\SOFTWARE".parse().unwrap(),
+                data: "msvsres.dll".to_string(),
+            }),
+            Row::RegValue(RegValueRow {
+                name: "Other".into(),
+                key: "HKLM\\SOFTWARE".parse().unwrap(),
+                data: "msvsres.dll untouched".to_string(),
+            }),
+        ];
+        let out = f.filter(
+            &ctx(),
+            &Query::RegEnumValues {
+                key: "HKLM\\SOFTWARE".parse().unwrap(),
+            },
+            rows,
+        );
+        match (&out[0], &out[1]) {
+            (Row::RegValue(a), Row::RegValue(b)) => {
+                assert_eq!(a.data, "");
+                assert!(b.data.contains("msvsres"));
+            }
+            _ => panic!("rows changed type"),
+        }
+    }
+
+    #[test]
+    fn hide_pids_only_affects_process_rows() {
+        let f = hide_pids(vec![8]);
+        let rows = vec![
+            Row::Process(ProcessRow {
+                pid: Pid(8),
+                image_name: "g.exe".into(),
+                image_path: "C:\\g.exe".into(),
+            }),
+            Row::Process(ProcessRow {
+                pid: Pid(12),
+                image_name: "ok.exe".into(),
+                image_path: "C:\\ok.exe".into(),
+            }),
+            file_row("C:\\a.txt"),
+        ];
+        let out = f.filter(&ctx(), &Query::ProcessList, rows);
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,217 @@
+//! Reimplementations of the paper's ghostware corpus.
+//!
+//! Figure 2 of the paper maps ten file-hiding programs onto six interception
+//! techniques; Figure 5 maps four process-hiding programs onto three more.
+//! Each sample here installs the same artifacts the paper reports for it
+//! (files, ASEP hooks, processes, drivers) and hides them with the same
+//! technique at the same chain level:
+//!
+//! | Sample | Technique | Level |
+//! |---|---|---|
+//! | [`Urbin`], [`Mersting`] | IAT patch | per-process import tables |
+//! | [`Vanquish`] | in-memory code **wrapper** + PEB blanking | Kernel32/Advapi32 |
+//! | [`Aphex`] | in-memory code **detour** (files), IAT (processes) | Kernel32 / IAT |
+//! | [`HackerDefender`] | in-memory detour | NtDll |
+//! | [`ProBotSe`] | Service Dispatch Table patch | SSDT |
+//! | [`FileHider`] ×4 | filter driver | I/O stack |
+//! | [`Berbew`] | in-memory detour (processes) | NtDll |
+//! | [`Fu`] | DKOM — Active Process List unlink | kernel objects |
+//! | [`NamingTrick`] | Win32/NTFS naming asymmetry | no interception at all |
+//!
+//! Every [`Ghostware::infect`] returns an [`Infection`] listing the ground
+//! truth — which artifacts are now hidden — so tests and benches can verify
+//! that GhostBuster's reports are exactly complete.
+//!
+//! The [`unix`] module carries the Section 5 rootkits (Darkside, Superkit,
+//! Synapsis, T0rnkit) for the `strider-unixfs` substrate, and [`targeted`]
+//! carries the Section 5 targeting attacks (hide only from specific
+//! utilities; hide from everything except a known scanner).
+//!
+//! # Examples
+//!
+//! ```
+//! use strider_ghostware::{Ghostware, HackerDefender};
+//! use strider_winapi::{Machine, Query, ChainEntry};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut m = Machine::with_base_system("victim")?;
+//! let infection = HackerDefender::default().infect(&mut m)?;
+//! assert!(!infection.hidden_files.is_empty());
+//! // The lie: hxdef100.exe does not appear in a Win32 directory listing.
+//! let ctx = m.context_for_name("explorer.exe").unwrap();
+//! let rows = m.query(&ctx, &Query::DirectoryEnum {
+//!     path: "C:\\windows\\system32".parse()? }, ChainEntry::Win32)?;
+//! assert!(!rows.iter().any(|r| r.name().to_win32_lossy().contains("hxdef")));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod filters;
+pub mod targeted;
+pub mod unix;
+mod windows;
+
+pub use windows::ads::AdsHider;
+pub use windows::aphex::Aphex;
+pub use windows::berbew::Berbew;
+pub use windows::filehiders::FileHider;
+pub use windows::fu::Fu;
+pub use windows::hxdef::HackerDefender;
+pub use windows::iat_trojans::{Mersting, Urbin};
+pub use windows::naming::NamingTrick;
+pub use windows::probot::ProBotSe;
+pub use windows::vanquish::Vanquish;
+
+use std::fmt;
+use strider_nt_core::{NtPath, NtStatus};
+use strider_winapi::Machine;
+
+/// The interception/hiding technique a sample uses (Figures 2 and 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Per-process Import Address Table patching.
+    IatPatch,
+    /// In-memory API code replaced with a call wrapper.
+    InlineWrapper,
+    /// In-memory Kernel32 code detour.
+    DetourKernel32,
+    /// In-memory NtDll code detour.
+    DetourNtdll,
+    /// Service Dispatch Table entry replacement.
+    SsdtHook,
+    /// Filesystem filter driver.
+    FilterDriver,
+    /// Direct Kernel Object Manipulation (APL unlink).
+    Dkom,
+    /// PEB loader-list doctoring.
+    PebBlanking,
+    /// Win32/native naming-rule asymmetry (no interception).
+    NamingAsymmetry,
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Technique::IatPatch => "IAT patch",
+            Technique::InlineWrapper => "inline wrapper",
+            Technique::DetourKernel32 => "Kernel32 detour",
+            Technique::DetourNtdll => "NtDll detour",
+            Technique::SsdtHook => "SSDT hook",
+            Technique::FilterDriver => "filter driver",
+            Technique::Dkom => "DKOM",
+            Technique::PebBlanking => "PEB blanking",
+            Technique::NamingAsymmetry => "naming asymmetry",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Ground truth recorded at infection time: exactly which artifacts the
+/// sample hid. Benches compare GhostBuster's reports against these lists to
+/// regenerate the paper's Figures 3, 4 and 6.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Infection {
+    /// The sample's name.
+    pub ghostware: String,
+    /// The techniques in play.
+    pub techniques: Vec<Technique>,
+    /// Files hidden from high-level enumeration.
+    pub hidden_files: Vec<NtPath>,
+    /// ASEP hook entry names hidden from high-level Registry scans.
+    pub hidden_asep_entries: Vec<String>,
+    /// Image names of processes hidden from high-level process lists.
+    pub hidden_process_names: Vec<String>,
+    /// Module names hidden from high-level module enumeration.
+    pub hidden_module_names: Vec<String>,
+    /// Artifacts the sample leaves visible (e.g. Hacker Defender's driver
+    /// in the loaded-driver list, which AskStrider exploits).
+    pub visible_artifacts: Vec<String>,
+}
+
+impl Infection {
+    /// Creates an empty infection record for `name`.
+    pub fn new(name: &str) -> Self {
+        Self {
+            ghostware: name.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Whether the sample hides anything at all.
+    pub fn hides_something(&self) -> bool {
+        !self.hidden_files.is_empty()
+            || !self.hidden_asep_entries.is_empty()
+            || !self.hidden_process_names.is_empty()
+            || !self.hidden_module_names.is_empty()
+    }
+}
+
+/// A ghostware sample that can infect a simulated machine.
+pub trait Ghostware {
+    /// The sample's name as used in the paper.
+    fn name(&self) -> &str;
+
+    /// Installs the sample: drops files, sets ASEP hooks, spawns processes,
+    /// loads drivers, and installs its hiding mechanism.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate failures (e.g. dropping a file whose parent
+    /// directory is missing on a non-standard machine).
+    fn infect(&self, machine: &mut Machine) -> Result<Infection, NtStatus>;
+}
+
+/// Instantiates the full Figure 3 corpus: the ten file-hiding programs in
+/// paper order.
+pub fn file_hiding_corpus() -> Vec<Box<dyn Ghostware>> {
+    vec![
+        Box::new(Urbin),
+        Box::new(Mersting),
+        Box::new(Vanquish::default()),
+        Box::new(Aphex::default()),
+        Box::new(HackerDefender::default()),
+        Box::new(ProBotSe::default()),
+        Box::new(FileHider::hide_files_33()),
+        Box::new(FileHider::hide_folders_xp()),
+        Box::new(FileHider::advanced_hide_folders()),
+        Box::new(FileHider::file_folder_protector()),
+    ]
+}
+
+/// Instantiates the Figure 4 corpus: the six Registry-hiding programs.
+pub fn registry_hiding_corpus() -> Vec<Box<dyn Ghostware>> {
+    vec![
+        Box::new(Urbin),
+        Box::new(Mersting),
+        Box::new(Vanquish::default()),
+        Box::new(Aphex::default()),
+        Box::new(HackerDefender::default()),
+        Box::new(ProBotSe::default()),
+    ]
+}
+
+/// Instantiates the Figure 6 corpus: the four process-hiding programs plus
+/// the module-hiding Vanquish.
+pub fn process_hiding_corpus() -> Vec<Box<dyn Ghostware>> {
+    vec![
+        Box::new(Aphex::default()),
+        Box::new(HackerDefender::default()),
+        Box::new(Berbew::default()),
+        Box::new(Fu::default()),
+        Box::new(Vanquish::default()),
+    ]
+}
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::targeted::{ScannerAwareHider, UtilityTargetedHider};
+    pub use crate::unix::{Darkside, Superkit, Synapsis, T0rnkit, UnixInfection, UnixRootkit};
+    pub use crate::{
+        file_hiding_corpus, process_hiding_corpus, registry_hiding_corpus, AdsHider, Aphex,
+        Berbew, FileHider, Fu, Ghostware, HackerDefender, Infection, Mersting, NamingTrick,
+        ProBotSe, Technique, Urbin, Vanquish,
+    };
+}

@@ -1,0 +1,136 @@
+//! Section 5 targeting attacks: ghostware that chooses *whom* to lie to.
+//!
+//! Two evasions the paper's extensions address:
+//!
+//! * [`UtilityTargetedHider`] hides resources only from specific OS
+//!   utilities (Task Manager, tlist, Explorer). A GhostBuster scan running
+//!   as its own process never experiences the hiding, so the plain tool sees
+//!   no diff; the DLL-injection extension — running the scan *inside* the
+//!   targeted utilities — does.
+//! * [`ScannerAwareHider`] hides from every process *except* a known scanner
+//!   image name (so the scanner's own high-level view matches the truth).
+//!   Injecting GhostBuster into arbitrary processes (notably the anti-virus
+//!   scanner) restores the diff.
+
+use crate::filters::hide_names_containing;
+use crate::{Ghostware, Infection, Technique};
+use strider_nt_core::{NtPath, NtStatus};
+use strider_winapi::{HookScope, Machine, QueryKind};
+
+/// Hides its artifacts only from the named utility processes.
+#[derive(Debug, Clone)]
+pub struct UtilityTargetedHider {
+    /// Utilities lied to (image names).
+    pub targets: Vec<String>,
+}
+
+impl Default for UtilityTargetedHider {
+    fn default() -> Self {
+        Self {
+            targets: vec![
+                "taskmgr.exe".to_string(),
+                "tlist.exe".to_string(),
+                "explorer.exe".to_string(),
+            ],
+        }
+    }
+}
+
+impl Ghostware for UtilityTargetedHider {
+    fn name(&self) -> &str {
+        "UtilityTargetedHider"
+    }
+
+    fn infect(&self, machine: &mut Machine) -> Result<Infection, NtStatus> {
+        let exe: NtPath = "C:\\windows\\system32\\targbot.exe".parse().expect("static");
+        machine.win32_create_file(&exe, b"MZ targbot")?;
+        machine.spawn_process("targbot.exe", &exe.to_string())?;
+        machine.install_ntdll_hook(
+            "UtilityTargetedHider",
+            vec![QueryKind::Files, QueryKind::Processes],
+            HookScope::OnlyCallers(self.targets.clone()),
+            hide_names_containing(&["targbot"]),
+        );
+        let mut infection = Infection::new("UtilityTargetedHider");
+        infection.techniques = vec![Technique::DetourNtdll];
+        infection.hidden_files = vec![exe];
+        infection.hidden_process_names = vec!["targbot.exe".to_string()];
+        Ok(infection)
+    }
+}
+
+/// Hides from everyone except the named scanner image.
+#[derive(Debug, Clone)]
+pub struct ScannerAwareHider {
+    /// The scanner image name spared from the lie.
+    pub spare: String,
+}
+
+impl Default for ScannerAwareHider {
+    fn default() -> Self {
+        Self {
+            spare: "ghostbuster.exe".to_string(),
+        }
+    }
+}
+
+impl Ghostware for ScannerAwareHider {
+    fn name(&self) -> &str {
+        "ScannerAwareHider"
+    }
+
+    fn infect(&self, machine: &mut Machine) -> Result<Infection, NtStatus> {
+        let exe: NtPath = "C:\\windows\\system32\\sneaky.exe".parse().expect("static");
+        machine.win32_create_file(&exe, b"MZ sneaky EVILSIG")?;
+        machine.spawn_process("sneaky.exe", &exe.to_string())?;
+        machine.install_ntdll_hook(
+            "ScannerAwareHider",
+            vec![QueryKind::Files, QueryKind::Processes],
+            HookScope::ExceptCallers(vec![self.spare.clone()]),
+            hide_names_containing(&["sneaky"]),
+        );
+        let mut infection = Infection::new("ScannerAwareHider");
+        infection.techniques = vec![Technique::DetourNtdll];
+        infection.hidden_files = vec![exe];
+        infection.hidden_process_names = vec!["sneaky.exe".to_string()];
+        Ok(infection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strider_winapi::{ChainEntry, Query};
+
+    #[test]
+    fn utility_targeted_hider_lies_only_to_its_targets() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        UtilityTargetedHider::default().infect(&mut m).unwrap();
+        m.spawn_process("ghostbuster.exe", "C:\\gb.exe").unwrap();
+
+        let taskmgr = m.spawn_process("taskmgr.exe", "C:\\windows\\system32\\taskmgr.exe").unwrap();
+        let tm_ctx = m.context_for(taskmgr).unwrap();
+        let rows = m.query(&tm_ctx, &Query::ProcessList, ChainEntry::Win32).unwrap();
+        assert!(!rows.iter().any(|r| r.name().to_win32_lossy() == "targbot.exe"));
+
+        // GhostBuster's own process is not lied to: no diff to find.
+        let gb_ctx = m.context_for_name("ghostbuster.exe").unwrap();
+        let rows = m.query(&gb_ctx, &Query::ProcessList, ChainEntry::Win32).unwrap();
+        assert!(rows.iter().any(|r| r.name().to_win32_lossy() == "targbot.exe"));
+    }
+
+    #[test]
+    fn scanner_aware_hider_spares_the_scanner() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        ScannerAwareHider::default().infect(&mut m).unwrap();
+        m.spawn_process("ghostbuster.exe", "C:\\gb.exe").unwrap();
+
+        let gb_ctx = m.context_for_name("ghostbuster.exe").unwrap();
+        let rows = m.query(&gb_ctx, &Query::ProcessList, ChainEntry::Win32).unwrap();
+        assert!(rows.iter().any(|r| r.name().to_win32_lossy() == "sneaky.exe"));
+
+        let ex_ctx = m.context_for_name("explorer.exe").unwrap();
+        let rows = m.query(&ex_ctx, &Query::ProcessList, ChainEntry::Win32).unwrap();
+        assert!(!rows.iter().any(|r| r.name().to_win32_lossy() == "sneaky.exe"));
+    }
+}

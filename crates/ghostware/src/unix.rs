@@ -1,0 +1,184 @@
+//! The Section 5 Unix rootkits: Darkside, Superkit, Synapsis, T0rnkit.
+//!
+//! The first three hide their files by hooking `getdents` through an LKM;
+//! T0rnkit instead replaces OS utility programs (`ls`) with trojaned
+//! versions. All four are detected by the same cross-view diff: `ls`-based
+//! inside scan versus a clean-boot scan of the same partitions.
+
+use strider_unixfs::UnixMachine;
+
+/// Ground truth for a Unix infection.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnixInfection {
+    /// The rootkit's name.
+    pub rootkit: String,
+    /// Absolute paths hidden from the inside `ls` scan.
+    pub hidden_paths: Vec<String>,
+    /// Whether the hiding is LKM-based (vs a trojaned binary).
+    pub uses_lkm: bool,
+}
+
+/// A Unix rootkit sample.
+pub trait UnixRootkit {
+    /// The rootkit's name.
+    fn name(&self) -> &str;
+    /// Installs the rootkit on a Unix machine.
+    fn infect(&self, machine: &mut UnixMachine) -> UnixInfection;
+}
+
+/// Darkside 0.2.3 for FreeBSD: LKM hiding `.darkside` artifacts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Darkside;
+
+impl UnixRootkit for Darkside {
+    fn name(&self) -> &str {
+        "Darkside 0.2.3"
+    }
+
+    fn infect(&self, machine: &mut UnixMachine) -> UnixInfection {
+        let paths = vec![
+            "/usr/lib/.darkside/ds".to_string(),
+            "/usr/lib/.darkside/ds.conf".to_string(),
+        ];
+        for p in &paths {
+            machine.fs_mut().create_file(p, b"ELF darkside");
+        }
+        machine.load_lkm("darkside", &[".darkside"]);
+        UnixInfection {
+            rootkit: self.name().to_string(),
+            hidden_paths: paths,
+            uses_lkm: true,
+        }
+    }
+}
+
+/// Superkit for Linux: LKM hiding the `/usr/lib/.sk` tree.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Superkit;
+
+impl UnixRootkit for Superkit {
+    fn name(&self) -> &str {
+        "Superkit"
+    }
+
+    fn infect(&self, machine: &mut UnixMachine) -> UnixInfection {
+        let paths = vec![
+            "/usr/lib/.sk/backdoor".to_string(),
+            "/usr/lib/.sk/sniff.log".to_string(),
+            "/usr/lib/.sk/install".to_string(),
+        ];
+        for p in &paths {
+            machine.fs_mut().create_file(p, b"ELF superkit");
+        }
+        machine.load_lkm("superkit", &[".sk"]);
+        UnixInfection {
+            rootkit: self.name().to_string(),
+            hidden_paths: paths,
+            uses_lkm: true,
+        }
+    }
+}
+
+/// Synapsis for Linux: LKM hiding `/dev/.synapsis`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Synapsis;
+
+impl UnixRootkit for Synapsis {
+    fn name(&self) -> &str {
+        "Synapsis"
+    }
+
+    fn infect(&self, machine: &mut UnixMachine) -> UnixInfection {
+        let paths = vec![
+            "/dev/.synapsis/syn".to_string(),
+            "/dev/.synapsis/pass.log".to_string(),
+        ];
+        for p in &paths {
+            machine.fs_mut().create_file(p, b"ELF synapsis");
+        }
+        machine.load_lkm("synapsis", &[".synapsis"]);
+        UnixInfection {
+            rootkit: self.name().to_string(),
+            hidden_paths: paths,
+            uses_lkm: true,
+        }
+    }
+}
+
+/// T0rnkit: replaces `ls` (and friends) with trojaned versions hiding
+/// `/usr/src/.puta`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct T0rnkit;
+
+impl UnixRootkit for T0rnkit {
+    fn name(&self) -> &str {
+        "T0rnkit"
+    }
+
+    fn infect(&self, machine: &mut UnixMachine) -> UnixInfection {
+        let paths = vec![
+            "/usr/src/.puta/t0rns".to_string(),
+            "/usr/src/.puta/t0rnsb".to_string(),
+            "/usr/src/.puta/t0rnp".to_string(),
+        ];
+        for p in &paths {
+            machine.fs_mut().create_file(p, b"ELF t0rn");
+        }
+        machine.trojan_ls(&[".puta"]);
+        UnixInfection {
+            rootkit: self.name().to_string(),
+            hidden_paths: paths,
+            uses_lkm: false,
+        }
+    }
+}
+
+/// The full Unix corpus in paper order.
+pub fn unix_corpus() -> Vec<Box<dyn UnixRootkit>> {
+    vec![
+        Box::new(Darkside),
+        Box::new(Superkit),
+        Box::new(Synapsis),
+        Box::new(T0rnkit),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lkm_rootkits_hide_from_ls_scan() {
+        for rk in [&Darkside as &dyn UnixRootkit, &Superkit, &Synapsis] {
+            let mut m = UnixMachine::with_base_system("u");
+            let inf = rk.infect(&mut m);
+            assert!(inf.uses_lkm);
+            let inside = m.ls_scan_all();
+            let truth = m.offline_scan();
+            for p in &inf.hidden_paths {
+                assert!(!inside.contains(p), "{} leaked {p}", inf.rootkit);
+                assert!(truth.contains(p), "{} truth missing {p}", inf.rootkit);
+            }
+        }
+    }
+
+    #[test]
+    fn t0rnkit_hides_via_trojaned_ls_only() {
+        let mut m = UnixMachine::with_base_system("u");
+        let inf = T0rnkit.infect(&mut m);
+        assert!(!inf.uses_lkm);
+        let inside = m.ls_scan_all();
+        let glob = m.glob_scan_all();
+        for p in &inf.hidden_paths {
+            assert!(!inside.contains(p));
+            // echo * bypasses the trojaned binary: the Brumley "ls vs echo *"
+            // check catches T0rnkit inside the box.
+            assert!(glob.contains(p));
+        }
+    }
+
+    #[test]
+    fn corpus_has_four_rootkits() {
+        assert_eq!(unix_corpus().len(), 4);
+    }
+}

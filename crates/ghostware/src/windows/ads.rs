@@ -1,0 +1,92 @@
+//! Alternate-data-stream hiding — one of the "beyond ghostware" techniques
+//! the paper's conclusion lists as future work.
+//!
+//! An ADS hider stores its payload in a named stream of an innocuous host
+//! file. No interception is installed and no directory entry is created:
+//! ordinary Win32 enumeration simply has no API surface that shows streams,
+//! so the payload is invisible to every high-level view. Only a low-level
+//! MFT sweep that reports `$DATA` attributes reveals it.
+
+use crate::{Ghostware, Infection, Technique};
+use strider_nt_core::{NtPath, NtStatus};
+use strider_winapi::Machine;
+
+/// A stealth sample hiding its payload in alternate data streams.
+#[derive(Debug, Clone)]
+pub struct AdsHider {
+    /// The innocuous host file that carries the streams.
+    pub host: String,
+}
+
+impl Default for AdsHider {
+    fn default() -> Self {
+        Self {
+            host: "C:\\windows\\system32\\calc.txt".to_string(),
+        }
+    }
+}
+
+impl Ghostware for AdsHider {
+    fn name(&self) -> &str {
+        "AdsHider"
+    }
+
+    fn infect(&self, machine: &mut Machine) -> Result<Infection, NtStatus> {
+        let host: NtPath = self.host.parse().map_err(|_| NtStatus::ObjectNameInvalid)?;
+        if !machine.volume().exists(&host) {
+            // The host file itself is ordinary and visible.
+            machine.win32_create_file(&host, b"readme")?;
+        }
+        machine
+            .volume_mut()
+            .add_stream(&host, "payload.exe", b"MZ ads payload")
+            .map_err(|_| NtStatus::ObjectNameCollision)?;
+        machine
+            .volume_mut()
+            .add_stream(&host, "keys.log", b"captured keys")
+            .map_err(|_| NtStatus::ObjectNameCollision)?;
+
+        let mut infection = Infection::new("AdsHider");
+        infection.techniques = vec![Technique::NamingAsymmetry];
+        infection.hidden_files = vec![
+            format!("{}:payload.exe", self.host)
+                .parse()
+                .unwrap_or_else(|_| host.clone()),
+            format!("{}:keys.log", self.host)
+                .parse()
+                .unwrap_or_else(|_| host.clone()),
+        ];
+        infection
+            .visible_artifacts
+            .push(format!("{} (the stream host file)", self.host));
+        Ok(infection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strider_nt_core::NtString;
+
+    #[test]
+    fn streams_attach_to_the_host() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        AdsHider::default().infect(&mut m).unwrap();
+        let host: NtPath = "C:\\windows\\system32\\calc.txt".parse().unwrap();
+        let rec = m.volume().lookup(&host).unwrap();
+        assert_eq!(rec.ads_names().len(), 2);
+        assert!(rec
+            .ads_names()
+            .iter()
+            .any(|n| n.eq_ignore_case(&NtString::from("payload.exe"))));
+    }
+
+    #[test]
+    fn no_hooks_no_new_directory_entries() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        let before = m.volume().record_count();
+        AdsHider::default().infect(&mut m).unwrap();
+        assert!(m.hooks().hooks().is_empty());
+        assert_eq!(m.volume().record_count(), before + 1, "only the host file");
+    }
+}

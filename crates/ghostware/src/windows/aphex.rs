@@ -1,0 +1,148 @@
+//! The Aphex (AFX) rootkit.
+//!
+//! Aphex patches the in-memory `Kernel32!FindFirst(Next)File` code with a
+//! `jmp` detour whose trojan code doctors the return path (Figure 2), hides
+//! any file whose name matches a configurable prefix (Figure 3, default `~`),
+//! hides its `Run`-key hook (Figure 4), and hides processes with the prefix
+//! by patching the IAT entry for `NtDll!NtQuerySystemInformation`
+//! (Figure 5).
+
+use crate::filters::hide_names_containing;
+use crate::{Ghostware, Infection, Technique};
+use strider_hive::ValueData;
+use strider_nt_core::{NtPath, NtStatus};
+use strider_winapi::{HookScope, HookStyle, Machine, QueryKind};
+
+/// The Aphex rootkit sample with its configurable hide prefix.
+#[derive(Debug, Clone)]
+pub struct Aphex {
+    /// Name prefix that marks files/processes as hidden (default `~`).
+    pub prefix: String,
+    /// The user-defined name of the auto-started executable.
+    pub payload_name: String,
+}
+
+impl Default for Aphex {
+    fn default() -> Self {
+        Self {
+            prefix: "~".to_string(),
+            payload_name: "~aphex".to_string(),
+        }
+    }
+}
+
+impl Ghostware for Aphex {
+    fn name(&self) -> &str {
+        "Aphex"
+    }
+
+    fn infect(&self, machine: &mut Machine) -> Result<Infection, NtStatus> {
+        let exe_name = format!("{}.exe", self.payload_name);
+        let exe: NtPath = format!("C:\\windows\\system32\\{exe_name}")
+            .parse()
+            .map_err(|_| NtStatus::ObjectNameInvalid)?;
+        let log: NtPath = format!("C:\\windows\\system32\\{}keys.log", self.prefix)
+            .parse()
+            .map_err(|_| NtStatus::ObjectNameInvalid)?;
+        machine.native_create_file(&exe, b"MZ aphex")?;
+        machine.native_create_file(&log, b"captured keys")?;
+
+        // Run-key ASEP hook, hidden below.
+        let run: NtPath = "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run"
+            .parse()
+            .expect("static");
+        machine
+            .registry_mut()
+            .set_value(&run, exe_name.as_str(), ValueData::sz(exe.to_string().as_str()))
+            .map_err(|_| NtStatus::ObjectNameNotFound)?;
+
+        // Kernel32 detours for file and Registry enumeration.
+        let prefix = self.prefix.clone();
+        machine.install_win32_code_hook(
+            "Aphex",
+            vec![QueryKind::Files, QueryKind::RegValues, QueryKind::RegKeys],
+            HookScope::All,
+            HookStyle::Detour,
+            hide_names_containing(&[&prefix]),
+        );
+
+        // The hidden payload process, hidden via an IAT patch on
+        // NtQuerySystemInformation.
+        machine.spawn_process(&exe_name, &exe.to_string())?;
+        machine.install_iat_hook(
+            "Aphex",
+            vec![QueryKind::Processes],
+            HookScope::All,
+            hide_names_containing(&[&self.prefix]),
+        );
+
+        let mut infection = Infection::new("Aphex");
+        infection.techniques = vec![Technique::DetourKernel32, Technique::IatPatch];
+        infection.hidden_files = vec![exe, log];
+        infection.hidden_asep_entries.push(exe_name.clone());
+        infection.hidden_process_names.push(exe_name);
+        Ok(infection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strider_winapi::{ChainEntry, Query};
+
+    #[test]
+    fn prefix_files_hidden_from_win32() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        Aphex::default().infect(&mut m).unwrap();
+        let ctx = m.context_for_name("explorer.exe").unwrap();
+        let rows = m
+            .query(
+                &ctx,
+                &Query::DirectoryEnum {
+                    path: "C:\\windows\\system32".parse().unwrap(),
+                },
+                ChainEntry::Win32,
+            )
+            .unwrap();
+        assert!(!rows.iter().any(|r| r.name().to_win32_lossy().starts_with('~')));
+    }
+
+    #[test]
+    fn process_hidden_from_win32_listing_only() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        Aphex::default().infect(&mut m).unwrap();
+        let ctx = m.context_for_name("explorer.exe").unwrap();
+        let win32 = m.query(&ctx, &Query::ProcessList, ChainEntry::Win32).unwrap();
+        assert!(!win32
+            .iter()
+            .any(|r| r.name().to_win32_lossy().starts_with('~')));
+        // IAT hooks don't apply to native callers: tlist-style native
+        // enumeration sees the truth for *this* sample.
+        let native = m.query(&ctx, &Query::ProcessList, ChainEntry::Native).unwrap();
+        assert!(native
+            .iter()
+            .any(|r| r.name().to_win32_lossy().starts_with('~')));
+    }
+
+    #[test]
+    fn custom_prefix_is_honoured() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        let aphex = Aphex {
+            prefix: "zz_".to_string(),
+            payload_name: "zz_bot".to_string(),
+        };
+        let inf = aphex.infect(&mut m).unwrap();
+        assert!(inf.hidden_files[0].to_string().contains("zz_bot.exe"));
+        let ctx = m.context_for_name("explorer.exe").unwrap();
+        let rows = m
+            .query(
+                &ctx,
+                &Query::DirectoryEnum {
+                    path: "C:\\windows\\system32".parse().unwrap(),
+                },
+                ChainEntry::Win32,
+            )
+            .unwrap();
+        assert!(!rows.iter().any(|r| r.name().to_win32_lossy().starts_with("zz_")));
+    }
+}

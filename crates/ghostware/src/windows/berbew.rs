@@ -1,0 +1,115 @@
+//! Berbew — the process-hiding backdoor.
+//!
+//! Berbew hijacks process-list queries "by putting a `jmp` instruction
+//! inside the `NtDll!NtQuerySystemInformation` in-memory code" (Figure 5)
+//! and hides its randomly-named process (Figure 6). Its dropped file is
+//! *not* hidden — Berbew is in the process-hiding corpus only.
+
+use crate::filters::hide_names_containing;
+use crate::{Ghostware, Infection, Technique};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use strider_hive::ValueData;
+use strider_nt_core::{NtPath, NtStatus};
+use strider_winapi::{HookScope, Machine, QueryKind};
+
+/// The Berbew sample with its random process name seed.
+#[derive(Debug, Clone)]
+pub struct Berbew {
+    /// RNG seed for the random name.
+    pub seed: u64,
+}
+
+impl Default for Berbew {
+    fn default() -> Self {
+        Self { seed: 0xbe4b }
+    }
+}
+
+impl Ghostware for Berbew {
+    fn name(&self) -> &str {
+        "Berbew"
+    }
+
+    fn infect(&self, machine: &mut Machine) -> Result<Infection, NtStatus> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let stem: String = (0..7)
+            .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+            .collect();
+        let exe_name = format!("{stem}.exe");
+        let exe: NtPath = format!("C:\\windows\\system32\\{exe_name}")
+            .parse()
+            .map_err(|_| NtStatus::ObjectNameInvalid)?;
+        // The file is dropped but NOT hidden.
+        machine.win32_create_file(&exe, b"MZ berbew")?;
+        // A visible Run hook for persistence.
+        let run: NtPath = "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run"
+            .parse()
+            .expect("static");
+        machine
+            .registry_mut()
+            .set_value(&run, exe_name.as_str(), ValueData::sz(exe.to_string().as_str()))
+            .map_err(|_| NtStatus::ObjectNameNotFound)?;
+
+        machine.spawn_process(&exe_name, &exe.to_string())?;
+        machine.install_ntdll_hook(
+            "Berbew",
+            vec![QueryKind::Processes],
+            HookScope::All,
+            hide_names_containing(&[&stem]),
+        );
+
+        let mut infection = Infection::new("Berbew");
+        infection.techniques = vec![Technique::DetourNtdll];
+        infection.hidden_process_names = vec![exe_name];
+        infection
+            .visible_artifacts
+            .push(format!("{} on disk with visible Run hook", exe));
+        Ok(infection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strider_winapi::{ChainEntry, Query};
+
+    #[test]
+    fn process_hidden_from_win32_and_native() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        let inf = Berbew::default().infect(&mut m).unwrap();
+        let hidden = &inf.hidden_process_names[0];
+        let ctx = m.context_for_name("explorer.exe").unwrap();
+        for entry in [ChainEntry::Win32, ChainEntry::Native] {
+            let rows = m.query(&ctx, &Query::ProcessList, entry).unwrap();
+            assert!(
+                !rows.iter().any(|r| r.name().to_win32_lossy() == *hidden),
+                "NtDll detour covers {entry:?}"
+            );
+        }
+        // The truth: the APL still contains it (Berbew is not DKOM).
+        assert!(m
+            .kernel()
+            .active_process_list()
+            .iter()
+            .any(|&pid| m.kernel().process(pid).unwrap().image_name.to_win32_lossy() == *hidden));
+    }
+
+    #[test]
+    fn file_stays_visible() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        let inf = Berbew::default().infect(&mut m).unwrap();
+        let exe_name = &inf.hidden_process_names[0];
+        let ctx = m.context_for_name("explorer.exe").unwrap();
+        let rows = m
+            .query(
+                &ctx,
+                &Query::DirectoryEnum {
+                    path: "C:\\windows\\system32".parse().unwrap(),
+                },
+                ChainEntry::Win32,
+            )
+            .unwrap();
+        assert!(rows.iter().any(|r| r.name().to_win32_lossy() == *exe_name));
+    }
+}

@@ -1,0 +1,233 @@
+//! The four commercial file hiders: Hide Files 3.3, Hide Folders XP,
+//! Advanced Hide Folders, and File & Folder Protector.
+//!
+//! "All four commercial file hiders use a filter driver that is inserted
+//! into the OS file system stack to intercept all file operations. The
+//! filter driver can scope the file-hiding behavior to specific processes by
+//! examining the IRP for the I/O operation to determine the originating
+//! process" (paper, Section 2). They hide user-selected folders and files
+//! (Figure 3, last row) but do not hide their own program files or ASEP
+//! hooks — they are commercial products, not malware.
+
+use crate::filters::hide_paths_containing;
+use crate::{Ghostware, Infection, Technique};
+use strider_hive::ValueData;
+use strider_nt_core::{NtPath, NtStatus};
+use strider_winapi::{HookScope, Machine};
+
+/// A commercial file hider parameterized by product identity and the
+/// user-selected paths to hide.
+#[derive(Debug, Clone)]
+pub struct FileHider {
+    product: &'static str,
+    exe_name: &'static str,
+    /// User-selected files/folders to hide (path substrings).
+    pub targets: Vec<String>,
+}
+
+impl FileHider {
+    fn new(product: &'static str, exe_name: &'static str, default_target: &str) -> Self {
+        Self {
+            product,
+            exe_name,
+            targets: vec![default_target.to_string()],
+        }
+    }
+
+    /// Hide Files 3.3.
+    pub fn hide_files_33() -> Self {
+        Self::new("Hide Files 3.3", "hidefiles.exe", "C:\\Documents and Settings\\user\\private")
+    }
+
+    /// Hide Folders XP.
+    pub fn hide_folders_xp() -> Self {
+        Self::new("Hide Folders XP", "hfxp.exe", "C:\\hidden folder")
+    }
+
+    /// Advanced Hide Folders.
+    pub fn advanced_hide_folders() -> Self {
+        Self::new("Advanced Hide Folders", "ahf.exe", "C:\\temp\\stash")
+    }
+
+    /// File & Folder Protector.
+    pub fn file_folder_protector() -> Self {
+        Self::new("File & Folder Protector", "ffp.exe", "C:\\protected")
+    }
+
+    /// Replaces the user-selected hide targets.
+    pub fn with_targets(mut self, targets: Vec<String>) -> Self {
+        self.targets = targets;
+        self
+    }
+}
+
+impl Ghostware for FileHider {
+    fn name(&self) -> &str {
+        self.product
+    }
+
+    fn infect(&self, machine: &mut Machine) -> Result<Infection, NtStatus> {
+        // The product itself installs openly under Program Files with a
+        // visible Run hook.
+        let product_dir: NtPath = format!("C:\\Program Files\\{}", self.product)
+            .parse()
+            .map_err(|_| NtStatus::ObjectNameInvalid)?;
+        machine
+            .volume_mut()
+            .mkdir_p(&product_dir)
+            .map_err(|_| NtStatus::ObjectPathNotFound)?;
+        let exe = product_dir.join(self.exe_name);
+        machine.win32_create_file(&exe, b"MZ file hider")?;
+        let run: NtPath = "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run"
+            .parse()
+            .expect("static");
+        machine
+            .registry_mut()
+            .set_value(&run, self.exe_name, ValueData::sz(exe.to_string().as_str()))
+            .map_err(|_| NtStatus::ObjectNameNotFound)?;
+        machine.spawn_process(self.exe_name, &exe.to_string())?;
+
+        // Create the user-selected content and hide it with the filter
+        // driver, scoped so the product's own process still sees it.
+        let mut hidden = Vec::new();
+        for target in &self.targets {
+            let dir: NtPath = target.parse().map_err(|_| NtStatus::ObjectNameInvalid)?;
+            machine
+                .volume_mut()
+                .mkdir_p(&dir)
+                .map_err(|_| NtStatus::ObjectPathNotFound)?;
+            for (name, data) in [("diary.txt", &b"dear diary"[..]), ("photo.jpg", b"JPEG")] {
+                let f = dir.join(name);
+                if !machine.volume().exists(&f) {
+                    machine.win32_create_file(&f, data)?;
+                }
+                hidden.push(f);
+            }
+            hidden.push(dir);
+        }
+        let patterns: Vec<String> = self
+            .targets
+            .iter()
+            .map(|t| t.to_ascii_lowercase())
+            .collect();
+        machine.install_filter_driver(
+            self.product,
+            HookScope::ExceptCallers(vec![self.exe_name.to_string()]),
+            hide_paths_containing(&patterns),
+        );
+
+        let mut infection = Infection::new(self.product);
+        infection.techniques = vec![Technique::FilterDriver];
+        infection.hidden_files = hidden;
+        infection
+            .visible_artifacts
+            .push(format!("{} under Program Files with visible Run hook", self.exe_name));
+        Ok(infection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strider_winapi::{ChainEntry, Query};
+
+    #[test]
+    fn all_four_products_hide_their_targets() {
+        for hider in [
+            FileHider::hide_files_33(),
+            FileHider::hide_folders_xp(),
+            FileHider::advanced_hide_folders(),
+            FileHider::file_folder_protector(),
+        ] {
+            let mut m = Machine::with_base_system("t").unwrap();
+            let target_dir: NtPath = hider.targets[0].parse().unwrap();
+            let parent = target_dir.parent().unwrap();
+            let inf = hider.infect(&mut m).unwrap();
+            assert!(inf.hidden_files.len() >= 3);
+            let ctx = m.context_for_name("explorer.exe").unwrap();
+            let rows = m
+                .query(
+                    &ctx,
+                    &Query::DirectoryEnum { path: parent },
+                    ChainEntry::Win32,
+                )
+                .unwrap();
+            assert!(
+                !rows
+                    .iter()
+                    .any(|r| r.name().to_win32_lossy()
+                        == target_dir.file_name().unwrap().to_win32_lossy()),
+                "{} failed to hide {}",
+                inf.ghostware,
+                target_dir
+            );
+        }
+    }
+
+    #[test]
+    fn filter_driver_hides_from_native_callers_too() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        FileHider::hide_folders_xp().infect(&mut m).unwrap();
+        let ctx = m.context_for_name("explorer.exe").unwrap();
+        let rows = m
+            .query(
+                &ctx,
+                &Query::DirectoryEnum {
+                    path: "C:".parse().unwrap(),
+                },
+                ChainEntry::Native,
+            )
+            .unwrap();
+        assert!(!rows
+            .iter()
+            .any(|r| r.name().to_win32_lossy() == "hidden folder"));
+    }
+
+    #[test]
+    fn product_process_sees_its_own_hidden_files() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        FileHider::hide_folders_xp().infect(&mut m).unwrap();
+        let owner = m.context_for_name("hfxp.exe").unwrap();
+        let rows = m
+            .query(
+                &owner,
+                &Query::DirectoryEnum {
+                    path: "C:".parse().unwrap(),
+                },
+                ChainEntry::Win32,
+            )
+            .unwrap();
+        assert!(rows
+            .iter()
+            .any(|r| r.name().to_win32_lossy() == "hidden folder"));
+    }
+
+    #[test]
+    fn product_files_and_hook_remain_visible() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        FileHider::hide_files_33().infect(&mut m).unwrap();
+        let ctx = m.context_for_name("explorer.exe").unwrap();
+        let rows = m
+            .query(
+                &ctx,
+                &Query::DirectoryEnum {
+                    path: "C:\\Program Files\\Hide Files 3.3".parse().unwrap(),
+                },
+                ChainEntry::Win32,
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1, "the product exe is not hidden");
+    }
+
+    #[test]
+    fn custom_targets() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        let hider =
+            FileHider::hide_files_33().with_targets(vec!["C:\\work\\secret".to_string()]);
+        let inf = hider.infect(&mut m).unwrap();
+        assert!(inf
+            .hidden_files
+            .iter()
+            .any(|p| p.to_string().contains("secret")));
+    }
+}

@@ -1,0 +1,169 @@
+//! Urbin and Mersting: the wild-captured IAT-patching Trojans.
+//!
+//! Both alter per-process Import Address Table entries of the file- and
+//! Registry-enumeration APIs so that queries route through their Trojan
+//! import functions (paper, Figure 2 top). Each drops one DLL into
+//! `system32`, hooks `AppInit_DLLs` to get loaded into every process that
+//! loads `User32.dll`, hides the DLL file, and *scrubs its own name out of
+//! the `AppInit_DLLs` value data* so the hook is invisible to RegEdit
+//! (Figure 4 rows 1–2).
+
+use crate::filters::{hide_names_containing, scrub_value_data};
+use crate::{Ghostware, Infection, Technique};
+use strider_hive::ValueData;
+use strider_nt_core::{NtPath, NtStatus, NtString};
+use strider_winapi::{HookScope, Machine, QueryKind};
+
+fn infect_iat_trojan(machine: &mut Machine, name: &str, dll: &str) -> Result<Infection, NtStatus> {
+    let dll_path: NtPath = format!("C:\\windows\\system32\\{dll}")
+        .parse()
+        .map_err(|_| NtStatus::ObjectNameInvalid)?;
+    machine
+        .native_create_file(&dll_path, format!("MZ {name} payload").as_bytes())?;
+
+    // Hook AppInit_DLLs, appending to whatever is already there.
+    let windows_key: NtPath = "HKLM\\SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion\\Windows"
+        .parse()
+        .expect("static");
+    let existing = machine
+        .registry()
+        .value(&windows_key, &NtString::from("AppInit_DLLs"))
+        .map(|v| v.data.to_display_string())
+        .unwrap_or_default();
+    let new_data = if existing.trim().is_empty() {
+        dll.to_string()
+    } else {
+        format!("{existing} {dll}")
+    };
+    machine
+        .registry_mut()
+        .set_value(&windows_key, "AppInit_DLLs", ValueData::sz(new_data.as_str()))
+        .map_err(|_| NtStatus::ObjectNameNotFound)?;
+
+    // IAT patches: file enumeration hides the DLL file; Registry value
+    // enumeration scrubs the AppInit_DLLs data.
+    let stem = dll.trim_end_matches(".dll");
+    machine.install_iat_hook(
+        name,
+        vec![QueryKind::Files],
+        HookScope::All,
+        hide_names_containing(&[stem]),
+    );
+    machine.install_iat_hook(
+        name,
+        vec![QueryKind::RegValues],
+        HookScope::All,
+        scrub_value_data("AppInit_DLLs", dll),
+    );
+
+    let mut infection = Infection::new(name);
+    infection.techniques = vec![Technique::IatPatch];
+    infection.hidden_files = vec![dll_path];
+    infection
+        .hidden_asep_entries
+        .push(format!("AppInit_DLLs -> {dll}"));
+    Ok(infection)
+}
+
+/// The Urbin Trojan: hides `C:\windows\system32\msvsres.dll` and its
+/// `AppInit_DLLs` hook via IAT patching.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Urbin;
+
+impl Ghostware for Urbin {
+    fn name(&self) -> &str {
+        "Urbin"
+    }
+
+    fn infect(&self, machine: &mut Machine) -> Result<Infection, NtStatus> {
+        infect_iat_trojan(machine, "Urbin", "msvsres.dll")
+    }
+}
+
+/// The Mersting Trojan: hides `C:\windows\system32\kbddfl.dll` and its
+/// `AppInit_DLLs` hook via IAT patching.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mersting;
+
+impl Ghostware for Mersting {
+    fn name(&self) -> &str {
+        "Mersting"
+    }
+
+    fn infect(&self, machine: &mut Machine) -> Result<Infection, NtStatus> {
+        infect_iat_trojan(machine, "Mersting", "kbddfl.dll")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strider_winapi::{ChainEntry, Query};
+
+    #[test]
+    fn urbin_hides_dll_from_win32_but_not_native() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        let inf = Urbin.infect(&mut m).unwrap();
+        assert_eq!(inf.hidden_files.len(), 1);
+        let ctx = m.context_for_name("explorer.exe").unwrap();
+        let q = Query::DirectoryEnum {
+            path: "C:\\windows\\system32".parse().unwrap(),
+        };
+        let win32 = m.query(&ctx, &q, ChainEntry::Win32).unwrap();
+        assert!(!win32.iter().any(|r| r.name().to_win32_lossy().contains("msvsres")));
+        // IAT hooks do not reach native callers.
+        let native = m.query(&ctx, &q, ChainEntry::Native).unwrap();
+        assert!(native.iter().any(|r| r.name().to_win32_lossy().contains("msvsres")));
+    }
+
+    #[test]
+    fn urbin_scrubs_appinit_value_data() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        Urbin.infect(&mut m).unwrap();
+        let ctx = m.context_for_name("explorer.exe").unwrap();
+        let q = Query::RegEnumValues {
+            key: "HKLM\\SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion\\Windows"
+                .parse()
+                .unwrap(),
+        };
+        let rows = m.query(&ctx, &q, ChainEntry::Win32).unwrap();
+        let appinit = rows
+            .iter()
+            .find_map(|r| match r {
+                strider_winapi::Row::RegValue(v)
+                    if v.name.to_win32_lossy() == "AppInit_DLLs" =>
+                {
+                    Some(v.data.clone())
+                }
+                _ => None,
+            })
+            .expect("value visible");
+        assert!(!appinit.contains("msvsres.dll"), "data scrubbed: {appinit}");
+        // The truth in the live registry still holds the hook.
+        let truth = m
+            .registry()
+            .value(&q_key(), &NtString::from("AppInit_DLLs"))
+            .unwrap();
+        assert!(truth.data.to_display_string().contains("msvsres.dll"));
+    }
+
+    fn q_key() -> NtPath {
+        "HKLM\\SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion\\Windows"
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn both_trojans_can_coexist_appending_appinit() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        Urbin.infect(&mut m).unwrap();
+        Mersting.infect(&mut m).unwrap();
+        let truth = m
+            .registry()
+            .value(&q_key(), &NtString::from("AppInit_DLLs"))
+            .unwrap()
+            .data
+            .to_display_string();
+        assert!(truth.contains("msvsres.dll") && truth.contains("kbddfl.dll"));
+    }
+}

@@ -1,0 +1,12 @@
+//! The Windows sample implementations, one module per family.
+
+pub mod ads;
+pub mod aphex;
+pub mod berbew;
+pub mod filehiders;
+pub mod fu;
+pub mod hxdef;
+pub mod iat_trojans;
+pub mod naming;
+pub mod probot;
+pub mod vanquish;

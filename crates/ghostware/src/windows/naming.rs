@@ -1,0 +1,131 @@
+//! The naming-asymmetry hider: no interception at all.
+//!
+//! "Another form of file hiding exploits the restrictions on filenames
+//! enforced by some Win32 API, but not the NTFS file system … long full
+//! pathnames, filenames with trailing dots or spaces, filenames containing
+//! special characters, reserved filenames" (paper, Section 2) — plus the
+//! Registry variant: value names with embedded `NUL`s created through the
+//! native API (Section 3). A mechanism-targeting detector finds nothing to
+//! detect here; the cross-view diff still does.
+
+use crate::{Ghostware, Infection, Technique};
+use strider_hive::{Value, ValueData};
+use strider_nt_core::{NtPath, NtStatus, NtString};
+use strider_winapi::Machine;
+
+/// A sample that hides purely through Win32/native naming asymmetries.
+#[derive(Debug, Clone, Default)]
+pub struct NamingTrick;
+
+impl Ghostware for NamingTrick {
+    fn name(&self) -> &str {
+        "NamingTrick"
+    }
+
+    fn infect(&self, machine: &mut Machine) -> Result<Infection, NtStatus> {
+        let mut hidden = Vec::new();
+
+        // Trailing dot.
+        let dot: NtPath = "C:\\windows\\system32\\svchost.exe.".parse().expect("static");
+        machine.native_create_file(&dot, b"MZ payload")?;
+        hidden.push(dot);
+
+        // Trailing space.
+        let space = NtPath::root_of("C:").join("windows").join("update ");
+        machine.native_create_file(&space, b"MZ payload")?;
+        hidden.push(space);
+
+        // Reserved device name.
+        let reserved: NtPath = "C:\\temp\\nul.cfg".parse().expect("static");
+        machine.native_create_file(&reserved, b"config")?;
+        hidden.push(reserved);
+
+        // A path beyond MAX_PATH.
+        let mut deep = NtPath::root_of("C:").join("temp");
+        for i in 0..16 {
+            deep = deep.join(format!("very-long-directory-name-{i:02}"));
+            machine
+                .volume_mut()
+                .mkdir_p(&deep)
+                .map_err(|_| NtStatus::ObjectPathNotFound)?;
+        }
+        let deep_file = deep.join("payload.bin");
+        machine.native_create_file(&deep_file, b"MZ deep")?;
+        hidden.push(deep_file);
+
+        // Registry value with an embedded NUL in its counted name.
+        let run: NtPath = "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run"
+            .parse()
+            .expect("static");
+        let mut units: Vec<u16> = "loader".encode_utf16().collect();
+        units.push(0);
+        units.extend("x".encode_utf16());
+        let sneaky = NtString::from_units(&units);
+        machine
+            .registry_mut()
+            .set_value_raw(&run, Value::new(sneaky, ValueData::sz("C:\\windows\\update \\run.exe")))
+            .map_err(|_| NtStatus::ObjectNameNotFound)?;
+
+        let mut infection = Infection::new("NamingTrick");
+        infection.techniques = vec![Technique::NamingAsymmetry];
+        infection.hidden_files = hidden;
+        infection
+            .hidden_asep_entries
+            .push("loader\\0x (NUL-embedded Run value)".to_string());
+        Ok(infection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strider_winapi::{ChainEntry, Query};
+
+    #[test]
+    fn no_hooks_installed_yet_files_hidden_from_win32() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        let inf = NamingTrick.infect(&mut m).unwrap();
+        assert!(m.hooks().hooks().is_empty());
+        assert_eq!(inf.hidden_files.len(), 4);
+        let ctx = m.context_for_name("explorer.exe").unwrap();
+        let rows = m
+            .query(
+                &ctx,
+                &Query::DirectoryEnum {
+                    path: "C:\\windows\\system32".parse().unwrap(),
+                },
+                ChainEntry::Win32,
+            )
+            .unwrap();
+        assert!(!rows
+            .iter()
+            .any(|r| r.name().to_win32_lossy() == "svchost.exe."));
+        // The native view shows it.
+        let rows = m
+            .query(
+                &ctx,
+                &Query::DirectoryEnum {
+                    path: "C:\\windows\\system32".parse().unwrap(),
+                },
+                ChainEntry::Native,
+            )
+            .unwrap();
+        assert!(rows
+            .iter()
+            .any(|r| r.name().to_win32_lossy() == "svchost.exe."));
+    }
+
+    #[test]
+    fn deep_path_hidden_by_max_path() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        let inf = NamingTrick.infect(&mut m).unwrap();
+        let deep = inf
+            .hidden_files
+            .iter()
+            .find(|p| p.to_string().contains("very-long"))
+            .unwrap();
+        assert!(deep.char_len() > strider_nt_core::NtPath::root_of("C:").char_len());
+        assert!(!deep.is_win32_visible());
+        assert!(m.volume().exists(deep));
+    }
+}

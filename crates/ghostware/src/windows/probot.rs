@@ -1,0 +1,219 @@
+//! ProBot SE — the commercial key-logger.
+//!
+//! ProBot SE "hijacks kernel-mode file-query APIs by modifying their dispatch
+//! entries in the Service Dispatch Table" (Figure 2). It installs four
+//! randomly-named files — an EXE, a DLL, and two drivers (Figure 3) — plus
+//! three ASEP hooks: two services (one of them a keyboard driver) and a Run
+//! key (Figure 4). Its log file fills with keystrokes as the machine runs.
+
+use crate::filters::hide_names_containing;
+use crate::{Ghostware, Infection, Technique};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use strider_hive::ValueData;
+use strider_kernel::SyscallId;
+use strider_nt_core::{NtPath, NtStatus};
+use strider_winapi::{Machine, QueryKind, TickTask};
+
+/// The ProBot SE sample. Its artifact names are random; pass a seed for
+/// reproducible experiments.
+#[derive(Debug, Clone)]
+pub struct ProBotSe {
+    /// RNG seed for the random artifact names.
+    pub seed: u64,
+}
+
+impl Default for ProBotSe {
+    fn default() -> Self {
+        Self { seed: 0x9b07 }
+    }
+}
+
+fn random_stem(rng: &mut StdRng) -> String {
+    (0..8)
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect()
+}
+
+struct Keylogger {
+    log_path: NtPath,
+    counter: u64,
+}
+
+impl TickTask for Keylogger {
+    fn name(&self) -> &str {
+        "probot-keylogger"
+    }
+
+    fn on_tick(&mut self, machine: &mut Machine) {
+        self.counter += 1;
+        // Capture a "keystroke" every few ticks.
+        if self.counter.is_multiple_of(3) {
+            let line = format!("key {:04}\r\n", self.counter);
+            let _ = machine.volume_mut().append_file(&self.log_path, line.as_bytes());
+        }
+    }
+}
+
+impl Ghostware for ProBotSe {
+    fn name(&self) -> &str {
+        "ProBot SE"
+    }
+
+    fn infect(&self, machine: &mut Machine) -> Result<Infection, NtStatus> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let exe_stem = random_stem(&mut rng);
+        let dll_stem = random_stem(&mut rng);
+        let drv1_stem = random_stem(&mut rng);
+        let drv2_stem = random_stem(&mut rng);
+
+        let mk = |s: &str| -> Result<NtPath, NtStatus> {
+            s.parse().map_err(|_| NtStatus::ObjectNameInvalid)
+        };
+        let exe = mk(&format!("C:\\windows\\system32\\{exe_stem}.exe"))?;
+        let dll = mk(&format!("C:\\windows\\system32\\{dll_stem}.dll"))?;
+        let drv1 = mk(&format!("C:\\windows\\system32\\drivers\\{drv1_stem}.sys"))?;
+        let drv2 = mk(&format!("C:\\windows\\system32\\drivers\\{drv2_stem}.sys"))?;
+        let log = mk(&format!("C:\\windows\\system32\\{exe_stem}.log"))?;
+        machine.native_create_file(&exe, b"MZ probot")?;
+        machine.native_create_file(&dll, b"MZ probot hook dll")?;
+        machine.native_create_file(&drv1, b"MZ probot fsdrv")?;
+        machine.native_create_file(&drv2, b"MZ probot kbddrv")?;
+        machine.native_create_file(&log, b"")?;
+
+        // ASEP hooks: two services + one Run entry (Figure 4).
+        for (svc, image) in [
+            (drv1_stem.clone(), format!("System32\\drivers\\{drv1_stem}.sys")),
+            (drv2_stem.clone(), format!("{drv2_stem}.sys keyboard driver")),
+        ] {
+            let key = mk(&format!("HKLM\\SYSTEM\\CurrentControlSet\\Services\\{svc}"))?;
+            machine
+                .registry_mut()
+                .create_key(&key)
+                .map_err(|_| NtStatus::ObjectNameNotFound)?;
+            machine
+                .registry_mut()
+                .set_value(&key, "ImagePath", ValueData::sz(image.as_str()))
+                .map_err(|_| NtStatus::ObjectNameNotFound)?;
+        }
+        let run: NtPath = "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run"
+            .parse()
+            .expect("static");
+        machine
+            .registry_mut()
+            .set_value(
+                &run,
+                format!("{exe_stem}.exe").as_str(),
+                ValueData::sz(exe.to_string().as_str()),
+            )
+            .map_err(|_| NtStatus::ObjectNameNotFound)?;
+
+        machine.kernel_mut().load_driver(&drv1_stem, drv1.clone());
+        machine.kernel_mut().load_driver(&drv2_stem, drv2.clone());
+
+        // SSDT hooks: one per hijacked service, all hiding the random stems.
+        let stems = [exe_stem.clone(), dll_stem.clone(), drv1_stem.clone(), drv2_stem.clone()];
+        let stem_refs: Vec<&str> = stems.iter().map(String::as_str).collect();
+        machine.install_ssdt_hook(
+            "ProBotSE",
+            SyscallId::NtQueryDirectoryFile,
+            vec![QueryKind::Files],
+            hide_names_containing(&stem_refs),
+        );
+        machine.install_ssdt_hook(
+            "ProBotSE",
+            SyscallId::NtEnumerateKey,
+            vec![QueryKind::RegKeys],
+            hide_names_containing(&stem_refs),
+        );
+        machine.install_ssdt_hook(
+            "ProBotSE",
+            SyscallId::NtEnumerateValueKey,
+            vec![QueryKind::RegValues],
+            hide_names_containing(&stem_refs),
+        );
+
+        // The logger runs as part of the machine's background activity.
+        machine.add_tick_task(Box::new(Keylogger {
+            log_path: log.clone(),
+            counter: 0,
+        }));
+
+        let mut infection = Infection::new("ProBot SE");
+        infection.techniques = vec![Technique::SsdtHook];
+        infection.hidden_files = vec![exe, dll, drv1, drv2, log];
+        infection.hidden_asep_entries = vec![
+            drv1_stem.clone(),
+            drv2_stem.clone(),
+            format!("{exe_stem}.exe"),
+        ];
+        Ok(infection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strider_winapi::{ChainEntry, Query};
+
+    #[test]
+    fn artifacts_are_deterministic_per_seed() {
+        let mut m1 = Machine::with_base_system("a").unwrap();
+        let mut m2 = Machine::with_base_system("b").unwrap();
+        let i1 = ProBotSe { seed: 7 }.infect(&mut m1).unwrap();
+        let i2 = ProBotSe { seed: 7 }.infect(&mut m2).unwrap();
+        assert_eq!(i1.hidden_files, i2.hidden_files);
+        let i3 = ProBotSe { seed: 8 }.infect(&mut Machine::with_base_system("c").unwrap()).unwrap();
+        assert_ne!(i1.hidden_files, i3.hidden_files);
+    }
+
+    #[test]
+    fn ssdt_hides_from_native_callers_too() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        let inf = ProBotSe::default().infect(&mut m).unwrap();
+        let ctx = m.context_for_name("explorer.exe").unwrap();
+        let stem = inf.hidden_files[0]
+            .file_name()
+            .unwrap()
+            .to_win32_lossy()
+            .trim_end_matches(".exe")
+            .to_string();
+        for entry in [ChainEntry::Win32, ChainEntry::Native] {
+            let rows = m
+                .query(
+                    &ctx,
+                    &Query::DirectoryEnum {
+                        path: "C:\\windows\\system32".parse().unwrap(),
+                    },
+                    entry,
+                )
+                .unwrap();
+            assert!(
+                !rows.iter().any(|r| r.name().to_win32_lossy().contains(&stem)),
+                "SSDT hook is below the native entry"
+            );
+        }
+    }
+
+    #[test]
+    fn keylogger_grows_its_log() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        let inf = ProBotSe::default().infect(&mut m).unwrap();
+        let log = inf
+            .hidden_files
+            .iter()
+            .find(|p| p.to_string().ends_with(".log"))
+            .unwrap()
+            .clone();
+        m.tick(9);
+        assert!(!m.volume().read_file(&log).unwrap().is_empty());
+    }
+
+    #[test]
+    fn three_asep_hooks_installed() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        let inf = ProBotSe::default().infect(&mut m).unwrap();
+        assert_eq!(inf.hidden_asep_entries.len(), 3);
+        assert_eq!(m.kernel().ssdt().hooked_services().len(), 3);
+    }
+}

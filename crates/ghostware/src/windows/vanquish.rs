@@ -1,0 +1,190 @@
+//! The Vanquish rootkit.
+//!
+//! Vanquish "directly modifies the loaded, in-memory API code so that its
+//! function is called and then it calls the next OS function" — a call
+//! *wrapper*, which (unlike a detour) shows up in call-stack traces
+//! (Figure 2). It hides every `*vanquish*` file (Figure 3), hides its
+//! service ASEP hook (Figure 4), injects `vanquish.dll` into many processes
+//! and blanks the DLL's pathname out of each PEB module list (Figures 5–6).
+
+use crate::filters::hide_names_containing;
+use crate::{Ghostware, Infection, Technique};
+use strider_hive::ValueData;
+use strider_nt_core::{NtPath, NtStatus};
+use strider_winapi::{HookScope, HookStyle, Machine, QueryKind};
+
+/// The Vanquish rootkit sample.
+#[derive(Debug, Clone)]
+pub struct Vanquish {
+    /// How many running processes the DLL is injected into (the paper: the
+    /// GhostBuster report "contains many such entries").
+    pub inject_count: usize,
+}
+
+impl Default for Vanquish {
+    fn default() -> Self {
+        Self { inject_count: 6 }
+    }
+}
+
+impl Ghostware for Vanquish {
+    fn name(&self) -> &str {
+        "Vanquish"
+    }
+
+    fn infect(&self, machine: &mut Machine) -> Result<Infection, NtStatus> {
+        let exe: NtPath = "C:\\windows\\vanquish.exe".parse().expect("static");
+        let dll: NtPath = "C:\\windows\\vanquish.dll".parse().expect("static");
+        let log: NtPath = "C:\\vanquish.log".parse().expect("static");
+        machine.native_create_file(&exe, b"MZ vanquish")?;
+        machine.native_create_file(&dll, b"MZ vanquish dll")?;
+        machine.native_create_file(&log, b"api hook log")?;
+
+        // Service ASEP hook, hidden below.
+        let svc: NtPath = "HKLM\\SYSTEM\\CurrentControlSet\\Services\\Vanquish"
+            .parse()
+            .expect("static");
+        machine
+            .registry_mut()
+            .create_key(&svc)
+            .map_err(|_| NtStatus::ObjectNameNotFound)?;
+        machine
+            .registry_mut()
+            .set_value(&svc, "ImagePath", ValueData::sz("C:\\windows\\vanquish.exe"))
+            .map_err(|_| NtStatus::ObjectNameNotFound)?;
+
+        // In-memory wrapper on the Win32 API code: files, registry keys and
+        // values — anything matching *vanquish*.
+        machine.install_win32_code_hook(
+            "Vanquish",
+            vec![QueryKind::Files, QueryKind::RegKeys, QueryKind::RegValues],
+            HookScope::All,
+            HookStyle::Wrapper,
+            hide_names_containing(&["vanquish"]),
+        );
+
+        // Inject the DLL into running processes and blank its PEB entry.
+        let mut injected = 0usize;
+        let targets: Vec<_> = machine
+            .kernel()
+            .active_process_list()
+            .into_iter()
+            .filter(|&pid| {
+                machine
+                    .kernel()
+                    .process(pid)
+                    .is_some_and(|p| p.image_name.to_win32_lossy() != "System")
+            })
+            .take(self.inject_count)
+            .collect();
+        for pid in targets {
+            machine
+                .kernel_mut()
+                .load_module(pid, "vanquish.dll", "C:\\windows\\vanquish.dll")
+                .map_err(|_| NtStatus::NoSuchProcess)?;
+            machine
+                .kernel_mut()
+                .blank_peb_module_path(pid, "vanquish.dll")
+                .map_err(|_| NtStatus::NoSuchProcess)?;
+            injected += 1;
+        }
+
+        let mut infection = Infection::new("Vanquish");
+        infection.techniques = vec![Technique::InlineWrapper, Technique::PebBlanking];
+        infection.hidden_files = vec![exe, dll, log];
+        infection.hidden_asep_entries.push("Vanquish".to_string());
+        infection
+            .hidden_module_names
+            .extend(std::iter::repeat_n("vanquish.dll".to_string(), injected));
+        Ok(infection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strider_nt_core::NtString;
+    use strider_winapi::{ChainEntry, Query, Row};
+
+    #[test]
+    fn files_hidden_from_win32_and_native() {
+        // A wrapper on Win32 code affects Win32 callers; native callers
+        // entering at NtDll bypass it.
+        let mut m = Machine::with_base_system("t").unwrap();
+        Vanquish::default().infect(&mut m).unwrap();
+        let ctx = m.context_for_name("explorer.exe").unwrap();
+        let q = Query::DirectoryEnum {
+            path: "C:\\windows".parse().unwrap(),
+        };
+        let win32 = m.query(&ctx, &q, ChainEntry::Win32).unwrap();
+        assert!(!win32.iter().any(|r| r.name().to_win32_lossy().contains("vanquish")));
+        let native = m.query(&ctx, &q, ChainEntry::Native).unwrap();
+        assert!(native.iter().any(|r| r.name().to_win32_lossy().contains("vanquish")));
+    }
+
+    #[test]
+    fn service_key_hidden_from_key_enumeration() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        Vanquish::default().infect(&mut m).unwrap();
+        let ctx = m.context_for_name("explorer.exe").unwrap();
+        let q = Query::RegEnumKeys {
+            key: "HKLM\\SYSTEM\\CurrentControlSet\\Services".parse().unwrap(),
+        };
+        let rows = m.query(&ctx, &q, ChainEntry::Win32).unwrap();
+        assert!(!rows.iter().any(|r| r.name().to_win32_lossy() == "Vanquish"));
+        // Truth: the key exists.
+        assert!(m.registry().key_exists(
+            &"HKLM\\SYSTEM\\CurrentControlSet\\Services\\Vanquish"
+                .parse()
+                .unwrap()
+        ));
+    }
+
+    #[test]
+    fn wrapper_appears_in_call_stack_trace_unlike_hxdef_detour() {
+        // Figure 2's visibility note: Vanquish's wrapper shows in a stack
+        // trace; Hacker Defender's detour does not.
+        let mut m = Machine::with_base_system("t").unwrap();
+        Vanquish::default().infect(&mut m).unwrap();
+        crate::HackerDefender::default().infect(&mut m).unwrap();
+        let ctx = m.context_for_name("explorer.exe").unwrap();
+        let trace = m.stack_trace(&ctx, strider_winapi::QueryKind::Files);
+        assert!(trace.iter().any(|f| f.contains("Vanquish")), "{trace:?}");
+        assert!(!trace.iter().any(|f| f.contains("HackerDefender")), "{trace:?}");
+    }
+
+    #[test]
+    fn dll_injected_and_blanked_in_many_processes() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        let inf = Vanquish::default().infect(&mut m).unwrap();
+        assert_eq!(inf.hidden_module_names.len(), 6);
+        let needle = NtString::from("vanquish.dll");
+        let mut kernel_truth = 0;
+        let mut peb_visible = 0;
+        for p in m.kernel().processes() {
+            if p.kernel_module(&needle).is_some() {
+                kernel_truth += 1;
+            }
+            if p.peb_module(&needle).is_some() {
+                peb_visible += 1;
+            }
+        }
+        assert_eq!(kernel_truth, 6);
+        assert_eq!(peb_visible, 0, "PEB entries blanked");
+        // Win32 module enumeration shows nothing.
+        let pid = m
+            .kernel()
+            .processes()
+            .find(|p| p.kernel_module(&needle).is_some())
+            .unwrap()
+            .pid;
+        let ctx = m.context_for(pid).unwrap();
+        let rows = m
+            .query(&ctx, &Query::ModuleList { pid }, ChainEntry::Win32)
+            .unwrap();
+        assert!(!rows.iter().any(|r| match r {
+            Row::Module(mr) => mr.name.to_win32_lossy().contains("vanquish"),
+            _ => false,
+        }));
+    }
+}

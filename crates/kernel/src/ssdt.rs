@@ -1,0 +1,181 @@
+//! The Service Dispatch Table (SSDT).
+//!
+//! Kernel-mode interception à la ProBot SE: a ghostware driver overwrites a
+//! dispatch entry so every syscall of that kind, from every process, routes
+//! through its filter before (or instead of) the original handler. The
+//! entries here carry an optional hook id resolved by the machine's hook
+//! registry in `strider-winapi`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The system services the simulated API chain dispatches through the SSDT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyscallId {
+    /// Directory enumeration (`NtQueryDirectoryFile`).
+    NtQueryDirectoryFile,
+    /// Registry subkey enumeration (`NtEnumerateKey`).
+    NtEnumerateKey,
+    /// Registry value enumeration (`NtEnumerateValueKey`).
+    NtEnumerateValueKey,
+    /// Process/system information (`NtQuerySystemInformation`).
+    NtQuerySystemInformation,
+    /// Per-process information incl. modules (`NtQueryInformationProcess`).
+    NtQueryInformationProcess,
+}
+
+impl SyscallId {
+    /// All services in dispatch-table order.
+    pub const ALL: [SyscallId; 5] = [
+        SyscallId::NtQueryDirectoryFile,
+        SyscallId::NtEnumerateKey,
+        SyscallId::NtEnumerateValueKey,
+        SyscallId::NtQuerySystemInformation,
+        SyscallId::NtQueryInformationProcess,
+    ];
+}
+
+impl fmt::Display for SyscallId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SyscallId::NtQueryDirectoryFile => "NtQueryDirectoryFile",
+            SyscallId::NtEnumerateKey => "NtEnumerateKey",
+            SyscallId::NtEnumerateValueKey => "NtEnumerateValueKey",
+            SyscallId::NtQuerySystemInformation => "NtQuerySystemInformation",
+            SyscallId::NtQueryInformationProcess => "NtQueryInformationProcess",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One SSDT entry: the service and, when hijacked, the hook routed through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SsdtEntry {
+    /// The dispatched service.
+    pub service: SyscallId,
+    /// `Some(hook)` when a ghostware driver replaced the dispatch pointer.
+    pub hook: Option<u32>,
+}
+
+/// The Service Dispatch Table.
+///
+/// # Examples
+///
+/// ```
+/// use strider_kernel::{Ssdt, SyscallId};
+///
+/// let mut ssdt = Ssdt::new();
+/// assert!(ssdt.hook_of(SyscallId::NtQueryDirectoryFile).is_none());
+/// ssdt.install_hook(SyscallId::NtQueryDirectoryFile, 7);
+/// assert_eq!(ssdt.hook_of(SyscallId::NtQueryDirectoryFile), Some(7));
+/// assert_eq!(ssdt.hooked_services().len(), 1);
+/// ssdt.restore(SyscallId::NtQueryDirectoryFile);
+/// assert!(ssdt.hook_of(SyscallId::NtQueryDirectoryFile).is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ssdt {
+    entries: Vec<SsdtEntry>,
+}
+
+impl Default for Ssdt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Ssdt {
+    /// Creates a pristine table with every service pointing at its original
+    /// handler.
+    pub fn new() -> Self {
+        Self {
+            entries: SyscallId::ALL
+                .iter()
+                .map(|&service| SsdtEntry {
+                    service,
+                    hook: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// The table entries in dispatch order.
+    pub fn entries(&self) -> &[SsdtEntry] {
+        &self.entries
+    }
+
+    /// The hook installed on `service`, if any.
+    pub fn hook_of(&self, service: SyscallId) -> Option<u32> {
+        self.entries
+            .iter()
+            .find(|e| e.service == service)
+            .and_then(|e| e.hook)
+    }
+
+    /// Replaces the dispatch pointer of `service` with `hook`, returning the
+    /// previous hook if one was installed (hooks chain by wrapping).
+    pub fn install_hook(&mut self, service: SyscallId, hook: u32) -> Option<u32> {
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|e| e.service == service)
+            .expect("every service has an entry");
+        entry.hook.replace(hook)
+    }
+
+    /// Restores the original dispatch pointer (the VICE-style countermeasure
+    /// the paper cites as "Direct Service Dispatch Table Restoration").
+    pub fn restore(&mut self, service: SyscallId) -> Option<u32> {
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|e| e.service == service)
+            .expect("every service has an entry");
+        entry.hook.take()
+    }
+
+    /// Services currently hijacked — what a mechanism-targeting hook scanner
+    /// reports.
+    pub fn hooked_services(&self) -> Vec<SyscallId> {
+        self.entries
+            .iter()
+            .filter(|e| e.hook.is_some())
+            .map(|e| e.service)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_table_is_clean() {
+        let t = Ssdt::new();
+        assert_eq!(t.entries().len(), SyscallId::ALL.len());
+        assert!(t.hooked_services().is_empty());
+    }
+
+    #[test]
+    fn install_replaces_and_returns_previous() {
+        let mut t = Ssdt::new();
+        assert_eq!(t.install_hook(SyscallId::NtEnumerateKey, 1), None);
+        assert_eq!(t.install_hook(SyscallId::NtEnumerateKey, 2), Some(1));
+        assert_eq!(t.hook_of(SyscallId::NtEnumerateKey), Some(2));
+    }
+
+    #[test]
+    fn restore_clears() {
+        let mut t = Ssdt::new();
+        t.install_hook(SyscallId::NtQuerySystemInformation, 9);
+        assert_eq!(t.restore(SyscallId::NtQuerySystemInformation), Some(9));
+        assert!(t.hooked_services().is_empty());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(
+            SyscallId::NtQueryDirectoryFile.to_string(),
+            "NtQueryDirectoryFile"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! I/O accounting for the scan-time cost model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Accumulated I/O work performed by a scan.
+///
+/// The substrates increment these counters on every simulated operation; the
+/// workload crate's cost model converts them into seconds for a given machine
+/// hardware profile, reproducing the shape of the paper's timing results
+/// (file scans in minutes, Registry scans in tens of seconds, process scans in
+/// seconds).
+///
+/// # Examples
+///
+/// ```
+/// use strider_nt_core::IoStats;
+///
+/// let mut io = IoStats::default();
+/// io.record_sequential(4096);
+/// io.record_seek();
+/// io.record_api_call();
+/// assert_eq!(io.bytes_read, 4096);
+/// assert_eq!(io.seeks, 1);
+/// assert_eq!(io.api_calls, 1);
+///
+/// let mut total = IoStats::default();
+/// total.merge(&io);
+/// assert_eq!(total.bytes_read, 4096);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IoStats {
+    /// Bytes read sequentially (MFT sweeps, hive file reads, dump reads).
+    pub bytes_read: u64,
+    /// Random-access repositioning operations (per-directory descents).
+    pub seeks: u64,
+    /// User-mode API round trips (one per enumeration call).
+    pub api_calls: u64,
+    /// Records or entries materialized for the caller.
+    pub entries: u64,
+}
+
+impl IoStats {
+    /// Creates a zeroed accumulator; identical to `Default::default()`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sequential read of `bytes`.
+    pub fn record_sequential(&mut self, bytes: u64) {
+        self.bytes_read += bytes;
+    }
+
+    /// Records one random-access seek.
+    pub fn record_seek(&mut self) {
+        self.seeks += 1;
+    }
+
+    /// Records one API round trip.
+    pub fn record_api_call(&mut self) {
+        self.api_calls += 1;
+    }
+
+    /// Records `n` entries materialized.
+    pub fn record_entries(&mut self, n: u64) {
+        self.entries += n;
+    }
+
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &IoStats) {
+        self.bytes_read += other.bytes_read;
+        self.seeks += other.seeks;
+        self.api_calls += other.api_calls;
+        self.entries += other.entries;
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} bytes, {} seeks, {} api calls, {} entries",
+            self.bytes_read, self.seeks, self.api_calls, self.entries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let mut a = IoStats::default();
+        a.record_sequential(10);
+        a.record_seek();
+        let mut b = IoStats::default();
+        b.record_api_call();
+        b.record_entries(7);
+        b.record_sequential(5);
+        a.merge(&b);
+        assert_eq!(
+            a,
+            IoStats {
+                bytes_read: 15,
+                seeks: 1,
+                api_calls: 1,
+                entries: 7
+            }
+        );
+    }
+
+    #[test]
+    fn display_mentions_all_counters() {
+        let s = IoStats {
+            bytes_read: 1,
+            seeks: 2,
+            api_calls: 3,
+            entries: 4,
+        }
+        .to_string();
+        for needle in ["1 bytes", "2 seeks", "3 api calls", "4 entries"] {
+            assert!(s.contains(needle), "{s} missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Counted UTF-16 names and the Win32 legality rules.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Reserved DOS device names that the Win32 layer refuses to address as
+/// ordinary files, regardless of extension (`CON.txt` is still `CON`).
+pub(crate) const RESERVED_DEVICE_NAMES: &[&str] = &[
+    "CON", "PRN", "AUX", "NUL", "COM1", "COM2", "COM3", "COM4", "COM5", "COM6", "COM7", "COM8",
+    "COM9", "LPT1", "LPT2", "LPT3", "LPT4", "LPT5", "LPT6", "LPT7", "LPT8", "LPT9",
+];
+
+/// Characters the Win32 layer rejects in file names (the native layer does not).
+pub(crate) const WIN32_ILLEGAL_CHARS: &[char] = &['<', '>', ':', '"', '/', '|', '?', '*'];
+
+/// A counted UTF-16 string — the native NT name representation.
+///
+/// NT stores names as `UNICODE_STRING`s: a length plus a buffer, with no
+/// terminator. Consequently an `NtString` may contain embedded `NUL` code
+/// units. The Win32 API layer, which marshals names through NUL-terminated
+/// C strings, silently truncates at the first `NUL` — the discrepancy that
+/// ghostware exploits to create Registry entries invisible to RegEdit
+/// (paper, Section 3).
+///
+/// Comparison of two `NtString`s via [`NtString::eq_ignore_case`] follows the
+/// NT object-namespace convention of case-insensitivity; `PartialEq`/`Hash`
+/// remain case-*sensitive* and exact so that the type behaves like a plain
+/// value in collections. Use [`NtString::fold_key`] as a case-insensitive map
+/// key.
+///
+/// # Examples
+///
+/// ```
+/// use strider_nt_core::NtString;
+///
+/// let visible = NtString::from("Run");
+/// let sneaky = NtString::from_units(&[b'R' as u16, 0, b'x' as u16]);
+/// assert!(sneaky.contains_nul());
+/// // The Win32 view truncates at the NUL:
+/// assert_eq!(sneaky.to_win32_lossy(), "R");
+/// assert_eq!(visible.to_win32_lossy(), "Run");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct NtString {
+    units: Vec<u16>,
+}
+
+impl NtString {
+    /// Creates an empty name.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a name from raw UTF-16 code units, which may include `NUL`s.
+    pub fn from_units(units: &[u16]) -> Self {
+        Self {
+            units: units.to_vec(),
+        }
+    }
+
+    /// The raw UTF-16 code units.
+    pub fn units(&self) -> &[u16] {
+        &self.units
+    }
+
+    /// Number of UTF-16 code units (the `Length/2` of a `UNICODE_STRING`).
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Whether the name is empty.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Whether the counted string contains an embedded `NUL` code unit.
+    pub fn contains_nul(&self) -> bool {
+        self.units.contains(&0)
+    }
+
+    /// The name as the Win32 layer sees it: truncated at the first `NUL`,
+    /// lossily decoded.
+    pub fn to_win32_lossy(&self) -> String {
+        let end = self
+            .units
+            .iter()
+            .position(|&u| u == 0)
+            .unwrap_or(self.units.len());
+        String::from_utf16_lossy(&self.units[..end])
+    }
+
+    /// The full counted name, lossily decoded, with embedded `NUL`s rendered
+    /// as `\0` escapes so the representation is never misleadingly truncated.
+    pub fn to_display_string(&self) -> String {
+        let mut out = String::with_capacity(self.units.len());
+        for (i, chunk) in self.units.split(|&u| u == 0).enumerate() {
+            if i > 0 {
+                out.push_str("\\0");
+            }
+            out.push_str(&String::from_utf16_lossy(chunk));
+        }
+        out
+    }
+
+    /// A case-folded exact key for case-insensitive maps, preserving embedded
+    /// `NUL`s (NT name comparison is case-insensitive but NUL-significant).
+    pub fn fold_key(&self) -> Vec<u16> {
+        self.units
+            .iter()
+            .map(|&u| {
+                // Simple-case folding is what the NT upcase table does for
+                // the BMP; ASCII folding covers the simulation's namespace.
+                match char::from_u32(u as u32) {
+                    Some(c) => c.to_ascii_lowercase() as u16,
+                    None => u,
+                }
+            })
+            .collect()
+    }
+
+    /// Case-insensitive equality per NT name-comparison rules.
+    pub fn eq_ignore_case(&self, other: &NtString) -> bool {
+        self.fold_key() == other.fold_key()
+    }
+
+    /// Validates the name against the Win32 layer's file-naming rules.
+    ///
+    /// NTFS itself (through the native API) accepts all of these names; only
+    /// the Win32 API refuses to create or address them, which is why files
+    /// with such names are invisible to `dir`-style high-level scans
+    /// (paper, Section 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first rule the name violates.
+    pub fn validate_win32(&self) -> Result<(), Win32NameError> {
+        if self.is_empty() {
+            return Err(Win32NameError::Empty);
+        }
+        if self.contains_nul() {
+            return Err(Win32NameError::EmbeddedNul);
+        }
+        let s = self.to_win32_lossy();
+        if let Some(c) = s.chars().find(|c| WIN32_ILLEGAL_CHARS.contains(c)) {
+            return Err(Win32NameError::IllegalCharacter(c));
+        }
+        if let Some(c) = s.chars().find(|&c| (c as u32) < 0x20) {
+            return Err(Win32NameError::ControlCharacter(c as u32));
+        }
+        if s.ends_with('.') || s.ends_with(' ') {
+            return Err(Win32NameError::TrailingDotOrSpace);
+        }
+        let stem = s.split('.').next().unwrap_or("").to_ascii_uppercase();
+        if RESERVED_DEVICE_NAMES.contains(&stem.as_str()) {
+            return Err(Win32NameError::ReservedDeviceName(stem));
+        }
+        Ok(())
+    }
+
+    /// Whether the name passes every Win32 file-naming rule.
+    pub fn is_win32_legal(&self) -> bool {
+        self.validate_win32().is_ok()
+    }
+}
+
+impl From<&str> for NtString {
+    fn from(s: &str) -> Self {
+        Self {
+            units: s.encode_utf16().collect(),
+        }
+    }
+}
+
+impl From<String> for NtString {
+    fn from(s: String) -> Self {
+        NtString::from(s.as_str())
+    }
+}
+
+impl fmt::Display for NtString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_display_string())
+    }
+}
+
+/// A violation of the Win32 file-naming rules.
+///
+/// Names that violate these rules are fully addressable through the native
+/// API and NTFS, producing the "hidden by naming" class of ghostware files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Win32NameError {
+    /// The name is empty.
+    Empty,
+    /// The counted string embeds a `NUL` code unit.
+    EmbeddedNul,
+    /// The name contains a character Win32 forbids (`<>:"/|?*`).
+    IllegalCharacter(char),
+    /// The name contains a control character below `0x20`.
+    ControlCharacter(u32),
+    /// The name ends with a dot or a space.
+    TrailingDotOrSpace,
+    /// The stem is a reserved DOS device name such as `CON` or `LPT1`.
+    ReservedDeviceName(String),
+}
+
+impl fmt::Display for Win32NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Win32NameError::Empty => write!(f, "name is empty"),
+            Win32NameError::EmbeddedNul => write!(f, "name contains an embedded NUL"),
+            Win32NameError::IllegalCharacter(c) => {
+                write!(f, "name contains illegal character {c:?}")
+            }
+            Win32NameError::ControlCharacter(c) => {
+                write!(f, "name contains control character U+{c:04X}")
+            }
+            Win32NameError::TrailingDotOrSpace => write!(f, "name ends with a dot or space"),
+            Win32NameError::ReservedDeviceName(n) => {
+                write!(f, "name stem is reserved device name {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Win32NameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let n = NtString::from("Notepad.exe");
+        assert_eq!(n.to_win32_lossy(), "Notepad.exe");
+        assert_eq!(n.len(), 11);
+        assert!(n.is_win32_legal());
+    }
+
+    #[test]
+    fn embedded_nul_truncates_win32_view_but_not_display() {
+        let n = NtString::from_units(&[104, 0, 105]); // "h\0i"
+        assert!(n.contains_nul());
+        assert_eq!(n.to_win32_lossy(), "h");
+        assert_eq!(n.to_display_string(), "h\\0i");
+        assert_eq!(n.validate_win32(), Err(Win32NameError::EmbeddedNul));
+    }
+
+    #[test]
+    fn trailing_nul_is_escaped_in_display() {
+        let n = NtString::from_units(&[104, 0]);
+        assert_eq!(n.to_display_string(), "h\\0");
+    }
+
+    #[test]
+    fn case_insensitive_comparison() {
+        let a = NtString::from("HxDef100.EXE");
+        let b = NtString::from("hxdef100.exe");
+        assert!(a.eq_ignore_case(&b));
+        assert_ne!(a, b); // exact equality stays case-sensitive
+        assert_eq!(a.fold_key(), b.fold_key());
+    }
+
+    #[test]
+    fn trailing_dot_and_space_are_win32_illegal() {
+        assert_eq!(
+            NtString::from("update.").validate_win32(),
+            Err(Win32NameError::TrailingDotOrSpace)
+        );
+        assert_eq!(
+            NtString::from("driver ").validate_win32(),
+            Err(Win32NameError::TrailingDotOrSpace)
+        );
+    }
+
+    #[test]
+    fn reserved_device_names_with_and_without_extension() {
+        assert!(matches!(
+            NtString::from("CON").validate_win32(),
+            Err(Win32NameError::ReservedDeviceName(_))
+        ));
+        assert!(matches!(
+            NtString::from("nul.txt").validate_win32(),
+            Err(Win32NameError::ReservedDeviceName(_))
+        ));
+        assert!(matches!(
+            NtString::from("lpt1.log").validate_win32(),
+            Err(Win32NameError::ReservedDeviceName(_))
+        ));
+        // CONSOLE is not reserved, only the exact stem.
+        assert!(NtString::from("console.txt").is_win32_legal());
+    }
+
+    #[test]
+    fn illegal_and_control_characters() {
+        assert!(matches!(
+            NtString::from("a<b").validate_win32(),
+            Err(Win32NameError::IllegalCharacter('<'))
+        ));
+        assert!(matches!(
+            NtString::from("a\u{1}b").validate_win32(),
+            Err(Win32NameError::ControlCharacter(1))
+        ));
+    }
+
+    #[test]
+    fn empty_name_is_illegal() {
+        assert_eq!(NtString::new().validate_win32(), Err(Win32NameError::Empty));
+    }
+
+    #[test]
+    fn error_display_is_nonempty_lowercase() {
+        for e in [
+            Win32NameError::Empty,
+            Win32NameError::EmbeddedNul,
+            Win32NameError::IllegalCharacter('?'),
+            Win32NameError::ControlCharacter(2),
+            Win32NameError::TrailingDotOrSpace,
+            Win32NameError::ReservedDeviceName("CON".into()),
+        ] {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

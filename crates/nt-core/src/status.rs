@@ -1,0 +1,108 @@
+//! Simulated NTSTATUS codes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The status vocabulary returned by simulated NT and Win32 APIs.
+///
+/// A small, meaningful subset of the real NTSTATUS space — each variant is
+/// one the GhostBuster scanners or the ghostware corpus actually exercises.
+///
+/// # Examples
+///
+/// ```
+/// use strider_nt_core::NtStatus;
+///
+/// fn open() -> Result<(), NtStatus> {
+///     Err(NtStatus::ObjectNameNotFound)
+/// }
+/// assert_eq!(open().unwrap_err().to_string(), "object name not found");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NtStatus {
+    /// The requested object (file, key, process) does not exist.
+    ObjectNameNotFound,
+    /// An object with this name already exists.
+    ObjectNameCollision,
+    /// The name is invalid at the layer that rejected it (e.g. Win32 naming
+    /// rules, `MAX_PATH`).
+    ObjectNameInvalid,
+    /// The path's parent chain does not exist.
+    ObjectPathNotFound,
+    /// The object is not a directory/key but was addressed as one.
+    NotADirectory,
+    /// The object is a directory/key but a leaf operation was requested.
+    IsADirectory,
+    /// A directory or key that must be empty for the operation is not.
+    DirectoryNotEmpty,
+    /// The caller lacks the required access.
+    AccessDenied,
+    /// A parameter was malformed.
+    InvalidParameter,
+    /// The on-disk or in-dump structure failed to parse.
+    CorruptStructure(String),
+    /// The referenced process does not exist.
+    NoSuchProcess,
+    /// The referenced device/driver does not exist.
+    NoSuchDevice,
+    /// The operation is not supported by this layer.
+    NotSupported,
+}
+
+impl fmt::Display for NtStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NtStatus::ObjectNameNotFound => write!(f, "object name not found"),
+            NtStatus::ObjectNameCollision => write!(f, "object name collision"),
+            NtStatus::ObjectNameInvalid => write!(f, "object name invalid"),
+            NtStatus::ObjectPathNotFound => write!(f, "object path not found"),
+            NtStatus::NotADirectory => write!(f, "not a directory"),
+            NtStatus::IsADirectory => write!(f, "is a directory"),
+            NtStatus::DirectoryNotEmpty => write!(f, "directory not empty"),
+            NtStatus::AccessDenied => write!(f, "access denied"),
+            NtStatus::InvalidParameter => write!(f, "invalid parameter"),
+            NtStatus::CorruptStructure(what) => write!(f, "corrupt structure: {what}"),
+            NtStatus::NoSuchProcess => write!(f, "no such process"),
+            NtStatus::NoSuchDevice => write!(f, "no such device"),
+            NtStatus::NotSupported => write!(f, "not supported"),
+        }
+    }
+}
+
+impl std::error::Error for NtStatus {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_without_punctuation() {
+        let all = [
+            NtStatus::ObjectNameNotFound,
+            NtStatus::ObjectNameCollision,
+            NtStatus::ObjectNameInvalid,
+            NtStatus::ObjectPathNotFound,
+            NtStatus::NotADirectory,
+            NtStatus::IsADirectory,
+            NtStatus::DirectoryNotEmpty,
+            NtStatus::AccessDenied,
+            NtStatus::InvalidParameter,
+            NtStatus::CorruptStructure("mft".into()),
+            NtStatus::NoSuchProcess,
+            NtStatus::NoSuchDevice,
+            NtStatus::NotSupported,
+        ];
+        for s in all {
+            let msg = s.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<NtStatus>();
+    }
+}

@@ -1,0 +1,437 @@
+//! Raw volume image: binary serialization and the independent MFT parser.
+//!
+//! The writer emits one record per MFT slot (free slots included, flagged
+//! not-in-use, as on a real volume). Crucially it does **not** emit directory
+//! child indexes: the parser reconstructs the tree purely from each record's
+//! parent reference, exactly like a forensic MFT sweep. This keeps the
+//! low-level scan's code path disjoint from the live driver's lookup path,
+//! which is what makes the cross-view diff meaningful.
+
+use crate::record::FileAttributes;
+use crate::volume::NtfsVolume;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
+use std::fmt;
+use strider_nt_core::{FileRecordNumber, NtPath, NtString, Tick};
+
+const MAGIC: &[u8; 8] = b"SNTFS1\0\0";
+const VERSION: u32 = 1;
+
+/// Serializes a live volume to its raw image bytes.
+pub(crate) fn write_image(vol: &NtfsVolume) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(4096);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    let label = vol.label().as_bytes();
+    buf.put_u16_le(label.len() as u16);
+    buf.put_slice(label);
+    buf.put_u64_le(vol.slot_count() as u64);
+    for slot in 0..vol.slot_count() {
+        match vol.record(FileRecordNumber(slot as u64)) {
+            None => buf.put_u8(0),
+            Some(rec) => {
+                buf.put_u8(1);
+                buf.put_u64_le(rec.number.0);
+                buf.put_u16_le(rec.sequence);
+                buf.put_u64_le(rec.std_info.created.0);
+                buf.put_u64_le(rec.std_info.modified.0);
+                buf.put_u32_le(rec.std_info.attributes.0);
+                buf.put_u64_le(rec.parent.0);
+                put_name(&mut buf, &rec.name);
+                buf.put_u16_le(rec.streams.len() as u16);
+                for s in &rec.streams {
+                    match &s.name {
+                        None => buf.put_u8(0),
+                        Some(n) => {
+                            buf.put_u8(1);
+                            put_name(&mut buf, n);
+                        }
+                    }
+                    buf.put_u64_le(s.data.len() as u64);
+                    buf.put_slice(&s.data);
+                }
+            }
+        }
+    }
+    buf.to_vec()
+}
+
+fn put_name(buf: &mut BytesMut, name: &NtString) {
+    buf.put_u16_le(name.len() as u16);
+    for &u in name.units() {
+        buf.put_u16_le(u);
+    }
+}
+
+/// Error produced while parsing a raw volume image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// The image is shorter than the structure it claims to hold.
+    Truncated {
+        /// What was being parsed when the bytes ran out.
+        context: &'static str,
+    },
+    /// The magic header is wrong.
+    BadMagic,
+    /// The format version is unsupported.
+    BadVersion(u32),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::Truncated { context } => write!(f, "image truncated while reading {context}"),
+            ImageError::BadMagic => write!(f, "bad image magic"),
+            ImageError::BadVersion(v) => write!(f, "unsupported image version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// One file entry recovered from the raw image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFileEntry {
+    /// MFT record number.
+    pub number: FileRecordNumber,
+    /// Record sequence number.
+    pub sequence: u16,
+    /// Creation tick.
+    pub created: Tick,
+    /// Last-modified tick.
+    pub modified: Tick,
+    /// Attribute flags.
+    pub attributes: FileAttributes,
+    /// Parent record number.
+    pub parent: FileRecordNumber,
+    /// The counted name.
+    pub name: NtString,
+    /// Total data bytes across streams.
+    pub data_len: u64,
+    /// Names of alternate data streams.
+    pub ads_names: Vec<NtString>,
+}
+
+impl RawFileEntry {
+    /// Whether the entry is a directory.
+    pub fn is_directory(&self) -> bool {
+        self.attributes.contains(FileAttributes::DIRECTORY)
+    }
+}
+
+/// A parsed raw volume image: the truth the low-level file scan works from.
+///
+/// # Examples
+///
+/// ```
+/// use strider_ntfs::{NtfsVolume, VolumeImage};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut vol = NtfsVolume::new("C:");
+/// vol.create_file(&"C:\\a.txt".parse()?, b"hi")?;
+/// let raw = VolumeImage::parse(&vol.to_image())?;
+/// assert_eq!(raw.entries().len(), 2); // root + file
+/// assert_eq!(raw.file_paths().len(), 1); // just the file
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct VolumeImage {
+    label: String,
+    entries: Vec<RawFileEntry>,
+    image_len: u64,
+}
+
+impl VolumeImage {
+    /// Parses raw image bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError`] if the bytes are truncated or the header is
+    /// not a supported volume image.
+    pub fn parse(bytes: &[u8]) -> Result<Self, ImageError> {
+        let mut buf = Bytes::copy_from_slice(bytes);
+        let image_len = bytes.len() as u64;
+        if buf.remaining() < 8 {
+            return Err(ImageError::Truncated { context: "magic" });
+        }
+        let mut magic = [0u8; 8];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(ImageError::BadMagic);
+        }
+        let version = get_u32(&mut buf, "version")?;
+        if version != VERSION {
+            return Err(ImageError::BadVersion(version));
+        }
+        let label_len = get_u16(&mut buf, "label length")? as usize;
+        if buf.remaining() < label_len {
+            return Err(ImageError::Truncated { context: "label" });
+        }
+        let label_bytes = buf.copy_to_bytes(label_len);
+        let label = String::from_utf8_lossy(&label_bytes).into_owned();
+        let slot_count = get_u64(&mut buf, "slot count")?;
+        let mut entries = Vec::new();
+        for _ in 0..slot_count {
+            let in_use = get_u8(&mut buf, "in-use flag")?;
+            if in_use == 0 {
+                continue;
+            }
+            let number = FileRecordNumber(get_u64(&mut buf, "record number")?);
+            let sequence = get_u16(&mut buf, "sequence")?;
+            let created = Tick(get_u64(&mut buf, "created")?);
+            let modified = Tick(get_u64(&mut buf, "modified")?);
+            let attributes = FileAttributes(get_u32(&mut buf, "attributes")?);
+            let parent = FileRecordNumber(get_u64(&mut buf, "parent")?);
+            let name = get_name(&mut buf, "name")?;
+            let stream_count = get_u16(&mut buf, "stream count")?;
+            let mut data_len = 0u64;
+            let mut ads_names = Vec::new();
+            for _ in 0..stream_count {
+                let named = get_u8(&mut buf, "stream name flag")?;
+                if named == 1 {
+                    ads_names.push(get_name(&mut buf, "stream name")?);
+                }
+                let len = get_u64(&mut buf, "stream length")?;
+                if (buf.remaining() as u64) < len {
+                    return Err(ImageError::Truncated {
+                        context: "stream data",
+                    });
+                }
+                buf.advance(len as usize);
+                data_len += len;
+            }
+            entries.push(RawFileEntry {
+                number,
+                sequence,
+                created,
+                modified,
+                attributes,
+                parent,
+                name,
+                data_len,
+                ads_names,
+            });
+        }
+        Ok(Self {
+            label,
+            entries,
+            image_len,
+        })
+    }
+
+    /// The volume label recovered from the image.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Total size of the parsed image in bytes (drives the cost model's
+    /// sequential-read estimate).
+    pub fn image_len(&self) -> u64 {
+        self.image_len
+    }
+
+    /// All in-use entries, including the root directory.
+    pub fn entries(&self) -> &[RawFileEntry] {
+        &self.entries
+    }
+
+    /// Reconstructs full paths for every *file* entry (directories excluded)
+    /// by chasing parent references — the forensic MFT sweep.
+    ///
+    /// Entries whose parent chain is broken or cyclic are reported under the
+    /// synthetic root `<orphaned>` rather than dropped: an orphaned-but-in-use
+    /// record is exactly the kind of anomaly a detector must not hide.
+    pub fn file_paths(&self) -> Vec<(NtPath, &RawFileEntry)> {
+        self.paths_internal(false)
+    }
+
+    /// Reconstructs full paths for every entry including directories.
+    pub fn all_paths(&self) -> Vec<(NtPath, &RawFileEntry)> {
+        self.paths_internal(true)
+    }
+
+    fn paths_internal(&self, include_dirs: bool) -> Vec<(NtPath, &RawFileEntry)> {
+        let by_number: HashMap<u64, &RawFileEntry> =
+            self.entries.iter().map(|e| (e.number.0, e)).collect();
+        let mut out = Vec::new();
+        for entry in &self.entries {
+            if entry.number.0 == 0 {
+                continue; // root itself
+            }
+            if entry.is_directory() && !include_dirs {
+                continue;
+            }
+            let mut parts = vec![entry.name.clone()];
+            let mut cur = entry.parent;
+            let mut hops = 0usize;
+            let mut broken = false;
+            while cur.0 != 0 {
+                match by_number.get(&cur.0) {
+                    Some(p) => {
+                        parts.push(p.name.clone());
+                        cur = p.parent;
+                    }
+                    None => {
+                        broken = true;
+                        break;
+                    }
+                }
+                hops += 1;
+                if hops > self.entries.len() {
+                    broken = true;
+                    break;
+                }
+            }
+            parts.reverse();
+            let root = if broken { "<orphaned>" } else { &self.label };
+            out.push((NtPath::from_components(root, parts), entry));
+        }
+        out
+    }
+}
+
+fn get_u8(buf: &mut Bytes, context: &'static str) -> Result<u8, ImageError> {
+    if buf.remaining() < 1 {
+        return Err(ImageError::Truncated { context });
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u16(buf: &mut Bytes, context: &'static str) -> Result<u16, ImageError> {
+    if buf.remaining() < 2 {
+        return Err(ImageError::Truncated { context });
+    }
+    Ok(buf.get_u16_le())
+}
+
+fn get_u32(buf: &mut Bytes, context: &'static str) -> Result<u32, ImageError> {
+    if buf.remaining() < 4 {
+        return Err(ImageError::Truncated { context });
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut Bytes, context: &'static str) -> Result<u64, ImageError> {
+    if buf.remaining() < 8 {
+        return Err(ImageError::Truncated { context });
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn get_name(buf: &mut Bytes, context: &'static str) -> Result<NtString, ImageError> {
+    let len = get_u16(buf, context)? as usize;
+    if buf.remaining() < len * 2 {
+        return Err(ImageError::Truncated { context });
+    }
+    let mut units = Vec::with_capacity(len);
+    for _ in 0..len {
+        units.push(buf.get_u16_le());
+    }
+    Ok(NtString::from_units(&units))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strider_nt_core::NtPath;
+
+    fn p(s: &str) -> NtPath {
+        s.parse().unwrap()
+    }
+
+    fn sample_volume() -> NtfsVolume {
+        let mut v = NtfsVolume::new("C:");
+        v.mkdir_p(&p("C:\\windows\\system32")).unwrap();
+        v.create_file(&p("C:\\windows\\system32\\hxdef100.exe"), b"MZ")
+            .unwrap();
+        v.create_file(&p("C:\\windows\\system32\\hxdef100.ini"), b"[H]")
+            .unwrap();
+        v
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_file() {
+        let v = sample_volume();
+        let raw = VolumeImage::parse(&v.to_image()).unwrap();
+        assert_eq!(raw.label(), "C:");
+        let paths: Vec<String> = raw.file_paths().iter().map(|(p, _)| p.to_string()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "C:\\windows\\system32\\hxdef100.exe".to_string(),
+                "C:\\windows\\system32\\hxdef100.ini".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn all_paths_includes_directories() {
+        let v = sample_volume();
+        let raw = VolumeImage::parse(&v.to_image()).unwrap();
+        let paths: Vec<String> = raw.all_paths().iter().map(|(p, _)| p.to_string()).collect();
+        assert!(paths.contains(&"C:\\windows".to_string()));
+        assert!(paths.contains(&"C:\\windows\\system32".to_string()));
+    }
+
+    #[test]
+    fn free_slots_survive_roundtrip_silently() {
+        let mut v = sample_volume();
+        v.create_file(&p("C:\\temp"), b"x").unwrap();
+        v.remove_file(&p("C:\\temp")).unwrap();
+        let raw = VolumeImage::parse(&v.to_image()).unwrap();
+        // Free slot serialized as not-in-use, not reported.
+        assert_eq!(raw.file_paths().len(), 2);
+    }
+
+    #[test]
+    fn metadata_roundtrips() {
+        let mut v = NtfsVolume::new("D:");
+        v.set_clock(Tick(42));
+        v.create_file_with(&p("D:\\h.txt"), b"abc", FileAttributes::HIDDEN)
+            .unwrap();
+        v.add_stream(&p("D:\\h.txt"), "extra", b"zz").unwrap();
+        let raw = VolumeImage::parse(&v.to_image()).unwrap();
+        let (_, e) = &raw.file_paths()[0];
+        assert_eq!(e.created, Tick(42));
+        assert!(e.attributes.contains(FileAttributes::HIDDEN));
+        assert_eq!(e.data_len, 5);
+        assert_eq!(e.ads_names.len(), 1);
+        assert_eq!(e.ads_names[0].to_win32_lossy(), "extra");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            VolumeImage::parse(b"NOTANIMG________"),
+            Err(ImageError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncated_image_rejected() {
+        let v = sample_volume();
+        let img = v.to_image();
+        let cut = &img[..img.len() - 3];
+        assert!(matches!(
+            VolumeImage::parse(cut),
+            Err(ImageError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(
+            VolumeImage::parse(&[]),
+            Err(ImageError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn win32_illegal_names_round_trip() {
+        let mut v = NtfsVolume::new("C:");
+        v.create_file(&p("C:\\update."), b"x").unwrap();
+        let raw = VolumeImage::parse(&v.to_image()).unwrap();
+        assert_eq!(raw.file_paths()[0].0.to_string(), "C:\\update.");
+    }
+}

@@ -1,0 +1,44 @@
+//! Deterministic machine population, background churn, and the paper's
+//! eight machine profiles with the scan-time cost model.
+//!
+//! Three concerns live here:
+//!
+//! * [`populate`]/[`standard_lab_machine`] — building realistic simulated
+//!   machines (directory forests, Registry filler, process sets) from a
+//!   seeded RNG, so every experiment is reproducible;
+//! * [`services`] — the always-running services (anti-virus log writer,
+//!   CCM, System Restore, prefetch, browser cache) whose file creation
+//!   during scan gaps produces exactly the false-positive behaviour the
+//!   paper reports for outside-the-box scans;
+//! * [`profiles`] — the eight evaluation machines (Sections 2–4) and the
+//!   [`CostModel`] that converts machine scale into estimated scan seconds,
+//!   reproducing the shape of the paper's timing results.
+//!
+//! # Examples
+//!
+//! ```
+//! use strider_workload::{standard_lab_machine, WorkloadSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let machine = standard_lab_machine("lab-1", &WorkloadSpec::small(42), false)?;
+//! assert!(machine.volume().record_count() > 300);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod populate;
+pub mod profiles;
+pub mod services;
+
+pub use populate::{populate, populate_unix, standard_lab_machine, WorkloadSpec};
+pub use profiles::{paper_profiles, CostModel, MachineProfile};
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::profiles::{paper_profiles, CostModel, MachineProfile};
+    pub use crate::services::install_standard_services;
+    pub use crate::{populate, populate_unix, standard_lab_machine, WorkloadSpec};
+}

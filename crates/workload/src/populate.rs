@@ -1,0 +1,268 @@
+//! Deterministic machine population.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use strider_hive::ValueData;
+use strider_nt_core::{NtPath, NtStatus};
+use strider_unixfs::UnixMachine;
+use strider_winapi::Machine;
+
+/// How much content to synthesize onto a machine. Counts are *simulation*
+/// scale (what the in-memory volume actually holds); the paper-scale GB
+/// figures live in the machine profiles and drive the cost model instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// RNG seed; equal seeds produce identical machines.
+    pub seed: u64,
+    /// Number of regular files to create.
+    pub file_count: usize,
+    /// Number of directories to spread them over.
+    pub dir_count: usize,
+    /// Number of extra (non-ASEP) Registry keys.
+    pub registry_key_count: usize,
+    /// Number of extra user processes.
+    pub process_count: usize,
+}
+
+impl WorkloadSpec {
+    /// A small machine for unit tests (hundreds of files).
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            file_count: 300,
+            dir_count: 30,
+            registry_key_count: 150,
+            process_count: 8,
+        }
+    }
+
+    /// A medium machine for integration tests and examples.
+    pub fn medium(seed: u64) -> Self {
+        Self {
+            seed,
+            file_count: 3_000,
+            dir_count: 200,
+            registry_key_count: 1_500,
+            process_count: 20,
+        }
+    }
+
+    /// A large machine for benchmarks (tens of thousands of files).
+    pub fn large(seed: u64) -> Self {
+        Self {
+            seed,
+            file_count: 30_000,
+            dir_count: 1_500,
+            registry_key_count: 10_000,
+            process_count: 40,
+        }
+    }
+}
+
+const FILE_STEMS: &[&str] = &[
+    "report", "setup", "readme", "config", "photo", "backup", "notes", "data", "index", "cache",
+    "driver", "update", "manual", "invoice", "letter",
+];
+const EXTENSIONS: &[&str] = &[
+    "txt", "doc", "exe", "dll", "ini", "log", "jpg", "dat", "sys", "html", "tmp", "bak",
+];
+const ROOTS: &[&str] = &[
+    "C:\\Program Files",
+    "C:\\Documents and Settings\\user",
+    "C:\\windows\\system32",
+    "C:\\temp",
+    "C:\\windows",
+];
+
+/// Populates a machine's volume, Registry, and process table from the spec.
+/// Deterministic per seed.
+///
+/// # Errors
+///
+/// Propagates substrate errors (none occur for well-formed specs on a base
+/// machine).
+pub fn populate(machine: &mut Machine, spec: &WorkloadSpec) -> Result<(), NtStatus> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // Directory forest: each new directory hangs off a root or a previously
+    // created directory, keeping depths realistic (2–6 components).
+    let mut dirs: Vec<NtPath> = ROOTS
+        .iter()
+        .map(|r| r.parse().expect("static root parses"))
+        .collect();
+    for i in 0..spec.dir_count {
+        let parent = dirs[rng.gen_range(0..dirs.len())].clone();
+        if parent.depth() > 6 {
+            continue;
+        }
+        let name = format!("{}-{i:04}", FILE_STEMS[rng.gen_range(0..FILE_STEMS.len())]);
+        let dir = parent.join(name);
+        machine
+            .volume_mut()
+            .mkdir_p(&dir)
+            .map_err(|_| NtStatus::ObjectPathNotFound)?;
+        dirs.push(dir);
+    }
+
+    // Files, spread uniformly over the forest with name collisions avoided
+    // by index suffix.
+    for i in 0..spec.file_count {
+        let dir = &dirs[rng.gen_range(0..dirs.len())];
+        let stem = FILE_STEMS[rng.gen_range(0..FILE_STEMS.len())];
+        let ext = EXTENSIONS[rng.gen_range(0..EXTENSIONS.len())];
+        let path = dir.join(format!("{stem}-{i:05}.{ext}"));
+        let size = rng.gen_range(16..160);
+        let content: Vec<u8> = (0..size).map(|_| rng.gen::<u8>()).collect();
+        machine
+            .volume_mut()
+            .create_file(&path, &content)
+            .map_err(|_| NtStatus::ObjectNameCollision)?;
+    }
+
+    // Registry filler: application keys under SOFTWARE.
+    for i in 0..spec.registry_key_count {
+        let vendor = FILE_STEMS[rng.gen_range(0..FILE_STEMS.len())];
+        let key: NtPath = format!("HKLM\\SOFTWARE\\{vendor}-soft\\component-{i:05}")
+            .parse()
+            .expect("generated key parses");
+        machine
+            .registry_mut()
+            .create_key(&key)
+            .map_err(|_| NtStatus::ObjectNameNotFound)?;
+        machine
+            .registry_mut()
+            .set_value(&key, "Version", ValueData::Dword(rng.gen_range(1..20)))
+            .map_err(|_| NtStatus::ObjectNameNotFound)?;
+        if i % 7 == 0 {
+            machine
+                .registry_mut()
+                .set_value(
+                    &key,
+                    "InstallPath",
+                    ValueData::sz(format!("C:\\Program Files\\{vendor}-soft").as_str()),
+                )
+                .map_err(|_| NtStatus::ObjectNameNotFound)?;
+        }
+    }
+
+    // Extra user processes with a few modules each.
+    for i in 0..spec.process_count {
+        let name = format!("app{i:02}.exe");
+        let pid = machine.spawn_process(&name, &format!("C:\\Program Files\\{name}"))?;
+        for m in 0..rng.gen_range(2..6) {
+            machine
+                .kernel_mut()
+                .load_module(
+                    pid,
+                    &format!("lib{m}.dll"),
+                    &format!("C:\\windows\\system32\\lib{m}.dll"),
+                )
+                .map_err(|_| NtStatus::NoSuchProcess)?;
+        }
+    }
+    Ok(())
+}
+
+/// Builds a fully-equipped lab machine: base system + workload + the
+/// standard always-running services.
+///
+/// # Errors
+///
+/// Propagates population errors.
+pub fn standard_lab_machine(
+    name: &str,
+    spec: &WorkloadSpec,
+    ccm_enabled: bool,
+) -> Result<Machine, NtStatus> {
+    let mut machine = Machine::with_base_system(name)?;
+    populate(&mut machine, spec)?;
+    crate::services::install_standard_services(&mut machine, ccm_enabled);
+    // Let prefetch settle for the boot-time process set so later scans
+    // aren't polluted by first-tick writes.
+    machine.tick(1);
+    Ok(machine)
+}
+
+/// Populates a Unix machine with filler files and an FTP daemon writing
+/// transfer logs and temp files (the paper's Unix false-positive source).
+pub fn populate_unix(machine: &mut UnixMachine, seed: u64, file_count: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let roots = ["/usr/lib", "/usr/bin", "/home/user", "/var", "/etc"];
+    for i in 0..file_count {
+        let root = roots[rng.gen_range(0..roots.len())];
+        let stem = FILE_STEMS[rng.gen_range(0..FILE_STEMS.len())];
+        machine
+            .fs_mut()
+            .create_file(&format!("{root}/{stem}-{i:05}"), b"data");
+    }
+    machine.add_daemon(Box::new(|fs, tick| {
+        fs.append_file("/var/log/xferlog", format!("xfer {tick}\n").as_bytes());
+        if tick % 60 == 0 {
+            fs.create_file(&format!("/tmp/ftp-upload-{tick:06}.tmp"), b"partial");
+        }
+        if tick % 100 == 0 {
+            fs.create_file(&format!("/var/log/messages.{}", tick / 100), b"rotated");
+        }
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_is_deterministic_per_seed() {
+        let mut a = Machine::with_base_system("a").unwrap();
+        let mut b = Machine::with_base_system("b").unwrap();
+        populate(&mut a, &WorkloadSpec::small(42)).unwrap();
+        populate(&mut b, &WorkloadSpec::small(42)).unwrap();
+        assert_eq!(a.volume().record_count(), b.volume().record_count());
+        let pa: Vec<String> = a.volume().iter().map(|r| r.name.to_win32_lossy()).collect();
+        let pb: Vec<String> = b.volume().iter().map(|r| r.name.to_win32_lossy()).collect();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Machine::with_base_system("a").unwrap();
+        let mut b = Machine::with_base_system("b").unwrap();
+        populate(&mut a, &WorkloadSpec::small(1)).unwrap();
+        populate(&mut b, &WorkloadSpec::small(2)).unwrap();
+        let pa: Vec<String> = a.volume().iter().map(|r| r.name.to_win32_lossy()).collect();
+        let pb: Vec<String> = b.volume().iter().map(|r| r.name.to_win32_lossy()).collect();
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn spec_counts_are_respected() {
+        let mut m = Machine::with_base_system("t").unwrap();
+        let base_files = m.volume().iter().filter(|r| !r.is_directory()).count();
+        let base_keys = m.registry().key_count();
+        let spec = WorkloadSpec::small(7);
+        populate(&mut m, &spec).unwrap();
+        let files = m.volume().iter().filter(|r| !r.is_directory()).count();
+        assert_eq!(files, base_files + spec.file_count);
+        // Each filler entry adds one component key; the ~15 vendor parent
+        // keys are shared.
+        let keys = m.registry().key_count();
+        assert!(keys >= base_keys + spec.registry_key_count);
+        assert!(keys <= base_keys + spec.registry_key_count + FILE_STEMS.len());
+        assert!(m.kernel().find_by_name("app00.exe").len() == 1);
+    }
+
+    #[test]
+    fn standard_lab_machine_boots() {
+        let m = standard_lab_machine("lab", &WorkloadSpec::small(3), true).unwrap();
+        assert!(m.volume().record_count() > 300);
+        assert!(m.now().0 >= 1);
+    }
+
+    #[test]
+    fn unix_population_and_daemon() {
+        let mut m = UnixMachine::with_base_system("u");
+        populate_unix(&mut m, 5, 200);
+        let before = m.offline_scan().len();
+        m.tick(80);
+        assert!(m.offline_scan().len() > before, "daemon creates files");
+    }
+}

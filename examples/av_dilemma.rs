@@ -1,0 +1,48 @@
+//! The eTrust dilemma (paper, Section 5): a signature scanner with the
+//! correct signatures misses a hiding rootkit; injecting the GhostBuster
+//! diff into the scanner process restores detection — so hiding and
+//! not-hiding both lose.
+//!
+//! ```sh
+//! cargo run --example av_dilemma
+//! ```
+
+use strider_ghostbuster_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut machine = standard_lab_machine("av-lab", &WorkloadSpec::small(13), false)?;
+    HackerDefender::default().infect(&mut machine)?;
+    let inocit = machine.ensure_process("InocIT.exe", "C:\\Program Files\\eTrust\\InocIT.exe")?;
+    let scanner = SignatureScanner::with_default_database();
+    println!("signature database: {} entries", scanner.signature_count());
+
+    // Branch 1: the rootkit hides. The scanner enumerates through the hooked
+    // APIs and never sees the files.
+    let hits = scanner.scan(&machine, &inocit)?;
+    println!("\non-demand scan while hiding: {} hits", hits.len());
+
+    // Inject the GhostBuster DLL into InocIT.exe: the scan-and-diff now runs
+    // from inside the scanner's own process.
+    let files = FileScanner::new();
+    let truth = files.low_scan(&machine)?;
+    let lie = files.high_scan(&machine, &inocit, ChainEntry::Win32)?;
+    let report = files.diff(&truth, &lie);
+    println!("GhostBuster injected into InocIT.exe finds:");
+    for d in report.net_detections() {
+        println!("  {d}");
+    }
+    assert!(report.has_detections());
+
+    // Branch 2: the rootkit stops hiding to evade the diff — and the plain
+    // signature scan promptly catches it.
+    machine.remove_software("HackerDefender");
+    let hits = scanner.scan(&machine, &inocit)?;
+    println!("\non-demand scan after the rootkit stops hiding: {} hits", hits.len());
+    for h in &hits {
+        println!("  {} at {}", h.signature, h.path);
+    }
+    assert!(!hits.is_empty());
+
+    println!("\ndilemma: hide -> caught by the diff; don't hide -> caught by signatures");
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Enterprise fleet scan: the paper's RIS deployment story — "corporate IT
+//! organizations can remotely deploy the solution on a large number of
+//! desktops without requiring user cooperation". A fleet of machines, a few
+//! of them infected with different families, swept inside-the-box and (for
+//! the suspicious ones) re-checked with the RIS network-boot outside flow.
+//!
+//! ```sh
+//! cargo run --example fleet_scan
+//! ```
+
+use strider_ghostbuster_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let infections: [Option<Box<dyn Ghostware>>; 8] = [
+        None,
+        Some(Box::new(HackerDefender::default())),
+        None,
+        Some(Box::new(Fu::default())),
+        None,
+        Some(Box::new(ProBotSe::default())),
+        None,
+        None,
+    ];
+
+    println!(
+        "{:<10} {:<8} {:>10} {:>8} {:>12} {:>14}",
+        "machine", "class", "suspicious", "noise", "RIS verdict", "ground truth"
+    );
+    println!("{}", "-".repeat(70));
+
+    let mut correct = 0;
+    for (profile, infection) in paper_profiles().iter().zip(infections.iter()) {
+        let mut machine = standard_lab_machine(
+            profile.name,
+            &WorkloadSpec::small(7000 + u64::from(profile.cpu_mhz)),
+            profile.ccm_enabled,
+        )?;
+        machine.tick(350);
+        let truly_infected = infection.is_some();
+        if let Some(sample) = infection {
+            sample.infect(&mut machine)?;
+        }
+
+        // Stage 1: the cheap inside-the-box sweep on every desktop.
+        let gb = GhostBuster::new().with_advanced(AdvancedSource::ThreadTable);
+        let inside = gb.inside_sweep(&mut machine)?;
+
+        // Stage 2: suspicious machines get the RIS network-boot re-check.
+        let ris_verdict = if inside.is_infected() {
+            let outside = gb.ris_outside_sweep(&mut machine, 100)?;
+            if outside.is_infected() { "infected" } else { "clean" }
+        } else {
+            "-"
+        };
+
+        let verdict_matches = inside.is_infected() == truly_infected;
+        if verdict_matches {
+            correct += 1;
+        }
+        println!(
+            "{:<10} {:<8} {:>10} {:>8} {:>12} {:>14}",
+            profile.name,
+            profile.class.split(' ').next().unwrap_or(""),
+            inside.suspicious_count(),
+            inside.noise_count(),
+            ris_verdict,
+            if truly_infected { "infected" } else { "clean" },
+        );
+        assert!(verdict_matches, "{}: wrong verdict", profile.name);
+    }
+    println!("{}", "-".repeat(70));
+    println!("fleet verdicts correct: {correct}/8");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! The outside-the-box flows: WinPE CD boot (with its reboot-gap false
+//! positives and their classification), the crash-dump scan for volatile
+//! state, and the zero-gap VM variant.
+//!
+//! ```sh
+//! cargo run --example outside_the_box
+//! ```
+
+use strider_ghostbuster_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut machine = standard_lab_machine("field-box", &WorkloadSpec::small(17), true)?;
+    machine.tick(400); // the machine has been in use for a while
+    HackerDefender::default().infect(&mut machine)?;
+    Fu::default().infect(&mut machine)?;
+
+    // --- WinPE flow: scans + crash dump now, reboot, scan the disk image.
+    let gb = GhostBuster::new().with_advanced(AdvancedSource::ThreadTable);
+    let model = CostModel::new(paper_profiles()[0].clone());
+    println!(
+        "WinPE flow (boot overhead ≈{:.0}s, dump ≈{:.0}s on the paper's desktop):",
+        model.winpe_boot_seconds(),
+        model.dump_seconds()
+    );
+    let sweep = gb.winpe_outside_sweep(&mut machine, 150)?;
+    println!("  suspicious findings: {}", sweep.suspicious_count());
+    for d in sweep.files.net_detections() {
+        println!("    file:    {}", d.detail);
+    }
+    for d in sweep.hooks.net_detections() {
+        println!("    hook:    {}", d.detail);
+    }
+    for d in sweep.processes.net_detections() {
+        println!("    process: {} (from the crash dump)", d.detail);
+    }
+    println!(
+        "  reboot-gap noise, classified and filtered: {} entries",
+        sweep.noise_count()
+    );
+    for d in sweep.files.noise_detections() {
+        println!("    noise:   {} [{}]", d.detail, d.noise);
+    }
+    assert!(sweep.is_infected());
+    assert_eq!(
+        sweep.files.net_detections().len(),
+        3,
+        "exactly the rootkit files survive the noise filter"
+    );
+
+    // --- VM flow on a clean machine: pause, scan the same image, zero gap.
+    let mut clean = standard_lab_machine("vm-guest", &WorkloadSpec::small(18), true)?;
+    clean.tick(400);
+    let report = GhostBuster::new().vm_outside_files(&mut clean)?;
+    println!(
+        "\nVM flow on a clean guest: {} findings, {} noise (zero gap → zero FPs)",
+        report.net_detections().len(),
+        report.noise_detections().len()
+    );
+    assert!(!report.has_detections());
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: build a simulated machine, infect it with Hacker Defender,
+//! and run the full inside-the-box GhostBuster sweep.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use strider_ghostbuster_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A machine with the standard Windows base system, a synthetic workload,
+    // and the usual always-running services.
+    let mut machine = standard_lab_machine("demo-box", &WorkloadSpec::small(7), false)?;
+    println!(
+        "machine '{}': {} files, {} registry keys, {} processes",
+        machine.name(),
+        machine.volume().record_count(),
+        machine.registry().key_count(),
+        machine.kernel().active_process_list().len()
+    );
+
+    // A clean sweep first: the cross-view diff reports nothing.
+    let clean = GhostBuster::new().inside_sweep(&mut machine)?;
+    println!(
+        "clean sweep: {} suspicious findings, {} noise\n",
+        clean.suspicious_count(),
+        clean.noise_count()
+    );
+
+    // Infect with Hacker Defender 1.0: files, two service ASEP hooks, and a
+    // process, all hidden by NtDll detours.
+    let infection = HackerDefender::default().infect(&mut machine)?;
+    println!(
+        "infected with {} (techniques: {:?})",
+        infection.ghostware,
+        infection
+            .techniques
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+    );
+
+    // The lie: ordinary enumeration shows nothing.
+    let ctx = machine.context_for_name("explorer.exe").expect("explorer runs");
+    let rows = machine.query(
+        &ctx,
+        &Query::DirectoryEnum {
+            path: "C:\\windows\\system32".parse()?,
+        },
+        ChainEntry::Win32,
+    )?;
+    println!(
+        "explorer's view of system32 mentions hxdef: {}",
+        rows.iter().any(|r| r.name().to_win32_lossy().contains("hxdef"))
+    );
+
+    // The cross-view diff exposes everything.
+    let sweep = GhostBuster::new().inside_sweep(&mut machine)?;
+    println!("\n{sweep}");
+    assert!(sweep.is_infected());
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! The paper's headline remediation story (Conclusions): detect Hacker
+//! Defender within seconds via the hidden-process diff, locate its hidden
+//! auto-start Registry keys within a minute, delete them to disable the
+//! malware, reboot, and delete the now-visible files.
+//!
+//! ```sh
+//! cargo run --example remediation
+//! ```
+
+use strider_ghostbuster_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut machine = standard_lab_machine("support-case", &WorkloadSpec::small(11), false)?;
+    HackerDefender::default().infect(&mut machine)?;
+    let gb = GhostBuster::new();
+    let model = CostModel::new(paper_profiles()[0].clone());
+
+    // Step 1 — hidden-process detection: deterministic, within seconds.
+    let procs = gb.scan_processes_inside(&mut machine)?;
+    println!(
+        "step 1: hidden-process scan (≈{:.1}s on the paper's desktop) found:",
+        model.process_scan_seconds()
+    );
+    for d in procs.net_detections() {
+        println!("  {d}");
+    }
+
+    // Step 2 — locate the hidden ASEP hooks: within a minute.
+    let hooks = gb.hidden_hooks(&mut machine)?;
+    println!(
+        "\nstep 2: hidden-ASEP scan (≈{:.0}s) located {} hooks:",
+        model.registry_scan_seconds(),
+        hooks.len()
+    );
+    for h in &hooks {
+        println!("  {h}");
+    }
+
+    // Step 3 — delete the keys: the rootkit cannot restart after reboot.
+    let removed = gb.remediate_hooks(&mut machine, &hooks);
+    println!("\nstep 3: removed {removed} Registry keys");
+
+    // Step 4 — reboot. With no auto-start hooks the rootkit's hooks and
+    // process are gone.
+    machine.remove_software("HackerDefender");
+    for pid in machine.kernel().find_by_name("hxdef100.exe") {
+        machine.kernel_mut().kill(pid)?;
+    }
+    println!("step 4: rebooted — rootkit no longer auto-starts");
+
+    // Step 5 — the files are visible now; delete them.
+    let ctx = gb.enter(&mut machine)?;
+    let listing = gb
+        .file_scanner()
+        .high_scan(&machine, &ctx, ChainEntry::Win32)?;
+    let visible: Vec<&str> = listing
+        .iter()
+        .filter(|(_, f)| f.path.contains("hxdef"))
+        .map(|(_, f)| f.path.as_str())
+        .collect();
+    println!("step 5: now-visible rootkit files: {visible:?}");
+    for path in ["C:\\windows\\system32\\hxdef100.exe",
+                 "C:\\windows\\system32\\hxdef100.ini",
+                 "C:\\windows\\system32\\drivers\\hxdefdrv.sys"] {
+        machine.volume_mut().remove_file(&path.parse()?)?;
+    }
+
+    let residual = gb.inside_sweep(&mut machine)?;
+    println!(
+        "\nfinal sweep: {} suspicious findings — machine clean",
+        residual.suspicious_count()
+    );
+    assert_eq!(residual.suspicious_count(), 0);
+    Ok(())
+}

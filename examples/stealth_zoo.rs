@@ -1,0 +1,59 @@
+//! The stealth zoo: every Windows sample from Figures 2–6, each on its own
+//! machine, detected by the appropriate GhostBuster scan — the whole
+//! evaluation in one run.
+//!
+//! ```sh
+//! cargo run --example stealth_zoo
+//! ```
+
+use strider_ghostbuster_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{:<26} {:<28} {:>6} {:>6} {:>6}", "ghostware", "technique", "files", "hooks", "procs");
+    println!("{}", "-".repeat(80));
+
+    let mut all_detected = true;
+    for (i, sample) in file_hiding_corpus()
+        .into_iter()
+        .chain(process_hiding_corpus())
+        .enumerate()
+    {
+        let mut machine = standard_lab_machine(
+            &format!("zoo-{i}"),
+            &WorkloadSpec::small(900 + i as u64),
+            false,
+        )?;
+        let infection = sample.infect(&mut machine)?;
+        let gb = GhostBuster::new().with_advanced(AdvancedSource::ThreadTable);
+        let sweep = gb.inside_sweep(&mut machine)?;
+        let techniques = infection
+            .techniques
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join("+");
+        println!(
+            "{:<26} {:<28} {:>6} {:>6} {:>6}",
+            infection.ghostware,
+            techniques,
+            sweep.files.net_detections().len(),
+            sweep.hooks.net_detections().len(),
+            sweep.processes.net_detections().len() + sweep.modules.net_detections().len(),
+        );
+        if infection.hides_something() && !sweep.is_infected() {
+            all_detected = false;
+        }
+    }
+
+    println!("{}", "-".repeat(80));
+    println!(
+        "verdict: {}",
+        if all_detected {
+            "every hiding sample detected by the cross-view diff"
+        } else {
+            "MISSED SAMPLES — reproduction broken"
+        }
+    );
+    assert!(all_detected);
+    Ok(())
+}

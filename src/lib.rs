@@ -1,0 +1,55 @@
+//! Facade crate for the Strider GhostBuster reproduction.
+//!
+//! Re-exports the entire workspace public API under one roof so examples,
+//! integration tests, and downstream users can write `use
+//! strider_ghostbuster_repro::prelude::*;` and get the simulated machine,
+//! the ghostware corpus, and the GhostBuster detector together.
+//!
+//! The individual crates are:
+//!
+//! * [`nt_core`] — shared vocabulary (counted UTF-16 names, NT paths, clock).
+//! * [`ntfs`] — the simulated NTFS volume and raw MFT parser.
+//! * [`hive`] — the simulated Registry hive format and ASEP catalog.
+//! * [`kernel`] — the simulated NT kernel objects and crash dumps.
+//! * [`winapi`] — the layered, hookable query-API chain and the [`winapi::Machine`].
+//! * [`ghostware`] — reimplementations of the paper's malware corpus.
+//! * [`unixfs`] — the Section 5 Unix substrate and rootkits.
+//! * [`workload`] — deterministic machine population and the cost model.
+//! * [`ghostbuster`] — the cross-view-diff detector itself.
+//!
+//! # Examples
+//!
+//! ```
+//! use strider_ghostbuster_repro::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut machine = Machine::with_base_system("demo")?;
+//! HackerDefender::default().infect(&mut machine)?;
+//! let report = GhostBuster::new().scan_files_inside(&mut machine)?;
+//! assert!(report.has_detections());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use strider_ghostbuster as ghostbuster;
+pub use strider_ghostware as ghostware;
+pub use strider_hive as hive;
+pub use strider_kernel as kernel;
+pub use strider_nt_core as nt_core;
+pub use strider_ntfs as ntfs;
+pub use strider_unixfs as unixfs;
+pub use strider_winapi as winapi;
+pub use strider_workload as workload;
+
+/// One-stop imports for examples and tests.
+pub mod prelude {
+    pub use strider_ghostbuster::prelude::*;
+    pub use strider_ghostware::prelude::*;
+    pub use strider_hive::prelude::*;
+    pub use strider_kernel::prelude::*;
+    pub use strider_nt_core::{NtPath, NtString, NtStatus, Pid, Tick, Tid};
+    pub use strider_ntfs::prelude::*;
+    pub use strider_unixfs::prelude::*;
+    pub use strider_winapi::prelude::*;
+    pub use strider_workload::prelude::*;
+}

@@ -1,0 +1,178 @@
+//! Cross-crate end-to-end tests: the full corpus against the full detector,
+//! asserting the paper's detection-completeness claims (Figures 3, 4, 6).
+
+use strider_ghostbuster_repro::prelude::*;
+
+fn victim(seed: u64) -> Machine {
+    standard_lab_machine("victim", &WorkloadSpec::small(seed), false).expect("machine builds")
+}
+
+#[test]
+fn every_file_hiding_sample_is_fully_detected_with_zero_false_positives() {
+    for (i, sample) in file_hiding_corpus().into_iter().enumerate() {
+        let mut m = victim(10 + i as u64);
+        let infection = sample.infect(&mut m).expect("infects");
+        let report = GhostBuster::new()
+            .scan_files_inside(&mut m)
+            .expect("scans");
+        let details: Vec<String> = report
+            .net_detections()
+            .iter()
+            .map(|d| d.detail.clone())
+            .collect();
+        for hidden in &infection.hidden_files {
+            assert!(
+                details.contains(&hidden.to_string()),
+                "{}: missed {hidden}",
+                infection.ghostware
+            );
+        }
+        assert_eq!(
+            details.len(),
+            infection.hidden_files.len(),
+            "{}: extra findings {details:?}",
+            infection.ghostware
+        );
+        assert!(report.noise_detections().is_empty());
+    }
+}
+
+#[test]
+fn every_registry_hiding_sample_is_fully_detected() {
+    for (i, sample) in registry_hiding_corpus().into_iter().enumerate() {
+        let mut m = victim(30 + i as u64);
+        let infection = sample.infect(&mut m).expect("infects");
+        let report = GhostBuster::new()
+            .scan_registry_inside(&mut m)
+            .expect("scans");
+        assert!(
+            !report.net_detections().is_empty(),
+            "{}: no hook findings",
+            infection.ghostware
+        );
+        for entry in &infection.hidden_asep_entries {
+            let found = report.net_detections().iter().any(|d| {
+                entry
+                    .split(" -> ")
+                    .all(|part| d.detail.to_ascii_lowercase().contains(&part.to_ascii_lowercase()))
+            });
+            assert!(found, "{}: missed hook {entry}", infection.ghostware);
+        }
+    }
+}
+
+#[test]
+fn every_process_hiding_sample_detected_fu_only_in_advanced_mode() {
+    for (i, sample) in process_hiding_corpus().into_iter().enumerate() {
+        let name = sample.name().to_string();
+        let mut m = victim(50 + i as u64);
+        let infection = sample.infect(&mut m).expect("infects");
+
+        let normal = GhostBuster::new()
+            .scan_processes_inside(&mut m)
+            .expect("scans");
+        let advanced = GhostBuster::new()
+            .with_advanced(AdvancedSource::ThreadTable)
+            .scan_processes_inside(&mut m)
+            .expect("scans");
+        let modules = GhostBuster::new().scan_modules_inside(&mut m).expect("scans");
+
+        for proc_name in &infection.hidden_process_names {
+            let in_normal = normal
+                .net_detections()
+                .iter()
+                .any(|d| d.detail.contains(proc_name));
+            let in_advanced = advanced
+                .net_detections()
+                .iter()
+                .any(|d| d.detail.contains(proc_name));
+            assert!(in_advanced, "{name}: advanced mode missed {proc_name}");
+            if name == "FU" {
+                assert!(!in_normal, "FU is invisible to the APL-based scan");
+            } else {
+                assert!(in_normal, "{name}: normal mode missed {proc_name}");
+            }
+        }
+        for module in &infection.hidden_module_names {
+            assert!(
+                modules
+                    .net_detections()
+                    .iter()
+                    .any(|d| d.detail.contains(module)),
+                "{name}: missed module {module}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_infection_machine_all_samples_attributed() {
+    // Several families coexisting on one machine, as in a real compromise.
+    let mut m = victim(99);
+    let hd = HackerDefender::default().infect(&mut m).expect("hxdef");
+    let urbin = Urbin.infect(&mut m).expect("urbin");
+    let fu = Fu::default().infect(&mut m).expect("fu");
+    let sweep = GhostBuster::new()
+        .with_advanced(AdvancedSource::ThreadTable)
+        .inside_sweep(&mut m)
+        .expect("sweeps");
+    let all: Vec<String> = sweep
+        .files
+        .net_detections()
+        .iter()
+        .chain(sweep.hooks.net_detections().iter())
+        .chain(sweep.processes.net_detections().iter())
+        .map(|d| d.detail.clone())
+        .collect();
+    for expected in ["hxdef100.exe", "msvsres.dll", "fu_payload.exe"] {
+        assert!(
+            all.iter().any(|d| d.contains(expected)),
+            "missing {expected} in {all:?}"
+        );
+    }
+    let _ = (hd, urbin, fu);
+}
+
+#[test]
+fn fu_can_stack_on_hxdef_and_advanced_mode_still_wins() {
+    // "One can even use the FU rootkit to hide the other process-hiding
+    // ghostware programs to increase their stealth."
+    let mut m = victim(100);
+    HackerDefender::default().infect(&mut m).expect("hxdef");
+    let pid = m.kernel().find_by_name("hxdef100.exe")[0];
+    let fu = Fu { target: Some(pid) };
+    fu.infect(&mut m).expect("fu");
+
+    // Normal mode: the NtDll detour already hides it from the API, and DKOM
+    // hides it from the APL — the diff of two doctored views is empty.
+    let normal = GhostBuster::new().scan_processes_inside(&mut m).expect("scan");
+    assert!(!normal
+        .net_detections()
+        .iter()
+        .any(|d| d.detail.contains("hxdef100.exe")));
+
+    let advanced = GhostBuster::new()
+        .with_advanced(AdvancedSource::ThreadTable)
+        .scan_processes_inside(&mut m)
+        .expect("scan");
+    assert!(advanced
+        .net_detections()
+        .iter()
+        .any(|d| d.detail.contains("hxdef100.exe")));
+}
+
+#[test]
+fn scan_gap_zero_means_zero_false_positives_inside() {
+    // Repeated inside sweeps on a churning but clean machine: always silent.
+    let mut m = standard_lab_machine("clean", &WorkloadSpec::medium(3), true).expect("machine");
+    for round in 0..5 {
+        m.tick(97);
+        let sweep = GhostBuster::new().inside_sweep(&mut m).expect("sweeps");
+        assert_eq!(
+            sweep.suspicious_count(),
+            0,
+            "round {round}: {sweep}"
+        );
+        assert_eq!(sweep.noise_count(), 0, "round {round}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Section 5 extensions and baseline comparisons, exercised across crates.
+
+use strider_ghostbuster_repro::prelude::*;
+
+fn victim(seed: u64) -> Machine {
+    standard_lab_machine("victim", &WorkloadSpec::small(seed), false).expect("machine builds")
+}
+
+#[test]
+fn injection_turns_every_process_into_a_ghostbuster() {
+    let mut m = victim(1);
+    UtilityTargetedHider::default().infect(&mut m).expect("infects");
+    m.spawn_process("tlist.exe", "C:\\windows\\system32\\tlist.exe")
+        .expect("spawns");
+
+    // The plain tool is not a target and sees no lie.
+    assert!(!GhostBuster::new().inside_sweep(&mut m).expect("sweep").is_infected());
+
+    // Injected: the targeted utilities' views disagree with the truth.
+    let report = injected_sweep(&m).expect("sweeps");
+    assert!(report.is_infected());
+    let hosts: Vec<&str> = report.lied_to().iter().map(|r| r.host_image.as_str()).collect();
+    assert!(hosts.contains(&"tlist.exe"));
+    assert!(hosts.contains(&"explorer.exe"));
+    // Non-targeted processes saw the truth.
+    assert!(!hosts.contains(&"csrss.exe"));
+}
+
+#[test]
+fn scanner_aware_hider_beaten_by_injection_into_the_av_scanner() {
+    let mut m = victim(2);
+    ScannerAwareHider::default().infect(&mut m).expect("infects");
+    let inocit = m
+        .ensure_process("InocIT.exe", "C:\\Program Files\\eTrust\\InocIT.exe")
+        .expect("spawn");
+
+    // The signature scanner alone: blind (the files are hidden from it).
+    let hits = SignatureScanner::with_default_database()
+        .scan(&m, &inocit)
+        .expect("scan");
+    assert!(!hits.iter().any(|h| h.signature.contains("Sneaky")));
+
+    // GhostBuster DLL injected into InocIT.exe: the diff from its context.
+    let files = FileScanner::new();
+    let truth = files.low_scan(&m).expect("low");
+    let lie = files.high_scan(&m, &inocit, ChainEntry::Win32).expect("high");
+    let report = files.diff(&truth, &lie);
+    assert!(report
+        .net_detections()
+        .iter()
+        .any(|d| d.detail.contains("sneaky.exe")));
+}
+
+#[test]
+fn mass_hiding_innocents_makes_detection_easier_not_harder() {
+    let mut m = victim(3);
+    let hider = FileHider::advanced_hide_folders()
+        .with_targets(vec!["c:\\program files".into(), "c:\\temp".into()]);
+    hider.infect(&mut m).expect("infects");
+    let report = GhostBuster::new().scan_files_inside(&mut m).expect("scan");
+    assert!(
+        report.net_detections().len() > 50,
+        "a large hidden-file count is a serious anomaly: {}",
+        report.net_detections().len()
+    );
+}
+
+#[test]
+fn hook_scanner_false_positive_on_benign_wrapper_cross_view_silent() {
+    let mut m = victim(4);
+    install_benign_wrapper(&mut m, "detours-app");
+    assert_eq!(HookScanner::new().scan(&m).len(), 1);
+    assert!(!GhostBuster::new().inside_sweep(&mut m).expect("sweep").is_infected());
+}
+
+#[test]
+fn cross_time_diff_catches_nonhiding_malware_that_cross_view_cannot() {
+    // A dropper that does NOT hide: cross-view is silent by design (there
+    // is no lie), cross-time reports the new files.
+    let mut m = victim(5);
+    let ct = CrossTimeDiff::new();
+    let baseline = ct.checkpoint(&m);
+    m.tick(1);
+    m.volume_mut()
+        .create_file(&"C:\\windows\\system32\\dropper.exe".parse().unwrap(), b"MZ bad")
+        .unwrap();
+    let sweep = GhostBuster::new().inside_sweep(&mut m).expect("sweep");
+    assert!(!sweep.is_infected(), "nothing is hidden");
+    let changes = ct.diff(&m, &baseline);
+    assert!(changes.added.iter().any(|p| p.contains("dropper.exe")));
+}
+
+#[test]
+fn naming_trick_registry_value_detected_inside() {
+    let mut m = victim(6);
+    NamingTrick.infect(&mut m).expect("infects");
+    let report = GhostBuster::new().scan_registry_inside(&mut m).expect("scan");
+    assert!(
+        report
+            .net_detections()
+            .iter()
+            .any(|d| d.detail.contains("\\0")),
+        "the NUL-embedded Run value must be flagged: {report}"
+    );
+}
+
+#[test]
+fn unix_and_windows_detectors_share_the_framework() {
+    // The same seed produces both a Windows and a Unix detection run.
+    let mut w = victim(7);
+    HackerDefender::default().infect(&mut w).expect("hxdef");
+    assert!(GhostBuster::new().inside_sweep(&mut w).expect("sweep").is_infected());
+
+    let mut u = UnixMachine::with_base_system("ux");
+    Superkit.infect(&mut u);
+    let lie = u.ls_scan_all();
+    assert!(UnixGhostBuster::new().outside_diff(&u, &lie).is_infected());
+}

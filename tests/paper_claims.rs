@@ -1,0 +1,181 @@
+//! The paper's headline claims, quoted and asserted.
+//!
+//! Each test cites a sentence from the paper and checks that the
+//! reproduction exhibits the claimed behaviour. These tests are the
+//! executable form of EXPERIMENTS.md.
+
+use strider_ghostbuster_repro::prelude::*;
+
+fn victim(seed: u64) -> Machine {
+    standard_lab_machine("victim", &WorkloadSpec::small(seed), false).expect("machine builds")
+}
+
+/// "Cross-view diff targets only ghostware and usually has zero or very few
+/// false positives because legitimate programs rarely hide." (Introduction)
+#[test]
+fn legitimate_programs_rarely_hide_so_clean_sweeps_are_silent() {
+    for seed in 0..5 {
+        let mut m = victim(seed);
+        m.tick(100 * seed + 37);
+        let sweep = GhostBuster::new()
+            .with_advanced(AdvancedSource::ThreadTable)
+            .inside_sweep(&mut m)
+            .expect("sweeps");
+        assert_eq!(sweep.suspicious_count(), 0, "seed {seed}");
+    }
+}
+
+/// "It can uniformly detect files hidden by ghostware programs implemented
+/// with a wide variety of interception techniques." (Section 2)
+#[test]
+fn uniform_detection_across_all_interception_techniques() {
+    let mut techniques_seen = std::collections::HashSet::new();
+    for (i, sample) in file_hiding_corpus().into_iter().enumerate() {
+        let mut m = victim(40 + i as u64);
+        let infection = sample.infect(&mut m).expect("infects");
+        for t in &infection.techniques {
+            techniques_seen.insert(t.to_string());
+        }
+        let report = GhostBuster::new()
+            .scan_files_inside(&mut m)
+            .expect("scans");
+        assert!(
+            report.has_detections(),
+            "{} evaded the uniform detector",
+            infection.ghostware
+        );
+    }
+    assert!(
+        techniques_seen.len() >= 5,
+        "the corpus must span many techniques: {techniques_seen:?}"
+    );
+}
+
+/// "A process can be absent from the list while remaining fully functional."
+/// (Section 4, on FU's DKOM)
+#[test]
+fn dkom_hidden_process_remains_fully_functional() {
+    let mut m = victim(50);
+    Fu::default().infect(&mut m).expect("infects");
+    let pid = m.kernel().find_by_name("fu_payload.exe")[0];
+    assert!(!m.kernel().active_process_list().contains(&pid));
+    // Fully functional: it still gets scheduled.
+    let mut ran = false;
+    for _ in 0..m.kernel().processes_via_threads().len() * 3 {
+        if let Some((owner, _)) = m.kernel_mut().schedule_next() {
+            if owner == pid {
+                ran = true;
+                break;
+            }
+        }
+    }
+    assert!(ran, "the hidden process must keep running");
+}
+
+/// "It takes only seconds to detect hidden processes and modules, tens of
+/// seconds to detect hidden critical Registry entries, and a few minutes to
+/// detect hidden files." (Conclusions)
+#[test]
+fn scan_cost_hierarchy_seconds_tens_minutes() {
+    for p in paper_profiles() {
+        let model = CostModel::new(p);
+        assert!(model.process_scan_seconds() < 10.0);
+        assert!(model.registry_scan_seconds() >= 10.0);
+        assert!(model.registry_scan_seconds() < 120.0);
+        assert!(model.file_scan_seconds() >= 60.0);
+    }
+}
+
+/// "We were able to deterministically detect its presence within 5 seconds
+/// through hidden-process detection." (Conclusions, on Hacker Defender)
+#[test]
+fn hacker_defender_detected_deterministically_within_five_seconds() {
+    // Deterministically: the same result on every run and every machine.
+    for seed in 0..3 {
+        let mut m = victim(60 + seed);
+        HackerDefender::default().infect(&mut m).expect("infects");
+        let report = GhostBuster::new()
+            .scan_processes_inside(&mut m)
+            .expect("scans");
+        assert_eq!(report.net_detections().len(), 1);
+        assert!(report.net_detections()[0].detail.contains("hxdef100.exe"));
+    }
+    let fastest = CostModel::new(paper_profiles()[0].clone());
+    assert!(fastest.process_scan_seconds() <= 5.0);
+}
+
+/// "Detection of hidden ASEP hooks is particularly useful for ghostware
+/// removal: it locates the Registry keys that can be deleted to disable the
+/// ghostware after a reboot, even if the ghostware files still remain on
+/// the machine." (Section 3)
+#[test]
+fn hook_removal_disables_ghostware_with_files_still_on_disk() {
+    let mut m = victim(70);
+    HackerDefender::default().infect(&mut m).expect("infects");
+    let gb = GhostBuster::new();
+    let hooks = gb.hidden_hooks(&mut m).expect("hooks");
+    assert_eq!(gb.remediate_hooks(&mut m, &hooks), 2);
+    // Reboot: without its auto-start hooks the rootkit does not come back.
+    m.remove_software("HackerDefender");
+    for pid in m.kernel().find_by_name("hxdef100.exe") {
+        m.kernel_mut().kill(pid).expect("kill");
+    }
+    // The files are STILL on the machine…
+    assert!(m
+        .volume()
+        .exists(&"C:\\windows\\system32\\hxdef100.exe".parse().unwrap()));
+    // …but visible now, and nothing is hidden any more.
+    let sweep = gb.inside_sweep(&mut m).expect("sweeps");
+    assert_eq!(sweep.suspicious_count(), 0);
+}
+
+/// "The existence of a large number of hidden files is a serious anomaly."
+/// (Section 5, on the mass-hiding counterattack)
+#[test]
+fn mass_hiding_produces_a_large_anomaly_not_camouflage() {
+    let mut m = victim(80);
+    let few = {
+        let mut m2 = victim(81);
+        FileHider::hide_folders_xp().infect(&mut m2).expect("infects");
+        GhostBuster::new()
+            .scan_files_inside(&mut m2)
+            .expect("scans")
+            .net_detections()
+            .len()
+    };
+    FileHider::hide_folders_xp()
+        .with_targets(vec!["c:\\program files".into(), "c:\\temp".into()])
+        .infect(&mut m)
+        .expect("infects");
+    let many = GhostBuster::new()
+        .scan_files_inside(&mut m)
+        .expect("scans")
+        .net_detections()
+        .len();
+    assert!(many > 20 * few, "hiding more screams louder: {few} vs {many}");
+}
+
+/// "While they employ a wide variety of resource-hiding techniques, they can
+/// all be uniformly detected by GhostBuster's diff-based approach."
+/// (Conclusions, on the 12 real-world programs)
+#[test]
+fn all_twelve_windows_samples_detected_by_the_same_framework() {
+    let mut names = std::collections::BTreeSet::new();
+    for (i, sample) in file_hiding_corpus()
+        .into_iter()
+        .chain(process_hiding_corpus())
+        .enumerate()
+    {
+        let mut m = victim(90 + i as u64);
+        let infection = sample.infect(&mut m).expect("infects");
+        if !names.insert(infection.ghostware.clone()) {
+            continue;
+        }
+        let sweep = GhostBuster::new()
+            .with_advanced(AdvancedSource::ThreadTable)
+            .inside_sweep(&mut m)
+            .expect("sweeps");
+        assert!(sweep.is_infected(), "{} evaded", infection.ghostware);
+    }
+    assert_eq!(names.len(), 12, "{names:?}");
+}

@@ -1,0 +1,288 @@
+//! Edge-case and failure-injection tests across the substrate crates.
+
+use strider_ghostbuster_repro::prelude::*;
+use strider_nt_core::{NtPath, NtString, NtStatus, Tick, MAX_PATH};
+
+// ---------------------------------------------------------------------
+// NTFS
+// ---------------------------------------------------------------------
+
+#[test]
+fn empty_volume_image_roundtrips() {
+    let vol = NtfsVolume::new("C:");
+    let raw = VolumeImage::parse(&vol.to_image()).unwrap();
+    assert_eq!(raw.entries().len(), 1, "just the root");
+    assert!(raw.file_paths().is_empty());
+    assert!(raw.all_paths().is_empty(), "root itself is not listed");
+}
+
+#[test]
+fn max_path_boundary_is_exact() {
+    // Build a path of exactly MAX_PATH characters: visible. One more: not.
+    let mut p = NtPath::root_of("C:");
+    // "C:" is 2 chars; each component adds 1 (separator) + len.
+    let remaining = MAX_PATH - p.char_len();
+    let comp_len = 50;
+    let full_comps = (remaining - 1) / (comp_len + 1);
+    for i in 0..full_comps {
+        p = p.join(format!("{:049}x", i));
+    }
+    let leftover = MAX_PATH - p.char_len() - 1;
+    assert!(leftover > 0);
+    p = p.join("y".repeat(leftover));
+    assert_eq!(p.char_len(), MAX_PATH);
+    assert!(p.is_win32_visible());
+    let over = p.join("z");
+    assert!(!over.is_win32_visible());
+}
+
+#[test]
+fn deep_tree_paths_reconstruct() {
+    let mut vol = NtfsVolume::new("C:");
+    let mut path = NtPath::root_of("C:");
+    for i in 0..40 {
+        path = path.join(format!("d{i}"));
+    }
+    vol.mkdir_p(&path).unwrap();
+    vol.create_file(&path.join("leaf.txt"), b"x").unwrap();
+    let raw = VolumeImage::parse(&vol.to_image()).unwrap();
+    let (p, _) = &raw.file_paths()[0];
+    assert_eq!(p.depth(), 41);
+    assert!(p.to_string().ends_with("leaf.txt"));
+}
+
+#[test]
+fn many_alternate_data_streams_roundtrip() {
+    let mut vol = NtfsVolume::new("C:");
+    vol.create_file(&"C:\\host".parse().unwrap(), b"main").unwrap();
+    for i in 0..20 {
+        vol.add_stream(&"C:\\host".parse().unwrap(), format!("s{i}"), &[i as u8])
+            .unwrap();
+    }
+    let raw = VolumeImage::parse(&vol.to_image()).unwrap();
+    let (_, entry) = &raw.file_paths()[0];
+    assert_eq!(entry.ads_names.len(), 20);
+    assert_eq!(entry.data_len, 4 + 20);
+}
+
+#[test]
+fn volume_rejects_writing_through_a_file_as_directory() {
+    let mut vol = NtfsVolume::new("C:");
+    vol.create_file(&"C:\\f".parse().unwrap(), b"x").unwrap();
+    assert!(vol.mkdir_p(&"C:\\f\\sub".parse().unwrap()).is_err());
+    assert!(vol
+        .create_file(&"C:\\f\\g".parse().unwrap(), b"y")
+        .is_err());
+}
+
+// ---------------------------------------------------------------------
+// Hive
+// ---------------------------------------------------------------------
+
+#[test]
+fn empty_hive_roundtrips() {
+    let hive = Hive::new("HKLM\\EMPTY".parse().unwrap(), "C:\\e".parse().unwrap());
+    let raw = RawHive::parse(&hive.to_bytes()).unwrap();
+    assert!(raw.root().values.is_empty());
+    assert!(raw.root().subkeys.is_empty());
+    assert!(raw.all_values().is_empty());
+}
+
+#[test]
+fn wide_and_deep_key_trees_roundtrip() {
+    let mut root = Key::new("SOFTWARE");
+    for i in 0..50 {
+        let k = root.subkey_or_create(&NtString::from(format!("wide{i}").as_str()), Tick(1));
+        k.set_value(Value::new("v", ValueData::Dword(i)));
+    }
+    let mut cur = root.subkey_or_create(&NtString::from("deep"), Tick(1));
+    for i in 0..30 {
+        cur = cur.subkey_or_create(&NtString::from(format!("level{i}").as_str()), Tick(1));
+    }
+    cur.set_value(Value::new("bottom", ValueData::sz("here")));
+    let hive = Hive::from_root(
+        "HKLM\\SOFTWARE".parse().unwrap(),
+        "C:\\sw".parse().unwrap(),
+        root,
+    );
+    let raw = RawHive::parse(&hive.to_bytes()).unwrap();
+    assert_eq!(raw.root().subkeys.len(), 51);
+    assert_eq!(raw.all_values().len(), 51);
+    let deep_path: Vec<NtString> = std::iter::once(NtString::from("deep"))
+        .chain((0..30).map(|i| NtString::from(format!("level{i}").as_str())))
+        .collect();
+    assert!(raw.descend(&deep_path).is_some());
+}
+
+#[test]
+fn registry_value_types_render_consistently_across_views() {
+    // Every value type must produce identical (identity-relevant) renderings
+    // from the live API view and the raw-parse view, or clean machines would
+    // show phantom diffs.
+    let mut m = Machine::with_base_system("t").unwrap();
+    let key: NtPath = "HKLM\\SOFTWARE\\TypeZoo".parse().unwrap();
+    m.registry_mut().create_key(&key).unwrap();
+    let reg = m.registry_mut();
+    reg.set_value(&key, "sz", ValueData::sz("text")).unwrap();
+    reg.set_value(&key, "expand", ValueData::ExpandSz(NtString::from("%windir%\\x")))
+        .unwrap();
+    reg.set_value(&key, "dword", ValueData::Dword(0xabcd)).unwrap();
+    reg.set_value(&key, "bin", ValueData::Binary(vec![1, 2, 3, 4, 5]))
+        .unwrap();
+    reg.set_value(
+        &key,
+        "multi",
+        ValueData::MultiSz(vec![NtString::from("a"), NtString::from("b")]),
+    )
+    .unwrap();
+
+    let gb = GhostBuster::new();
+    let ctx = m.ensure_process("ghostbuster.exe", "C:\\gb.exe").unwrap();
+    let report = gb.registry_scanner().scan_full_inside(&m, &ctx).unwrap();
+    assert!(!report.has_detections(), "{report}");
+    assert!(report.phantom_in_lie.is_empty(), "{:?}", report.phantom_in_lie);
+}
+
+// ---------------------------------------------------------------------
+// Kernel
+// ---------------------------------------------------------------------
+
+#[test]
+fn empty_kernel_dump_roundtrips() {
+    let k = Kernel::new();
+    let dump = MemoryDump::parse(&k.crash_dump()).unwrap();
+    assert!(dump.processes().is_empty());
+    assert!(dump.processes_via_apl().is_empty());
+    assert!(dump.threads().is_empty());
+}
+
+#[test]
+fn scheduler_with_no_threads_idles() {
+    let mut k = Kernel::new();
+    assert!(k.schedule_next().is_none());
+}
+
+#[test]
+fn mass_spawn_and_kill_preserves_invariants() {
+    let mut k = Kernel::with_base_processes();
+    let mut pids = Vec::new();
+    for i in 0..200 {
+        pids.push(
+            k.spawn(&format!("w{i}.exe"), "C:\\w.exe".parse().unwrap(), None)
+                .unwrap(),
+        );
+    }
+    assert_eq!(k.active_process_list().len(), 209);
+    for &pid in pids.iter().step_by(2) {
+        k.kill(pid).unwrap();
+    }
+    assert_eq!(k.active_process_list().len(), 109);
+    assert_eq!(k.processes_via_threads().len(), 109);
+    // The APL walk order is stable and cycle-free after heavy churn.
+    let walk = k.active_process_list();
+    let mut dedup = walk.clone();
+    dedup.sort();
+    dedup.dedup();
+    assert_eq!(dedup.len(), walk.len());
+}
+
+#[test]
+fn driver_reload_after_unload() {
+    let mut k = Kernel::new();
+    k.load_driver("d1", "C:\\d1.sys".parse().unwrap());
+    k.unload_driver("d1").unwrap();
+    k.load_driver("d1", "C:\\d1.sys".parse().unwrap());
+    assert_eq!(k.drivers().len(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Machine / chain
+// ---------------------------------------------------------------------
+
+#[test]
+fn module_query_for_dead_pid_errors() {
+    let m = Machine::with_base_system("t").unwrap();
+    let ctx = m.context_for_name("explorer.exe").unwrap();
+    let err = m.query(
+        &ctx,
+        &Query::ModuleList {
+            pid: strider_nt_core::Pid(9996),
+        },
+        ChainEntry::Win32,
+    );
+    assert_eq!(err, Err(NtStatus::NoSuchProcess));
+}
+
+#[test]
+fn reg_enum_on_value_free_key_returns_empty_not_error() {
+    let mut m = Machine::with_base_system("t").unwrap();
+    m.registry_mut()
+        .create_key(&"HKLM\\SOFTWARE\\EmptyKey".parse().unwrap())
+        .unwrap();
+    let ctx = m.context_for_name("explorer.exe").unwrap();
+    let rows = m
+        .query(
+            &ctx,
+            &Query::RegEnumValues {
+                key: "HKLM\\SOFTWARE\\EmptyKey".parse().unwrap(),
+            },
+            ChainEntry::Win32,
+        )
+        .unwrap();
+    assert!(rows.is_empty());
+}
+
+#[test]
+fn stacked_hooks_compose_subtractively() {
+    // Multiple hiders at different levels: the union of their filters is
+    // hidden, and removing one restores exactly its share.
+    use std::sync::Arc;
+    let mut m = Machine::with_base_system("t").unwrap();
+    for name in ["alpha.txt", "beta.txt", "gamma.txt"] {
+        m.volume_mut()
+            .create_file(&format!("C:\\temp\\{name}").parse().unwrap(), b"x")
+            .unwrap();
+    }
+    let hide = |needle: &'static str| {
+        Arc::new(move |_: &CallContext, _: &Query, rows: Vec<Row>| {
+            rows.into_iter()
+                .filter(|r| !r.name().to_win32_lossy().contains(needle))
+                .collect::<Vec<_>>()
+        })
+    };
+    m.install_iat_hook("kit-a", vec![QueryKind::Files], HookScope::All, hide("alpha"));
+    m.install_ntdll_hook("kit-b", vec![QueryKind::Files], HookScope::All, hide("beta"));
+    let ctx = m.context_for_name("explorer.exe").unwrap();
+    let q = Query::DirectoryEnum {
+        path: "C:\\temp".parse().unwrap(),
+    };
+    let rows = m.query(&ctx, &q, ChainEntry::Win32).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].name().to_win32_lossy(), "gamma.txt");
+    m.remove_software("kit-a");
+    let rows = m.query(&ctx, &q, ChainEntry::Win32).unwrap();
+    assert_eq!(rows.len(), 2, "alpha restored, beta still hidden");
+}
+
+#[test]
+fn corrupt_volume_image_fails_scan_cleanly() {
+    struct Garbage;
+    impl strider_winapi::RawImageTamper for Garbage {
+        fn tamper(&self, mut bytes: Vec<u8>) -> Vec<u8> {
+            bytes.truncate(6);
+            bytes
+        }
+    }
+    let mut m = Machine::with_base_system("t").unwrap();
+    m.add_image_tamper("evil", std::sync::Arc::new(Garbage));
+    let ctx = m.context_for_name("explorer.exe").unwrap();
+    let err = FileScanner::new().scan_inside(&m, &ctx);
+    assert!(matches!(err, Err(NtStatus::CorruptStructure(_))));
+}
+
+#[test]
+fn context_for_dead_pid_is_none() {
+    let m = Machine::with_base_system("t").unwrap();
+    assert!(m.context_for(strider_nt_core::Pid(424242)).is_none());
+    assert!(m.context_for_name("nope.exe").is_none());
+}
