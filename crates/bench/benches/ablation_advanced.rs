@@ -3,10 +3,11 @@
 //! price of defeating DKOM.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion};
 use strider_bench::victim_machine_sized;
 use strider_ghostbuster::{AdvancedSource, ProcessScanner};
 use strider_kernel::MemoryDump;
+use strider_support::bench::Criterion;
+use strider_support::{criterion_group, criterion_main};
 use strider_workload::WorkloadSpec;
 
 fn bench_ablation(c: &mut Criterion) {

@@ -3,10 +3,11 @@
 //! comparison, measured.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use strider_bench::victim_machine;
 use strider_ghostbuster::{CrossTimeDiff, GhostBuster, HookScanner};
 use strider_ghostware::{Ghostware, HackerDefender};
+use strider_support::bench::{BatchSize, Criterion};
+use strider_support::{criterion_group, criterion_main};
 
 fn bench_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline_crosstime");

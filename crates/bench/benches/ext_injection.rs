@@ -3,11 +3,12 @@
 //! attacks.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use strider_bench::victim_machine;
 use strider_ghostbuster::{injected_sweep, SignatureScanner};
 use strider_ghostware::prelude::UtilityTargetedHider;
 use strider_ghostware::{Ghostware, HackerDefender};
+use strider_support::bench::{BatchSize, Criterion};
+use strider_support::{criterion_group, criterion_main};
 
 fn bench_extensions(c: &mut Criterion) {
     let mut group = c.benchmark_group("ext_injection");
@@ -19,7 +20,9 @@ fn bench_extensions(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut m = victim_machine(4000).expect("machine builds");
-                UtilityTargetedHider::default().infect(&mut m).expect("infects");
+                UtilityTargetedHider::default()
+                    .infect(&mut m)
+                    .expect("infects");
                 m.spawn_process("taskmgr.exe", "C:\\windows\\system32\\taskmgr.exe")
                     .expect("spawns");
                 m

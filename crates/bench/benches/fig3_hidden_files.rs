@@ -2,10 +2,11 @@
 //! measurement per file-hiding ghostware sample.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use strider_bench::victim_machine;
 use strider_ghostbuster::GhostBuster;
 use strider_ghostware::file_hiding_corpus;
+use strider_support::bench::{BatchSize, Criterion};
+use strider_support::{criterion_group, criterion_main};
 
 fn bench_fig3(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_hidden_files");

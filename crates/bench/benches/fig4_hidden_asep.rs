@@ -2,10 +2,11 @@
 //! sample.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use strider_bench::victim_machine;
 use strider_ghostbuster::GhostBuster;
 use strider_ghostware::registry_hiding_corpus;
+use strider_support::bench::{BatchSize, Criterion};
+use strider_support::{criterion_group, criterion_main};
 
 fn bench_fig4(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_hidden_asep");

@@ -2,10 +2,11 @@
 //! normal and advanced mode.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use strider_bench::victim_machine;
 use strider_ghostbuster::{AdvancedSource, GhostBuster};
 use strider_ghostware::process_hiding_corpus;
+use strider_support::bench::{BatchSize, Criterion};
+use strider_support::{criterion_group, criterion_main};
 
 fn bench_fig6(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_hidden_procs");

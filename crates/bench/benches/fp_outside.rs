@@ -2,9 +2,10 @@
 //! flow on a clean, churning machine (the FP experiments of Sections 2–3).
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use strider_bench::victim_machine;
 use strider_ghostbuster::GhostBuster;
+use strider_support::bench::{BatchSize, Criterion};
+use strider_support::{criterion_group, criterion_main};
 
 fn bench_fp_flows(c: &mut Criterion) {
     let mut group = c.benchmark_group("fp_outside");

@@ -2,9 +2,10 @@
 //! (clean-boot) diffs per Unix rootkit.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use strider_ghostbuster::UnixGhostBuster;
 use strider_ghostware::unix::unix_corpus;
+use strider_support::bench::{BatchSize, Criterion};
+use strider_support::{criterion_group, criterion_main};
 use strider_unixfs::UnixMachine;
 use strider_workload::populate_unix;
 

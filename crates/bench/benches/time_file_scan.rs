@@ -4,14 +4,15 @@
 //! throughput measured here feeds the cost model's per-entry constants.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use strider_bench::victim_machine_sized;
 use strider_ghostbuster::{FileScanner, GhostBuster};
+use strider_support::bench::{BatchSize, Criterion, Throughput};
+use strider_support::{criterion_group, criterion_main};
 use strider_winapi::ChainEntry;
 use strider_workload::WorkloadSpec;
 
 fn bench_file_scans(c: &mut Criterion) {
-    let mut group = c.benchmark_group("time_file_scan");
+    let mut group = c.benchmark_group("file_scan");
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     group.sample_size(10);
@@ -28,7 +29,11 @@ fn bench_file_scans(c: &mut Criterion) {
         group.throughput(Throughput::Elements(files));
 
         group.bench_function(format!("{label}/high_scan"), |b| {
-            b.iter(|| scanner.high_scan(&machine, &ctx, ChainEntry::Win32).unwrap());
+            b.iter(|| {
+                scanner
+                    .high_scan(&machine, &ctx, ChainEntry::Win32)
+                    .unwrap()
+            });
         });
         group.bench_function(format!("{label}/low_scan_mft_parse"), |b| {
             b.iter(|| scanner.low_scan(&machine).unwrap());

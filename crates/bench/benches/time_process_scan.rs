@@ -3,15 +3,16 @@
 //! serialization/parse that the outside-the-box flow adds (15–45 s there).
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use strider_bench::victim_machine_sized;
 use strider_ghostbuster::{AdvancedSource, GhostBuster, ProcessScanner};
 use strider_kernel::MemoryDump;
+use strider_support::bench::{Criterion, Throughput};
+use strider_support::{criterion_group, criterion_main};
 use strider_winapi::ChainEntry;
 use strider_workload::WorkloadSpec;
 
 fn bench_process_scans(c: &mut Criterion) {
-    let mut group = c.benchmark_group("time_process_scan");
+    let mut group = c.benchmark_group("process_scan");
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     for (label, spec) in [
@@ -27,7 +28,11 @@ fn bench_process_scans(c: &mut Criterion) {
         ));
 
         group.bench_function(format!("{label}/high_scan"), |b| {
-            b.iter(|| scanner.high_scan(&machine, &ctx, ChainEntry::Win32).unwrap());
+            b.iter(|| {
+                scanner
+                    .high_scan(&machine, &ctx, ChainEntry::Win32)
+                    .unwrap()
+            });
         });
         group.bench_function(format!("{label}/low_scan_apl"), |b| {
             b.iter(|| scanner.low_scan_apl(&machine));

@@ -2,14 +2,15 @@
 //! API extraction, the hive copy + raw parse, and the hook diff.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use strider_bench::victim_machine_sized;
 use strider_ghostbuster::{GhostBuster, RegistryScanner};
+use strider_support::bench::{Criterion, Throughput};
+use strider_support::{criterion_group, criterion_main};
 use strider_winapi::ChainEntry;
 use strider_workload::WorkloadSpec;
 
 fn bench_registry_scans(c: &mut Criterion) {
-    let mut group = c.benchmark_group("time_registry_scan");
+    let mut group = c.benchmark_group("registry_scan");
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     group.sample_size(20);

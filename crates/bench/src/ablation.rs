@@ -84,9 +84,9 @@ impl HiveCopyTamper for HiveScrubber {
             let data = match v.type_code {
                 1 => ValueData::Sz(NtString::from_units(&units(&v.data))),
                 2 => ValueData::ExpandSz(NtString::from_units(&units(&v.data))),
-                4 if v.data.len() >= 4 => ValueData::Dword(u32::from_le_bytes(
-                    v.data[..4].try_into().expect("4 bytes"),
-                )),
+                4 if v.data.len() >= 4 => {
+                    ValueData::Dword(u32::from_le_bytes(v.data[..4].try_into().expect("4 bytes")))
+                }
                 7 => ValueData::MultiSz(
                     units(&v.data)
                         .split(|&u| u == 0)
@@ -118,11 +118,8 @@ impl HiveCopyTamper for HiveScrubber {
             out
         }
         let root = convert(raw.root());
-        let hive = strider_hive::Hive::from_root(
-            mount.clone(),
-            "C:\\x".parse().expect("static"),
-            root,
-        );
+        let hive =
+            strider_hive::Hive::from_root(mount.clone(), "C:\\x".parse().expect("static"), root);
         hive.to_bytes()
     }
 }
@@ -176,14 +173,17 @@ pub fn dump_scrub_matrix() -> Result<(bool, bool), NtStatus> {
         strider_ghostware::Fu::default().infect(&mut m)?;
         if scrub {
             let pid = m.kernel().find_by_name("fu_payload.exe")[0];
-            m.kernel_mut().register_dump_scrubber(strider_kernel::DumpScrub {
-                pids: vec![pid],
-                module_names: Vec::new(),
-            });
+            m.kernel_mut()
+                .register_dump_scrubber(strider_kernel::DumpScrub {
+                    pids: vec![pid],
+                    module_names: Vec::new(),
+                });
         }
         let gb = GhostBuster::new().with_advanced(AdvancedSource::ThreadTable);
         let ctx = gb.enter(&mut m)?;
-        let lie = gb.process_scanner().high_scan(&m, &ctx, ChainEntry::Win32)?;
+        let lie = gb
+            .process_scanner()
+            .high_scan(&m, &ctx, ChainEntry::Win32)?;
         let dump = strider_kernel::MemoryDump::parse(&m.kernel().crash_dump())
             .map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
         let truth = gb.process_scanner().outside_scan(&dump, true);

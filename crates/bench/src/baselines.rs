@@ -3,10 +3,8 @@
 //! Introduction's claims.
 
 use crate::victim_machine;
-use strider_ghostbuster::{CrossTimeDiff, GhostBuster, HookScanner, install_benign_wrapper};
-use strider_ghostware::{
-    file_hiding_corpus, process_hiding_corpus, Ghostware, NamingTrick,
-};
+use strider_ghostbuster::{install_benign_wrapper, CrossTimeDiff, GhostBuster, HookScanner};
+use strider_ghostware::{file_hiding_corpus, process_hiding_corpus, Ghostware, NamingTrick};
 use strider_nt_core::NtStatus;
 
 /// One sample's outcome across the three detectors.
@@ -103,7 +101,9 @@ mod tests {
             .collect();
         assert!(blind.contains(&"FU"));
         assert!(blind.contains(&"NamingTrick"));
-        assert!(blind.iter().any(|g| g.contains("Hide") || g.contains("Protector")));
+        assert!(blind
+            .iter()
+            .any(|g| g.contains("Hide") || g.contains("Protector")));
     }
 
     #[test]

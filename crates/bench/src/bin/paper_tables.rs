@@ -100,7 +100,12 @@ fn main() {
             "{}",
             render_table(
                 "Figure 6: hidden processes/modules (normal vs advanced mode)",
-                &["Ghostware", "Hidden processes/modules", "Normal", "Advanced"],
+                &[
+                    "Ghostware",
+                    "Hidden processes/modules",
+                    "Normal",
+                    "Advanced"
+                ],
                 &table
             )
         );
@@ -206,7 +211,12 @@ fn main() {
             "{}",
             render_table(
                 "Section 5: targeting attacks vs the injected per-process scan",
-                &["Attack", "Plain EXE detects", "Injected detects", "#processes lied to"],
+                &[
+                    "Attack",
+                    "Plain EXE detects",
+                    "Injected detects",
+                    "#processes lied to"
+                ],
                 &table
             )
         );
@@ -236,7 +246,12 @@ fn main() {
             .map(|r| {
                 vec![
                     r.rootkit.clone(),
-                    if r.uses_lkm { "LKM getdents hook" } else { "trojaned ls" }.into(),
+                    if r.uses_lkm {
+                        "LKM getdents hook"
+                    } else {
+                        "trojaned ls"
+                    }
+                    .into(),
                     verdict(r.inside_detects),
                     verdict(r.outside_complete),
                     r.outside_noise.to_string(),
@@ -247,7 +262,13 @@ fn main() {
             "{}",
             render_table(
                 "Section 5: Linux/Unix rootkits (paper: all detected, <=4 FPs)",
-                &["Rootkit", "Technique", "ls-vs-glob detects", "Clean-boot detects", "Noise FPs"],
+                &[
+                    "Rootkit",
+                    "Technique",
+                    "ls-vs-glob detects",
+                    "Clean-boot detects",
+                    "Noise FPs"
+                ],
                 &table
             )
         );
@@ -281,8 +302,8 @@ fn main() {
     });
 
     run("ablations", &mut || {
-        let curve = ablation::timegap_fp_curve(&[0, 30, 90, 150, 300, 600])
-            .map_err(|e| e.to_string())?;
+        let curve =
+            ablation::timegap_fp_curve(&[0, 30, 90, 150, 300, 600]).map_err(|e| e.to_string())?;
         let table: Vec<Vec<String>> = curve
             .iter()
             .map(|(gap, fps)| vec![format!("{gap}"), fps.to_string()])
@@ -321,7 +342,11 @@ fn main() {
 }
 
 fn verdict(ok: bool) -> String {
-    if ok { "yes".into() } else { "no".into() }
+    if ok {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }
 
 fn fmt_secs(s: f64) -> String {

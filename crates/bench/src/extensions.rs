@@ -147,7 +147,9 @@ pub fn remediation_flow() -> Result<RemediationOutcome, NtStatus> {
     // its hooks, filters, and process are gone.
     m.remove_software("HackerDefender");
     for pid in m.kernel().find_by_name("hxdef100.exe") {
-        m.kernel_mut().kill(pid).map_err(|_| NtStatus::NoSuchProcess)?;
+        m.kernel_mut()
+            .kill(pid)
+            .map_err(|_| NtStatus::NoSuchProcess)?;
     }
 
     // Step 5: the files are now visible; delete them.
@@ -156,7 +158,10 @@ pub fn remediation_flow() -> Result<RemediationOutcome, NtStatus> {
         .file_scanner()
         .high_scan(&m, &ctx, strider_winapi::ChainEntry::Win32)?;
     let files_visible_after_reboot = visible.iter().any(|(_, f)| f.path.contains("hxdef100.exe"));
-    for path in ["C:\\windows\\system32\\hxdef100.exe", "C:\\windows\\system32\\hxdef100.ini"] {
+    for path in [
+        "C:\\windows\\system32\\hxdef100.exe",
+        "C:\\windows\\system32\\hxdef100.ini",
+    ] {
         m.volume_mut()
             .remove_file(&path.parse().expect("static"))
             .map_err(|_| NtStatus::ObjectNameNotFound)?;
@@ -252,7 +257,11 @@ mod tests {
     #[test]
     fn targeting_attacks_beaten_by_injection() {
         for row in targeting_rows().unwrap() {
-            assert!(!row.plain_detects, "{}: plain tool must be blind", row.attack);
+            assert!(
+                !row.plain_detects,
+                "{}: plain tool must be blind",
+                row.attack
+            );
             assert!(row.injected_detects, "{}", row.attack);
             assert!(row.lied_to_count >= 1, "{}", row.attack);
         }
@@ -276,10 +285,7 @@ mod tests {
     fn futurework_features_behave_as_documented() {
         let out = futurework_outcome().unwrap();
         assert_eq!(out.ads_findings, 2);
-        assert!(out
-            .hxdef_driver_findings
-            .iter()
-            .any(|d| d == "hxdefdrv"));
+        assert!(out.hxdef_driver_findings.iter().any(|d| d == "hxdefdrv"));
         assert!(out.fu_driver_findings.iter().any(|d| d == "msdirectx"));
         assert_eq!(out.berbew_monitor_vs_crossview, (1, 0));
     }

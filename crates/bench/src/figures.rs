@@ -37,9 +37,7 @@ fn detection_row(
     expected: Vec<String>,
     detected: Vec<String>,
 ) -> DetectionRow {
-    let complete = expected
-        .iter()
-        .all(|e| expected_matches(&detected, e));
+    let complete = expected.iter().all(|e| expected_matches(&detected, e));
     let extras = detected
         .iter()
         .filter(|d| {
@@ -196,7 +194,10 @@ pub fn technique_matrix() -> Result<Vec<(String, Vec<String>)>, NtStatus> {
             infection.ghostware.clone(),
             infection.techniques.iter().map(|t| t.to_string()).collect(),
         );
-        if !rows.iter().any(|(name, _): &(String, Vec<String>)| name == &row.0) {
+        if !rows
+            .iter()
+            .any(|(name, _): &(String, Vec<String>)| name == &row.0)
+        {
             rows.push(row);
         }
     }
@@ -213,7 +214,11 @@ mod tests {
         assert_eq!(rows.len(), 10);
         for row in &rows {
             assert!(row.complete, "{} incomplete: {:?}", row.ghostware, row);
-            assert_eq!(row.extras, 0, "{} extras: {:?}", row.ghostware, row.detected);
+            assert_eq!(
+                row.extras, 0,
+                "{} extras: {:?}",
+                row.ghostware, row.detected
+            );
         }
     }
 

@@ -175,7 +175,10 @@ mod tests {
             with_ccm > without,
             "disabling CCM must reduce FPs ({with_ccm} -> {without})"
         );
-        assert!(with_ccm >= 5, "the noisy machine approximates 7: {with_ccm}");
+        assert!(
+            with_ccm >= 5,
+            "the noisy machine approximates 7: {with_ccm}"
+        );
         assert!(without <= 4, "after disabling: {without}");
     }
 

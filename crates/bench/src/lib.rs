@@ -3,8 +3,10 @@
 //! Each `figN_results` / `*_results` function runs one experiment
 //! end-to-end on freshly-built simulated machines and returns structured
 //! rows; the `paper_tables` binary renders them in the paper's layout, and
-//! the Criterion benches in `benches/` time the underlying scans. See
-//! `EXPERIMENTS.md` at the workspace root for the paper-vs-measured record.
+//! the benches in `benches/` time the underlying scans on the in-tree
+//! harness (`strider_support::bench`, a Criterion-shaped replacement that
+//! writes `BENCH_<group>.json` at the workspace root). See `EXPERIMENTS.md`
+//! at the workspace root for the paper-vs-measured record.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -81,7 +83,10 @@ mod tests {
         let t = render_table(
             "demo",
             &["a", "bb"],
-            &[vec!["x".into(), "y".into()], vec!["longer".into(), "z".into()]],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["longer".into(), "z".into()],
+            ],
         );
         assert!(t.contains("== demo =="));
         assert!(t.contains("longer | z"));

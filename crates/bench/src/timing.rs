@@ -92,7 +92,10 @@ pub fn measured_io_rows() -> Result<Vec<MeasuredIoRow>, NtStatus> {
     let sim_files = machine.volume().record_count() as f64;
 
     let registry = RegistryScanner::new();
-    let mut reg_io = registry.high_scan(&machine, &ctx, ChainEntry::Win32).meta.io;
+    let mut reg_io = registry
+        .high_scan(&machine, &ctx, ChainEntry::Win32)
+        .meta
+        .io;
     reg_io.merge(&registry.low_scan(&machine)?.meta.io);
     let sim_keys = machine.registry().key_count() as f64;
 

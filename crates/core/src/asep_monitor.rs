@@ -70,10 +70,7 @@ impl AsepMonitor {
     pub fn checkpoint(&self, machine: &Machine, ctx: &CallContext) -> AsepCheckpoint {
         let snap = self.scanner.high_scan(machine, ctx, ChainEntry::Win32);
         AsepCheckpoint {
-            hooks: snap
-                .iter()
-                .map(|(k, h)| (k.clone(), h.clone()))
-                .collect(),
+            hooks: snap.iter().map(|(k, h)| (k.clone(), h.clone())).collect(),
         }
     }
 

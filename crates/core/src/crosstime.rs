@@ -104,10 +104,7 @@ mod tests {
         let baseline = ct.checkpoint(&m);
         HackerDefender::default().infect(&mut m).unwrap();
         let changes = ct.diff(&m, &baseline);
-        assert!(changes
-            .added
-            .iter()
-            .any(|p| p.contains("hxdef100.exe")));
+        assert!(changes.added.iter().any(|p| p.contains("hxdef100.exe")));
     }
 
     #[test]

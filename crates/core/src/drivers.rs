@@ -41,7 +41,11 @@ pub struct DriverFinding {
 
 impl fmt::Display for DriverFinding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "driver {} ({}): {}", self.driver, self.image_path, self.anomaly)
+        write!(
+            f,
+            "driver {} ({}): {}",
+            self.driver, self.image_path, self.anomaly
+        )
     }
 }
 
@@ -144,7 +148,10 @@ mod tests {
         HackerDefender::default().infect(&mut m).unwrap();
         let c = ctx(&mut m);
         let findings = DriverScanner::new().scan(&m, &c).unwrap();
-        assert!(findings.iter().any(|f| f.driver == "hxdefdrv"), "{findings:?}");
+        assert!(
+            findings.iter().any(|f| f.driver == "hxdefdrv"),
+            "{findings:?}"
+        );
     }
 
     #[test]

@@ -112,8 +112,8 @@ impl FileScanner {
         view: ViewKind,
         taken_at: Tick,
     ) -> Result<Snapshot<FileFact>, NtStatus> {
-        let raw = VolumeImage::parse(bytes)
-            .map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
+        let raw =
+            VolumeImage::parse(bytes).map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
         let mut snap = Snapshot::new(ScanMeta::new(view, taken_at));
         snap.meta.io.record_sequential(raw.image_len());
         for (path, entry) in raw.all_paths() {
@@ -122,7 +122,11 @@ impl FileScanner {
                 for ads in &entry.ads_names {
                     let pseudo = format!("{}:{}", path, ads.to_display_string());
                     snap.insert(
-                        format!("{}:{}", path.fold_key(), String::from_utf16_lossy(&ads.fold_key())),
+                        format!(
+                            "{}:{}",
+                            path.fold_key(),
+                            String::from_utf16_lossy(&ads.fold_key())
+                        ),
                         FileFact {
                             path: pseudo,
                             is_dir: false,
@@ -304,7 +308,9 @@ mod tests {
     #[test]
     fn ads_detection_reveals_streams_only_when_enabled() {
         let mut m = Machine::with_base_system("victim").unwrap();
-        strider_ghostware::AdsHider::default().infect(&mut m).unwrap();
+        strider_ghostware::AdsHider::default()
+            .infect(&mut m)
+            .unwrap();
         let ctx = gb_ctx(&mut m);
         // Default scanner: streams are out of scope, nothing to report.
         let plain = FileScanner::new().scan_inside(&m, &ctx).unwrap();

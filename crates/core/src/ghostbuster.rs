@@ -128,7 +128,10 @@ impl GhostBuster {
     ///
     /// Propagates spawn failures.
     pub fn enter(&self, machine: &mut Machine) -> Result<CallContext, NtStatus> {
-        machine.ensure_process(GHOSTBUSTER_IMAGE, "C:\\Program Files\\strider\\ghostbuster.exe")
+        machine.ensure_process(
+            GHOSTBUSTER_IMAGE,
+            "C:\\Program Files\\strider\\ghostbuster.exe",
+        )
     }
 
     /// Inside-the-box hidden-file detection.
@@ -213,7 +216,9 @@ impl GhostBuster {
         let file_lie = self.files.high_scan(machine, &ctx, ChainEntry::Win32)?;
         let hook_lie = self.registry.high_scan(machine, &ctx, ChainEntry::Win32);
         let proc_lie = self.processes.high_scan(machine, &ctx, ChainEntry::Win32)?;
-        let module_lie = self.processes.high_module_scan(machine, &ctx, ChainEntry::Win32)?;
+        let module_lie = self
+            .processes
+            .high_module_scan(machine, &ctx, ChainEntry::Win32)?;
         let dump = MemoryDump::parse(&machine.kernel().crash_dump())
             .map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
 
@@ -235,7 +240,11 @@ impl GhostBuster {
             if let Some(p) = dump.process(pf.pid) {
                 for m in &p.kernel_modules {
                     module_truth.insert(
-                        format!("pid:{}|{}", pf.pid.0, m.name.to_win32_lossy().to_ascii_lowercase()),
+                        format!(
+                            "pid:{}|{}",
+                            pf.pid.0,
+                            m.name.to_win32_lossy().to_ascii_lowercase()
+                        ),
                         crate::snapshot::ModuleFact {
                             pid: pf.pid,
                             process_name: pf.image_name.clone(),
@@ -392,16 +401,18 @@ mod tests {
         strider_workload::services::install_standard_services(&mut m, false);
         m.tick(400); // the machine has been running for a while
         HackerDefender::default().infect(&mut m).unwrap();
-        let report = GhostBuster::new()
-            .winpe_outside_sweep(&mut m, 150)
-            .unwrap();
+        let report = GhostBuster::new().winpe_outside_sweep(&mut m, 150).unwrap();
         assert!(report.is_infected());
         assert!(report
             .files
             .net_detections()
             .iter()
             .any(|d| d.detail.contains("hxdef100.exe")));
-        assert!(report.noise_count() <= 8, "noise bounded: {}", report.noise_count());
+        assert!(
+            report.noise_count() <= 8,
+            "noise bounded: {}",
+            report.noise_count()
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub struct HookFinding {
 
 impl fmt::Display for HookFinding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {:?} hook on {:?}", self.level, self.style, self.kinds)
+        write!(
+            f,
+            "{} {:?} hook on {:?}",
+            self.level, self.style, self.kinds
+        )
     }
 }
 
@@ -95,9 +99,9 @@ pub fn install_benign_wrapper(machine: &mut Machine, owner: &str) {
         HookStyle::Wrapper,
         // A pass-through: observes, hides nothing.
         Arc::new(
-            |_: &strider_winapi::CallContext, _: &strider_winapi::Query, rows: Vec<strider_winapi::Row>| {
-                rows
-            },
+            |_: &strider_winapi::CallContext,
+             _: &strider_winapi::Query,
+             rows: Vec<strider_winapi::Row>| { rows },
         ),
     );
 }

@@ -44,7 +44,10 @@ pub struct InjectedSweepReport {
 impl InjectedSweepReport {
     /// Processes that experienced hiding.
     pub fn lied_to(&self) -> Vec<&PerProcessReport> {
-        self.per_process.iter().filter(|r| r.was_lied_to()).collect()
+        self.per_process
+            .iter()
+            .filter(|r| r.was_lied_to())
+            .collect()
     }
 
     /// Whether any process anywhere was lied to.
@@ -57,7 +60,12 @@ impl InjectedSweepReport {
         let mut out: Vec<String> = self
             .per_process
             .iter()
-            .flat_map(|r| r.files.net_detections().into_iter().map(|d| d.detail.clone()))
+            .flat_map(|r| {
+                r.files
+                    .net_detections()
+                    .into_iter()
+                    .map(|d| d.detail.clone())
+            })
             .collect();
         out.sort();
         out.dedup();
@@ -78,7 +86,8 @@ pub fn injected_sweep(machine: &Machine) -> Result<InjectedSweepReport, NtStatus
     let files = FileScanner::new();
     let processes = ProcessScanner::new();
     let file_truth = files.low_scan(machine)?;
-    let proc_truth = processes.low_scan_advanced(machine, crate::process::AdvancedSource::ThreadTable);
+    let proc_truth =
+        processes.low_scan_advanced(machine, crate::process::AdvancedSource::ThreadTable);
 
     let mut per_process = Vec::new();
     for pid in machine.kernel().processes_via_threads() {

@@ -71,18 +71,16 @@ mod unixgb;
 
 pub use asep_monitor::{AsepChanges, AsepCheckpoint, AsepMonitor};
 pub use crosstime::{ChangeSet, Checkpoint, CrossTimeDiff};
-pub use drivers::{DriverAnomaly, DriverFinding, DriverScanner};
 pub use diff::cross_view_diff;
+pub use drivers::{DriverAnomaly, DriverFinding, DriverScanner};
 pub use files::FileScanner;
 pub use ghostbuster::{GhostBuster, SweepReport, GHOSTBUSTER_IMAGE};
 pub use hookscan::{install_benign_wrapper, HookFinding, HookScanner};
 pub use inject::{injected_sweep, InjectedSweepReport, PerProcessReport};
 pub use process::{AdvancedSource, ProcessScanner};
 pub use registry::{OutsideRegistryMode, RegistryScanner};
+pub use report::{Detection, DiffReport, FileCategory, NoiseClass, NoiseFilter, ResourceKind};
 pub use scanfile::{parse_scan_file, write_scan_file, ScanFileError};
-pub use report::{
-    Detection, DiffReport, FileCategory, NoiseClass, NoiseFilter, ResourceKind,
-};
 pub use signature::{Signature, SignatureHit, SignatureScanner};
 pub use snapshot::{FileFact, HookFact, ModuleFact, ProcessFact, ScanMeta, Snapshot, ViewKind};
 pub use unixgb::{UnixBinaryIntegrity, UnixDetection, UnixGhostBuster, UnixReport};
@@ -91,9 +89,9 @@ pub use unixgb::{UnixBinaryIntegrity, UnixDetection, UnixGhostBuster, UnixReport
 pub mod prelude {
     pub use crate::{
         cross_view_diff, injected_sweep, install_benign_wrapper, AdvancedSource, AsepMonitor,
-        CrossTimeDiff, Detection, DiffReport, DriverScanner,
-        FileCategory, FileScanner, GhostBuster, HookScanner, InjectedSweepReport, NoiseClass,
-        NoiseFilter, OutsideRegistryMode, ProcessScanner, RegistryScanner, ResourceKind, ScanMeta,
+        CrossTimeDiff, Detection, DiffReport, DriverScanner, FileCategory, FileScanner,
+        GhostBuster, HookScanner, InjectedSweepReport, NoiseClass, NoiseFilter,
+        OutsideRegistryMode, ProcessScanner, RegistryScanner, ResourceKind, ScanMeta,
         SignatureScanner, Snapshot, SweepReport, UnixGhostBuster, ViewKind,
     };
 }

@@ -118,7 +118,10 @@ impl ProcessScanner {
 
     /// The outside-the-box scan over a crash-dump image.
     pub fn outside_scan(&self, dump: &MemoryDump, advanced: bool) -> Snapshot<ProcessFact> {
-        let mut snap = Snapshot::new(ScanMeta::new(ViewKind::OutsideDump, strider_nt_core::Tick::ZERO));
+        let mut snap = Snapshot::new(ScanMeta::new(
+            ViewKind::OutsideDump,
+            strider_nt_core::Tick::ZERO,
+        ));
         snap.meta.io.record_sequential(dump.byte_len());
         let mut pids = dump.processes_via_apl();
         if advanced {
@@ -196,11 +199,7 @@ impl ProcessScanner {
         let mut snap = Snapshot::new(ScanMeta::new(view, machine.now()));
         for (_, proc_fact) in procs.iter() {
             snap.meta.io.record_api_call();
-            let rows = match machine.query(
-                ctx,
-                &Query::ModuleList { pid: proc_fact.pid },
-                entry,
-            ) {
+            let rows = match machine.query(ctx, &Query::ModuleList { pid: proc_fact.pid }, entry) {
                 Ok(rows) => rows,
                 Err(NtStatus::NoSuchProcess) => continue,
                 Err(e) => return Err(e),
@@ -311,8 +310,11 @@ mod tests {
         let mut m = Machine::with_base_system("clean").unwrap();
         let ctx = gb_ctx(&mut m);
         let s = ProcessScanner::new();
-        for advanced in [None, Some(AdvancedSource::ThreadTable), Some(AdvancedSource::HandleTable)]
-        {
+        for advanced in [
+            None,
+            Some(AdvancedSource::ThreadTable),
+            Some(AdvancedSource::HandleTable),
+        ] {
             let report = s.scan_inside(&m, &ctx, advanced).unwrap();
             assert!(!report.has_detections(), "{advanced:?}: {report}");
         }
@@ -330,7 +332,10 @@ mod tests {
             let report = ProcessScanner::new().scan_inside(&m, &ctx, None).unwrap();
             for name in &inf.hidden_process_names {
                 assert!(
-                    report.net_detections().iter().any(|d| d.detail.contains(name)),
+                    report
+                        .net_detections()
+                        .iter()
+                        .any(|d| d.detail.contains(name)),
                     "{} missed {name}",
                     inf.ghostware
                 );
@@ -408,10 +413,11 @@ mod tests {
         let mut m = Machine::with_base_system("victim").unwrap();
         Fu::default().infect(&mut m).unwrap();
         let pid = m.kernel().find_by_name("fu_payload.exe")[0];
-        m.kernel_mut().register_dump_scrubber(strider_kernel::DumpScrub {
-            pids: vec![pid],
-            module_names: Vec::new(),
-        });
+        m.kernel_mut()
+            .register_dump_scrubber(strider_kernel::DumpScrub {
+                pids: vec![pid],
+                module_names: Vec::new(),
+            });
         let ctx = gb_ctx(&mut m);
         let s = ProcessScanner::new();
         let lie = s.high_scan(&m, &ctx, ChainEntry::Win32).unwrap();

@@ -34,7 +34,10 @@ impl<'a> ApiKeyView<'a> {
     fn query(&self, query: Query) -> Vec<Row> {
         let mut io = self.io.borrow_mut();
         io.record_api_call();
-        let rows = self.machine.query(self.ctx, &query, self.entry).unwrap_or_default();
+        let rows = self
+            .machine
+            .query(self.ctx, &query, self.entry)
+            .unwrap_or_default();
         io.record_entries(rows.len() as u64);
         rows
     }
@@ -197,8 +200,8 @@ impl RegistryScanner {
                 .copy_hive_bytes(&mount)
                 .ok_or(NtStatus::ObjectNameNotFound)?;
             io.record_sequential(bytes.len() as u64);
-            let raw = RawHive::parse(&bytes)
-                .map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
+            let raw =
+                RawHive::parse(&bytes).map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
             parsed.push((mount, raw));
         }
         let hooks = asep::extract_raw(&parsed, &self.catalog);
@@ -225,8 +228,8 @@ impl RegistryScanner {
         let mut io = IoStats::default();
         for (mount, bytes) in &image.hives {
             io.record_sequential(bytes.len() as u64);
-            let raw = RawHive::parse(bytes)
-                .map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
+            let raw =
+                RawHive::parse(bytes).map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
             parsed.push((mount.clone(), raw));
         }
         let hooks = match mode {
@@ -238,8 +241,7 @@ impl RegistryScanner {
                         .filter(|(m, _)| path.starts_with(m))
                         .max_by_key(|(m, _)| m.components().len())?;
                     let rel = path.components()[mount.components().len()..].to_vec();
-                    raw.descend(&rel)
-                        .map(|k| Win32OverRaw(asep::RawKeyView(k)))
+                    raw.descend(&rel).map(|k| Win32OverRaw(asep::RawKeyView(k)))
                 },
                 &self.catalog,
             ),
@@ -315,7 +317,11 @@ impl RegistryScanner {
                 path: hive.mount().clone(),
                 io: Rc::clone(&io),
             };
-            walk_key_view(&root, &hive.mount().to_string().to_ascii_lowercase(), &mut snap);
+            walk_key_view(
+                &root,
+                &hive.mount().to_string().to_ascii_lowercase(),
+                &mut snap,
+            );
         }
         snap.meta.io = *io.borrow();
         snap
@@ -334,8 +340,8 @@ impl RegistryScanner {
                 .copy_hive_bytes(&mount)
                 .ok_or(NtStatus::ObjectNameNotFound)?;
             snap.meta.io.record_sequential(bytes.len() as u64);
-            let raw = RawHive::parse(&bytes)
-                .map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
+            let raw =
+                RawHive::parse(&bytes).map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
             let root = asep::RawKeyView(raw.root());
             walk_key_view(&root, &mount.to_string().to_ascii_lowercase(), &mut snap);
         }
@@ -375,7 +381,11 @@ fn walk_key_view<V: KeyView>(view: &V, path_key: &str, snap: &mut Snapshot<Strin
     for value in view.values() {
         let rendered = view.render_name(&value.name);
         snap.insert(
-            format!("val:{path_key}|{}|{}", rendered.to_ascii_lowercase(), value.target.to_ascii_lowercase()),
+            format!(
+                "val:{path_key}|{}|{}",
+                rendered.to_ascii_lowercase(),
+                value.target.to_ascii_lowercase()
+            ),
             format!("{path_key}\\{rendered} = {}", value.target),
         );
     }
@@ -495,7 +505,10 @@ mod tests {
         let s = RegistryScanner::new();
         let lie = s.high_scan(&m, &ctx, ChainEntry::Win32);
         let image = m.snapshot_disk().unwrap();
-        for mode in [OutsideRegistryMode::MountedWin32, OutsideRegistryMode::RawParse] {
+        for mode in [
+            OutsideRegistryMode::MountedWin32,
+            OutsideRegistryMode::RawParse,
+        ] {
             let truth = s.outside_scan(&image, mode).unwrap();
             let report = s.diff(&truth, &lie);
             assert!(
@@ -550,7 +563,9 @@ mod tests {
         let mut m = Machine::with_base_system("victim").unwrap();
         HackerDefender::default().infect(&mut m).unwrap();
         // A configuration key far from any ASEP, hidden by the same detour.
-        let cfg: NtPath = "HKLM\\SOFTWARE\\HackerDefenderCfg\\Settings".parse().unwrap();
+        let cfg: NtPath = "HKLM\\SOFTWARE\\HackerDefenderCfg\\Settings"
+            .parse()
+            .unwrap();
         m.registry_mut().create_key(&cfg).unwrap();
         let ctx = gb_ctx(&mut m);
         let s = RegistryScanner::new();

@@ -1,11 +1,10 @@
 //! Detection reports, categorization, and the noise classifier.
 
 use crate::snapshot::ScanMeta;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which resource type a detection concerns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ResourceKind {
     /// A file or directory.
     File,
@@ -30,7 +29,7 @@ impl fmt::Display for ResourceKind {
 }
 
 /// Figure 3's hidden-file categories.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FileCategory {
     /// Ghostware binaries: EXEs, DLLs, drivers.
     Binary,
@@ -65,7 +64,7 @@ impl fmt::Display for FileCategory {
 }
 
 /// The noise classifier's verdict on one detection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NoiseClass {
     /// No benign explanation: treat as ghostware.
     Suspicious,
@@ -91,7 +90,7 @@ impl fmt::Display for NoiseClass {
 }
 
 /// One cross-view finding: present in the truth view, absent from the lie.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Detection {
     /// Resource type.
     pub kind: ResourceKind,
@@ -156,7 +155,11 @@ impl NoiseFilter {
     /// Classifies a path-shaped identity.
     pub fn classify_path(&self, path: &str) -> NoiseClass {
         let lower = path.to_ascii_lowercase();
-        if self.churn_patterns.iter().any(|p| lower.contains(p.as_str())) {
+        if self
+            .churn_patterns
+            .iter()
+            .any(|p| lower.contains(p.as_str()))
+        {
             NoiseClass::LikelyServiceChurn
         } else {
             NoiseClass::Suspicious
@@ -165,7 +168,7 @@ impl NoiseFilter {
 }
 
 /// A complete cross-view diff report for one resource kind.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DiffReport {
     /// Metadata of the truth-side scan.
     pub truth_meta: ScanMeta,
@@ -242,6 +245,36 @@ impl fmt::Display for DiffReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// JSON serialization (see `strider_support::json`, replacing the former
+// serde derives)
+// ---------------------------------------------------------------------
+
+strider_support::impl_json!(
+    enum ResourceKind {
+        File,
+        AsepHook,
+        Process,
+        Module,
+    }
+);
+strider_support::impl_json!(
+    enum FileCategory {
+        Binary,
+        Data,
+        OtherTarget,
+    }
+);
+strider_support::impl_json!(
+    enum NoiseClass {
+        Suspicious,
+        LikelyServiceChurn,
+        LikelyCorruption,
+    }
+);
+strider_support::impl_json!(struct Detection { kind, identity, detail, category, noise });
+strider_support::impl_json!(struct DiffReport { truth_meta, lie_meta, detections, phantom_in_lie });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,11 +293,26 @@ mod tests {
 
     #[test]
     fn categorization_follows_extension() {
-        assert_eq!(FileCategory::from_path("C:\\a\\hxdef100.exe"), FileCategory::Binary);
-        assert_eq!(FileCategory::from_path("C:\\a\\hxdefdrv.sys"), FileCategory::Binary);
-        assert_eq!(FileCategory::from_path("C:\\a\\hxdef100.ini"), FileCategory::Data);
-        assert_eq!(FileCategory::from_path("C:\\a\\vanquish.log"), FileCategory::Data);
-        assert_eq!(FileCategory::from_path("C:\\a\\diary.txt"), FileCategory::OtherTarget);
+        assert_eq!(
+            FileCategory::from_path("C:\\a\\hxdef100.exe"),
+            FileCategory::Binary
+        );
+        assert_eq!(
+            FileCategory::from_path("C:\\a\\hxdefdrv.sys"),
+            FileCategory::Binary
+        );
+        assert_eq!(
+            FileCategory::from_path("C:\\a\\hxdef100.ini"),
+            FileCategory::Data
+        );
+        assert_eq!(
+            FileCategory::from_path("C:\\a\\vanquish.log"),
+            FileCategory::Data
+        );
+        assert_eq!(
+            FileCategory::from_path("C:\\a\\diary.txt"),
+            FileCategory::OtherTarget
+        );
         assert_eq!(FileCategory::from_path("noext"), FileCategory::OtherTarget);
     }
 
@@ -283,7 +331,10 @@ mod tests {
             f.classify_path("C:\\windows\\system32\\hxdef100.exe"),
             NoiseClass::Suspicious
         );
-        assert_eq!(f.classify_path("/var/log/xferlog"), NoiseClass::LikelyServiceChurn);
+        assert_eq!(
+            f.classify_path("/var/log/xferlog"),
+            NoiseClass::LikelyServiceChurn
+        );
     }
 
     #[test]
@@ -302,8 +353,16 @@ mod tests {
             truth_meta: ScanMeta::new(ViewKind::LowLevelMft, Tick(10)),
             lie_meta: ScanMeta::new(ViewKind::HighLevelWin32, Tick(7)),
             detections: vec![
-                det(ResourceKind::File, "C:\\x\\evil.exe", NoiseClass::Suspicious),
-                det(ResourceKind::File, "C:\\x\\evil.log", NoiseClass::Suspicious),
+                det(
+                    ResourceKind::File,
+                    "C:\\x\\evil.exe",
+                    NoiseClass::Suspicious,
+                ),
+                det(
+                    ResourceKind::File,
+                    "C:\\x\\evil.log",
+                    NoiseClass::Suspicious,
+                ),
                 det(
                     ResourceKind::File,
                     "C:\\prefetch\\A.pf",

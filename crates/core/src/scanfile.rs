@@ -122,7 +122,8 @@ pub fn parse_scan_file(bytes: &[u8]) -> Result<Snapshot<FileFact>, ScanFileError
         return Err(ScanFileError::BadHeader);
     }
     let view_tag = parts.next().ok_or(ScanFileError::BadHeader)?;
-    let view = view_from_tag(view_tag).ok_or_else(|| ScanFileError::BadView(view_tag.to_string()))?;
+    let view =
+        view_from_tag(view_tag).ok_or_else(|| ScanFileError::BadView(view_tag.to_string()))?;
     let taken: u64 = parts
         .next()
         .ok_or(ScanFileError::BadHeader)?
@@ -144,9 +145,11 @@ pub fn parse_scan_file(bytes: &[u8]) -> Result<Snapshot<FileFact>, ScanFileError
         let created = if *created == "-" {
             None
         } else {
-            Some(Tick(created
-                .parse()
-                .map_err(|_| ScanFileError::BadNumber { line: line_no })?))
+            Some(Tick(
+                created
+                    .parse()
+                    .map_err(|_| ScanFileError::BadNumber { line: line_no })?,
+            ))
         };
         snap.insert(
             key.to_string(),
@@ -186,8 +189,14 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(matches!(parse_scan_file(b""), Err(ScanFileError::BadHeader)));
-        assert!(matches!(parse_scan_file(b"NOTGB"), Err(ScanFileError::BadHeader)));
+        assert!(matches!(
+            parse_scan_file(b""),
+            Err(ScanFileError::BadHeader)
+        ));
+        assert!(matches!(
+            parse_scan_file(b"NOTGB"),
+            Err(ScanFileError::BadHeader)
+        ));
         let bad_view = "GBSCAN1\x1fwat\x1f3\n".to_string();
         assert!(matches!(
             parse_scan_file(bad_view.as_bytes()),
@@ -218,6 +227,9 @@ mod tests {
             },
         );
         let parsed = parse_scan_file(&write_scan_file(&snap)).unwrap();
-        assert_eq!(parsed.get("c:\\weird name. ").unwrap().path, "C:\\Weird Name. ");
+        assert_eq!(
+            parsed.get("c:\\weird name. ").unwrap().path,
+            "C:\\Weird Name. "
+        );
     }
 }

@@ -9,7 +9,7 @@
 //! don't hide and be caught by the signature.
 
 use crate::files::FileScanner;
-use strider_nt_core::{NtStatus, NtPath};
+use strider_nt_core::{NtPath, NtStatus};
 use strider_winapi::{CallContext, ChainEntry, Machine};
 
 /// A known-bad content signature.
@@ -130,7 +130,10 @@ mod tests {
         let mut m = Machine::with_base_system("victim").unwrap();
         // Drop the hxdef files but install no hooks: "don't hide".
         m.volume_mut()
-            .create_file(&"C:\\windows\\system32\\hxdef100.exe".parse().unwrap(), b"MZ hxdef100")
+            .create_file(
+                &"C:\\windows\\system32\\hxdef100.exe".parse().unwrap(),
+                b"MZ hxdef100",
+            )
             .unwrap();
         let ctx = inocit_ctx(&mut m);
         let hits = SignatureScanner::with_default_database()

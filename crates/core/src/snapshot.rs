@@ -1,12 +1,11 @@
 //! Scan snapshots: what a view saw, when, and at what I/O cost.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use strider_nt_core::{IoStats, Pid, Tick};
 
 /// Which view produced a snapshot — the axis of the cross-view diff.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ViewKind {
     /// High-level scan through the Win32 APIs (`dir /s`, RegEdit, Task
     /// Manager). The ghostware's preferred audience: "the lie".
@@ -61,7 +60,7 @@ impl fmt::Display for ViewKind {
 }
 
 /// Metadata common to every snapshot.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScanMeta {
     /// The producing view.
     pub view: ViewKind,
@@ -86,7 +85,7 @@ impl ScanMeta {
 ///
 /// Keys are view-independent identities (case-folded paths, hook
 /// identities, pids); values are display facts.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Snapshot<T> {
     /// Scan metadata.
     pub meta: ScanMeta,
@@ -135,7 +134,7 @@ impl<T> Snapshot<T> {
 }
 
 /// A file or directory fact.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FileFact {
     /// Display path.
     pub path: String,
@@ -151,7 +150,7 @@ pub struct FileFact {
 pub type HookFact = strider_hive::prelude::AsepHook;
 
 /// A process fact.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcessFact {
     /// Process id.
     pub pid: Pid,
@@ -162,7 +161,7 @@ pub struct ProcessFact {
 }
 
 /// A loaded-module fact.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModuleFact {
     /// The process the module is loaded in.
     pub pid: Pid,
@@ -173,6 +172,58 @@ pub struct ModuleFact {
     /// Module path.
     pub path: String,
 }
+
+// ---------------------------------------------------------------------
+// JSON serialization (see `strider_support::json`, replacing the former
+// serde derives)
+// ---------------------------------------------------------------------
+
+strider_support::impl_json!(
+    enum ViewKind {
+        HighLevelWin32,
+        HighLevelNative,
+        LowLevelMft,
+        LowLevelHiveParse,
+        LowLevelApl,
+        LowLevelThreadTable,
+        LowLevelHandleTable,
+        LowLevelKernelModules,
+        OutsideDisk,
+        OutsideMountedHives,
+        OutsideDump,
+    }
+);
+strider_support::impl_json!(struct ScanMeta { view, taken_at, io });
+// `Snapshot<T>` is generic, which `impl_json!` does not cover — spell the
+// same encoding out by hand.
+impl<T: strider_support::json::ToJson> strider_support::json::ToJson for Snapshot<T> {
+    fn to_json(&self) -> strider_support::json::JsonValue {
+        strider_support::json::JsonValue::Obj(vec![
+            (
+                "meta".to_string(),
+                strider_support::json::ToJson::to_json(&self.meta),
+            ),
+            (
+                "facts".to_string(),
+                strider_support::json::ToJson::to_json(&self.facts),
+            ),
+        ])
+    }
+}
+
+impl<T: strider_support::json::FromJson> strider_support::json::FromJson for Snapshot<T> {
+    fn from_json(
+        value: &strider_support::json::JsonValue,
+    ) -> Result<Self, strider_support::json::JsonError> {
+        Ok(Self {
+            meta: strider_support::json::FromJson::from_json(value.field("meta")?)?,
+            facts: strider_support::json::FromJson::from_json(value.field("facts")?)?,
+        })
+    }
+}
+strider_support::impl_json!(struct FileFact { path, is_dir, size, created });
+strider_support::impl_json!(struct ProcessFact { pid, image_name, image_path });
+strider_support::impl_json!(struct ModuleFact { pid, process_name, module, path });
 
 #[cfg(test)]
 mod tests {

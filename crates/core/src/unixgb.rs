@@ -126,7 +126,13 @@ impl UnixBinaryIntegrity {
     pub fn modified_binaries(&self, machine: &UnixMachine) -> Vec<String> {
         self.known_good
             .iter()
-            .filter(|(path, good)| machine.fs().read(path).map(|d| d != good.as_slice()).unwrap_or(true))
+            .filter(|(path, good)| {
+                machine
+                    .fs()
+                    .read(path)
+                    .map(|d| d != good.as_slice())
+                    .unwrap_or(true)
+            })
             .map(|(path, _)| path.clone())
             .collect()
     }

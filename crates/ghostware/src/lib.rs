@@ -210,8 +210,8 @@ pub mod prelude {
     pub use crate::targeted::{ScannerAwareHider, UtilityTargetedHider};
     pub use crate::unix::{Darkside, Superkit, Synapsis, T0rnkit, UnixInfection, UnixRootkit};
     pub use crate::{
-        file_hiding_corpus, process_hiding_corpus, registry_hiding_corpus, AdsHider, Aphex,
-        Berbew, FileHider, Fu, Ghostware, HackerDefender, Infection, Mersting, NamingTrick,
-        ProBotSe, Technique, Urbin, Vanquish,
+        file_hiding_corpus, process_hiding_corpus, registry_hiding_corpus, AdsHider, Aphex, Berbew,
+        FileHider, Fu, Ghostware, HackerDefender, Infection, Mersting, NamingTrick, ProBotSe,
+        Technique, Urbin, Vanquish,
     };
 }

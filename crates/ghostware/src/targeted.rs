@@ -42,7 +42,9 @@ impl Ghostware for UtilityTargetedHider {
     }
 
     fn infect(&self, machine: &mut Machine) -> Result<Infection, NtStatus> {
-        let exe: NtPath = "C:\\windows\\system32\\targbot.exe".parse().expect("static");
+        let exe: NtPath = "C:\\windows\\system32\\targbot.exe"
+            .parse()
+            .expect("static");
         machine.win32_create_file(&exe, b"MZ targbot")?;
         machine.spawn_process("targbot.exe", &exe.to_string())?;
         machine.install_ntdll_hook(
@@ -108,15 +110,25 @@ mod tests {
         UtilityTargetedHider::default().infect(&mut m).unwrap();
         m.spawn_process("ghostbuster.exe", "C:\\gb.exe").unwrap();
 
-        let taskmgr = m.spawn_process("taskmgr.exe", "C:\\windows\\system32\\taskmgr.exe").unwrap();
+        let taskmgr = m
+            .spawn_process("taskmgr.exe", "C:\\windows\\system32\\taskmgr.exe")
+            .unwrap();
         let tm_ctx = m.context_for(taskmgr).unwrap();
-        let rows = m.query(&tm_ctx, &Query::ProcessList, ChainEntry::Win32).unwrap();
-        assert!(!rows.iter().any(|r| r.name().to_win32_lossy() == "targbot.exe"));
+        let rows = m
+            .query(&tm_ctx, &Query::ProcessList, ChainEntry::Win32)
+            .unwrap();
+        assert!(!rows
+            .iter()
+            .any(|r| r.name().to_win32_lossy() == "targbot.exe"));
 
         // GhostBuster's own process is not lied to: no diff to find.
         let gb_ctx = m.context_for_name("ghostbuster.exe").unwrap();
-        let rows = m.query(&gb_ctx, &Query::ProcessList, ChainEntry::Win32).unwrap();
-        assert!(rows.iter().any(|r| r.name().to_win32_lossy() == "targbot.exe"));
+        let rows = m
+            .query(&gb_ctx, &Query::ProcessList, ChainEntry::Win32)
+            .unwrap();
+        assert!(rows
+            .iter()
+            .any(|r| r.name().to_win32_lossy() == "targbot.exe"));
     }
 
     #[test]
@@ -126,11 +138,19 @@ mod tests {
         m.spawn_process("ghostbuster.exe", "C:\\gb.exe").unwrap();
 
         let gb_ctx = m.context_for_name("ghostbuster.exe").unwrap();
-        let rows = m.query(&gb_ctx, &Query::ProcessList, ChainEntry::Win32).unwrap();
-        assert!(rows.iter().any(|r| r.name().to_win32_lossy() == "sneaky.exe"));
+        let rows = m
+            .query(&gb_ctx, &Query::ProcessList, ChainEntry::Win32)
+            .unwrap();
+        assert!(rows
+            .iter()
+            .any(|r| r.name().to_win32_lossy() == "sneaky.exe"));
 
         let ex_ctx = m.context_for_name("explorer.exe").unwrap();
-        let rows = m.query(&ex_ctx, &Query::ProcessList, ChainEntry::Win32).unwrap();
-        assert!(!rows.iter().any(|r| r.name().to_win32_lossy() == "sneaky.exe"));
+        let rows = m
+            .query(&ex_ctx, &Query::ProcessList, ChainEntry::Win32)
+            .unwrap();
+        assert!(!rows
+            .iter()
+            .any(|r| r.name().to_win32_lossy() == "sneaky.exe"));
     }
 }

@@ -53,7 +53,11 @@ impl Ghostware for Aphex {
             .expect("static");
         machine
             .registry_mut()
-            .set_value(&run, exe_name.as_str(), ValueData::sz(exe.to_string().as_str()))
+            .set_value(
+                &run,
+                exe_name.as_str(),
+                ValueData::sz(exe.to_string().as_str()),
+            )
             .map_err(|_| NtStatus::ObjectNameNotFound)?;
 
         // Kernel32 detours for file and Registry enumeration.
@@ -104,7 +108,9 @@ mod tests {
                 ChainEntry::Win32,
             )
             .unwrap();
-        assert!(!rows.iter().any(|r| r.name().to_win32_lossy().starts_with('~')));
+        assert!(!rows
+            .iter()
+            .any(|r| r.name().to_win32_lossy().starts_with('~')));
     }
 
     #[test]
@@ -112,13 +118,17 @@ mod tests {
         let mut m = Machine::with_base_system("t").unwrap();
         Aphex::default().infect(&mut m).unwrap();
         let ctx = m.context_for_name("explorer.exe").unwrap();
-        let win32 = m.query(&ctx, &Query::ProcessList, ChainEntry::Win32).unwrap();
+        let win32 = m
+            .query(&ctx, &Query::ProcessList, ChainEntry::Win32)
+            .unwrap();
         assert!(!win32
             .iter()
             .any(|r| r.name().to_win32_lossy().starts_with('~')));
         // IAT hooks don't apply to native callers: tlist-style native
         // enumeration sees the truth for *this* sample.
-        let native = m.query(&ctx, &Query::ProcessList, ChainEntry::Native).unwrap();
+        let native = m
+            .query(&ctx, &Query::ProcessList, ChainEntry::Native)
+            .unwrap();
         assert!(native
             .iter()
             .any(|r| r.name().to_win32_lossy().starts_with('~')));
@@ -143,6 +153,8 @@ mod tests {
                 ChainEntry::Win32,
             )
             .unwrap();
-        assert!(!rows.iter().any(|r| r.name().to_win32_lossy().starts_with("zz_")));
+        assert!(!rows
+            .iter()
+            .any(|r| r.name().to_win32_lossy().starts_with("zz_")));
     }
 }

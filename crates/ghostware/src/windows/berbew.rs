@@ -7,10 +7,10 @@
 
 use crate::filters::hide_names_containing;
 use crate::{Ghostware, Infection, Technique};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
 use strider_hive::ValueData;
 use strider_nt_core::{NtPath, NtStatus};
+use strider_support::rng::SplitMix64;
 use strider_winapi::{HookScope, Machine, QueryKind};
 
 /// The Berbew sample with its random process name seed.
@@ -32,7 +32,7 @@ impl Ghostware for Berbew {
     }
 
     fn infect(&self, machine: &mut Machine) -> Result<Infection, NtStatus> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::seed_from_u64(self.seed);
         let stem: String = (0..7)
             .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
             .collect();
@@ -48,7 +48,11 @@ impl Ghostware for Berbew {
             .expect("static");
         machine
             .registry_mut()
-            .set_value(&run, exe_name.as_str(), ValueData::sz(exe.to_string().as_str()))
+            .set_value(
+                &run,
+                exe_name.as_str(),
+                ValueData::sz(exe.to_string().as_str()),
+            )
             .map_err(|_| NtStatus::ObjectNameNotFound)?;
 
         machine.spawn_process(&exe_name, &exe.to_string())?;
@@ -88,11 +92,13 @@ mod tests {
             );
         }
         // The truth: the APL still contains it (Berbew is not DKOM).
-        assert!(m
+        assert!(m.kernel().active_process_list().iter().any(|&pid| m
             .kernel()
-            .active_process_list()
-            .iter()
-            .any(|&pid| m.kernel().process(pid).unwrap().image_name.to_win32_lossy() == *hidden));
+            .process(pid)
+            .unwrap()
+            .image_name
+            .to_win32_lossy()
+            == *hidden));
     }
 
     #[test]

@@ -36,7 +36,11 @@ impl FileHider {
 
     /// Hide Files 3.3.
     pub fn hide_files_33() -> Self {
-        Self::new("Hide Files 3.3", "hidefiles.exe", "C:\\Documents and Settings\\user\\private")
+        Self::new(
+            "Hide Files 3.3",
+            "hidefiles.exe",
+            "C:\\Documents and Settings\\user\\private",
+        )
     }
 
     /// Hide Folders XP.
@@ -119,9 +123,10 @@ impl Ghostware for FileHider {
         let mut infection = Infection::new(self.product);
         infection.techniques = vec![Technique::FilterDriver];
         infection.hidden_files = hidden;
-        infection
-            .visible_artifacts
-            .push(format!("{} under Program Files with visible Run hook", self.exe_name));
+        infection.visible_artifacts.push(format!(
+            "{} under Program Files with visible Run hook",
+            self.exe_name
+        ));
         Ok(infection)
     }
 }
@@ -153,10 +158,8 @@ mod tests {
                 )
                 .unwrap();
             assert!(
-                !rows
-                    .iter()
-                    .any(|r| r.name().to_win32_lossy()
-                        == target_dir.file_name().unwrap().to_win32_lossy()),
+                !rows.iter().any(|r| r.name().to_win32_lossy()
+                    == target_dir.file_name().unwrap().to_win32_lossy()),
                 "{} failed to hide {}",
                 inf.ghostware,
                 target_dir
@@ -222,8 +225,7 @@ mod tests {
     #[test]
     fn custom_targets() {
         let mut m = Machine::with_base_system("t").unwrap();
-        let hider =
-            FileHider::hide_files_33().with_targets(vec!["C:\\work\\secret".to_string()]);
+        let hider = FileHider::hide_files_33().with_targets(vec!["C:\\work\\secret".to_string()]);
         let inf = hider.infect(&mut m).unwrap();
         assert!(inf
             .hidden_files

@@ -63,8 +63,8 @@ impl Ghostware for Fu {
                 (pid, name)
             }
             None => {
-                let pid =
-                    machine.spawn_process("fu_payload.exe", "C:\\windows\\system32\\fu_payload.exe")?;
+                let pid = machine
+                    .spawn_process("fu_payload.exe", "C:\\windows\\system32\\fu_payload.exe")?;
                 (pid, "fu_payload.exe".to_string())
             }
         };

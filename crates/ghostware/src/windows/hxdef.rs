@@ -172,7 +172,9 @@ mod tests {
         for entry in [ChainEntry::Win32, ChainEntry::Native] {
             let rows = m.query(&ctx, &q, entry).unwrap();
             assert!(
-                !rows.iter().any(|r| r.name().to_win32_lossy().contains("hxdef")),
+                !rows
+                    .iter()
+                    .any(|r| r.name().to_win32_lossy().contains("hxdef")),
                 "NtDll detour must catch {entry:?} callers"
             );
         }
@@ -183,8 +185,12 @@ mod tests {
         let mut m = Machine::with_base_system("t").unwrap();
         HackerDefender::default().infect(&mut m).unwrap();
         let ctx = m.context_for_name("explorer.exe").unwrap();
-        let procs = m.query(&ctx, &Query::ProcessList, ChainEntry::Win32).unwrap();
-        assert!(!procs.iter().any(|r| r.name().to_win32_lossy().contains("hxdef")));
+        let procs = m
+            .query(&ctx, &Query::ProcessList, ChainEntry::Win32)
+            .unwrap();
+        assert!(!procs
+            .iter()
+            .any(|r| r.name().to_win32_lossy().contains("hxdef")));
         let keys = m
             .query(
                 &ctx,

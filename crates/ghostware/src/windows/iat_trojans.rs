@@ -18,8 +18,7 @@ fn infect_iat_trojan(machine: &mut Machine, name: &str, dll: &str) -> Result<Inf
     let dll_path: NtPath = format!("C:\\windows\\system32\\{dll}")
         .parse()
         .map_err(|_| NtStatus::ObjectNameInvalid)?;
-    machine
-        .native_create_file(&dll_path, format!("MZ {name} payload").as_bytes())?;
+    machine.native_create_file(&dll_path, format!("MZ {name} payload").as_bytes())?;
 
     // Hook AppInit_DLLs, appending to whatever is already there.
     let windows_key: NtPath = "HKLM\\SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion\\Windows"
@@ -37,7 +36,11 @@ fn infect_iat_trojan(machine: &mut Machine, name: &str, dll: &str) -> Result<Inf
     };
     machine
         .registry_mut()
-        .set_value(&windows_key, "AppInit_DLLs", ValueData::sz(new_data.as_str()))
+        .set_value(
+            &windows_key,
+            "AppInit_DLLs",
+            ValueData::sz(new_data.as_str()),
+        )
         .map_err(|_| NtStatus::ObjectNameNotFound)?;
 
     // IAT patches: file enumeration hides the DLL file; Registry value
@@ -110,10 +113,14 @@ mod tests {
             path: "C:\\windows\\system32".parse().unwrap(),
         };
         let win32 = m.query(&ctx, &q, ChainEntry::Win32).unwrap();
-        assert!(!win32.iter().any(|r| r.name().to_win32_lossy().contains("msvsres")));
+        assert!(!win32
+            .iter()
+            .any(|r| r.name().to_win32_lossy().contains("msvsres")));
         // IAT hooks do not reach native callers.
         let native = m.query(&ctx, &q, ChainEntry::Native).unwrap();
-        assert!(native.iter().any(|r| r.name().to_win32_lossy().contains("msvsres")));
+        assert!(native
+            .iter()
+            .any(|r| r.name().to_win32_lossy().contains("msvsres")));
     }
 
     #[test]
@@ -130,9 +137,7 @@ mod tests {
         let appinit = rows
             .iter()
             .find_map(|r| match r {
-                strider_winapi::Row::RegValue(v)
-                    if v.name.to_win32_lossy() == "AppInit_DLLs" =>
-                {
+                strider_winapi::Row::RegValue(v) if v.name.to_win32_lossy() == "AppInit_DLLs" => {
                     Some(v.data.clone())
                 }
                 _ => None,

@@ -26,7 +26,9 @@ impl Ghostware for NamingTrick {
         let mut hidden = Vec::new();
 
         // Trailing dot.
-        let dot: NtPath = "C:\\windows\\system32\\svchost.exe.".parse().expect("static");
+        let dot: NtPath = "C:\\windows\\system32\\svchost.exe."
+            .parse()
+            .expect("static");
         machine.native_create_file(&dot, b"MZ payload")?;
         hidden.push(dot);
 
@@ -63,7 +65,10 @@ impl Ghostware for NamingTrick {
         let sneaky = NtString::from_units(&units);
         machine
             .registry_mut()
-            .set_value_raw(&run, Value::new(sneaky, ValueData::sz("C:\\windows\\update \\run.exe")))
+            .set_value_raw(
+                &run,
+                Value::new(sneaky, ValueData::sz("C:\\windows\\update \\run.exe")),
+            )
             .map_err(|_| NtStatus::ObjectNameNotFound)?;
 
         let mut infection = Infection::new("NamingTrick");

@@ -8,11 +8,11 @@
 
 use crate::filters::hide_names_containing;
 use crate::{Ghostware, Infection, Technique};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
 use strider_hive::ValueData;
 use strider_kernel::SyscallId;
 use strider_nt_core::{NtPath, NtStatus};
+use strider_support::rng::SplitMix64;
 use strider_winapi::{Machine, QueryKind, TickTask};
 
 /// The ProBot SE sample. Its artifact names are random; pass a seed for
@@ -29,7 +29,7 @@ impl Default for ProBotSe {
     }
 }
 
-fn random_stem(rng: &mut StdRng) -> String {
+fn random_stem(rng: &mut SplitMix64) -> String {
     (0..8)
         .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
         .collect()
@@ -50,7 +50,9 @@ impl TickTask for Keylogger {
         // Capture a "keystroke" every few ticks.
         if self.counter.is_multiple_of(3) {
             let line = format!("key {:04}\r\n", self.counter);
-            let _ = machine.volume_mut().append_file(&self.log_path, line.as_bytes());
+            let _ = machine
+                .volume_mut()
+                .append_file(&self.log_path, line.as_bytes());
         }
     }
 }
@@ -61,7 +63,7 @@ impl Ghostware for ProBotSe {
     }
 
     fn infect(&self, machine: &mut Machine) -> Result<Infection, NtStatus> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::seed_from_u64(self.seed);
         let exe_stem = random_stem(&mut rng);
         let dll_stem = random_stem(&mut rng);
         let drv1_stem = random_stem(&mut rng);
@@ -83,8 +85,14 @@ impl Ghostware for ProBotSe {
 
         // ASEP hooks: two services + one Run entry (Figure 4).
         for (svc, image) in [
-            (drv1_stem.clone(), format!("System32\\drivers\\{drv1_stem}.sys")),
-            (drv2_stem.clone(), format!("{drv2_stem}.sys keyboard driver")),
+            (
+                drv1_stem.clone(),
+                format!("System32\\drivers\\{drv1_stem}.sys"),
+            ),
+            (
+                drv2_stem.clone(),
+                format!("{drv2_stem}.sys keyboard driver"),
+            ),
         ] {
             let key = mk(&format!("HKLM\\SYSTEM\\CurrentControlSet\\Services\\{svc}"))?;
             machine
@@ -112,7 +120,12 @@ impl Ghostware for ProBotSe {
         machine.kernel_mut().load_driver(&drv2_stem, drv2.clone());
 
         // SSDT hooks: one per hijacked service, all hiding the random stems.
-        let stems = [exe_stem.clone(), dll_stem.clone(), drv1_stem.clone(), drv2_stem.clone()];
+        let stems = [
+            exe_stem.clone(),
+            dll_stem.clone(),
+            drv1_stem.clone(),
+            drv2_stem.clone(),
+        ];
         let stem_refs: Vec<&str> = stems.iter().map(String::as_str).collect();
         machine.install_ssdt_hook(
             "ProBotSE",
@@ -163,7 +176,9 @@ mod tests {
         let i1 = ProBotSe { seed: 7 }.infect(&mut m1).unwrap();
         let i2 = ProBotSe { seed: 7 }.infect(&mut m2).unwrap();
         assert_eq!(i1.hidden_files, i2.hidden_files);
-        let i3 = ProBotSe { seed: 8 }.infect(&mut Machine::with_base_system("c").unwrap()).unwrap();
+        let i3 = ProBotSe { seed: 8 }
+            .infect(&mut Machine::with_base_system("c").unwrap())
+            .unwrap();
         assert_ne!(i1.hidden_files, i3.hidden_files);
     }
 
@@ -189,7 +204,9 @@ mod tests {
                 )
                 .unwrap();
             assert!(
-                !rows.iter().any(|r| r.name().to_win32_lossy().contains(&stem)),
+                !rows
+                    .iter()
+                    .any(|r| r.name().to_win32_lossy().contains(&stem)),
                 "SSDT hook is below the native entry"
             );
         }

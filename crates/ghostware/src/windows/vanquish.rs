@@ -50,7 +50,11 @@ impl Ghostware for Vanquish {
             .map_err(|_| NtStatus::ObjectNameNotFound)?;
         machine
             .registry_mut()
-            .set_value(&svc, "ImagePath", ValueData::sz("C:\\windows\\vanquish.exe"))
+            .set_value(
+                &svc,
+                "ImagePath",
+                ValueData::sz("C:\\windows\\vanquish.exe"),
+            )
             .map_err(|_| NtStatus::ObjectNameNotFound)?;
 
         // In-memory wrapper on the Win32 API code: files, registry keys and
@@ -117,9 +121,13 @@ mod tests {
             path: "C:\\windows".parse().unwrap(),
         };
         let win32 = m.query(&ctx, &q, ChainEntry::Win32).unwrap();
-        assert!(!win32.iter().any(|r| r.name().to_win32_lossy().contains("vanquish")));
+        assert!(!win32
+            .iter()
+            .any(|r| r.name().to_win32_lossy().contains("vanquish")));
         let native = m.query(&ctx, &q, ChainEntry::Native).unwrap();
-        assert!(native.iter().any(|r| r.name().to_win32_lossy().contains("vanquish")));
+        assert!(native
+            .iter()
+            .any(|r| r.name().to_win32_lossy().contains("vanquish")));
     }
 
     #[test]
@@ -150,7 +158,10 @@ mod tests {
         let ctx = m.context_for_name("explorer.exe").unwrap();
         let trace = m.stack_trace(&ctx, strider_winapi::QueryKind::Files);
         assert!(trace.iter().any(|f| f.contains("Vanquish")), "{trace:?}");
-        assert!(!trace.iter().any(|f| f.contains("HackerDefender")), "{trace:?}");
+        assert!(
+            !trace.iter().any(|f| f.contains("HackerDefender")),
+            "{trace:?}"
+        );
     }
 
     #[test]

@@ -21,7 +21,6 @@
 use crate::format::{RawHive, RawKey};
 use crate::key::Key;
 use crate::registry::Registry;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use strider_nt_core::{NtPath, NtString};
 
@@ -150,7 +149,7 @@ pub fn catalog() -> Vec<AsepLocation> {
 }
 
 /// One extracted auto-start hook.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AsepHook {
     /// The catalog id of the location (`"Run"`, `"Services"`, …).
     pub asep_id: String,
@@ -243,7 +242,10 @@ where
                     let (target, corrupt) = match target_value {
                         Some(tv) => {
                             let tvn = NtString::from(tv);
-                            match sub.values().into_iter().find(|v| v.name.eq_ignore_case(&tvn))
+                            match sub
+                                .values()
+                                .into_iter()
+                                .find(|v| v.name.eq_ignore_case(&tvn))
                             {
                                 Some(v) => (v.target, v.corrupt),
                                 None => (String::new(), false),
@@ -262,15 +264,14 @@ where
             }
             AsepKind::SingleValueList { value_name } => {
                 let vn = NtString::from(value_name);
-                let Some(v) = view.values().into_iter().find(|v| v.name.eq_ignore_case(&vn))
+                let Some(v) = view
+                    .values()
+                    .into_iter()
+                    .find(|v| v.name.eq_ignore_case(&vn))
                 else {
                     continue;
                 };
-                for part in v
-                    .target
-                    .split([' ', ',', ';'])
-                    .filter(|s| !s.is_empty())
-                {
+                for part in v.target.split([' ', ',', ';']).filter(|s| !s.is_empty()) {
                     hooks.push(AsepHook {
                         asep_id: loc.id.to_string(),
                         entry: value_name.to_string(),
@@ -459,6 +460,13 @@ pub fn extract_raw(hives: &[(NtPath, RawHive)], catalog: &[AsepLocation]) -> Vec
     )
 }
 
+// ---------------------------------------------------------------------
+// JSON serialization (see `strider_support::json`, replacing the former
+// serde derives)
+// ---------------------------------------------------------------------
+
+strider_support::impl_json!(struct AsepHook { asep_id, entry, target, key_path, corrupt });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,12 +521,7 @@ mod tests {
         let raws: Vec<(NtPath, RawHive)> = reg
             .hives()
             .iter()
-            .map(|h| {
-                (
-                    h.mount().clone(),
-                    RawHive::parse(&h.to_bytes()).unwrap(),
-                )
-            })
+            .map(|h| (h.mount().clone(), RawHive::parse(&h.to_bytes()).unwrap()))
             .collect();
         let raw = extract_raw(&raws, &catalog());
         let mut a: Vec<String> = live.iter().map(AsepHook::identity).collect();

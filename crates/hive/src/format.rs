@@ -21,9 +21,9 @@
 //! flags the value as corrupt instead of failing the whole hive.
 
 use crate::key::{Key, Value, ValueData};
-use bytes::{Buf, BufMut, BytesMut};
 use std::fmt;
 use strider_nt_core::{NtString, Tick};
+use strider_support::bytes::{Buf, BufMut, BytesMut};
 
 const MAGIC: &[u8; 8] = b"SREGF1\0\0";
 const VERSION: u32 = 1;

@@ -1,6 +1,5 @@
 //! The live Registry key/value tree.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use strider_nt_core::{NtString, Tick};
 
@@ -9,7 +8,7 @@ use strider_nt_core::{NtString, Tick};
 /// The variants correspond to the on-disk `REG_*` type codes the serializer
 /// writes (`REG_SZ=1`, `REG_EXPAND_SZ=2`, `REG_BINARY=3`, `REG_DWORD=4`,
 /// `REG_MULTI_SZ=7`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ValueData {
     /// `REG_SZ` — a string.
     Sz(NtString),
@@ -62,7 +61,7 @@ impl fmt::Display for ValueData {
 }
 
 /// A named Registry value (a key "item" in the paper's terminology).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Value {
     /// The counted value name; may embed `NUL`s when created natively.
     pub name: NtString,
@@ -88,7 +87,7 @@ impl Value {
 /// A live Registry key: a named node with values and subkeys.
 ///
 /// Lookup helpers are case-insensitive, matching the configuration manager.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Key {
     /// The counted key name.
     pub name: NtString,
@@ -118,7 +117,9 @@ impl Key {
 
     /// Mutable variant of [`Key::subkey`].
     pub fn subkey_mut(&mut self, name: &NtString) -> Option<&mut Key> {
-        self.subkeys.iter_mut().find(|k| k.name.eq_ignore_case(name))
+        self.subkeys
+            .iter_mut()
+            .find(|k| k.name.eq_ignore_case(name))
     }
 
     /// Finds a value by case-insensitive name.
@@ -205,6 +206,23 @@ impl Key {
     }
 }
 
+// ---------------------------------------------------------------------
+// JSON serialization (see `strider_support::json`, replacing the former
+// serde derives)
+// ---------------------------------------------------------------------
+
+strider_support::impl_json!(
+    enum ValueData {
+        Sz(NtString),
+        ExpandSz(NtString),
+        Binary(Vec<u8>),
+        Dword(u32),
+        MultiSz(Vec<NtString>),
+    }
+);
+strider_support::impl_json!(struct Value { name, data, corrupt_data });
+strider_support::impl_json!(struct Key { name, timestamp, values, subkeys });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,7 +273,10 @@ mod tests {
             7
         );
         assert_eq!(ValueData::Dword(255).to_display_string(), "0xff");
-        assert_eq!(ValueData::Binary(vec![0; 3]).to_display_string(), "<3 bytes>");
+        assert_eq!(
+            ValueData::Binary(vec![0; 3]).to_display_string(),
+            "<3 bytes>"
+        );
         assert_eq!(
             ValueData::MultiSz(vec![NtString::from("a"), NtString::from("b")]).to_string(),
             "a;b"

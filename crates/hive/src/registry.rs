@@ -2,7 +2,6 @@
 
 use crate::format::{write_hive, RawHive};
 use crate::key::{Key, Value, ValueData};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use strider_nt_core::{NtPath, NtString, Tick};
 
@@ -46,7 +45,7 @@ impl std::error::Error for RegistryError {}
 /// `ntuser.dat`, exactly as the paper describes. [`Hive::to_bytes`] renders
 /// the binary image written to that backing file; the low-level scan parses
 /// those bytes with [`RawHive`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Hive {
     mount: NtPath,
     backing_file: NtPath,
@@ -128,7 +127,7 @@ impl Hive {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Registry {
     hives: Vec<Hive>,
     now: Tick,
@@ -348,11 +347,7 @@ impl Registry {
             .cloned()
             .ok_or_else(|| RegistryError::KeyNotFound(path.clone()))?;
         // A hive root itself cannot be deleted through this API.
-        if self
-            .hives
-            .iter()
-            .any(|h| h.mount().eq_ignore_case(path))
-        {
+        if self.hives.iter().any(|h| h.mount().eq_ignore_case(path)) {
             return Err(RegistryError::KeyNotFound(path.clone()));
         }
         let parent = self.key_at_mut(&parent_path)?;
@@ -371,6 +366,14 @@ impl Registry {
         self.hives.iter().map(|h| h.root().value_count()).sum()
     }
 }
+
+// ---------------------------------------------------------------------
+// JSON serialization (see `strider_support::json`, replacing the former
+// serde derives)
+// ---------------------------------------------------------------------
+
+strider_support::impl_json!(struct Hive { mount, backing_file, root });
+strider_support::impl_json!(struct Registry { hives, now });
 
 #[cfg(test)]
 mod tests {
@@ -429,7 +432,8 @@ mod tests {
     #[test]
     fn longest_prefix_mount_wins() {
         let mut reg = Registry::new();
-        reg.mount_hive(Hive::new(p("HKLM\\SOFTWARE"), p("C:\\sw"))).unwrap();
+        reg.mount_hive(Hive::new(p("HKLM\\SOFTWARE"), p("C:\\sw")))
+            .unwrap();
         reg.mount_hive(Hive::new(p("HKLM\\SOFTWARE\\Sub"), p("C:\\sub")))
             .unwrap();
         let (hive, rel) = reg.resolve(&p("HKLM\\SOFTWARE\\Sub\\Deep")).unwrap();

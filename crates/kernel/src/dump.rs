@@ -13,9 +13,9 @@
 
 use crate::kernel::Kernel;
 use crate::process::{Driver, Ethread, ModuleEntry, ThreadState};
-use bytes::{Buf, BufMut, BytesMut};
 use std::fmt;
 use strider_nt_core::{NtPath, NtString, Pid, Tick, Tid};
+use strider_support::bytes::{Buf, BufMut, BytesMut};
 
 const MAGIC: &[u8; 8] = b"SDMP1\0\0\0";
 const VERSION: u32 = 1;
@@ -34,9 +34,7 @@ pub(crate) fn write_dump(k: &Kernel) -> Vec<u8> {
         .flat_map(|s| s.module_names.iter().cloned())
         .collect();
     let scrubbed = |pid: Pid| scrub_pids.contains(&pid);
-    let module_scrubbed = |m: &ModuleEntry| {
-        scrub_modules.iter().any(|n| n.eq_ignore_case(&m.name))
-    };
+    let module_scrubbed = |m: &ModuleEntry| scrub_modules.iter().any(|n| n.eq_ignore_case(&m.name));
 
     let mut buf = BytesMut::with_capacity(4096);
     buf.put_slice(MAGIC);
@@ -121,13 +119,9 @@ fn patch_link(k: &Kernel, link: Option<Pid>, scrub: &[Pid], forward: bool) -> u3
         if !scrub.contains(&pid) {
             return pid.0;
         }
-        cur = k.process(pid).and_then(|p| {
-            if forward {
-                p.apl_next
-            } else {
-                p.apl_prev
-            }
-        });
+        cur = k
+            .process(pid)
+            .and_then(|p| if forward { p.apl_next } else { p.apl_prev });
         hops += 1;
         if hops > 1_000_000 {
             break;
@@ -441,7 +435,10 @@ mod tests {
     #[test]
     fn roundtrip_processes_threads_drivers() {
         let mut k = Kernel::with_base_processes();
-        k.load_driver("beep", "C:\\windows\\system32\\drivers\\beep.sys".parse().unwrap());
+        k.load_driver(
+            "beep",
+            "C:\\windows\\system32\\drivers\\beep.sys".parse().unwrap(),
+        );
         let dump = MemoryDump::parse(&k.crash_dump()).unwrap();
         assert_eq!(dump.processes().len(), 9);
         assert_eq!(dump.processes_via_apl().len(), 9);
@@ -452,7 +449,9 @@ mod tests {
     #[test]
     fn dkom_hidden_process_visible_in_dump_thread_table() {
         let mut k = Kernel::with_base_processes();
-        let ghost = k.spawn("g.exe", "C:\\g.exe".parse().unwrap(), None).unwrap();
+        let ghost = k
+            .spawn("g.exe", "C:\\g.exe".parse().unwrap(), None)
+            .unwrap();
         k.dkom_unlink(ghost).unwrap();
         let dump = MemoryDump::parse(&k.crash_dump()).unwrap();
         assert!(!dump.processes_via_apl().contains(&ghost));
@@ -464,7 +463,9 @@ mod tests {
     #[test]
     fn scrubber_erases_process_from_entire_dump() {
         let mut k = Kernel::with_base_processes();
-        let ghost = k.spawn("g.exe", "C:\\g.exe".parse().unwrap(), None).unwrap();
+        let ghost = k
+            .spawn("g.exe", "C:\\g.exe".parse().unwrap(), None)
+            .unwrap();
         k.register_dump_scrubber(DumpScrub {
             pids: vec![ghost],
             module_names: Vec::new(),

@@ -3,7 +3,6 @@
 use crate::dump;
 use crate::process::{Driver, Eprocess, Ethread, ModuleEntry, ThreadState};
 use crate::ssdt::Ssdt;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use strider_nt_core::{NtPath, NtString, Pid, Tick, Tid};
@@ -48,7 +47,7 @@ impl std::error::Error for KernelError {}
 /// leave the machine — the paper's "future ghostware programs can potentially
 /// trap the blue-screen events and remove all traces of themselves from the
 /// memory dump" attack.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DumpScrub {
     /// Processes to erase from the dump entirely.
     pub pids: Vec<Pid>,
@@ -63,7 +62,7 @@ pub struct DumpScrub {
 /// table, and the subsystem handle table consistent — except the explicitly
 /// inconsistent operations ([`Kernel::dkom_unlink`],
 /// [`Kernel::blank_peb_module_path`]) that ghostware performs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Kernel {
     processes: BTreeMap<u32, Eprocess>,
     threads: BTreeMap<u32, Ethread>,
@@ -168,11 +167,7 @@ impl Kernel {
         }
         let pid = Pid(self.next_pid);
         self.next_pid += 4;
-        let main_image = ModuleEntry::new(
-            0x0040_0000,
-            image_name,
-            image_path.to_string().as_str(),
-        );
+        let main_image = ModuleEntry::new(0x0040_0000, image_name, image_path.to_string().as_str());
         let proc = Eprocess {
             pid,
             image_name: NtString::from(image_name),
@@ -289,7 +284,10 @@ impl Kernel {
                 p.in_apl = true;
             }
             Some(tail) => {
-                self.processes.get_mut(&tail.0).expect("tail exists").apl_next = Some(pid);
+                self.processes
+                    .get_mut(&tail.0)
+                    .expect("tail exists")
+                    .apl_next = Some(pid);
                 let p = self.processes.get_mut(&pid.0).expect("exists");
                 p.apl_prev = Some(tail);
                 p.apl_next = None;
@@ -419,12 +417,7 @@ impl Kernel {
     /// # Errors
     ///
     /// Fails when the process does not exist.
-    pub fn load_module(
-        &mut self,
-        pid: Pid,
-        name: &str,
-        path: &str,
-    ) -> Result<(), KernelError> {
+    pub fn load_module(&mut self, pid: Pid, name: &str, path: &str) -> Result<(), KernelError> {
         let proc = self
             .processes
             .get_mut(&pid.0)
@@ -561,6 +554,14 @@ impl Kernel {
     }
 }
 
+// ---------------------------------------------------------------------
+// JSON serialization (see `strider_support::json`, replacing the former
+// serde derives)
+// ---------------------------------------------------------------------
+
+strider_support::impl_json!(struct DumpScrub { pids, module_names });
+strider_support::impl_json!(struct Kernel { processes, threads, apl_head, apl_tail, drivers, ssdt, filter_stack, registry_callbacks, csrss_handles, dump_scrubbers, next_pid, next_tid, now, rr_cursor });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -577,8 +578,12 @@ mod tests {
     #[test]
     fn spawn_assigns_windows_style_pids() {
         let mut k = Kernel::new();
-        let a = k.spawn("a.exe", "C:\\a.exe".parse().unwrap(), None).unwrap();
-        let b = k.spawn("b.exe", "C:\\b.exe".parse().unwrap(), Some(a)).unwrap();
+        let a = k
+            .spawn("a.exe", "C:\\a.exe".parse().unwrap(), None)
+            .unwrap();
+        let b = k
+            .spawn("b.exe", "C:\\b.exe".parse().unwrap(), Some(a))
+            .unwrap();
         assert_eq!(a, Pid(4));
         assert_eq!(b, Pid(8));
         assert_eq!(k.process(b).unwrap().parent, Some(a));
@@ -656,7 +661,9 @@ mod tests {
     #[test]
     fn kill_cleans_everything() {
         let mut k = Kernel::with_base_processes();
-        let pid = k.spawn("t.exe", "C:\\t.exe".parse().unwrap(), None).unwrap();
+        let pid = k
+            .spawn("t.exe", "C:\\t.exe".parse().unwrap(), None)
+            .unwrap();
         k.kill(pid).unwrap();
         assert!(k.process(pid).is_none());
         assert!(!k.active_process_list().contains(&pid));
@@ -676,7 +683,9 @@ mod tests {
     #[test]
     fn module_load_and_peb_blanking() {
         let mut k = Kernel::new();
-        let pid = k.spawn("e.exe", "C:\\e.exe".parse().unwrap(), None).unwrap();
+        let pid = k
+            .spawn("e.exe", "C:\\e.exe".parse().unwrap(), None)
+            .unwrap();
         k.load_module(pid, "vanquish.dll", "C:\\windows\\vanquish.dll")
             .unwrap();
         k.blank_peb_module_path(pid, "vanquish.dll").unwrap();
@@ -692,7 +701,12 @@ mod tests {
     #[test]
     fn drivers_load_and_unload() {
         let mut k = Kernel::new();
-        k.load_driver("hxdefdrv", "C:\\windows\\system32\\drivers\\hxdefdrv.sys".parse().unwrap());
+        k.load_driver(
+            "hxdefdrv",
+            "C:\\windows\\system32\\drivers\\hxdefdrv.sys"
+                .parse()
+                .unwrap(),
+        );
         assert_eq!(k.drivers().len(), 1);
         k.unload_driver("HXDEFDRV").unwrap();
         assert!(k.drivers().is_empty());

@@ -1,11 +1,10 @@
 //! Kernel object types: processes, threads, modules, drivers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use strider_nt_core::{NtPath, NtString, Pid, Tick, Tid};
 
 /// One entry in a module list (a loaded DLL or EXE image).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModuleEntry {
     /// Load base address.
     pub base: u64,
@@ -34,7 +33,7 @@ impl fmt::Display for ModuleEntry {
 }
 
 /// Scheduler state of a thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThreadState {
     /// Runnable, waiting for a CPU.
     Ready,
@@ -47,7 +46,7 @@ pub enum ThreadState {
 /// A kernel thread object. The scheduler's table of these is the
 /// advanced-mode truth source: a DKOM-hidden process still owns schedulable
 /// threads, each of which names its owner.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ethread {
     /// Thread id.
     pub tid: Tid,
@@ -62,7 +61,7 @@ pub struct Ethread {
 /// The `apl_*` links implement the intrusive doubly-linked Active Process
 /// List. DKOM unlinking rewires the neighbours' links and clears `in_apl`
 /// while the object itself — and its threads — stay fully alive.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Eprocess {
     /// Process id.
     pub pid: Pid,
@@ -111,7 +110,7 @@ impl fmt::Display for Eprocess {
 }
 
 /// A loaded kernel driver.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Driver {
     /// Driver name (`hxdefdrv`).
     pub name: NtString,
@@ -127,6 +126,23 @@ impl fmt::Display for Driver {
     }
 }
 
+// ---------------------------------------------------------------------
+// JSON serialization (see `strider_support::json`, replacing the former
+// serde derives)
+// ---------------------------------------------------------------------
+
+strider_support::impl_json!(struct ModuleEntry { base, name, path });
+strider_support::impl_json!(
+    enum ThreadState {
+        Ready,
+        Running,
+        Waiting,
+    }
+);
+strider_support::impl_json!(struct Ethread { tid, owner, state });
+strider_support::impl_json!(struct Eprocess { pid, image_name, image_path, parent, created, peb_modules, kernel_modules, threads, apl_next, apl_prev, in_apl });
+strider_support::impl_json!(struct Driver { name, image_path, loaded_at });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,7 +155,11 @@ mod tests {
             image_path: "C:\\x.exe".parse().unwrap(),
             parent: None,
             created: Tick::ZERO,
-            peb_modules: vec![ModuleEntry::new(0x1000, "Vanquish.DLL", "C:\\w\\vanquish.dll")],
+            peb_modules: vec![ModuleEntry::new(
+                0x1000,
+                "Vanquish.DLL",
+                "C:\\w\\vanquish.dll",
+            )],
             kernel_modules: Vec::new(),
             threads: Vec::new(),
             apl_next: None,

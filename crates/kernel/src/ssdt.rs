@@ -6,11 +6,10 @@
 //! entries here carry an optional hook id resolved by the machine's hook
 //! registry in `strider-winapi`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The system services the simulated API chain dispatches through the SSDT.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SyscallId {
     /// Directory enumeration (`NtQueryDirectoryFile`).
     NtQueryDirectoryFile,
@@ -49,7 +48,7 @@ impl fmt::Display for SyscallId {
 }
 
 /// One SSDT entry: the service and, when hijacked, the hook routed through.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SsdtEntry {
     /// The dispatched service.
     pub service: SyscallId,
@@ -72,7 +71,7 @@ pub struct SsdtEntry {
 /// ssdt.restore(SyscallId::NtQueryDirectoryFile);
 /// assert!(ssdt.hook_of(SyscallId::NtQueryDirectoryFile).is_none());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ssdt {
     entries: Vec<SsdtEntry>,
 }
@@ -143,6 +142,23 @@ impl Ssdt {
             .collect()
     }
 }
+
+// ---------------------------------------------------------------------
+// JSON serialization (see `strider_support::json`, replacing the former
+// serde derives)
+// ---------------------------------------------------------------------
+
+strider_support::impl_json!(
+    enum SyscallId {
+        NtQueryDirectoryFile,
+        NtEnumerateKey,
+        NtEnumerateValueKey,
+        NtQuerySystemInformation,
+        NtQueryInformationProcess,
+    }
+);
+strider_support::impl_json!(struct SsdtEntry { service, hook });
+strider_support::impl_json!(struct Ssdt { entries });
 
 #[cfg(test)]
 mod tests {

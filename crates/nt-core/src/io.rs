@@ -1,6 +1,5 @@
 //! I/O accounting for the scan-time cost model.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Accumulated I/O work performed by a scan.
@@ -28,7 +27,7 @@ use std::fmt;
 /// total.merge(&io);
 /// assert_eq!(total.bytes_read, 4096);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IoStats {
     /// Bytes read sequentially (MFT sweeps, hive file reads, dump reads).
     pub bytes_read: u64,
@@ -84,6 +83,13 @@ impl fmt::Display for IoStats {
         )
     }
 }
+
+// ---------------------------------------------------------------------
+// JSON serialization (see `strider_support::json`, replacing the former
+// serde derives)
+// ---------------------------------------------------------------------
+
+strider_support::impl_json!(struct IoStats { bytes_read, seeks, api_calls, entries });
 
 #[cfg(test)]
 mod tests {

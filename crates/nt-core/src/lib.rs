@@ -47,7 +47,7 @@ pub use time::Tick;
 ///
 /// Newtype per C-NEWTYPE so that pids, tids and MFT record numbers cannot be
 /// confused with each other.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pid(pub u32);
 
 impl std::fmt::Display for Pid {
@@ -57,7 +57,7 @@ impl std::fmt::Display for Pid {
 }
 
 /// A thread identifier in the simulated kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Tid(pub u32);
 
 impl std::fmt::Display for Tid {
@@ -67,7 +67,7 @@ impl std::fmt::Display for Tid {
 }
 
 /// An MFT file-record number on a simulated NTFS volume.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FileRecordNumber(pub u64);
 
 impl std::fmt::Display for FileRecordNumber {
@@ -75,6 +75,15 @@ impl std::fmt::Display for FileRecordNumber {
         write!(f, "mft #{}", self.0)
     }
 }
+
+// ---------------------------------------------------------------------
+// JSON serialization (see `strider_support::json`, replacing the former
+// serde derives)
+// ---------------------------------------------------------------------
+
+strider_support::impl_json!(newtype Pid);
+strider_support::impl_json!(newtype Tid);
+strider_support::impl_json!(newtype FileRecordNumber);
 
 #[cfg(test)]
 mod tests {

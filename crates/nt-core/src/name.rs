@@ -1,6 +1,5 @@
 //! Counted UTF-16 names and the Win32 legality rules.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Reserved DOS device names that the Win32 layer refuses to address as
@@ -40,7 +39,7 @@ pub(crate) const WIN32_ILLEGAL_CHARS: &[char] = &['<', '>', ':', '"', '/', '|', 
 /// assert_eq!(sneaky.to_win32_lossy(), "R");
 /// assert_eq!(visible.to_win32_lossy(), "Run");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NtString {
     units: Vec<u16>,
 }
@@ -223,6 +222,13 @@ impl fmt::Display for Win32NameError {
 }
 
 impl std::error::Error for Win32NameError {}
+
+// ---------------------------------------------------------------------
+// JSON serialization (see `strider_support::json`, replacing the former
+// serde derives)
+// ---------------------------------------------------------------------
+
+strider_support::impl_json!(struct NtString { units });
 
 #[cfg(test)]
 mod tests {

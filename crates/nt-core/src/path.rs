@@ -1,7 +1,6 @@
 //! Backslash-separated NT paths.
 
 use crate::name::NtString;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -28,7 +27,7 @@ pub const MAX_PATH: usize = 260;
 /// let parent = p.parent().unwrap();
 /// assert_eq!(parent.to_string(), "C:\\windows\\system32");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NtPath {
     root: String,
     components: Vec<NtString>,
@@ -206,6 +205,13 @@ impl FromStr for NtPath {
         Ok(NtPath { root, components })
     }
 }
+
+// ---------------------------------------------------------------------
+// JSON serialization (see `strider_support::json`, replacing the former
+// serde derives)
+// ---------------------------------------------------------------------
+
+strider_support::impl_json!(struct NtPath { root, components });
 
 #[cfg(test)]
 mod tests {

@@ -1,6 +1,5 @@
 //! Simulated NTSTATUS codes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The status vocabulary returned by simulated NT and Win32 APIs.
@@ -18,7 +17,7 @@ use std::fmt;
 /// }
 /// assert_eq!(open().unwrap_err().to_string(), "object name not found");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum NtStatus {
     /// The requested object (file, key, process) does not exist.
     ObjectNameNotFound,
@@ -70,6 +69,29 @@ impl fmt::Display for NtStatus {
 }
 
 impl std::error::Error for NtStatus {}
+
+// ---------------------------------------------------------------------
+// JSON serialization (see `strider_support::json`, replacing the former
+// serde derives)
+// ---------------------------------------------------------------------
+
+strider_support::impl_json!(
+    enum NtStatus {
+        ObjectNameNotFound,
+        ObjectNameCollision,
+        ObjectNameInvalid,
+        ObjectPathNotFound,
+        NotADirectory,
+        IsADirectory,
+        DirectoryNotEmpty,
+        AccessDenied,
+        InvalidParameter,
+        CorruptStructure(String),
+        NoSuchProcess,
+        NoSuchDevice,
+        NotSupported,
+    }
+);
 
 #[cfg(test)]
 mod tests {

@@ -1,6 +1,5 @@
 //! The simulation's logical clock.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -21,9 +20,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// let later = boot + 90;
 /// assert_eq!(later.gap_since(boot), 90);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Tick(pub u64);
 
 impl Tick {
@@ -64,6 +61,13 @@ impl fmt::Display for Tick {
         write!(f, "t{}", self.0)
     }
 }
+
+// ---------------------------------------------------------------------
+// JSON serialization (see `strider_support::json`, replacing the former
+// serde derives)
+// ---------------------------------------------------------------------
+
+strider_support::impl_json!(newtype Tick);
 
 #[cfg(test)]
 mod tests {

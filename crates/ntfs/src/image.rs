@@ -9,10 +9,10 @@
 
 use crate::record::FileAttributes;
 use crate::volume::NtfsVolume;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::HashMap;
 use std::fmt;
 use strider_nt_core::{FileRecordNumber, NtPath, NtString, Tick};
+use strider_support::bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: &[u8; 8] = b"SNTFS1\0\0";
 const VERSION: u32 = 1;
@@ -80,7 +80,9 @@ pub enum ImageError {
 impl fmt::Display for ImageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ImageError::Truncated { context } => write!(f, "image truncated while reading {context}"),
+            ImageError::Truncated { context } => {
+                write!(f, "image truncated while reading {context}")
+            }
             ImageError::BadMagic => write!(f, "bad image magic"),
             ImageError::BadVersion(v) => write!(f, "unsupported image version {v}"),
         }
@@ -355,7 +357,11 @@ mod tests {
         let v = sample_volume();
         let raw = VolumeImage::parse(&v.to_image()).unwrap();
         assert_eq!(raw.label(), "C:");
-        let paths: Vec<String> = raw.file_paths().iter().map(|(p, _)| p.to_string()).collect();
+        let paths: Vec<String> = raw
+            .file_paths()
+            .iter()
+            .map(|(p, _)| p.to_string())
+            .collect();
         assert_eq!(
             paths,
             vec![

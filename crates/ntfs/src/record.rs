@@ -1,6 +1,5 @@
 //! MFT file records and their attributes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use strider_nt_core::{FileRecordNumber, NtString, Tick};
 
@@ -20,7 +19,7 @@ use strider_nt_core::{FileRecordNumber, NtString, Tick};
 /// assert!(a.contains(FileAttributes::HIDDEN));
 /// assert!(!a.contains(FileAttributes::READ_ONLY));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct FileAttributes(pub u32);
 
 impl FileAttributes {
@@ -76,7 +75,7 @@ impl fmt::Display for FileAttributes {
 }
 
 /// The `$STANDARD_INFORMATION` attribute: timestamps and attribute flags.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StandardInformation {
     /// Creation time.
     pub created: Tick,
@@ -103,7 +102,7 @@ impl StandardInformation {
 /// Alternate data streams are one of the "beyond ghostware" hiding places the
 /// paper's conclusion lists; the low-level scan reports them so the detector
 /// can flag streams the high-level enumeration never shows.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DataStream {
     /// `None` for the unnamed main stream, `Some(name)` for an ADS.
     pub name: Option<NtString>,
@@ -147,7 +146,7 @@ impl DataStream {
 /// what lets an offline parser rebuild the whole tree — and the data streams.
 /// Directories additionally keep an index of children, used by the live
 /// driver for lookups but deliberately **not** serialized to the raw image.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FileRecord {
     /// This record's number (its index in the MFT).
     pub number: FileRecordNumber,
@@ -169,9 +168,7 @@ pub struct FileRecord {
 impl FileRecord {
     /// Whether this record describes a directory.
     pub fn is_directory(&self) -> bool {
-        self.std_info
-            .attributes
-            .contains(FileAttributes::DIRECTORY)
+        self.std_info.attributes.contains(FileAttributes::DIRECTORY)
     }
 
     /// The unnamed main stream's contents, if present.
@@ -189,9 +186,22 @@ impl FileRecord {
 
     /// Names of alternate data streams on this record.
     pub fn ads_names(&self) -> Vec<&NtString> {
-        self.streams.iter().filter_map(|s| s.name.as_ref()).collect()
+        self.streams
+            .iter()
+            .filter_map(|s| s.name.as_ref())
+            .collect()
     }
 }
+
+// ---------------------------------------------------------------------
+// JSON serialization (see `strider_support::json`, replacing the former
+// serde derives)
+// ---------------------------------------------------------------------
+
+strider_support::impl_json!(newtype FileAttributes);
+strider_support::impl_json!(struct StandardInformation { created, modified, attributes });
+strider_support::impl_json!(struct DataStream { name, data });
+strider_support::impl_json!(struct FileRecord { number, sequence, std_info, name, parent, streams, children });
 
 #[cfg(test)]
 mod tests {

@@ -1,7 +1,6 @@
 //! The live NTFS volume.
 
 use crate::record::{DataStream, FileAttributes, FileRecord, StandardInformation};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use strider_nt_core::{FileRecordNumber, NtPath, NtString, Tick};
@@ -78,7 +77,7 @@ impl std::error::Error for NtfsError {}
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NtfsVolume {
     label: String,
     records: Vec<Option<FileRecord>>,
@@ -86,7 +85,6 @@ pub struct NtfsVolume {
     sequences: Vec<u16>,
     free: Vec<usize>,
     /// Per-directory child index: directory record -> fold_key(name) -> child.
-    #[serde(skip)]
     dir_index: HashMap<u64, HashMap<Vec<u16>, FileRecordNumber>>,
     now: Tick,
 }
@@ -203,10 +201,7 @@ impl NtfsVolume {
     }
 
     fn validate_ntfs_name(name: &NtString) -> Result<(), NtfsError> {
-        if name.is_empty()
-            || name.contains_nul()
-            || name.units().contains(&(b'\\' as u16))
-        {
+        if name.is_empty() || name.contains_nul() || name.units().contains(&(b'\\' as u16)) {
             return Err(NtfsError::InvalidName(name.clone()));
         }
         Ok(())
@@ -584,6 +579,42 @@ impl NtfsVolume {
     }
 }
 
+// ---------------------------------------------------------------------
+// JSON serialization (see `strider_support::json`, replacing the former
+// serde derives)
+// ---------------------------------------------------------------------
+
+// Hand-written (instead of `impl_json!`) because `dir_index` is a derived
+// and left empty on read; lookups fall back to a linear scan until the
+// index is repopulated by subsequent mutations.
+impl strider_support::json::ToJson for NtfsVolume {
+    fn to_json(&self) -> strider_support::json::JsonValue {
+        strider_support::json::JsonValue::Obj(vec![
+            ("label".to_string(), self.label.to_json()),
+            ("records".to_string(), self.records.to_json()),
+            ("sequences".to_string(), self.sequences.to_json()),
+            ("free".to_string(), self.free.to_json()),
+            ("now".to_string(), self.now.to_json()),
+        ])
+    }
+}
+
+impl strider_support::json::FromJson for NtfsVolume {
+    fn from_json(
+        value: &strider_support::json::JsonValue,
+    ) -> Result<Self, strider_support::json::JsonError> {
+        use strider_support::json::FromJson;
+        Ok(Self {
+            label: FromJson::from_json(value.field("label")?)?,
+            records: FromJson::from_json(value.field("records")?)?,
+            sequences: FromJson::from_json(value.field("sequences")?)?,
+            free: FromJson::from_json(value.field("free")?)?,
+            dir_index: HashMap::new(),
+            now: FromJson::from_json(value.field("now")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -603,7 +634,10 @@ mod tests {
         let mut v = vol();
         v.create_file(&p("C:\\windows\\system32\\cfg.ini"), b"[a]")
             .unwrap();
-        assert_eq!(v.read_file(&p("C:\\windows\\system32\\cfg.ini")).unwrap(), b"[a]");
+        assert_eq!(
+            v.read_file(&p("C:\\windows\\system32\\cfg.ini")).unwrap(),
+            b"[a]"
+        );
     }
 
     #[test]
@@ -677,7 +711,8 @@ mod tests {
     #[test]
     fn remove_tree_removes_recursively() {
         let mut v = vol();
-        v.create_file(&p("C:\\windows\\system32\\a.dll"), b"").unwrap();
+        v.create_file(&p("C:\\windows\\system32\\a.dll"), b"")
+            .unwrap();
         v.remove_tree(&p("C:\\windows")).unwrap();
         assert!(!v.exists(&p("C:\\windows")));
         assert_eq!(v.record_count(), 1); // only root
@@ -717,7 +752,8 @@ mod tests {
     fn ads_streams() {
         let mut v = vol();
         v.create_file(&p("C:\\host.txt"), b"main").unwrap();
-        v.add_stream(&p("C:\\host.txt"), "evil", b"payload").unwrap();
+        v.add_stream(&p("C:\\host.txt"), "evil", b"payload")
+            .unwrap();
         let rec = v.lookup(&p("C:\\host.txt")).unwrap();
         assert_eq!(rec.streams.len(), 2);
         assert_eq!(rec.ads_names()[0].to_win32_lossy(), "evil");

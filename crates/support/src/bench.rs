@@ -1,0 +1,458 @@
+//! Mini benchmark harness replacing `criterion`.
+//!
+//! `strider-bench` keeps the `criterion` API shape — [`Criterion`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Throughput`], [`BatchSize`] and the
+//! [`criterion_group!`]/[`criterion_main!`](crate::criterion_main) macros —
+//! so the eleven bench files read unchanged. What it does differently:
+//!
+//! * every finished group writes `BENCH_<group>.json` at the **workspace
+//!   root** with mean / min / p50 / p90 / p99 / max per-iteration timings
+//!   and derived throughput for each scenario, seeding a commit-able perf
+//!   trajectory for future PRs (`BENCH_file_scan.json`,
+//!   `BENCH_process_scan.json`, …),
+//! * measurement is deliberately simple: a warm-up phase calibrates
+//!   iterations-per-sample, then `sample_size` samples are timed and each
+//!   sample's mean per-iteration time becomes one data point. No outlier
+//!   modelling, no HTML reports.
+//!
+//! Run via `cargo bench -p strider-bench` (all groups) or
+//! `cargo bench -p strider-bench --bench time_file_scan` (one binary).
+
+use crate::json::JsonValue;
+use crate::sync::Mutex;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Units for derived throughput, matching `criterion::Throughput`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The measured routine processes this many logical elements.
+    Elements(u64),
+    /// The measured routine processes this many bytes.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; accepted for API
+/// compatibility, the harness re-runs setup per iteration regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Harness entry point, one per bench binary.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    groups_finished: usize,
+}
+
+impl Criterion {
+    /// Starts a named group; its results land in `BENCH_<name>.json`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 20,
+            throughput: None,
+            scenarios: Vec::new(),
+        }
+    }
+
+    /// Prints a one-line summary of every report file written.
+    pub fn final_summary(&self) {
+        let written = written_files().lock();
+        for path in written.iter() {
+            eprintln!("bench report: {path}");
+        }
+    }
+}
+
+/// A named collection of benchmark scenarios sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    scenarios: Vec<Scenario>,
+}
+
+#[derive(Debug)]
+struct Scenario {
+    id: String,
+    iters_per_sample: u64,
+    sample_means_ns: Vec<f64>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the calibration warm-up duration.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Sets the total measurement budget per scenario.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Sets how many samples each scenario records.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Declares the per-iteration throughput of subsequent scenarios.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures one scenario.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            iters_per_sample: 0,
+            sample_means_ns: Vec::new(),
+        };
+        body(&mut bencher);
+        eprintln!(
+            "bench {}/{id}: {:.1} ns/iter over {} samples",
+            self.name,
+            mean(&bencher.sample_means_ns),
+            bencher.sample_means_ns.len(),
+        );
+        self.scenarios.push(Scenario {
+            id,
+            iters_per_sample: bencher.iters_per_sample,
+            sample_means_ns: bencher.sample_means_ns,
+            throughput: self.throughput,
+        });
+        self
+    }
+
+    /// Writes `BENCH_<group>.json` at the workspace root.
+    pub fn finish(self) {
+        let file_name = format!(
+            "BENCH_{}.json",
+            self.name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect::<String>()
+        );
+        let path = report_dir().join(&file_name);
+        let report = self.to_json();
+        if let Err(error) = std::fs::write(&path, report.render_pretty(2)) {
+            eprintln!("bench: could not write {}: {error}", path.display());
+            return;
+        }
+        written_files().lock().push(path.display().to_string());
+        self.criterion.groups_finished += 1;
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("group".into(), JsonValue::Str(self.name.clone())),
+            (
+                "harness".into(),
+                JsonValue::Str("strider-support::bench".into()),
+            ),
+            (
+                "sample_size".into(),
+                JsonValue::UInt(self.sample_size as u64),
+            ),
+            (
+                "scenarios".into(),
+                JsonValue::Arr(self.scenarios.iter().map(Scenario::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl Scenario {
+    fn to_json(&self) -> JsonValue {
+        let mut sorted = self.sample_means_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut members = vec![
+            ("id".into(), JsonValue::Str(self.id.clone())),
+            (
+                "samples".into(),
+                JsonValue::UInt(self.sample_means_ns.len() as u64),
+            ),
+            (
+                "iters_per_sample".into(),
+                JsonValue::UInt(self.iters_per_sample),
+            ),
+            ("mean_ns".into(), JsonValue::Float(mean(&sorted))),
+            (
+                "min_ns".into(),
+                JsonValue::Float(sorted.first().copied().unwrap_or(0.0)),
+            ),
+            ("p50_ns".into(), JsonValue::Float(percentile(&sorted, 50.0))),
+            ("p90_ns".into(), JsonValue::Float(percentile(&sorted, 90.0))),
+            ("p99_ns".into(), JsonValue::Float(percentile(&sorted, 99.0))),
+            (
+                "max_ns".into(),
+                JsonValue::Float(sorted.last().copied().unwrap_or(0.0)),
+            ),
+            ("std_dev_ns".into(), JsonValue::Float(std_dev(&sorted))),
+        ];
+        if let Some(throughput) = self.throughput {
+            let (key, count) = match throughput {
+                Throughput::Elements(n) => ("elements", n),
+                Throughput::Bytes(n) => ("bytes", n),
+            };
+            members.push((format!("throughput_{key}"), JsonValue::UInt(count)));
+            let mean_ns = mean(&sorted);
+            if mean_ns > 0.0 {
+                members.push((
+                    format!("{key}_per_sec"),
+                    JsonValue::Float(count as f64 * 1e9 / mean_ns),
+                ));
+            }
+        }
+        JsonValue::Obj(members)
+    }
+}
+
+/// Times a single scenario's routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    iters_per_sample: u64,
+    sample_means_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` back-to-back, criterion's `Bencher::iter`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up doubles the batch size until the budget is spent, which
+        // both warms caches and calibrates the per-iteration cost.
+        let mut batch = 1u64;
+        let per_iter_ns;
+        let warm_up_start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed().as_nanos() as f64;
+            if warm_up_start.elapsed() >= self.warm_up {
+                per_iter_ns = (elapsed / batch as f64).max(0.1);
+                break;
+            }
+            batch = batch.saturating_mul(2).min(1 << 24);
+        }
+
+        let budget_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((budget_ns / per_iter_ns) as u64).clamp(1, 1 << 24);
+        self.iters_per_sample = iters;
+        self.sample_means_ns = (0..self.sample_size)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                t0.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+    }
+
+    /// Times `routine` with a fresh untimed `setup` product per iteration,
+    /// criterion's `Bencher::iter_batched`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate with a handful of timed runs.
+        let warm_up_start = Instant::now();
+        let mut per_iter_ns = f64::MAX;
+        while warm_up_start.elapsed() < self.warm_up {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            per_iter_ns = (t0.elapsed().as_nanos() as f64).max(0.1);
+        }
+
+        let budget_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((budget_ns / per_iter_ns) as u64).clamp(1, 1 << 16);
+        self.iters_per_sample = iters;
+        self.sample_means_ns = (0..self.sample_size)
+            .map(|_| {
+                let mut timed_ns = 0u128;
+                for _ in 0..iters {
+                    let input = setup();
+                    let t0 = Instant::now();
+                    black_box(routine(input));
+                    timed_ns += t0.elapsed().as_nanos();
+                }
+                timed_ns as f64 / iters as f64
+            })
+            .collect();
+    }
+}
+
+fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+fn std_dev(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(samples);
+    let var = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Nearest-rank percentile over pre-sorted samples.
+fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn written_files() -> &'static Mutex<Vec<String>> {
+    static WRITTEN: std::sync::OnceLock<Mutex<Vec<String>>> = std::sync::OnceLock::new();
+    WRITTEN.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Where `BENCH_*.json` files land: `STRIDER_BENCH_DIR` if set, otherwise
+/// the enclosing cargo workspace root, otherwise the current directory.
+pub fn report_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("STRIDER_BENCH_DIR") {
+        return PathBuf::from(dir);
+    }
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())
+        .unwrap_or_else(|| PathBuf::from("."));
+    let mut dir: &Path = &start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(contents) = std::fs::read_to_string(&manifest) {
+            if contents.contains("[workspace]") {
+                return dir.to_path_buf();
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return start,
+        }
+    }
+}
+
+/// Declares a bench group function, criterion's `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(criterion: &mut $crate::bench::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion's `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::bench::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_are_sane() {
+        let samples = [4.0, 1.0, 3.0, 2.0, 5.0];
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(mean(&sorted), 3.0);
+        assert_eq!(percentile(&sorted, 50.0), 3.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 100.0), 5.0);
+        assert!((std_dev(&sorted) - 1.5811).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bench_writes_report_json() {
+        let dir = std::env::temp_dir().join(format!("strider-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // The env var is process-global; this is the only test that sets it.
+        std::env::set_var("STRIDER_BENCH_DIR", &dir);
+
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("selftest");
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(20));
+        group.sample_size(4);
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..64u64).sum::<u64>());
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+        std::env::remove_var("STRIDER_BENCH_DIR");
+
+        let report_path = dir.join("BENCH_selftest.json");
+        let text = std::fs::read_to_string(&report_path).unwrap();
+        let report = JsonValue::parse(&text).unwrap();
+        assert_eq!(report.field("group").unwrap().as_str().unwrap(), "selftest");
+        let scenarios = report.field("scenarios").unwrap().as_arr().unwrap();
+        assert_eq!(scenarios.len(), 2);
+        for scenario in scenarios {
+            assert!(scenario.field("mean_ns").unwrap().as_f64().unwrap() > 0.0);
+            assert!(scenario.field("p99_ns").unwrap().as_f64().unwrap() > 0.0);
+            assert_eq!(
+                scenario
+                    .field("throughput_elements")
+                    .unwrap()
+                    .as_u64()
+                    .unwrap(),
+                64
+            );
+        }
+        std::fs::remove_file(&report_path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+}

@@ -1,0 +1,471 @@
+//! A small shrinking property-test harness replacing `proptest`.
+//!
+//! The workspace's property tests (`tests/properties.rs`) need three things
+//! from a property-testing library: seeded random generation, many cases
+//! per property, and *shrinking* — when a case fails, automatically search
+//! for a smaller failing input before reporting. This module provides all
+//! three with no macros-by-proc-derive and no registry dependency:
+//!
+//! * generators are plain closures `Fn(&mut SplitMix64) -> T` (helpers for
+//!   the common shapes live in [`gen`]),
+//! * properties return `Result<(), String>`; the [`prop_assert!`] /
+//!   [`prop_assert_eq!`] / [`prop_assert_ne!`] macros mirror the `proptest`
+//!   assertion forms,
+//! * shrinking is value-based via the [`Shrink`] trait (the `quickcheck`
+//!   approach): integers halve toward zero, collections drop elements and
+//!   shrink elements in place, tuples shrink componentwise. Properties with
+//!   generator invariants (minimum lengths, required prefixes) simply
+//!   `return Ok(())` for out-of-range inputs, which keeps shrinking sound.
+//!
+//! Failures panic with the *minimal* failing input, the original seed, and
+//! the property's error message, so a red run is directly actionable.
+
+use crate::rng::SplitMix64;
+use std::fmt::Debug;
+
+/// Run configuration for [`check`].
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of random cases to run.
+    pub cases: u32,
+    /// Base seed; case `i` derives its own generator from `seed + i`.
+    pub seed: u64,
+    /// Upper bound on accepted shrink steps before reporting.
+    pub max_shrink_steps: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            seed: 0x5743_4845_434b_5631, // "WCHECKV1"
+            max_shrink_steps: 2_000,
+        }
+    }
+}
+
+impl Config {
+    /// A configuration running `cases` cases with the default seed.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Produces structurally smaller candidate values for a failing input.
+pub trait Shrink: Sized {
+    /// Candidate simplifications, most aggressive first. An empty vector
+    /// means the value is already minimal.
+    fn shrink_candidates(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_shrink_uint {
+    ($($ty:ty),+) => {
+        $(
+            impl Shrink for $ty {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let mut out = Vec::new();
+                    if *self != 0 {
+                        out.push(0);
+                        if *self > 1 {
+                            out.push(self / 2);
+                        }
+                        out.push(self - 1);
+                    }
+                    out.dedup();
+                    out
+                }
+            }
+        )+
+    };
+}
+
+impl_shrink_uint!(u8, u16, u32, u64, usize);
+
+impl Shrink for bool {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for f64 {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if *self != 0.0 {
+            out.push(0.0);
+        }
+        if self.abs() > 1.0 {
+            out.push(self / 2.0);
+            out.push(self.trunc());
+        }
+        out.retain(|candidate| candidate != self);
+        out
+    }
+}
+
+impl Shrink for String {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let chars: Vec<char> = self.chars().collect();
+        let mut out = Vec::new();
+        if chars.is_empty() {
+            return out;
+        }
+        out.push(String::new());
+        // Halve, then drop one character at a time.
+        if chars.len() > 1 {
+            out.push(chars[..chars.len() / 2].iter().collect());
+        }
+        for skip in 0..chars.len() {
+            out.push(
+                chars
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, c)| c)
+                    .collect(),
+            );
+        }
+        // Simplify one character to 'a' (keeps length, reduces content).
+        for (i, &c) in chars.iter().enumerate() {
+            if c != 'a' {
+                let mut simpler = chars.clone();
+                simpler[i] = 'a';
+                out.push(simpler.into_iter().collect());
+            }
+        }
+        out
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if self.is_empty() {
+            return out;
+        }
+        out.push(Vec::new());
+        if self.len() > 1 {
+            out.push(self[..self.len() / 2].to_vec());
+        }
+        for skip in 0..self.len() {
+            let mut shorter = self.clone();
+            shorter.remove(skip);
+            out.push(shorter);
+        }
+        for (i, item) in self.iter().enumerate() {
+            for smaller in item.shrink_candidates() {
+                let mut simpler = self.clone();
+                simpler[i] = smaller;
+                out.push(simpler);
+            }
+        }
+        out
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Option<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(inner) => {
+                let mut out = vec![None];
+                out.extend(inner.shrink_candidates().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+impl<A: Shrink + Clone, B: Shrink + Clone> Shrink for (A, B) {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for a in self.0.shrink_candidates() {
+            out.push((a, self.1.clone()));
+        }
+        for b in self.1.shrink_candidates() {
+            out.push((self.0.clone(), b));
+        }
+        out
+    }
+}
+
+impl<A: Shrink + Clone, B: Shrink + Clone, C: Shrink + Clone> Shrink for (A, B, C) {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for a in self.0.shrink_candidates() {
+            out.push((a, self.1.clone(), self.2.clone()));
+        }
+        for b in self.1.shrink_candidates() {
+            out.push((self.0.clone(), b, self.2.clone()));
+        }
+        for c in self.2.shrink_candidates() {
+            out.push((self.0.clone(), self.1.clone(), c));
+        }
+        out
+    }
+}
+
+/// Runs `prop` against `config.cases` generated inputs, shrinking any
+/// failure to a minimal counterexample before panicking.
+pub fn check<T, G, P>(name: &str, config: Config, mut generate: G, mut prop: P)
+where
+    T: Shrink + Clone + Debug,
+    G: FnMut(&mut SplitMix64) -> T,
+    P: FnMut(&T) -> Result<(), String>,
+{
+    for case in 0..config.cases {
+        let case_seed = config.seed.wrapping_add(case as u64);
+        let mut rng = SplitMix64::seed_from_u64(case_seed);
+        let input = generate(&mut rng);
+        if let Err(first_error) = prop(&input) {
+            let (minimal, error, steps) =
+                shrink_failure(input, first_error, &mut prop, config.max_shrink_steps);
+            panic!(
+                "property `{name}` failed (case {case}, seed {case_seed:#x}, \
+                 {steps} shrink steps)\n  minimal input: {minimal:?}\n  error: {error}"
+            );
+        }
+    }
+}
+
+fn shrink_failure<T, P>(
+    mut current: T,
+    mut error: String,
+    prop: &mut P,
+    max_steps: u32,
+) -> (T, String, u32)
+where
+    T: Shrink + Clone + Debug,
+    P: FnMut(&T) -> Result<(), String>,
+{
+    let mut steps = 0;
+    'outer: while steps < max_steps {
+        for candidate in current.shrink_candidates() {
+            if let Err(candidate_error) = prop(&candidate) {
+                current = candidate;
+                error = candidate_error;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, error, steps)
+}
+
+/// Generator helpers for the common input shapes.
+pub mod gen {
+    use crate::rng::SplitMix64;
+
+    /// A string of `len` characters drawn from `alphabet`.
+    pub fn string_from(rng: &mut SplitMix64, alphabet: &[u8], len: usize) -> String {
+        (0..len).map(|_| *rng.choose(alphabet) as char).collect()
+    }
+
+    /// A lowercase `[a-z]` string with length in `min..=max`.
+    pub fn lowercase(rng: &mut SplitMix64, min: usize, max: usize) -> String {
+        let len = rng.gen_range(min..max + 1);
+        string_from(rng, b"abcdefghijklmnopqrstuvwxyz", len)
+    }
+
+    /// A `[a-z][a-z0-9]*` identifier with length in `min..=max` — the
+    /// harness version of the old `"[a-z][a-z0-9]{0,10}"` strategy.
+    pub fn name(rng: &mut SplitMix64, min: usize, max: usize) -> String {
+        let len = rng.gen_range(min.max(1)..max + 1);
+        let mut out = string_from(rng, b"abcdefghijklmnopqrstuvwxyz", 1);
+        out.push_str(&string_from(
+            rng,
+            b"abcdefghijklmnopqrstuvwxyz0123456789",
+            len - 1,
+        ));
+        out
+    }
+
+    /// A vector with length in `min..=max`, elements drawn by `item`.
+    pub fn vec_of<T>(
+        rng: &mut SplitMix64,
+        min: usize,
+        max: usize,
+        mut item: impl FnMut(&mut SplitMix64) -> T,
+    ) -> Vec<T> {
+        let len = rng.gen_range(min..max + 1);
+        (0..len).map(|_| item(rng)).collect()
+    }
+
+    /// `Some(item)` half the time.
+    pub fn option_of<T>(
+        rng: &mut SplitMix64,
+        mut item: impl FnMut(&mut SplitMix64) -> T,
+    ) -> Option<T> {
+        if rng.chance(1, 2) {
+            Some(item(rng))
+        } else {
+            None
+        }
+    }
+
+    /// Arbitrary bytes of length `min..=max`.
+    pub fn bytes(rng: &mut SplitMix64, min: usize, max: usize) -> Vec<u8> {
+        vec_of(rng, min, max, SplitMix64::next_u8)
+    }
+}
+
+/// `proptest`-style assertion: fail the property (with an optional message)
+/// instead of panicking, so the harness can shrink the input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `proptest`-style equality assertion returning an `Err` for the shrinker.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if left != right {
+            return Err(format!(
+                "assertion failed at {}:{}: {} == {}\n  left: {:?}\n  right: {:?}",
+                file!(),
+                line!(),
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// `proptest`-style inequality assertion returning an `Err` for the shrinker.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return Err(format!(
+                "assertion failed at {}:{}: {} != {}\n  both: {:?}",
+                file!(),
+                line!(),
+                stringify!($left),
+                stringify!($right),
+                left
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0u32;
+        check(
+            "sum commutes",
+            Config::with_cases(64),
+            |rng| (rng.gen_range(0..100u32), rng.gen_range(0..100u32)),
+            |&(a, b)| {
+                prop_assert_eq!(a + b, b + a);
+                Ok(())
+            },
+        );
+        // `check` panics on failure, so reaching here means 64 green cases.
+        seen += 64;
+        assert_eq!(seen, 64);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal() {
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "no element reaches 10",
+                Config::with_cases(256),
+                |rng| gen::vec_of(rng, 0, 8, |r| r.gen_range(0..50u32)),
+                |v| {
+                    prop_assert!(v.iter().all(|&x| x < 10), "element >= 10 in {v:?}");
+                    Ok(())
+                },
+            );
+        });
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        // The minimal counterexample is exactly one boundary element.
+        assert!(
+            message.contains("minimal input: [10]"),
+            "did not shrink to [10]: {message}"
+        );
+    }
+
+    #[test]
+    fn string_shrinking_reaches_single_char() {
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "no z anywhere",
+                Config::with_cases(512),
+                |rng| gen::lowercase(rng, 0, 12),
+                |s| {
+                    prop_assert!(!s.contains('z'), "z in {s:?}");
+                    Ok(())
+                },
+            );
+        });
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(
+            message.contains("minimal input: \"z\""),
+            "did not shrink to \"z\": {message}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let collect = || {
+            let mut inputs = Vec::new();
+            check(
+                "collect",
+                Config::with_cases(16),
+                |rng| rng.gen_range(0..1000u32),
+                |&x| {
+                    inputs.push(x);
+                    Ok(())
+                },
+            );
+            inputs
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn generators_respect_shape_constraints() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        for _ in 0..200 {
+            let n = gen::name(&mut rng, 1, 11);
+            assert!((1..=11).contains(&n.len()));
+            assert!(n.chars().next().unwrap().is_ascii_lowercase());
+            assert!(n
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+}

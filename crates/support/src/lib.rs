@@ -1,0 +1,33 @@
+//! # strider-support — the hermetic, zero-dependency support layer
+//!
+//! Every other crate in this workspace depends only on `std` and on this
+//! crate, so `cargo build --release --offline` succeeds with no registry
+//! access at all. Each module here is a deliberately small, documented
+//! subset of a well-known crates-io dependency that the seed workspace
+//! used to pull in:
+//!
+//! | module    | replaces      | subset provided                                        |
+//! |-----------|---------------|--------------------------------------------------------|
+//! | [`json`]  | `serde` + `serde_json` | [`json::ToJson`]/[`json::FromJson`] traits, a [`json::JsonValue`] tree, a strict parser/writer, and the [`impl_json!`] derive-replacement macro |
+//! | [`bytes`] | `bytes`       | [`bytes::Buf`]/[`bytes::BufMut`] traits plus [`bytes::Bytes`]/[`bytes::BytesMut`] with the little-endian accessors the binary formats use |
+//! | [`sync`]  | `parking_lot` | [`sync::Mutex`]/[`sync::RwLock`] wrappers over `std::sync` with non-poisoning `lock()`/`read()`/`write()` |
+//! | [`rng`]   | `rand`        | [`rng::SplitMix64`], a tiny seeded PRNG with `gen_range`-style helpers; deterministic across platforms |
+//! | [`check`] | `proptest`    | a shrinking property-test harness: [`check::check`], the [`check::Shrink`] trait, and the [`prop_assert!`]/[`prop_assert_eq!`] macros |
+//! | [`bench`] | `criterion`   | a mini benchmark harness with the `Criterion`/`benchmark_group`/`Bencher` API shape that writes `BENCH_<group>.json` files at the workspace root |
+//!
+//! The guiding rule is *API-shape compatibility where it is cheap, clarity
+//! where it is not*: call sites in the workspace read almost identically to
+//! the crates-io versions, but nothing here aims to be a general-purpose
+//! reimplementation. The subsets are exactly what the GhostBuster
+//! reproduction exercises, plus unit tests pinning their behaviour.
+//!
+//! A detector you cannot build offline is a detector you cannot trust —
+//! the workspace-level `tests/hermetic.rs` guard walks every `Cargo.toml`
+//! and fails if a registry dependency is ever reintroduced.
+
+pub mod bench;
+pub mod bytes;
+pub mod check;
+pub mod json;
+pub mod rng;
+pub mod sync;

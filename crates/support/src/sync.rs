@@ -1,0 +1,116 @@
+//! `Mutex`/`RwLock` wrappers replacing `parking_lot`.
+//!
+//! `strider-kernel` declared `parking_lot` for its non-poisoning lock API.
+//! These wrappers provide the same call shape over `std::sync`: `lock()`,
+//! `read()` and `write()` return guards directly instead of `Result`s, and
+//! a poisoned lock (a panic while held) is transparently recovered rather
+//! than propagated — a simulated kernel that has already panicked is being
+//! torn down, and the detector's shared state is all plain data.
+
+/// A mutual-exclusion lock with `parking_lot`-style non-poisoning `lock()`.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new lock holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, recovering from poisoning.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A reader-writer lock with `parking_lot`-style `read()`/`write()`.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock holding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires shared read access, recovering from poisoning.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive write access, recovering from poisoning.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_serializes_concurrent_increments() {
+        let counter = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *counter.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 8000);
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_readers() {
+        let lock = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let reader = {
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || lock.read().len())
+        };
+        assert_eq!(lock.read().len(), 3);
+        assert_eq!(reader.join().unwrap(), 3);
+        lock.write().push(4);
+        assert_eq!(lock.read().len(), 4);
+    }
+
+    #[test]
+    fn poisoned_mutex_recovers() {
+        let lock = Arc::new(Mutex::new(7u32));
+        let poisoner = {
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                let _guard = lock.lock();
+                panic!("poison the lock");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        // A parking_lot-style lock keeps working after a holder panicked.
+        assert_eq!(*lock.lock(), 7);
+    }
+}

@@ -264,8 +264,21 @@ impl UnixMachine {
     pub fn with_base_system(name: &str) -> Self {
         let mut fs = UnixFs::new();
         for d in [
-            "/bin", "/sbin", "/etc", "/usr", "/usr/bin", "/usr/lib", "/usr/src", "/var",
-            "/var/log", "/var/run", "/tmp", "/home", "/home/user", "/dev", "/lib",
+            "/bin",
+            "/sbin",
+            "/etc",
+            "/usr",
+            "/usr/bin",
+            "/usr/lib",
+            "/usr/src",
+            "/var",
+            "/var/log",
+            "/var/run",
+            "/tmp",
+            "/home",
+            "/home/user",
+            "/dev",
+            "/lib",
         ] {
             fs.mkdir_p(d);
         }
@@ -410,7 +423,11 @@ impl UnixMachine {
     }
 
     fn scan_dir(&self, dir: &str, out: &mut Vec<String>, via_ls: bool) {
-        let names = if via_ls { self.ls(dir) } else { self.echo_star(dir) };
+        let names = if via_ls {
+            self.ls(dir)
+        } else {
+            self.echo_star(dir)
+        };
         for name in names {
             let path = if dir == "/" {
                 format!("/{name}")

@@ -75,7 +75,7 @@ pub use query::{
 pub mod prelude {
     pub use crate::{
         CallContext, ChainEntry, DiskImage, FileRow, HiveCopyTamper, Hook, HookId, HookRegistry,
-        HookScope, HookStyle, Level, Machine, ModuleRow, ProcessRow, Query, QueryFilter,
-        QueryKind, RawImageTamper, RegKeyRow, RegValueRow, Row, TickTask,
+        HookScope, HookStyle, Level, Machine, ModuleRow, ProcessRow, Query, QueryFilter, QueryKind,
+        RawImageTamper, RegKeyRow, RegValueRow, Row, TickTask,
     };
 }

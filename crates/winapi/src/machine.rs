@@ -138,10 +138,18 @@ impl Machine {
         m.install_base_filesystem().map_err(ntfs_status)?;
         m.install_base_registry().map_err(reg_status)?;
         m.kernel = Kernel::with_base_processes();
-        m.kernel
-            .load_driver("beep", "C:\\windows\\system32\\drivers\\beep.sys".parse().expect("static"));
-        m.kernel
-            .load_driver("null", "C:\\windows\\system32\\drivers\\null.sys".parse().expect("static"));
+        m.kernel.load_driver(
+            "beep",
+            "C:\\windows\\system32\\drivers\\beep.sys"
+                .parse()
+                .expect("static"),
+        );
+        m.kernel.load_driver(
+            "null",
+            "C:\\windows\\system32\\drivers\\null.sys"
+                .parse()
+                .expect("static"),
+        );
         // The hive backing files exist on disk from first boot, so later
         // snapshots don't look like new-file churn.
         m.persist_hives()?;
@@ -188,7 +196,8 @@ impl Machine {
             ("C:\\windows\\system32\\drivers\\null.sys", b"MZ null"),
         ];
         for (p, data) in files {
-            self.volume.create_file(&p.parse().expect("static path"), data)?;
+            self.volume
+                .create_file(&p.parse().expect("static path"), data)?;
         }
         Ok(())
     }
@@ -199,12 +208,19 @@ impl Machine {
             .parse()
             .expect("static");
         reg.create_key(&run)?;
-        reg.set_value(&run, "ctfmon", ValueData::sz("C:\\windows\\system32\\ctfmon.exe"))?;
+        reg.set_value(
+            &run,
+            "ctfmon",
+            ValueData::sz("C:\\windows\\system32\\ctfmon.exe"),
+        )?;
         for (svc, image) in [
             ("Beep", "System32\\drivers\\beep.sys"),
             ("Null", "System32\\drivers\\null.sys"),
             ("Eventlog", "C:\\windows\\system32\\services.exe"),
-            ("lanmanserver", "C:\\windows\\system32\\svchost.exe -k netsvcs"),
+            (
+                "lanmanserver",
+                "C:\\windows\\system32\\svchost.exe -k netsvcs",
+            ),
         ] {
             let key: NtPath = format!("HKLM\\SYSTEM\\CurrentControlSet\\Services\\{svc}")
                 .parse()
@@ -319,7 +335,9 @@ impl Machine {
     ///
     /// Propagates kernel errors (unknown parent).
     pub fn spawn_process(&mut self, image_name: &str, image_path: &str) -> Result<Pid, NtStatus> {
-        let path: NtPath = image_path.parse().map_err(|_| NtStatus::ObjectNameInvalid)?;
+        let path: NtPath = image_path
+            .parse()
+            .map_err(|_| NtStatus::ObjectNameInvalid)?;
         self.kernel
             .spawn(image_name, path, None)
             .map_err(|_| NtStatus::NoSuchProcess)
@@ -346,7 +364,11 @@ impl Machine {
     /// # Errors
     ///
     /// Propagates spawn failures.
-    pub fn ensure_process(&mut self, image_name: &str, image_path: &str) -> Result<CallContext, NtStatus> {
+    pub fn ensure_process(
+        &mut self,
+        image_name: &str,
+        image_path: &str,
+    ) -> Result<CallContext, NtStatus> {
         if let Some(ctx) = self.context_for_name(image_name) {
             return Ok(ctx);
         }
@@ -565,11 +587,7 @@ impl Machine {
     /// # Errors
     ///
     /// Same as [`Machine::query`].
-    pub fn plain_dir(
-        &self,
-        ctx: &CallContext,
-        path: &NtPath,
-    ) -> Result<Vec<Row>, NtStatus> {
+    pub fn plain_dir(&self, ctx: &CallContext, path: &NtPath) -> Result<Vec<Row>, NtStatus> {
         let rows = self.query(
             ctx,
             &Query::DirectoryEnum { path: path.clone() },
@@ -578,9 +596,7 @@ impl Machine {
         Ok(rows
             .into_iter()
             .filter(|r| match r {
-                Row::File(f) => !f
-                    .attributes
-                    .contains(strider_ntfs::FileAttributes::HIDDEN),
+                Row::File(f) => !f.attributes.contains(strider_ntfs::FileAttributes::HIDDEN),
                 _ => true,
             })
             .collect())
@@ -686,7 +702,9 @@ impl Machine {
             if self.volume.exists(&path) {
                 self.volume.write_file(&path, &bytes).map_err(ntfs_status)?;
             } else {
-                self.volume.create_file(&path, &bytes).map_err(ntfs_status)?;
+                self.volume
+                    .create_file(&path, &bytes)
+                    .map_err(ntfs_status)?;
             }
         }
         Ok(())
@@ -726,8 +744,14 @@ impl Machine {
         scope: HookScope,
         filter: Arc<dyn QueryFilter>,
     ) -> HookId {
-        self.hooks
-            .install(owner, Level::Iat, kinds, scope, HookStyle::TablePatch, filter)
+        self.hooks.install(
+            owner,
+            Level::Iat,
+            kinds,
+            scope,
+            HookStyle::TablePatch,
+            filter,
+        )
     }
 
     /// Modifies in-memory Win32 API code (Vanquish wrapper / Aphex detour).
@@ -751,8 +775,14 @@ impl Machine {
         scope: HookScope,
         filter: Arc<dyn QueryFilter>,
     ) -> HookId {
-        self.hooks
-            .install(owner, Level::NtdllCode, kinds, scope, HookStyle::Detour, filter)
+        self.hooks.install(
+            owner,
+            Level::NtdllCode,
+            kinds,
+            scope,
+            HookStyle::Detour,
+            filter,
+        )
     }
 
     /// Replaces an SSDT dispatch entry (ProBot SE style).
@@ -922,7 +952,9 @@ mod tests {
             )
             .unwrap();
         assert!(rows.len() > 10);
-        let procs = m.query(&ctx, &Query::ProcessList, ChainEntry::Win32).unwrap();
+        let procs = m
+            .query(&ctx, &Query::ProcessList, ChainEntry::Win32)
+            .unwrap();
         assert_eq!(procs.len(), 9);
     }
 
@@ -933,7 +965,9 @@ mod tests {
         assert_eq!(
             m.query(
                 &ctx,
-                &Query::DirectoryEnum { path: p("C:\\nope") },
+                &Query::DirectoryEnum {
+                    path: p("C:\\nope")
+                },
                 ChainEntry::Win32
             ),
             Err(NtStatus::ObjectNameNotFound)
@@ -943,7 +977,9 @@ mod tests {
     #[test]
     fn ntdll_hook_hides_from_both_entries() {
         let mut m = base();
-        m.volume_mut().create_file(&p("C:\\windows\\hxdef100.exe"), b"MZ").unwrap();
+        m.volume_mut()
+            .create_file(&p("C:\\windows\\hxdef100.exe"), b"MZ")
+            .unwrap();
         m.install_ntdll_hook(
             "hxdef",
             vec![QueryKind::Files],
@@ -951,11 +987,15 @@ mod tests {
             name_filter("hxdef"),
         );
         let ctx = m.context_for_name("explorer.exe").unwrap();
-        let q = Query::DirectoryEnum { path: p("C:\\windows") };
+        let q = Query::DirectoryEnum {
+            path: p("C:\\windows"),
+        };
         for entry in [ChainEntry::Win32, ChainEntry::Native] {
             let rows = m.query(&ctx, &q, entry).unwrap();
             assert!(
-                !rows.iter().any(|r| r.name().to_win32_lossy().contains("hxdef")),
+                !rows
+                    .iter()
+                    .any(|r| r.name().to_win32_lossy().contains("hxdef")),
                 "{entry:?} must be filtered"
             );
         }
@@ -964,7 +1004,9 @@ mod tests {
     #[test]
     fn iat_hook_does_not_affect_native_entry() {
         let mut m = base();
-        m.volume_mut().create_file(&p("C:\\windows\\urbin.dll"), b"MZ").unwrap();
+        m.volume_mut()
+            .create_file(&p("C:\\windows\\urbin.dll"), b"MZ")
+            .unwrap();
         m.install_iat_hook(
             "urbin",
             vec![QueryKind::Files],
@@ -972,17 +1014,25 @@ mod tests {
             name_filter("urbin"),
         );
         let ctx = m.context_for_name("explorer.exe").unwrap();
-        let q = Query::DirectoryEnum { path: p("C:\\windows") };
+        let q = Query::DirectoryEnum {
+            path: p("C:\\windows"),
+        };
         let win32 = m.query(&ctx, &q, ChainEntry::Win32).unwrap();
-        assert!(!win32.iter().any(|r| r.name().to_win32_lossy().contains("urbin")));
+        assert!(!win32
+            .iter()
+            .any(|r| r.name().to_win32_lossy().contains("urbin")));
         let native = m.query(&ctx, &q, ChainEntry::Native).unwrap();
-        assert!(native.iter().any(|r| r.name().to_win32_lossy().contains("urbin")));
+        assert!(native
+            .iter()
+            .any(|r| r.name().to_win32_lossy().contains("urbin")));
     }
 
     #[test]
     fn ssdt_hook_applies_and_restoration_disables_it() {
         let mut m = base();
-        m.volume_mut().create_file(&p("C:\\windows\\probot.sys"), b"MZ").unwrap();
+        m.volume_mut()
+            .create_file(&p("C:\\windows\\probot.sys"), b"MZ")
+            .unwrap();
         m.install_ssdt_hook(
             "probot",
             SyscallId::NtQueryDirectoryFile,
@@ -990,31 +1040,41 @@ mod tests {
             name_filter("probot"),
         );
         let ctx = m.context_for_name("explorer.exe").unwrap();
-        let q = Query::DirectoryEnum { path: p("C:\\windows") };
+        let q = Query::DirectoryEnum {
+            path: p("C:\\windows"),
+        };
         let rows = m.query(&ctx, &q, ChainEntry::Native).unwrap();
-        assert!(!rows.iter().any(|r| r.name().to_win32_lossy().contains("probot")));
+        assert!(!rows
+            .iter()
+            .any(|r| r.name().to_win32_lossy().contains("probot")));
         // Direct Service Dispatch Table restoration defeats it.
-        m.kernel_mut().ssdt_mut().restore(SyscallId::NtQueryDirectoryFile);
+        m.kernel_mut()
+            .ssdt_mut()
+            .restore(SyscallId::NtQueryDirectoryFile);
         let rows = m.query(&ctx, &q, ChainEntry::Native).unwrap();
-        assert!(rows.iter().any(|r| r.name().to_win32_lossy().contains("probot")));
+        assert!(rows
+            .iter()
+            .any(|r| r.name().to_win32_lossy().contains("probot")));
     }
 
     #[test]
     fn filter_driver_scoped_to_caller() {
         let mut m = base();
-        m.volume_mut().create_file(&p("C:\\temp\\secret.txt"), b"x").unwrap();
+        m.volume_mut()
+            .create_file(&p("C:\\temp\\secret.txt"), b"x")
+            .unwrap();
         m.install_filter_driver(
             "hidefolders",
             HookScope::ExceptCallers(vec!["hidefolders.exe".into()]),
             name_filter("secret"),
         );
-        m.spawn_process("hidefolders.exe", "C:\\Program Files\\hf.exe").unwrap();
-        let q = Query::DirectoryEnum { path: p("C:\\temp") };
+        m.spawn_process("hidefolders.exe", "C:\\Program Files\\hf.exe")
+            .unwrap();
+        let q = Query::DirectoryEnum {
+            path: p("C:\\temp"),
+        };
         let user = m.context_for_name("explorer.exe").unwrap();
-        assert!(m
-            .query(&user, &q, ChainEntry::Win32)
-            .unwrap()
-            .is_empty());
+        assert!(m.query(&user, &q, ChainEntry::Win32).unwrap().is_empty());
         let owner = m.context_for_name("hidefolders.exe").unwrap();
         assert_eq!(m.query(&owner, &q, ChainEntry::Win32).unwrap().len(), 1);
     }
@@ -1028,7 +1088,9 @@ mod tests {
             Err(NtStatus::ObjectNameInvalid)
         );
         let ctx = m.context_for_name("explorer.exe").unwrap();
-        let q = Query::DirectoryEnum { path: p("C:\\temp") };
+        let q = Query::DirectoryEnum {
+            path: p("C:\\temp"),
+        };
         assert!(m.query(&ctx, &q, ChainEntry::Win32).unwrap().is_empty());
         assert_eq!(m.query(&ctx, &q, ChainEntry::Native).unwrap().len(), 1);
     }
@@ -1039,7 +1101,10 @@ mod tests {
         let run = p("HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run");
         let sneaky = NtString::from_units(&[b'e' as u16, 0, b'x' as u16]);
         m.registry_mut()
-            .set_value_raw(&run, strider_hive::Value::new(sneaky.clone(), ValueData::sz("evil.exe")))
+            .set_value_raw(
+                &run,
+                strider_hive::Value::new(sneaky.clone(), ValueData::sz("evil.exe")),
+            )
             .unwrap();
         let ctx = m.context_for_name("explorer.exe").unwrap();
         let q = Query::RegEnumValues { key: run };
@@ -1048,7 +1113,10 @@ mod tests {
         assert!(names.contains(&"e".to_string()));
         assert!(!names.contains(&"e\\0x".to_string()));
         let native = m.query(&ctx, &q, ChainEntry::Native).unwrap();
-        let names: Vec<String> = native.iter().map(|r| r.name().to_display_string()).collect();
+        let names: Vec<String> = native
+            .iter()
+            .map(|r| r.name().to_display_string())
+            .collect();
         assert!(names.contains(&"e\\0x".to_string()));
     }
 
@@ -1059,7 +1127,9 @@ mod tests {
         m.kernel_mut()
             .load_module(pid, "vanquish.dll", "C:\\windows\\vanquish.dll")
             .unwrap();
-        m.kernel_mut().blank_peb_module_path(pid, "vanquish.dll").unwrap();
+        m.kernel_mut()
+            .blank_peb_module_path(pid, "vanquish.dll")
+            .unwrap();
         let ctx = m.context_for(pid).unwrap();
         let q = Query::ModuleList { pid };
         let win32 = m.query(&ctx, &q, ChainEntry::Win32).unwrap();
@@ -1115,7 +1185,9 @@ mod tests {
         let full = m
             .query(
                 &ctx,
-                &Query::DirectoryEnum { path: p("C:\\temp") },
+                &Query::DirectoryEnum {
+                    path: p("C:\\temp"),
+                },
                 ChainEntry::Win32,
             )
             .unwrap();
@@ -1194,7 +1266,10 @@ mod tests {
         m.tick(5);
         assert_eq!(m.now(), Tick(5));
         assert_eq!(
-            m.volume().read_file(&p("C:\\windows\\temp\\svc.log")).unwrap().len(),
+            m.volume()
+                .read_file(&p("C:\\windows\\temp\\svc.log"))
+                .unwrap()
+                .len(),
             5 * 5
         );
     }

@@ -1,12 +1,11 @@
 //! Queries and result rows flowing through the layered API chain.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use strider_nt_core::{NtPath, NtString, Pid};
 use strider_ntfs::FileAttributes;
 
 /// The kind of enumeration a query performs; hooks select on this.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueryKind {
     /// File/directory enumeration (`FindFirstFile`/`NtQueryDirectoryFile`).
     Files,
@@ -193,6 +192,21 @@ impl CallContext {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// JSON serialization (see `strider_support::json`, replacing the former
+// serde derives)
+// ---------------------------------------------------------------------
+
+strider_support::impl_json!(
+    enum QueryKind {
+        Files,
+        RegKeys,
+        RegValues,
+        Processes,
+        Modules,
+    }
+);
 
 #[cfg(test)]
 mod tests {

@@ -1,9 +1,8 @@
 //! Deterministic machine population.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use strider_hive::ValueData;
 use strider_nt_core::{NtPath, NtStatus};
+use strider_support::rng::SplitMix64;
 use strider_unixfs::UnixMachine;
 use strider_winapi::Machine;
 
@@ -82,7 +81,7 @@ const ROOTS: &[&str] = &[
 /// Propagates substrate errors (none occur for well-formed specs on a base
 /// machine).
 pub fn populate(machine: &mut Machine, spec: &WorkloadSpec) -> Result<(), NtStatus> {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SplitMix64::seed_from_u64(spec.seed);
 
     // Directory forest: each new directory hangs off a root or a previously
     // created directory, keeping depths realistic (2–6 components).
@@ -111,8 +110,8 @@ pub fn populate(machine: &mut Machine, spec: &WorkloadSpec) -> Result<(), NtStat
         let stem = FILE_STEMS[rng.gen_range(0..FILE_STEMS.len())];
         let ext = EXTENSIONS[rng.gen_range(0..EXTENSIONS.len())];
         let path = dir.join(format!("{stem}-{i:05}.{ext}"));
-        let size = rng.gen_range(16..160);
-        let content: Vec<u8> = (0..size).map(|_| rng.gen::<u8>()).collect();
+        let size = rng.gen_range(16..160u32);
+        let content: Vec<u8> = (0..size).map(|_| rng.next_u8()).collect();
         machine
             .volume_mut()
             .create_file(&path, &content)
@@ -149,7 +148,7 @@ pub fn populate(machine: &mut Machine, spec: &WorkloadSpec) -> Result<(), NtStat
     for i in 0..spec.process_count {
         let name = format!("app{i:02}.exe");
         let pid = machine.spawn_process(&name, &format!("C:\\Program Files\\{name}"))?;
-        for m in 0..rng.gen_range(2..6) {
+        for m in 0..rng.gen_range(2..6u32) {
             machine
                 .kernel_mut()
                 .load_module(
@@ -186,7 +185,7 @@ pub fn standard_lab_machine(
 /// Populates a Unix machine with filler files and an FTP daemon writing
 /// transfer logs and temp files (the paper's Unix false-positive source).
 pub fn populate_unix(machine: &mut UnixMachine, seed: u64, file_count: usize) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let roots = ["/usr/lib", "/usr/bin", "/home/user", "/var", "/etc"];
     for i in 0..file_count {
         let root = roots[rng.gen_range(0..roots.len())];

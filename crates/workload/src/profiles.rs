@@ -311,7 +311,11 @@ mod tests {
         for p in paper_profiles() {
             let m = CostModel::new(p.clone());
             let boot = m.winpe_boot_seconds();
-            assert!((90.0..=180.0).contains(&boot), "{}: boot {boot:.0}s", p.name);
+            assert!(
+                (90.0..=180.0).contains(&boot),
+                "{}: boot {boot:.0}s",
+                p.name
+            );
             let dump = m.dump_seconds();
             assert!((15.0..=45.0).contains(&dump), "{}: dump {dump:.0}s", p.name);
         }

@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // signature scan promptly catches it.
     machine.remove_software("HackerDefender");
     let hits = scanner.scan(&machine, &inocit)?;
-    println!("\non-demand scan after the rootkit stops hiding: {} hits", hits.len());
+    println!(
+        "\non-demand scan after the rootkit stops hiding: {} hits",
+        hits.len()
+    );
     for h in &hits {
         println!("  {} at {}", h.signature, h.path);
     }

@@ -48,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Stage 2: suspicious machines get the RIS network-boot re-check.
         let ris_verdict = if inside.is_infected() {
             let outside = gb.ris_outside_sweep(&mut machine, 100)?;
-            if outside.is_infected() { "infected" } else { "clean" }
+            if outside.is_infected() {
+                "infected"
+            } else {
+                "clean"
+            }
         } else {
             "-"
         };

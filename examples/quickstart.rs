@@ -41,7 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The lie: ordinary enumeration shows nothing.
-    let ctx = machine.context_for_name("explorer.exe").expect("explorer runs");
+    let ctx = machine
+        .context_for_name("explorer.exe")
+        .expect("explorer runs");
     let rows = machine.query(
         &ctx,
         &Query::DirectoryEnum {
@@ -51,7 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!(
         "explorer's view of system32 mentions hxdef: {}",
-        rows.iter().any(|r| r.name().to_win32_lossy().contains("hxdef"))
+        rows.iter()
+            .any(|r| r.name().to_win32_lossy().contains("hxdef"))
     );
 
     // The cross-view diff exposes everything.

@@ -59,9 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(_, f)| f.path.as_str())
         .collect();
     println!("step 5: now-visible rootkit files: {visible:?}");
-    for path in ["C:\\windows\\system32\\hxdef100.exe",
-                 "C:\\windows\\system32\\hxdef100.ini",
-                 "C:\\windows\\system32\\drivers\\hxdefdrv.sys"] {
+    for path in [
+        "C:\\windows\\system32\\hxdef100.exe",
+        "C:\\windows\\system32\\hxdef100.ini",
+        "C:\\windows\\system32\\drivers\\hxdefdrv.sys",
+    ] {
         machine.volume_mut().remove_file(&path.parse()?)?;
     }
 

@@ -9,7 +9,10 @@
 use strider_ghostbuster_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:<26} {:<28} {:>6} {:>6} {:>6}", "ghostware", "technique", "files", "hooks", "procs");
+    println!(
+        "{:<26} {:<28} {:>6} {:>6} {:>6}",
+        "ghostware", "technique", "files", "hooks", "procs"
+    );
     println!("{}", "-".repeat(80));
 
     let mut all_detected = true;

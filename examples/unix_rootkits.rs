@@ -30,9 +30,21 @@ fn main() {
         println!(
             "{:<16} {:<20} {:>14} {:>16} {:>6}",
             infection.rootkit,
-            if infection.uses_lkm { "LKM getdents hook" } else { "trojaned ls" },
-            if inside.is_infected() { "detects" } else { "blind" },
-            if outside.is_infected() { "detects" } else { "blind" },
+            if infection.uses_lkm {
+                "LKM getdents hook"
+            } else {
+                "trojaned ls"
+            },
+            if inside.is_infected() {
+                "detects"
+            } else {
+                "blind"
+            },
+            if outside.is_infected() {
+                "detects"
+            } else {
+                "blind"
+            },
             outside.noise_detections().len(),
         );
         for d in outside.net_detections() {

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full offline verification: format check (when rustfmt is installed),
+# release build, and the complete test suite — all with --offline, because
+# the workspace is hermetic by construction (see tests/hermetic.rs).
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all --check
+else
+    echo "==> cargo fmt not installed; skipping format check"
+fi
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> OK"

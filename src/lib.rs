@@ -47,7 +47,7 @@ pub mod prelude {
     pub use strider_ghostware::prelude::*;
     pub use strider_hive::prelude::*;
     pub use strider_kernel::prelude::*;
-    pub use strider_nt_core::{NtPath, NtString, NtStatus, Pid, Tick, Tid};
+    pub use strider_nt_core::{NtPath, NtStatus, NtString, Pid, Tick, Tid};
     pub use strider_ntfs::prelude::*;
     pub use strider_unixfs::prelude::*;
     pub use strider_winapi::prelude::*;

@@ -12,9 +12,7 @@ fn every_file_hiding_sample_is_fully_detected_with_zero_false_positives() {
     for (i, sample) in file_hiding_corpus().into_iter().enumerate() {
         let mut m = victim(10 + i as u64);
         let infection = sample.infect(&mut m).expect("infects");
-        let report = GhostBuster::new()
-            .scan_files_inside(&mut m)
-            .expect("scans");
+        let report = GhostBuster::new().scan_files_inside(&mut m).expect("scans");
         let details: Vec<String> = report
             .net_detections()
             .iter()
@@ -52,9 +50,11 @@ fn every_registry_hiding_sample_is_fully_detected() {
         );
         for entry in &infection.hidden_asep_entries {
             let found = report.net_detections().iter().any(|d| {
-                entry
-                    .split(" -> ")
-                    .all(|part| d.detail.to_ascii_lowercase().contains(&part.to_ascii_lowercase()))
+                entry.split(" -> ").all(|part| {
+                    d.detail
+                        .to_ascii_lowercase()
+                        .contains(&part.to_ascii_lowercase())
+                })
             });
             assert!(found, "{}: missed hook {entry}", infection.ghostware);
         }
@@ -75,7 +75,9 @@ fn every_process_hiding_sample_detected_fu_only_in_advanced_mode() {
             .with_advanced(AdvancedSource::ThreadTable)
             .scan_processes_inside(&mut m)
             .expect("scans");
-        let modules = GhostBuster::new().scan_modules_inside(&mut m).expect("scans");
+        let modules = GhostBuster::new()
+            .scan_modules_inside(&mut m)
+            .expect("scans");
 
         for proc_name in &infection.hidden_process_names {
             let in_normal = normal
@@ -145,7 +147,9 @@ fn fu_can_stack_on_hxdef_and_advanced_mode_still_wins() {
 
     // Normal mode: the NtDll detour already hides it from the API, and DKOM
     // hides it from the APL — the diff of two doctored views is empty.
-    let normal = GhostBuster::new().scan_processes_inside(&mut m).expect("scan");
+    let normal = GhostBuster::new()
+        .scan_processes_inside(&mut m)
+        .expect("scan");
     assert!(!normal
         .net_detections()
         .iter()
@@ -168,11 +172,7 @@ fn scan_gap_zero_means_zero_false_positives_inside() {
     for round in 0..5 {
         m.tick(97);
         let sweep = GhostBuster::new().inside_sweep(&mut m).expect("sweeps");
-        assert_eq!(
-            sweep.suspicious_count(),
-            0,
-            "round {round}: {sweep}"
-        );
+        assert_eq!(sweep.suspicious_count(), 0, "round {round}: {sweep}");
         assert_eq!(sweep.noise_count(), 0, "round {round}");
     }
 }

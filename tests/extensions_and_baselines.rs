@@ -9,17 +9,26 @@ fn victim(seed: u64) -> Machine {
 #[test]
 fn injection_turns_every_process_into_a_ghostbuster() {
     let mut m = victim(1);
-    UtilityTargetedHider::default().infect(&mut m).expect("infects");
+    UtilityTargetedHider::default()
+        .infect(&mut m)
+        .expect("infects");
     m.spawn_process("tlist.exe", "C:\\windows\\system32\\tlist.exe")
         .expect("spawns");
 
     // The plain tool is not a target and sees no lie.
-    assert!(!GhostBuster::new().inside_sweep(&mut m).expect("sweep").is_infected());
+    assert!(!GhostBuster::new()
+        .inside_sweep(&mut m)
+        .expect("sweep")
+        .is_infected());
 
     // Injected: the targeted utilities' views disagree with the truth.
     let report = injected_sweep(&m).expect("sweeps");
     assert!(report.is_infected());
-    let hosts: Vec<&str> = report.lied_to().iter().map(|r| r.host_image.as_str()).collect();
+    let hosts: Vec<&str> = report
+        .lied_to()
+        .iter()
+        .map(|r| r.host_image.as_str())
+        .collect();
     assert!(hosts.contains(&"tlist.exe"));
     assert!(hosts.contains(&"explorer.exe"));
     // Non-targeted processes saw the truth.
@@ -29,7 +38,9 @@ fn injection_turns_every_process_into_a_ghostbuster() {
 #[test]
 fn scanner_aware_hider_beaten_by_injection_into_the_av_scanner() {
     let mut m = victim(2);
-    ScannerAwareHider::default().infect(&mut m).expect("infects");
+    ScannerAwareHider::default()
+        .infect(&mut m)
+        .expect("infects");
     let inocit = m
         .ensure_process("InocIT.exe", "C:\\Program Files\\eTrust\\InocIT.exe")
         .expect("spawn");
@@ -43,7 +54,9 @@ fn scanner_aware_hider_beaten_by_injection_into_the_av_scanner() {
     // GhostBuster DLL injected into InocIT.exe: the diff from its context.
     let files = FileScanner::new();
     let truth = files.low_scan(&m).expect("low");
-    let lie = files.high_scan(&m, &inocit, ChainEntry::Win32).expect("high");
+    let lie = files
+        .high_scan(&m, &inocit, ChainEntry::Win32)
+        .expect("high");
     let report = files.diff(&truth, &lie);
     assert!(report
         .net_detections()
@@ -70,7 +83,10 @@ fn hook_scanner_false_positive_on_benign_wrapper_cross_view_silent() {
     let mut m = victim(4);
     install_benign_wrapper(&mut m, "detours-app");
     assert_eq!(HookScanner::new().scan(&m).len(), 1);
-    assert!(!GhostBuster::new().inside_sweep(&mut m).expect("sweep").is_infected());
+    assert!(!GhostBuster::new()
+        .inside_sweep(&mut m)
+        .expect("sweep")
+        .is_infected());
 }
 
 #[test]
@@ -82,7 +98,10 @@ fn cross_time_diff_catches_nonhiding_malware_that_cross_view_cannot() {
     let baseline = ct.checkpoint(&m);
     m.tick(1);
     m.volume_mut()
-        .create_file(&"C:\\windows\\system32\\dropper.exe".parse().unwrap(), b"MZ bad")
+        .create_file(
+            &"C:\\windows\\system32\\dropper.exe".parse().unwrap(),
+            b"MZ bad",
+        )
         .unwrap();
     let sweep = GhostBuster::new().inside_sweep(&mut m).expect("sweep");
     assert!(!sweep.is_infected(), "nothing is hidden");
@@ -94,7 +113,9 @@ fn cross_time_diff_catches_nonhiding_malware_that_cross_view_cannot() {
 fn naming_trick_registry_value_detected_inside() {
     let mut m = victim(6);
     NamingTrick.infect(&mut m).expect("infects");
-    let report = GhostBuster::new().scan_registry_inside(&mut m).expect("scan");
+    let report = GhostBuster::new()
+        .scan_registry_inside(&mut m)
+        .expect("scan");
     assert!(
         report
             .net_detections()
@@ -109,7 +130,10 @@ fn unix_and_windows_detectors_share_the_framework() {
     // The same seed produces both a Windows and a Unix detection run.
     let mut w = victim(7);
     HackerDefender::default().infect(&mut w).expect("hxdef");
-    assert!(GhostBuster::new().inside_sweep(&mut w).expect("sweep").is_infected());
+    assert!(GhostBuster::new()
+        .inside_sweep(&mut w)
+        .expect("sweep")
+        .is_infected());
 
     let mut u = UnixMachine::with_base_system("ux");
     Superkit.infect(&mut u);

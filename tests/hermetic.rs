@@ -1,0 +1,122 @@
+//! Hermeticity guard: the build must never reach for a registry.
+//!
+//! The workspace is intentionally zero-dependency — every crate depends
+//! only on sibling path crates (ultimately on `strider-support`, which has
+//! no dependencies at all). This test walks every `Cargo.toml` in the
+//! repository and fails if any dependency section names a crate without a
+//! `path` (directly or via `workspace = true` into a path-only
+//! `[workspace.dependencies]` table), i.e. anything that would make
+//! `cargo build --offline` need crates.io.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn manifest_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn collect_manifests(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("readable directory") {
+        let entry = entry.expect("readable entry");
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // `target/` holds vendored fingerprints; `.git` is not ours to scan.
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_manifests(&path, out);
+        } else if name == "Cargo.toml" {
+            out.push(path);
+        }
+    }
+}
+
+/// The dependency-table headers whose entries we audit. `[package]` keys
+/// like `version.workspace = true` are inheritance, not dependencies, and
+/// are skipped by only looking inside these sections.
+const DEP_SECTIONS: &[&str] = &[
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+fn is_dep_section(header: &str) -> bool {
+    DEP_SECTIONS.contains(&header)
+        || header.strip_prefix("target.").is_some_and(|rest| {
+            rest.split('.')
+                .next_back()
+                .is_some_and(|s| DEP_SECTIONS.contains(&s))
+        })
+}
+
+#[test]
+fn every_dependency_is_a_workspace_path() {
+    let mut manifests = Vec::new();
+    collect_manifests(&manifest_root(), &mut manifests);
+    assert!(
+        manifests.len() >= 12,
+        "expected the root + all crate manifests, found {}",
+        manifests.len()
+    );
+
+    let mut offending = Vec::new();
+    for manifest in &manifests {
+        let text = fs::read_to_string(manifest).expect("readable manifest");
+        let mut in_dep_section = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                in_dep_section = is_dep_section(header.trim());
+                continue;
+            }
+            if !in_dep_section {
+                continue;
+            }
+            // Every entry must be `name = { path = ... }`, a bare
+            // `name.path = ...`, or `name.workspace = true` /
+            // `name = { workspace = true }`.
+            let hermetic = line.contains("path =")
+                || line.contains("path=")
+                || line.contains("workspace = true")
+                || line.contains("workspace=true");
+            if !hermetic {
+                offending.push(format!(
+                    "{}:{}: {}",
+                    manifest.display(),
+                    lineno + 1,
+                    raw.trim()
+                ));
+            }
+        }
+    }
+
+    assert!(
+        offending.is_empty(),
+        "non-path dependencies found (these would break the offline build):\n{}",
+        offending.join("\n")
+    );
+}
+
+#[test]
+fn support_crate_has_no_dependencies_at_all() {
+    let manifest = manifest_root().join("crates/support/Cargo.toml");
+    let text = fs::read_to_string(&manifest).expect("support manifest");
+    let mut in_dep_section = false;
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            in_dep_section = is_dep_section(header.trim());
+            continue;
+        }
+        assert!(
+            !(in_dep_section && !line.is_empty()),
+            "strider-support must stay dependency-free, found: {raw}"
+        );
+    }
+}

@@ -57,7 +57,10 @@ fn vm_flow_zero_gap_zero_false_positives_and_full_detection() {
     m.tick(313);
     let infection = Vanquish::default().infect(&mut m).expect("infects");
     let report = GhostBuster::new().vm_outside_files(&mut m).expect("flow");
-    assert!(report.noise_detections().is_empty(), "zero-gap means zero FPs");
+    assert!(
+        report.noise_detections().is_empty(),
+        "zero-gap means zero FPs"
+    );
     for hidden in &infection.hidden_files {
         assert!(
             report
@@ -128,9 +131,7 @@ fn hive_copy_tamper_beats_inside_scan_outside_scan_still_works() {
 
     // Outside scan of the real disk bytes is unaffected.
     let ctx = gb.enter(&mut m).expect("ctx");
-    let lie = gb
-        .registry_scanner()
-        .high_scan(&m, &ctx, ChainEntry::Win32);
+    let lie = gb.registry_scanner().high_scan(&m, &ctx, ChainEntry::Win32);
     let image = m.snapshot_disk().expect("snapshot");
     let truth = gb
         .registry_scanner()

@@ -36,9 +36,7 @@ fn uniform_detection_across_all_interception_techniques() {
         for t in &infection.techniques {
             techniques_seen.insert(t.to_string());
         }
-        let report = GhostBuster::new()
-            .scan_files_inside(&mut m)
-            .expect("scans");
+        let report = GhostBuster::new().scan_files_inside(&mut m).expect("scans");
         assert!(
             report.has_detections(),
             "{} evaded the uniform detector",
@@ -136,7 +134,9 @@ fn mass_hiding_produces_a_large_anomaly_not_camouflage() {
     let mut m = victim(80);
     let few = {
         let mut m2 = victim(81);
-        FileHider::hide_folders_xp().infect(&mut m2).expect("infects");
+        FileHider::hide_folders_xp()
+            .infect(&mut m2)
+            .expect("infects");
         GhostBuster::new()
             .scan_files_inside(&mut m2)
             .expect("scans")
@@ -152,7 +152,10 @@ fn mass_hiding_produces_a_large_anomaly_not_camouflage() {
         .expect("scans")
         .net_detections()
         .len();
-    assert!(many > 20 * few, "hiding more screams louder: {few} vs {many}");
+    assert!(
+        many > 20 * few,
+        "hiding more screams louder: {few} vs {many}"
+    );
 }
 
 /// "While they employ a wide variety of resource-hiding techniques, they can

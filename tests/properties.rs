@@ -1,505 +1,667 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! Runs on the in-tree shrinking harness (`strider_support::check`), which
+//! replaced `proptest`: generators are closures over a seeded
+//! [`SplitMix64`], properties return `Result<(), String>`, and failures
+//! shrink to a minimal counterexample. Shrinking is value-based, so a
+//! shrunk input can fall outside a generator's invariant (e.g. an empty
+//! name where the generator guaranteed `[a-z][a-z0-9]*`); properties guard
+//! those cases with an early `Ok(())`.
 
-use proptest::prelude::*;
 use strider_ghostbuster_repro::prelude::*;
 use strider_nt_core::{NtPath, NtString, Tick};
+use strider_support::check::{check, gen, Config};
+use strider_support::rng::SplitMix64;
+use strider_support::{prop_assert, prop_assert_eq, prop_assert_ne};
 
 // ---------------------------------------------------------------------
-// Strategies
+// Generators
 // ---------------------------------------------------------------------
 
-fn name_strategy() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9]{0,10}"
+/// The old `"[a-z][a-z0-9]{0,10}"` strategy.
+fn name(rng: &mut SplitMix64) -> String {
+    gen::name(rng, 1, 11)
 }
 
-fn nt_name_with_maybe_nul() -> impl Strategy<Value = NtString> {
-    (name_strategy(), proptest::option::of(name_strategy())).prop_map(|(a, b)| match b {
-        None => NtString::from(a.as_str()),
+/// Raw material for a counted name that may embed a NUL: `(a, Some(b))`
+/// becomes `a \0 b`; `(a, None)` is just `a`. Kept as plain strings so the
+/// harness can shrink them; [`nt_name`] builds the `NtString` in the prop.
+fn nt_name_parts(rng: &mut SplitMix64) -> (String, Option<String>) {
+    (name(rng), gen::option_of(rng, name))
+}
+
+fn nt_name(parts: &(String, Option<String>)) -> NtString {
+    match &parts.1 {
+        None => NtString::from(parts.0.as_str()),
         Some(b) => {
-            let mut units: Vec<u16> = a.encode_utf16().collect();
+            let mut units: Vec<u16> = parts.0.encode_utf16().collect();
             units.push(0);
             units.extend(b.encode_utf16());
             NtString::from_units(&units)
         }
-    })
+    }
 }
 
-/// A random file tree as (path under C:\, contents) pairs.
-fn file_tree_strategy() -> impl Strategy<Value = Vec<(Vec<String>, Vec<u8>)>> {
-    proptest::collection::vec(
-        (
-            proptest::collection::vec(name_strategy(), 1..4),
-            proptest::collection::vec(any::<u8>(), 0..64),
-        ),
-        0..25,
-    )
+/// A random file tree as (path components under C:\, contents) pairs.
+fn file_tree(rng: &mut SplitMix64) -> Vec<(Vec<String>, Vec<u8>)> {
+    gen::vec_of(rng, 0, 24, |r| {
+        (gen::vec_of(r, 1, 3, name), gen::bytes(r, 0, 63))
+    })
 }
 
 // ---------------------------------------------------------------------
 // NtString / NtPath
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn fold_key_is_idempotent_and_case_insensitive(name in name_strategy()) {
-        let lower = NtString::from(name.to_ascii_lowercase().as_str());
-        let upper = NtString::from(name.to_ascii_uppercase().as_str());
-        prop_assert_eq!(lower.fold_key(), upper.fold_key());
-        prop_assert!(lower.eq_ignore_case(&upper));
-    }
+#[test]
+fn fold_key_is_idempotent_and_case_insensitive() {
+    check(
+        "fold_key_is_idempotent_and_case_insensitive",
+        Config::default(),
+        name,
+        |n| {
+            let lower = NtString::from(n.to_ascii_lowercase().as_str());
+            let upper = NtString::from(n.to_ascii_uppercase().as_str());
+            prop_assert_eq!(lower.fold_key(), upper.fold_key());
+            prop_assert!(lower.eq_ignore_case(&upper));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn display_string_never_loses_units(n in nt_name_with_maybe_nul()) {
-        // Rendering shows every unit (NULs become escapes), so two distinct
-        // counted names never collapse to the same display *and* fold key.
-        let display = n.to_display_string();
-        if n.contains_nul() {
-            prop_assert!(display.contains("\\0"));
-            prop_assert_ne!(display, n.to_win32_lossy());
-        } else {
-            prop_assert_eq!(display, n.to_win32_lossy());
-        }
-    }
+#[test]
+fn display_string_never_loses_units() {
+    check(
+        "display_string_never_loses_units",
+        Config::default(),
+        nt_name_parts,
+        |parts| {
+            let n = nt_name(parts);
+            // Rendering shows every unit (NULs become escapes), so two
+            // distinct counted names never collapse to the same display
+            // *and* fold key.
+            let display = n.to_display_string();
+            if n.contains_nul() {
+                prop_assert!(display.contains("\\0"));
+                prop_assert_ne!(display, n.to_win32_lossy());
+            } else {
+                prop_assert_eq!(display, n.to_win32_lossy());
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn path_roundtrip_through_display(parts in proptest::collection::vec(name_strategy(), 0..5)) {
-        let mut p = NtPath::root_of("C:");
-        for part in &parts {
-            p = p.join(part.as_str());
-        }
-        let rendered = p.to_string();
-        let reparsed: NtPath = rendered.parse().unwrap();
-        prop_assert!(reparsed.eq_ignore_case(&p));
-        prop_assert_eq!(reparsed.depth(), parts.len());
-    }
+#[test]
+fn path_roundtrip_through_display() {
+    check(
+        "path_roundtrip_through_display",
+        Config::default(),
+        |rng| gen::vec_of(rng, 0, 4, name),
+        |parts| {
+            if parts.iter().any(String::is_empty) {
+                return Ok(()); // shrunk below the generator's invariant
+            }
+            let mut p = NtPath::root_of("C:");
+            for part in parts {
+                p = p.join(part.as_str());
+            }
+            let rendered = p.to_string();
+            let reparsed: NtPath = rendered.parse().unwrap();
+            prop_assert!(reparsed.eq_ignore_case(&p));
+            prop_assert_eq!(reparsed.depth(), parts.len());
+            Ok(())
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
 // NTFS volume + raw image parser
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn volume_image_roundtrip_preserves_the_file_set() {
+    check(
+        "volume_image_roundtrip_preserves_the_file_set",
+        Config::with_cases(64),
+        file_tree,
+        |tree| {
+            let mut vol = NtfsVolume::new("C:");
+            vol.set_clock(Tick(5));
+            let mut expected: Vec<String> = Vec::new();
+            for (parts, data) in tree {
+                if parts.is_empty() || parts.iter().any(String::is_empty) {
+                    continue; // shrunk below the generator's invariant
+                }
+                let mut path = NtPath::root_of("C:");
+                for p in &parts[..parts.len() - 1] {
+                    path = path.join(p.as_str());
+                }
+                // A component may already exist as a file; such entries are
+                // simply skipped, as the OS would reject them.
+                if vol.mkdir_p(&path).is_err() {
+                    continue;
+                }
+                let file = path.join(parts.last().unwrap().as_str());
+                if vol.create_file(&file, data).is_ok() {
+                    expected.push(file.fold_key());
+                }
+            }
+            expected.sort();
+            expected.dedup();
 
-    #[test]
-    fn volume_image_roundtrip_preserves_the_file_set(tree in file_tree_strategy()) {
-        let mut vol = NtfsVolume::new("C:");
-        vol.set_clock(Tick(5));
-        let mut expected: Vec<String> = Vec::new();
-        for (parts, data) in &tree {
-            let mut path = NtPath::root_of("C:");
-            for p in &parts[..parts.len() - 1] {
-                path = path.join(p.as_str());
-            }
-            // A component may already exist as a file; such entries are
-            // simply skipped, as the OS would reject them.
-            if vol.mkdir_p(&path).is_err() {
-                continue;
-            }
-            let file = path.join(parts.last().unwrap().as_str());
-            if vol.create_file(&file, data).is_ok() {
-                expected.push(file.fold_key());
-            }
-        }
-        expected.sort();
-        expected.dedup();
+            let raw = VolumeImage::parse(&vol.to_image()).unwrap();
+            let mut parsed: Vec<String> =
+                raw.file_paths().iter().map(|(p, _)| p.fold_key()).collect();
+            parsed.sort();
+            prop_assert_eq!(parsed, expected);
+            Ok(())
+        },
+    );
+}
 
-        let raw = VolumeImage::parse(&vol.to_image()).unwrap();
-        let mut parsed: Vec<String> = raw
-            .file_paths()
-            .iter()
-            .map(|(p, _)| p.fold_key())
-            .collect();
-        parsed.sort();
-        prop_assert_eq!(parsed, expected);
-    }
-
-    #[test]
-    fn removed_files_never_reappear_in_the_image(tree in file_tree_strategy()) {
-        let mut vol = NtfsVolume::new("C:");
-        let mut live: Vec<NtPath> = Vec::new();
-        for (parts, data) in &tree {
-            let file = NtPath::root_of("C:").join(parts[0].as_str());
-            if vol.create_file(&file, data).is_ok() {
-                live.push(file);
+#[test]
+fn removed_files_never_reappear_in_the_image() {
+    check(
+        "removed_files_never_reappear_in_the_image",
+        Config::with_cases(64),
+        file_tree,
+        |tree| {
+            let mut vol = NtfsVolume::new("C:");
+            let mut live: Vec<NtPath> = Vec::new();
+            for (parts, data) in tree {
+                let Some(first) = parts.first().filter(|p| !p.is_empty()) else {
+                    continue; // shrunk below the generator's invariant
+                };
+                let file = NtPath::root_of("C:").join(first.as_str());
+                if vol.create_file(&file, data).is_ok() {
+                    live.push(file);
+                }
             }
-        }
-        // Remove every other file.
-        let mut removed = Vec::new();
-        for (i, f) in live.iter().enumerate() {
-            if i % 2 == 0 {
-                vol.remove_file(f).unwrap();
-                removed.push(f.fold_key());
+            // Remove every other file.
+            let mut removed = Vec::new();
+            for (i, f) in live.iter().enumerate() {
+                if i % 2 == 0 {
+                    vol.remove_file(f).unwrap();
+                    removed.push(f.fold_key());
+                }
             }
-        }
-        let raw = VolumeImage::parse(&vol.to_image()).unwrap();
-        for (p, _) in raw.file_paths() {
-            prop_assert!(!removed.contains(&p.fold_key()));
-        }
-    }
+            let raw = VolumeImage::parse(&vol.to_image()).unwrap();
+            for (p, _) in raw.file_paths() {
+                prop_assert!(!removed.contains(&p.fold_key()));
+            }
+            Ok(())
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
 // Hive format
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn hive_roundtrip_preserves_values_and_corruption_flags(
-        entries in proptest::collection::vec(
-            (nt_name_with_maybe_nul(), any::<u32>(), any::<bool>()),
-            0..20
-        )
-    ) {
-        let mut root = Key::new("SOFTWARE");
-        let mut expected = 0usize;
-        for (name, dword, corrupt) in &entries {
-            let mut v = Value::new(name.clone(), ValueData::Dword(*dword));
-            v.corrupt_data = *corrupt;
-            if root.set_value(v).is_none() {
-                expected += 1;
+#[test]
+fn hive_roundtrip_preserves_values_and_corruption_flags() {
+    check(
+        "hive_roundtrip_preserves_values_and_corruption_flags",
+        Config::with_cases(64),
+        |rng| {
+            gen::vec_of(rng, 0, 19, |r| {
+                (nt_name_parts(r), r.next_u32(), r.chance(1, 2))
+            })
+        },
+        |entries| {
+            let mut root = Key::new("SOFTWARE");
+            let mut expected = 0usize;
+            for (parts, dword, corrupt) in entries {
+                let name = nt_name(parts);
+                if name.is_empty() {
+                    continue; // shrunk below the generator's invariant
+                }
+                let mut v = Value::new(name, ValueData::Dword(*dword));
+                v.corrupt_data = *corrupt;
+                if root.set_value(v).is_none() {
+                    expected += 1;
+                }
             }
-        }
-        let hive = Hive::from_root(
-            "HKLM\\SOFTWARE".parse().unwrap(),
-            "C:\\sw".parse().unwrap(),
-            root.clone(),
-        );
-        let raw = RawHive::parse(&hive.to_bytes()).unwrap();
-        prop_assert_eq!(raw.root().values.len(), expected);
-        for rv in &raw.root().values {
-            let orig = root.value(&rv.name).unwrap();
-            prop_assert_eq!(rv.corrupt, orig.corrupt_data);
-            if !rv.corrupt {
-                prop_assert_eq!(rv.type_code, 4u32);
+            let hive = Hive::from_root(
+                "HKLM\\SOFTWARE".parse().unwrap(),
+                "C:\\sw".parse().unwrap(),
+                root.clone(),
+            );
+            let raw = RawHive::parse(&hive.to_bytes()).unwrap();
+            prop_assert_eq!(raw.root().values.len(), expected);
+            for rv in &raw.root().values {
+                let orig = root.value(&rv.name).unwrap();
+                prop_assert_eq!(rv.corrupt, orig.corrupt_data);
+                if !rv.corrupt {
+                    prop_assert_eq!(rv.type_code, 4u32);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn hive_parser_never_panics_on_mutated_bytes(
-        entries in proptest::collection::vec(name_strategy(), 1..8),
-        flip_at in any::<u16>(),
-        flip_to in any::<u8>()
-    ) {
-        let mut root = Key::new("ROOT");
-        for e in &entries {
-            root.subkey_or_create(&NtString::from(e.as_str()), Tick(1));
-        }
-        let hive = Hive::from_root(
-            "HKLM\\SOFTWARE".parse().unwrap(),
-            "C:\\x".parse().unwrap(),
-            root,
-        );
-        let mut bytes = hive.to_bytes();
-        let idx = (flip_at as usize) % bytes.len();
-        bytes[idx] = flip_to;
-        // Must return Ok or Err — never panic, never loop.
-        let _ = RawHive::parse(&bytes);
-    }
+#[test]
+fn hive_parser_never_panics_on_mutated_bytes() {
+    check(
+        "hive_parser_never_panics_on_mutated_bytes",
+        Config::with_cases(64),
+        |rng| {
+            (
+                gen::vec_of(rng, 1, 7, name),
+                rng.next_u32() as u16,
+                rng.next_u8(),
+            )
+        },
+        |(entries, flip_at, flip_to)| {
+            let mut root = Key::new("ROOT");
+            for e in entries {
+                if e.is_empty() {
+                    continue; // shrunk below the generator's invariant
+                }
+                root.subkey_or_create(&NtString::from(e.as_str()), Tick(1));
+            }
+            let hive = Hive::from_root(
+                "HKLM\\SOFTWARE".parse().unwrap(),
+                "C:\\x".parse().unwrap(),
+                root,
+            );
+            let mut bytes = hive.to_bytes();
+            let idx = (*flip_at as usize) % bytes.len();
+            bytes[idx] = *flip_to;
+            // Must return Ok or Err — never panic, never loop.
+            let _ = RawHive::parse(&bytes);
+            Ok(())
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
 // Kernel: DKOM invariants
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn apl_is_always_a_subset_of_the_thread_table_view() {
+    check(
+        "apl_is_always_a_subset_of_the_thread_table_view",
+        Config::with_cases(64),
+        |rng| gen::bytes(rng, 0, 39),
+        |ops| {
+            let mut k = Kernel::with_base_processes();
+            let mut spawned: Vec<strider_nt_core::Pid> = Vec::new();
+            for (i, op) in ops.iter().enumerate() {
+                match op % 4 {
+                    0 => {
+                        let pid = k
+                            .spawn(&format!("p{i}.exe"), "C:\\p.exe".parse().unwrap(), None)
+                            .unwrap();
+                        spawned.push(pid);
+                    }
+                    1 => {
+                        if let Some(&pid) = spawned.get((*op as usize / 4) % spawned.len().max(1)) {
+                            let _ = k.dkom_unlink(pid);
+                        }
+                    }
+                    2 => {
+                        if let Some(&pid) = spawned.get((*op as usize / 4) % spawned.len().max(1)) {
+                            let _ = k.dkom_relink(pid);
+                        }
+                    }
+                    _ => {
+                        if let Some(pid) = spawned.pop() {
+                            let _ = k.kill(pid);
+                        }
+                    }
+                }
+                let apl = k.active_process_list();
+                let threads = k.processes_via_threads();
+                for pid in &apl {
+                    prop_assert!(threads.contains(pid), "APL member missing from threads");
+                }
+                // The thread table is exactly the live process set.
+                prop_assert_eq!(threads.len(), k.processes().count());
+                // APL has no duplicates (links intact).
+                let mut sorted = apl.clone();
+                sorted.sort();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), apl.len());
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn apl_is_always_a_subset_of_the_thread_table_view(ops in proptest::collection::vec(any::<u8>(), 0..40)) {
-        let mut k = Kernel::with_base_processes();
-        let mut spawned: Vec<strider_nt_core::Pid> = Vec::new();
-        for (i, op) in ops.iter().enumerate() {
-            match op % 4 {
-                0 => {
-                    let pid = k
-                        .spawn(&format!("p{i}.exe"), "C:\\p.exe".parse().unwrap(), None)
-                        .unwrap();
-                    spawned.push(pid);
-                }
-                1 => {
-                    if let Some(&pid) = spawned.get((*op as usize / 4) % spawned.len().max(1)) {
-                        let _ = k.dkom_unlink(pid);
-                    }
-                }
-                2 => {
-                    if let Some(&pid) = spawned.get((*op as usize / 4) % spawned.len().max(1)) {
-                        let _ = k.dkom_relink(pid);
-                    }
-                }
-                _ => {
-                    if let Some(pid) = spawned.pop() {
-                        let _ = k.kill(pid);
-                    }
+#[test]
+fn crash_dump_roundtrip_matches_live_views() {
+    check(
+        "crash_dump_roundtrip_matches_live_views",
+        Config::with_cases(64),
+        |rng| rng.next_u8(),
+        |&unlink_mask| {
+            let mut k = Kernel::with_base_processes();
+            let mut pids = Vec::new();
+            for i in 0..4 {
+                pids.push(
+                    k.spawn(&format!("x{i}.exe"), "C:\\x.exe".parse().unwrap(), None)
+                        .unwrap(),
+                );
+            }
+            for (i, &pid) in pids.iter().enumerate() {
+                if unlink_mask & (1 << i) != 0 {
+                    k.dkom_unlink(pid).unwrap();
                 }
             }
-            let apl = k.active_process_list();
-            let threads = k.processes_via_threads();
-            for pid in &apl {
-                prop_assert!(threads.contains(pid), "APL member missing from threads");
-            }
-            // The thread table is exactly the live process set.
-            prop_assert_eq!(threads.len(), k.processes().count());
-            // APL has no duplicates (links intact).
-            let mut sorted = apl.clone();
-            sorted.sort();
-            sorted.dedup();
-            prop_assert_eq!(sorted.len(), apl.len());
-        }
-    }
-
-    #[test]
-    fn crash_dump_roundtrip_matches_live_views(unlink_mask in any::<u8>()) {
-        let mut k = Kernel::with_base_processes();
-        let mut pids = Vec::new();
-        for i in 0..4 {
-            pids.push(
-                k.spawn(&format!("x{i}.exe"), "C:\\x.exe".parse().unwrap(), None)
-                    .unwrap(),
-            );
-        }
-        for (i, &pid) in pids.iter().enumerate() {
-            if unlink_mask & (1 << i) != 0 {
-                k.dkom_unlink(pid).unwrap();
-            }
-        }
-        let dump = MemoryDump::parse(&k.crash_dump()).unwrap();
-        prop_assert_eq!(dump.processes_via_apl(), k.active_process_list());
-        prop_assert_eq!(dump.processes_via_threads(), k.processes_via_threads());
-    }
+            let dump = MemoryDump::parse(&k.crash_dump()).unwrap();
+            prop_assert_eq!(dump.processes_via_apl(), k.active_process_list());
+            prop_assert_eq!(dump.processes_via_threads(), k.processes_via_threads());
+            Ok(())
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
 // The cross-view diff itself
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn diff_partitions_the_truth(keys in proptest::collection::vec((name_strategy(), any::<bool>()), 0..30)) {
-        use strider_ghostbuster::{ScanMeta, Snapshot, ViewKind};
-        let mut truth: Snapshot<String> =
-            Snapshot::new(ScanMeta::new(ViewKind::LowLevelMft, Tick(1)));
-        let mut lie: Snapshot<String> =
-            Snapshot::new(ScanMeta::new(ViewKind::HighLevelWin32, Tick(1)));
-        // Last occurrence wins for duplicate keys, matching Snapshot::insert.
-        let resolved: std::collections::BTreeMap<String, bool> = keys.into_iter().collect();
-        let mut hidden_expected = std::collections::BTreeSet::new();
-        for (k, visible) in &resolved {
-            truth.insert(k.clone(), k.clone());
-            if *visible {
-                lie.insert(k.clone(), k.clone());
-            } else {
-                hidden_expected.insert(k.clone());
+#[test]
+fn diff_partitions_the_truth() {
+    check(
+        "diff_partitions_the_truth",
+        Config::with_cases(64),
+        |rng| gen::vec_of(rng, 0, 29, |r| (name(r), r.chance(1, 2))),
+        |keys| {
+            use strider_ghostbuster::{ScanMeta, Snapshot, ViewKind};
+            let mut truth: Snapshot<String> =
+                Snapshot::new(ScanMeta::new(ViewKind::LowLevelMft, Tick(1)));
+            let mut lie: Snapshot<String> =
+                Snapshot::new(ScanMeta::new(ViewKind::HighLevelWin32, Tick(1)));
+            // Last occurrence wins for duplicate keys, matching Snapshot::insert.
+            let resolved: std::collections::BTreeMap<String, bool> = keys.iter().cloned().collect();
+            let mut hidden_expected = std::collections::BTreeSet::new();
+            for (k, visible) in &resolved {
+                truth.insert(k.clone(), k.clone());
+                if *visible {
+                    lie.insert(k.clone(), k.clone());
+                } else {
+                    hidden_expected.insert(k.clone());
+                }
             }
-        }
-        let report = cross_view_diff(&truth, &lie, |key, fact: &String| Detection {
-            kind: ResourceKind::File,
-            identity: key.to_string(),
-            detail: fact.clone(),
-            category: None,
-            noise: NoiseClass::Suspicious,
-        });
-        let got: std::collections::BTreeSet<String> =
-            report.detections.iter().map(|d| d.identity.clone()).collect();
-        prop_assert_eq!(got, hidden_expected);
-        prop_assert!(report.phantom_in_lie.is_empty());
-    }
+            let report = cross_view_diff(&truth, &lie, |key, fact: &String| Detection {
+                kind: ResourceKind::File,
+                identity: key.to_string(),
+                detail: fact.clone(),
+                category: None,
+                noise: NoiseClass::Suspicious,
+            });
+            let got: std::collections::BTreeSet<String> = report
+                .detections
+                .iter()
+                .map(|d| d.identity.clone())
+                .collect();
+            prop_assert_eq!(got, hidden_expected);
+            prop_assert!(report.phantom_in_lie.is_empty());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn diff_of_identical_snapshots_is_empty(keys in proptest::collection::vec(name_strategy(), 0..30)) {
-        use strider_ghostbuster::{ScanMeta, Snapshot, ViewKind};
-        let mut a: Snapshot<String> = Snapshot::new(ScanMeta::new(ViewKind::LowLevelMft, Tick(1)));
-        let mut b: Snapshot<String> =
-            Snapshot::new(ScanMeta::new(ViewKind::HighLevelWin32, Tick(1)));
-        for k in &keys {
-            a.insert(k.clone(), k.clone());
-            b.insert(k.clone(), k.clone());
-        }
-        let report = cross_view_diff(&a, &b, |key, fact: &String| Detection {
-            kind: ResourceKind::File,
-            identity: key.to_string(),
-            detail: fact.clone(),
-            category: None,
-            noise: NoiseClass::Suspicious,
-        });
-        prop_assert!(!report.has_detections());
-        prop_assert!(report.phantom_in_lie.is_empty());
-    }
+#[test]
+fn diff_of_identical_snapshots_is_empty() {
+    check(
+        "diff_of_identical_snapshots_is_empty",
+        Config::with_cases(64),
+        |rng| gen::vec_of(rng, 0, 29, name),
+        |keys| {
+            use strider_ghostbuster::{ScanMeta, Snapshot, ViewKind};
+            let mut a: Snapshot<String> =
+                Snapshot::new(ScanMeta::new(ViewKind::LowLevelMft, Tick(1)));
+            let mut b: Snapshot<String> =
+                Snapshot::new(ScanMeta::new(ViewKind::HighLevelWin32, Tick(1)));
+            for k in keys {
+                a.insert(k.clone(), k.clone());
+                b.insert(k.clone(), k.clone());
+            }
+            let report = cross_view_diff(&a, &b, |key, fact: &String| Detection {
+                kind: ResourceKind::File,
+                identity: key.to_string(),
+                detail: fact.clone(),
+                category: None,
+                noise: NoiseClass::Suspicious,
+            });
+            prop_assert!(!report.has_detections());
+            prop_assert!(report.phantom_in_lie.is_empty());
+            Ok(())
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
 // End-to-end: arbitrary pattern hiding is always detected
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn any_substring_hider_is_detected_inside_the_box(pattern in "[a-z]{4,8}") {
-        use std::sync::Arc;
-        let mut m = Machine::with_base_system("prop").unwrap();
-        let path: NtPath = format!("C:\\windows\\{pattern}-payload.exe").parse().unwrap();
-        m.volume_mut().create_file(&path, b"MZ").unwrap();
-        let needle = pattern.clone();
-        m.install_ntdll_hook(
-            "prop-hider",
-            vec![QueryKind::Files],
-            HookScope::All,
-            Arc::new(move |_: &CallContext, _: &Query, rows: Vec<Row>| {
-                rows.into_iter()
-                    .filter(|r| !r.name().to_win32_lossy().contains(needle.as_str()))
-                    .collect()
-            }),
-        );
-        let report = GhostBuster::new().scan_files_inside(&mut m).unwrap();
-        // The payload is hidden from the API and must be detected — unless
-        // the pattern happens to hide base-system files too, in which case
-        // they are *also* detected (never fewer findings than hidden files).
-        prop_assert!(report
-            .net_detections()
-            .iter()
-            .any(|d| d.detail == path.to_string()));
-    }
+#[test]
+fn any_substring_hider_is_detected_inside_the_box() {
+    check(
+        "any_substring_hider_is_detected_inside_the_box",
+        Config::with_cases(16),
+        |rng| gen::lowercase(rng, 4, 8),
+        |pattern| {
+            use std::sync::Arc;
+            if pattern.is_empty() {
+                return Ok(()); // shrunk below the generator's invariant
+            }
+            let mut m = Machine::with_base_system("prop").unwrap();
+            let path: NtPath = format!("C:\\windows\\{pattern}-payload.exe")
+                .parse()
+                .unwrap();
+            m.volume_mut().create_file(&path, b"MZ").unwrap();
+            let needle = pattern.clone();
+            m.install_ntdll_hook(
+                "prop-hider",
+                vec![QueryKind::Files],
+                HookScope::All,
+                Arc::new(move |_: &CallContext, _: &Query, rows: Vec<Row>| {
+                    rows.into_iter()
+                        .filter(|r| !r.name().to_win32_lossy().contains(needle.as_str()))
+                        .collect()
+                }),
+            );
+            let report = GhostBuster::new().scan_files_inside(&mut m).unwrap();
+            // The payload is hidden from the API and must be detected — unless
+            // the pattern happens to hide base-system files too, in which case
+            // they are *also* detected (never fewer findings than hidden files).
+            prop_assert!(report
+                .net_detections()
+                .iter()
+                .any(|d| d.detail == path.to_string()));
+            Ok(())
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
 // Unix substrate
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn lkm_hiding_is_always_caught_by_the_clean_boot_diff(
-        pattern in "\\.[a-z]{2,6}",
-        files in proptest::collection::vec("[a-z]{1,8}", 1..6)
-    ) {
-        let mut m = UnixMachine::with_base_system("prop");
-        for f in &files {
-            m.fs_mut()
-                .create_file(&format!("/usr/lib/{pattern}/{f}"), b"ELF");
-        }
-        m.load_lkm("prop-kit", &[pattern.as_str()]);
-        let lie = m.ls_scan_all();
-        prop_assert!(!lie.iter().any(|p| p.contains(pattern.as_str())));
-        let gb = UnixGhostBuster::new();
-        let report = gb.outside_diff(&m, &lie);
-        for f in &files {
-            let path = format!("/usr/lib/{pattern}/{f}");
-            prop_assert!(
-                report.net_detections().iter().any(|d| d.path == path),
-                "missing {path}"
-            );
-        }
-    }
-
-    #[test]
-    fn unix_remove_never_leaves_orphans(ops in proptest::collection::vec(("[a-z]{1,5}", any::<bool>()), 0..20)) {
-        let mut m = UnixMachine::with_base_system("prop");
-        for (name, deep) in &ops {
-            if *deep {
-                m.fs_mut().create_file(&format!("/tmp/{name}/inner/{name}"), b"x");
-            } else {
-                m.fs_mut().create_file(&format!("/tmp/{name}"), b"x");
+#[test]
+fn lkm_hiding_is_always_caught_by_the_clean_boot_diff() {
+    check(
+        "lkm_hiding_is_always_caught_by_the_clean_boot_diff",
+        Config::with_cases(32),
+        |rng| {
+            (
+                gen::lowercase(rng, 2, 6),
+                gen::vec_of(rng, 1, 5, |r| gen::lowercase(r, 1, 8)),
+            )
+        },
+        |(suffix, files)| {
+            if suffix.is_empty() || files.is_empty() || files.iter().any(String::is_empty) {
+                return Ok(()); // shrunk below the generator's invariant
             }
-        }
-        for (name, _) in &ops {
-            let _ = m.fs_mut().remove(&format!("/tmp/{name}"));
-        }
-        // No file under a removed directory survives.
-        for p in m.offline_scan() {
-            if let Some(rest) = p.strip_prefix("/tmp/") {
-                let orphaned = ops
-                    .iter()
-                    .any(|(n, _)| rest.starts_with(&format!("{n}/")) || rest == n.as_str());
-                prop_assert!(!orphaned, "orphan survived: {}", p);
+            let pattern = format!(".{suffix}");
+            let mut m = UnixMachine::with_base_system("prop");
+            for f in files {
+                m.fs_mut()
+                    .create_file(&format!("/usr/lib/{pattern}/{f}"), b"ELF");
             }
-        }
-    }
+            m.load_lkm("prop-kit", &[pattern.as_str()]);
+            let lie = m.ls_scan_all();
+            prop_assert!(!lie.iter().any(|p| p.contains(pattern.as_str())));
+            let gb = UnixGhostBuster::new();
+            let report = gb.outside_diff(&m, &lie);
+            for f in files {
+                let path = format!("/usr/lib/{pattern}/{f}");
+                prop_assert!(
+                    report.net_detections().iter().any(|d| d.path == path),
+                    "missing {path}"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn unix_remove_never_leaves_orphans() {
+    check(
+        "unix_remove_never_leaves_orphans",
+        Config::with_cases(32),
+        |rng| gen::vec_of(rng, 0, 19, |r| (gen::lowercase(r, 1, 5), r.chance(1, 2))),
+        |ops| {
+            if ops.iter().any(|(n, _)| n.is_empty()) {
+                return Ok(()); // shrunk below the generator's invariant
+            }
+            let mut m = UnixMachine::with_base_system("prop");
+            for (name, deep) in ops {
+                if *deep {
+                    m.fs_mut()
+                        .create_file(&format!("/tmp/{name}/inner/{name}"), b"x");
+                } else {
+                    m.fs_mut().create_file(&format!("/tmp/{name}"), b"x");
+                }
+            }
+            for (name, _) in ops {
+                let _ = m.fs_mut().remove(&format!("/tmp/{name}"));
+            }
+            // No file under a removed directory survives.
+            for p in m.offline_scan() {
+                if let Some(rest) = p.strip_prefix("/tmp/") {
+                    let orphaned = ops
+                        .iter()
+                        .any(|(n, _)| rest.starts_with(&format!("{n}/")) || rest == n.as_str());
+                    prop_assert!(!orphaned, "orphan survived: {}", p);
+                }
+            }
+            Ok(())
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
 // Hive: NUL-embedded *key* names
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn nul_key_names_roundtrip_and_render_distinctly(a in "[a-z]{1,6}", b in "[a-z]{1,6}") {
-        let mut units: Vec<u16> = a.encode_utf16().collect();
-        units.push(0);
-        units.extend(b.encode_utf16());
-        let sneaky = NtString::from_units(&units);
-        let mut root = Key::new("SOFTWARE");
-        root.subkey_or_create(&sneaky, Tick(1));
-        let hive = Hive::from_root(
-            "HKLM\\SOFTWARE".parse().unwrap(),
-            "C:\\sw".parse().unwrap(),
-            root,
-        );
-        let raw = RawHive::parse(&hive.to_bytes()).unwrap();
-        let recovered = &raw.root().subkeys[0].name;
-        prop_assert_eq!(recovered, &sneaky);
-        prop_assert!(recovered.to_display_string().contains("\\0"));
-        prop_assert_eq!(recovered.to_win32_lossy(), a.clone());
-    }
+#[test]
+fn nul_key_names_roundtrip_and_render_distinctly() {
+    check(
+        "nul_key_names_roundtrip_and_render_distinctly",
+        Config::with_cases(32),
+        |rng| (gen::lowercase(rng, 1, 6), gen::lowercase(rng, 1, 6)),
+        |(a, b)| {
+            if a.is_empty() || b.is_empty() {
+                return Ok(()); // shrunk below the generator's invariant
+            }
+            let mut units: Vec<u16> = a.encode_utf16().collect();
+            units.push(0);
+            units.extend(b.encode_utf16());
+            let sneaky = NtString::from_units(&units);
+            let mut root = Key::new("SOFTWARE");
+            root.subkey_or_create(&sneaky, Tick(1));
+            let hive = Hive::from_root(
+                "HKLM\\SOFTWARE".parse().unwrap(),
+                "C:\\sw".parse().unwrap(),
+                root,
+            );
+            let raw = RawHive::parse(&hive.to_bytes()).unwrap();
+            let recovered = &raw.root().subkeys[0].name;
+            prop_assert_eq!(recovered, &sneaky);
+            prop_assert!(recovered.to_display_string().contains("\\0"));
+            prop_assert_eq!(recovered.to_win32_lossy(), a.clone());
+            Ok(())
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
 // SSDT restoration always disables SSDT-level hiding
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn ssdt_restore_always_reveals(pattern in "[a-z]{4,8}") {
-        use std::sync::Arc;
-        use strider_kernel::SyscallId;
-        let mut m = Machine::with_base_system("prop").unwrap();
-        let path: NtPath = format!("C:\\temp\\{pattern}.sys").parse().unwrap();
-        m.volume_mut().create_file(&path, b"MZ").unwrap();
-        let needle = pattern.clone();
-        m.install_ssdt_hook(
-            "prop-ssdt",
-            SyscallId::NtQueryDirectoryFile,
-            vec![QueryKind::Files],
-            Arc::new(move |_: &CallContext, _: &Query, rows: Vec<Row>| {
-                rows.into_iter()
-                    .filter(|r| !r.name().to_win32_lossy().contains(needle.as_str()))
-                    .collect()
-            }),
-        );
-        let ctx = m.context_for_name("explorer.exe").unwrap();
-        let q = Query::DirectoryEnum { path: "C:\\temp".parse().unwrap() };
-        let hidden = m.query(&ctx, &q, ChainEntry::Win32).unwrap();
-        prop_assert!(hidden.is_empty());
-        // The documented countermeasure: direct dispatch-table restoration.
-        m.kernel_mut().ssdt_mut().restore(SyscallId::NtQueryDirectoryFile);
-        let revealed = m.query(&ctx, &q, ChainEntry::Win32).unwrap();
-        prop_assert_eq!(revealed.len(), 1);
-    }
+#[test]
+fn ssdt_restore_always_reveals() {
+    check(
+        "ssdt_restore_always_reveals",
+        Config::with_cases(16),
+        |rng| gen::lowercase(rng, 4, 8),
+        |pattern| {
+            use std::sync::Arc;
+            use strider_kernel::SyscallId;
+            if pattern.is_empty() {
+                return Ok(()); // shrunk below the generator's invariant
+            }
+            let mut m = Machine::with_base_system("prop").unwrap();
+            let path: NtPath = format!("C:\\temp\\{pattern}.sys").parse().unwrap();
+            m.volume_mut().create_file(&path, b"MZ").unwrap();
+            let needle = pattern.clone();
+            m.install_ssdt_hook(
+                "prop-ssdt",
+                SyscallId::NtQueryDirectoryFile,
+                vec![QueryKind::Files],
+                Arc::new(move |_: &CallContext, _: &Query, rows: Vec<Row>| {
+                    rows.into_iter()
+                        .filter(|r| !r.name().to_win32_lossy().contains(needle.as_str()))
+                        .collect()
+                }),
+            );
+            let ctx = m.context_for_name("explorer.exe").unwrap();
+            let q = Query::DirectoryEnum {
+                path: "C:\\temp".parse().unwrap(),
+            };
+            let hidden = m.query(&ctx, &q, ChainEntry::Win32).unwrap();
+            prop_assert!(hidden.is_empty());
+            // The documented countermeasure: direct dispatch-table restoration.
+            m.kernel_mut()
+                .ssdt_mut()
+                .restore(SyscallId::NtQueryDirectoryFile);
+            let revealed = m.query(&ctx, &q, ChainEntry::Win32).unwrap();
+            prop_assert_eq!(revealed.len(), 1);
+            Ok(())
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
 // Cost model: structure of the timing results
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn cost_model_is_monotone_in_disk_scale(extra_gb in 1.0f64..60.0) {
-        let mut profiles = paper_profiles();
-        let base = profiles.remove(0);
-        let mut bigger = base.clone();
-        bigger.disk_used_gb += extra_gb;
-        let t_base = CostModel::new(base).file_scan_seconds();
-        let t_big = CostModel::new(bigger).file_scan_seconds();
-        prop_assert!(t_big > t_base);
-    }
+#[test]
+fn cost_model_is_monotone_in_disk_scale() {
+    check(
+        "cost_model_is_monotone_in_disk_scale",
+        Config::default(),
+        |rng| 1.0 + rng.next_f64() * 59.0,
+        |&extra_gb| {
+            if !(1.0..=60.0).contains(&extra_gb) {
+                return Ok(()); // shrunk below the generator's invariant
+            }
+            let mut profiles = paper_profiles();
+            let base = profiles.remove(0);
+            let mut bigger = base.clone();
+            bigger.disk_used_gb += extra_gb;
+            let t_base = CostModel::new(base).file_scan_seconds();
+            let t_big = CostModel::new(bigger).file_scan_seconds();
+            prop_assert!(t_big > t_base);
+            Ok(())
+        },
+    );
 }

@@ -1,7 +1,7 @@
 //! Edge-case and failure-injection tests across the substrate crates.
 
 use strider_ghostbuster_repro::prelude::*;
-use strider_nt_core::{NtPath, NtString, NtStatus, Tick, MAX_PATH};
+use strider_nt_core::{NtPath, NtStatus, NtString, Tick, MAX_PATH};
 
 // ---------------------------------------------------------------------
 // NTFS
@@ -54,7 +54,8 @@ fn deep_tree_paths_reconstruct() {
 #[test]
 fn many_alternate_data_streams_roundtrip() {
     let mut vol = NtfsVolume::new("C:");
-    vol.create_file(&"C:\\host".parse().unwrap(), b"main").unwrap();
+    vol.create_file(&"C:\\host".parse().unwrap(), b"main")
+        .unwrap();
     for i in 0..20 {
         vol.add_stream(&"C:\\host".parse().unwrap(), format!("s{i}"), &[i as u8])
             .unwrap();
@@ -70,9 +71,7 @@ fn volume_rejects_writing_through_a_file_as_directory() {
     let mut vol = NtfsVolume::new("C:");
     vol.create_file(&"C:\\f".parse().unwrap(), b"x").unwrap();
     assert!(vol.mkdir_p(&"C:\\f\\sub".parse().unwrap()).is_err());
-    assert!(vol
-        .create_file(&"C:\\f\\g".parse().unwrap(), b"y")
-        .is_err());
+    assert!(vol.create_file(&"C:\\f\\g".parse().unwrap(), b"y").is_err());
 }
 
 // ---------------------------------------------------------------------
@@ -124,9 +123,14 @@ fn registry_value_types_render_consistently_across_views() {
     m.registry_mut().create_key(&key).unwrap();
     let reg = m.registry_mut();
     reg.set_value(&key, "sz", ValueData::sz("text")).unwrap();
-    reg.set_value(&key, "expand", ValueData::ExpandSz(NtString::from("%windir%\\x")))
+    reg.set_value(
+        &key,
+        "expand",
+        ValueData::ExpandSz(NtString::from("%windir%\\x")),
+    )
+    .unwrap();
+    reg.set_value(&key, "dword", ValueData::Dword(0xabcd))
         .unwrap();
-    reg.set_value(&key, "dword", ValueData::Dword(0xabcd)).unwrap();
     reg.set_value(&key, "bin", ValueData::Binary(vec![1, 2, 3, 4, 5]))
         .unwrap();
     reg.set_value(
@@ -140,7 +144,11 @@ fn registry_value_types_render_consistently_across_views() {
     let ctx = m.ensure_process("ghostbuster.exe", "C:\\gb.exe").unwrap();
     let report = gb.registry_scanner().scan_full_inside(&m, &ctx).unwrap();
     assert!(!report.has_detections(), "{report}");
-    assert!(report.phantom_in_lie.is_empty(), "{:?}", report.phantom_in_lie);
+    assert!(
+        report.phantom_in_lie.is_empty(),
+        "{:?}",
+        report.phantom_in_lie
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -250,8 +258,18 @@ fn stacked_hooks_compose_subtractively() {
                 .collect::<Vec<_>>()
         })
     };
-    m.install_iat_hook("kit-a", vec![QueryKind::Files], HookScope::All, hide("alpha"));
-    m.install_ntdll_hook("kit-b", vec![QueryKind::Files], HookScope::All, hide("beta"));
+    m.install_iat_hook(
+        "kit-a",
+        vec![QueryKind::Files],
+        HookScope::All,
+        hide("alpha"),
+    );
+    m.install_ntdll_hook(
+        "kit-b",
+        vec![QueryKind::Files],
+        HookScope::All,
+        hide("beta"),
+    );
     let ctx = m.context_for_name("explorer.exe").unwrap();
     let q = Query::DirectoryEnum {
         path: "C:\\temp".parse().unwrap(),
