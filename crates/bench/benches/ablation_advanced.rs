@@ -7,6 +7,7 @@ use strider_bench::victim_machine_sized;
 use strider_ghostbuster::{AdvancedSource, ProcessScanner};
 use strider_kernel::MemoryDump;
 use strider_support::bench::Criterion;
+use strider_support::obs::Telemetry;
 use strider_support::{criterion_group, criterion_main};
 use strider_workload::WorkloadSpec;
 
@@ -31,6 +32,16 @@ fn bench_ablation(c: &mut Criterion) {
     group.bench_function("truth/outside_dump_advanced", |b| {
         b.iter(|| scanner.outside_scan(&dump, true));
     });
+
+    // One instrumented pass over every truth source: per-phase durations
+    // for the report JSON.
+    let telemetry = Telemetry::new();
+    let instrumented = ProcessScanner::new().with_telemetry(telemetry.clone());
+    instrumented.low_scan_apl(&machine);
+    instrumented.low_scan_advanced(&machine, AdvancedSource::ThreadTable);
+    instrumented.low_scan_advanced(&machine, AdvancedSource::HandleTable);
+    instrumented.outside_scan(&dump, true);
+    group.record_phases("truth", &telemetry.report());
 
     group.finish();
 }

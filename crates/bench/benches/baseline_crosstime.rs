@@ -7,6 +7,7 @@ use strider_bench::victim_machine;
 use strider_ghostbuster::{CrossTimeDiff, GhostBuster, HookScanner};
 use strider_ghostware::{Ghostware, HackerDefender};
 use strider_support::bench::{BatchSize, Criterion};
+use strider_support::obs::Telemetry;
 use strider_support::{criterion_group, criterion_main};
 
 fn bench_baselines(c: &mut Criterion) {
@@ -50,6 +51,37 @@ fn bench_baselines(c: &mut Criterion) {
         HackerDefender::default().infect(&mut m).expect("infects");
         b.iter(|| HookScanner::new().scan(&m));
     });
+
+    // One instrumented pass per contender: per-phase durations for the
+    // report JSON.
+    {
+        let telemetry = Telemetry::new();
+        let mut m = victim_machine(3001).expect("machine builds");
+        let ct = CrossTimeDiff::new().with_telemetry(telemetry.clone());
+        let baseline = ct.checkpoint(&m);
+        m.tick(600);
+        ct.diff(&m, &baseline);
+        group.record_phases("cross_time", &telemetry.report());
+    }
+    {
+        let telemetry = Telemetry::new();
+        let mut m = victim_machine(3002).expect("machine builds");
+        HackerDefender::default().infect(&mut m).expect("infects");
+        GhostBuster::new()
+            .with_telemetry(telemetry.clone())
+            .inside_sweep(&mut m)
+            .expect("sweeps");
+        group.record_phases("cross_view", &telemetry.report());
+    }
+    {
+        let telemetry = Telemetry::new();
+        let mut m = victim_machine(3003).expect("machine builds");
+        HackerDefender::default().infect(&mut m).expect("infects");
+        HookScanner::new()
+            .with_telemetry(telemetry.clone())
+            .scan(&m);
+        group.record_phases("hook_scan", &telemetry.report());
+    }
 
     group.finish();
 }

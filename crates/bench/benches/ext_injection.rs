@@ -8,6 +8,7 @@ use strider_ghostbuster::{injected_sweep, SignatureScanner};
 use strider_ghostware::prelude::UtilityTargetedHider;
 use strider_ghostware::{Ghostware, HackerDefender};
 use strider_support::bench::{BatchSize, Criterion};
+use strider_support::obs::Telemetry;
 use strider_support::{criterion_group, criterion_main};
 
 fn bench_extensions(c: &mut Criterion) {
@@ -54,6 +55,35 @@ fn bench_extensions(c: &mut Criterion) {
             BatchSize::LargeInput,
         );
     });
+
+    // One instrumented pass, spans opened by the harness because these
+    // extensions run many scanners internally: per-phase durations for the
+    // report JSON.
+    let telemetry = Telemetry::new();
+    {
+        let mut m = victim_machine(4000).expect("machine builds");
+        UtilityTargetedHider::default()
+            .infect(&mut m)
+            .expect("infects");
+        m.spawn_process("taskmgr.exe", "C:\\windows\\system32\\taskmgr.exe")
+            .expect("spawns");
+        let span = telemetry.span("ext.injected_sweep");
+        injected_sweep(&m).expect("sweeps");
+        drop(span);
+    }
+    {
+        let mut m = victim_machine(4001).expect("machine builds");
+        HackerDefender::default().infect(&mut m).expect("infects");
+        let ctx = m
+            .ensure_process("InocIT.exe", "C:\\Program Files\\eTrust\\InocIT.exe")
+            .expect("context");
+        let span = telemetry.span("ext.signature_scan");
+        SignatureScanner::with_default_database()
+            .scan(&m, &ctx)
+            .expect("scan");
+        drop(span);
+    }
+    group.record_phases("extensions", &telemetry.report());
 
     group.finish();
 }

@@ -6,6 +6,7 @@ use strider_bench::victim_machine;
 use strider_ghostbuster::GhostBuster;
 use strider_ghostware::file_hiding_corpus;
 use strider_support::bench::{BatchSize, Criterion};
+use strider_support::obs::Telemetry;
 use strider_support::{criterion_group, criterion_main};
 
 fn bench_fig3(c: &mut Criterion) {
@@ -32,6 +33,16 @@ fn bench_fig3(c: &mut Criterion) {
                 BatchSize::LargeInput,
             );
         });
+
+        // One instrumented pass: per-phase durations for the report JSON.
+        let mut m = victim_machine(1000 + i as u64).expect("machine builds");
+        sample.infect(&mut m).expect("infection succeeds");
+        let telemetry = Telemetry::new();
+        GhostBuster::new()
+            .with_telemetry(telemetry.clone())
+            .scan_files_inside(&mut m)
+            .expect("scan succeeds");
+        group.record_phases(name.as_str(), &telemetry.report());
     }
     group.finish();
 }

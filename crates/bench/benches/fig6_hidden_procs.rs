@@ -6,6 +6,7 @@ use strider_bench::victim_machine;
 use strider_ghostbuster::{AdvancedSource, GhostBuster};
 use strider_ghostware::process_hiding_corpus;
 use strider_support::bench::{BatchSize, Criterion};
+use strider_support::obs::Telemetry;
 use strider_support::{criterion_group, criterion_main};
 
 fn bench_fig6(c: &mut Criterion) {
@@ -40,6 +41,21 @@ fn bench_fig6(c: &mut Criterion) {
                     BatchSize::LargeInput,
                 );
             });
+
+            // One instrumented pass: per-phase durations for the report
+            // JSON.
+            let mut m = victim_machine(1200 + i as u64).expect("machine builds");
+            sample.infect(&mut m).expect("infection succeeds");
+            let telemetry = Telemetry::new();
+            let gb = if advanced {
+                GhostBuster::new().with_advanced(AdvancedSource::ThreadTable)
+            } else {
+                GhostBuster::new()
+            }
+            .with_telemetry(telemetry.clone());
+            gb.scan_processes_inside(&mut m).expect("scan succeeds");
+            gb.scan_modules_inside(&mut m).expect("scan succeeds");
+            group.record_phases(label.as_str(), &telemetry.report());
         }
     }
     group.finish();

@@ -5,6 +5,7 @@ use std::time::Duration;
 use strider_bench::victim_machine;
 use strider_ghostbuster::GhostBuster;
 use strider_support::bench::{BatchSize, Criterion};
+use strider_support::obs::Telemetry;
 use strider_support::{criterion_group, criterion_main};
 
 fn bench_fp_flows(c: &mut Criterion) {
@@ -46,6 +47,29 @@ fn bench_fp_flows(c: &mut Criterion) {
             BatchSize::LargeInput,
         );
     });
+
+    // One instrumented pass per flow: per-phase durations for the report
+    // JSON.
+    {
+        let telemetry = Telemetry::new();
+        let mut m = victim_machine(2000).expect("machine builds");
+        m.tick(311);
+        GhostBuster::new()
+            .with_telemetry(telemetry.clone())
+            .winpe_outside_sweep(&mut m, 150)
+            .expect("flow succeeds");
+        group.record_phases("winpe_flow_reboot150", &telemetry.report());
+    }
+    {
+        let telemetry = Telemetry::new();
+        let mut m = victim_machine(2001).expect("machine builds");
+        m.tick(311);
+        GhostBuster::new()
+            .with_telemetry(telemetry.clone())
+            .vm_outside_files(&mut m)
+            .expect("flow");
+        group.record_phases("vm_flow_zero_gap", &telemetry.report());
+    }
 
     group.finish();
 }

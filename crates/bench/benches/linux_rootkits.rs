@@ -5,6 +5,7 @@ use std::time::Duration;
 use strider_ghostbuster::UnixGhostBuster;
 use strider_ghostware::unix::unix_corpus;
 use strider_support::bench::{BatchSize, Criterion};
+use strider_support::obs::Telemetry;
 use strider_support::{criterion_group, criterion_main};
 use strider_unixfs::UnixMachine;
 use strider_workload::populate_unix;
@@ -44,6 +45,26 @@ fn bench_linux(c: &mut Criterion) {
                 BatchSize::LargeInput,
             );
         });
+
+        // One instrumented pass, spans opened by the harness (the Unix port
+        // carries no telemetry of its own): per-phase durations for the
+        // report JSON.
+        let telemetry = Telemetry::new();
+        let mut m = UnixMachine::with_base_system("ux");
+        populate_unix(&mut m, 7, 400);
+        rk.infect(&mut m);
+        {
+            let span = telemetry.span("unix.outside_diff");
+            let lie = m.ls_scan_all();
+            UnixGhostBuster::new().outside_diff(&m, &lie);
+            drop(span);
+        }
+        {
+            let span = telemetry.span("unix.inside_diff");
+            UnixGhostBuster::new().inside_diff(&m);
+            drop(span);
+        }
+        group.record_phases(name.as_str(), &telemetry.report());
     }
     group.finish();
 }

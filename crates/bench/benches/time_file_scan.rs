@@ -7,6 +7,7 @@ use std::time::Duration;
 use strider_bench::victim_machine_sized;
 use strider_ghostbuster::{FileScanner, GhostBuster};
 use strider_support::bench::{BatchSize, Criterion, Throughput};
+use strider_support::obs::Telemetry;
 use strider_support::{criterion_group, criterion_main};
 use strider_winapi::ChainEntry;
 use strider_workload::WorkloadSpec;
@@ -52,6 +53,14 @@ fn bench_file_scans(c: &mut Criterion) {
                 BatchSize::SmallInput,
             );
         });
+
+        // One instrumented pass: per-phase durations for the report JSON.
+        let telemetry = Telemetry::new();
+        FileScanner::new()
+            .with_telemetry(telemetry.clone())
+            .scan_inside(&machine, &ctx)
+            .unwrap();
+        group.record_phases(label, &telemetry.report());
     }
     group.finish();
 }

@@ -7,6 +7,7 @@ use strider_bench::victim_machine_sized;
 use strider_ghostbuster::{AdvancedSource, GhostBuster, ProcessScanner};
 use strider_kernel::MemoryDump;
 use strider_support::bench::{Criterion, Throughput};
+use strider_support::obs::Telemetry;
 use strider_support::{criterion_group, criterion_main};
 use strider_winapi::ChainEntry;
 use strider_workload::WorkloadSpec;
@@ -50,6 +51,15 @@ fn bench_process_scans(c: &mut Criterion) {
         group.bench_function(format!("{label}/crash_dump_parse"), |b| {
             b.iter(|| MemoryDump::parse(&dump_bytes).unwrap());
         });
+
+        // One instrumented pass: per-phase durations for the report JSON.
+        let telemetry = Telemetry::new();
+        let instrumented = ProcessScanner::new().with_telemetry(telemetry.clone());
+        instrumented
+            .scan_inside(&machine, &ctx, Some(AdvancedSource::ThreadTable))
+            .unwrap();
+        instrumented.scan_modules_inside(&machine, &ctx).unwrap();
+        group.record_phases(label, &telemetry.report());
     }
     group.finish();
 }

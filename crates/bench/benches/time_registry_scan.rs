@@ -5,6 +5,7 @@ use std::time::Duration;
 use strider_bench::victim_machine_sized;
 use strider_ghostbuster::{GhostBuster, RegistryScanner};
 use strider_support::bench::{Criterion, Throughput};
+use strider_support::obs::Telemetry;
 use strider_support::{criterion_group, criterion_main};
 use strider_winapi::ChainEntry;
 use strider_workload::WorkloadSpec;
@@ -36,6 +37,14 @@ fn bench_registry_scans(c: &mut Criterion) {
         group.bench_function(format!("{label}/diff"), |b| {
             b.iter(|| scanner.diff(&truth, &lie));
         });
+
+        // One instrumented pass: per-phase durations for the report JSON.
+        let telemetry = Telemetry::new();
+        RegistryScanner::new()
+            .with_telemetry(telemetry.clone())
+            .scan_inside(&machine, &ctx)
+            .unwrap();
+        group.record_phases(label, &telemetry.report());
     }
     group.finish();
 }

@@ -7,6 +7,7 @@
 //! This baseline exists so the benchmark suite can quantify that trade-off.
 
 use std::collections::BTreeMap;
+use strider_support::obs::{MaybeSpan, Telemetry};
 use strider_winapi::Machine;
 
 /// A point-in-time checkpoint of the volume's file metadata.
@@ -41,16 +42,25 @@ impl ChangeSet {
 /// baseline database and raw access), so hiding does not defeat it — volume
 /// of legitimate change does.
 #[derive(Debug, Clone, Default)]
-pub struct CrossTimeDiff;
+pub struct CrossTimeDiff {
+    telemetry: Option<Telemetry>,
+}
 
 impl CrossTimeDiff {
     /// Creates the differ.
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// Threads a telemetry registry through checkpoint and diff.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// Takes a checkpoint of every file on the volume.
     pub fn checkpoint(&self, machine: &Machine) -> Checkpoint {
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "crosstime.checkpoint");
         let mut files = BTreeMap::new();
         for rec in machine.volume().iter() {
             if let Some(path) = machine.volume().path_of(rec.number) {
@@ -60,6 +70,7 @@ impl CrossTimeDiff {
                 );
             }
         }
+        span.set_attr("entries", files.len());
         Checkpoint {
             files,
             taken_at: machine.now().0,
@@ -68,6 +79,7 @@ impl CrossTimeDiff {
 
     /// Diffs the machine's current state against a checkpoint.
     pub fn diff(&self, machine: &Machine, baseline: &Checkpoint) -> ChangeSet {
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "crosstime.diff");
         let now = self.checkpoint(machine);
         let mut set = ChangeSet::default();
         for (key, meta) in &now.files {
@@ -82,6 +94,9 @@ impl CrossTimeDiff {
                 set.removed.push(key.clone());
             }
         }
+        span.set_attr("added", set.added.len());
+        span.set_attr("removed", set.removed.len());
+        span.set_attr("modified", set.modified.len());
         set
     }
 

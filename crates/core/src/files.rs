@@ -1,11 +1,13 @@
 //! Hidden-file detection (paper, Section 2).
 
 use crate::diff::cross_view_diff;
+use crate::instrument::{record_chain, record_view_entries};
 use crate::report::{Detection, DiffReport, FileCategory, NoiseClass, NoiseFilter, ResourceKind};
 use crate::snapshot::{FileFact, ScanMeta, Snapshot, ViewKind};
 use strider_nt_core::{NtPath, NtStatus, Tick};
 use strider_ntfs::VolumeImage;
-use strider_winapi::{CallContext, ChainEntry, DiskImage, Machine, Query, Row};
+use strider_support::obs::{MaybeSpan, Telemetry};
+use strider_winapi::{CallContext, ChainEntry, ChainStats, DiskImage, Machine, Query, Row};
 
 /// The hidden-file scanner: high-level API walks, low-level MFT parses,
 /// and outside-the-box disk-image scans.
@@ -13,6 +15,7 @@ use strider_winapi::{CallContext, ChainEntry, DiskImage, Machine, Query, Row};
 pub struct FileScanner {
     noise: NoiseFilter,
     detect_ads: bool,
+    telemetry: Option<Telemetry>,
 }
 
 impl FileScanner {
@@ -24,6 +27,15 @@ impl FileScanner {
     /// Replaces the noise filter.
     pub fn with_noise_filter(mut self, noise: NoiseFilter) -> Self {
         self.noise = noise;
+        self
+    }
+
+    /// Threads a telemetry registry through every scan: phases become
+    /// spans, per-view entry counts become counters, and each high-level
+    /// query chain traversal is traced so a hooked call's divergence level
+    /// is visible as a span attribute.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -53,16 +65,31 @@ impl FileScanner {
             ChainEntry::Win32 => ViewKind::HighLevelWin32,
             ChainEntry::Native => ViewKind::HighLevelNative,
         };
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "files.high_scan");
+        let mut chain = ChainStats::default();
         let mut snap = Snapshot::new(ScanMeta::new(view, machine.now()));
         let mut stack = vec![NtPath::root_of(machine.volume().label())];
         while let Some(dir) = stack.pop() {
             snap.meta.io.record_api_call();
             snap.meta.io.record_seek();
-            let rows = match machine.query(ctx, &Query::DirectoryEnum { path: dir }, entry) {
-                Ok(rows) => rows,
-                // A directory deleted mid-walk is normal churn, not an error.
-                Err(NtStatus::ObjectNameNotFound) => continue,
-                Err(e) => return Err(e),
+            let query = Query::DirectoryEnum { path: dir };
+            let rows = if span.is_recording() {
+                match machine.query_traced(ctx, &query, entry) {
+                    Ok((rows, trace)) => {
+                        chain.absorb(&trace);
+                        rows
+                    }
+                    // A directory deleted mid-walk is normal churn.
+                    Err(NtStatus::ObjectNameNotFound) => continue,
+                    Err(e) => return Err(e),
+                }
+            } else {
+                match machine.query(ctx, &query, entry) {
+                    Ok(rows) => rows,
+                    // A directory deleted mid-walk is normal churn, not an error.
+                    Err(NtStatus::ObjectNameNotFound) => continue,
+                    Err(e) => return Err(e),
+                }
             };
             snap.meta.io.record_entries(rows.len() as u64);
             for row in rows {
@@ -82,6 +109,9 @@ impl FileScanner {
                 }
             }
         }
+        record_view_entries(self.telemetry.as_ref(), &span, "files", view, snap.len());
+        span.set_attr("api_calls", snap.meta.io.api_calls);
+        record_chain(&span, &chain);
         Ok(snap)
     }
 
@@ -112,6 +142,11 @@ impl FileScanner {
         view: ViewKind,
         taken_at: Tick,
     ) -> Result<Snapshot<FileFact>, NtStatus> {
+        let span_name = match view {
+            ViewKind::OutsideDisk => "files.outside_scan",
+            _ => "files.low_scan",
+        };
+        let span = MaybeSpan::start(self.telemetry.as_ref(), span_name);
         let raw =
             VolumeImage::parse(bytes).map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
         let mut snap = Snapshot::new(ScanMeta::new(view, taken_at));
@@ -146,32 +181,44 @@ impl FileScanner {
                 },
             );
         }
+        record_view_entries(self.telemetry.as_ref(), &span, "files", view, snap.len());
+        span.set_attr("bytes_read", snap.meta.io.bytes_read);
         Ok(snap)
     }
 
     /// Diffs a truth-side snapshot against the high-level lie, classifying
     /// each finding (Figure 3 categories and noise classes).
     pub fn diff(&self, truth: &Snapshot<FileFact>, lie: &Snapshot<FileFact>) -> DiffReport {
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "files.diff");
         let lie_taken = lie.meta.taken_at;
-        cross_view_diff(truth, lie, |key, fact| {
-            let mut noise = self.noise.classify_path(&fact.path);
-            if noise == NoiseClass::Suspicious {
-                // Anything created after the lie-side scan cannot have been
-                // hidden from it — it is scan-gap churn.
-                if let Some(created) = fact.created {
-                    if created > lie_taken {
-                        noise = NoiseClass::LikelyServiceChurn;
-                    }
-                }
-            }
-            Detection {
+        let mut report = {
+            let _cross = MaybeSpan::start(self.telemetry.as_ref(), "files.cross_view_diff");
+            cross_view_diff(truth, lie, |key, fact| Detection {
                 kind: ResourceKind::File,
                 identity: key.to_string(),
                 detail: fact.path.clone(),
                 category: (!fact.is_dir).then(|| FileCategory::from_path(&fact.path)),
-                noise,
+                noise: NoiseClass::Suspicious,
+            })
+        };
+        {
+            let _noise = MaybeSpan::start(self.telemetry.as_ref(), "files.noise_classification");
+            for detection in &mut report.detections {
+                let mut noise = self.noise.classify_path(&detection.detail);
+                if noise == NoiseClass::Suspicious {
+                    // Anything created after the lie-side scan cannot have
+                    // been hidden from it — it is scan-gap churn.
+                    let created = truth.get(&detection.identity).and_then(|f| f.created);
+                    if created.is_some_and(|c| c > lie_taken) {
+                        noise = NoiseClass::LikelyServiceChurn;
+                    }
+                }
+                detection.noise = noise;
             }
-        })
+        }
+        span.set_attr("hidden", report.net_detections().len());
+        span.set_attr("noise", report.noise_detections().len());
+        report
     }
 
     /// One-call inside-the-box hidden-file detection.
@@ -184,6 +231,7 @@ impl FileScanner {
         machine: &Machine,
         ctx: &CallContext,
     ) -> Result<DiffReport, NtStatus> {
+        let _span = MaybeSpan::start(self.telemetry.as_ref(), "files.scan_inside");
         let lie = self.high_scan(machine, ctx, ChainEntry::Win32)?;
         let truth = self.low_scan(machine)?;
         Ok(self.diff(&truth, &lie))
@@ -337,6 +385,36 @@ mod tests {
             .scan_inside(&m, &ctx)
             .unwrap();
         assert!(!report.has_detections(), "{report}");
+    }
+
+    #[test]
+    fn telemetry_records_phases_and_divergence_level() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        HackerDefender::default().infect(&mut m).unwrap();
+        let ctx = gb_ctx(&mut m);
+        let telemetry = strider_support::obs::Telemetry::new();
+        let report = FileScanner::new()
+            .with_telemetry(telemetry.clone())
+            .scan_inside(&m, &ctx)
+            .unwrap();
+        assert!(report.has_detections());
+        let tel = telemetry.report();
+        let scan = tel.find_span("files.scan_inside").expect("root span");
+        let high = scan.child("files.high_scan").expect("high phase");
+        assert_eq!(
+            high.attr("diverted_at").map(ToString::to_string),
+            Some("NtdllCode".to_string()),
+            "the hxdef detour level is attributed"
+        );
+        assert!(scan.child("files.low_scan").is_some());
+        let diff = scan.child("files.diff").expect("diff phase");
+        assert!(diff.child("files.noise_classification").is_some());
+        assert!(tel.counters["files.entries.LowLevelMft"] > 0);
+        assert!(
+            tel.counters["files.entries.LowLevelMft"]
+                > tel.counters["files.entries.HighLevelWin32"],
+            "the lie saw fewer files than the truth"
+        );
     }
 
     #[test]

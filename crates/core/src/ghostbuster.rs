@@ -9,6 +9,7 @@ use std::fmt;
 use strider_hive::prelude::AsepHook;
 use strider_kernel::MemoryDump;
 use strider_nt_core::{NtStatus, NtString};
+use strider_support::obs::{MaybeSpan, Telemetry, TelemetryReport};
 use strider_winapi::{CallContext, ChainEntry, Machine};
 
 /// The image name GhostBuster runs under — itself a targetable artifact,
@@ -26,6 +27,9 @@ pub struct SweepReport {
     pub processes: DiffReport,
     /// Hidden-module findings.
     pub modules: DiffReport,
+    /// The telemetry captured during the sweep, when the detector was built
+    /// with [`GhostBuster::with_telemetry`].
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl SweepReport {
@@ -65,6 +69,13 @@ impl fmt::Display for SweepReport {
         for report in [&self.files, &self.hooks, &self.processes, &self.modules] {
             write!(f, "{report}")?;
         }
+        // Output is byte-identical to the untelemetered report when
+        // telemetry is disabled.
+        if let Some(telemetry) = &self.telemetry {
+            for line in telemetry.summary_lines(2) {
+                writeln!(f, "{line}")?;
+            }
+        }
         Ok(())
     }
 }
@@ -92,6 +103,7 @@ pub struct GhostBuster {
     registry: RegistryScanner,
     processes: ProcessScanner,
     advanced: Option<AdvancedSource>,
+    telemetry: Option<Telemetry>,
 }
 
 impl GhostBuster {
@@ -104,6 +116,16 @@ impl GhostBuster {
     /// given kernel structure, defeating DKOM.
     pub fn with_advanced(mut self, source: AdvancedSource) -> Self {
         self.advanced = Some(source);
+        self
+    }
+
+    /// Threads one telemetry registry through every scanner, and attaches
+    /// the captured [`TelemetryReport`] to each sweep's [`SweepReport`].
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.files = self.files.with_telemetry(telemetry.clone());
+        self.registry = self.registry.with_telemetry(telemetry.clone());
+        self.processes = self.processes.with_telemetry(telemetry.clone());
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -191,11 +213,18 @@ impl GhostBuster {
     ///
     /// Propagates scan failures.
     pub fn inside_sweep(&self, machine: &mut Machine) -> Result<SweepReport, NtStatus> {
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "sweep.inside");
+        let files = self.scan_files_inside(machine)?;
+        let hooks = self.scan_registry_inside(machine)?;
+        let processes = self.scan_processes_inside(machine)?;
+        let modules = self.scan_modules_inside(machine)?;
+        drop(span);
         Ok(SweepReport {
-            files: self.scan_files_inside(machine)?,
-            hooks: self.scan_registry_inside(machine)?,
-            processes: self.scan_processes_inside(machine)?,
-            modules: self.scan_modules_inside(machine)?,
+            files,
+            hooks,
+            processes,
+            modules,
+            telemetry: self.telemetry.as_ref().map(Telemetry::report),
         })
     }
 
@@ -212,6 +241,8 @@ impl GhostBuster {
         machine: &mut Machine,
         reboot_ticks: u64,
     ) -> Result<SweepReport, NtStatus> {
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "sweep.outside");
+        span.set_attr("reboot_ticks", reboot_ticks);
         let ctx = self.enter(machine)?;
         let file_lie = self.files.high_scan(machine, &ctx, ChainEntry::Win32)?;
         let hook_lie = self.registry.high_scan(machine, &ctx, ChainEntry::Win32);
@@ -256,11 +287,17 @@ impl GhostBuster {
             }
         }
 
+        let files = self.files.diff(&file_truth, &file_lie);
+        let hooks = self.registry.diff(&hook_truth, &hook_lie);
+        let processes = self.processes.diff(&proc_truth, &proc_lie);
+        let modules = self.processes.diff_modules(&module_truth, &module_lie);
+        drop(span);
         Ok(SweepReport {
-            files: self.files.diff(&file_truth, &file_lie),
-            hooks: self.registry.diff(&hook_truth, &hook_lie),
-            processes: self.processes.diff(&proc_truth, &proc_lie),
-            modules: self.processes.diff_modules(&module_truth, &module_lie),
+            files,
+            hooks,
+            processes,
+            modules,
+            telemetry: self.telemetry.as_ref().map(Telemetry::report),
         })
     }
 
@@ -393,6 +430,33 @@ mod tests {
         assert!(report.processes.has_detections());
         let rendered = report.to_string();
         assert!(rendered.contains("suspicious"));
+    }
+
+    #[test]
+    fn sweep_with_telemetry_attaches_report_and_phase_summary() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        HackerDefender::default().infect(&mut m).unwrap();
+        let telemetry = Telemetry::new();
+        let report = GhostBuster::new()
+            .with_telemetry(telemetry)
+            .inside_sweep(&mut m)
+            .unwrap();
+        let captured = report.telemetry.as_ref().expect("telemetry attached");
+        let sweep = captured.find_span("sweep.inside").unwrap();
+        for child in [
+            "files.scan_inside",
+            "registry.scan_inside",
+            "processes.scan_inside",
+            "modules.scan_inside",
+        ] {
+            assert!(sweep.child(child).is_some(), "missing {child}");
+        }
+        let rendered = report.to_string();
+        assert!(rendered.contains("sweep.inside"), "{rendered}");
+
+        // Without telemetry the Display output carries no phase lines.
+        let plain = GhostBuster::new().inside_sweep(&mut m).unwrap().to_string();
+        assert!(!plain.contains("sweep.inside"));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //!    fault-tolerance wrappers) as false positives.
 
 use std::fmt;
+use strider_support::obs::{MaybeSpan, Telemetry};
 use strider_winapi::{HookStyle, Level, Machine, QueryKind};
 
 /// One suspicious interception found by the mechanism scan.
@@ -41,12 +42,20 @@ impl fmt::Display for HookFinding {
 
 /// The hook scanner baseline.
 #[derive(Debug, Clone, Default)]
-pub struct HookScanner;
+pub struct HookScanner {
+    telemetry: Option<Telemetry>,
+}
 
 impl HookScanner {
     /// Creates the scanner.
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// Threads a telemetry registry through the scan.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// Scans for API interceptions: IAT entries pointing outside their
@@ -55,7 +64,8 @@ impl HookScanner {
     /// interception, benign or not; cannot see filter drivers, registry
     /// callbacks, DKOM, or naming tricks.
     pub fn scan(&self, machine: &Machine) -> Vec<HookFinding> {
-        machine
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "hookscan.scan");
+        let findings: Vec<HookFinding> = machine
             .hooks()
             .hooks()
             .iter()
@@ -71,7 +81,9 @@ impl HookScanner {
                 kinds: h.kinds.clone(),
                 owner: h.owner.clone(),
             })
-            .collect()
+            .collect();
+        span.set_attr("findings", findings.len());
+        findings
     }
 
     /// Owners implicated by the scan (evaluation helper).

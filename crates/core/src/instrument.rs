@@ -1,0 +1,40 @@
+//! Crate-private helpers wiring the scanners into [`strider_support::obs`]:
+//! the attribute/counter vocabulary every pipeline shares, so the telemetry
+//! report reads uniformly across files, registry, processes, and modules.
+
+use crate::snapshot::ViewKind;
+use strider_support::obs::{MaybeSpan, Telemetry};
+use strider_winapi::ChainStats;
+
+/// Records a scan's per-view entry count as both span attributes and a
+/// `<pipeline>.entries.<View>` counter.
+pub(crate) fn record_view_entries(
+    telemetry: Option<&Telemetry>,
+    span: &MaybeSpan,
+    pipeline: &str,
+    view: ViewKind,
+    entries: usize,
+) {
+    span.set_attr("view", format!("{view:?}"));
+    span.set_attr("entries", entries);
+    if let Some(t) = telemetry {
+        t.counter_add(&format!("{pipeline}.entries.{view:?}"), entries as u64);
+    }
+}
+
+/// Attaches chain-traversal aggregates to a high-scan span: how many
+/// queries a hook diverted, and `diverted_at` naming the chain level that
+/// mutated the result — the paper's attribution of a lie to a layer.
+pub(crate) fn record_chain(span: &MaybeSpan, chain: &ChainStats) {
+    if !span.is_recording() {
+        return;
+    }
+    span.set_attr("queries", chain.queries);
+    span.set_attr("diverted_queries", chain.diverted);
+    if chain.marshal_mutations > 0 {
+        span.set_attr("marshal_mutations", chain.marshal_mutations);
+    }
+    if let Some(level) = chain.dominant_level() {
+        span.set_attr("diverted_at", level);
+    }
+}

@@ -61,6 +61,7 @@ mod files;
 mod ghostbuster;
 mod hookscan;
 mod inject;
+mod instrument;
 mod process;
 mod registry;
 mod report;
@@ -83,6 +84,7 @@ pub use report::{Detection, DiffReport, FileCategory, NoiseClass, NoiseFilter, R
 pub use scanfile::{parse_scan_file, write_scan_file, ScanFileError};
 pub use signature::{Signature, SignatureHit, SignatureScanner};
 pub use snapshot::{FileFact, HookFact, ModuleFact, ProcessFact, ScanMeta, Snapshot, ViewKind};
+pub use strider_support::obs::{FakeClock, MonotonicClock, Telemetry, TelemetryReport};
 pub use unixgb::{UnixBinaryIntegrity, UnixDetection, UnixGhostBuster, UnixReport};
 
 /// Convenient re-exports.
@@ -92,6 +94,7 @@ pub mod prelude {
         CrossTimeDiff, Detection, DiffReport, DriverScanner, FileCategory, FileScanner,
         GhostBuster, HookScanner, InjectedSweepReport, NoiseClass, NoiseFilter,
         OutsideRegistryMode, ProcessScanner, RegistryScanner, ResourceKind, ScanMeta,
-        SignatureScanner, Snapshot, SweepReport, UnixGhostBuster, ViewKind,
+        SignatureScanner, Snapshot, SweepReport, Telemetry, TelemetryReport, UnixGhostBuster,
+        ViewKind,
     };
 }

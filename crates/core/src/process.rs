@@ -1,11 +1,13 @@
 //! Hidden-process and hidden-module detection (paper, Section 4).
 
 use crate::diff::cross_view_diff;
+use crate::instrument::{record_chain, record_view_entries};
 use crate::report::{Detection, DiffReport, NoiseClass, ResourceKind};
 use crate::snapshot::{ModuleFact, ProcessFact, ScanMeta, Snapshot, ViewKind};
 use strider_kernel::MemoryDump;
 use strider_nt_core::{NtStatus, Pid};
-use strider_winapi::{CallContext, ChainEntry, Machine, Query, Row};
+use strider_support::obs::{MaybeSpan, Telemetry};
+use strider_winapi::{CallContext, ChainEntry, ChainStats, Machine, Query, Row};
 
 /// Which kernel structure the advanced-mode low-level scan traverses in
 /// addition to the Active Process List.
@@ -19,12 +21,21 @@ pub enum AdvancedSource {
 
 /// The hidden-process/hidden-module scanner.
 #[derive(Debug, Clone, Default)]
-pub struct ProcessScanner;
+pub struct ProcessScanner {
+    telemetry: Option<Telemetry>,
+}
 
 impl ProcessScanner {
     /// Creates a scanner.
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// Threads a telemetry registry through every scan: per-phase spans,
+    /// per-view entry counters, and chain-divergence attribution.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// The high-level scan through the (possibly hooked) API chain.
@@ -42,9 +53,18 @@ impl ProcessScanner {
             ChainEntry::Win32 => ViewKind::HighLevelWin32,
             ChainEntry::Native => ViewKind::HighLevelNative,
         };
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "processes.high_scan");
         let mut snap = Snapshot::new(ScanMeta::new(view, machine.now()));
         snap.meta.io.record_api_call();
-        let rows = machine.query(ctx, &Query::ProcessList, entry)?;
+        let rows = if span.is_recording() {
+            let (rows, trace) = machine.query_traced(ctx, &Query::ProcessList, entry)?;
+            let mut chain = ChainStats::default();
+            chain.absorb(&trace);
+            record_chain(&span, &chain);
+            rows
+        } else {
+            machine.query(ctx, &Query::ProcessList, entry)?
+        };
         snap.meta.io.record_entries(rows.len() as u64);
         for row in rows {
             if let Row::Process(p) = row {
@@ -58,6 +78,13 @@ impl ProcessScanner {
                 );
             }
         }
+        record_view_entries(
+            self.telemetry.as_ref(),
+            &span,
+            "processes",
+            view,
+            snap.len(),
+        );
         Ok(snap)
     }
 
@@ -65,10 +92,18 @@ impl ProcessScanner {
     /// List. Catches every API-intercepting hider; blind to DKOM, because
     /// this list is only the truth *approximation* the APIs themselves use.
     pub fn low_scan_apl(&self, machine: &Machine) -> Snapshot<ProcessFact> {
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "processes.low_scan");
         let mut snap = Snapshot::new(ScanMeta::new(ViewKind::LowLevelApl, machine.now()));
         for pid in machine.kernel().active_process_list() {
             self.push_kernel_fact(machine, pid, &mut snap);
         }
+        record_view_entries(
+            self.telemetry.as_ref(),
+            &span,
+            "processes",
+            ViewKind::LowLevelApl,
+            snap.len(),
+        );
         snap
     }
 
@@ -92,6 +127,8 @@ impl ProcessScanner {
         };
         // Union with the APL: the advanced structure augments rather than
         // replaces the primary one (csrss tracks no System process, etc.).
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "processes.low_scan");
+        span.set_attr("source", format!("{source:?}"));
         pids.extend(machine.kernel().active_process_list());
         pids.sort();
         pids.dedup();
@@ -99,6 +136,13 @@ impl ProcessScanner {
         for pid in pids {
             self.push_kernel_fact(machine, pid, &mut snap);
         }
+        record_view_entries(
+            self.telemetry.as_ref(),
+            &span,
+            "processes",
+            view,
+            snap.len(),
+        );
         snap
     }
 
@@ -118,6 +162,8 @@ impl ProcessScanner {
 
     /// The outside-the-box scan over a crash-dump image.
     pub fn outside_scan(&self, dump: &MemoryDump, advanced: bool) -> Snapshot<ProcessFact> {
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "processes.outside_scan");
+        span.set_attr("advanced", advanced);
         let mut snap = Snapshot::new(ScanMeta::new(
             ViewKind::OutsideDump,
             strider_nt_core::Tick::ZERO,
@@ -142,18 +188,30 @@ impl ProcessScanner {
                 );
             }
         }
+        record_view_entries(
+            self.telemetry.as_ref(),
+            &span,
+            "processes",
+            ViewKind::OutsideDump,
+            snap.len(),
+        );
+        span.set_attr("bytes_read", snap.meta.io.bytes_read);
         snap
     }
 
     /// Diffs process snapshots.
     pub fn diff(&self, truth: &Snapshot<ProcessFact>, lie: &Snapshot<ProcessFact>) -> DiffReport {
-        cross_view_diff(truth, lie, |key, fact: &ProcessFact| Detection {
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "processes.diff");
+        let report = cross_view_diff(truth, lie, |key, fact: &ProcessFact| Detection {
             kind: ResourceKind::Process,
             identity: key.to_string(),
             detail: format!("{} {} ({})", fact.pid, fact.image_name, fact.image_path),
             category: None,
             noise: NoiseClass::Suspicious,
-        })
+        });
+        span.set_attr("hidden", report.net_detections().len());
+        span.set_attr("noise", report.noise_detections().len());
+        report
     }
 
     /// One-call inside-the-box hidden-process detection.
@@ -167,6 +225,7 @@ impl ProcessScanner {
         ctx: &CallContext,
         advanced: Option<AdvancedSource>,
     ) -> Result<DiffReport, NtStatus> {
+        let _span = MaybeSpan::start(self.telemetry.as_ref(), "processes.scan_inside");
         let lie = self.high_scan(machine, ctx, ChainEntry::Win32)?;
         let truth = match advanced {
             Some(source) => self.low_scan_advanced(machine, source),
@@ -196,10 +255,23 @@ impl ProcessScanner {
             ChainEntry::Win32 => ViewKind::HighLevelWin32,
             ChainEntry::Native => ViewKind::HighLevelNative,
         };
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "modules.high_scan");
+        let mut chain = ChainStats::default();
         let mut snap = Snapshot::new(ScanMeta::new(view, machine.now()));
         for (_, proc_fact) in procs.iter() {
             snap.meta.io.record_api_call();
-            let rows = match machine.query(ctx, &Query::ModuleList { pid: proc_fact.pid }, entry) {
+            let query = Query::ModuleList { pid: proc_fact.pid };
+            let result = if span.is_recording() {
+                machine
+                    .query_traced(ctx, &query, entry)
+                    .map(|(rows, trace)| {
+                        chain.absorb(&trace);
+                        rows
+                    })
+            } else {
+                machine.query(ctx, &query, entry)
+            };
+            let rows = match result {
                 Ok(rows) => rows,
                 Err(NtStatus::NoSuchProcess) => continue,
                 Err(e) => return Err(e),
@@ -219,6 +291,9 @@ impl ProcessScanner {
                 }
             }
         }
+        record_view_entries(self.telemetry.as_ref(), &span, "modules", view, snap.len());
+        span.set_attr("api_calls", snap.meta.io.api_calls);
+        record_chain(&span, &chain);
         Ok(snap)
     }
 
@@ -230,6 +305,7 @@ impl ProcessScanner {
         machine: &Machine,
         visible: &Snapshot<ProcessFact>,
     ) -> Snapshot<ModuleFact> {
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "modules.low_scan");
         let mut snap = Snapshot::new(ScanMeta::new(
             ViewKind::LowLevelKernelModules,
             machine.now(),
@@ -251,6 +327,13 @@ impl ProcessScanner {
                 );
             }
         }
+        record_view_entries(
+            self.telemetry.as_ref(),
+            &span,
+            "modules",
+            ViewKind::LowLevelKernelModules,
+            snap.len(),
+        );
         snap
     }
 
@@ -260,7 +343,8 @@ impl ProcessScanner {
         truth: &Snapshot<ModuleFact>,
         lie: &Snapshot<ModuleFact>,
     ) -> DiffReport {
-        cross_view_diff(truth, lie, |key, fact: &ModuleFact| Detection {
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "modules.diff");
+        let report = cross_view_diff(truth, lie, |key, fact: &ModuleFact| Detection {
             kind: ResourceKind::Module,
             identity: key.to_string(),
             detail: format!(
@@ -269,7 +353,10 @@ impl ProcessScanner {
             ),
             category: None,
             noise: NoiseClass::Suspicious,
-        })
+        });
+        span.set_attr("hidden", report.net_detections().len());
+        span.set_attr("noise", report.noise_detections().len());
+        report
     }
 
     /// One-call inside-the-box hidden-module detection.
@@ -282,6 +369,7 @@ impl ProcessScanner {
         machine: &Machine,
         ctx: &CallContext,
     ) -> Result<DiffReport, NtStatus> {
+        let _span = MaybeSpan::start(self.telemetry.as_ref(), "modules.scan_inside");
         let lie = self.high_module_scan(machine, ctx, ChainEntry::Win32)?;
         let visible = self.high_scan(machine, ctx, ChainEntry::Win32)?;
         let truth = self.low_module_scan(machine, &visible);
@@ -387,6 +475,36 @@ mod tests {
         let ctx = gb_ctx(&mut m);
         let report = ProcessScanner::new().scan_modules_inside(&m, &ctx).unwrap();
         assert!(!report.has_detections(), "{report}");
+    }
+
+    #[test]
+    fn telemetry_records_phases_and_divergence_level() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        HackerDefender::default().infect(&mut m).unwrap();
+        let ctx = gb_ctx(&mut m);
+        let telemetry = strider_support::obs::Telemetry::new();
+        let s = ProcessScanner::new().with_telemetry(telemetry.clone());
+        s.scan_inside(&m, &ctx, None).unwrap();
+
+        // Counters checked before the module sweep re-runs high_scan.
+        let report = telemetry.report();
+        let scan = report.find_span("processes.scan_inside").unwrap();
+        let high = scan.child("processes.high_scan").unwrap();
+        assert!(high.attr("diverted_at").is_some(), "{high:?}");
+        assert!(scan.child("processes.low_scan").is_some());
+        assert!(scan.child("processes.diff").is_some());
+        assert!(
+            report.counters["processes.entries.LowLevelApl"]
+                > report.counters["processes.entries.HighLevelWin32"],
+            "truth view must see the hidden process"
+        );
+
+        s.scan_modules_inside(&m, &ctx).unwrap();
+        let report = telemetry.report();
+        let mods = report.find_span("modules.scan_inside").unwrap();
+        assert!(mods.child("modules.high_scan").is_some());
+        assert!(mods.child("modules.low_scan").is_some());
+        assert!(mods.child("modules.diff").is_some());
     }
 
     #[test]

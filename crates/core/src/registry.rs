@@ -1,6 +1,7 @@
 //! Hidden-ASEP and hidden-Registry detection (paper, Section 3).
 
 use crate::diff::cross_view_diff;
+use crate::instrument::{record_chain, record_view_entries};
 use crate::report::{Detection, DiffReport, NoiseClass, ResourceKind};
 use crate::snapshot::{HookFact, ScanMeta, Snapshot, ViewKind};
 use std::cell::RefCell;
@@ -8,7 +9,8 @@ use std::rc::Rc;
 use strider_hive::prelude::{AsepHook, AsepLocation, KeyView, ViewedValue};
 use strider_hive::{asep, RawHive};
 use strider_nt_core::{IoStats, NtPath, NtStatus, NtString};
-use strider_winapi::{CallContext, ChainEntry, DiskImage, Machine, Query, Row};
+use strider_support::obs::{MaybeSpan, Telemetry};
+use strider_winapi::{CallContext, ChainEntry, ChainStats, DiskImage, Machine, Query, Row};
 
 /// How the outside-the-box Registry scan reads the hive files.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,16 +30,26 @@ struct ApiKeyView<'a> {
     entry: ChainEntry,
     path: NtPath,
     io: Rc<RefCell<IoStats>>,
+    chain: Option<Rc<RefCell<ChainStats>>>,
 }
 
 impl<'a> ApiKeyView<'a> {
     fn query(&self, query: Query) -> Vec<Row> {
         let mut io = self.io.borrow_mut();
         io.record_api_call();
-        let rows = self
-            .machine
-            .query(self.ctx, &query, self.entry)
-            .unwrap_or_default();
+        let rows = match &self.chain {
+            Some(chain) => match self.machine.query_traced(self.ctx, &query, self.entry) {
+                Ok((rows, trace)) => {
+                    chain.borrow_mut().absorb(&trace);
+                    rows
+                }
+                Err(_) => Vec::new(),
+            },
+            None => self
+                .machine
+                .query(self.ctx, &query, self.entry)
+                .unwrap_or_default(),
+        };
         io.record_entries(rows.len() as u64);
         rows
     }
@@ -65,6 +77,7 @@ impl<'a> KeyView for ApiKeyView<'a> {
                     entry: self.entry,
                     path: self.path.join(k.name),
                     io: Rc::clone(&self.io),
+                    chain: self.chain.clone(),
                 },
             )),
             _ => None,
@@ -126,12 +139,14 @@ impl<'a> KeyView for Win32OverRaw<'a> {
 #[derive(Debug, Clone)]
 pub struct RegistryScanner {
     catalog: Vec<AsepLocation>,
+    telemetry: Option<Telemetry>,
 }
 
 impl Default for RegistryScanner {
     fn default() -> Self {
         Self {
             catalog: asep::catalog(),
+            telemetry: None,
         }
     }
 }
@@ -140,6 +155,13 @@ impl RegistryScanner {
     /// Creates a scanner over the standard ASEP catalog.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Threads a telemetry registry through every scan: per-phase spans,
+    /// per-view entry counters, and chain-divergence attribution.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// The catalog in use.
@@ -159,20 +181,33 @@ impl RegistryScanner {
             ChainEntry::Win32 => ViewKind::HighLevelWin32,
             ChainEntry::Native => ViewKind::HighLevelNative,
         };
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "registry.high_scan");
         let io = Rc::new(RefCell::new(IoStats::default()));
+        let chain = span
+            .is_recording()
+            .then(|| Rc::new(RefCell::new(ChainStats::default())));
         let hooks = asep::extract_hooks_with(
             |path| {
                 // The key must be enumerable for the view to exist.
-                machine
-                    .query(ctx, &Query::RegEnumValues { key: path.clone() }, entry)
-                    .ok()
-                    .map(|_| ApiKeyView {
-                        machine,
-                        ctx,
-                        entry,
-                        path: path.clone(),
-                        io: Rc::clone(&io),
-                    })
+                let probe = Query::RegEnumValues { key: path.clone() };
+                let reachable = match &chain {
+                    Some(chain) => match machine.query_traced(ctx, &probe, entry) {
+                        Ok((_, trace)) => {
+                            chain.borrow_mut().absorb(&trace);
+                            true
+                        }
+                        Err(_) => false,
+                    },
+                    None => machine.query(ctx, &probe, entry).is_ok(),
+                };
+                reachable.then(|| ApiKeyView {
+                    machine,
+                    ctx,
+                    entry,
+                    path: path.clone(),
+                    io: Rc::clone(&io),
+                    chain: chain.clone(),
+                })
             },
             &self.catalog,
         );
@@ -180,6 +215,11 @@ impl RegistryScanner {
         snap.meta.io = *io.borrow();
         for hook in hooks {
             snap.insert(hook.identity(), hook);
+        }
+        record_view_entries(self.telemetry.as_ref(), &span, "registry", view, snap.len());
+        span.set_attr("api_calls", snap.meta.io.api_calls);
+        if let Some(chain) = &chain {
+            record_chain(&span, &chain.borrow());
         }
         snap
     }
@@ -192,6 +232,7 @@ impl RegistryScanner {
     ///
     /// Fails when a hive copy does not parse.
     pub fn low_scan(&self, machine: &Machine) -> Result<Snapshot<HookFact>, NtStatus> {
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "registry.low_scan");
         let mut parsed = Vec::new();
         let mut io = IoStats::default();
         for hive in machine.registry().hives() {
@@ -211,6 +252,14 @@ impl RegistryScanner {
         for hook in hooks {
             snap.insert(hook.identity(), hook);
         }
+        record_view_entries(
+            self.telemetry.as_ref(),
+            &span,
+            "registry",
+            ViewKind::LowLevelHiveParse,
+            snap.len(),
+        );
+        span.set_attr("bytes_read", snap.meta.io.bytes_read);
         Ok(snap)
     }
 
@@ -224,6 +273,7 @@ impl RegistryScanner {
         image: &DiskImage,
         mode: OutsideRegistryMode,
     ) -> Result<Snapshot<HookFact>, NtStatus> {
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "registry.outside_scan");
         let mut parsed = Vec::new();
         let mut io = IoStats::default();
         for (mount, bytes) in &image.hives {
@@ -255,23 +305,39 @@ impl RegistryScanner {
         for hook in hooks {
             snap.insert(hook.identity(), hook);
         }
+        record_view_entries(self.telemetry.as_ref(), &span, "registry", view, snap.len());
+        span.set_attr("bytes_read", snap.meta.io.bytes_read);
         Ok(snap)
     }
 
     /// Diffs hook snapshots, classifying corrupt-record findings as the
     /// paper's Registry false positive.
     pub fn diff(&self, truth: &Snapshot<HookFact>, lie: &Snapshot<HookFact>) -> DiffReport {
-        cross_view_diff(truth, lie, |key, hook: &AsepHook| Detection {
-            kind: ResourceKind::AsepHook,
-            identity: key.to_string(),
-            detail: hook.to_string(),
-            category: None,
-            noise: if hook.corrupt {
-                NoiseClass::LikelyCorruption
-            } else {
-                NoiseClass::Suspicious
-            },
-        })
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "registry.diff");
+        let mut report = {
+            let _cross = MaybeSpan::start(self.telemetry.as_ref(), "registry.cross_view_diff");
+            cross_view_diff(truth, lie, |key, hook: &AsepHook| Detection {
+                kind: ResourceKind::AsepHook,
+                identity: key.to_string(),
+                detail: hook.to_string(),
+                category: None,
+                noise: NoiseClass::Suspicious,
+            })
+        };
+        {
+            let _noise = MaybeSpan::start(self.telemetry.as_ref(), "registry.noise_classification");
+            for detection in &mut report.detections {
+                let corrupt = truth
+                    .get(&detection.identity)
+                    .is_some_and(|hook: &AsepHook| hook.corrupt);
+                if corrupt {
+                    detection.noise = NoiseClass::LikelyCorruption;
+                }
+            }
+        }
+        span.set_attr("hidden", report.net_detections().len());
+        span.set_attr("noise", report.noise_detections().len());
+        report
     }
 
     /// One-call inside-the-box hidden-ASEP detection.
@@ -284,6 +350,7 @@ impl RegistryScanner {
         machine: &Machine,
         ctx: &CallContext,
     ) -> Result<DiffReport, NtStatus> {
+        let _span = MaybeSpan::start(self.telemetry.as_ref(), "registry.scan_inside");
         let lie = self.high_scan(machine, ctx, ChainEntry::Win32);
         let truth = self.low_scan(machine)?;
         Ok(self.diff(&truth, &lie))
@@ -307,7 +374,11 @@ impl RegistryScanner {
             ChainEntry::Win32 => ViewKind::HighLevelWin32,
             ChainEntry::Native => ViewKind::HighLevelNative,
         };
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "registry.full_high_scan");
         let io = Rc::new(RefCell::new(IoStats::default()));
+        let chain = span
+            .is_recording()
+            .then(|| Rc::new(RefCell::new(ChainStats::default())));
         let mut snap = Snapshot::new(ScanMeta::new(view, machine.now()));
         for hive in machine.registry().hives() {
             let root = ApiKeyView {
@@ -316,6 +387,7 @@ impl RegistryScanner {
                 entry,
                 path: hive.mount().clone(),
                 io: Rc::clone(&io),
+                chain: chain.clone(),
             };
             walk_key_view(
                 &root,
@@ -324,6 +396,11 @@ impl RegistryScanner {
             );
         }
         snap.meta.io = *io.borrow();
+        record_view_entries(self.telemetry.as_ref(), &span, "registry", view, snap.len());
+        span.set_attr("api_calls", snap.meta.io.api_calls);
+        if let Some(chain) = &chain {
+            record_chain(&span, &chain.borrow());
+        }
         snap
     }
 
@@ -333,6 +410,7 @@ impl RegistryScanner {
     ///
     /// Fails when a hive copy does not parse.
     pub fn full_low_scan(&self, machine: &Machine) -> Result<Snapshot<String>, NtStatus> {
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "registry.full_low_scan");
         let mut snap = Snapshot::new(ScanMeta::new(ViewKind::LowLevelHiveParse, machine.now()));
         for hive in machine.registry().hives() {
             let mount = hive.mount().clone();
@@ -345,18 +423,30 @@ impl RegistryScanner {
             let root = asep::RawKeyView(raw.root());
             walk_key_view(&root, &mount.to_string().to_ascii_lowercase(), &mut snap);
         }
+        record_view_entries(
+            self.telemetry.as_ref(),
+            &span,
+            "registry",
+            ViewKind::LowLevelHiveParse,
+            snap.len(),
+        );
+        span.set_attr("bytes_read", snap.meta.io.bytes_read);
         Ok(snap)
     }
 
     /// Diffs full-tree snapshots into a report.
     pub fn diff_full(&self, truth: &Snapshot<String>, lie: &Snapshot<String>) -> DiffReport {
-        cross_view_diff(truth, lie, |key, display: &String| Detection {
+        let span = MaybeSpan::start(self.telemetry.as_ref(), "registry.diff");
+        let report = cross_view_diff(truth, lie, |key, display: &String| Detection {
             kind: ResourceKind::AsepHook,
             identity: key.to_string(),
             detail: display.clone(),
             category: None,
             noise: NoiseClass::Suspicious,
-        })
+        });
+        span.set_attr("hidden", report.net_detections().len());
+        span.set_attr("noise", report.noise_detections().len());
+        report
     }
 
     /// One-call inside-the-box full-Registry hidden-key/value detection.
@@ -369,6 +459,7 @@ impl RegistryScanner {
         machine: &Machine,
         ctx: &CallContext,
     ) -> Result<DiffReport, NtStatus> {
+        let _span = MaybeSpan::start(self.telemetry.as_ref(), "registry.scan_inside");
         let lie = self.full_high_scan(machine, ctx, ChainEntry::Win32);
         let truth = self.full_low_scan(machine)?;
         Ok(self.diff_full(&truth, &lie))
@@ -606,6 +697,35 @@ mod tests {
             .net_detections()
             .iter()
             .any(|d| d.detail.contains("msvsres.dll")));
+    }
+
+    #[test]
+    fn telemetry_records_phases_and_divergence_level() {
+        let mut m = Machine::with_base_system("victim").unwrap();
+        HackerDefender::default().infect(&mut m).unwrap();
+        let ctx = gb_ctx(&mut m);
+        let telemetry = Telemetry::new();
+        RegistryScanner::new()
+            .with_telemetry(telemetry.clone())
+            .scan_inside(&m, &ctx)
+            .unwrap();
+        let report = telemetry.report();
+        let scan = report.find_span("registry.scan_inside").unwrap();
+        let high = scan.child("registry.high_scan").unwrap();
+        assert_eq!(
+            high.attr("diverted_at").map(|a| a.to_string()),
+            Some("NtdllCode".to_string()),
+            "{high:?}"
+        );
+        assert!(scan.child("registry.low_scan").is_some());
+        let diff = scan.child("registry.diff").unwrap();
+        assert!(diff.child("registry.cross_view_diff").is_some());
+        assert!(diff.child("registry.noise_classification").is_some());
+        assert!(
+            report.counters["registry.entries.LowLevelHiveParse"]
+                > report.counters["registry.entries.HighLevelWin32"],
+            "truth view must see the hidden service hooks"
+        );
     }
 
     #[test]

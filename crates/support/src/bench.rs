@@ -19,7 +19,8 @@
 //! Run via `cargo bench -p strider-bench` (all groups) or
 //! `cargo bench -p strider-bench --bench time_file_scan` (one binary).
 
-use crate::json::JsonValue;
+use crate::json::{JsonValue, ToJson};
+use crate::obs::TelemetryReport;
 use crate::sync::Mutex;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -67,6 +68,7 @@ impl Criterion {
             sample_size: 20,
             throughput: None,
             scenarios: Vec::new(),
+            phases: Vec::new(),
         }
     }
 
@@ -88,6 +90,7 @@ pub struct BenchmarkGroup<'c> {
     sample_size: usize,
     throughput: Option<Throughput>,
     scenarios: Vec<Scenario>,
+    phases: Vec<(String, JsonValue)>,
 }
 
 #[derive(Debug)]
@@ -152,6 +155,21 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Attaches a per-phase timing breakdown from an instrumented run: for
+    /// each span name in `report`, the occurrence count and summed wall
+    /// duration land under a `"phases"` member of `BENCH_<group>.json`,
+    /// keyed by `id`. One instrumented pass per scenario is enough — the
+    /// goal is attribution (where the time goes), not statistics.
+    pub fn record_phases(&mut self, id: impl Into<String>, report: &TelemetryReport) -> &mut Self {
+        let breakdown: Vec<(String, JsonValue)> = report
+            .phase_totals()
+            .iter()
+            .map(|(name, total)| (name.clone(), total.to_json()))
+            .collect();
+        self.phases.push((id.into(), JsonValue::Obj(breakdown)));
+        self
+    }
+
     /// Writes `BENCH_<group>.json` at the workspace root.
     pub fn finish(self) {
         let file_name = format!(
@@ -172,7 +190,7 @@ impl BenchmarkGroup<'_> {
     }
 
     fn to_json(&self) -> JsonValue {
-        JsonValue::Obj(vec![
+        let mut members = vec![
             ("group".into(), JsonValue::Str(self.name.clone())),
             (
                 "harness".into(),
@@ -186,7 +204,11 @@ impl BenchmarkGroup<'_> {
                 "scenarios".into(),
                 JsonValue::Arr(self.scenarios.iter().map(Scenario::to_json).collect()),
             ),
-        ])
+        ];
+        if !self.phases.is_empty() {
+            members.push(("phases".into(), JsonValue::Obj(self.phases.clone())));
+        }
+        JsonValue::Obj(members)
     }
 }
 
@@ -431,6 +453,10 @@ mod tests {
                 BatchSize::SmallInput,
             );
         });
+        let telemetry =
+            crate::obs::Telemetry::with_clock(std::sync::Arc::new(crate::obs::FakeClock::new()));
+        drop(telemetry.span("sum_phase"));
+        group.record_phases("sum", &telemetry.report());
         group.finish();
         std::env::remove_var("STRIDER_BENCH_DIR");
 
@@ -452,6 +478,8 @@ mod tests {
                 64
             );
         }
+        let phases = report.field("phases").unwrap().field("sum").unwrap();
+        assert!(phases.field("sum_phase").is_ok());
         std::fs::remove_file(&report_path).ok();
         std::fs::remove_dir(&dir).ok();
     }

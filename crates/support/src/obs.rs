@@ -1,0 +1,875 @@
+//! Structured tracing + metrics replacing `tracing` + `metrics`.
+//!
+//! GhostBuster's detection story is all provenance — *which* view said
+//! what, *where* in the API chain a result mutated, *how long* each scan
+//! phase took — so the pipeline needs a telemetry layer that can record
+//! that provenance without reaching for crates.io. This module provides:
+//!
+//! * hierarchical **spans** with monotonic timings ([`Telemetry::span`]
+//!   returns a [`SpanGuard`] that closes the span on drop), carrying typed
+//!   attributes ([`AttrValue`]) and point-in-time [`SpanEvent`]s,
+//! * **counters / gauges / histograms** in the same registry
+//!   ([`Telemetry::counter_add`], [`Telemetry::gauge_set`],
+//!   [`Telemetry::histogram_record`]),
+//! * a **global-free handle**: [`Telemetry`] is a cheap `Clone` over shared
+//!   state, threaded explicitly through the scanners — no `static`
+//!   subscriber, so two sweeps never bleed into each other,
+//! * a **JSON exporter**: [`Telemetry::report`] freezes everything into a
+//!   [`TelemetryReport`] that round-trips through the [`crate::json`]
+//!   machinery and can be written as a `SCAN_TELEMETRY_<label>.json` file
+//!   next to the `BENCH_*.json` reports,
+//! * a **clock seam**: wall time is read through the [`Clock`] trait so
+//!   tests inject a [`FakeClock`] and assert exact durations instead of
+//!   sleeping.
+
+use crate::json::ToJson;
+use crate::sync::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Clock seam
+// ---------------------------------------------------------------------
+
+/// A monotonic nanosecond clock. Production code uses [`MonotonicClock`];
+/// tests inject a [`FakeClock`] for exact, non-flaky duration assertions.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since an arbitrary (per-clock) origin; never decreases.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall clock anchored to an [`Instant`] taken at construction.
+#[derive(Debug, Clone)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A manually-advanced clock for deterministic tests.
+#[derive(Debug, Default)]
+pub struct FakeClock {
+    now: AtomicU64,
+}
+
+impl FakeClock {
+    /// A clock stopped at 0 ns.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `ns` nanoseconds.
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute value.
+    pub fn set(&self, ns: u64) {
+        self.now.store(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for FakeClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Attribute values and events
+// ---------------------------------------------------------------------
+
+/// A typed span/event attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A string attribute.
+    Str(String),
+    /// An unsigned integer attribute (entry counts, byte counts).
+    UInt(u64),
+    /// A signed integer attribute.
+    Int(i64),
+    /// A floating-point attribute.
+    Float(f64),
+    /// A boolean attribute.
+    Bool(bool),
+}
+
+crate::impl_json!(
+    enum AttrValue {
+        Str(String),
+        UInt(u64),
+        Int(i64),
+        Float(f64),
+        Bool(bool),
+    }
+);
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Str(s) => f.write_str(s),
+            AttrValue::UInt(n) => write!(f, "{n}"),
+            AttrValue::Int(n) => write!(f, "{n}"),
+            AttrValue::Float(x) => write!(f, "{x}"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Str(s.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(s)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(n: u64) -> Self {
+        AttrValue::UInt(n)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(n: usize) -> Self {
+        AttrValue::UInt(n as u64)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(n: u32) -> Self {
+        AttrValue::UInt(u64::from(n))
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(n: i64) -> Self {
+        AttrValue::Int(n)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(x: f64) -> Self {
+        AttrValue::Float(x)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(b: bool) -> Self {
+        AttrValue::Bool(b)
+    }
+}
+
+/// A point-in-time event recorded inside a span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Event name.
+    pub name: String,
+    /// Clock value when the event fired.
+    pub at_ns: u64,
+    /// Typed payload.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+crate::impl_json!(struct SpanEvent { name, at_ns, attrs });
+
+// ---------------------------------------------------------------------
+// The registry
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct SpanSlot {
+    name: String,
+    start_ns: u64,
+    end_ns: Option<u64>,
+    attrs: Vec<(String, AttrValue)>,
+    events: Vec<SpanEvent>,
+    children: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    spans: Vec<SpanSlot>,
+    stack: Vec<usize>,
+    roots: Vec<usize>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Vec<f64>>,
+}
+
+struct Inner {
+    clock: Arc<dyn Clock>,
+    state: Mutex<State>,
+}
+
+/// The global-free tracing + metrics registry.
+///
+/// Cloning a `Telemetry` yields another handle onto the same shared state,
+/// so one handle can be threaded through every scanner of a sweep and the
+/// facade can later freeze a single combined [`TelemetryReport`].
+///
+/// # Examples
+///
+/// ```
+/// use strider_support::obs::Telemetry;
+///
+/// let telemetry = Telemetry::new();
+/// {
+///     let sweep = telemetry.span("sweep");
+///     sweep.set_attr("machine", "lab-1");
+///     let _phase = telemetry.span("high_scan"); // nested under "sweep"
+///     telemetry.counter_add("entries", 300);
+/// }
+/// let report = telemetry.report();
+/// assert_eq!(report.spans[0].children[0].name, "high_scan");
+/// assert_eq!(report.counters["entries"], 300);
+/// ```
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.inner.state.lock();
+        f.debug_struct("Telemetry")
+            .field("spans", &state.spans.len())
+            .field("counters", &state.counters.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// A registry timed by a fresh [`MonotonicClock`].
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// A registry timed by the given clock (inject a [`FakeClock`] here
+    /// for deterministic tests).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                clock,
+                state: Mutex::new(State::default()),
+            }),
+        }
+    }
+
+    /// The registry clock's current reading.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.clock.now_ns()
+    }
+
+    /// Opens a span as a child of the innermost open span (or as a root).
+    /// The returned guard closes the span when dropped.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let now = self.now_ns();
+        let mut state = self.inner.state.lock();
+        let index = state.spans.len();
+        state.spans.push(SpanSlot {
+            name: name.to_string(),
+            start_ns: now,
+            ..SpanSlot::default()
+        });
+        match state.stack.last().copied() {
+            Some(parent) => state.spans[parent].children.push(index),
+            None => state.roots.push(index),
+        }
+        state.stack.push(index);
+        SpanGuard {
+            telemetry: self.clone(),
+            index,
+            ended: false,
+        }
+    }
+
+    /// Adds `delta` to a monotonic counter (created at 0 on first use).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut state = self.inner.state.lock();
+        *state.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge to its latest observed value.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut state = self.inner.state.lock();
+        state.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records one sample into a histogram.
+    pub fn histogram_record(&self, name: &str, value: f64) {
+        let mut state = self.inner.state.lock();
+        state
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .push(value);
+    }
+
+    /// Freezes the current state into an exportable report. Spans still
+    /// open are reported with the clock's current reading as their end.
+    pub fn report(&self) -> TelemetryReport {
+        let now = self.now_ns();
+        let state = self.inner.state.lock();
+        fn build(state: &State, index: usize, now: u64) -> SpanRecord {
+            let slot = &state.spans[index];
+            SpanRecord {
+                name: slot.name.clone(),
+                start_ns: slot.start_ns,
+                end_ns: slot.end_ns.unwrap_or(now),
+                attrs: slot.attrs.clone(),
+                events: slot.events.clone(),
+                children: slot
+                    .children
+                    .iter()
+                    .map(|&c| build(state, c, now))
+                    .collect(),
+            }
+        }
+        TelemetryReport {
+            spans: state.roots.iter().map(|&r| build(&state, r, now)).collect(),
+            counters: state.counters.clone(),
+            gauges: state.gauges.clone(),
+            histograms: state.histograms.clone(),
+        }
+    }
+}
+
+/// Closes its span on drop; use it to attach attributes and events.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard {
+    telemetry: Telemetry,
+    index: usize,
+    ended: bool,
+}
+
+impl SpanGuard {
+    /// Attaches a typed attribute to the span.
+    pub fn set_attr(&self, key: &str, value: impl Into<AttrValue>) {
+        let mut state = self.telemetry.inner.state.lock();
+        state.spans[self.index]
+            .attrs
+            .push((key.to_string(), value.into()));
+    }
+
+    /// Records a point-in-time event inside the span.
+    pub fn event(&self, name: &str) {
+        self.event_with(name, Vec::new());
+    }
+
+    /// Records an event carrying a typed payload.
+    pub fn event_with(&self, name: &str, attrs: Vec<(String, AttrValue)>) {
+        let at_ns = self.telemetry.now_ns();
+        let mut state = self.telemetry.inner.state.lock();
+        state.spans[self.index].events.push(SpanEvent {
+            name: name.to_string(),
+            at_ns,
+            attrs,
+        });
+    }
+
+    /// Closes the span now instead of at end of scope.
+    pub fn end(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if self.ended {
+            return;
+        }
+        self.ended = true;
+        let now = self.telemetry.now_ns();
+        let mut state = self.telemetry.inner.state.lock();
+        state.spans[self.index].end_ns = Some(now);
+        // Pop back to (and including) this span; any children left open by
+        // out-of-order drops are popped with it so nesting stays sane.
+        if let Some(pos) = state.stack.iter().rposition(|&i| i == self.index) {
+            state.stack.truncate(pos);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+impl fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("index", &self.index)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A span that may or may not be recording: every method is a no-op when
+/// telemetry is disabled, so instrumented code reads straight-line.
+#[derive(Debug)]
+pub struct MaybeSpan(Option<SpanGuard>);
+
+impl MaybeSpan {
+    /// Opens a span if a telemetry handle is present.
+    pub fn start(telemetry: Option<&Telemetry>, name: &str) -> Self {
+        MaybeSpan(telemetry.map(|t| t.span(name)))
+    }
+
+    /// A span that records nothing.
+    pub fn disabled() -> Self {
+        MaybeSpan(None)
+    }
+
+    /// Whether the span is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Attaches an attribute if recording.
+    pub fn set_attr(&self, key: &str, value: impl Into<AttrValue>) {
+        if let Some(span) = &self.0 {
+            span.set_attr(key, value);
+        }
+    }
+
+    /// Records an event if recording.
+    pub fn event(&self, name: &str) {
+        if let Some(span) = &self.0 {
+            span.event(name);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The frozen report
+// ---------------------------------------------------------------------
+
+/// One completed span in a frozen report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name.
+    pub name: String,
+    /// Clock value at open.
+    pub start_ns: u64,
+    /// Clock value at close (the report's freeze time for open spans).
+    pub end_ns: u64,
+    /// Attributes, in attachment order.
+    pub attrs: Vec<(String, AttrValue)>,
+    /// Events, in firing order.
+    pub events: Vec<SpanEvent>,
+    /// Child spans, in open order.
+    pub children: Vec<SpanRecord>,
+}
+
+crate::impl_json!(struct SpanRecord { name, start_ns, end_ns, attrs, events, children });
+
+impl SpanRecord {
+    /// The span's wall duration.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// The first attribute with the given key.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The first direct child with the given name.
+    pub fn child(&self, name: &str) -> Option<&SpanRecord> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Depth-first search for the first descendant (or self) with `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+/// The frozen, JSON-exportable output of a [`Telemetry`] registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetryReport {
+    /// Root spans, in open order.
+    pub spans: Vec<SpanRecord>,
+    /// Final counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Final gauge values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Raw histogram samples, in record order.
+    pub histograms: BTreeMap<String, Vec<f64>>,
+}
+
+crate::impl_json!(struct TelemetryReport { spans, counters, gauges, histograms });
+
+impl TelemetryReport {
+    /// Depth-first search across all roots for the first span named `name`.
+    pub fn find_span(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find_map(|s| s.find(name))
+    }
+
+    /// Total duration and occurrence count per span name, summed across
+    /// the whole forest — the "per-phase breakdown" the bench reports use.
+    pub fn phase_totals(&self) -> BTreeMap<String, PhaseTotal> {
+        fn walk(span: &SpanRecord, totals: &mut BTreeMap<String, PhaseTotal>) {
+            let entry = totals.entry(span.name.clone()).or_default();
+            entry.count += 1;
+            entry.total_ns += span.duration_ns();
+            for child in &span.children {
+                walk(child, totals);
+            }
+        }
+        let mut totals = BTreeMap::new();
+        for span in &self.spans {
+            walk(span, &mut totals);
+        }
+        totals
+    }
+
+    /// Nearest-rank percentile over a named histogram's samples.
+    pub fn histogram_percentile(&self, name: &str, pct: f64) -> Option<f64> {
+        let samples = self.histograms.get(name)?;
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("histogram samples are finite"));
+        let rank = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[rank.min(sorted.len() - 1)])
+    }
+
+    /// Mean of a named histogram's samples.
+    pub fn histogram_mean(&self, name: &str) -> Option<f64> {
+        let samples = self.histograms.get(name)?;
+        if samples.is_empty() {
+            return None;
+        }
+        Some(samples.iter().sum::<f64>() / samples.len() as f64)
+    }
+
+    /// Pretty-prints the span forest, one span per line with durations and
+    /// attributes, children indented under parents.
+    pub fn render_tree(&self) -> String {
+        fn walk(span: &SpanRecord, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!("{} {}", span.name, fmt_ns(span.duration_ns())));
+            for (key, value) in &span.attrs {
+                out.push_str(&format!(" {key}={value}"));
+            }
+            out.push('\n');
+            for event in &span.events {
+                out.push_str(&"  ".repeat(depth + 1));
+                out.push_str(&format!("@ {} at {}\n", event.name, fmt_ns(event.at_ns)));
+            }
+            for child in &span.children {
+                walk(child, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        for span in &self.spans {
+            walk(span, 0, &mut out);
+        }
+        out
+    }
+
+    /// Compact per-phase summary lines (spans down to `max_depth`, root =
+    /// depth 0), for embedding in `Display` output.
+    pub fn summary_lines(&self, max_depth: usize) -> Vec<String> {
+        fn walk(span: &SpanRecord, depth: usize, max_depth: usize, out: &mut Vec<String>) {
+            let mut line = format!(
+                "{}phase {}: {}",
+                "  ".repeat(depth),
+                span.name,
+                fmt_ns(span.duration_ns())
+            );
+            let attrs: Vec<String> = span.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            if !attrs.is_empty() {
+                line.push_str(&format!(" ({})", attrs.join(", ")));
+            }
+            out.push(line);
+            if depth < max_depth {
+                for child in &span.children {
+                    walk(child, depth + 1, max_depth, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for span in &self.spans {
+            walk(span, 0, max_depth, &mut out);
+        }
+        out
+    }
+
+    /// Writes the report as `SCAN_TELEMETRY_<label>.json` into
+    /// [`crate::bench::report_dir`] and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, label: &str) -> std::io::Result<PathBuf> {
+        self.write_json_in(&crate::bench::report_dir(), label)
+    }
+
+    /// Writes the report as `SCAN_TELEMETRY_<label>.json` into `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json_in(&self, dir: &std::path::Path, label: &str) -> std::io::Result<PathBuf> {
+        let file_name = format!(
+            "SCAN_TELEMETRY_{}.json",
+            label
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect::<String>()
+        );
+        let path = dir.join(file_name);
+        std::fs::write(&path, self.to_json().render_pretty(2))?;
+        Ok(path)
+    }
+}
+
+/// Per-name aggregate in [`TelemetryReport::phase_totals`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseTotal {
+    /// How many spans carried the name.
+    pub count: u64,
+    /// Summed wall duration across them.
+    pub total_ns: u64,
+}
+
+crate::impl_json!(struct PhaseTotal { count, total_ns });
+
+/// Renders a nanosecond duration with a human-scale unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{FromJson, JsonValue};
+
+    fn fake() -> (Arc<FakeClock>, Telemetry) {
+        let clock = Arc::new(FakeClock::new());
+        let telemetry = Telemetry::with_clock(clock.clone());
+        (clock, telemetry)
+    }
+
+    #[test]
+    fn spans_nest_and_time_exactly() {
+        let (clock, telemetry) = fake();
+        {
+            let sweep = telemetry.span("sweep");
+            sweep.set_attr("machine", "lab");
+            clock.advance(10);
+            {
+                let high = telemetry.span("high_scan");
+                high.set_attr("entries", 300u64);
+                clock.advance(25);
+            }
+            {
+                let _low = telemetry.span("low_scan");
+                clock.advance(40);
+            }
+            clock.advance(5);
+        }
+        let report = telemetry.report();
+        assert_eq!(report.spans.len(), 1);
+        let sweep = &report.spans[0];
+        assert_eq!(sweep.name, "sweep");
+        assert_eq!(sweep.duration_ns(), 80);
+        assert_eq!(sweep.attr("machine"), Some(&AttrValue::Str("lab".into())));
+        assert_eq!(sweep.children.len(), 2);
+        assert_eq!(sweep.child("high_scan").unwrap().duration_ns(), 25);
+        assert_eq!(
+            sweep.child("high_scan").unwrap().attr("entries"),
+            Some(&AttrValue::UInt(300))
+        );
+        assert_eq!(sweep.child("low_scan").unwrap().duration_ns(), 40);
+        assert_eq!(sweep.child("low_scan").unwrap().start_ns, 35);
+    }
+
+    #[test]
+    fn sibling_spans_after_explicit_end_stay_roots() {
+        let (clock, telemetry) = fake();
+        let first = telemetry.span("first");
+        clock.advance(3);
+        first.end();
+        let _second = telemetry.span("second");
+        let report = telemetry.report();
+        assert_eq!(report.spans.len(), 2, "second is a root, not a child");
+        assert_eq!(report.spans[0].duration_ns(), 3);
+    }
+
+    #[test]
+    fn open_spans_freeze_at_report_time() {
+        let (clock, telemetry) = fake();
+        let _open = telemetry.span("still_running");
+        clock.advance(7);
+        let report = telemetry.report();
+        assert_eq!(report.spans[0].duration_ns(), 7);
+    }
+
+    #[test]
+    fn events_record_clock_and_payload() {
+        let (clock, telemetry) = fake();
+        let span = telemetry.span("scan");
+        clock.advance(12);
+        span.event_with("tamper", vec![("bytes".into(), AttrValue::UInt(4))]);
+        drop(span);
+        let report = telemetry.report();
+        let event = &report.spans[0].events[0];
+        assert_eq!(event.name, "tamper");
+        assert_eq!(event.at_ns, 12);
+        assert_eq!(event.attrs[0].1, AttrValue::UInt(4));
+    }
+
+    #[test]
+    fn counters_gauges_histograms() {
+        let (_clock, telemetry) = fake();
+        telemetry.counter_add("entries", 100);
+        telemetry.counter_add("entries", 42);
+        telemetry.gauge_set("depth", 3.0);
+        telemetry.gauge_set("depth", 5.0);
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0] {
+            telemetry.histogram_record("lat", v);
+        }
+        let report = telemetry.report();
+        assert_eq!(report.counters["entries"], 142);
+        assert_eq!(report.gauges["depth"], 5.0);
+        assert_eq!(report.histogram_percentile("lat", 50.0), Some(3.0));
+        assert_eq!(report.histogram_percentile("lat", 100.0), Some(100.0));
+        assert_eq!(report.histogram_percentile("lat", 0.0), Some(1.0));
+        assert_eq!(report.histogram_mean("lat"), Some(22.0));
+        assert_eq!(report.histogram_percentile("missing", 50.0), None);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let (clock, telemetry) = fake();
+        {
+            let span = telemetry.span("outer");
+            span.set_attr("kind", "files");
+            span.set_attr("count", 9u64);
+            clock.advance(50);
+            let inner = telemetry.span("inner");
+            inner.event("checkpoint");
+            clock.advance(50);
+        }
+        telemetry.counter_add("rows", 12);
+        telemetry.gauge_set("ratio", 0.5);
+        telemetry.histogram_record("lat", 1.5);
+        let report = telemetry.report();
+        let text = report.to_json().render_pretty(2);
+        let parsed =
+            TelemetryReport::from_json(&JsonValue::parse(&text).expect("parses")).expect("decodes");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn phase_totals_sum_across_repeats() {
+        let (clock, telemetry) = fake();
+        for _ in 0..3 {
+            let _span = telemetry.span("diff");
+            clock.advance(10);
+        }
+        let totals = telemetry.report().phase_totals();
+        assert_eq!(totals["diff"].count, 3);
+        assert_eq!(totals["diff"].total_ns, 30);
+    }
+
+    #[test]
+    fn render_tree_and_summary_show_structure() {
+        let (clock, telemetry) = fake();
+        {
+            let sweep = telemetry.span("sweep");
+            sweep.set_attr("suspicious", 2u64);
+            clock.advance(1_500);
+            let _files = telemetry.span("files");
+            clock.advance(500);
+        }
+        let report = telemetry.report();
+        let tree = report.render_tree();
+        assert!(tree.contains("sweep 2.0µs suspicious=2"), "{tree}");
+        assert!(tree.contains("  files 500ns"), "{tree}");
+        let lines = report.summary_lines(0);
+        assert_eq!(lines.len(), 1, "depth 0 keeps only roots");
+        assert!(lines[0].starts_with("phase sweep:"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn maybe_span_is_silent_when_disabled() {
+        let disabled = MaybeSpan::start(None, "nothing");
+        assert!(!disabled.is_recording());
+        disabled.set_attr("k", 1u64);
+        disabled.event("e");
+
+        let (_clock, telemetry) = fake();
+        let enabled = MaybeSpan::start(Some(&telemetry), "something");
+        assert!(enabled.is_recording());
+        enabled.set_attr("k", 1u64);
+        drop(enabled);
+        drop(disabled);
+        assert_eq!(telemetry.report().spans.len(), 1);
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_000_000), "2.0ms");
+        assert_eq!(fmt_ns(3_500_000_000), "3.50s");
+    }
+
+    #[test]
+    fn write_json_sanitizes_label_and_writes() {
+        let dir = std::env::temp_dir().join(format!("strider-obs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (_clock, telemetry) = fake();
+        telemetry.counter_add("x", 1);
+        let path = telemetry
+            .report()
+            .write_json_in(&dir, "unit test!")
+            .unwrap();
+        assert!(path.ends_with("SCAN_TELEMETRY_unit_test_.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"counters\""));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+}

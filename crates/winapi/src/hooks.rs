@@ -63,6 +63,17 @@ impl fmt::Display for Level {
     }
 }
 
+strider_support::impl_json!(
+    enum Level {
+        FilterDriver,
+        RegistryCallback,
+        Ssdt,
+        NtdllCode,
+        Win32ApiCode,
+        Iat,
+    }
+);
+
 /// How the hook is implemented — what a mechanism-targeting detector sees.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HookStyle {

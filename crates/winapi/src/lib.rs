@@ -62,6 +62,7 @@
 mod hooks;
 mod machine;
 mod query;
+mod trace;
 
 pub use hooks::{
     syscall_for, Hook, HookId, HookRegistry, HookScope, HookStyle, Level, QueryFilter,
@@ -70,12 +71,14 @@ pub use machine::{ChainEntry, DiskImage, HiveCopyTamper, Machine, RawImageTamper
 pub use query::{
     CallContext, FileRow, ModuleRow, ProcessRow, Query, QueryKind, RegKeyRow, RegValueRow, Row,
 };
+pub use trace::{ChainStats, ChainTrace, LevelHop};
 
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::{
-        CallContext, ChainEntry, DiskImage, FileRow, HiveCopyTamper, Hook, HookId, HookRegistry,
-        HookScope, HookStyle, Level, Machine, ModuleRow, ProcessRow, Query, QueryFilter, QueryKind,
-        RawImageTamper, RegKeyRow, RegValueRow, Row, TickTask,
+        CallContext, ChainEntry, ChainStats, ChainTrace, DiskImage, FileRow, HiveCopyTamper, Hook,
+        HookId, HookRegistry, HookScope, HookStyle, Level, LevelHop, Machine, ModuleRow,
+        ProcessRow, Query, QueryFilter, QueryKind, RawImageTamper, RegKeyRow, RegValueRow, Row,
+        TickTask,
     };
 }

@@ -6,6 +6,7 @@ use crate::hooks::{
 use crate::query::{
     CallContext, FileRow, ModuleRow, ProcessRow, Query, QueryKind, RegKeyRow, RegValueRow, Row,
 };
+use crate::trace::{ChainTrace, LevelHop};
 use std::sync::Arc;
 use strider_hive::{Registry, RegistryError, ValueData};
 use strider_kernel::{Kernel, SyscallId};
@@ -23,6 +24,13 @@ pub enum ChainEntry {
     /// API-code levels and skips Win32 marshalling.
     Native,
 }
+
+strider_support::impl_json!(
+    enum ChainEntry {
+        Win32,
+        Native,
+    }
+);
 
 /// Ghostware interference with the low-level hive copy (the reason the
 /// inside-the-box low-level scan is only a *truth approximation*).
@@ -403,6 +411,52 @@ impl Machine {
             rows = win32_marshal(rows);
         }
         Ok(rows)
+    }
+
+    /// Like [`Machine::query`], but also records a [`ChainTrace`]: the row
+    /// set is compared before and after every traversed level, so a
+    /// diverted call is attributable to the exact chain layer that lied.
+    /// Clones the row vector once per level — use [`Machine::query`] on
+    /// paths that don't need attribution.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::query`].
+    pub fn query_traced(
+        &self,
+        ctx: &CallContext,
+        query: &Query,
+        entry: ChainEntry,
+    ) -> Result<(Vec<Row>, ChainTrace), NtStatus> {
+        let mut rows = self.truth_rows(query)?;
+        let mut trace = ChainTrace {
+            kind: query.kind(),
+            entry,
+            truth_rows: rows.len() as u64,
+            hops: Vec::new(),
+            marshal_mutated: false,
+            final_rows: 0,
+        };
+        for level in Level::ALL {
+            if entry == ChainEntry::Native && !level.applies_to_native_calls() {
+                continue;
+            }
+            let before = rows.clone();
+            rows = self.apply_level(level, ctx, query, rows);
+            trace.hops.push(LevelHop {
+                level,
+                rows_in: before.len() as u64,
+                rows_out: rows.len() as u64,
+                mutated: before != rows,
+            });
+        }
+        if entry == ChainEntry::Win32 {
+            let before = rows.clone();
+            rows = win32_marshal(rows);
+            trace.marshal_mutated = before != rows;
+        }
+        trace.final_rows = rows.len() as u64;
+        Ok((rows, trace))
     }
 
     /// Simulates a debugger taking a call-stack trace of one API call from
@@ -1210,6 +1264,55 @@ mod tests {
         assert!(m.kernel().filter_stack().is_empty());
         assert!(m.kernel().registry_callbacks().is_empty());
         assert!(m.kernel().ssdt().hooked_services().is_empty());
+    }
+
+    #[test]
+    fn query_traced_attributes_divergence_to_the_hook_level() {
+        let mut m = base();
+        m.volume_mut()
+            .create_file(&p("C:\\windows\\hxdef100.exe"), b"MZ")
+            .unwrap();
+        m.install_ntdll_hook(
+            "hxdef",
+            vec![QueryKind::Files],
+            HookScope::All,
+            name_filter("hxdef"),
+        );
+        let ctx = m.context_for_name("explorer.exe").unwrap();
+        let q = Query::DirectoryEnum {
+            path: p("C:\\windows"),
+        };
+        let (rows, trace) = m.query_traced(&ctx, &q, ChainEntry::Win32).unwrap();
+        assert_eq!(rows, m.query(&ctx, &q, ChainEntry::Win32).unwrap());
+        assert!(trace.diverted());
+        assert_eq!(trace.first_diverted_level(), Some(Level::NtdllCode));
+        assert_eq!(trace.truth_rows, trace.final_rows + 1);
+        assert_eq!(trace.hops.len(), 6, "Win32 entry traverses every level");
+        assert!(!trace.marshal_mutated);
+
+        // Native entry skips the caller-side levels.
+        let (_, native) = m.query_traced(&ctx, &q, ChainEntry::Native).unwrap();
+        assert_eq!(native.hops.len(), 4);
+
+        // A clean machine's trace shows no divergence.
+        m.remove_software("hxdef");
+        let (_, clean) = m.query_traced(&ctx, &q, ChainEntry::Win32).unwrap();
+        assert!(!clean.diverted());
+    }
+
+    #[test]
+    fn query_traced_flags_win32_marshalling() {
+        let mut m = base();
+        m.native_create_file(&p("C:\\temp\\update."), b"x").unwrap();
+        let ctx = m.context_for_name("explorer.exe").unwrap();
+        let q = Query::DirectoryEnum {
+            path: p("C:\\temp"),
+        };
+        let (rows, trace) = m.query_traced(&ctx, &q, ChainEntry::Win32).unwrap();
+        assert!(rows.is_empty());
+        assert!(trace.marshal_mutated, "naming-rule hiding is marshalling");
+        assert!(trace.diverted());
+        assert_eq!(trace.first_diverted_level(), None, "no hook level lied");
     }
 
     #[test]

@@ -15,10 +15,20 @@ else
     echo "==> cargo fmt not installed; skipping format check"
 fi
 
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --offline -- -D warnings"
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "==> cargo clippy not installed; skipping lint check"
+fi
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
-echo "==> cargo test -q --offline"
-cargo test -q --offline
+echo "==> cargo build --offline --examples"
+cargo build --offline --examples
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
 
 echo "==> OK"

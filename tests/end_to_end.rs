@@ -166,6 +166,73 @@ fn fu_can_stack_on_hxdef_and_advanced_mode_still_wins() {
 }
 
 #[test]
+fn infected_sweep_emits_full_telemetry_span_tree() {
+    let mut m = victim(101);
+    HackerDefender::default().infect(&mut m).expect("hxdef");
+    let telemetry = Telemetry::new();
+    let sweep = GhostBuster::new()
+        .with_telemetry(telemetry.clone())
+        .inside_sweep(&mut m)
+        .expect("sweeps");
+    assert!(sweep.is_infected());
+
+    let report = sweep.telemetry.as_ref().expect("telemetry attached");
+    let root = report.find_span("sweep.inside").expect("sweep span");
+
+    // All four resource pipelines report their phases under the sweep.
+    for (pipeline, phases) in [
+        ("files", &["high_scan", "low_scan", "diff"][..]),
+        ("registry", &["high_scan", "low_scan", "diff"][..]),
+        ("processes", &["high_scan", "low_scan", "diff"][..]),
+        ("modules", &["high_scan", "low_scan", "diff"][..]),
+    ] {
+        let scan = root
+            .child(&format!("{pipeline}.scan_inside"))
+            .unwrap_or_else(|| panic!("missing {pipeline}.scan_inside"));
+        for phase in phases {
+            assert!(
+                scan.find(&format!("{pipeline}.{phase}")).is_some(),
+                "missing {pipeline}.{phase}"
+            );
+        }
+    }
+
+    // Every view counted a non-zero number of entries.
+    for view in [
+        "files.entries.HighLevelWin32",
+        "files.entries.LowLevelMft",
+        "registry.entries.HighLevelWin32",
+        "registry.entries.LowLevelHiveParse",
+        "processes.entries.HighLevelWin32",
+        "processes.entries.LowLevelApl",
+        "modules.entries.HighLevelWin32",
+        "modules.entries.LowLevelKernelModules",
+    ] {
+        assert!(
+            report.counters.get(view).copied().unwrap_or(0) > 0,
+            "counter {view} missing or zero"
+        );
+    }
+
+    // The hook-chain trace attributes hxdef's lies to its NtDll detours.
+    for pipeline in ["files", "registry", "processes"] {
+        let high = root
+            .find(&format!("{pipeline}.high_scan"))
+            .expect("high scan span");
+        assert_eq!(
+            high.attr("diverted_at").map(ToString::to_string),
+            Some("NtdllCode".to_string()),
+            "{pipeline}: wrong or missing divergence level"
+        );
+    }
+
+    // Phase totals aggregate each span name across the tree.
+    let totals = report.phase_totals();
+    assert!(totals.contains_key("files.high_scan"));
+    assert!(totals["files.high_scan"].count >= 1);
+}
+
+#[test]
 fn scan_gap_zero_means_zero_false_positives_inside() {
     // Repeated inside sweeps on a churning but clean machine: always silent.
     let mut m = standard_lab_machine("clean", &WorkloadSpec::medium(3), true).expect("machine");

@@ -104,6 +104,33 @@ fn every_dependency_is_a_workspace_path() {
 }
 
 #[test]
+fn every_crate_directory_is_audited() {
+    // The workspace members glob (`crates/*`) only picks up directories
+    // with manifests; a crate vendored without one — or a manifest the
+    // audit walk somehow skips — would dodge the dependency audit above.
+    let root = manifest_root();
+    let mut manifests = Vec::new();
+    collect_manifests(&root, &mut manifests);
+    for entry in fs::read_dir(root.join("crates")).expect("crates dir") {
+        let entry = entry.expect("readable entry");
+        if !entry.path().is_dir() {
+            continue;
+        }
+        let manifest = entry.path().join("Cargo.toml");
+        assert!(
+            manifest.is_file(),
+            "{} has no Cargo.toml — the workspace glob would skip it",
+            entry.path().display()
+        );
+        assert!(
+            manifests.contains(&manifest),
+            "{} escaped the hermeticity audit walk",
+            manifest.display()
+        );
+    }
+}
+
+#[test]
 fn support_crate_has_no_dependencies_at_all() {
     let manifest = manifest_root().join("crates/support/Cargo.toml");
     let text = fs::read_to_string(&manifest).expect("support manifest");
@@ -115,7 +142,7 @@ fn support_crate_has_no_dependencies_at_all() {
             continue;
         }
         assert!(
-            !(in_dep_section && !line.is_empty()),
+            !in_dep_section || line.is_empty(),
             "strider-support must stay dependency-free, found: {raw}"
         );
     }
