@@ -69,6 +69,7 @@ fn scale_io(io: &IoStats, factor: f64) -> IoStats {
         seeks: (io.seeks as f64 * factor) as u64,
         api_calls: (io.api_calls as f64 * factor) as u64,
         entries: (io.entries as f64 * factor) as u64,
+        defects: io.defects,
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::diff::cross_view_diff;
 use crate::instrument::{record_chain, record_view_entries};
+use crate::policy::ScanPolicy;
 use crate::report::{Detection, DiffReport, FileCategory, NoiseClass, NoiseFilter, ResourceKind};
 use crate::snapshot::{FileFact, ScanMeta, Snapshot, ViewKind};
 use strider_nt_core::{NtPath, NtStatus, Tick};
@@ -16,6 +17,7 @@ pub struct FileScanner {
     noise: NoiseFilter,
     detect_ads: bool,
     telemetry: Option<Telemetry>,
+    policy: ScanPolicy,
 }
 
 impl FileScanner {
@@ -36,6 +38,16 @@ impl FileScanner {
     /// is visible as a span attribute.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Replaces the resilience policy: retries for transient low-level read
+    /// failures, and salvage-mode parsing of damaged volume images (each
+    /// skipped structure is recorded as a defect in the scan's
+    /// [`IoStats`](strider_nt_core::IoStats) and, when telemetry is
+    /// attached, the `files.defects` counter).
+    pub fn with_policy(mut self, policy: ScanPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -121,9 +133,11 @@ impl FileScanner {
     ///
     /// # Errors
     ///
-    /// Fails when the image does not parse.
+    /// Fails when the read fails permanently (transient failures are
+    /// retried per the [`ScanPolicy`]) or the image does not parse and
+    /// salvage is off.
     pub fn low_scan(&self, machine: &Machine) -> Result<Snapshot<FileFact>, NtStatus> {
-        let bytes = machine.read_raw_volume_image();
+        let bytes = self.policy.retry(|| machine.try_read_raw_volume_image())?;
         self.scan_image_bytes(&bytes, ViewKind::LowLevelMft, machine.now())
     }
 
@@ -147,10 +161,23 @@ impl FileScanner {
             _ => "files.low_scan",
         };
         let span = MaybeSpan::start(self.telemetry.as_ref(), span_name);
-        let raw =
-            VolumeImage::parse(bytes).map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
+        let (raw, defects) = if self.policy.salvage {
+            let salvaged = VolumeImage::parse_salvage(bytes);
+            (salvaged.value, salvaged.defects)
+        } else {
+            let raw =
+                VolumeImage::parse(bytes).map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
+            (raw, Vec::new())
+        };
         let mut snap = Snapshot::new(ScanMeta::new(view, taken_at));
         snap.meta.io.record_sequential(raw.image_len());
+        if !defects.is_empty() {
+            snap.meta.io.record_defects(defects.len() as u64);
+            span.set_attr("defects", defects.len());
+            if let Some(t) = &self.telemetry {
+                t.counter_add("files.defects", defects.len() as u64);
+            }
+        }
         for (path, entry) in raw.all_paths() {
             snap.meta.io.record_entries(1);
             if self.detect_ads {

@@ -2,13 +2,15 @@
 //! remediation.
 
 use crate::files::FileScanner;
+use crate::policy::{PipelineStatus, ScanPolicy, SweepHealth};
 use crate::process::{AdvancedSource, ProcessScanner};
 use crate::registry::{OutsideRegistryMode, RegistryScanner};
 use crate::report::DiffReport;
+use crate::snapshot::{ScanMeta, ViewKind};
 use std::fmt;
 use strider_hive::prelude::AsepHook;
 use strider_kernel::MemoryDump;
-use strider_nt_core::{NtStatus, NtString};
+use strider_nt_core::{NtStatus, NtString, Tick};
 use strider_support::obs::{MaybeSpan, Telemetry, TelemetryReport};
 use strider_winapi::{CallContext, ChainEntry, Machine};
 
@@ -27,6 +29,10 @@ pub struct SweepReport {
     pub processes: DiffReport,
     /// Hidden-module findings.
     pub modules: DiffReport,
+    /// Per-pipeline health: which truth sources were clean, salvaged, or
+    /// lost entirely. A degraded pipeline contributes an empty [`DiffReport`]
+    /// above — check here before trusting its silence.
+    pub health: SweepHealth,
     /// The telemetry captured during the sweep, when the detector was built
     /// with [`GhostBuster::with_telemetry`].
     pub telemetry: Option<TelemetryReport>,
@@ -66,6 +72,11 @@ impl fmt::Display for SweepReport {
             self.suspicious_count(),
             self.noise_count()
         )?;
+        // Output is byte-identical to the pre-policy report when every
+        // pipeline ran clean.
+        if !self.health.is_all_ok() {
+            writeln!(f, "health: {}", self.health)?;
+        }
         for report in [&self.files, &self.hooks, &self.processes, &self.modules] {
             write!(f, "{report}")?;
         }
@@ -104,6 +115,7 @@ pub struct GhostBuster {
     processes: ProcessScanner,
     advanced: Option<AdvancedSource>,
     telemetry: Option<Telemetry>,
+    policy: ScanPolicy,
 }
 
 impl GhostBuster {
@@ -116,6 +128,19 @@ impl GhostBuster {
     /// given kernel structure, defeating DKOM.
     pub fn with_advanced(mut self, source: AdvancedSource) -> Self {
         self.advanced = Some(source);
+        self
+    }
+
+    /// Replaces the resilience policy, threading it through every scanner:
+    /// transient low-level read failures are retried with backoff, damaged
+    /// truth images are salvage-parsed, cross-view diffs are re-run until
+    /// two consecutive passes agree, and a pipeline whose truth source is
+    /// unrecoverable is marked [`PipelineStatus::Degraded`] in the sweep's
+    /// [`SweepHealth`] instead of failing the other three.
+    pub fn with_policy(mut self, policy: ScanPolicy) -> Self {
+        self.files = self.files.with_policy(policy.clone());
+        self.registry = self.registry.with_policy(policy.clone());
+        self.policy = policy;
         self
     }
 
@@ -207,23 +232,77 @@ impl GhostBuster {
         self.processes.scan_modules_inside(machine, &ctx)
     }
 
+    /// Runs one pipeline under the policy: stabilization passes, then on an
+    /// unrecoverable error an empty report marked degraded — the sweep's
+    /// graceful-degradation seam.
+    fn run_pipeline(
+        &self,
+        name: &str,
+        truth_view: ViewKind,
+        now: Tick,
+        scan: impl FnMut() -> Result<DiffReport, NtStatus>,
+    ) -> (DiffReport, PipelineStatus) {
+        match self.policy.stabilize(scan) {
+            Ok(report) => {
+                let status = pipeline_status(&report);
+                (report, status)
+            }
+            Err(e) => {
+                if let Some(t) = &self.telemetry {
+                    t.counter_add(&format!("sweep.degraded.{name}"), 1);
+                }
+                (
+                    degraded_report(truth_view, now),
+                    PipelineStatus::Degraded {
+                        reason: e.to_string(),
+                    },
+                )
+            }
+        }
+    }
+
     /// The full inside-the-box sweep: files, ASEPs, processes, modules.
+    ///
+    /// A pipeline whose truth source fails permanently no longer aborts the
+    /// sweep: it yields an empty report and a
+    /// [`PipelineStatus::Degraded`] entry in [`SweepReport::health`], while
+    /// the remaining pipelines scan normally.
     ///
     /// # Errors
     ///
-    /// Propagates scan failures.
+    /// Fails only when the scanner cannot even enter the machine.
     pub fn inside_sweep(&self, machine: &mut Machine) -> Result<SweepReport, NtStatus> {
         let span = MaybeSpan::start(self.telemetry.as_ref(), "sweep.inside");
-        let files = self.scan_files_inside(machine)?;
-        let hooks = self.scan_registry_inside(machine)?;
-        let processes = self.scan_processes_inside(machine)?;
-        let modules = self.scan_modules_inside(machine)?;
+        let ctx = self.enter(machine)?;
+        let machine = &*machine;
+        let now = machine.now();
+        let (files, files_status) = self.run_pipeline("files", ViewKind::LowLevelMft, now, || {
+            self.files.scan_inside(machine, &ctx)
+        });
+        let (hooks, registry_status) =
+            self.run_pipeline("registry", ViewKind::LowLevelHiveParse, now, || {
+                self.registry.scan_inside(machine, &ctx)
+            });
+        let (processes, processes_status) =
+            self.run_pipeline("processes", ViewKind::LowLevelApl, now, || {
+                self.processes.scan_inside(machine, &ctx, self.advanced)
+            });
+        let (modules, modules_status) =
+            self.run_pipeline("modules", ViewKind::LowLevelKernelModules, now, || {
+                self.processes.scan_modules_inside(machine, &ctx)
+            });
         drop(span);
         Ok(SweepReport {
             files,
             hooks,
             processes,
             modules,
+            health: SweepHealth {
+                files: files_status,
+                registry: registry_status,
+                processes: processes_status,
+                modules: modules_status,
+            },
             telemetry: self.telemetry.as_ref().map(Telemetry::report),
         })
     }
@@ -250,55 +329,126 @@ impl GhostBuster {
         let module_lie = self
             .processes
             .high_module_scan(machine, &ctx, ChainEntry::Win32)?;
-        let dump = MemoryDump::parse(&machine.kernel().crash_dump())
-            .map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
+        // The dump is captured pre-reboot, while the ghostware (and any
+        // injected dump faults) are live. A permanently failing or
+        // unparseable dump degrades the two volatile pipelines only.
+        let dump = self.capture_dump(machine);
 
         machine.tick(reboot_ticks);
         let image = machine.snapshot_disk()?;
+        let mut health = SweepHealth::default();
 
-        let file_truth = self.files.outside_scan(&image)?;
-        let hook_truth = self
-            .registry
-            .outside_scan(&image, OutsideRegistryMode::MountedWin32)?;
-        let proc_truth = self.processes.outside_scan(&dump, self.advanced.is_some());
-        // Outside module truth: the dump's kernel-side lists for processes
-        // the high-level view could see.
-        let mut module_truth = crate::snapshot::Snapshot::new(crate::snapshot::ScanMeta::new(
-            crate::snapshot::ViewKind::OutsideDump,
-            image.taken_at,
-        ));
-        for (_, pf) in proc_lie.iter() {
-            if let Some(p) = dump.process(pf.pid) {
-                for m in &p.kernel_modules {
-                    module_truth.insert(
-                        format!(
-                            "pid:{}|{}",
-                            pf.pid.0,
-                            m.name.to_win32_lossy().to_ascii_lowercase()
-                        ),
-                        crate::snapshot::ModuleFact {
-                            pid: pf.pid,
-                            process_name: pf.image_name.clone(),
-                            module: m.name.to_win32_lossy(),
-                            path: m.path.to_win32_lossy(),
-                        },
-                    );
-                }
+        let files = match self.files.outside_scan(&image) {
+            Ok(file_truth) => {
+                let report = self.files.diff(&file_truth, &file_lie);
+                health.files = pipeline_status(&report);
+                report
             }
-        }
-
-        let files = self.files.diff(&file_truth, &file_lie);
-        let hooks = self.registry.diff(&hook_truth, &hook_lie);
-        let processes = self.processes.diff(&proc_truth, &proc_lie);
-        let modules = self.processes.diff_modules(&module_truth, &module_lie);
+            Err(e) => {
+                health.files = PipelineStatus::Degraded {
+                    reason: e.to_string(),
+                };
+                degraded_report(ViewKind::OutsideDisk, image.taken_at)
+            }
+        };
+        let hooks = match self
+            .registry
+            .outside_scan(&image, OutsideRegistryMode::MountedWin32)
+        {
+            Ok(hook_truth) => {
+                let report = self.registry.diff(&hook_truth, &hook_lie);
+                health.registry = pipeline_status(&report);
+                report
+            }
+            Err(e) => {
+                health.registry = PipelineStatus::Degraded {
+                    reason: e.to_string(),
+                };
+                degraded_report(ViewKind::OutsideMountedHives, image.taken_at)
+            }
+        };
+        let (processes, modules) = match dump {
+            Ok((dump, dump_defects)) => {
+                let proc_truth = self.processes.outside_scan(&dump, self.advanced.is_some());
+                // Outside module truth: the dump's kernel-side lists for
+                // processes the high-level view could see.
+                let mut module_truth = crate::snapshot::Snapshot::new(ScanMeta::new(
+                    ViewKind::OutsideDump,
+                    image.taken_at,
+                ));
+                for (_, pf) in proc_lie.iter() {
+                    if let Some(p) = dump.process(pf.pid) {
+                        for m in &p.kernel_modules {
+                            module_truth.insert(
+                                format!(
+                                    "pid:{}|{}",
+                                    pf.pid.0,
+                                    m.name.to_win32_lossy().to_ascii_lowercase()
+                                ),
+                                crate::snapshot::ModuleFact {
+                                    pid: pf.pid,
+                                    process_name: pf.image_name.clone(),
+                                    module: m.name.to_win32_lossy(),
+                                    path: m.path.to_win32_lossy(),
+                                },
+                            );
+                        }
+                    }
+                }
+                if dump_defects > 0 {
+                    health.processes = PipelineStatus::Salvaged {
+                        defects: dump_defects,
+                    };
+                    health.modules = PipelineStatus::Salvaged {
+                        defects: dump_defects,
+                    };
+                }
+                (
+                    self.processes.diff(&proc_truth, &proc_lie),
+                    self.processes.diff_modules(&module_truth, &module_lie),
+                )
+            }
+            Err(e) => {
+                if let Some(t) = &self.telemetry {
+                    t.counter_add("sweep.degraded.processes", 1);
+                    t.counter_add("sweep.degraded.modules", 1);
+                }
+                health.processes = PipelineStatus::Degraded {
+                    reason: e.to_string(),
+                };
+                health.modules = PipelineStatus::Degraded {
+                    reason: e.to_string(),
+                };
+                (
+                    degraded_report(ViewKind::OutsideDump, image.taken_at),
+                    degraded_report(ViewKind::OutsideDump, image.taken_at),
+                )
+            }
+        };
         drop(span);
         Ok(SweepReport {
             files,
             hooks,
             processes,
             modules,
+            health,
             telemetry: self.telemetry.as_ref().map(Telemetry::report),
         })
+    }
+
+    /// Reads and parses the crash dump per the policy: transient device
+    /// failures are retried with backoff, and a damaged dump is salvaged
+    /// (returning the defect count) when salvage is on.
+    fn capture_dump(&self, machine: &Machine) -> Result<(MemoryDump, u64), NtStatus> {
+        let bytes = self.policy.retry(|| machine.try_crash_dump())?;
+        if self.policy.salvage {
+            let salvaged = MemoryDump::parse_salvage(&bytes);
+            Ok((salvaged.value, salvaged.defects.len() as u64))
+        } else {
+            let dump =
+                MemoryDump::parse(&bytes).map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
+            Ok((dump, 0))
+        }
     }
 
     /// The RIS (network-boot) outside flow of Section 5: identical scans to
@@ -403,6 +553,27 @@ impl GhostBuster {
             }
         }
         removed
+    }
+}
+
+/// An empty report standing in for a pipeline whose truth source was lost:
+/// both metas are present (so downstream consumers need no special case) but
+/// nothing was compared.
+fn degraded_report(truth_view: ViewKind, now: Tick) -> DiffReport {
+    DiffReport {
+        truth_meta: ScanMeta::new(truth_view, now),
+        lie_meta: ScanMeta::new(ViewKind::HighLevelWin32, now),
+        detections: Vec::new(),
+        phantom_in_lie: Vec::new(),
+    }
+}
+
+/// A completed pipeline's status: clean, or salvaged with however many
+/// defects its truth-side parse recorded.
+fn pipeline_status(report: &DiffReport) -> PipelineStatus {
+    match report.truth_meta.io.defects {
+        0 => PipelineStatus::Ok,
+        defects => PipelineStatus::Salvaged { defects },
     }
 }
 

@@ -62,6 +62,7 @@ mod ghostbuster;
 mod hookscan;
 mod inject;
 mod instrument;
+mod policy;
 mod process;
 mod registry;
 mod report;
@@ -78,6 +79,7 @@ pub use files::FileScanner;
 pub use ghostbuster::{GhostBuster, SweepReport, GHOSTBUSTER_IMAGE};
 pub use hookscan::{install_benign_wrapper, HookFinding, HookScanner};
 pub use inject::{injected_sweep, InjectedSweepReport, PerProcessReport};
+pub use policy::{PipelineStatus, ScanPolicy, SweepHealth};
 pub use process::{AdvancedSource, ProcessScanner};
 pub use registry::{OutsideRegistryMode, RegistryScanner};
 pub use report::{Detection, DiffReport, FileCategory, NoiseClass, NoiseFilter, ResourceKind};
@@ -93,8 +95,8 @@ pub mod prelude {
         cross_view_diff, injected_sweep, install_benign_wrapper, AdvancedSource, AsepMonitor,
         CrossTimeDiff, Detection, DiffReport, DriverScanner, FileCategory, FileScanner,
         GhostBuster, HookScanner, InjectedSweepReport, NoiseClass, NoiseFilter,
-        OutsideRegistryMode, ProcessScanner, RegistryScanner, ResourceKind, ScanMeta,
-        SignatureScanner, Snapshot, SweepReport, Telemetry, TelemetryReport, UnixGhostBuster,
-        ViewKind,
+        OutsideRegistryMode, PipelineStatus, ProcessScanner, RegistryScanner, ResourceKind,
+        ScanMeta, ScanPolicy, SignatureScanner, Snapshot, SweepHealth, SweepReport, Telemetry,
+        TelemetryReport, UnixGhostBuster, ViewKind,
     };
 }

@@ -1,0 +1,497 @@
+//! Scan resilience: retry, salvage, stabilization, and per-pipeline health.
+//!
+//! A live machine is a hostile measurement environment twice over: the
+//! ghostware tampers with what the scans *see*, and ordinary hardware and
+//! scheduling churn tamper with whether the scans *complete*. The paper's
+//! answer to the second problem is procedural — re-run the scan, tolerate a
+//! reboot window, accept the image you can get. [`ScanPolicy`] makes those
+//! procedures explicit and testable:
+//!
+//! * **retries** — low-level reads that fail transiently
+//!   ([`NtStatus::DeviceNotReady`]) are retried with bounded exponential
+//!   backoff through a [`Clock`], so tests drive the schedule with a
+//!   [`FakeClock`](strider_support::obs::FakeClock) and never sleep;
+//! * **salvage** — raw images that no longer parse strictly are handed to
+//!   the salvage-mode parsers, which skip damaged records and report
+//!   [`Defect`](strider_support::fault::Defect)s instead of aborting;
+//! * **stabilization** — a cross-view diff taken while the machine mutates
+//!   underneath it sees scan-gap churn; re-running until two consecutive
+//!   passes agree separates a *stable* lie (hiding) from transient noise;
+//! * **degradation** — when a truth source is unrecoverable the sweep keeps
+//!   going, and the lost pipeline is marked [`PipelineStatus::Degraded`] in
+//!   the report's [`SweepHealth`] rather than failing the other three.
+
+use crate::report::DiffReport;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+use strider_nt_core::NtStatus;
+use strider_support::obs::{Clock, MonotonicClock};
+
+/// Resilience knobs for scans and sweeps.
+///
+/// [`ScanPolicy::strict`] (the default) reproduces the pre-policy behavior
+/// exactly: no retries, no salvage, a single pass, and any low-level failure
+/// propagates. [`ScanPolicy::resilient`] turns everything on.
+///
+/// # Examples
+///
+/// ```
+/// use strider_ghostbuster::ScanPolicy;
+///
+/// let strict = ScanPolicy::strict();
+/// assert_eq!(strict.retries, 0);
+/// assert!(!strict.salvage);
+///
+/// let resilient = ScanPolicy::resilient();
+/// assert!(resilient.retries > 0);
+/// assert!(resilient.salvage);
+/// ```
+#[derive(Clone)]
+pub struct ScanPolicy {
+    /// How many times a transiently-failing low-level read is retried
+    /// before the failure is treated as permanent.
+    pub retries: u32,
+    /// Backoff before the first retry, in nanoseconds; doubles per attempt.
+    pub backoff_base_ns: u64,
+    /// Ceiling on any single backoff sleep, in nanoseconds.
+    pub backoff_max_ns: u64,
+    /// Maximum number of diff passes per pipeline; the sweep stops early as
+    /// soon as two consecutive passes agree. `1` means single-pass.
+    pub stabilization_passes: u32,
+    /// Whether unparseable raw images are re-read in salvage mode (skipping
+    /// damaged records, recording defects) instead of failing the scan.
+    pub salvage: bool,
+    clock: Arc<dyn Clock>,
+}
+
+impl fmt::Debug for ScanPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScanPolicy")
+            .field("retries", &self.retries)
+            .field("backoff_base_ns", &self.backoff_base_ns)
+            .field("backoff_max_ns", &self.backoff_max_ns)
+            .field("stabilization_passes", &self.stabilization_passes)
+            .field("salvage", &self.salvage)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ScanPolicy {
+    fn default() -> Self {
+        Self::strict()
+    }
+}
+
+impl ScanPolicy {
+    /// Fail-fast: no retries, no salvage, single-pass diffs. Identical to
+    /// the scanners' historical behavior.
+    pub fn strict() -> Self {
+        Self {
+            retries: 0,
+            backoff_base_ns: 1_000_000,
+            backoff_max_ns: 8_000_000,
+            stabilization_passes: 1,
+            salvage: false,
+            clock: Arc::new(MonotonicClock::new()),
+        }
+    }
+
+    /// Production posture: three retries with 1 ms → 8 ms exponential
+    /// backoff, salvage-mode parsing, and up to three stabilization passes.
+    pub fn resilient() -> Self {
+        Self {
+            retries: 3,
+            stabilization_passes: 3,
+            salvage: true,
+            ..Self::strict()
+        }
+    }
+
+    /// Sets the retry budget.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the backoff schedule: `base_ns` doubling per attempt, capped at
+    /// `max_ns`.
+    pub fn with_backoff(mut self, base_ns: u64, max_ns: u64) -> Self {
+        self.backoff_base_ns = base_ns;
+        self.backoff_max_ns = max_ns;
+        self
+    }
+
+    /// Sets the stabilization pass budget (minimum 1).
+    pub fn with_stabilization(mut self, passes: u32) -> Self {
+        self.stabilization_passes = passes.max(1);
+        self
+    }
+
+    /// Enables or disables salvage-mode parsing.
+    pub fn with_salvage(mut self, salvage: bool) -> Self {
+        self.salvage = salvage;
+        self
+    }
+
+    /// Replaces the clock the backoff sleeps through — inject a
+    /// [`FakeClock`](strider_support::obs::FakeClock) to test the schedule
+    /// without real sleeping.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// The clock backoff sleeps through.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// The backoff before retry number `attempt` (0-based): `base << attempt`,
+    /// saturating, capped at [`backoff_max_ns`](Self::backoff_max_ns).
+    pub fn backoff_for(&self, attempt: u32) -> u64 {
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        self.backoff_base_ns
+            .saturating_mul(factor)
+            .min(self.backoff_max_ns)
+    }
+
+    /// Runs `op`, retrying [`NtStatus::DeviceNotReady`] up to
+    /// [`retries`](Self::retries) times with exponential backoff. Every other
+    /// error — and a genuinely exhausted device — propagates immediately.
+    ///
+    /// # Errors
+    ///
+    /// The last error once the retry budget is spent, or any
+    /// non-transient error at once.
+    pub fn retry<T>(&self, mut op: impl FnMut() -> Result<T, NtStatus>) -> Result<T, NtStatus> {
+        let mut attempt = 0;
+        loop {
+            match op() {
+                Err(NtStatus::DeviceNotReady) if attempt < self.retries => {
+                    self.clock.sleep_ns(self.backoff_for(attempt));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Runs `scan` until two consecutive passes report the same detection
+    /// identity set (then returns the later pass), or the
+    /// [`stabilization_passes`](Self::stabilization_passes) budget runs out
+    /// (then returns the final pass). With a budget of 1 this is exactly one
+    /// scan — no comparison, no extra I/O.
+    ///
+    /// A real hider lies *consistently*, so its detections survive every
+    /// pass; files created or deleted in the gap between the two views of a
+    /// single pass flicker between passes. This is the paper's prescription
+    /// for live-scan noise: measure twice before believing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing pass.
+    pub fn stabilize<E>(
+        &self,
+        mut scan: impl FnMut() -> Result<DiffReport, E>,
+    ) -> Result<DiffReport, E> {
+        let mut prev = scan()?;
+        for _ in 1..self.stabilization_passes {
+            let next = scan()?;
+            if identity_set(&next) == identity_set(&prev) {
+                return Ok(next);
+            }
+            prev = next;
+        }
+        Ok(prev)
+    }
+}
+
+/// The detection identities (both directions) a pass reported — the
+/// agreement criterion for [`ScanPolicy::stabilize`].
+fn identity_set(report: &DiffReport) -> BTreeSet<String> {
+    report
+        .detections
+        .iter()
+        .map(|d| d.identity.clone())
+        .chain(report.phantom_in_lie.iter().cloned())
+        .collect()
+}
+
+/// How one pipeline of a sweep fared.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum PipelineStatus {
+    /// Clean truth source, complete scan.
+    #[default]
+    Ok,
+    /// The truth source was damaged but salvage-mode parsing recovered a
+    /// usable (partial) view; `defects` counts the skipped structures.
+    Salvaged {
+        /// Number of [`Defect`](strider_support::fault::Defect)s recorded
+        /// while parsing this pipeline's truth source(s).
+        defects: u64,
+    },
+    /// The truth source was unrecoverable; this pipeline reports no
+    /// findings, and the rest of the sweep proceeded without it.
+    Degraded {
+        /// The terminal error, rendered.
+        reason: String,
+    },
+}
+
+impl PipelineStatus {
+    /// Whether the pipeline produced a complete, defect-free view.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, PipelineStatus::Ok)
+    }
+
+    /// Whether the pipeline was lost entirely.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, PipelineStatus::Degraded { .. })
+    }
+
+    /// The salvage defect count (0 unless [`PipelineStatus::Salvaged`]).
+    pub fn defect_count(&self) -> u64 {
+        match self {
+            PipelineStatus::Salvaged { defects } => *defects,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for PipelineStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineStatus::Ok => write!(f, "ok"),
+            PipelineStatus::Salvaged { defects } => {
+                write!(f, "salvaged ({defects} defects)")
+            }
+            PipelineStatus::Degraded { reason } => write!(f, "DEGRADED: {reason}"),
+        }
+    }
+}
+
+/// Per-pipeline health of a sweep: which truth sources were clean, which
+/// were salvaged, and which were lost.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SweepHealth {
+    /// The hidden-file pipeline (raw MFT / disk-image truth).
+    pub files: PipelineStatus,
+    /// The hidden-ASEP pipeline (raw hive truth).
+    pub registry: PipelineStatus,
+    /// The hidden-process pipeline (kernel structures / dump truth).
+    pub processes: PipelineStatus,
+    /// The hidden-module pipeline (kernel module lists / dump truth).
+    pub modules: PipelineStatus,
+}
+
+impl SweepHealth {
+    /// Whether every pipeline ran clean (no salvage, no degradation).
+    pub fn is_all_ok(&self) -> bool {
+        self.each().iter().all(|(_, s)| s.is_ok())
+    }
+
+    /// Names of the pipelines whose truth source was lost entirely.
+    pub fn degraded_pipelines(&self) -> Vec<&'static str> {
+        self.each()
+            .into_iter()
+            .filter(|(_, s)| s.is_degraded())
+            .map(|(name, _)| name)
+            .collect()
+    }
+
+    /// Total salvage defects across all pipelines.
+    pub fn total_defects(&self) -> u64 {
+        self.each().iter().map(|(_, s)| s.defect_count()).sum()
+    }
+
+    fn each(&self) -> [(&'static str, &PipelineStatus); 4] {
+        [
+            ("files", &self.files),
+            ("registry", &self.registry),
+            ("processes", &self.processes),
+            ("modules", &self.modules),
+        ]
+    }
+}
+
+impl fmt::Display for SweepHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (name, status) in self.each() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{name}: {status}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Detection;
+    use crate::report::{NoiseClass, ResourceKind};
+    use crate::snapshot::{ScanMeta, ViewKind};
+    use strider_nt_core::Tick;
+    use strider_support::obs::FakeClock;
+
+    fn report_with(identities: &[&str]) -> DiffReport {
+        DiffReport {
+            truth_meta: ScanMeta::new(ViewKind::LowLevelMft, Tick(0)),
+            lie_meta: ScanMeta::new(ViewKind::HighLevelWin32, Tick(0)),
+            detections: identities
+                .iter()
+                .map(|id| Detection {
+                    kind: ResourceKind::File,
+                    identity: id.to_string(),
+                    detail: id.to_string(),
+                    category: None,
+                    noise: NoiseClass::Suspicious,
+                })
+                .collect(),
+            phantom_in_lie: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn strict_policy_never_retries() {
+        let policy = ScanPolicy::strict();
+        let mut calls = 0;
+        let result: Result<(), _> = policy.retry(|| {
+            calls += 1;
+            Err(NtStatus::DeviceNotReady)
+        });
+        assert_eq!(result, Err(NtStatus::DeviceNotReady));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn fault_retry_sleeps_the_exact_backoff_schedule() {
+        let clock = Arc::new(FakeClock::default());
+        let policy = ScanPolicy::resilient()
+            .with_backoff(1_000, 3_000)
+            .with_clock(clock.clone());
+        let mut calls = 0;
+        let value = policy
+            .retry(|| {
+                calls += 1;
+                if calls < 4 {
+                    Err(NtStatus::DeviceNotReady)
+                } else {
+                    Ok(42)
+                }
+            })
+            .unwrap();
+        assert_eq!(value, 42);
+        assert_eq!(calls, 4);
+        // 1000 + 2000 + min(4000, 3000): doubling, capped.
+        assert_eq!(clock.now_ns(), 6_000);
+    }
+
+    #[test]
+    fn fault_retry_gives_up_after_the_budget() {
+        let clock = Arc::new(FakeClock::default());
+        let policy = ScanPolicy::strict()
+            .with_retries(2)
+            .with_backoff(10, 1_000)
+            .with_clock(clock.clone());
+        let mut calls = 0;
+        let result: Result<(), _> = policy.retry(|| {
+            calls += 1;
+            Err(NtStatus::DeviceNotReady)
+        });
+        assert!(result.is_err());
+        assert_eq!(calls, 3, "initial try + 2 retries");
+        assert_eq!(clock.now_ns(), 30, "10 + 20");
+    }
+
+    #[test]
+    fn retry_does_not_mask_permanent_errors() {
+        let policy = ScanPolicy::resilient();
+        let mut calls = 0;
+        let result: Result<(), _> = policy.retry(|| {
+            calls += 1;
+            Err(NtStatus::AccessDenied)
+        });
+        assert_eq!(result, Err(NtStatus::AccessDenied));
+        assert_eq!(calls, 1, "only DeviceNotReady is transient");
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let policy = ScanPolicy::strict().with_backoff(u64::MAX / 2, u64::MAX);
+        assert_eq!(policy.backoff_for(63), u64::MAX);
+        assert_eq!(policy.backoff_for(200), u64::MAX);
+    }
+
+    #[test]
+    fn stabilize_stops_at_first_agreement() {
+        let policy = ScanPolicy::strict().with_stabilization(5);
+        let mut pass = 0;
+        let reports = [
+            report_with(&["a", "flicker"]),
+            report_with(&["a"]),
+            report_with(&["a"]),
+            report_with(&["a", "late"]),
+        ];
+        let out: DiffReport = policy
+            .stabilize(|| -> Result<_, NtStatus> {
+                let r = reports[pass].clone();
+                pass += 1;
+                Ok(r)
+            })
+            .unwrap();
+        assert_eq!(pass, 3, "passes 2 and 3 agreed; pass 4 never ran");
+        assert_eq!(out.detections.len(), 1);
+    }
+
+    #[test]
+    fn stabilize_with_budget_one_scans_once() {
+        let policy = ScanPolicy::strict();
+        let mut pass = 0;
+        policy
+            .stabilize(|| -> Result<_, NtStatus> {
+                pass += 1;
+                Ok(report_with(&["x"]))
+            })
+            .unwrap();
+        assert_eq!(pass, 1);
+    }
+
+    #[test]
+    fn stabilize_returns_final_pass_when_budget_exhausted() {
+        let policy = ScanPolicy::strict().with_stabilization(3);
+        let mut pass = 0;
+        let out: DiffReport = policy
+            .stabilize(|| -> Result<_, NtStatus> {
+                pass += 1;
+                Ok(report_with(&[format!("churn-{pass}").as_str()]))
+            })
+            .unwrap();
+        assert_eq!(pass, 3);
+        assert_eq!(out.detections[0].identity, "churn-3");
+    }
+
+    #[test]
+    fn health_reports_degraded_pipelines_and_defect_totals() {
+        let mut health = SweepHealth::default();
+        assert!(health.is_all_ok());
+        assert!(health.degraded_pipelines().is_empty());
+        health.registry = PipelineStatus::Salvaged { defects: 2 };
+        health.processes = PipelineStatus::Degraded {
+            reason: "device not ready".into(),
+        };
+        assert!(!health.is_all_ok());
+        assert_eq!(health.degraded_pipelines(), vec!["processes"]);
+        assert_eq!(health.total_defects(), 2);
+        let rendered = health.to_string();
+        assert!(
+            rendered.contains("registry: salvaged (2 defects)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("processes: DEGRADED"), "{rendered}");
+    }
+}

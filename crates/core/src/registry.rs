@@ -2,6 +2,7 @@
 
 use crate::diff::cross_view_diff;
 use crate::instrument::{record_chain, record_view_entries};
+use crate::policy::ScanPolicy;
 use crate::report::{Detection, DiffReport, NoiseClass, ResourceKind};
 use crate::snapshot::{HookFact, ScanMeta, Snapshot, ViewKind};
 use std::cell::RefCell;
@@ -140,6 +141,7 @@ impl<'a> KeyView for Win32OverRaw<'a> {
 pub struct RegistryScanner {
     catalog: Vec<AsepLocation>,
     telemetry: Option<Telemetry>,
+    policy: ScanPolicy,
 }
 
 impl Default for RegistryScanner {
@@ -147,6 +149,7 @@ impl Default for RegistryScanner {
         Self {
             catalog: asep::catalog(),
             telemetry: None,
+            policy: ScanPolicy::default(),
         }
     }
 }
@@ -161,6 +164,16 @@ impl RegistryScanner {
     /// per-view entry counters, and chain-divergence attribution.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Replaces the resilience policy: retries for transient hive-copy
+    /// failures, and salvage-mode parsing of damaged hive bytes (skipped
+    /// bins are recorded as defects in the scan's
+    /// [`IoStats`] and, when telemetry is attached, the `registry.defects`
+    /// counter).
+    pub fn with_policy(mut self, policy: ScanPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -224,27 +237,49 @@ impl RegistryScanner {
         snap
     }
 
+    /// Parses hive bytes per the policy: strict, or salvage mode with the
+    /// defect count accumulated into `defects`.
+    fn parse_hive(&self, bytes: &[u8], defects: &mut u64) -> Result<RawHive, NtStatus> {
+        if self.policy.salvage {
+            let salvaged = RawHive::parse_salvage(bytes);
+            *defects += salvaged.defects.len() as u64;
+            Ok(salvaged.value)
+        } else {
+            RawHive::parse(bytes).map_err(|e| NtStatus::CorruptStructure(e.to_string()))
+        }
+    }
+
+    fn record_defect_counter(&self, span: &MaybeSpan, defects: u64) {
+        if defects > 0 {
+            span.set_attr("defects", defects);
+            if let Some(t) = &self.telemetry {
+                t.counter_add("registry.defects", defects);
+            }
+        }
+    }
+
     /// The low-level inside-the-box scan: copy each hive's bytes (a step
     /// privileged ghostware may tamper with) and parse them with the
     /// forensic parser.
     ///
     /// # Errors
     ///
-    /// Fails when a hive copy does not parse.
+    /// Fails when a hive copy fails permanently (transient failures are
+    /// retried per the [`ScanPolicy`]) or does not parse with salvage off.
     pub fn low_scan(&self, machine: &Machine) -> Result<Snapshot<HookFact>, NtStatus> {
         let span = MaybeSpan::start(self.telemetry.as_ref(), "registry.low_scan");
         let mut parsed = Vec::new();
         let mut io = IoStats::default();
+        let mut defects = 0;
         for hive in machine.registry().hives() {
             let mount = hive.mount().clone();
-            let bytes = machine
-                .copy_hive_bytes(&mount)
-                .ok_or(NtStatus::ObjectNameNotFound)?;
+            let bytes = self.policy.retry(|| machine.try_copy_hive_bytes(&mount))?;
             io.record_sequential(bytes.len() as u64);
-            let raw =
-                RawHive::parse(&bytes).map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
+            let raw = self.parse_hive(&bytes, &mut defects)?;
             parsed.push((mount, raw));
         }
+        io.record_defects(defects);
+        self.record_defect_counter(&span, defects);
         let hooks = asep::extract_raw(&parsed, &self.catalog);
         let mut snap = Snapshot::new(ScanMeta::new(ViewKind::LowLevelHiveParse, machine.now()));
         snap.meta.io = io;
@@ -276,12 +311,14 @@ impl RegistryScanner {
         let span = MaybeSpan::start(self.telemetry.as_ref(), "registry.outside_scan");
         let mut parsed = Vec::new();
         let mut io = IoStats::default();
+        let mut defects = 0;
         for (mount, bytes) in &image.hives {
             io.record_sequential(bytes.len() as u64);
-            let raw =
-                RawHive::parse(bytes).map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
+            let raw = self.parse_hive(bytes, &mut defects)?;
             parsed.push((mount.clone(), raw));
         }
+        io.record_defects(defects);
+        self.record_defect_counter(&span, defects);
         let hooks = match mode {
             OutsideRegistryMode::RawParse => asep::extract_raw(&parsed, &self.catalog),
             OutsideRegistryMode::MountedWin32 => asep::extract_hooks_with(
@@ -412,17 +449,17 @@ impl RegistryScanner {
     pub fn full_low_scan(&self, machine: &Machine) -> Result<Snapshot<String>, NtStatus> {
         let span = MaybeSpan::start(self.telemetry.as_ref(), "registry.full_low_scan");
         let mut snap = Snapshot::new(ScanMeta::new(ViewKind::LowLevelHiveParse, machine.now()));
+        let mut defects = 0;
         for hive in machine.registry().hives() {
             let mount = hive.mount().clone();
-            let bytes = machine
-                .copy_hive_bytes(&mount)
-                .ok_or(NtStatus::ObjectNameNotFound)?;
+            let bytes = self.policy.retry(|| machine.try_copy_hive_bytes(&mount))?;
             snap.meta.io.record_sequential(bytes.len() as u64);
-            let raw =
-                RawHive::parse(&bytes).map_err(|e| NtStatus::CorruptStructure(e.to_string()))?;
+            let raw = self.parse_hive(&bytes, &mut defects)?;
             let root = asep::RawKeyView(raw.root());
             walk_key_view(&root, &mount.to_string().to_ascii_lowercase(), &mut snap);
         }
+        snap.meta.io.record_defects(defects);
+        self.record_defect_counter(&span, defects);
         record_view_entries(
             self.telemetry.as_ref(),
             &span,

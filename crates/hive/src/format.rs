@@ -24,6 +24,7 @@ use crate::key::{Key, Value, ValueData};
 use std::fmt;
 use strider_nt_core::{NtString, Tick};
 use strider_support::bytes::{Buf, BufMut, BytesMut};
+use strider_support::fault::{Defect, DefectKind, Salvaged};
 
 const MAGIC: &[u8; 8] = b"SREGF1\0\0";
 const VERSION: u32 = 1;
@@ -179,6 +180,35 @@ impl fmt::Display for HiveFormatError {
 
 impl std::error::Error for HiveFormatError {}
 
+/// Converts a strict-parse error into the workspace-wide salvage [`Defect`]
+/// vocabulary. `fallback_off` locates the damage when the error itself does
+/// not carry an offset; `total` bounds the bytes-lost estimate.
+fn defect_for(e: &HiveFormatError, fallback_off: u32, total: u64) -> Defect {
+    let (kind, offset, context): (DefectKind, u64, &'static str) = match e {
+        HiveFormatError::Truncated { context } => {
+            (DefectKind::Truncated, fallback_off as u64, context)
+        }
+        HiveFormatError::BadMagic => (DefectKind::BadMagic, 0, "hive magic"),
+        HiveFormatError::BadVersion(_) => (DefectKind::BadVersion, 8, "hive version"),
+        HiveFormatError::BadCell { offset, expected } => {
+            (DefectKind::BadRecord, *offset as u64, expected)
+        }
+        HiveFormatError::CellCycle => (DefectKind::Cycle, fallback_off as u64, "cell graph"),
+    };
+    // A stale cell offset can point past a truncated image's end; a defect
+    // always locates a position *within* the bytes that exist.
+    let offset = offset.min(total);
+    let bytes_lost = match kind {
+        DefectKind::Truncated | DefectKind::BadMagic | DefectKind::BadVersion => {
+            total.saturating_sub(offset)
+        }
+        // A skipped cell's true footprint is unknowable without trusting
+        // the bytes that just failed to parse; report only its location.
+        DefectKind::BadRecord | DefectKind::Cycle => 0,
+    };
+    Defect::new(kind, offset, bytes_lost, context)
+}
+
 /// A value recovered from raw hive bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RawValue {
@@ -234,6 +264,27 @@ struct Parser<'a> {
     bytes: &'a [u8],
     cells_visited: usize,
     cell_budget: usize,
+    defects: Vec<Defect>,
+}
+
+/// Validates the 16-byte header and returns the root-cell offset. All reads
+/// are length-checked; a header shorter than 16 bytes is a [`Truncated`]
+/// error, never a panic.
+///
+/// [`Truncated`]: HiveFormatError::Truncated
+fn parse_header(bytes: &[u8]) -> Result<u32, HiveFormatError> {
+    if bytes.len() < 16 {
+        return Err(HiveFormatError::Truncated { context: "header" });
+    }
+    if &bytes[0..8] != MAGIC {
+        return Err(HiveFormatError::BadMagic);
+    }
+    let mut s = &bytes[8..16];
+    let version = read_u32(&mut s, "header version")?;
+    if version != VERSION {
+        return Err(HiveFormatError::BadVersion(version));
+    }
+    read_u32(&mut s, "header root offset")
 }
 
 impl RawHive {
@@ -245,28 +296,53 @@ impl RawHive {
     /// offsets, or cycles. Corrupt value *records* do not fail the parse;
     /// they are salvaged and flagged.
     pub fn parse(bytes: &[u8]) -> Result<Self, HiveFormatError> {
-        if bytes.len() < 16 {
-            return Err(HiveFormatError::Truncated { context: "header" });
-        }
-        if &bytes[0..8] != MAGIC {
-            return Err(HiveFormatError::BadMagic);
-        }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if version != VERSION {
-            return Err(HiveFormatError::BadVersion(version));
-        }
-        let root_off = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
-        let mut parser = Parser {
-            bytes,
-            cells_visited: 0,
-            // Generous: every cell is ≥ 6 bytes, so this bounds any cycle.
-            cell_budget: bytes.len() / 4 + 16,
-        };
+        let root_off = parse_header(bytes)?;
+        let mut parser = Parser::new(bytes);
         let root = parser.parse_key(root_off)?;
         Ok(Self {
             root,
             byte_len: bytes.len() as u64,
         })
+    }
+
+    /// Best-effort parse for damaged hives: every cell that fails to parse
+    /// becomes a [`Defect`] and is skipped, keeping the rest of the tree —
+    /// a rootkit (or a torn write) that corrupts one bin must not blind the
+    /// whole registry diff. Never panics and never errors; a hive damaged
+    /// beyond the header salvages to an empty root plus the defect that
+    /// explains why.
+    pub fn parse_salvage(bytes: &[u8]) -> Salvaged<Self> {
+        let byte_len = bytes.len() as u64;
+        let empty_root = || RawKey {
+            name: NtString::from(""),
+            timestamp: Tick(0),
+            values: Vec::new(),
+            subkeys: Vec::new(),
+        };
+        let root_off = match parse_header(bytes) {
+            Ok(off) => off,
+            Err(e) => {
+                return Salvaged {
+                    value: Self {
+                        root: empty_root(),
+                        byte_len,
+                    },
+                    defects: vec![defect_for(&e, 0, byte_len)],
+                }
+            }
+        };
+        let mut parser = Parser::new(bytes);
+        let root = match parser.parse_key_salvage(root_off) {
+            Ok(root) => root,
+            Err(e) => {
+                parser.record(&e, root_off);
+                empty_root()
+            }
+        };
+        Salvaged {
+            value: Self { root, byte_len },
+            defects: parser.defects,
+        }
     }
 
     /// The recovered root key.
@@ -311,6 +387,31 @@ impl RawHive {
 }
 
 impl<'a> Parser<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self {
+            bytes,
+            cells_visited: 0,
+            // Generous: every cell is ≥ 6 bytes, so this bounds any cycle.
+            cell_budget: bytes.len() / 4 + 16,
+            defects: Vec::new(),
+        }
+    }
+
+    /// Records a salvage defect; consecutive cycle defects collapse into
+    /// one (once the cell budget is gone, every remaining cell reports it).
+    fn record(&mut self, e: &HiveFormatError, fallback_off: u32) {
+        let d = defect_for(e, fallback_off, self.bytes.len() as u64);
+        if d.kind == DefectKind::Cycle
+            && self
+                .defects
+                .last()
+                .is_some_and(|p| p.kind == DefectKind::Cycle)
+        {
+            return;
+        }
+        self.defects.push(d);
+    }
+
     fn slice_from(&self, off: u32, context: &'static str) -> Result<&'a [u8], HiveFormatError> {
         self.bytes
             .get(off as usize..)
@@ -361,6 +462,60 @@ impl<'a> Parser<'a> {
         })
     }
 
+    /// Salvage-mode key parse: the key's own header must parse (the caller
+    /// records a defect and skips the key otherwise), but damage in its
+    /// lists, children, or values is recorded and stepped over.
+    fn parse_key_salvage(&mut self, off: u32) -> Result<RawKey, HiveFormatError> {
+        self.bump()?;
+        let mut s = self.slice_from(off, "key cell")?;
+        let tag = read_u16(&mut s, "key tag")?;
+        if tag != TAG_NK {
+            return Err(HiveFormatError::BadCell {
+                offset: off,
+                expected: "nk",
+            });
+        }
+        let name = read_name(&mut s, "key name")?;
+        let timestamp = Tick(read_u64(&mut s, "key timestamp")?);
+        let subkey_list_off = read_u32(&mut s, "subkey list offset")?;
+        let value_list_off = read_u32(&mut s, "value list offset")?;
+
+        let mut subkeys = Vec::new();
+        if subkey_list_off != 0 {
+            match self.parse_list(subkey_list_off, TAG_LF, "subkey list") {
+                Ok(offs) => {
+                    for child_off in offs {
+                        match self.parse_key_salvage(child_off) {
+                            Ok(k) => subkeys.push(k),
+                            Err(e) => self.record(&e, child_off),
+                        }
+                    }
+                }
+                Err(e) => self.record(&e, subkey_list_off),
+            }
+        }
+        let mut values = Vec::new();
+        if value_list_off != 0 {
+            match self.parse_list(value_list_off, TAG_VL, "value list") {
+                Ok(offs) => {
+                    for v_off in offs {
+                        match self.parse_value(v_off) {
+                            Ok(v) => values.push(v),
+                            Err(e) => self.record(&e, v_off),
+                        }
+                    }
+                }
+                Err(e) => self.record(&e, value_list_off),
+            }
+        }
+        Ok(RawKey {
+            name,
+            timestamp,
+            values,
+            subkeys,
+        })
+    }
+
     fn parse_list(
         &mut self,
         off: u32,
@@ -377,6 +532,11 @@ impl<'a> Parser<'a> {
             });
         }
         let count = read_u32(&mut s, context)?;
+        // The count is untrusted: bound the allocation by the bytes that
+        // could actually back it before reserving anything.
+        if s.remaining() / 4 < count as usize {
+            return Err(HiveFormatError::Truncated { context });
+        }
         let mut offs = Vec::with_capacity(count as usize);
         for _ in 0..count {
             offs.push(read_u32(&mut s, context)?);
@@ -562,6 +722,82 @@ mod tests {
             RawHive::parse(&bytes),
             Err(HiveFormatError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn oversized_list_count_is_an_error_not_an_allocation() {
+        let mut root = Key::new("R");
+        root.subkey_or_create(&NtString::from("child"), Tick(1));
+        let mut bytes = write_hive(&root);
+        // Find the lf list cell and blow up its count field.
+        let pos = bytes
+            .windows(2)
+            .position(|w| w == TAG_LF.to_le_bytes())
+            .unwrap();
+        bytes[pos + 2..pos + 6].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            RawHive::parse(&bytes),
+            Err(HiveFormatError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn salvage_on_clean_hive_is_clean_and_identical_to_strict() {
+        let bytes = write_hive(&sample_tree());
+        let strict = RawHive::parse(&bytes).unwrap();
+        let salvaged = RawHive::parse_salvage(&bytes);
+        assert!(salvaged.is_clean());
+        assert_eq!(salvaged.value.root(), strict.root());
+    }
+
+    #[test]
+    fn salvage_skips_damaged_subtree_and_keeps_the_rest() {
+        let mut root = Key::new("SOFTWARE");
+        let keep = root.subkey_or_create(&NtString::from("Keep"), Tick(1));
+        keep.set_value(Value::new("v", ValueData::Dword(7)));
+        root.subkey_or_create(&NtString::from("Damaged"), Tick(1));
+        let mut bytes = write_hive(&root);
+        // Children serialize before parents: "Keep"'s subtree is written
+        // first, then "Damaged"'s nk cell. Corrupt Damaged's tag.
+        let needle: Vec<u8> = {
+            let mut n = Vec::new();
+            n.extend_from_slice(&TAG_NK.to_le_bytes());
+            n.extend_from_slice(&(7u16).to_le_bytes()); // name length
+            for u in NtString::from("Damaged").units() {
+                n.extend_from_slice(&u.to_le_bytes());
+            }
+            n
+        };
+        let pos = bytes
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .unwrap();
+        bytes[pos] = 0xFF;
+        bytes[pos + 1] = 0xFF;
+
+        assert!(RawHive::parse(&bytes).is_err(), "strict parse must fail");
+        let salvaged = RawHive::parse_salvage(&bytes);
+        assert_eq!(salvaged.defects.len(), 1);
+        assert_eq!(salvaged.defects[0].kind, DefectKind::BadRecord);
+        let names: Vec<String> = salvaged
+            .value
+            .root()
+            .subkeys
+            .iter()
+            .map(|k| k.name.to_win32_lossy())
+            .collect();
+        assert_eq!(names, vec!["Keep"], "surviving subtree is kept");
+        assert_eq!(salvaged.value.root().subkeys[0].values.len(), 1);
+    }
+
+    #[test]
+    fn salvage_of_garbage_yields_empty_root_plus_defect() {
+        let salvaged = RawHive::parse_salvage(b"not a hive at all");
+        assert_eq!(salvaged.value.root().subkeys.len(), 0);
+        assert_eq!(salvaged.defects.len(), 1);
+        assert_eq!(salvaged.defects[0].kind, DefectKind::BadMagic);
+        let short = RawHive::parse_salvage(&[1, 2, 3]);
+        assert_eq!(short.defects[0].kind, DefectKind::Truncated);
     }
 
     #[test]

@@ -58,6 +58,7 @@ mod registry;
 pub use format::{HiveFormatError, RawHive, RawKey, RawValue};
 pub use key::{Key, Value, ValueData};
 pub use registry::{Hive, Registry, RegistryError};
+pub use strider_support::fault::{Defect, DefectKind, Salvaged};
 
 /// Convenient re-exports.
 pub mod prelude {

@@ -16,6 +16,7 @@ use crate::process::{Driver, Ethread, ModuleEntry, ThreadState};
 use std::fmt;
 use strider_nt_core::{NtPath, NtString, Pid, Tick, Tid};
 use strider_support::bytes::{Buf, BufMut, BytesMut};
+use strider_support::fault::{Defect, DefectKind, Salvaged};
 
 const MAGIC: &[u8; 8] = b"SDMP1\0\0\0";
 const VERSION: u32 = 1;
@@ -173,6 +174,17 @@ impl fmt::Display for DumpError {
 
 impl std::error::Error for DumpError {}
 
+/// Maps a strict-parse error to the workspace-wide salvage vocabulary;
+/// `offset` is where parsing stood when the damage surfaced.
+fn defect_for(e: &DumpError, offset: u64, total: u64) -> Defect {
+    let (kind, context) = match e {
+        DumpError::Truncated { context } => (DefectKind::Truncated, *context),
+        DumpError::BadMagic => (DefectKind::BadMagic, "dump magic"),
+        DumpError::BadVersion(_) => (DefectKind::BadVersion, "dump version"),
+    };
+    Defect::new(kind, offset, total.saturating_sub(offset), context)
+}
+
 /// One process recovered from a dump.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DumpProcess {
@@ -234,82 +246,21 @@ impl MemoryDump {
     /// Returns [`DumpError`] on truncation or a bad header.
     pub fn parse(bytes: &[u8]) -> Result<Self, DumpError> {
         let mut s = bytes;
-        if s.remaining() < 8 {
-            return Err(DumpError::Truncated { context: "magic" });
-        }
-        let mut magic = [0u8; 8];
-        s.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
-            return Err(DumpError::BadMagic);
-        }
-        let version = get_u32(&mut s, "version")?;
-        if version != VERSION {
-            return Err(DumpError::BadVersion(version));
-        }
+        parse_header(&mut s)?;
         let proc_count = get_u32(&mut s, "process count")?;
-        let mut processes = Vec::with_capacity(proc_count as usize);
+        let mut processes = Vec::with_capacity(capped(proc_count, MIN_PROCESS_BYTES, s));
         for _ in 0..proc_count {
-            let pid = Pid(get_u32(&mut s, "pid")?);
-            let parent_raw = get_u32(&mut s, "parent")?;
-            let image_name = get_name(&mut s, "image name")?;
-            let image_path = get_path(&mut s, "image path")?;
-            let created = Tick(get_u64(&mut s, "created")?);
-            let in_apl = get_u8(&mut s, "in_apl")? == 1;
-            let next_raw = get_u32(&mut s, "apl next")?;
-            let prev_raw = get_u32(&mut s, "apl prev")?;
-            let mut lists: [Vec<ModuleEntry>; 2] = [Vec::new(), Vec::new()];
-            for list in &mut lists {
-                let count = get_u32(&mut s, "module count")?;
-                for _ in 0..count {
-                    let base = get_u64(&mut s, "module base")?;
-                    let name = get_name(&mut s, "module name")?;
-                    let path = get_name(&mut s, "module path")?;
-                    list.push(ModuleEntry { base, name, path });
-                }
-            }
-            let tcount = get_u32(&mut s, "thread count")?;
-            let mut threads = Vec::with_capacity(tcount as usize);
-            for _ in 0..tcount {
-                threads.push(Tid(get_u32(&mut s, "tid")?));
-            }
-            let [peb_modules, kernel_modules] = lists;
-            processes.push(DumpProcess {
-                pid,
-                parent: (parent_raw != NO_PID).then_some(Pid(parent_raw)),
-                image_name,
-                image_path,
-                created,
-                in_apl,
-                apl_next: (next_raw != NO_PID).then_some(Pid(next_raw)),
-                apl_prev: (prev_raw != NO_PID).then_some(Pid(prev_raw)),
-                peb_modules,
-                kernel_modules,
-                threads,
-            });
+            processes.push(parse_process(&mut s)?);
         }
         let thread_count = get_u32(&mut s, "thread table count")?;
-        let mut threads = Vec::with_capacity(thread_count as usize);
+        let mut threads = Vec::with_capacity(capped(thread_count, MIN_THREAD_BYTES, s));
         for _ in 0..thread_count {
-            let tid = Tid(get_u32(&mut s, "tid")?);
-            let owner = Pid(get_u32(&mut s, "owner")?);
-            let state = match get_u8(&mut s, "state")? {
-                1 => ThreadState::Running,
-                2 => ThreadState::Waiting,
-                _ => ThreadState::Ready,
-            };
-            threads.push(Ethread { tid, owner, state });
+            threads.push(parse_thread(&mut s)?);
         }
         let driver_count = get_u32(&mut s, "driver count")?;
-        let mut drivers = Vec::with_capacity(driver_count as usize);
+        let mut drivers = Vec::with_capacity(capped(driver_count, MIN_DRIVER_BYTES, s));
         for _ in 0..driver_count {
-            let name = get_name(&mut s, "driver name")?;
-            let image_path = get_path(&mut s, "driver path")?;
-            let loaded_at = Tick(get_u64(&mut s, "driver load time")?);
-            drivers.push(Driver {
-                name,
-                image_path,
-                loaded_at,
-            });
+            drivers.push(parse_driver(&mut s)?);
         }
         let head_raw = get_u32(&mut s, "apl head")?;
         Ok(Self {
@@ -319,6 +270,64 @@ impl MemoryDump {
             apl_head: (head_raw != NO_PID).then_some(Pid(head_raw)),
             byte_len: bytes.len() as u64,
         })
+    }
+
+    /// Best-effort parse for damaged dumps — a crash dump captured
+    /// mid-flight is routinely truncated or torn. Records are written
+    /// back-to-back with no framing, so the first unparseable record makes
+    /// the rest of its section (and everything after) unaddressable:
+    /// salvage keeps every process/thread/driver recovered before the
+    /// damage, records one [`Defect`] locating it, and returns. Never
+    /// panics and never errors.
+    pub fn parse_salvage(bytes: &[u8]) -> Salvaged<Self> {
+        let total = bytes.len() as u64;
+        let mut s = bytes;
+        let mut defects = Vec::new();
+        let mut processes = Vec::new();
+        let mut threads = Vec::new();
+        let mut drivers = Vec::new();
+        let mut apl_head = None;
+        // One labeled block: the first damaged record aborts the walk, and
+        // whatever was recovered up to that point is the salvage.
+        'walk: {
+            macro_rules! try_salvage {
+                ($expr:expr) => {
+                    match $expr {
+                        Ok(v) => v,
+                        Err(e) => {
+                            let offset = total - s.remaining() as u64;
+                            defects.push(defect_for(&e, offset, total));
+                            break 'walk;
+                        }
+                    }
+                };
+            }
+            try_salvage!(parse_header(&mut s));
+            let proc_count = try_salvage!(get_u32(&mut s, "process count"));
+            for _ in 0..proc_count {
+                processes.push(try_salvage!(parse_process(&mut s)));
+            }
+            let thread_count = try_salvage!(get_u32(&mut s, "thread table count"));
+            for _ in 0..thread_count {
+                threads.push(try_salvage!(parse_thread(&mut s)));
+            }
+            let driver_count = try_salvage!(get_u32(&mut s, "driver count"));
+            for _ in 0..driver_count {
+                drivers.push(try_salvage!(parse_driver(&mut s)));
+            }
+            let head_raw = try_salvage!(get_u32(&mut s, "apl head"));
+            apl_head = (head_raw != NO_PID).then_some(Pid(head_raw));
+        }
+        Salvaged {
+            value: Self {
+                processes,
+                threads,
+                drivers,
+                apl_head,
+                byte_len: total,
+            },
+            defects,
+        }
     }
 
     /// All processes recovered from the dump's object table.
@@ -369,6 +378,104 @@ impl MemoryDump {
         pids.dedup();
         pids
     }
+}
+
+// Minimum serialized footprint of each record type, used to bound
+// `Vec::with_capacity` against the bytes that could actually back a count
+// field — the counts are untrusted and a corrupted one must not trigger a
+// multi-gigabyte allocation.
+const MIN_PROCESS_BYTES: usize = 33; // pid+parent+2 name lens+created+in_apl+links+counts
+const MIN_THREAD_BYTES: usize = 9; // tid + owner + state
+const MIN_DRIVER_BYTES: usize = 14; // name len + path lens + load time
+
+/// Caps an untrusted record count by the records the remaining bytes could
+/// possibly hold, so pre-allocation is bounded by the input size.
+fn capped(count: u32, min_record: usize, s: &[u8]) -> usize {
+    (count as usize).min(s.remaining() / min_record)
+}
+
+/// Validates the dump magic and version. All reads are length-checked.
+fn parse_header(s: &mut &[u8]) -> Result<(), DumpError> {
+    if s.remaining() < 8 {
+        return Err(DumpError::Truncated { context: "magic" });
+    }
+    let mut magic = [0u8; 8];
+    s.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DumpError::BadMagic);
+    }
+    let version = get_u32(s, "version")?;
+    if version != VERSION {
+        return Err(DumpError::BadVersion(version));
+    }
+    Ok(())
+}
+
+/// Reads one process record. Every count field read from the dump is
+/// consumed incrementally against length-checked reads, so arbitrary values
+/// cannot cause out-of-bounds access or oversized allocations.
+fn parse_process(s: &mut &[u8]) -> Result<DumpProcess, DumpError> {
+    let pid = Pid(get_u32(s, "pid")?);
+    let parent_raw = get_u32(s, "parent")?;
+    let image_name = get_name(s, "image name")?;
+    let image_path = get_path(s, "image path")?;
+    let created = Tick(get_u64(s, "created")?);
+    let in_apl = get_u8(s, "in_apl")? == 1;
+    let next_raw = get_u32(s, "apl next")?;
+    let prev_raw = get_u32(s, "apl prev")?;
+    let mut lists: [Vec<ModuleEntry>; 2] = [Vec::new(), Vec::new()];
+    for list in &mut lists {
+        let count = get_u32(s, "module count")?;
+        for _ in 0..count {
+            let base = get_u64(s, "module base")?;
+            let name = get_name(s, "module name")?;
+            let path = get_name(s, "module path")?;
+            list.push(ModuleEntry { base, name, path });
+        }
+    }
+    let tcount = get_u32(s, "thread count")?;
+    let mut threads = Vec::with_capacity(capped(tcount, 4, s));
+    for _ in 0..tcount {
+        threads.push(Tid(get_u32(s, "tid")?));
+    }
+    let [peb_modules, kernel_modules] = lists;
+    Ok(DumpProcess {
+        pid,
+        parent: (parent_raw != NO_PID).then_some(Pid(parent_raw)),
+        image_name,
+        image_path,
+        created,
+        in_apl,
+        apl_next: (next_raw != NO_PID).then_some(Pid(next_raw)),
+        apl_prev: (prev_raw != NO_PID).then_some(Pid(prev_raw)),
+        peb_modules,
+        kernel_modules,
+        threads,
+    })
+}
+
+/// Reads one thread-table record.
+fn parse_thread(s: &mut &[u8]) -> Result<Ethread, DumpError> {
+    let tid = Tid(get_u32(s, "tid")?);
+    let owner = Pid(get_u32(s, "owner")?);
+    let state = match get_u8(s, "state")? {
+        1 => ThreadState::Running,
+        2 => ThreadState::Waiting,
+        _ => ThreadState::Ready,
+    };
+    Ok(Ethread { tid, owner, state })
+}
+
+/// Reads one loaded-driver record.
+fn parse_driver(s: &mut &[u8]) -> Result<Driver, DumpError> {
+    let name = get_name(s, "driver name")?;
+    let image_path = get_path(s, "driver path")?;
+    let loaded_at = Tick(get_u64(s, "driver load time")?);
+    Ok(Driver {
+        name,
+        image_path,
+        loaded_at,
+    })
 }
 
 fn get_u8(s: &mut &[u8], context: &'static str) -> Result<u8, DumpError> {
@@ -526,6 +633,56 @@ mod tests {
             MemoryDump::parse(&bytes[..bytes.len() - 2]),
             Err(DumpError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn huge_process_count_errors_without_allocating() {
+        let k = Kernel::with_base_processes();
+        let mut bytes = k.crash_dump();
+        // The process count sits right after the 12-byte header.
+        bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            MemoryDump::parse(&bytes),
+            Err(DumpError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn salvage_on_clean_dump_matches_strict() {
+        let k = Kernel::with_base_processes();
+        let bytes = k.crash_dump();
+        let strict = MemoryDump::parse(&bytes).unwrap();
+        let salvaged = MemoryDump::parse_salvage(&bytes);
+        assert!(salvaged.is_clean());
+        assert_eq!(salvaged.value.processes(), strict.processes());
+        assert_eq!(
+            salvaged.value.processes_via_apl(),
+            strict.processes_via_apl()
+        );
+    }
+
+    #[test]
+    fn salvage_keeps_records_before_the_damage() {
+        let k = Kernel::with_base_processes();
+        let bytes = k.crash_dump();
+        let cut = bytes.len() / 2;
+        assert!(MemoryDump::parse(&bytes[..cut]).is_err());
+        let salvaged = MemoryDump::parse_salvage(&bytes[..cut]);
+        assert_eq!(salvaged.defects.len(), 1);
+        assert_eq!(salvaged.defects[0].kind, DefectKind::Truncated);
+        assert!(salvaged.defects[0].bytes_lost > 0);
+        assert!(
+            !salvaged.value.processes().is_empty(),
+            "the front half of the process table must survive"
+        );
+        assert!(salvaged.value.processes().len() < 9);
+    }
+
+    #[test]
+    fn salvage_of_garbage_is_empty_with_defect() {
+        let salvaged = MemoryDump::parse_salvage(b"GARBAGE!xxxxxxx");
+        assert!(salvaged.value.processes().is_empty());
+        assert_eq!(salvaged.defects[0].kind, DefectKind::BadMagic);
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub struct IoStats {
     pub api_calls: u64,
     /// Records or entries materialized for the caller.
     pub entries: u64,
+    /// Parse defects stepped over by a salvage-mode truth scan (zero for
+    /// strict parses and for the high-level API views).
+    pub defects: u64,
 }
 
 impl IoStats {
@@ -65,12 +68,18 @@ impl IoStats {
         self.entries += n;
     }
 
+    /// Records `n` salvage-parse defects survived.
+    pub fn record_defects(&mut self, n: u64) {
+        self.defects += n;
+    }
+
     /// Adds `other`'s counters into `self`.
     pub fn merge(&mut self, other: &IoStats) {
         self.bytes_read += other.bytes_read;
         self.seeks += other.seeks;
         self.api_calls += other.api_calls;
         self.entries += other.entries;
+        self.defects += other.defects;
     }
 }
 
@@ -89,7 +98,7 @@ impl fmt::Display for IoStats {
 // serde derives)
 // ---------------------------------------------------------------------
 
-strider_support::impl_json!(struct IoStats { bytes_read, seeks, api_calls, entries });
+strider_support::impl_json!(struct IoStats { bytes_read, seeks, api_calls, entries, defects });
 
 #[cfg(test)]
 mod tests {
@@ -111,7 +120,8 @@ mod tests {
                 bytes_read: 15,
                 seeks: 1,
                 api_calls: 1,
-                entries: 7
+                entries: 7,
+                defects: 0
             }
         );
     }
@@ -123,6 +133,7 @@ mod tests {
             seeks: 2,
             api_calls: 3,
             entries: 4,
+            defects: 0,
         }
         .to_string();
         for needle in ["1 bytes", "2 seeks", "3 api calls", "4 entries"] {

@@ -40,6 +40,10 @@ pub enum NtStatus {
     InvalidParameter,
     /// The on-disk or in-dump structure failed to parse.
     CorruptStructure(String),
+    /// A transient device failure: the read may succeed if retried. The
+    /// only status the `ScanPolicy` retry loop (in `strider-ghostbuster`)
+    /// treats as recoverable.
+    DeviceNotReady,
     /// The referenced process does not exist.
     NoSuchProcess,
     /// The referenced device/driver does not exist.
@@ -61,6 +65,7 @@ impl fmt::Display for NtStatus {
             NtStatus::AccessDenied => write!(f, "access denied"),
             NtStatus::InvalidParameter => write!(f, "invalid parameter"),
             NtStatus::CorruptStructure(what) => write!(f, "corrupt structure: {what}"),
+            NtStatus::DeviceNotReady => write!(f, "device not ready"),
             NtStatus::NoSuchProcess => write!(f, "no such process"),
             NtStatus::NoSuchDevice => write!(f, "no such device"),
             NtStatus::NotSupported => write!(f, "not supported"),
@@ -87,6 +92,7 @@ strider_support::impl_json!(
         AccessDenied,
         InvalidParameter,
         CorruptStructure(String),
+        DeviceNotReady,
         NoSuchProcess,
         NoSuchDevice,
         NotSupported,
@@ -110,6 +116,7 @@ mod tests {
             NtStatus::AccessDenied,
             NtStatus::InvalidParameter,
             NtStatus::CorruptStructure("mft".into()),
+            NtStatus::DeviceNotReady,
             NtStatus::NoSuchProcess,
             NtStatus::NoSuchDevice,
             NtStatus::NotSupported,

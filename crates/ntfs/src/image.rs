@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::fmt;
 use strider_nt_core::{FileRecordNumber, NtPath, NtString, Tick};
 use strider_support::bytes::{Buf, BufMut, Bytes, BytesMut};
+use strider_support::fault::{Defect, DefectKind, Salvaged};
 
 const MAGIC: &[u8; 8] = b"SNTFS1\0\0";
 const VERSION: u32 = 1;
@@ -91,6 +92,18 @@ impl fmt::Display for ImageError {
 
 impl std::error::Error for ImageError {}
 
+/// Maps a strict-parse error to the workspace-wide salvage vocabulary;
+/// `offset` is where parsing stood when the damage surfaced and `total` the
+/// image length, so `bytes_lost` is the unreadable tail.
+fn defect_for(e: &ImageError, offset: u64, total: u64) -> Defect {
+    let (kind, context) = match e {
+        ImageError::Truncated { context } => (DefectKind::Truncated, *context),
+        ImageError::BadMagic => (DefectKind::BadMagic, "image magic"),
+        ImageError::BadVersion(_) => (DefectKind::BadVersion, "image version"),
+    };
+    Defect::new(kind, offset, total.saturating_sub(offset), context)
+}
+
 /// One file entry recovered from the raw image.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RawFileEntry {
@@ -154,72 +167,64 @@ impl VolumeImage {
     pub fn parse(bytes: &[u8]) -> Result<Self, ImageError> {
         let mut buf = Bytes::copy_from_slice(bytes);
         let image_len = bytes.len() as u64;
-        if buf.remaining() < 8 {
-            return Err(ImageError::Truncated { context: "magic" });
-        }
-        let mut magic = [0u8; 8];
-        buf.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
-            return Err(ImageError::BadMagic);
-        }
-        let version = get_u32(&mut buf, "version")?;
-        if version != VERSION {
-            return Err(ImageError::BadVersion(version));
-        }
-        let label_len = get_u16(&mut buf, "label length")? as usize;
-        if buf.remaining() < label_len {
-            return Err(ImageError::Truncated { context: "label" });
-        }
-        let label_bytes = buf.copy_to_bytes(label_len);
-        let label = String::from_utf8_lossy(&label_bytes).into_owned();
-        let slot_count = get_u64(&mut buf, "slot count")?;
+        let (label, slot_count) = parse_header(&mut buf)?;
         let mut entries = Vec::new();
         for _ in 0..slot_count {
-            let in_use = get_u8(&mut buf, "in-use flag")?;
-            if in_use == 0 {
-                continue;
+            if let Some(entry) = parse_entry(&mut buf)? {
+                entries.push(entry);
             }
-            let number = FileRecordNumber(get_u64(&mut buf, "record number")?);
-            let sequence = get_u16(&mut buf, "sequence")?;
-            let created = Tick(get_u64(&mut buf, "created")?);
-            let modified = Tick(get_u64(&mut buf, "modified")?);
-            let attributes = FileAttributes(get_u32(&mut buf, "attributes")?);
-            let parent = FileRecordNumber(get_u64(&mut buf, "parent")?);
-            let name = get_name(&mut buf, "name")?;
-            let stream_count = get_u16(&mut buf, "stream count")?;
-            let mut data_len = 0u64;
-            let mut ads_names = Vec::new();
-            for _ in 0..stream_count {
-                let named = get_u8(&mut buf, "stream name flag")?;
-                if named == 1 {
-                    ads_names.push(get_name(&mut buf, "stream name")?);
-                }
-                let len = get_u64(&mut buf, "stream length")?;
-                if (buf.remaining() as u64) < len {
-                    return Err(ImageError::Truncated {
-                        context: "stream data",
-                    });
-                }
-                buf.advance(len as usize);
-                data_len += len;
-            }
-            entries.push(RawFileEntry {
-                number,
-                sequence,
-                created,
-                modified,
-                attributes,
-                parent,
-                name,
-                data_len,
-                ads_names,
-            });
         }
         Ok(Self {
             label,
             entries,
             image_len,
         })
+    }
+
+    /// Best-effort parse for damaged images. MFT records are written
+    /// back-to-back with no framing, so a record that fails to parse makes
+    /// everything after it unaddressable: salvage keeps every entry up to
+    /// the damage, records one [`Defect`] locating it and counting the
+    /// unreadable tail, and returns. Never panics and never errors; an
+    /// image damaged in the header salvages to an empty entry list.
+    pub fn parse_salvage(bytes: &[u8]) -> Salvaged<Self> {
+        let image_len = bytes.len() as u64;
+        let mut buf = Bytes::copy_from_slice(bytes);
+        let (label, slot_count) = match parse_header(&mut buf) {
+            Ok(header) => header,
+            Err(e) => {
+                let offset = image_len - buf.remaining() as u64;
+                return Salvaged {
+                    value: Self {
+                        label: String::new(),
+                        entries: Vec::new(),
+                        image_len,
+                    },
+                    defects: vec![defect_for(&e, offset, image_len)],
+                };
+            }
+        };
+        let mut entries = Vec::new();
+        let mut defects = Vec::new();
+        for _ in 0..slot_count {
+            let offset = image_len - buf.remaining() as u64;
+            match parse_entry(&mut buf) {
+                Ok(Some(entry)) => entries.push(entry),
+                Ok(None) => {}
+                Err(e) => {
+                    defects.push(defect_for(&e, offset, image_len));
+                    break;
+                }
+            }
+        }
+        Salvaged {
+            value: Self {
+                label,
+                entries,
+                image_len,
+            },
+            defects,
+        }
     }
 
     /// The volume label recovered from the image.
@@ -291,6 +296,77 @@ impl VolumeImage {
         }
         out
     }
+}
+
+/// Reads the image header, returning the volume label and slot count. All
+/// reads are length-checked.
+fn parse_header(buf: &mut Bytes) -> Result<(String, u64), ImageError> {
+    if buf.remaining() < 8 {
+        return Err(ImageError::Truncated { context: "magic" });
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(ImageError::BadMagic);
+    }
+    let version = get_u32(buf, "version")?;
+    if version != VERSION {
+        return Err(ImageError::BadVersion(version));
+    }
+    let label_len = get_u16(buf, "label length")? as usize;
+    if buf.remaining() < label_len {
+        return Err(ImageError::Truncated { context: "label" });
+    }
+    let label_bytes = buf.copy_to_bytes(label_len);
+    let label = String::from_utf8_lossy(&label_bytes).into_owned();
+    let slot_count = get_u64(buf, "slot count")?;
+    Ok((label, slot_count))
+}
+
+/// Reads one MFT slot; `None` is a free (not-in-use) slot. Every length and
+/// offset field is checked against the bytes actually remaining before it is
+/// honored, so arbitrary field values cannot cause out-of-bounds reads or
+/// oversized allocations.
+fn parse_entry(buf: &mut Bytes) -> Result<Option<RawFileEntry>, ImageError> {
+    let in_use = get_u8(buf, "in-use flag")?;
+    if in_use == 0 {
+        return Ok(None);
+    }
+    let number = FileRecordNumber(get_u64(buf, "record number")?);
+    let sequence = get_u16(buf, "sequence")?;
+    let created = Tick(get_u64(buf, "created")?);
+    let modified = Tick(get_u64(buf, "modified")?);
+    let attributes = FileAttributes(get_u32(buf, "attributes")?);
+    let parent = FileRecordNumber(get_u64(buf, "parent")?);
+    let name = get_name(buf, "name")?;
+    let stream_count = get_u16(buf, "stream count")?;
+    let mut data_len = 0u64;
+    let mut ads_names = Vec::new();
+    for _ in 0..stream_count {
+        let named = get_u8(buf, "stream name flag")?;
+        if named == 1 {
+            ads_names.push(get_name(buf, "stream name")?);
+        }
+        let len = get_u64(buf, "stream length")?;
+        if (buf.remaining() as u64) < len {
+            return Err(ImageError::Truncated {
+                context: "stream data",
+            });
+        }
+        buf.advance(len as usize);
+        data_len += len;
+    }
+    Ok(Some(RawFileEntry {
+        number,
+        sequence,
+        created,
+        modified,
+        attributes,
+        parent,
+        name,
+        data_len,
+        ads_names,
+    }))
 }
 
 fn get_u8(buf: &mut Bytes, context: &'static str) -> Result<u8, ImageError> {
@@ -404,6 +480,45 @@ mod tests {
         assert_eq!(e.data_len, 5);
         assert_eq!(e.ads_names.len(), 1);
         assert_eq!(e.ads_names[0].to_win32_lossy(), "extra");
+    }
+
+    #[test]
+    fn salvage_on_clean_image_matches_strict() {
+        let v = sample_volume();
+        let bytes = v.to_image();
+        let strict = VolumeImage::parse(&bytes).unwrap();
+        let salvaged = VolumeImage::parse_salvage(&bytes);
+        assert!(salvaged.is_clean());
+        assert_eq!(salvaged.value.entries(), strict.entries());
+        assert_eq!(salvaged.value.label(), strict.label());
+    }
+
+    #[test]
+    fn salvage_keeps_entries_before_the_damage() {
+        let v = sample_volume();
+        let bytes = v.to_image();
+        let cut = bytes.len() - 10;
+        assert!(VolumeImage::parse(&bytes[..cut]).is_err());
+        let salvaged = VolumeImage::parse_salvage(&bytes[..cut]);
+        assert_eq!(salvaged.defects.len(), 1);
+        assert_eq!(
+            salvaged.defects[0].kind,
+            strider_support::fault::DefectKind::Truncated
+        );
+        assert!(salvaged.defects[0].bytes_lost > 0);
+        // Root + system32 tree is 4 entries; the cut only loses the tail.
+        assert!(!salvaged.value.entries().is_empty());
+        assert!(salvaged.value.entries().len() < 5);
+    }
+
+    #[test]
+    fn salvage_of_garbage_header_is_empty_with_defect() {
+        let salvaged = VolumeImage::parse_salvage(b"NOTANIMG________");
+        assert!(salvaged.value.entries().is_empty());
+        assert_eq!(
+            salvaged.defects[0].kind,
+            strider_support::fault::DefectKind::BadMagic
+        );
     }
 
     #[test]

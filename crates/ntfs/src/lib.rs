@@ -52,6 +52,7 @@ mod volume;
 
 pub use image::{ImageError, RawFileEntry, VolumeImage};
 pub use record::{DataStream, FileAttributes, FileRecord, StandardInformation};
+pub use strider_support::fault::{Defect, DefectKind, Salvaged};
 pub use volume::{NtfsError, NtfsVolume};
 
 /// Convenient re-exports.

@@ -14,6 +14,7 @@
 //! | [`rng`]   | `rand`        | [`rng::SplitMix64`], a tiny seeded PRNG with `gen_range`-style helpers; deterministic across platforms |
 //! | [`check`] | `proptest`    | a shrinking property-test harness: [`check::check`], the [`check::Shrink`] trait, and the [`prop_assert!`]/[`prop_assert_eq!`] macros |
 //! | [`bench`] | `criterion`   | a mini benchmark harness with the `Criterion`/`benchmark_group`/`Bencher` API shape that writes `BENCH_<group>.json` files at the workspace root |
+//! | [`fault`] | (in-house)    | deterministic fault injection ([`fault::FaultPlan`], [`fault::TransientFaults`]) and the salvage-parse vocabulary ([`fault::Salvaged`], [`fault::Defect`]) used by the robustness layer |
 //! | [`obs`]   | `tracing` + `metrics` | a global-free [`obs::Telemetry`] registry: hierarchical spans with monotonic timings behind a [`obs::Clock`] seam, counters/gauges/histograms, and a JSON exporter writing `SCAN_TELEMETRY_<label>.json` reports |
 //!
 //! The guiding rule is *API-shape compatibility where it is cheap, clarity
@@ -29,6 +30,7 @@
 pub mod bench;
 pub mod bytes;
 pub mod check;
+pub mod fault;
 pub mod json;
 pub mod obs;
 pub mod rng;

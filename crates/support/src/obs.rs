@@ -40,6 +40,11 @@ use std::time::Instant;
 pub trait Clock: Send + Sync {
     /// Nanoseconds since an arbitrary (per-clock) origin; never decreases.
     fn now_ns(&self) -> u64;
+
+    /// Blocks (or pretends to) for `ns` nanoseconds — the seam retry
+    /// backoff goes through so tests with a [`FakeClock`] never actually
+    /// sleep. The default is a no-op.
+    fn sleep_ns(&self, _ns: u64) {}
 }
 
 /// Wall clock anchored to an [`Instant`] taken at construction.
@@ -66,6 +71,10 @@ impl Default for MonotonicClock {
 impl Clock for MonotonicClock {
     fn now_ns(&self) -> u64 {
         self.origin.elapsed().as_nanos() as u64
+    }
+
+    fn sleep_ns(&self, ns: u64) {
+        std::thread::sleep(std::time::Duration::from_nanos(ns));
     }
 }
 
@@ -95,6 +104,10 @@ impl FakeClock {
 impl Clock for FakeClock {
     fn now_ns(&self) -> u64 {
         self.now.load(Ordering::SeqCst)
+    }
+
+    fn sleep_ns(&self, ns: u64) {
+        self.advance(ns);
     }
 }
 

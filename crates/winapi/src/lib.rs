@@ -67,18 +67,21 @@ mod trace;
 pub use hooks::{
     syscall_for, Hook, HookId, HookRegistry, HookScope, HookStyle, Level, QueryFilter,
 };
-pub use machine::{ChainEntry, DiskImage, HiveCopyTamper, Machine, RawImageTamper, TickTask};
+pub use machine::{
+    ChainEntry, DiskImage, FaultInjector, HiveCopyTamper, Machine, RawImageTamper, TickTask,
+};
 pub use query::{
     CallContext, FileRow, ModuleRow, ProcessRow, Query, QueryKind, RegKeyRow, RegValueRow, Row,
 };
+pub use strider_support::fault::{FaultPlan, TransientFaults};
 pub use trace::{ChainStats, ChainTrace, LevelHop};
 
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::{
-        CallContext, ChainEntry, ChainStats, ChainTrace, DiskImage, FileRow, HiveCopyTamper, Hook,
-        HookId, HookRegistry, HookScope, HookStyle, Level, LevelHop, Machine, ModuleRow,
-        ProcessRow, Query, QueryFilter, QueryKind, RawImageTamper, RegKeyRow, RegValueRow, Row,
-        TickTask,
+        CallContext, ChainEntry, ChainStats, ChainTrace, DiskImage, FaultInjector, FaultPlan,
+        FileRow, HiveCopyTamper, Hook, HookId, HookRegistry, HookScope, HookStyle, Level, LevelHop,
+        Machine, ModuleRow, ProcessRow, Query, QueryFilter, QueryKind, RawImageTamper, RegKeyRow,
+        RegValueRow, Row, TickTask, TransientFaults,
     };
 }

@@ -12,6 +12,7 @@ use strider_hive::{Registry, RegistryError, ValueData};
 use strider_kernel::{Kernel, SyscallId};
 use strider_nt_core::{FileRecordNumber, NtPath, NtStatus, NtString, Pid, Tick};
 use strider_ntfs::{NtfsError, NtfsVolume};
+use strider_support::fault::{FaultPlan, TransientFaults};
 
 /// How a query enters the chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +71,85 @@ pub struct DiskImage {
     pub hives: Vec<(NtPath, Vec<u8>)>,
 }
 
+/// Deterministic fault injection for a machine's low-level read paths — the
+/// harness that exercises the robustness layer. Transient countdowns make
+/// the `try_*` read methods fail with [`NtStatus::DeviceNotReady`] N times
+/// before recovering (retry paths); [`FaultPlan`]s corrupt the bytes those
+/// reads return (salvage paths). Armed via [`Machine::set_fault_injector`].
+///
+/// # Examples
+///
+/// ```
+/// use strider_winapi::{FaultInjector, Machine};
+/// use strider_support::fault::FaultPlan;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = Machine::with_base_system("lab-1")?;
+/// m.set_fault_injector(
+///     FaultInjector::new()
+///         .fail_volume_reads(1)
+///         .corrupt_volume(FaultPlan::new(7).bit_flips(4)),
+/// );
+/// assert!(m.try_read_raw_volume_image().is_err()); // transient
+/// assert!(m.try_read_raw_volume_image().is_ok()); // recovered, corrupted
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    volume_faults: Option<TransientFaults>,
+    hive_faults: Option<TransientFaults>,
+    dump_faults: Option<TransientFaults>,
+    volume_plan: Option<FaultPlan>,
+    dump_plan: Option<FaultPlan>,
+    hive_plans: Vec<(NtPath, FaultPlan)>,
+}
+
+impl FaultInjector {
+    /// An injector with no faults armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The next `n` raw-volume reads fail transiently.
+    pub fn fail_volume_reads(mut self, n: u32) -> Self {
+        self.volume_faults = Some(TransientFaults::failing(n));
+        self
+    }
+
+    /// The next `n` hive copies (any mount) fail transiently.
+    pub fn fail_hive_reads(mut self, n: u32) -> Self {
+        self.hive_faults = Some(TransientFaults::failing(n));
+        self
+    }
+
+    /// The next `n` crash-dump captures fail transiently.
+    pub fn fail_dump_reads(mut self, n: u32) -> Self {
+        self.dump_faults = Some(TransientFaults::failing(n));
+        self
+    }
+
+    /// Every successful raw-volume read returns bytes corrupted by `plan`.
+    pub fn corrupt_volume(mut self, plan: FaultPlan) -> Self {
+        self.volume_plan = Some(plan);
+        self
+    }
+
+    /// Every successful copy of the hive mounted at `mount` returns bytes
+    /// corrupted by `plan`.
+    pub fn corrupt_hive(mut self, mount: NtPath, plan: FaultPlan) -> Self {
+        self.hive_plans.push((mount, plan));
+        self
+    }
+
+    /// Every successful crash-dump capture returns bytes corrupted by
+    /// `plan`.
+    pub fn corrupt_dump(mut self, plan: FaultPlan) -> Self {
+        self.dump_plan = Some(plan);
+        self
+    }
+}
+
 /// The simulated Windows machine: volume + Registry + kernel + hook chain.
 ///
 /// All ordinary software — OS utilities, services, GhostBuster's high-level
@@ -103,6 +183,7 @@ pub struct Machine {
     hive_tampers: Vec<(String, Arc<dyn HiveCopyTamper>)>,
     image_tampers: Vec<(String, Arc<dyn RawImageTamper>)>,
     tick_tasks: Vec<Box<dyn TickTask>>,
+    faults: Option<FaultInjector>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -131,6 +212,7 @@ impl Machine {
             hive_tampers: Vec::new(),
             image_tampers: Vec::new(),
             tick_tasks: Vec::new(),
+            faults: None,
         }
     }
 
@@ -723,6 +805,101 @@ impl Machine {
         Some(bytes)
     }
 
+    // ------------------------------------------------------------------
+    // Fault-injection harness
+    // ------------------------------------------------------------------
+
+    /// Arms (or replaces) the machine's fault injector. Only the fallible
+    /// `try_*` read paths consult it; the legacy infallible readers are
+    /// untouched.
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = Some(faults);
+    }
+
+    /// Disarms fault injection.
+    pub fn clear_fault_injector(&mut self) {
+        self.faults = None;
+    }
+
+    /// Fallible [`read_raw_volume_image`]: consumes one transient fault
+    /// ([`NtStatus::DeviceNotReady`]) if armed, then returns the (possibly
+    /// plan-corrupted) image bytes.
+    ///
+    /// [`read_raw_volume_image`]: Machine::read_raw_volume_image
+    ///
+    /// # Errors
+    ///
+    /// [`NtStatus::DeviceNotReady`] while injected transient faults remain.
+    pub fn try_read_raw_volume_image(&self) -> Result<Vec<u8>, NtStatus> {
+        if let Some(f) = &self.faults {
+            if f.volume_faults.as_ref().is_some_and(|t| t.should_fail()) {
+                return Err(NtStatus::DeviceNotReady);
+            }
+        }
+        let bytes = self.read_raw_volume_image();
+        Ok(
+            match self.faults.as_ref().and_then(|f| f.volume_plan.as_ref()) {
+                Some(plan) => plan.apply(&bytes),
+                None => bytes,
+            },
+        )
+    }
+
+    /// Fallible [`copy_hive_bytes`]: consumes one transient fault if armed,
+    /// then returns the (possibly plan-corrupted) hive bytes.
+    ///
+    /// [`copy_hive_bytes`]: Machine::copy_hive_bytes
+    ///
+    /// # Errors
+    ///
+    /// [`NtStatus::DeviceNotReady`] while injected transient faults remain;
+    /// [`NtStatus::ObjectNameNotFound`] if no hive is mounted at `mount`.
+    pub fn try_copy_hive_bytes(&self, mount: &NtPath) -> Result<Vec<u8>, NtStatus> {
+        if let Some(f) = &self.faults {
+            if f.hive_faults.as_ref().is_some_and(|t| t.should_fail()) {
+                return Err(NtStatus::DeviceNotReady);
+            }
+        }
+        let bytes = self
+            .copy_hive_bytes(mount)
+            .ok_or(NtStatus::ObjectNameNotFound)?;
+        let plan = self.faults.as_ref().and_then(|f| {
+            f.hive_plans
+                .iter()
+                .find(|(m, _)| m.eq_ignore_case(mount))
+                .map(|(_, p)| p)
+        });
+        Ok(match plan {
+            Some(plan) => plan.apply(&bytes),
+            None => bytes,
+        })
+    }
+
+    /// Fallible crash-dump capture: consumes one transient fault if armed
+    /// here or injected into the kernel itself, then returns the (possibly
+    /// plan-corrupted) dump bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`NtStatus::DeviceNotReady`] while transient faults remain.
+    pub fn try_crash_dump(&self) -> Result<Vec<u8>, NtStatus> {
+        if let Some(f) = &self.faults {
+            if f.dump_faults.as_ref().is_some_and(|t| t.should_fail()) {
+                return Err(NtStatus::DeviceNotReady);
+            }
+        }
+        let bytes = self
+            .kernel
+            .try_crash_dump()
+            .ok_or(NtStatus::DeviceNotReady)?;
+        Ok(
+            match self.faults.as_ref().and_then(|f| f.dump_plan.as_ref()) {
+                Some(plan) => plan.apply(&bytes),
+                None => bytes,
+            },
+        )
+    }
+
     /// Registers ghostware interference with hive copies.
     pub fn add_hive_tamper(&mut self, owner: &str, tamper: Arc<dyn HiveCopyTamper>) {
         self.hive_tampers.push((owner.to_string(), tamper));
@@ -973,6 +1150,59 @@ mod tests {
 
     fn p(s: &str) -> NtPath {
         s.parse().unwrap()
+    }
+
+    #[test]
+    fn fault_injector_gates_every_low_level_read_path() {
+        let mut m = Machine::with_base_system("faulty").unwrap();
+        let software = p("HKLM\\SOFTWARE");
+        m.set_fault_injector(
+            FaultInjector::new()
+                .fail_volume_reads(1)
+                .fail_hive_reads(2)
+                .fail_dump_reads(1),
+        );
+        assert_eq!(
+            m.try_read_raw_volume_image().unwrap_err(),
+            NtStatus::DeviceNotReady
+        );
+        assert!(m.try_read_raw_volume_image().is_ok());
+        assert!(m.try_copy_hive_bytes(&software).is_err());
+        assert!(m.try_copy_hive_bytes(&software).is_err());
+        assert!(m.try_copy_hive_bytes(&software).is_ok());
+        assert!(m.try_crash_dump().is_err());
+        assert!(m.try_crash_dump().is_ok());
+        // Disarmed: everything succeeds immediately.
+        m.clear_fault_injector();
+        assert!(m.try_read_raw_volume_image().is_ok());
+        // Unknown mounts are a hard error, not a transient one.
+        assert_eq!(
+            m.try_copy_hive_bytes(&p("HKLM\\NOPE")).unwrap_err(),
+            NtStatus::ObjectNameNotFound
+        );
+    }
+
+    #[test]
+    fn fault_injector_corruption_plans_rewrite_read_bytes() {
+        let mut m = Machine::with_base_system("corrupt").unwrap();
+        let software = p("HKLM\\SOFTWARE");
+        let clean_vol = m.try_read_raw_volume_image().unwrap();
+        let clean_hive = m.try_copy_hive_bytes(&software).unwrap();
+        m.set_fault_injector(
+            FaultInjector::new()
+                .corrupt_volume(FaultPlan::new(1).bit_flips(8))
+                .corrupt_hive(software.clone(), FaultPlan::new(2).torn_sectors(1))
+                .corrupt_dump(FaultPlan::new(3).truncate_to(0.5)),
+        );
+        assert_ne!(m.try_read_raw_volume_image().unwrap(), clean_vol);
+        assert_ne!(m.try_copy_hive_bytes(&software).unwrap(), clean_hive);
+        // Only the targeted mount is corrupted.
+        assert_eq!(
+            m.try_copy_hive_bytes(&p("HKLM\\SYSTEM")).unwrap(),
+            m.copy_hive_bytes(&p("HKLM\\SYSTEM")).unwrap()
+        );
+        let dump = m.try_crash_dump().unwrap();
+        assert!(dump.len() < m.kernel().crash_dump().len());
     }
 
     fn name_filter(substr: &'static str) -> Arc<dyn QueryFilter> {

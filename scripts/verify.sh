@@ -31,4 +31,11 @@ cargo build --offline --examples
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+# Fault-injection suite: every test whose name starts with `fault_` —
+# corruption property tests, retry/backoff, salvage, and degradation paths.
+# The seed is pinned for reproducibility; override with FAULT_SEED=<n> to
+# explore a different corruption schedule.
+echo "==> fault-injection suite (FAULT_SEED=${FAULT_SEED:-default})"
+FAULT_SEED="${FAULT_SEED:-}" cargo test -q --offline --workspace fault
+
 echo "==> OK"

@@ -131,6 +131,25 @@ fn every_crate_directory_is_audited() {
 }
 
 #[test]
+fn support_crate_declares_every_replacement_module() {
+    // The support crate is the in-tree replacement for the external
+    // ecosystem; each capability the workspace leans on must exist as a
+    // `pub mod` so a future refactor cannot silently drop one (the fault
+    // module, for instance, is the seam the whole resilience layer and its
+    // CI stage hang off).
+    let lib = manifest_root().join("crates/support/src/lib.rs");
+    let text = fs::read_to_string(&lib).expect("support lib.rs");
+    for module in [
+        "json", "bytes", "sync", "rng", "check", "bench", "obs", "fault",
+    ] {
+        assert!(
+            text.contains(&format!("pub mod {module};")),
+            "strider-support lost its `{module}` module"
+        );
+    }
+}
+
+#[test]
 fn support_crate_has_no_dependencies_at_all() {
     let manifest = manifest_root().join("crates/support/Cargo.toml");
     let text = fs::read_to_string(&manifest).expect("support manifest");

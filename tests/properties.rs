@@ -11,6 +11,7 @@
 use strider_ghostbuster_repro::prelude::*;
 use strider_nt_core::{NtPath, NtString, Tick};
 use strider_support::check::{check, gen, Config};
+use strider_support::fault::FaultPlan;
 use strider_support::rng::SplitMix64;
 use strider_support::{prop_assert, prop_assert_eq, prop_assert_ne};
 
@@ -661,6 +662,142 @@ fn cost_model_is_monotone_in_disk_scale() {
             let t_base = CostModel::new(base).file_scan_seconds();
             let t_big = CostModel::new(bigger).file_scan_seconds();
             prop_assert!(t_big > t_base);
+            Ok(())
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Fault injection: corrupted images never panic either parser tier
+// ---------------------------------------------------------------------
+
+/// `FAULT_SEED=<n>` re-bases the corruption properties on a chosen seed —
+/// the knob `scripts/verify.sh` pins for reproducible CI runs.
+fn fault_config(cases: u32) -> Config {
+    let mut config = Config::with_cases(cases);
+    if let Some(seed) = std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        config.seed = seed;
+    }
+    config
+}
+
+#[test]
+fn fault_corrupted_volume_images_never_panic_either_parser() {
+    check(
+        "fault_corrupted_volume_images_never_panic_either_parser",
+        fault_config(64),
+        |rng| (file_tree(rng), rng.next_u64()),
+        |(tree, seed)| {
+            let mut vol = NtfsVolume::new("C:");
+            for (parts, data) in tree {
+                let Some(first) = parts.first().filter(|p| !p.is_empty()) else {
+                    continue; // shrunk below the generator's invariant
+                };
+                let _ = vol.create_file(&NtPath::root_of("C:").join(first.as_str()), data);
+            }
+            let plan = FaultPlan::random(*seed);
+            let corrupted = plan.apply(&vol.to_image());
+            // Strict tier: Ok or Err, never a panic.
+            let _ = VolumeImage::parse(&corrupted);
+            // Salvage tier: always a value; defects stay within the image.
+            let salvaged = VolumeImage::parse_salvage(&corrupted);
+            for d in &salvaged.defects {
+                prop_assert!(d.offset <= corrupted.len() as u64);
+            }
+            if plan.is_noop() {
+                prop_assert!(salvaged.is_clean());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn fault_corrupted_hives_never_panic_either_parser() {
+    check(
+        "fault_corrupted_hives_never_panic_either_parser",
+        fault_config(64),
+        |rng| {
+            (
+                gen::vec_of(rng, 0, 9, |r| (name(r), r.next_u32())),
+                rng.next_u64(),
+            )
+        },
+        |(entries, seed)| {
+            let mut root = Key::new("ROOT");
+            for (n, dword) in entries {
+                if n.is_empty() {
+                    continue; // shrunk below the generator's invariant
+                }
+                let sub = root.subkey_or_create(&NtString::from(n.as_str()), Tick(1));
+                sub.set_value(Value::new(n.as_str(), ValueData::Dword(*dword)));
+            }
+            let hive = Hive::from_root(
+                "HKLM\\SOFTWARE".parse().unwrap(),
+                "C:\\sw".parse().unwrap(),
+                root,
+            );
+            let plan = FaultPlan::random(*seed);
+            let corrupted = plan.apply(&hive.to_bytes());
+            let _ = RawHive::parse(&corrupted);
+            let salvaged = RawHive::parse_salvage(&corrupted);
+            for d in &salvaged.defects {
+                prop_assert!(d.offset <= corrupted.len() as u64);
+            }
+            if plan.is_noop() {
+                prop_assert!(salvaged.is_clean());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn fault_corrupted_dumps_never_panic_either_parser() {
+    check(
+        "fault_corrupted_dumps_never_panic_either_parser",
+        fault_config(64),
+        |rng| (gen::vec_of(rng, 0, 9, name), rng.next_u64()),
+        |(names, seed)| {
+            let mut k = Kernel::with_base_processes();
+            for n in names {
+                if n.is_empty() {
+                    continue; // shrunk below the generator's invariant
+                }
+                let _ = k.spawn(
+                    &format!("{n}.exe"),
+                    format!("C:\\{n}.exe").parse().unwrap(),
+                    None,
+                );
+            }
+            let plan = FaultPlan::random(*seed);
+            let corrupted = plan.apply(&k.crash_dump());
+            let _ = MemoryDump::parse(&corrupted);
+            let salvaged = MemoryDump::parse_salvage(&corrupted);
+            for d in &salvaged.defects {
+                prop_assert!(d.offset <= corrupted.len() as u64);
+            }
+            if plan.is_noop() {
+                prop_assert!(salvaged.is_clean());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn fault_plan_application_is_deterministic() {
+    check(
+        "fault_plan_application_is_deterministic",
+        fault_config(64),
+        |rng| (gen::bytes(rng, 0, 255), rng.next_u64()),
+        |(bytes, seed)| {
+            let plan = FaultPlan::random(*seed);
+            prop_assert_eq!(plan.apply(bytes), plan.apply(bytes));
+            prop_assert!(plan.apply(bytes).len() <= bytes.len().max(1));
             Ok(())
         },
     );
