@@ -2,12 +2,13 @@
 
 use crate::diff::cross_view_diff;
 use crate::instrument::{record_chain, record_view_entries};
-use crate::policy::ScanPolicy;
+use crate::policy::{interrupt_status, ScanPolicy};
 use crate::report::{Detection, DiffReport, FileCategory, NoiseClass, NoiseFilter, ResourceKind};
 use crate::snapshot::{FileFact, ScanMeta, Snapshot, ViewKind};
 use strider_nt_core::{NtPath, NtStatus, Tick};
 use strider_ntfs::VolumeImage;
 use strider_support::obs::{MaybeSpan, Telemetry};
+use strider_support::task::Supervision;
 use strider_winapi::{CallContext, ChainEntry, ChainStats, DiskImage, Machine, Query, Row};
 
 /// The hidden-file scanner: high-level API walks, low-level MFT parses,
@@ -18,6 +19,7 @@ pub struct FileScanner {
     detect_ads: bool,
     telemetry: Option<Telemetry>,
     policy: ScanPolicy,
+    supervision: Supervision,
 }
 
 impl FileScanner {
@@ -48,6 +50,16 @@ impl FileScanner {
     /// attached, the `files.defects` counter).
     pub fn with_policy(mut self, policy: ScanPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Places the scanner under `supervision`: every directory-walk
+    /// iteration and phase boundary checks the cancellation token and
+    /// deadline, and stalled ([`NtStatus::Pending`]) low-level reads are
+    /// abandoned when supervision interrupts. The default is
+    /// [`Supervision::unsupervised`] — never interrupted.
+    pub fn with_supervision(mut self, supervision: Supervision) -> Self {
+        self.supervision = supervision;
         self
     }
 
@@ -82,6 +94,7 @@ impl FileScanner {
         let mut snap = Snapshot::new(ScanMeta::new(view, machine.now()));
         let mut stack = vec![NtPath::root_of(machine.volume().label())];
         while let Some(dir) = stack.pop() {
+            self.supervision.checkpoint().map_err(interrupt_status)?;
             snap.meta.io.record_api_call();
             snap.meta.io.record_seek();
             let query = Query::DirectoryEnum { path: dir };
@@ -137,7 +150,9 @@ impl FileScanner {
     /// retried per the [`ScanPolicy`]) or the image does not parse and
     /// salvage is off.
     pub fn low_scan(&self, machine: &Machine) -> Result<Snapshot<FileFact>, NtStatus> {
-        let bytes = self.policy.retry(|| machine.try_read_raw_volume_image())?;
+        let bytes = self
+            .policy
+            .supervised_retry(&self.supervision, || machine.try_read_raw_volume_image())?;
         self.scan_image_bytes(&bytes, ViewKind::LowLevelMft, machine.now())
     }
 
@@ -260,6 +275,7 @@ impl FileScanner {
     ) -> Result<DiffReport, NtStatus> {
         let _span = MaybeSpan::start(self.telemetry.as_ref(), "files.scan_inside");
         let lie = self.high_scan(machine, ctx, ChainEntry::Win32)?;
+        self.supervision.checkpoint().map_err(interrupt_status)?;
         let truth = self.low_scan(machine)?;
         Ok(self.diff(&truth, &lie))
     }

@@ -12,6 +12,10 @@ use strider_hive::prelude::AsepHook;
 use strider_kernel::MemoryDump;
 use strider_nt_core::{NtStatus, NtString, Tick};
 use strider_support::obs::{MaybeSpan, Telemetry, TelemetryReport};
+use strider_support::sync::run_isolated;
+use strider_support::task::{
+    BreakerState, CancellationToken, CircuitBreaker, Deadline, Supervision,
+};
 use strider_winapi::{CallContext, ChainEntry, Machine};
 
 /// The image name GhostBuster runs under — itself a targetable artifact,
@@ -91,6 +95,159 @@ impl fmt::Display for SweepReport {
     }
 }
 
+/// One finished pipeline's persisted outcome, as stored in a
+/// [`SweepCheckpoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineCheckpoint {
+    /// The pipeline's diff report.
+    pub report: DiffReport,
+    /// The pipeline's health verdict.
+    pub status: PipelineStatus,
+}
+
+strider_support::impl_json!(struct PipelineCheckpoint { report, status });
+
+/// Durable progress of an inside sweep: each pipeline's outcome is recorded
+/// here as soon as it finishes (interrupted pipelines are *not* recorded —
+/// a timeout or cancellation is a reason to re-run, not a result).
+///
+/// Serialize with [`SweepCheckpoint::serialize`] after a sweep dies, and
+/// hand the parsed checkpoint to [`GhostBuster::resume`] to re-run only the
+/// unfinished pipelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCheckpoint {
+    /// The machine the sweep was observing — resuming against a different
+    /// machine is rejected.
+    pub machine: String,
+    /// The machine clock when the sweep started.
+    pub taken_at: Tick,
+    /// The file pipeline's outcome, once finished.
+    pub files: Option<PipelineCheckpoint>,
+    /// The Registry pipeline's outcome, once finished.
+    pub registry: Option<PipelineCheckpoint>,
+    /// The process pipeline's outcome, once finished.
+    pub processes: Option<PipelineCheckpoint>,
+    /// The module pipeline's outcome, once finished.
+    pub modules: Option<PipelineCheckpoint>,
+}
+
+strider_support::impl_json!(
+    struct SweepCheckpoint { machine, taken_at, files, registry, processes, modules }
+);
+
+impl SweepCheckpoint {
+    /// An empty checkpoint for a fresh sweep of `machine`.
+    pub fn new(machine: &Machine) -> Self {
+        SweepCheckpoint {
+            machine: machine.name().to_string(),
+            taken_at: machine.now(),
+            files: None,
+            registry: None,
+            processes: None,
+            modules: None,
+        }
+    }
+
+    /// Whether every pipeline has a recorded outcome.
+    pub fn is_complete(&self) -> bool {
+        self.files.is_some()
+            && self.registry.is_some()
+            && self.processes.is_some()
+            && self.modules.is_some()
+    }
+
+    /// The pipelines still to run, in sweep order.
+    pub fn unfinished(&self) -> Vec<&'static str> {
+        [
+            ("files", self.files.is_some()),
+            ("registry", self.registry.is_some()),
+            ("processes", self.processes.is_some()),
+            ("modules", self.modules.is_some()),
+        ]
+        .into_iter()
+        .filter_map(|(name, done)| (!done).then_some(name))
+        .collect()
+    }
+
+    /// Renders the checkpoint as a JSON document.
+    pub fn serialize(&self) -> String {
+        use strider_support::json::ToJson;
+        self.to_json().render()
+    }
+
+    /// Parses a checkpoint from [`SweepCheckpoint::serialize`] output.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or a document that is not a checkpoint.
+    pub fn deserialize(text: &str) -> Result<Self, strider_support::json::JsonError> {
+        use strider_support::json::{FromJson, JsonValue};
+        Self::from_json(&JsonValue::parse(text)?)
+    }
+}
+
+/// The four per-pipeline circuit breakers of a supervised sweep. Clones
+/// share breaker state, so the same `SweepBreakers` (via a cloned
+/// [`GhostBuster`]) accumulates failures across successive sweeps.
+#[derive(Debug, Clone)]
+pub struct SweepBreakers {
+    files: CircuitBreaker,
+    registry: CircuitBreaker,
+    processes: CircuitBreaker,
+    modules: CircuitBreaker,
+}
+
+impl SweepBreakers {
+    /// Breakers configured from the policy's threshold/cool-down knobs,
+    /// ticking on the policy clock.
+    pub fn from_policy(policy: &ScanPolicy) -> Self {
+        let make = || {
+            CircuitBreaker::new(
+                policy.clock().clone(),
+                policy.breaker_threshold,
+                policy.breaker_cooldown_ns,
+            )
+        };
+        SweepBreakers {
+            files: make(),
+            registry: make(),
+            processes: make(),
+            modules: make(),
+        }
+    }
+
+    /// The named pipeline's breaker state.
+    pub fn state_of(&self, pipeline: &str) -> Option<BreakerState> {
+        match pipeline {
+            "files" => Some(self.files.state()),
+            "registry" => Some(self.registry.state()),
+            "processes" => Some(self.processes.state()),
+            "modules" => Some(self.modules.state()),
+            _ => None,
+        }
+    }
+}
+
+/// What one supervised pipeline run produced. `interrupted` marks a timeout
+/// or cancellation: the pipeline's (empty) report still flows into the
+/// sweep, but the outcome is not checkpointed — resuming re-runs it.
+struct PipelineOutcome {
+    report: DiffReport,
+    status: PipelineStatus,
+    interrupted: bool,
+}
+
+impl PipelineOutcome {
+    fn save(&self, slot: &mut Option<PipelineCheckpoint>) {
+        if !self.interrupted {
+            *slot = Some(PipelineCheckpoint {
+                report: self.report.clone(),
+                status: self.status.clone(),
+            });
+        }
+    }
+}
+
 /// The detector.
 ///
 /// # Examples
@@ -116,6 +273,8 @@ pub struct GhostBuster {
     advanced: Option<AdvancedSource>,
     telemetry: Option<Telemetry>,
     policy: ScanPolicy,
+    cancellation: CancellationToken,
+    breakers: Option<SweepBreakers>,
 }
 
 impl GhostBuster {
@@ -140,8 +299,28 @@ impl GhostBuster {
     pub fn with_policy(mut self, policy: ScanPolicy) -> Self {
         self.files = self.files.with_policy(policy.clone());
         self.registry = self.registry.with_policy(policy.clone());
+        self.breakers = (policy.breaker_threshold > 0).then(|| SweepBreakers::from_policy(&policy));
         self.policy = policy;
         self
+    }
+
+    /// Hands the detector an externally owned cancellation token: cancelling
+    /// it (from any thread) makes every in-flight pipeline stop at its next
+    /// checkpoint and land as [`PipelineStatus::Degraded`].
+    pub fn with_cancellation(mut self, token: CancellationToken) -> Self {
+        self.cancellation = token;
+        self
+    }
+
+    /// The cancellation token sweeps observe.
+    pub fn cancellation(&self) -> &CancellationToken {
+        &self.cancellation
+    }
+
+    /// The per-pipeline circuit breakers, when the policy armed them
+    /// (`breaker_threshold > 0`).
+    pub fn breakers(&self) -> Option<&SweepBreakers> {
+        self.breakers.as_ref()
     }
 
     /// Threads one telemetry registry through every scanner, and attaches
@@ -232,65 +411,234 @@ impl GhostBuster {
         self.processes.scan_modules_inside(machine, &ctx)
     }
 
-    /// Runs one pipeline under the policy: stabilization passes, then on an
-    /// unrecoverable error an empty report marked degraded — the sweep's
+    /// The sweep's root supervision scope: the detector's cancellation
+    /// token, plus the whole-sweep deadline when the policy budgets one.
+    fn root_supervision(&self) -> Supervision {
+        let deadline = self
+            .policy
+            .sweep_budget_ns
+            .map(|budget| Deadline::after(self.policy.clock().clone(), budget));
+        Supervision::new(self.cancellation.clone(), deadline)
+    }
+
+    fn count_degraded(&self, name: &str) {
+        if let Some(t) = &self.telemetry {
+            t.counter_add(&format!("sweep.degraded.{name}"), 1);
+        }
+    }
+
+    /// Runs one pipeline as a supervised task: gated by its circuit breaker,
+    /// isolated on its own thread (a panicking parser degrades one pipeline,
+    /// not the sweep), stabilization passes inside, and on any unrecoverable
+    /// error an empty report marked degraded — the sweep's
     /// graceful-degradation seam.
     fn run_pipeline(
         &self,
         name: &str,
         truth_view: ViewKind,
         now: Tick,
-        scan: impl FnMut() -> Result<DiffReport, NtStatus>,
-    ) -> (DiffReport, PipelineStatus) {
-        match self.policy.stabilize(scan) {
-            Ok(report) => {
-                let status = pipeline_status(&report);
-                (report, status)
-            }
-            Err(e) => {
-                if let Some(t) = &self.telemetry {
-                    t.counter_add(&format!("sweep.degraded.{name}"), 1);
-                }
-                (
-                    degraded_report(truth_view, now),
-                    PipelineStatus::Degraded {
-                        reason: e.to_string(),
+        span: &MaybeSpan,
+        breaker: Option<&CircuitBreaker>,
+        scan: impl FnMut() -> Result<DiffReport, NtStatus> + Send,
+    ) -> PipelineOutcome {
+        if let Some(b) = breaker {
+            if !b.try_acquire() {
+                self.count_degraded(name);
+                return PipelineOutcome {
+                    report: degraded_report(truth_view, now),
+                    status: PipelineStatus::Degraded {
+                        reason: "circuit breaker open".to_string(),
                     },
-                )
+                    interrupted: false,
+                };
             }
+        }
+        let degrade = |reason: String, interrupted: bool| {
+            self.count_degraded(name);
+            if let Some(b) = breaker {
+                if b.record_failure() == BreakerState::Open {
+                    if let Some(t) = &self.telemetry {
+                        t.counter_add("breaker.open", 1);
+                    }
+                }
+            }
+            PipelineOutcome {
+                report: degraded_report(truth_view, now),
+                status: PipelineStatus::Degraded { reason },
+                interrupted,
+            }
+        };
+        match run_isolated(name, || self.policy.stabilize(scan)) {
+            Ok(Ok(report)) => {
+                if let Some(b) = breaker {
+                    b.record_success();
+                }
+                let status = pipeline_status(&report);
+                PipelineOutcome {
+                    report,
+                    status,
+                    interrupted: false,
+                }
+            }
+            Ok(Err(e)) => {
+                let interrupted = matches!(e, NtStatus::TimedOut | NtStatus::Cancelled);
+                if e == NtStatus::TimedOut {
+                    if let Some(t) = &self.telemetry {
+                        t.counter_add("sweep.timeouts", 1);
+                    }
+                }
+                if e == NtStatus::Cancelled {
+                    span.set_attr("cancelled_at", name);
+                }
+                degrade(e.to_string(), interrupted)
+            }
+            Err(panic_msg) => degrade(format!("panicked: {panic_msg}"), false),
         }
     }
 
     /// The full inside-the-box sweep: files, ASEPs, processes, modules.
     ///
-    /// A pipeline whose truth source fails permanently no longer aborts the
-    /// sweep: it yields an empty report and a
-    /// [`PipelineStatus::Degraded`] entry in [`SweepReport::health`], while
-    /// the remaining pipelines scan normally.
+    /// Each pipeline runs as an independently supervised task: on its own
+    /// thread, under its own deadline (the tighter of the policy's pipeline
+    /// and sweep budgets), observing the detector's cancellation token, and
+    /// gated by its circuit breaker when the policy arms them. A pipeline
+    /// whose truth source fails permanently — or that times out, is
+    /// cancelled, or panics — no longer aborts the sweep: it yields an empty
+    /// report and a [`PipelineStatus::Degraded`] entry in
+    /// [`SweepReport::health`], while the remaining pipelines scan normally.
     ///
     /// # Errors
     ///
     /// Fails only when the scanner cannot even enter the machine.
     pub fn inside_sweep(&self, machine: &mut Machine) -> Result<SweepReport, NtStatus> {
+        let mut checkpoint = SweepCheckpoint::new(machine);
+        self.sweep_core(machine, &mut checkpoint)
+    }
+
+    /// [`GhostBuster::inside_sweep`], but recording each pipeline's outcome
+    /// into `checkpoint` as it finishes — serialize the checkpoint if the
+    /// sweep dies and [`GhostBuster::resume`] from it later.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when the scanner cannot even enter the machine.
+    pub fn inside_sweep_checkpointed(
+        &self,
+        machine: &mut Machine,
+        checkpoint: &mut SweepCheckpoint,
+    ) -> Result<SweepReport, NtStatus> {
+        self.sweep_core(machine, checkpoint)
+    }
+
+    /// Resumes a sweep from a checkpoint: pipelines with a recorded outcome
+    /// are *not* re-run (their reports are restored verbatim, and no scan
+    /// spans are emitted for them); the rest run normally and the checkpoint
+    /// is updated in place.
+    ///
+    /// # Errors
+    ///
+    /// [`NtStatus::InvalidParameter`] when the checkpoint was taken on a
+    /// different machine; otherwise as [`GhostBuster::inside_sweep`].
+    pub fn resume(
+        &self,
+        machine: &mut Machine,
+        checkpoint: &mut SweepCheckpoint,
+    ) -> Result<SweepReport, NtStatus> {
+        if checkpoint.machine != machine.name() {
+            return Err(NtStatus::InvalidParameter);
+        }
+        self.sweep_core(machine, checkpoint)
+    }
+
+    fn sweep_core(
+        &self,
+        machine: &mut Machine,
+        checkpoint: &mut SweepCheckpoint,
+    ) -> Result<SweepReport, NtStatus> {
         let span = MaybeSpan::start(self.telemetry.as_ref(), "sweep.inside");
         let ctx = self.enter(machine)?;
         let machine = &*machine;
         let now = machine.now();
-        let (files, files_status) = self.run_pipeline("files", ViewKind::LowLevelMft, now, || {
-            self.files.scan_inside(machine, &ctx)
-        });
-        let (hooks, registry_status) =
-            self.run_pipeline("registry", ViewKind::LowLevelHiveParse, now, || {
-                self.registry.scan_inside(machine, &ctx)
-            });
-        let (processes, processes_status) =
-            self.run_pipeline("processes", ViewKind::LowLevelApl, now, || {
-                self.processes.scan_inside(machine, &ctx, self.advanced)
-            });
-        let (modules, modules_status) =
-            self.run_pipeline("modules", ViewKind::LowLevelKernelModules, now, || {
-                self.processes.scan_modules_inside(machine, &ctx)
-            });
+        let root = self.root_supervision();
+        let clock = self.policy.clock().clone();
+        let budget = self.policy.pipeline_budget_ns;
+
+        let (files, files_status) = match &checkpoint.files {
+            Some(done) => (done.report.clone(), done.status.clone()),
+            None => {
+                let scanner = self
+                    .files
+                    .clone()
+                    .with_supervision(root.child(clock.clone(), budget));
+                let outcome = self.run_pipeline(
+                    "files",
+                    ViewKind::LowLevelMft,
+                    now,
+                    &span,
+                    self.breakers.as_ref().map(|b| &b.files),
+                    || scanner.scan_inside(machine, &ctx),
+                );
+                outcome.save(&mut checkpoint.files);
+                (outcome.report, outcome.status)
+            }
+        };
+        let (hooks, registry_status) = match &checkpoint.registry {
+            Some(done) => (done.report.clone(), done.status.clone()),
+            None => {
+                let scanner = self
+                    .registry
+                    .clone()
+                    .with_supervision(root.child(clock.clone(), budget));
+                let outcome = self.run_pipeline(
+                    "registry",
+                    ViewKind::LowLevelHiveParse,
+                    now,
+                    &span,
+                    self.breakers.as_ref().map(|b| &b.registry),
+                    || scanner.scan_inside(machine, &ctx),
+                );
+                outcome.save(&mut checkpoint.registry);
+                (outcome.report, outcome.status)
+            }
+        };
+        let (processes, processes_status) = match &checkpoint.processes {
+            Some(done) => (done.report.clone(), done.status.clone()),
+            None => {
+                let scanner = self
+                    .processes
+                    .clone()
+                    .with_supervision(root.child(clock.clone(), budget));
+                let outcome = self.run_pipeline(
+                    "processes",
+                    ViewKind::LowLevelApl,
+                    now,
+                    &span,
+                    self.breakers.as_ref().map(|b| &b.processes),
+                    || scanner.scan_inside(machine, &ctx, self.advanced),
+                );
+                outcome.save(&mut checkpoint.processes);
+                (outcome.report, outcome.status)
+            }
+        };
+        let (modules, modules_status) = match &checkpoint.modules {
+            Some(done) => (done.report.clone(), done.status.clone()),
+            None => {
+                let scanner = self
+                    .processes
+                    .clone()
+                    .with_supervision(root.child(clock.clone(), budget));
+                let outcome = self.run_pipeline(
+                    "modules",
+                    ViewKind::LowLevelKernelModules,
+                    now,
+                    &span,
+                    self.breakers.as_ref().map(|b| &b.modules),
+                    || scanner.scan_modules_inside(machine, &ctx),
+                );
+                outcome.save(&mut checkpoint.modules);
+                (outcome.report, outcome.status)
+            }
+        };
         drop(span);
         Ok(SweepReport {
             files,
@@ -437,10 +785,15 @@ impl GhostBuster {
     }
 
     /// Reads and parses the crash dump per the policy: transient device
-    /// failures are retried with backoff, and a damaged dump is salvaged
-    /// (returning the defect count) when salvage is on.
+    /// failures are retried with backoff, stalled reads are polled under the
+    /// sweep's supervision (so a stalled dump device cannot hang the flow
+    /// past its budget), and a damaged dump is salvaged (returning the
+    /// defect count) when salvage is on.
     fn capture_dump(&self, machine: &Machine) -> Result<(MemoryDump, u64), NtStatus> {
-        let bytes = self.policy.retry(|| machine.try_crash_dump())?;
+        let sup = self.root_supervision();
+        let bytes = self
+            .policy
+            .supervised_retry(&sup, || machine.try_crash_dump())?;
         if self.policy.salvage {
             let salvaged = MemoryDump::parse_salvage(&bytes);
             Ok((salvaged.value, salvaged.defects.len() as u64))

@@ -76,10 +76,12 @@ pub use crosstime::{ChangeSet, Checkpoint, CrossTimeDiff};
 pub use diff::cross_view_diff;
 pub use drivers::{DriverAnomaly, DriverFinding, DriverScanner};
 pub use files::FileScanner;
-pub use ghostbuster::{GhostBuster, SweepReport, GHOSTBUSTER_IMAGE};
+pub use ghostbuster::{
+    GhostBuster, PipelineCheckpoint, SweepBreakers, SweepCheckpoint, SweepReport, GHOSTBUSTER_IMAGE,
+};
 pub use hookscan::{install_benign_wrapper, HookFinding, HookScanner};
 pub use inject::{injected_sweep, InjectedSweepReport, PerProcessReport};
-pub use policy::{PipelineStatus, ScanPolicy, SweepHealth};
+pub use policy::{interrupt_status, PipelineStatus, ScanPolicy, SweepHealth};
 pub use process::{AdvancedSource, ProcessScanner};
 pub use registry::{OutsideRegistryMode, RegistryScanner};
 pub use report::{Detection, DiffReport, FileCategory, NoiseClass, NoiseFilter, ResourceKind};
@@ -87,16 +89,20 @@ pub use scanfile::{parse_scan_file, write_scan_file, ScanFileError};
 pub use signature::{Signature, SignatureHit, SignatureScanner};
 pub use snapshot::{FileFact, HookFact, ModuleFact, ProcessFact, ScanMeta, Snapshot, ViewKind};
 pub use strider_support::obs::{FakeClock, MonotonicClock, Telemetry, TelemetryReport};
+pub use strider_support::task::{
+    BreakerState, CancellationToken, CircuitBreaker, Deadline, Interrupt, Supervision, TimeBudget,
+};
 pub use unixgb::{UnixBinaryIntegrity, UnixDetection, UnixGhostBuster, UnixReport};
 
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::{
         cross_view_diff, injected_sweep, install_benign_wrapper, AdvancedSource, AsepMonitor,
-        CrossTimeDiff, Detection, DiffReport, DriverScanner, FileCategory, FileScanner,
-        GhostBuster, HookScanner, InjectedSweepReport, NoiseClass, NoiseFilter,
-        OutsideRegistryMode, PipelineStatus, ProcessScanner, RegistryScanner, ResourceKind,
-        ScanMeta, ScanPolicy, SignatureScanner, Snapshot, SweepHealth, SweepReport, Telemetry,
-        TelemetryReport, UnixGhostBuster, ViewKind,
+        BreakerState, CancellationToken, CircuitBreaker, CrossTimeDiff, Deadline, Detection,
+        DiffReport, DriverScanner, FileCategory, FileScanner, GhostBuster, HookScanner,
+        InjectedSweepReport, NoiseClass, NoiseFilter, OutsideRegistryMode, PipelineCheckpoint,
+        PipelineStatus, ProcessScanner, RegistryScanner, ResourceKind, ScanMeta, ScanPolicy,
+        SignatureScanner, Snapshot, Supervision, SweepBreakers, SweepCheckpoint, SweepHealth,
+        SweepReport, Telemetry, TelemetryReport, TimeBudget, UnixGhostBuster, ViewKind,
     };
 }

@@ -26,7 +26,9 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 use strider_nt_core::NtStatus;
+use strider_support::json::{FromJson, JsonError, JsonValue, ToJson};
 use strider_support::obs::{Clock, MonotonicClock};
+use strider_support::task::{Interrupt, Supervision};
 
 /// Resilience knobs for scans and sweeps.
 ///
@@ -62,6 +64,26 @@ pub struct ScanPolicy {
     /// Whether unparseable raw images are re-read in salvage mode (skipping
     /// damaged records, recording defects) instead of failing the scan.
     pub salvage: bool,
+    /// How long [`ScanPolicy::supervised_retry`] sleeps between polls of a
+    /// read that reported [`NtStatus::Pending`], in nanoseconds.
+    pub poll_interval_ns: u64,
+    /// How many pending polls an *unsupervised* read tolerates before the
+    /// stall is declared a [`NtStatus::TimedOut`]. Ignored when the caller's
+    /// [`Supervision`] carries a deadline — the deadline governs instead.
+    pub poll_budget: u32,
+    /// Time budget for each sweep pipeline, in nanoseconds; the sweep gives
+    /// every pipeline a deadline this far out when it starts. `None` means
+    /// unbounded.
+    pub pipeline_budget_ns: Option<u64>,
+    /// Time budget for a whole sweep, in nanoseconds; caps every pipeline
+    /// deadline. `None` means unbounded.
+    pub sweep_budget_ns: Option<u64>,
+    /// Consecutive pipeline failures before that pipeline's circuit breaker
+    /// opens. `0` disables breakers entirely.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects a pipeline before admitting a
+    /// half-open probe, in nanoseconds on the policy clock.
+    pub breaker_cooldown_ns: u64,
     clock: Arc<dyn Clock>,
 }
 
@@ -73,6 +95,12 @@ impl fmt::Debug for ScanPolicy {
             .field("backoff_max_ns", &self.backoff_max_ns)
             .field("stabilization_passes", &self.stabilization_passes)
             .field("salvage", &self.salvage)
+            .field("poll_interval_ns", &self.poll_interval_ns)
+            .field("poll_budget", &self.poll_budget)
+            .field("pipeline_budget_ns", &self.pipeline_budget_ns)
+            .field("sweep_budget_ns", &self.sweep_budget_ns)
+            .field("breaker_threshold", &self.breaker_threshold)
+            .field("breaker_cooldown_ns", &self.breaker_cooldown_ns)
             .finish_non_exhaustive()
     }
 }
@@ -93,6 +121,12 @@ impl ScanPolicy {
             backoff_max_ns: 8_000_000,
             stabilization_passes: 1,
             salvage: false,
+            poll_interval_ns: 1_000_000,
+            poll_budget: 0,
+            pipeline_budget_ns: None,
+            sweep_budget_ns: None,
+            breaker_threshold: 0,
+            breaker_cooldown_ns: 100_000_000,
             clock: Arc::new(MonotonicClock::new()),
         }
     }
@@ -104,7 +138,22 @@ impl ScanPolicy {
             retries: 3,
             stabilization_passes: 3,
             salvage: true,
+            poll_budget: 16,
             ..Self::strict()
+        }
+    }
+
+    /// Liveness posture: everything [`ScanPolicy::resilient`] does, plus a
+    /// 2 s deadline per pipeline inside a 10 s sweep budget and per-pipeline
+    /// circuit breakers (3 consecutive failures open, 100 ms cool-down) —
+    /// the configuration the supervised sweep engine is built for. A read
+    /// stalled forever now costs one pipeline its deadline, not the sweep.
+    pub fn supervised() -> Self {
+        Self {
+            pipeline_budget_ns: Some(2_000_000_000),
+            sweep_budget_ns: Some(10_000_000_000),
+            breaker_threshold: 3,
+            ..Self::resilient()
         }
     }
 
@@ -131,6 +180,37 @@ impl ScanPolicy {
     /// Enables or disables salvage-mode parsing.
     pub fn with_salvage(mut self, salvage: bool) -> Self {
         self.salvage = salvage;
+        self
+    }
+
+    /// Sets the pending-poll schedule: sleep `interval_ns` between polls of
+    /// a stalled ([`NtStatus::Pending`]) read, and give up after `budget`
+    /// polls when no deadline supervises the read.
+    pub fn with_poll(mut self, interval_ns: u64, budget: u32) -> Self {
+        self.poll_interval_ns = interval_ns;
+        self.poll_budget = budget;
+        self
+    }
+
+    /// Sets the per-pipeline time budget.
+    pub fn with_pipeline_budget(mut self, budget_ns: u64) -> Self {
+        self.pipeline_budget_ns = Some(budget_ns);
+        self
+    }
+
+    /// Sets the whole-sweep time budget.
+    pub fn with_sweep_budget(mut self, budget_ns: u64) -> Self {
+        self.sweep_budget_ns = Some(budget_ns);
+        self
+    }
+
+    /// Arms per-pipeline circuit breakers: `threshold` consecutive failures
+    /// open a pipeline's breaker, which rejects that pipeline (degrading it
+    /// immediately, without touching its truth source) until `cooldown_ns`
+    /// elapses on the policy clock. A threshold of 0 disables breakers.
+    pub fn with_breaker(mut self, threshold: u32, cooldown_ns: u64) -> Self {
+        self.breaker_threshold = threshold;
+        self.breaker_cooldown_ns = cooldown_ns;
         self
     }
 
@@ -177,6 +257,46 @@ impl ScanPolicy {
         }
     }
 
+    /// [`ScanPolicy::retry`] under supervision: additionally polls
+    /// [`NtStatus::Pending`] reads (sleeping
+    /// [`poll_interval_ns`](Self::poll_interval_ns) between polls) and
+    /// consults `sup` before every attempt, so a cancelled or out-of-time
+    /// task abandons the read instead of waiting out a stalled device.
+    ///
+    /// # Errors
+    ///
+    /// [`NtStatus::Cancelled`]/[`NtStatus::TimedOut`] when supervision
+    /// interrupts; [`NtStatus::TimedOut`] when an unsupervised read exhausts
+    /// the [`poll_budget`](Self::poll_budget); otherwise as
+    /// [`ScanPolicy::retry`].
+    pub fn supervised_retry<T>(
+        &self,
+        sup: &Supervision,
+        mut op: impl FnMut() -> Result<T, NtStatus>,
+    ) -> Result<T, NtStatus> {
+        let mut attempt = 0;
+        let mut polls = 0;
+        loop {
+            if let Err(interrupt) = sup.checkpoint() {
+                return Err(interrupt_status(interrupt));
+            }
+            match op() {
+                Err(NtStatus::Pending) => {
+                    if sup.deadline().is_none() && polls >= self.poll_budget {
+                        return Err(NtStatus::TimedOut);
+                    }
+                    polls += 1;
+                    self.clock.sleep_ns(self.poll_interval_ns);
+                }
+                Err(NtStatus::DeviceNotReady) if attempt < self.retries => {
+                    self.clock.sleep_ns(self.backoff_for(attempt));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// Runs `scan` until two consecutive passes report the same detection
     /// identity set (then returns the later pass), or the
     /// [`stabilization_passes`](Self::stabilization_passes) budget runs out
@@ -204,6 +324,16 @@ impl ScanPolicy {
             prev = next;
         }
         Ok(prev)
+    }
+}
+
+/// Renders a supervision interrupt as the status the scanners propagate:
+/// cancellation becomes [`NtStatus::Cancelled`], an expired deadline
+/// becomes [`NtStatus::TimedOut`].
+pub fn interrupt_status(interrupt: Interrupt) -> NtStatus {
+    match interrupt {
+        Interrupt::Cancelled => NtStatus::Cancelled,
+        Interrupt::DeadlineExceeded => NtStatus::TimedOut,
     }
 }
 
@@ -267,6 +397,43 @@ impl fmt::Display for PipelineStatus {
                 write!(f, "salvaged ({defects} defects)")
             }
             PipelineStatus::Degraded { reason } => write!(f, "DEGRADED: {reason}"),
+        }
+    }
+}
+
+// Hand-written (rather than `impl_json!`) because the macro does not cover
+// named-field enum variants: `Ok` renders as a bare string, the payload
+// variants as single-key objects, matching the macro's enum convention.
+impl ToJson for PipelineStatus {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            PipelineStatus::Ok => JsonValue::Str("Ok".to_string()),
+            PipelineStatus::Salvaged { defects } => JsonValue::Obj(vec![(
+                "Salvaged".to_string(),
+                JsonValue::Obj(vec![("defects".to_string(), JsonValue::UInt(*defects))]),
+            )]),
+            PipelineStatus::Degraded { reason } => JsonValue::Obj(vec![(
+                "Degraded".to_string(),
+                JsonValue::Obj(vec![("reason".to_string(), JsonValue::Str(reason.clone()))]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for PipelineStatus {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        match value {
+            JsonValue::Str(s) if s == "Ok" => Ok(PipelineStatus::Ok),
+            JsonValue::Obj(fields) => match fields.as_slice() {
+                [(tag, body)] if tag == "Salvaged" => Ok(PipelineStatus::Salvaged {
+                    defects: body.field("defects")?.as_u64()?,
+                }),
+                [(tag, body)] if tag == "Degraded" => Ok(PipelineStatus::Degraded {
+                    reason: body.field("reason")?.as_str()?.to_string(),
+                }),
+                _ => Err(JsonError("unknown PipelineStatus variant".to_string())),
+            },
+            _ => Err(JsonError("expected a PipelineStatus".to_string())),
         }
     }
 }
@@ -337,6 +504,7 @@ mod tests {
     use crate::snapshot::{ScanMeta, ViewKind};
     use strider_nt_core::Tick;
     use strider_support::obs::FakeClock;
+    use strider_support::task::{CancellationToken, Deadline};
 
     fn report_with(identities: &[&str]) -> DiffReport {
         DiffReport {
@@ -473,6 +641,91 @@ mod tests {
             .unwrap();
         assert_eq!(pass, 3);
         assert_eq!(out.detections[0].identity, "churn-3");
+    }
+
+    #[test]
+    fn supervised_retry_polls_a_pending_read_until_it_completes() {
+        let clock = Arc::new(FakeClock::default());
+        let policy = ScanPolicy::resilient()
+            .with_poll(500, 8)
+            .with_clock(clock.clone());
+        let sup = Supervision::unsupervised();
+        let mut calls = 0;
+        let value = policy
+            .supervised_retry(&sup, || {
+                calls += 1;
+                if calls < 4 {
+                    Err(NtStatus::Pending)
+                } else {
+                    Ok(9)
+                }
+            })
+            .unwrap();
+        assert_eq!(value, 9);
+        assert_eq!(calls, 4);
+        assert_eq!(clock.now_ns(), 1_500, "three polls at 500 ns each");
+    }
+
+    #[test]
+    fn supervised_retry_times_out_an_unsupervised_stall_at_the_poll_budget() {
+        let clock = Arc::new(FakeClock::default());
+        let policy = ScanPolicy::resilient()
+            .with_poll(1_000, 3)
+            .with_clock(clock.clone());
+        let sup = Supervision::unsupervised();
+        let mut calls = 0;
+        let result: Result<(), _> = policy.supervised_retry(&sup, || {
+            calls += 1;
+            Err(NtStatus::Pending)
+        });
+        assert_eq!(result, Err(NtStatus::TimedOut));
+        assert_eq!(calls, 4, "initial poll + budget of 3");
+        assert_eq!(clock.now_ns(), 3_000);
+    }
+
+    #[test]
+    fn supervised_retry_abandons_a_forever_stall_at_the_deadline() {
+        let clock: Arc<dyn Clock> = Arc::new(FakeClock::default());
+        let policy = ScanPolicy::resilient()
+            .with_poll(1_000, 0)
+            .with_clock(clock.clone());
+        let deadline = Deadline::after(clock.clone(), 4_500);
+        let sup = Supervision::new(CancellationToken::new(), Some(deadline));
+        let result: Result<(), _> = policy.supervised_retry(&sup, || Err(NtStatus::Pending));
+        assert_eq!(result, Err(NtStatus::TimedOut));
+        assert!(clock.now_ns() >= 4_500, "polled up to the deadline");
+        assert!(clock.now_ns() <= 5_000, "but not meaningfully past it");
+    }
+
+    #[test]
+    fn supervised_retry_observes_cancellation_before_touching_the_device() {
+        let policy = ScanPolicy::resilient();
+        let token = CancellationToken::new();
+        token.cancel();
+        let sup = Supervision::new(token, None);
+        let mut calls = 0;
+        let result: Result<(), _> = policy.supervised_retry(&sup, || {
+            calls += 1;
+            Ok(())
+        });
+        assert_eq!(result, Err(NtStatus::Cancelled));
+        assert_eq!(calls, 0, "a cancelled task never issues the read");
+    }
+
+    #[test]
+    fn pipeline_status_round_trips_through_json() {
+        let cases = [
+            PipelineStatus::Ok,
+            PipelineStatus::Salvaged { defects: 7 },
+            PipelineStatus::Degraded {
+                reason: "operation timed out".into(),
+            },
+        ];
+        for status in cases {
+            let back = PipelineStatus::from_json(&status.to_json()).unwrap();
+            assert_eq!(back, status);
+        }
+        assert!(PipelineStatus::from_json(&JsonValue::UInt(3)).is_err());
     }
 
     #[test]

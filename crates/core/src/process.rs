@@ -2,11 +2,13 @@
 
 use crate::diff::cross_view_diff;
 use crate::instrument::{record_chain, record_view_entries};
+use crate::policy::interrupt_status;
 use crate::report::{Detection, DiffReport, NoiseClass, ResourceKind};
 use crate::snapshot::{ModuleFact, ProcessFact, ScanMeta, Snapshot, ViewKind};
 use strider_kernel::MemoryDump;
 use strider_nt_core::{NtStatus, Pid};
 use strider_support::obs::{MaybeSpan, Telemetry};
+use strider_support::task::Supervision;
 use strider_winapi::{CallContext, ChainEntry, ChainStats, Machine, Query, Row};
 
 /// Which kernel structure the advanced-mode low-level scan traverses in
@@ -23,6 +25,7 @@ pub enum AdvancedSource {
 #[derive(Debug, Clone, Default)]
 pub struct ProcessScanner {
     telemetry: Option<Telemetry>,
+    supervision: Supervision,
 }
 
 impl ProcessScanner {
@@ -35,6 +38,15 @@ impl ProcessScanner {
     /// per-view entry counters, and chain-divergence attribution.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Places the scanner under `supervision`: each per-process module
+    /// enumeration and phase boundary checks the cancellation token and
+    /// deadline. The default is [`Supervision::unsupervised`] — never
+    /// interrupted.
+    pub fn with_supervision(mut self, supervision: Supervision) -> Self {
+        self.supervision = supervision;
         self
     }
 
@@ -227,6 +239,7 @@ impl ProcessScanner {
     ) -> Result<DiffReport, NtStatus> {
         let _span = MaybeSpan::start(self.telemetry.as_ref(), "processes.scan_inside");
         let lie = self.high_scan(machine, ctx, ChainEntry::Win32)?;
+        self.supervision.checkpoint().map_err(interrupt_status)?;
         let truth = match advanced {
             Some(source) => self.low_scan_advanced(machine, source),
             None => self.low_scan_apl(machine),
@@ -259,6 +272,7 @@ impl ProcessScanner {
         let mut chain = ChainStats::default();
         let mut snap = Snapshot::new(ScanMeta::new(view, machine.now()));
         for (_, proc_fact) in procs.iter() {
+            self.supervision.checkpoint().map_err(interrupt_status)?;
             snap.meta.io.record_api_call();
             let query = Query::ModuleList { pid: proc_fact.pid };
             let result = if span.is_recording() {
@@ -371,6 +385,7 @@ impl ProcessScanner {
     ) -> Result<DiffReport, NtStatus> {
         let _span = MaybeSpan::start(self.telemetry.as_ref(), "modules.scan_inside");
         let lie = self.high_module_scan(machine, ctx, ChainEntry::Win32)?;
+        self.supervision.checkpoint().map_err(interrupt_status)?;
         let visible = self.high_scan(machine, ctx, ChainEntry::Win32)?;
         let truth = self.low_module_scan(machine, &visible);
         Ok(self.diff_modules(&truth, &lie))

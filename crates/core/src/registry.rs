@@ -2,7 +2,7 @@
 
 use crate::diff::cross_view_diff;
 use crate::instrument::{record_chain, record_view_entries};
-use crate::policy::ScanPolicy;
+use crate::policy::{interrupt_status, ScanPolicy};
 use crate::report::{Detection, DiffReport, NoiseClass, ResourceKind};
 use crate::snapshot::{HookFact, ScanMeta, Snapshot, ViewKind};
 use std::cell::RefCell;
@@ -11,6 +11,7 @@ use strider_hive::prelude::{AsepHook, AsepLocation, KeyView, ViewedValue};
 use strider_hive::{asep, RawHive};
 use strider_nt_core::{IoStats, NtPath, NtStatus, NtString};
 use strider_support::obs::{MaybeSpan, Telemetry};
+use strider_support::task::Supervision;
 use strider_winapi::{CallContext, ChainEntry, ChainStats, DiskImage, Machine, Query, Row};
 
 /// How the outside-the-box Registry scan reads the hive files.
@@ -142,6 +143,7 @@ pub struct RegistryScanner {
     catalog: Vec<AsepLocation>,
     telemetry: Option<Telemetry>,
     policy: ScanPolicy,
+    supervision: Supervision,
 }
 
 impl Default for RegistryScanner {
@@ -150,6 +152,7 @@ impl Default for RegistryScanner {
             catalog: asep::catalog(),
             telemetry: None,
             policy: ScanPolicy::default(),
+            supervision: Supervision::unsupervised(),
         }
     }
 }
@@ -174,6 +177,16 @@ impl RegistryScanner {
     /// counter).
     pub fn with_policy(mut self, policy: ScanPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Places the scanner under `supervision`: each per-hive copy/parse
+    /// iteration and phase boundary checks the cancellation token and
+    /// deadline, and stalled ([`NtStatus::Pending`]) hive copies are
+    /// abandoned when supervision interrupts. The default is
+    /// [`Supervision::unsupervised`] — never interrupted.
+    pub fn with_supervision(mut self, supervision: Supervision) -> Self {
+        self.supervision = supervision;
         self
     }
 
@@ -272,8 +285,11 @@ impl RegistryScanner {
         let mut io = IoStats::default();
         let mut defects = 0;
         for hive in machine.registry().hives() {
+            self.supervision.checkpoint().map_err(interrupt_status)?;
             let mount = hive.mount().clone();
-            let bytes = self.policy.retry(|| machine.try_copy_hive_bytes(&mount))?;
+            let bytes = self
+                .policy
+                .supervised_retry(&self.supervision, || machine.try_copy_hive_bytes(&mount))?;
             io.record_sequential(bytes.len() as u64);
             let raw = self.parse_hive(&bytes, &mut defects)?;
             parsed.push((mount, raw));
@@ -389,6 +405,7 @@ impl RegistryScanner {
     ) -> Result<DiffReport, NtStatus> {
         let _span = MaybeSpan::start(self.telemetry.as_ref(), "registry.scan_inside");
         let lie = self.high_scan(machine, ctx, ChainEntry::Win32);
+        self.supervision.checkpoint().map_err(interrupt_status)?;
         let truth = self.low_scan(machine)?;
         Ok(self.diff(&truth, &lie))
     }
@@ -451,8 +468,11 @@ impl RegistryScanner {
         let mut snap = Snapshot::new(ScanMeta::new(ViewKind::LowLevelHiveParse, machine.now()));
         let mut defects = 0;
         for hive in machine.registry().hives() {
+            self.supervision.checkpoint().map_err(interrupt_status)?;
             let mount = hive.mount().clone();
-            let bytes = self.policy.retry(|| machine.try_copy_hive_bytes(&mount))?;
+            let bytes = self
+                .policy
+                .supervised_retry(&self.supervision, || machine.try_copy_hive_bytes(&mount))?;
             snap.meta.io.record_sequential(bytes.len() as u64);
             let raw = self.parse_hive(&bytes, &mut defects)?;
             let root = asep::RawKeyView(raw.root());

@@ -168,7 +168,7 @@ impl NoiseFilter {
 }
 
 /// A complete cross-view diff report for one resource kind.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DiffReport {
     /// Metadata of the truth-side scan.
     pub truth_meta: ScanMeta,

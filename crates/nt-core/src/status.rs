@@ -50,6 +50,14 @@ pub enum NtStatus {
     NoSuchDevice,
     /// The operation is not supported by this layer.
     NotSupported,
+    /// The read has not completed yet; poll again later. Emitted by stalled
+    /// devices (see `strider_support::fault::Stall`) — a caller without a
+    /// deadline can poll a pending read indefinitely.
+    Pending,
+    /// A supervised operation ran past its deadline and was abandoned.
+    TimedOut,
+    /// A supervised operation observed its cancellation token and stopped.
+    Cancelled,
 }
 
 impl fmt::Display for NtStatus {
@@ -69,6 +77,9 @@ impl fmt::Display for NtStatus {
             NtStatus::NoSuchProcess => write!(f, "no such process"),
             NtStatus::NoSuchDevice => write!(f, "no such device"),
             NtStatus::NotSupported => write!(f, "not supported"),
+            NtStatus::Pending => write!(f, "operation pending"),
+            NtStatus::TimedOut => write!(f, "operation timed out"),
+            NtStatus::Cancelled => write!(f, "operation cancelled"),
         }
     }
 }
@@ -96,6 +107,9 @@ strider_support::impl_json!(
         NoSuchProcess,
         NoSuchDevice,
         NotSupported,
+        Pending,
+        TimedOut,
+        Cancelled,
     }
 );
 
@@ -120,6 +134,9 @@ mod tests {
             NtStatus::NoSuchProcess,
             NtStatus::NoSuchDevice,
             NtStatus::NotSupported,
+            NtStatus::Pending,
+            NtStatus::TimedOut,
+            NtStatus::Cancelled,
         ];
         for s in all {
             let msg = s.to_string();

@@ -7,7 +7,9 @@
 //!   or a mid-flight crash dump gets corrupted (bit flips, torn 512-byte
 //!   sector writes, zeroed 4 KiB pages, tail truncation), deterministically
 //!   from a seed so every failure reproduces. [`TransientFaults`] models a
-//!   device that fails N reads and then recovers, to exercise retry paths.
+//!   device that fails N reads and then recovers, to exercise retry paths;
+//!   [`Stall`] models a read that stays *pending* for N polls (or forever),
+//!   to exercise deadline and cancellation paths.
 //! * **Salvage** — the typed damage report the low-level parsers return in
 //!   salvage mode: [`Salvaged<T>`] pairs a best-effort value with the
 //!   [`Defect`]s encountered, instead of aborting on the first bad byte.
@@ -243,6 +245,77 @@ impl crate::json::FromJson for TransientFaults {
 }
 
 // ---------------------------------------------------------------------
+// Stall — "pending until polled N times" (a liveness fault)
+// ---------------------------------------------------------------------
+
+/// A read that reports *pending* until it has been polled `n` times — the
+/// liveness counterpart of [`TransientFaults`]' availability fault.
+///
+/// Ghostware can attack the scanner by delaying low-level reads instead of
+/// corrupting them; a stall models that. [`Stall::forever`] never completes,
+/// so only a caller with a deadline escapes it. Interior-mutable like
+/// [`TransientFaults`] so `&self` read paths can consume polls.
+///
+/// # Examples
+///
+/// ```
+/// use strider_support::fault::Stall;
+///
+/// let stall = Stall::after_polls(2);
+/// assert!(stall.poll_pending());
+/// assert!(stall.poll_pending());
+/// assert!(!stall.poll_pending()); // the read finally completes
+/// assert!(Stall::forever().poll_pending());
+/// ```
+#[derive(Debug, Default)]
+pub struct Stall {
+    remaining: AtomicU32,
+}
+
+impl Stall {
+    /// A read that completes on the `n+1`-th poll.
+    pub fn after_polls(n: u32) -> Self {
+        Self {
+            remaining: AtomicU32::new(n),
+        }
+    }
+
+    /// A read that never completes (`u32::MAX` polls outlives any budget).
+    pub fn forever() -> Self {
+        Self::after_polls(u32::MAX)
+    }
+
+    /// Whether this stall never drains on its own.
+    pub fn is_forever(&self) -> bool {
+        self.remaining() == u32::MAX
+    }
+
+    /// Consumes one poll; `true` means "still pending, try again later".
+    /// A forever-stall never drains its counter.
+    pub fn poll_pending(&self) -> bool {
+        if self.is_forever() {
+            return true;
+        }
+        self.remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Pending polls left before the read completes.
+    pub fn remaining(&self) -> u32 {
+        self.remaining.load(Ordering::SeqCst)
+    }
+}
+
+impl Clone for Stall {
+    fn clone(&self) -> Self {
+        Self {
+            remaining: AtomicU32::new(self.remaining()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Salvage vocabulary
 // ---------------------------------------------------------------------
 
@@ -411,6 +484,35 @@ mod tests {
         assert_eq!(t.remaining(), 0);
         let none = TransientFaults::default();
         assert!(!none.should_fail());
+    }
+
+    #[test]
+    fn stalls_stay_pending_for_n_polls_then_complete() {
+        let s = Stall::after_polls(2);
+        assert!(s.poll_pending());
+        assert!(s.poll_pending());
+        assert!(!s.poll_pending());
+        assert!(!s.poll_pending(), "a drained stall stays drained");
+        assert!(!Stall::default().poll_pending());
+    }
+
+    #[test]
+    fn forever_stall_never_drains() {
+        let s = Stall::forever();
+        for _ in 0..1000 {
+            assert!(s.poll_pending());
+        }
+        assert!(s.is_forever());
+        assert_eq!(s.remaining(), u32::MAX);
+    }
+
+    #[test]
+    fn stall_clones_have_independent_counters() {
+        let s = Stall::after_polls(1);
+        let c = s.clone();
+        assert!(c.poll_pending());
+        assert!(!c.poll_pending());
+        assert!(s.poll_pending(), "clones have independent counters");
     }
 
     #[test]

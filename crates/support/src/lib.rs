@@ -16,6 +16,7 @@
 //! | [`bench`] | `criterion`   | a mini benchmark harness with the `Criterion`/`benchmark_group`/`Bencher` API shape that writes `BENCH_<group>.json` files at the workspace root |
 //! | [`fault`] | (in-house)    | deterministic fault injection ([`fault::FaultPlan`], [`fault::TransientFaults`]) and the salvage-parse vocabulary ([`fault::Salvaged`], [`fault::Defect`]) used by the robustness layer |
 //! | [`obs`]   | `tracing` + `metrics` | a global-free [`obs::Telemetry`] registry: hierarchical spans with monotonic timings behind a [`obs::Clock`] seam, counters/gauges/histograms, and a JSON exporter writing `SCAN_TELEMETRY_<label>.json` reports |
+//! | [`task`]  | `tokio-util` + failsafe | cooperative supervision: a hierarchical [`task::CancellationToken`], [`task::Deadline`]/[`task::TimeBudget`] over the [`obs::Clock`] seam, and a Closed→Open→HalfOpen [`task::CircuitBreaker`] |
 //!
 //! The guiding rule is *API-shape compatibility where it is cheap, clarity
 //! where it is not*: call sites in the workspace read almost identically to
@@ -35,3 +36,4 @@ pub mod json;
 pub mod obs;
 pub mod rng;
 pub mod sync;
+pub mod task;

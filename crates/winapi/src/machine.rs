@@ -12,7 +12,7 @@ use strider_hive::{Registry, RegistryError, ValueData};
 use strider_kernel::{Kernel, SyscallId};
 use strider_nt_core::{FileRecordNumber, NtPath, NtStatus, NtString, Pid, Tick};
 use strider_ntfs::{NtfsError, NtfsVolume};
-use strider_support::fault::{FaultPlan, TransientFaults};
+use strider_support::fault::{FaultPlan, Stall, TransientFaults};
 
 /// How a query enters the chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +50,7 @@ pub trait RawImageTamper: Send + Sync {
 /// A background activity run on every clock tick: the always-running
 /// services (AV log writers, CCM, System Restore, prefetch, browser cache)
 /// that produce the paper's outside-the-box false positives.
-pub trait TickTask: Send {
+pub trait TickTask: Send + Sync {
     /// Task name for diagnostics.
     fn name(&self) -> &str;
     /// Performs one tick of work against the machine.
@@ -103,6 +103,9 @@ pub struct FaultInjector {
     volume_plan: Option<FaultPlan>,
     dump_plan: Option<FaultPlan>,
     hive_plans: Vec<(NtPath, FaultPlan)>,
+    volume_stall: Option<Stall>,
+    hive_stall: Option<Stall>,
+    dump_stall: Option<Stall>,
 }
 
 impl FaultInjector {
@@ -146,6 +149,27 @@ impl FaultInjector {
     /// `plan`.
     pub fn corrupt_dump(mut self, plan: FaultPlan) -> Self {
         self.dump_plan = Some(plan);
+        self
+    }
+
+    /// Raw-volume reads return [`NtStatus::Pending`] until `stall` drains
+    /// (a [`Stall::forever`] never does — only a deadline escapes it).
+    pub fn stall_volume_reads(mut self, stall: Stall) -> Self {
+        self.volume_stall = Some(stall);
+        self
+    }
+
+    /// Hive copies (any mount) return [`NtStatus::Pending`] until `stall`
+    /// drains.
+    pub fn stall_hive_reads(mut self, stall: Stall) -> Self {
+        self.hive_stall = Some(stall);
+        self
+    }
+
+    /// Crash-dump captures return [`NtStatus::Pending`] until `stall`
+    /// drains.
+    pub fn stall_dump_reads(mut self, stall: Stall) -> Self {
+        self.dump_stall = Some(stall);
         self
     }
 }
@@ -453,7 +477,9 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Propagates spawn failures.
+    /// Propagates spawn failures; [`NtStatus::NoSuchProcess`] if the
+    /// freshly spawned process cannot be looked up (e.g. reaped by a
+    /// tick task racing the spawn).
     pub fn ensure_process(
         &mut self,
         image_name: &str,
@@ -463,7 +489,7 @@ impl Machine {
             return Ok(ctx);
         }
         let pid = self.spawn_process(image_name, image_path)?;
-        Ok(self.context_for(pid).expect("just spawned"))
+        self.context_for(pid).ok_or(NtStatus::NoSuchProcess)
     }
 
     // ------------------------------------------------------------------
@@ -829,9 +855,13 @@ impl Machine {
     ///
     /// # Errors
     ///
+    /// [`NtStatus::Pending`] while an injected stall holds the read;
     /// [`NtStatus::DeviceNotReady`] while injected transient faults remain.
     pub fn try_read_raw_volume_image(&self) -> Result<Vec<u8>, NtStatus> {
         if let Some(f) = &self.faults {
+            if f.volume_stall.as_ref().is_some_and(|s| s.poll_pending()) {
+                return Err(NtStatus::Pending);
+            }
             if f.volume_faults.as_ref().is_some_and(|t| t.should_fail()) {
                 return Err(NtStatus::DeviceNotReady);
             }
@@ -852,10 +882,14 @@ impl Machine {
     ///
     /// # Errors
     ///
+    /// [`NtStatus::Pending`] while an injected stall holds the copy;
     /// [`NtStatus::DeviceNotReady`] while injected transient faults remain;
     /// [`NtStatus::ObjectNameNotFound`] if no hive is mounted at `mount`.
     pub fn try_copy_hive_bytes(&self, mount: &NtPath) -> Result<Vec<u8>, NtStatus> {
         if let Some(f) = &self.faults {
+            if f.hive_stall.as_ref().is_some_and(|s| s.poll_pending()) {
+                return Err(NtStatus::Pending);
+            }
             if f.hive_faults.as_ref().is_some_and(|t| t.should_fail()) {
                 return Err(NtStatus::DeviceNotReady);
             }
@@ -881,9 +915,13 @@ impl Machine {
     ///
     /// # Errors
     ///
+    /// [`NtStatus::Pending`] while an injected stall holds the capture;
     /// [`NtStatus::DeviceNotReady`] while transient faults remain.
     pub fn try_crash_dump(&self) -> Result<Vec<u8>, NtStatus> {
         if let Some(f) = &self.faults {
+            if f.dump_stall.as_ref().is_some_and(|s| s.poll_pending()) {
+                return Err(NtStatus::Pending);
+            }
             if f.dump_faults.as_ref().is_some_and(|t| t.should_fail()) {
                 return Err(NtStatus::DeviceNotReady);
             }

@@ -38,4 +38,15 @@ cargo test -q --offline --workspace
 echo "==> fault-injection suite (FAULT_SEED=${FAULT_SEED:-default})"
 FAULT_SEED="${FAULT_SEED:-}" cargo test -q --offline --workspace fault
 
+# Liveness suite: the supervised sweep engine's deadline/cancellation/
+# breaker/resume tests plus the chaos property (random corruption composed
+# with finite and permanent stalls — every sweep must terminate before its
+# deadline on the fake clock). Seeds are pinned: the chaos property honours
+# FAULT_SEED like the corruption suite above, and both runs below use fixed
+# seeds so CI failures reproduce byte-for-byte.
+echo "==> liveness suite (deadlines, cancellation, breakers, resume)"
+cargo test -q --offline --test supervision
+FAULT_SEED="${FAULT_SEED:-20260807}" cargo test -q --offline --test properties \
+    fault_chaos_sweeps_always_terminate_with_consistent_health
+
 echo "==> OK"

@@ -789,6 +789,90 @@ fn fault_corrupted_dumps_never_panic_either_parser() {
 }
 
 #[test]
+fn fault_chaos_sweeps_always_terminate_with_consistent_health() {
+    // The liveness property behind the supervised sweep engine: compose
+    // random corruption, transient read failures, and stalls — finite or
+    // permanent — on the truth sources, and every sweep still terminates
+    // before its deadline on the fake clock, never panics, and reports a
+    // health verdict consistent with the injected faults (a pipeline times
+    // out iff its source stalls forever).
+    check(
+        "fault_chaos_sweeps_always_terminate_with_consistent_health",
+        fault_config(24),
+        |rng| (rng.next_u64(), gen::bytes(rng, 6, 6)),
+        |(seed, knobs)| {
+            use std::sync::Arc;
+            use strider_support::fault::Stall;
+            use strider_support::obs::{Clock, FakeClock};
+
+            let knob = |i: usize| knobs.get(i).copied().unwrap_or(0);
+            // Stall shape per source: 0 = none, 3 = forever, else finite.
+            let stall_of = |k: u8| match k % 4 {
+                0 => None,
+                3 => Some(Stall::forever()),
+                n => Some(Stall::after_polls(u32::from(n) * 3)),
+            };
+            let volume_forever = knob(0) % 4 == 3;
+            let hive_forever = knob(1) % 4 == 3;
+
+            let mut m = Machine::with_base_system("chaos").unwrap();
+            HackerDefender::default().infect(&mut m).unwrap();
+            let mut inject = FaultInjector::new()
+                .fail_volume_reads(u32::from(knob(2) % 3))
+                .fail_hive_reads(u32::from(knob(3) % 3));
+            if knob(4) % 2 == 1 {
+                inject = inject.corrupt_volume(FaultPlan::random(*seed));
+            }
+            if knob(5) % 2 == 1 {
+                inject = inject.corrupt_hive(
+                    "HKLM\\SOFTWARE".parse().unwrap(),
+                    FaultPlan::random(seed.wrapping_add(1)),
+                );
+            }
+            if let Some(stall) = stall_of(knob(0)) {
+                inject = inject.stall_volume_reads(stall);
+            }
+            if let Some(stall) = stall_of(knob(1)) {
+                inject = inject.stall_hive_reads(stall);
+            }
+            m.set_fault_injector(inject);
+
+            let clock = Arc::new(FakeClock::default());
+            let report = GhostBuster::new()
+                .with_policy(
+                    ScanPolicy::resilient()
+                        .with_clock(clock.clone())
+                        .with_backoff(50_000, 200_000)
+                        .with_poll(100_000, 0)
+                        .with_pipeline_budget(5_000_000)
+                        .with_sweep_budget(40_000_000),
+                )
+                .inside_sweep(&mut m)
+                .map_err(|e| format!("sweep failed outright: {e}"))?;
+
+            // Liveness: the sweep finished before the sweep deadline.
+            prop_assert!(
+                clock.now_ns() < 40_000_000,
+                "sweep ran to {} ns",
+                clock.now_ns()
+            );
+
+            // Health consistency: a permanently stalled source times out its
+            // pipeline, and only a permanently stalled source does — finite
+            // stalls, transient failures, and corruption are absorbed by
+            // polling, retries, and salvage.
+            let timed_out = |s: &PipelineStatus| matches!(s, PipelineStatus::Degraded { reason } if reason == "operation timed out");
+            prop_assert_eq!(timed_out(&report.health.files), volume_forever);
+            prop_assert_eq!(timed_out(&report.health.registry), hive_forever);
+            // Process and module scans read no faulted device.
+            prop_assert!(report.health.processes.is_ok());
+            prop_assert!(report.health.modules.is_ok());
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn fault_plan_application_is_deterministic() {
     check(
         "fault_plan_application_is_deterministic",
