@@ -54,13 +54,19 @@ fn bench_file_scans(c: &mut Criterion) {
             );
         });
 
-        // One instrumented pass: per-phase durations for the report JSON.
+        // One instrumented pass: per-phase durations for the report JSON,
+        // plus a Chrome trace of the same pass (open in Perfetto) with the
+        // per-directory query-latency sketch inside the telemetry export.
         let telemetry = Telemetry::new();
         FileScanner::new()
             .with_telemetry(telemetry.clone())
             .scan_inside(&machine, &ctx)
             .unwrap();
-        group.record_phases(label, &telemetry.report());
+        let report = telemetry.report();
+        report
+            .write_chrome_trace(&format!("file_scan_{label}"))
+            .expect("trace export");
+        group.record_phases(label, &report);
     }
     group.finish();
 }

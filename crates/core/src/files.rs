@@ -1,7 +1,7 @@
 //! Hidden-file detection (paper, Section 2).
 
 use crate::diff::cross_view_diff;
-use crate::instrument::{record_chain, record_view_entries};
+use crate::instrument::{record_chain, record_view_entries, LatencyProbe};
 use crate::policy::{interrupt_status, ScanPolicy};
 use crate::report::{Detection, DiffReport, FileCategory, NoiseClass, NoiseFilter, ResourceKind};
 use crate::snapshot::{FileFact, ScanMeta, Snapshot, ViewKind};
@@ -90,6 +90,7 @@ impl FileScanner {
             ChainEntry::Native => ViewKind::HighLevelNative,
         };
         let span = MaybeSpan::start(self.telemetry.as_ref(), "files.high_scan");
+        let probe = LatencyProbe::new(self.telemetry.as_ref(), "files.dir_query_ns");
         let mut chain = ChainStats::default();
         let mut snap = Snapshot::new(ScanMeta::new(view, machine.now()));
         let mut stack = vec![NtPath::root_of(machine.volume().label())];
@@ -98,6 +99,7 @@ impl FileScanner {
             snap.meta.io.record_api_call();
             snap.meta.io.record_seek();
             let query = Query::DirectoryEnum { path: dir };
+            let query_started = probe.start();
             let rows = if span.is_recording() {
                 match machine.query_traced(ctx, &query, entry) {
                     Ok((rows, trace)) => {
@@ -116,6 +118,7 @@ impl FileScanner {
                     Err(e) => return Err(e),
                 }
             };
+            probe.finish(query_started);
             snap.meta.io.record_entries(rows.len() as u64);
             for row in rows {
                 if let Row::File(f) = row {
@@ -457,6 +460,14 @@ mod tests {
             tel.counters["files.entries.LowLevelMft"]
                 > tel.counters["files.entries.HighLevelWin32"],
             "the lie saw fewer files than the truth"
+        );
+        let dir_queries = tel
+            .histograms
+            .get("files.dir_query_ns")
+            .expect("per-directory query latency sketch");
+        assert!(
+            dir_queries.count() > 1,
+            "one latency sample per directory walked"
         );
     }
 

@@ -11,7 +11,7 @@ use std::fmt;
 use strider_hive::prelude::AsepHook;
 use strider_kernel::MemoryDump;
 use strider_nt_core::{NtStatus, NtString, Tick};
-use strider_support::obs::{MaybeSpan, Telemetry, TelemetryReport};
+use strider_support::obs::{FlightDump, MaybeSpan, Telemetry, TelemetryReport};
 use strider_support::sync::run_isolated;
 use strider_support::task::{
     BreakerState, CancellationToken, CircuitBreaker, Deadline, Supervision,
@@ -40,9 +40,23 @@ pub struct SweepReport {
     /// The telemetry captured during the sweep, when the detector was built
     /// with [`GhostBuster::with_telemetry`].
     pub telemetry: Option<TelemetryReport>,
+    /// Flight-recorder black boxes, one per pipeline that ended degraded
+    /// (timed out, cancelled, panicked, breaker-rejected, or truth-source
+    /// lost): the recorder tail snapshotted at the failure, ending with
+    /// the failure itself. Empty when every pipeline ran clean or no
+    /// telemetry was attached.
+    pub black_boxes: Vec<(String, FlightDump)>,
 }
 
 impl SweepReport {
+    /// The black box snapshotted when `pipeline` degraded, if any.
+    pub fn black_box(&self, pipeline: &str) -> Option<&FlightDump> {
+        self.black_boxes
+            .iter()
+            .find(|(name, _)| name == pipeline)
+            .map(|(_, dump)| dump)
+    }
+
     /// Whether anything suspicious (post-noise-classification) was found.
     pub fn is_infected(&self) -> bool {
         !self.files.net_detections().is_empty()
@@ -80,6 +94,19 @@ impl fmt::Display for SweepReport {
         // pipeline ran clean.
         if !self.health.is_all_ok() {
             writeln!(f, "health: {}", self.health)?;
+        }
+        // Likewise only degraded sweeps carry (and print) black boxes.
+        for (name, dump) in &self.black_boxes {
+            match dump.last() {
+                Some(event) => writeln!(
+                    f,
+                    "black box {name}: {} events, last: {} {}",
+                    dump.len(),
+                    event.kind,
+                    event.what
+                )?,
+                None => writeln!(f, "black box {name}: empty")?,
+            }
         }
         for report in [&self.files, &self.hooks, &self.processes, &self.modules] {
             write!(f, "{report}")?;
@@ -235,6 +262,9 @@ struct PipelineOutcome {
     report: DiffReport,
     status: PipelineStatus,
     interrupted: bool,
+    /// The flight-recorder tail at the moment of failure; `None` for
+    /// pipelines that completed (black boxes are for degradation only).
+    flight: Option<FlightDump>,
 }
 
 impl PipelineOutcome {
@@ -315,6 +345,11 @@ impl GhostBuster {
     /// The cancellation token sweeps observe.
     pub fn cancellation(&self) -> &CancellationToken {
         &self.cancellation
+    }
+
+    /// The resilience policy in use.
+    pub fn policy(&self) -> &ScanPolicy {
+        &self.policy
     }
 
     /// The per-pipeline circuit breakers, when the policy armed them
@@ -441,15 +476,21 @@ impl GhostBuster {
         breaker: Option<&CircuitBreaker>,
         scan: impl FnMut() -> Result<DiffReport, NtStatus> + Send,
     ) -> PipelineOutcome {
+        let recorder = self.telemetry.as_ref().map(Telemetry::recorder);
         if let Some(b) = breaker {
             if !b.try_acquire() {
                 self.count_degraded(name);
+                let flight = recorder.map(|r| {
+                    r.breaker(name, "circuit breaker open: pipeline rejected");
+                    r.snapshot()
+                });
                 return PipelineOutcome {
                     report: degraded_report(truth_view, now),
                     status: PipelineStatus::Degraded {
                         reason: "circuit breaker open".to_string(),
                     },
                     interrupted: false,
+                    flight,
                 };
             }
         }
@@ -460,12 +501,22 @@ impl GhostBuster {
                     if let Some(t) = &self.telemetry {
                         t.counter_add("breaker.open", 1);
                     }
+                    if let Some(r) = recorder {
+                        r.breaker(name, "opened after repeated failures");
+                    }
                 }
             }
+            // The degradation mark goes in last, so the snapshot's final
+            // event *is* the failure.
+            let flight = recorder.map(|r| {
+                r.mark(name, &format!("pipeline degraded: {reason}"));
+                r.snapshot()
+            });
             PipelineOutcome {
                 report: degraded_report(truth_view, now),
                 status: PipelineStatus::Degraded { reason },
                 interrupted,
+                flight,
             }
         };
         match run_isolated(name, || self.policy.stabilize(scan)) {
@@ -478,6 +529,7 @@ impl GhostBuster {
                     report,
                     status,
                     interrupted: false,
+                    flight: None,
                 }
             }
             Ok(Err(e)) => {
@@ -486,13 +538,24 @@ impl GhostBuster {
                     if let Some(t) = &self.telemetry {
                         t.counter_add("sweep.timeouts", 1);
                     }
+                    if let Some(r) = recorder {
+                        r.cancel(name, "pipeline budget exhausted");
+                    }
                 }
                 if e == NtStatus::Cancelled {
                     span.set_attr("cancelled_at", name);
+                    if let Some(r) = recorder {
+                        r.cancel(name, "cancellation observed at checkpoint");
+                    }
                 }
                 degrade(e.to_string(), interrupted)
             }
-            Err(panic_msg) => degrade(format!("panicked: {panic_msg}"), false),
+            Err(panic_msg) => {
+                if let Some(r) = recorder {
+                    r.fault(name, &format!("panicked: {panic_msg}"));
+                }
+                degrade(format!("panicked: {panic_msg}"), false)
+            }
         }
     }
 
@@ -556,12 +619,19 @@ impl GhostBuster {
         checkpoint: &mut SweepCheckpoint,
     ) -> Result<SweepReport, NtStatus> {
         let span = MaybeSpan::start(self.telemetry.as_ref(), "sweep.inside");
+        // The machine's low-level read paths log injected faults into the
+        // sweep's black box, so a degraded pipeline's dump shows the
+        // device-level trouble that led up to the failure.
+        if let Some(t) = &self.telemetry {
+            machine.set_flight_recorder(t.recorder().clone());
+        }
         let ctx = self.enter(machine)?;
         let machine = &*machine;
         let now = machine.now();
         let root = self.root_supervision();
         let clock = self.policy.clock().clone();
         let budget = self.policy.pipeline_budget_ns;
+        let mut black_boxes: Vec<(String, FlightDump)> = Vec::new();
 
         let (files, files_status) = match &checkpoint.files {
             Some(done) => (done.report.clone(), done.status.clone()),
@@ -579,6 +649,9 @@ impl GhostBuster {
                     || scanner.scan_inside(machine, &ctx),
                 );
                 outcome.save(&mut checkpoint.files);
+                if let Some(flight) = outcome.flight {
+                    black_boxes.push(("files".to_string(), flight));
+                }
                 (outcome.report, outcome.status)
             }
         };
@@ -598,6 +671,9 @@ impl GhostBuster {
                     || scanner.scan_inside(machine, &ctx),
                 );
                 outcome.save(&mut checkpoint.registry);
+                if let Some(flight) = outcome.flight {
+                    black_boxes.push(("registry".to_string(), flight));
+                }
                 (outcome.report, outcome.status)
             }
         };
@@ -617,6 +693,9 @@ impl GhostBuster {
                     || scanner.scan_inside(machine, &ctx, self.advanced),
                 );
                 outcome.save(&mut checkpoint.processes);
+                if let Some(flight) = outcome.flight {
+                    black_boxes.push(("processes".to_string(), flight));
+                }
                 (outcome.report, outcome.status)
             }
         };
@@ -636,6 +715,9 @@ impl GhostBuster {
                     || scanner.scan_modules_inside(machine, &ctx),
                 );
                 outcome.save(&mut checkpoint.modules);
+                if let Some(flight) = outcome.flight {
+                    black_boxes.push(("modules".to_string(), flight));
+                }
                 (outcome.report, outcome.status)
             }
         };
@@ -652,6 +734,7 @@ impl GhostBuster {
                 modules: modules_status,
             },
             telemetry: self.telemetry.as_ref().map(Telemetry::report),
+            black_boxes,
         })
     }
 
@@ -670,6 +753,19 @@ impl GhostBuster {
     ) -> Result<SweepReport, NtStatus> {
         let span = MaybeSpan::start(self.telemetry.as_ref(), "sweep.outside");
         span.set_attr("reboot_ticks", reboot_ticks);
+        if let Some(t) = &self.telemetry {
+            machine.set_flight_recorder(t.recorder().clone());
+        }
+        // Snapshots the black box for a pipeline whose truth source was
+        // lost, marking the failure as the dump's final event.
+        let snap_failure = |pipeline: &str, reason: &str| -> Option<(String, FlightDump)> {
+            self.telemetry.as_ref().map(|t| {
+                let recorder = t.recorder();
+                recorder.mark(pipeline, &format!("pipeline degraded: {reason}"));
+                (pipeline.to_string(), recorder.snapshot())
+            })
+        };
+        let mut black_boxes: Vec<(String, FlightDump)> = Vec::new();
         let ctx = self.enter(machine)?;
         let file_lie = self.files.high_scan(machine, &ctx, ChainEntry::Win32)?;
         let hook_lie = self.registry.high_scan(machine, &ctx, ChainEntry::Win32);
@@ -696,6 +792,7 @@ impl GhostBuster {
                 health.files = PipelineStatus::Degraded {
                     reason: e.to_string(),
                 };
+                black_boxes.extend(snap_failure("files", &e.to_string()));
                 degraded_report(ViewKind::OutsideDisk, image.taken_at)
             }
         };
@@ -712,6 +809,7 @@ impl GhostBuster {
                 health.registry = PipelineStatus::Degraded {
                     reason: e.to_string(),
                 };
+                black_boxes.extend(snap_failure("registry", &e.to_string()));
                 degraded_report(ViewKind::OutsideMountedHives, image.taken_at)
             }
         };
@@ -767,6 +865,8 @@ impl GhostBuster {
                 health.modules = PipelineStatus::Degraded {
                     reason: e.to_string(),
                 };
+                black_boxes.extend(snap_failure("processes", &e.to_string()));
+                black_boxes.extend(snap_failure("modules", &e.to_string()));
                 (
                     degraded_report(ViewKind::OutsideDump, image.taken_at),
                     degraded_report(ViewKind::OutsideDump, image.taken_at),
@@ -781,6 +881,7 @@ impl GhostBuster {
             modules,
             health,
             telemetry: self.telemetry.as_ref().map(Telemetry::report),
+            black_boxes,
         })
     }
 

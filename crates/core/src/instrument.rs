@@ -3,8 +3,43 @@
 //! report reads uniformly across files, registry, processes, and modules.
 
 use crate::snapshot::ViewKind;
-use strider_support::obs::{MaybeSpan, Telemetry};
+use std::sync::Arc;
+use strider_support::obs::{Clock, MaybeSpan, Telemetry};
 use strider_winapi::ChainStats;
+
+/// Feeds per-iteration latencies from a hot scan loop into a named
+/// bounded [`HistogramSketch`](strider_support::obs::HistogramSketch).
+///
+/// With no telemetry attached the probe is inert — `start()` returns
+/// `None` and `finish()` is a no-op — so uninstrumented scans pay only a
+/// branch per iteration, never a clock read.
+pub(crate) struct LatencyProbe {
+    telemetry: Option<Telemetry>,
+    clock: Option<Arc<dyn Clock>>,
+    name: &'static str,
+}
+
+impl LatencyProbe {
+    pub(crate) fn new(telemetry: Option<&Telemetry>, name: &'static str) -> Self {
+        LatencyProbe {
+            telemetry: telemetry.cloned(),
+            clock: telemetry.map(Telemetry::clock),
+            name,
+        }
+    }
+
+    /// Reads the clock at the top of an iteration.
+    pub(crate) fn start(&self) -> Option<u64> {
+        self.clock.as_ref().map(|c| c.now_ns())
+    }
+
+    /// Records the elapsed time since `start()` into the histogram.
+    pub(crate) fn finish(&self, started: Option<u64>) {
+        if let (Some(t), Some(c), Some(s)) = (&self.telemetry, &self.clock, started) {
+            t.histogram_record(self.name, c.now_ns().saturating_sub(s) as f64);
+        }
+    }
+}
 
 /// Records a scan's per-view entry count as both span attributes and a
 /// `<pipeline>.entries.<View>` counter.

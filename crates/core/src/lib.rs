@@ -62,6 +62,7 @@ mod ghostbuster;
 mod hookscan;
 mod inject;
 mod instrument;
+mod monitor;
 mod policy;
 mod process;
 mod registry;
@@ -81,6 +82,9 @@ pub use ghostbuster::{
 };
 pub use hookscan::{install_benign_wrapper, HookFinding, HookScanner};
 pub use inject::{injected_sweep, InjectedSweepReport, PerProcessReport};
+pub use monitor::{
+    MetricSeries, MonitorConfig, MonitorIncident, MonitorObservation, SweepBaseline, SweepMonitor,
+};
 pub use policy::{interrupt_status, PipelineStatus, ScanPolicy, SweepHealth};
 pub use process::{AdvancedSource, ProcessScanner};
 pub use registry::{OutsideRegistryMode, RegistryScanner};
@@ -88,7 +92,10 @@ pub use report::{Detection, DiffReport, FileCategory, NoiseClass, NoiseFilter, R
 pub use scanfile::{parse_scan_file, write_scan_file, ScanFileError};
 pub use signature::{Signature, SignatureHit, SignatureScanner};
 pub use snapshot::{FileFact, HookFact, ModuleFact, ProcessFact, ScanMeta, Snapshot, ViewKind};
-pub use strider_support::obs::{FakeClock, MonotonicClock, Telemetry, TelemetryReport};
+pub use strider_support::obs::{
+    FakeClock, FlightDump, FlightEvent, FlightEventKind, FlightRecorder, HistogramSketch,
+    MonotonicClock, Telemetry, TelemetryReport,
+};
 pub use strider_support::task::{
     BreakerState, CancellationToken, CircuitBreaker, Deadline, Interrupt, Supervision, TimeBudget,
 };
@@ -99,10 +106,12 @@ pub mod prelude {
     pub use crate::{
         cross_view_diff, injected_sweep, install_benign_wrapper, AdvancedSource, AsepMonitor,
         BreakerState, CancellationToken, CircuitBreaker, CrossTimeDiff, Deadline, Detection,
-        DiffReport, DriverScanner, FileCategory, FileScanner, GhostBuster, HookScanner,
-        InjectedSweepReport, NoiseClass, NoiseFilter, OutsideRegistryMode, PipelineCheckpoint,
+        DiffReport, DriverScanner, FileCategory, FileScanner, FlightDump, FlightRecorder,
+        GhostBuster, HistogramSketch, HookScanner, InjectedSweepReport, MonitorConfig,
+        MonitorIncident, NoiseClass, NoiseFilter, OutsideRegistryMode, PipelineCheckpoint,
         PipelineStatus, ProcessScanner, RegistryScanner, ResourceKind, ScanMeta, ScanPolicy,
-        SignatureScanner, Snapshot, Supervision, SweepBreakers, SweepCheckpoint, SweepHealth,
-        SweepReport, Telemetry, TelemetryReport, TimeBudget, UnixGhostBuster, ViewKind,
+        SignatureScanner, Snapshot, Supervision, SweepBaseline, SweepBreakers, SweepCheckpoint,
+        SweepHealth, SweepMonitor, SweepReport, Telemetry, TelemetryReport, TimeBudget,
+        UnixGhostBuster, ViewKind,
     };
 }

@@ -1,0 +1,677 @@
+//! Continuous sweep monitoring: scheduled re-sweeps, rolling metric
+//! series, and regression detection against a recorded baseline.
+//!
+//! The paper's operational story (§6) is not one sweep but *continuous*
+//! cross-view scanning of live machines. [`SweepMonitor`] drives repeated
+//! [`GhostBuster::inside_sweep`]s on the policy's [`Clock`] schedule,
+//! keeps bounded time-series of the key metrics (per-pipeline durations,
+//! entry counts, defect/timeout counters, findings), and compares every
+//! sweep against a [`SweepBaseline`] snapshot, raising a typed
+//! [`MonitorIncident`] — each carrying that sweep's flight-recorder dump
+//! — when something drifts:
+//!
+//! * a finding not present at baseline ([`MonitorIncident::NewHiddenResource`]),
+//! * a pipeline running slower than the configured threshold over its
+//!   baseline duration ([`MonitorIncident::LatencyRegression`]),
+//! * a pipeline degrading that was healthy at baseline
+//!   ([`MonitorIncident::HealthDowngrade`]).
+//!
+//! Baselines round-trip through [`crate::GhostBuster`]-independent JSON
+//! ([`SweepBaseline::serialize`]), so a fleet operator can record one
+//! golden sweep per machine and diff against it for months.
+
+use crate::ghostbuster::{GhostBuster, SweepReport};
+use crate::policy::{PipelineStatus, SweepHealth};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+use strider_nt_core::NtStatus;
+use strider_support::obs::{fmt_ns, Clock, FlightDump, Telemetry, TelemetryReport};
+use strider_winapi::Machine;
+
+/// The four inside-sweep pipelines, in sweep order.
+const PIPELINES: [&str; 4] = ["files", "registry", "processes", "modules"];
+
+/// Tuning knobs for a [`SweepMonitor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorConfig {
+    /// Gap between scheduled sweeps in [`SweepMonitor::run`], observed on
+    /// the policy clock.
+    pub interval_ns: u64,
+    /// A pipeline regresses when its duration exceeds
+    /// `baseline * latency_factor + latency_floor_ns`.
+    pub latency_factor: f64,
+    /// Absolute slack added to the latency threshold, so a near-zero
+    /// baseline (idle machine, fake clock) doesn't flag noise-level
+    /// variation as a regression.
+    pub latency_floor_ns: u64,
+    /// How many sweeps each rolling [`MetricSeries`] retains.
+    pub history: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            interval_ns: 1_000_000_000,
+            latency_factor: 2.0,
+            latency_floor_ns: 100_000,
+            history: 64,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Sets the sweep interval.
+    pub fn with_interval_ns(mut self, interval_ns: u64) -> Self {
+        self.interval_ns = interval_ns;
+        self
+    }
+
+    /// Sets the latency-regression threshold (multiplier over baseline
+    /// plus absolute floor).
+    pub fn with_latency_threshold(mut self, factor: f64, floor_ns: u64) -> Self {
+        self.latency_factor = factor;
+        self.latency_floor_ns = floor_ns;
+        self
+    }
+
+    /// Sets how many sweeps of history each metric series keeps.
+    pub fn with_history(mut self, history: usize) -> Self {
+        self.history = history.max(1);
+        self
+    }
+}
+
+/// A recorded snapshot of one sweep's shape, used as the comparison
+/// anchor for every later sweep. Round-trips through JSON
+/// ([`SweepBaseline::serialize`] / [`SweepBaseline::deserialize`]) so it
+/// can be stored next to the machine it describes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepBaseline {
+    /// The machine the baseline sweep observed.
+    pub machine: String,
+    /// Monitor clock reading when the baseline was recorded.
+    pub taken_at_ns: u64,
+    /// Wall duration of each pipeline's scan phase.
+    pub pipeline_duration_ns: BTreeMap<String, u64>,
+    /// Identity keys (`pipeline|identity`) of every suspicious finding
+    /// present at baseline — findings outside this set are *new*.
+    pub findings: Vec<String>,
+    /// Pipelines already degraded at baseline (their later degradation is
+    /// not a downgrade).
+    pub degraded: Vec<String>,
+    /// Suspicious findings at baseline.
+    pub suspicious: u64,
+    /// Noise-classified findings at baseline.
+    pub noise: u64,
+}
+
+strider_support::impl_json!(
+    struct SweepBaseline {
+        machine,
+        taken_at_ns,
+        pipeline_duration_ns,
+        findings,
+        degraded,
+        suspicious,
+        noise,
+    }
+);
+
+impl SweepBaseline {
+    /// Builds a baseline from a finished (telemetry-instrumented) sweep.
+    pub fn from_report(machine: &str, taken_at_ns: u64, report: &SweepReport) -> Self {
+        SweepBaseline {
+            machine: machine.to_string(),
+            taken_at_ns,
+            pipeline_duration_ns: pipeline_durations(report.telemetry.as_ref()),
+            findings: finding_keys(report).collect(),
+            degraded: degraded_pipelines(&report.health)
+                .map(|(name, _)| name.to_string())
+                .collect(),
+            suspicious: report.suspicious_count() as u64,
+            noise: report.noise_count() as u64,
+        }
+    }
+
+    /// Renders the baseline as a JSON document.
+    pub fn serialize(&self) -> String {
+        use strider_support::json::ToJson;
+        self.to_json().render()
+    }
+
+    /// Parses a baseline from [`SweepBaseline::serialize`] output.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or a document that is not a baseline.
+    pub fn deserialize(text: &str) -> Result<Self, strider_support::json::JsonError> {
+        use strider_support::json::{FromJson, JsonValue};
+        Self::from_json(&JsonValue::parse(text)?)
+    }
+}
+
+/// A drift the monitor detected between a sweep and its baseline. Every
+/// variant carries the sweep's flight-recorder dump, so the incident
+/// ships its own evidence trail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorIncident {
+    /// A suspicious finding absent from the baseline — on a monitored
+    /// machine, the moment a new hidden resource appears.
+    NewHiddenResource {
+        /// Pipeline that surfaced the finding.
+        pipeline: String,
+        /// The finding's cross-view identity key.
+        identity: String,
+        /// Human-readable description.
+        detail: String,
+        /// Flight-recorder dump of the detecting sweep.
+        flight: FlightDump,
+    },
+    /// A pipeline ran slower than `baseline * factor + floor`.
+    LatencyRegression {
+        /// The slow pipeline.
+        pipeline: String,
+        /// Its baseline duration.
+        baseline_ns: u64,
+        /// Its observed duration this sweep.
+        observed_ns: u64,
+        /// Flight-recorder dump of the slow sweep.
+        flight: FlightDump,
+    },
+    /// A pipeline degraded that was healthy at baseline.
+    HealthDowngrade {
+        /// The degraded pipeline.
+        pipeline: String,
+        /// Its degradation reason.
+        reason: String,
+        /// Flight-recorder dump ending at the failure.
+        flight: FlightDump,
+    },
+}
+
+impl MonitorIncident {
+    /// The pipeline the incident concerns.
+    pub fn pipeline(&self) -> &str {
+        match self {
+            MonitorIncident::NewHiddenResource { pipeline, .. }
+            | MonitorIncident::LatencyRegression { pipeline, .. }
+            | MonitorIncident::HealthDowngrade { pipeline, .. } => pipeline,
+        }
+    }
+
+    /// The flight-recorder dump captured with the incident.
+    pub fn flight(&self) -> &FlightDump {
+        match self {
+            MonitorIncident::NewHiddenResource { flight, .. }
+            | MonitorIncident::LatencyRegression { flight, .. }
+            | MonitorIncident::HealthDowngrade { flight, .. } => flight,
+        }
+    }
+}
+
+impl fmt::Display for MonitorIncident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorIncident::NewHiddenResource {
+                pipeline,
+                identity,
+                detail,
+                ..
+            } => write!(f, "new hidden resource [{pipeline}] {identity}: {detail}"),
+            MonitorIncident::LatencyRegression {
+                pipeline,
+                baseline_ns,
+                observed_ns,
+                ..
+            } => write!(
+                f,
+                "latency regression [{pipeline}]: {} at baseline, {} now",
+                fmt_ns(*baseline_ns),
+                fmt_ns(*observed_ns)
+            ),
+            MonitorIncident::HealthDowngrade {
+                pipeline, reason, ..
+            } => write!(f, "health downgrade [{pipeline}]: {reason}"),
+        }
+    }
+}
+
+/// A bounded rolling series of per-sweep metric values (oldest dropped
+/// first), with simple quantile/mean queries for dashboards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSeries {
+    cap: usize,
+    points: VecDeque<f64>,
+}
+
+impl MetricSeries {
+    /// A series retaining at most `cap` points.
+    pub fn new(cap: usize) -> Self {
+        MetricSeries {
+            cap: cap.max(1),
+            points: VecDeque::new(),
+        }
+    }
+
+    /// Appends a point, evicting the oldest when full.
+    pub fn push(&mut self, value: f64) {
+        if self.points.len() == self.cap {
+            self.points.pop_front();
+        }
+        self.points.push_back(value);
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The most recent point.
+    pub fn last(&self) -> Option<f64> {
+        self.points.back().copied()
+    }
+
+    /// Mean over the retained window.
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.points.iter().sum::<f64>() / self.points.len() as f64)
+    }
+
+    /// Nearest-rank quantile (`pct` in `0..=100`) over the retained
+    /// window.
+    pub fn quantile(&self, pct: f64) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.points.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric points are finite"));
+        let rank = ((pct.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[rank.min(sorted.len() - 1)])
+    }
+
+    /// The retained points, oldest first.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().copied()
+    }
+}
+
+/// One monitored sweep: the report, when it ran, and any incidents it
+/// raised against the baseline.
+#[derive(Debug, Clone)]
+pub struct MonitorObservation {
+    /// Monitor clock reading when the sweep started.
+    pub at_ns: u64,
+    /// The sweep itself (telemetry always attached).
+    pub report: SweepReport,
+    /// Drift detected against the baseline (empty without a baseline).
+    pub incidents: Vec<MonitorIncident>,
+}
+
+/// Drives repeated supervised sweeps on a [`Clock`] schedule and watches
+/// for sweep-over-sweep drift.
+///
+/// Each sweep runs with a *fresh* [`Telemetry`] registry on the policy's
+/// clock, so reports never bleed into each other and every observation
+/// carries its own span forest, metrics, and flight-recorder dump.
+///
+/// # Examples
+///
+/// ```
+/// use strider_ghostbuster::{GhostBuster, ScanPolicy, SweepMonitor};
+/// use strider_winapi::Machine;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut machine = Machine::with_base_system("lab-1")?;
+/// let mut monitor = SweepMonitor::new(GhostBuster::new().with_policy(ScanPolicy::resilient()));
+/// monitor.record_baseline(&mut machine)?;
+/// let observations = monitor.run(&mut machine, 3)?;
+/// assert!(observations.iter().all(|o| o.incidents.is_empty()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepMonitor {
+    detector: GhostBuster,
+    config: MonitorConfig,
+    baseline: Option<SweepBaseline>,
+    series: BTreeMap<String, MetricSeries>,
+    sweeps_run: u64,
+}
+
+impl SweepMonitor {
+    /// A monitor driving the given detector with default
+    /// [`MonitorConfig`]. Any telemetry already attached to the detector
+    /// is ignored — the monitor attaches a fresh registry per sweep.
+    pub fn new(detector: GhostBuster) -> Self {
+        SweepMonitor {
+            detector,
+            config: MonitorConfig::default(),
+            baseline: None,
+            series: BTreeMap::new(),
+            sweeps_run: 0,
+        }
+    }
+
+    /// Replaces the monitor configuration.
+    pub fn with_config(mut self, config: MonitorConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// The recorded baseline, if any.
+    pub fn baseline(&self) -> Option<&SweepBaseline> {
+        self.baseline.as_ref()
+    }
+
+    /// Installs a previously recorded (e.g. deserialized) baseline.
+    pub fn set_baseline(&mut self, baseline: SweepBaseline) {
+        self.baseline = Some(baseline);
+    }
+
+    /// How many monitored sweeps have run (baseline excluded).
+    pub fn sweeps_run(&self) -> u64 {
+        self.sweeps_run
+    }
+
+    /// The rolling series for a metric, if it has been observed.
+    pub fn series(&self, name: &str) -> Option<&MetricSeries> {
+        self.series.get(name)
+    }
+
+    /// Names of every metric with a rolling series, sorted.
+    pub fn series_names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    fn clock(&self) -> Arc<dyn Clock> {
+        self.detector.policy().clock().clone()
+    }
+
+    fn instrumented_sweep(&self, machine: &mut Machine) -> Result<SweepReport, NtStatus> {
+        let telemetry = Telemetry::with_clock(self.clock());
+        self.detector
+            .clone()
+            .with_telemetry(telemetry)
+            .inside_sweep(machine)
+    }
+
+    /// Runs one sweep and records it as the comparison baseline (replacing
+    /// any previous one). The baseline sweep does not enter the rolling
+    /// series or raise incidents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sweep failures.
+    pub fn record_baseline(&mut self, machine: &mut Machine) -> Result<&SweepBaseline, NtStatus> {
+        let at_ns = self.clock().now_ns();
+        let report = self.instrumented_sweep(machine)?;
+        self.baseline = Some(SweepBaseline::from_report(machine.name(), at_ns, &report));
+        Ok(self.baseline.as_ref().expect("just recorded"))
+    }
+
+    /// Runs one monitored sweep: scan, compare against the baseline, and
+    /// fold the sweep's metrics into the rolling series.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sweep failures.
+    pub fn observe(&mut self, machine: &mut Machine) -> Result<MonitorObservation, NtStatus> {
+        let at_ns = self.clock().now_ns();
+        let report = self.instrumented_sweep(machine)?;
+        let incidents = self.compare(&report);
+        self.update_series(&report);
+        self.sweeps_run += 1;
+        Ok(MonitorObservation {
+            at_ns,
+            report,
+            incidents,
+        })
+    }
+
+    /// Runs `sweeps` monitored sweeps, sleeping the configured interval on
+    /// the policy clock between consecutive sweeps (a [`FakeClock`] makes
+    /// this instant and deterministic in tests).
+    ///
+    /// [`FakeClock`]: strider_support::obs::FakeClock
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first sweep that fails outright.
+    pub fn run(
+        &mut self,
+        machine: &mut Machine,
+        sweeps: usize,
+    ) -> Result<Vec<MonitorObservation>, NtStatus> {
+        let clock = self.clock();
+        let mut observations = Vec::with_capacity(sweeps);
+        for i in 0..sweeps {
+            if i > 0 {
+                clock.sleep_ns(self.config.interval_ns);
+            }
+            observations.push(self.observe(machine)?);
+        }
+        Ok(observations)
+    }
+
+    fn compare(&self, report: &SweepReport) -> Vec<MonitorIncident> {
+        let Some(baseline) = &self.baseline else {
+            return Vec::new();
+        };
+        let flight = report
+            .telemetry
+            .as_ref()
+            .map(|t| t.flight.clone())
+            .unwrap_or_default();
+        let mut incidents = Vec::new();
+
+        for (pipeline, detection) in findings(report) {
+            let key = finding_key(pipeline, &detection.identity);
+            if !baseline.findings.contains(&key) {
+                incidents.push(MonitorIncident::NewHiddenResource {
+                    pipeline: pipeline.to_string(),
+                    identity: detection.identity.clone(),
+                    detail: detection.detail.clone(),
+                    flight: flight.clone(),
+                });
+            }
+        }
+
+        let durations = pipeline_durations(report.telemetry.as_ref());
+        for pipeline in PIPELINES {
+            let observed = durations.get(pipeline).copied().unwrap_or(0);
+            let base = baseline
+                .pipeline_duration_ns
+                .get(pipeline)
+                .copied()
+                .unwrap_or(0);
+            let threshold =
+                base as f64 * self.config.latency_factor + self.config.latency_floor_ns as f64;
+            if observed as f64 > threshold {
+                incidents.push(MonitorIncident::LatencyRegression {
+                    pipeline: pipeline.to_string(),
+                    baseline_ns: base,
+                    observed_ns: observed,
+                    flight: flight.clone(),
+                });
+            }
+        }
+
+        for (pipeline, status) in degraded_pipelines(&report.health) {
+            if !baseline.degraded.iter().any(|p| p == pipeline) {
+                let reason = match status {
+                    PipelineStatus::Degraded { reason } => reason.clone(),
+                    _ => unreachable!("degraded_pipelines yields Degraded only"),
+                };
+                incidents.push(MonitorIncident::HealthDowngrade {
+                    pipeline: pipeline.to_string(),
+                    reason,
+                    flight: flight.clone(),
+                });
+            }
+        }
+        incidents
+    }
+
+    fn update_series(&mut self, report: &SweepReport) {
+        let history = self.config.history;
+        let mut push = |name: &str, value: f64| {
+            self.series
+                .entry(name.to_string())
+                .or_insert_with(|| MetricSeries::new(history))
+                .push(value);
+        };
+        push("sweep.suspicious", report.suspicious_count() as f64);
+        push("sweep.noise", report.noise_count() as f64);
+        push(
+            "sweep.degraded",
+            degraded_pipelines(&report.health).count() as f64,
+        );
+        for (pipeline, duration) in pipeline_durations(report.telemetry.as_ref()) {
+            push(&format!("{pipeline}.duration_ns"), duration as f64);
+        }
+        if let Some(telemetry) = &report.telemetry {
+            for (name, value) in &telemetry.counters {
+                if name.ends_with(".entries")
+                    || name.ends_with(".defects")
+                    || name == "sweep.timeouts"
+                {
+                    push(name, *value as f64);
+                }
+            }
+        }
+    }
+}
+
+/// Every suspicious finding with its owning pipeline.
+fn findings(report: &SweepReport) -> impl Iterator<Item = (&'static str, &crate::Detection)> {
+    let per = [
+        ("files", &report.files),
+        ("registry", &report.hooks),
+        ("processes", &report.processes),
+        ("modules", &report.modules),
+    ];
+    per.into_iter()
+        .flat_map(|(name, diff)| diff.net_detections().into_iter().map(move |d| (name, d)))
+}
+
+fn finding_key(pipeline: &str, identity: &str) -> String {
+    format!("{pipeline}|{identity}")
+}
+
+fn finding_keys(report: &SweepReport) -> impl Iterator<Item = String> + '_ {
+    findings(report).map(|(pipeline, d)| finding_key(pipeline, &d.identity))
+}
+
+/// Wall time each pipeline spent scanning, summed across stabilization
+/// passes, read from the telemetry span forest.
+fn pipeline_durations(telemetry: Option<&TelemetryReport>) -> BTreeMap<String, u64> {
+    let mut durations = BTreeMap::new();
+    if let Some(report) = telemetry {
+        let totals = report.phase_totals();
+        for pipeline in PIPELINES {
+            let span_name = format!("{pipeline}.scan_inside");
+            durations.insert(
+                pipeline.to_string(),
+                totals.get(&span_name).map_or(0, |t| t.total_ns),
+            );
+        }
+    }
+    durations
+}
+
+/// The degraded pipelines of a health record, in sweep order.
+fn degraded_pipelines(
+    health: &SweepHealth,
+) -> impl Iterator<Item = (&'static str, &PipelineStatus)> {
+    [
+        ("files", &health.files),
+        ("registry", &health.registry),
+        ("processes", &health.processes),
+        ("modules", &health.modules),
+    ]
+    .into_iter()
+    .filter(|(_, status)| matches!(status, PipelineStatus::Degraded { .. }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ScanPolicy;
+    use strider_support::obs::FakeClock;
+
+    fn fake_monitor() -> (Arc<FakeClock>, SweepMonitor) {
+        let clock = Arc::new(FakeClock::new());
+        let policy = ScanPolicy::resilient().with_clock(clock.clone());
+        let monitor = SweepMonitor::new(GhostBuster::new().with_policy(policy));
+        (clock, monitor)
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let (_clock, mut monitor) = fake_monitor();
+        let mut machine = Machine::with_base_system("lab-json").unwrap();
+        let baseline = monitor.record_baseline(&mut machine).unwrap().clone();
+        let text = baseline.serialize();
+        let parsed = SweepBaseline::deserialize(&text).unwrap();
+        assert_eq!(parsed, baseline);
+        assert_eq!(parsed.machine, "lab-json");
+        assert_eq!(parsed.pipeline_duration_ns.len(), 4);
+    }
+
+    #[test]
+    fn clean_machine_raises_no_incidents_and_fills_series() {
+        let (_clock, mut monitor) = fake_monitor();
+        let mut machine = Machine::with_base_system("lab-quiet").unwrap();
+        monitor.record_baseline(&mut machine).unwrap();
+        let observations = monitor.run(&mut machine, 3).unwrap();
+        assert_eq!(observations.len(), 3);
+        assert!(observations.iter().all(|o| o.incidents.is_empty()));
+        assert_eq!(monitor.sweeps_run(), 3);
+        let suspicious = monitor.series("sweep.suspicious").unwrap();
+        assert_eq!(suspicious.len(), 3);
+        assert_eq!(suspicious.last(), Some(0.0));
+        assert_eq!(suspicious.quantile(100.0), Some(0.0));
+        assert!(monitor.series("files.duration_ns").is_some());
+    }
+
+    #[test]
+    fn run_sleeps_the_interval_between_sweeps() {
+        let (clock, mut monitor) = fake_monitor();
+        monitor = monitor.with_config(MonitorConfig::default().with_interval_ns(1_000));
+        let mut machine = Machine::with_base_system("lab-tick").unwrap();
+        monitor.record_baseline(&mut machine).unwrap();
+        let observations = monitor.run(&mut machine, 3).unwrap();
+        // Two gaps between three sweeps; nothing else advances the fake
+        // clock on a fault-free machine.
+        assert_eq!(clock.now_ns(), 2_000);
+        assert_eq!(observations[1].at_ns - observations[0].at_ns, 1_000);
+    }
+
+    #[test]
+    fn metric_series_is_bounded_and_queries_work() {
+        let mut series = MetricSeries::new(3);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            series.push(v);
+        }
+        assert_eq!(series.len(), 3, "oldest point evicted");
+        assert_eq!(series.values().collect::<Vec<_>>(), vec![2.0, 3.0, 4.0]);
+        assert_eq!(series.last(), Some(4.0));
+        assert_eq!(series.mean(), Some(3.0));
+        assert_eq!(series.quantile(0.0), Some(2.0));
+        assert_eq!(series.quantile(100.0), Some(4.0));
+        assert!(MetricSeries::new(2).quantile(50.0).is_none());
+    }
+}

@@ -1,7 +1,7 @@
 //! Hidden-process and hidden-module detection (paper, Section 4).
 
 use crate::diff::cross_view_diff;
-use crate::instrument::{record_chain, record_view_entries};
+use crate::instrument::{record_chain, record_view_entries, LatencyProbe};
 use crate::policy::interrupt_status;
 use crate::report::{Detection, DiffReport, NoiseClass, ResourceKind};
 use crate::snapshot::{ModuleFact, ProcessFact, ScanMeta, Snapshot, ViewKind};
@@ -269,12 +269,14 @@ impl ProcessScanner {
             ChainEntry::Native => ViewKind::HighLevelNative,
         };
         let span = MaybeSpan::start(self.telemetry.as_ref(), "modules.high_scan");
+        let probe = LatencyProbe::new(self.telemetry.as_ref(), "modules.proc_query_ns");
         let mut chain = ChainStats::default();
         let mut snap = Snapshot::new(ScanMeta::new(view, machine.now()));
         for (_, proc_fact) in procs.iter() {
             self.supervision.checkpoint().map_err(interrupt_status)?;
             snap.meta.io.record_api_call();
             let query = Query::ModuleList { pid: proc_fact.pid };
+            let query_started = probe.start();
             let result = if span.is_recording() {
                 machine
                     .query_traced(ctx, &query, entry)
@@ -285,6 +287,7 @@ impl ProcessScanner {
             } else {
                 machine.query(ctx, &query, entry)
             };
+            probe.finish(query_started);
             let rows = match result {
                 Ok(rows) => rows,
                 Err(NtStatus::NoSuchProcess) => continue,

@@ -1,7 +1,7 @@
 //! Hidden-ASEP and hidden-Registry detection (paper, Section 3).
 
 use crate::diff::cross_view_diff;
-use crate::instrument::{record_chain, record_view_entries};
+use crate::instrument::{record_chain, record_view_entries, LatencyProbe};
 use crate::policy::{interrupt_status, ScanPolicy};
 use crate::report::{Detection, DiffReport, NoiseClass, ResourceKind};
 use crate::snapshot::{HookFact, ScanMeta, Snapshot, ViewKind};
@@ -208,6 +208,7 @@ impl RegistryScanner {
             ChainEntry::Native => ViewKind::HighLevelNative,
         };
         let span = MaybeSpan::start(self.telemetry.as_ref(), "registry.high_scan");
+        let latency = LatencyProbe::new(self.telemetry.as_ref(), "registry.key_probe_ns");
         let io = Rc::new(RefCell::new(IoStats::default()));
         let chain = span
             .is_recording()
@@ -216,6 +217,7 @@ impl RegistryScanner {
             |path| {
                 // The key must be enumerable for the view to exist.
                 let probe = Query::RegEnumValues { key: path.clone() };
+                let probe_started = latency.start();
                 let reachable = match &chain {
                     Some(chain) => match machine.query_traced(ctx, &probe, entry) {
                         Ok((_, trace)) => {
@@ -226,6 +228,7 @@ impl RegistryScanner {
                     },
                     None => machine.query(ctx, &probe, entry).is_ok(),
                 };
+                latency.finish(probe_started);
                 reachable.then(|| ApiKeyView {
                     machine,
                     ctx,

@@ -15,7 +15,7 @@
 //! | [`check`] | `proptest`    | a shrinking property-test harness: [`check::check`], the [`check::Shrink`] trait, and the [`prop_assert!`]/[`prop_assert_eq!`] macros |
 //! | [`bench`] | `criterion`   | a mini benchmark harness with the `Criterion`/`benchmark_group`/`Bencher` API shape that writes `BENCH_<group>.json` files at the workspace root |
 //! | [`fault`] | (in-house)    | deterministic fault injection ([`fault::FaultPlan`], [`fault::TransientFaults`]) and the salvage-parse vocabulary ([`fault::Salvaged`], [`fault::Defect`]) used by the robustness layer |
-//! | [`obs`]   | `tracing` + `metrics` | a global-free [`obs::Telemetry`] registry: hierarchical spans with monotonic timings behind a [`obs::Clock`] seam, counters/gauges/histograms, and a JSON exporter writing `SCAN_TELEMETRY_<label>.json` reports |
+//! | [`obs`]   | `tracing` + `metrics` + `hdrhistogram` | a global-free [`obs::Telemetry`] registry: hierarchical spans (with stable per-thread ids) behind a [`obs::Clock`] seam, counters/gauges, bounded mergeable [`obs::HistogramSketch`] histograms, an always-on [`obs::FlightRecorder`] ring, and exporters writing `SCAN_TELEMETRY_<label>.json` reports and `SCAN_TRACE_<label>.json` Chrome traces |
 //! | [`task`]  | `tokio-util` + failsafe | cooperative supervision: a hierarchical [`task::CancellationToken`], [`task::Deadline`]/[`task::TimeBudget`] over the [`obs::Clock`] seam, and a Closed→Open→HalfOpen [`task::CircuitBreaker`] |
 //!
 //! The guiding rule is *API-shape compatibility where it is cheap, clarity

@@ -20,9 +20,23 @@
 //!   next to the `BENCH_*.json` reports,
 //! * a **clock seam**: wall time is read through the [`Clock`] trait so
 //!   tests inject a [`FakeClock`] and assert exact durations instead of
-//!   sleeping.
+//!   sleeping,
+//! * a **flight recorder**: every registry owns a bounded, always-on
+//!   [`FlightRecorder`] ring buffer of timestamped [`FlightEvent`]s (span
+//!   starts/ends, counter deltas, fault/breaker/cancel marks) with O(1)
+//!   record cost; [`FlightRecorder::snapshot`] freezes the surviving tail
+//!   into a [`FlightDump`] so a degraded pipeline can ship its own black
+//!   box,
+//! * **bounded histograms**: [`Telemetry::histogram_record`] feeds a
+//!   log-linear [`HistogramSketch`] (HDR-style buckets, mergeable, bounded
+//!   memory) instead of buffering raw samples, so hot scan loops can record
+//!   per-entry latencies forever without unbounded growth,
+//! * a **Chrome-trace exporter**: [`TelemetryReport::chrome_trace`] emits
+//!   the span forest in the `trace_event` JSON array format (stable
+//!   tid/pid per pipeline thread) that opens directly in Perfetto or
+//!   `chrome://tracing`.
 
-use crate::json::ToJson;
+use crate::json::{JsonValue, ToJson};
 use crate::sync::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -207,6 +221,449 @@ pub struct SpanEvent {
 crate::impl_json!(struct SpanEvent { name, at_ns, attrs });
 
 // ---------------------------------------------------------------------
+// Log-linear histogram sketch
+// ---------------------------------------------------------------------
+
+/// Relative bucket growth factor: consecutive bucket boundaries differ by
+/// 2%, so any quantile answer is within ~1% (half a bucket) of the true
+/// sample in relative terms.
+const SKETCH_GAMMA: f64 = 1.02;
+
+/// Hard cap on the number of log-linear buckets a sketch may hold. With
+/// `SKETCH_GAMMA = 1.02` this spans > 40 orders of magnitude before any
+/// collapsing occurs, and bounds sketch memory at roughly
+/// `SKETCH_MAX_BUCKETS * 16` bytes regardless of how many samples are
+/// recorded.
+pub const SKETCH_MAX_BUCKETS: usize = 2048;
+
+/// A mergeable, bounded-memory log-linear histogram (DDSketch/HDR style).
+///
+/// Samples land in buckets whose boundaries grow geometrically by
+/// [`SKETCH_GAMMA`]; the sketch stores only per-bucket counts plus exact
+/// `count / sum / min / max`, so memory is bounded by
+/// [`SKETCH_MAX_BUCKETS`] no matter how many samples are recorded —
+/// recording a million samples costs the same as recording a hundred.
+/// Quantiles come back as bucket representatives with a guaranteed
+/// relative error of half a bucket (~1% at γ = 1.02), clamped to the
+/// exact observed `[min, max]`.
+///
+/// Two sketches over disjoint sample sets [`merge`](Self::merge) into the
+/// sketch of the union: bucket counts add, so quantiles of the merged
+/// sketch equal quantiles of a single sketch fed every sample.
+///
+/// Non-finite samples are ignored; zero and negative samples are counted
+/// in a dedicated underflow bucket represented by the observed minimum.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramSketch {
+    /// Log-linear bucket counts keyed by `ceil(ln(v) / ln(γ))`.
+    buckets: BTreeMap<i32, u64>,
+    /// Samples `<= 0` (no logarithm): the underflow bucket.
+    zero_count: u64,
+    /// Total samples recorded.
+    count: u64,
+    /// Exact running sum (for [`mean`](Self::mean)).
+    sum: f64,
+    /// Smallest sample seen.
+    min: f64,
+    /// Largest sample seen.
+    max: f64,
+}
+
+crate::impl_json!(struct HistogramSketch { buckets, zero_count, count, sum, min, max });
+
+impl HistogramSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample in O(log buckets). Non-finite values are
+    /// dropped; everything else lands in a bucket.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        if value <= 0.0 {
+            self.zero_count += 1;
+        } else {
+            let index = (value.ln() / SKETCH_GAMMA.ln()).ceil() as i32;
+            *self.buckets.entry(index).or_insert(0) += 1;
+            self.enforce_cap();
+        }
+    }
+
+    /// Folds another sketch into this one; afterwards `self` reports the
+    /// union of both sample sets.
+    pub fn merge(&mut self, other: &HistogramSketch) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.zero_count += other.zero_count;
+        for (&index, &n) in &other.buckets {
+            *self.buckets.entry(index).or_insert(0) += n;
+        }
+        self.enforce_cap();
+    }
+
+    /// Collapses the lowest buckets together whenever the cap is exceeded
+    /// — the cheap end of a latency distribution is the least interesting,
+    /// so precision is sacrificed there first.
+    fn enforce_cap(&mut self) {
+        while self.buckets.len() > SKETCH_MAX_BUCKETS {
+            let (&lowest, &n) = self.buckets.iter().next().expect("len > cap > 0");
+            self.buckets.remove(&lowest);
+            let (_, next) = self
+                .buckets
+                .iter_mut()
+                .next()
+                .expect("cap >= 1 leaves a bucket");
+            *next += n;
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of live log-linear buckets (always `<=`
+    /// [`SKETCH_MAX_BUCKETS`]).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Exact mean of all recorded samples.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(self.sum / self.count as f64)
+    }
+
+    /// Smallest recorded sample.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Nearest-rank percentile (`pct` in `0..=100`). The answer is a
+    /// bucket representative within half a bucket (~1% relative at γ =
+    /// 1.02) of the true sample, clamped to the exact observed range.
+    pub fn percentile(&self, pct: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((pct.clamp(0.0, 100.0) / 100.0) * (self.count - 1) as f64).round() as u64;
+        // The extremes are tracked exactly; answer them without touching
+        // the buckets so p0/p100 never pay the bucket error.
+        if rank == 0 {
+            return Some(self.min);
+        }
+        if rank == self.count - 1 {
+            return Some(self.max);
+        }
+        let mut seen = self.zero_count;
+        let mut value = if self.zero_count > 0 {
+            // Underflow bucket: representative is the observed minimum
+            // (exact when all non-positive samples are equal).
+            self.min.min(0.0)
+        } else {
+            self.min
+        };
+        if rank >= seen {
+            for (&index, &n) in &self.buckets {
+                seen += n;
+                if rank < seen {
+                    // Geometric midpoint of (γ^(i-1), γ^i].
+                    value = SKETCH_GAMMA.powi(index) / SKETCH_GAMMA.sqrt();
+                    break;
+                }
+            }
+        }
+        Some(value.clamp(self.min, self.max))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------
+
+/// Default ring capacity for a [`FlightRecorder`]: enough to hold the
+/// events leading up to a pipeline failure while keeping a snapshot small
+/// enough to embed in every degraded `SweepReport`.
+pub const FLIGHT_CAPACITY: usize = 256;
+
+/// What kind of moment a [`FlightEvent`] captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightEventKind {
+    /// A span opened.
+    SpanStart,
+    /// A span closed.
+    SpanEnd,
+    /// A counter was incremented.
+    Counter,
+    /// A gauge was set.
+    Gauge,
+    /// A fault surfaced (stall, transient device error, corruption).
+    Fault,
+    /// A circuit breaker gated or tripped.
+    Breaker,
+    /// A cancellation or deadline interrupt was observed.
+    Cancel,
+    /// A free-form caller annotation.
+    Mark,
+}
+
+crate::impl_json!(
+    enum FlightEventKind {
+        SpanStart,
+        SpanEnd,
+        Counter,
+        Gauge,
+        Fault,
+        Breaker,
+        Cancel,
+        Mark,
+    }
+);
+
+impl fmt::Display for FlightEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            FlightEventKind::SpanStart => "span-start",
+            FlightEventKind::SpanEnd => "span-end",
+            FlightEventKind::Counter => "counter",
+            FlightEventKind::Gauge => "gauge",
+            FlightEventKind::Fault => "fault",
+            FlightEventKind::Breaker => "breaker",
+            FlightEventKind::Cancel => "cancel",
+            FlightEventKind::Mark => "mark",
+        };
+        f.write_str(label)
+    }
+}
+
+/// One timestamped entry in the flight-recorder ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEvent {
+    /// Monotonic sequence number across the recorder's whole lifetime
+    /// (keeps ordering legible even after the ring has wrapped).
+    pub seq: u64,
+    /// Clock reading when the event was recorded.
+    pub at_ns: u64,
+    /// What kind of moment this is.
+    pub kind: FlightEventKind,
+    /// The subject — a span/counter name, device, or breaker.
+    pub what: String,
+    /// Free-form detail (delta, duration, failure reason).
+    pub detail: String,
+}
+
+crate::impl_json!(struct FlightEvent { seq, at_ns, kind, what, detail });
+
+impl fmt::Display for FlightEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} {} {} {}",
+            self.seq,
+            fmt_ns(self.at_ns),
+            self.kind,
+            self.what
+        )?;
+        if !self.detail.is_empty() {
+            write!(f, " ({})", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// A frozen snapshot of the flight-recorder tail: the last
+/// `<= capacity` events in chronological order, plus how many older
+/// events the ring had already dropped.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FlightDump {
+    /// Surviving events, oldest first.
+    pub events: Vec<FlightEvent>,
+    /// Events overwritten before this snapshot was taken.
+    pub dropped: u64,
+    /// The ring capacity at snapshot time.
+    pub capacity: u64,
+}
+
+crate::impl_json!(struct FlightDump { events, dropped, capacity });
+
+impl FlightDump {
+    /// Whether the dump holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of surviving events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The newest surviving event — for a black box snapshotted at a
+    /// failure, the failure itself.
+    pub fn last(&self) -> Option<&FlightEvent> {
+        self.events.last()
+    }
+
+    /// One line per event, oldest first.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("… {} earlier events dropped\n", self.dropped));
+        }
+        for event in &self.events {
+            out.push_str(&format!("{event}\n"));
+        }
+        out
+    }
+}
+
+#[derive(Debug)]
+struct FlightRing {
+    /// Ring storage; grows to `capacity` then wraps.
+    events: Vec<FlightEvent>,
+    /// Next write position once the ring is full.
+    next: usize,
+    /// Lifetime sequence counter (== total events ever recorded).
+    seq: u64,
+}
+
+/// A bounded, always-on ring buffer of timestamped [`FlightEvent`]s.
+///
+/// Recording is O(1): the ring overwrites its oldest entry once full, so
+/// the recorder can run for the lifetime of a continuous monitor without
+/// growing. Cloning yields another handle onto the same ring — the
+/// telemetry registry, the fault-injecting machine, and the sweep
+/// supervisor all write into one shared black box.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    clock: Arc<dyn Clock>,
+    ring: Arc<Mutex<FlightRing>>,
+    capacity: usize,
+}
+
+impl fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ring = self.ring.lock();
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity)
+            .field("recorded", &ring.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with the default [`FLIGHT_CAPACITY`].
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Self::with_capacity(clock, FLIGHT_CAPACITY)
+    }
+
+    /// A recorder holding at most `capacity` events (min 1).
+    pub fn with_capacity(clock: Arc<dyn Clock>, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            clock,
+            ring: Arc::new(Mutex::new(FlightRing {
+                events: Vec::new(),
+                next: 0,
+                seq: 0,
+            })),
+            capacity,
+        }
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records one event in O(1).
+    pub fn record(&self, kind: FlightEventKind, what: &str, detail: &str) {
+        let at_ns = self.clock.now_ns();
+        let mut ring = self.ring.lock();
+        let event = FlightEvent {
+            seq: ring.seq,
+            at_ns,
+            kind,
+            what: what.to_string(),
+            detail: detail.to_string(),
+        };
+        ring.seq += 1;
+        if ring.events.len() < self.capacity {
+            ring.events.push(event);
+        } else {
+            let next = ring.next;
+            ring.events[next] = event;
+            ring.next = (next + 1) % self.capacity;
+        }
+    }
+
+    /// Records a [`FlightEventKind::Fault`] event.
+    pub fn fault(&self, what: &str, detail: &str) {
+        self.record(FlightEventKind::Fault, what, detail);
+    }
+
+    /// Records a [`FlightEventKind::Breaker`] event.
+    pub fn breaker(&self, what: &str, detail: &str) {
+        self.record(FlightEventKind::Breaker, what, detail);
+    }
+
+    /// Records a [`FlightEventKind::Cancel`] event.
+    pub fn cancel(&self, what: &str, detail: &str) {
+        self.record(FlightEventKind::Cancel, what, detail);
+    }
+
+    /// Records a free-form [`FlightEventKind::Mark`] annotation.
+    pub fn mark(&self, what: &str, detail: &str) {
+        self.record(FlightEventKind::Mark, what, detail);
+    }
+
+    /// Freezes the surviving tail into a chronological [`FlightDump`].
+    pub fn snapshot(&self) -> FlightDump {
+        let ring = self.ring.lock();
+        let mut events = Vec::with_capacity(ring.events.len());
+        if ring.events.len() < self.capacity {
+            events.extend(ring.events.iter().cloned());
+        } else {
+            events.extend(ring.events[ring.next..].iter().cloned());
+            events.extend(ring.events[..ring.next].iter().cloned());
+        }
+        FlightDump {
+            dropped: ring.seq - events.len() as u64,
+            capacity: self.capacity as u64,
+            events,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // The registry
 // ---------------------------------------------------------------------
 
@@ -215,6 +672,7 @@ struct SpanSlot {
     name: String,
     start_ns: u64,
     end_ns: Option<u64>,
+    tid: u64,
     attrs: Vec<(String, AttrValue)>,
     events: Vec<SpanEvent>,
     children: Vec<usize>,
@@ -225,13 +683,36 @@ struct State {
     spans: Vec<SpanSlot>,
     stack: Vec<usize>,
     roots: Vec<usize>,
+    /// OS threads that have opened spans, in first-seen order; a span's
+    /// `tid` is its opener's index here. Dense and stable, unlike
+    /// [`std::thread::ThreadId`], so it survives a JSON round-trip and
+    /// maps directly onto Chrome-trace `tid`s.
+    threads: Vec<(std::thread::ThreadId, String)>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, Vec<f64>>,
+    histograms: BTreeMap<String, HistogramSketch>,
+}
+
+impl State {
+    /// The dense, registry-stable id of the calling thread, registering
+    /// it (with its name) on first sight.
+    fn current_tid(&mut self) -> u64 {
+        let current = std::thread::current();
+        if let Some(pos) = self.threads.iter().position(|(id, _)| *id == current.id()) {
+            return pos as u64;
+        }
+        let name = current
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("thread-{}", self.threads.len()));
+        self.threads.push((current.id(), name));
+        (self.threads.len() - 1) as u64
+    }
 }
 
 struct Inner {
     clock: Arc<dyn Clock>,
+    recorder: FlightRecorder,
     state: Mutex<State>,
 }
 
@@ -287,9 +768,11 @@ impl Telemetry {
     /// A registry timed by the given clock (inject a [`FakeClock`] here
     /// for deterministic tests).
     pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        let recorder = FlightRecorder::new(clock.clone());
         Self {
             inner: Arc::new(Inner {
                 clock,
+                recorder,
                 state: Mutex::new(State::default()),
             }),
         }
@@ -300,15 +783,29 @@ impl Telemetry {
         self.inner.clock.now_ns()
     }
 
+    /// The registry clock.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        self.inner.clock.clone()
+    }
+
+    /// The registry's always-on flight recorder. Clone the handle to let
+    /// other layers (fault injection, supervision) write into the same
+    /// black box.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.inner.recorder
+    }
+
     /// Opens a span as a child of the innermost open span (or as a root).
     /// The returned guard closes the span when dropped.
     pub fn span(&self, name: &str) -> SpanGuard {
         let now = self.now_ns();
         let mut state = self.inner.state.lock();
+        let tid = state.current_tid();
         let index = state.spans.len();
         state.spans.push(SpanSlot {
             name: name.to_string(),
             start_ns: now,
+            tid,
             ..SpanSlot::default()
         });
         match state.stack.last().copied() {
@@ -316,6 +813,10 @@ impl Telemetry {
             None => state.roots.push(index),
         }
         state.stack.push(index);
+        drop(state);
+        self.inner
+            .recorder
+            .record(FlightEventKind::SpanStart, name, "");
         SpanGuard {
             telemetry: self.clone(),
             index,
@@ -325,30 +826,43 @@ impl Telemetry {
 
     /// Adds `delta` to a monotonic counter (created at 0 on first use).
     pub fn counter_add(&self, name: &str, delta: u64) {
-        let mut state = self.inner.state.lock();
-        *state.counters.entry(name.to_string()).or_insert(0) += delta;
+        {
+            let mut state = self.inner.state.lock();
+            *state.counters.entry(name.to_string()).or_insert(0) += delta;
+        }
+        self.inner
+            .recorder
+            .record(FlightEventKind::Counter, name, &format!("+{delta}"));
     }
 
     /// Sets a gauge to its latest observed value.
     pub fn gauge_set(&self, name: &str, value: f64) {
-        let mut state = self.inner.state.lock();
-        state.gauges.insert(name.to_string(), value);
+        {
+            let mut state = self.inner.state.lock();
+            state.gauges.insert(name.to_string(), value);
+        }
+        self.inner
+            .recorder
+            .record(FlightEventKind::Gauge, name, &format!("={value}"));
     }
 
-    /// Records one sample into a histogram.
+    /// Records one sample into a bounded [`HistogramSketch`]. Histogram
+    /// samples are aggregated, not ring-recorded: hot loops may call this
+    /// per entry without flooding the flight recorder.
     pub fn histogram_record(&self, name: &str, value: f64) {
         let mut state = self.inner.state.lock();
         state
             .histograms
             .entry(name.to_string())
             .or_default()
-            .push(value);
+            .record(value);
     }
 
     /// Freezes the current state into an exportable report. Spans still
     /// open are reported with the clock's current reading as their end.
     pub fn report(&self) -> TelemetryReport {
         let now = self.now_ns();
+        let flight = self.inner.recorder.snapshot();
         let state = self.inner.state.lock();
         fn build(state: &State, index: usize, now: u64) -> SpanRecord {
             let slot = &state.spans[index];
@@ -356,6 +870,7 @@ impl Telemetry {
                 name: slot.name.clone(),
                 start_ns: slot.start_ns,
                 end_ns: slot.end_ns.unwrap_or(now),
+                tid: slot.tid,
                 attrs: slot.attrs.clone(),
                 events: slot.events.clone(),
                 children: slot
@@ -367,9 +882,16 @@ impl Telemetry {
         }
         TelemetryReport {
             spans: state.roots.iter().map(|&r| build(&state, r, now)).collect(),
+            threads: state
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, (_, name))| (i as u64, name.clone()))
+                .collect(),
             counters: state.counters.clone(),
             gauges: state.gauges.clone(),
             histograms: state.histograms.clone(),
+            flight,
         }
     }
 }
@@ -420,11 +942,18 @@ impl SpanGuard {
         let now = self.telemetry.now_ns();
         let mut state = self.telemetry.inner.state.lock();
         state.spans[self.index].end_ns = Some(now);
+        let name = state.spans[self.index].name.clone();
+        let took = now.saturating_sub(state.spans[self.index].start_ns);
         // Pop back to (and including) this span; any children left open by
         // out-of-order drops are popped with it so nesting stays sane.
         if let Some(pos) = state.stack.iter().rposition(|&i| i == self.index) {
             state.stack.truncate(pos);
         }
+        drop(state);
+        self.telemetry
+            .inner
+            .recorder
+            .record(FlightEventKind::SpanEnd, &name, &fmt_ns(took));
     }
 }
 
@@ -491,6 +1020,11 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Clock value at close (the report's freeze time for open spans).
     pub end_ns: u64,
+    /// Dense, registry-stable id of the OS thread that opened the span
+    /// (index into [`TelemetryReport::threads`]). Pipelines run on scoped
+    /// threads, so this is what tells a `files.scan_inside` span apart
+    /// from a `registry.scan_inside` span in a flat timeline.
+    pub tid: u64,
     /// Attributes, in attachment order.
     pub attrs: Vec<(String, AttrValue)>,
     /// Events, in firing order.
@@ -499,7 +1033,7 @@ pub struct SpanRecord {
     pub children: Vec<SpanRecord>,
 }
 
-crate::impl_json!(struct SpanRecord { name, start_ns, end_ns, attrs, events, children });
+crate::impl_json!(struct SpanRecord { name, start_ns, end_ns, tid, attrs, events, children });
 
 impl SpanRecord {
     /// The span's wall duration.
@@ -531,15 +1065,19 @@ impl SpanRecord {
 pub struct TelemetryReport {
     /// Root spans, in open order.
     pub spans: Vec<SpanRecord>,
+    /// Thread names keyed by the dense tid used on [`SpanRecord::tid`].
+    pub threads: BTreeMap<u64, String>,
     /// Final counter values.
     pub counters: BTreeMap<String, u64>,
     /// Final gauge values.
     pub gauges: BTreeMap<String, f64>,
-    /// Raw histogram samples, in record order.
-    pub histograms: BTreeMap<String, Vec<f64>>,
+    /// Bounded histogram sketches (see [`HistogramSketch`]).
+    pub histograms: BTreeMap<String, HistogramSketch>,
+    /// Flight-recorder tail at freeze time.
+    pub flight: FlightDump,
 }
 
-crate::impl_json!(struct TelemetryReport { spans, counters, gauges, histograms });
+crate::impl_json!(struct TelemetryReport { spans, threads, counters, gauges, histograms, flight });
 
 impl TelemetryReport {
     /// Depth-first search across all roots for the first span named `name`.
@@ -565,25 +1103,15 @@ impl TelemetryReport {
         totals
     }
 
-    /// Nearest-rank percentile over a named histogram's samples.
+    /// Nearest-rank percentile over a named histogram's sketch (within
+    /// the sketch's ~1% relative bucket error; exact at the extremes).
     pub fn histogram_percentile(&self, name: &str, pct: f64) -> Option<f64> {
-        let samples = self.histograms.get(name)?;
-        if samples.is_empty() {
-            return None;
-        }
-        let mut sorted = samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("histogram samples are finite"));
-        let rank = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-        Some(sorted[rank.min(sorted.len() - 1)])
+        self.histograms.get(name)?.percentile(pct)
     }
 
-    /// Mean of a named histogram's samples.
+    /// Exact mean of a named histogram's samples.
     pub fn histogram_mean(&self, name: &str) -> Option<f64> {
-        let samples = self.histograms.get(name)?;
-        if samples.is_empty() {
-            return None;
-        }
-        Some(samples.iter().sum::<f64>() / samples.len() as f64)
+        self.histograms.get(name)?.mean()
     }
 
     /// Pretty-prints the span forest, one span per line with durations and
@@ -653,19 +1181,140 @@ impl TelemetryReport {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
+    /// Propagates filesystem errors; rejects labels with no alphanumeric
+    /// content (see [`sanitize_label`]) as `InvalidInput`.
     pub fn write_json_in(&self, dir: &std::path::Path, label: &str) -> std::io::Result<PathBuf> {
-        let file_name = format!(
-            "SCAN_TELEMETRY_{}.json",
-            label
-                .chars()
-                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-                .collect::<String>()
-        );
-        let path = dir.join(file_name);
+        let path = dir.join(format!("SCAN_TELEMETRY_{}.json", checked_label(label)?));
         std::fs::write(&path, self.to_json().render_pretty(2))?;
         Ok(path)
     }
+
+    /// The span forest in Chrome `trace_event` JSON array format: one
+    /// complete (`"ph":"X"`) event per span, one instant (`"ph":"i"`)
+    /// event per span event, plus `thread_name` metadata so Perfetto /
+    /// `chrome://tracing` labels each pipeline thread. Timestamps are in
+    /// microseconds as the format requires; `pid` is always 1 (one
+    /// process), `tid` is the registry-stable [`SpanRecord::tid`].
+    pub fn chrome_trace(&self) -> JsonValue {
+        fn attr_json(value: &AttrValue) -> JsonValue {
+            match value {
+                AttrValue::Str(s) => JsonValue::Str(s.clone()),
+                AttrValue::UInt(n) => JsonValue::UInt(*n),
+                AttrValue::Int(n) => JsonValue::Int(*n),
+                AttrValue::Float(x) => JsonValue::Float(*x),
+                AttrValue::Bool(b) => JsonValue::Bool(*b),
+            }
+        }
+        fn walk(span: &SpanRecord, out: &mut Vec<JsonValue>) {
+            let args: Vec<(String, JsonValue)> = span
+                .attrs
+                .iter()
+                .map(|(k, v)| (k.clone(), attr_json(v)))
+                .collect();
+            out.push(JsonValue::Obj(vec![
+                ("name".into(), JsonValue::Str(span.name.clone())),
+                ("cat".into(), JsonValue::Str("scan".into())),
+                ("ph".into(), JsonValue::Str("X".into())),
+                ("ts".into(), JsonValue::Float(span.start_ns as f64 / 1e3)),
+                (
+                    "dur".into(),
+                    JsonValue::Float(span.duration_ns() as f64 / 1e3),
+                ),
+                ("pid".into(), JsonValue::UInt(1)),
+                ("tid".into(), JsonValue::UInt(span.tid)),
+                ("args".into(), JsonValue::Obj(args)),
+            ]));
+            for event in &span.events {
+                let args: Vec<(String, JsonValue)> = event
+                    .attrs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), attr_json(v)))
+                    .collect();
+                out.push(JsonValue::Obj(vec![
+                    ("name".into(), JsonValue::Str(event.name.clone())),
+                    ("cat".into(), JsonValue::Str("scan".into())),
+                    ("ph".into(), JsonValue::Str("i".into())),
+                    ("ts".into(), JsonValue::Float(event.at_ns as f64 / 1e3)),
+                    ("pid".into(), JsonValue::UInt(1)),
+                    ("tid".into(), JsonValue::UInt(span.tid)),
+                    ("s".into(), JsonValue::Str("t".into())),
+                    ("args".into(), JsonValue::Obj(args)),
+                ]));
+            }
+            for child in &span.children {
+                walk(child, out);
+            }
+        }
+        let mut out = Vec::new();
+        for (tid, name) in &self.threads {
+            out.push(JsonValue::Obj(vec![
+                ("name".into(), JsonValue::Str("thread_name".into())),
+                ("ph".into(), JsonValue::Str("M".into())),
+                ("pid".into(), JsonValue::UInt(1)),
+                ("tid".into(), JsonValue::UInt(*tid)),
+                (
+                    "args".into(),
+                    JsonValue::Obj(vec![("name".into(), JsonValue::Str(name.clone()))]),
+                ),
+            ]));
+        }
+        for span in &self.spans {
+            walk(span, &mut out);
+        }
+        JsonValue::Arr(out)
+    }
+
+    /// Writes [`chrome_trace`](Self::chrome_trace) as
+    /// `SCAN_TRACE_<label>.json` into [`crate::bench::report_dir`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; rejects empty labels.
+    pub fn write_chrome_trace(&self, label: &str) -> std::io::Result<PathBuf> {
+        self.write_chrome_trace_in(&crate::bench::report_dir(), label)
+    }
+
+    /// Writes [`chrome_trace`](Self::chrome_trace) as
+    /// `SCAN_TRACE_<label>.json` into `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; rejects empty labels.
+    pub fn write_chrome_trace_in(
+        &self,
+        dir: &std::path::Path,
+        label: &str,
+    ) -> std::io::Result<PathBuf> {
+        let path = dir.join(format!("SCAN_TRACE_{}.json", checked_label(label)?));
+        std::fs::write(&path, self.chrome_trace().render_pretty(2))?;
+        Ok(path)
+    }
+}
+
+/// Reduces a free-form label to a filesystem-safe stem: every
+/// non-alphanumeric character becomes `_`, runs collapse to one `_`, and
+/// leading/trailing `_` are trimmed. Returns `None` when nothing
+/// alphanumeric survives (so `"///"` can't silently collide with `"_"`).
+pub fn sanitize_label(label: &str) -> Option<String> {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else if !out.ends_with('_') && !out.is_empty() {
+            out.push('_');
+        }
+    }
+    let trimmed = out.trim_end_matches('_');
+    (!trimmed.is_empty()).then(|| trimmed.to_string())
+}
+
+fn checked_label(label: &str) -> std::io::Result<String> {
+    sanitize_label(label).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("label {label:?} has no alphanumeric content"),
+        )
+    })
 }
 
 /// Per-name aggregate in [`TelemetryReport::phase_totals`].
@@ -680,12 +1329,19 @@ pub struct PhaseTotal {
 crate::impl_json!(struct PhaseTotal { count, total_ns });
 
 /// Renders a nanosecond duration with a human-scale unit.
+///
+/// Unit boundaries account for display rounding: a value that would
+/// *render* as `1000.0` in one unit (e.g. `999_999_500ns` ≈ `1000.0ms`)
+/// rolls up to the next unit instead, so the printed magnitude always
+/// stays below 1000 of its unit.
 pub fn fmt_ns(ns: u64) -> String {
+    // Each threshold is the smallest value that rounds to 1000.0 (one
+    // decimal) or 1.00 (two decimals) of the *next* unit's predecessor.
     if ns < 1_000 {
         format!("{ns}ns")
-    } else if ns < 1_000_000 {
+    } else if ns < 999_950 {
         format!("{:.1}µs", ns as f64 / 1e3)
-    } else if ns < 1_000_000_000 {
+    } else if ns < 999_950_000 {
         format!("{:.1}ms", ns as f64 / 1e6)
     } else {
         format!("{:.2}s", ns as f64 / 1e9)
@@ -785,7 +1441,10 @@ mod tests {
         let report = telemetry.report();
         assert_eq!(report.counters["entries"], 142);
         assert_eq!(report.gauges["depth"], 5.0);
-        assert_eq!(report.histogram_percentile("lat", 50.0), Some(3.0));
+        // Sketch-backed percentiles are within one bucket (~2%) of the
+        // true sample; the extremes are exact (clamped to min/max).
+        let p50 = report.histogram_percentile("lat", 50.0).unwrap();
+        assert!((p50 / 3.0 - 1.0).abs() < 0.02, "p50 = {p50}");
         assert_eq!(report.histogram_percentile("lat", 100.0), Some(100.0));
         assert_eq!(report.histogram_percentile("lat", 0.0), Some(1.0));
         assert_eq!(report.histogram_mean("lat"), Some(22.0));
@@ -870,6 +1529,21 @@ mod tests {
     }
 
     #[test]
+    fn fmt_ns_never_renders_a_four_digit_magnitude() {
+        // Each unit edge: the last value that stays in the unit, and the
+        // first value whose *rounded* rendering would read 1000.0 — which
+        // must roll up instead.
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_000), "1.0µs");
+        assert_eq!(fmt_ns(999_949), "999.9µs");
+        assert_eq!(fmt_ns(999_950), "1.0ms");
+        assert_eq!(fmt_ns(999_949_999), "999.9ms");
+        assert_eq!(fmt_ns(999_950_000), "1.00s");
+        assert_eq!(fmt_ns(999_999_500), "1.00s", "regression: was 1000.0ms");
+        assert_eq!(fmt_ns(1_000_000_000), "1.00s");
+    }
+
+    #[test]
     fn write_json_sanitizes_label_and_writes() {
         let dir = std::env::temp_dir().join(format!("strider-obs-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -879,10 +1553,202 @@ mod tests {
             .report()
             .write_json_in(&dir, "unit test!")
             .unwrap();
-        assert!(path.ends_with("SCAN_TELEMETRY_unit_test_.json"));
+        assert!(path.ends_with("SCAN_TELEMETRY_unit_test.json"));
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"counters\""));
         std::fs::remove_file(&path).ok();
         std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn label_sanitization_collapses_runs_and_rejects_empty() {
+        assert_eq!(sanitize_label("unit test!"), Some("unit_test".into()));
+        assert_eq!(sanitize_label("a//b--c"), Some("a_b_c".into()));
+        assert_eq!(sanitize_label("__x__"), Some("x".into()));
+        assert_eq!(sanitize_label("lab-1"), Some("lab_1".into()));
+        assert_eq!(sanitize_label("///"), None);
+        assert_eq!(sanitize_label(""), None);
+
+        let (_clock, telemetry) = fake();
+        let err = telemetry
+            .report()
+            .write_json_in(std::path::Path::new("/tmp"), "///")
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn sketch_percentiles_stay_within_bucket_error() {
+        let mut sketch = HistogramSketch::new();
+        for i in 1..=1000 {
+            sketch.record(i as f64);
+        }
+        assert_eq!(sketch.count(), 1000);
+        for (pct, expect) in [(10.0, 100.0), (50.0, 500.0), (90.0, 900.0)] {
+            let got = sketch.percentile(pct).unwrap();
+            assert!(
+                (got / expect - 1.0).abs() < 0.02,
+                "p{pct}: got {got}, want ~{expect}"
+            );
+        }
+        assert_eq!(sketch.percentile(0.0), Some(1.0));
+        assert_eq!(sketch.percentile(100.0), Some(1000.0));
+        assert_eq!(sketch.mean(), Some(500.5));
+    }
+
+    #[test]
+    fn sketch_merge_equals_single_recording() {
+        let samples: Vec<f64> = (0..500).map(|i| ((i * 37) % 997 + 1) as f64).collect();
+        let mut whole = HistogramSketch::new();
+        let mut left = HistogramSketch::new();
+        let mut right = HistogramSketch::new();
+        for (i, &v) in samples.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+        for pct in [0.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            assert_eq!(left.percentile(pct), whole.percentile(pct), "p{pct}");
+        }
+    }
+
+    #[test]
+    fn sketch_bucket_count_is_bounded() {
+        let mut sketch = HistogramSketch::new();
+        // A pathological spread: every order of magnitude from 1e-30 to
+        // 1e30 still stays under the cap because buckets are logarithmic.
+        let mut v = 1e-30;
+        while v < 1e30 {
+            sketch.record(v);
+            v *= 1.01;
+        }
+        assert!(sketch.bucket_count() <= SKETCH_MAX_BUCKETS);
+        assert!(sketch.count() > 10_000);
+        // Non-finite samples are ignored, not recorded.
+        let before = sketch.count();
+        sketch.record(f64::NAN);
+        sketch.record(f64::INFINITY);
+        assert_eq!(sketch.count(), before);
+    }
+
+    #[test]
+    fn sketch_handles_zero_and_negative_samples() {
+        let mut sketch = HistogramSketch::new();
+        for v in [-5.0, 0.0, 0.0, 10.0] {
+            sketch.record(v);
+        }
+        assert_eq!(sketch.min(), Some(-5.0));
+        assert_eq!(sketch.max(), Some(10.0));
+        assert_eq!(sketch.percentile(0.0), Some(-5.0));
+        assert_eq!(sketch.percentile(100.0), Some(10.0));
+    }
+
+    #[test]
+    fn flight_ring_wraps_and_keeps_the_tail() {
+        let clock = Arc::new(FakeClock::new());
+        let recorder = FlightRecorder::with_capacity(clock.clone(), 4);
+        for i in 0..10 {
+            clock.advance(1);
+            recorder.mark(&format!("m{i}"), "");
+        }
+        let dump = recorder.snapshot();
+        assert_eq!(dump.len(), 4, "capacity respected");
+        assert_eq!(dump.dropped, 6);
+        assert_eq!(dump.capacity, 4);
+        let seqs: Vec<u64> = dump.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "chronological tail");
+        assert_eq!(dump.last().unwrap().what, "m9");
+        assert_eq!(dump.events[0].at_ns, 7);
+    }
+
+    #[test]
+    fn telemetry_feeds_its_flight_recorder() {
+        let (clock, telemetry) = fake();
+        {
+            let _span = telemetry.span("files.scan");
+            clock.advance(10);
+            telemetry.counter_add("files.entries", 3);
+        }
+        telemetry.recorder().fault("volume", "torn sector");
+        let report = telemetry.report();
+        let kinds: Vec<FlightEventKind> = report.flight.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FlightEventKind::SpanStart,
+                FlightEventKind::Counter,
+                FlightEventKind::SpanEnd,
+                FlightEventKind::Fault,
+            ]
+        );
+        assert_eq!(report.flight.events[0].what, "files.scan");
+        assert_eq!(report.flight.events[2].detail, "10ns");
+        assert_eq!(report.flight.last().unwrap().detail, "torn sector");
+    }
+
+    #[test]
+    fn spans_record_stable_thread_ids() {
+        let (_clock, telemetry) = fake();
+        let _root = telemetry.span("root");
+        let t = telemetry.clone();
+        std::thread::Builder::new()
+            .name("worker".into())
+            .spawn(move || {
+                let _span = t.span("on_worker");
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        let report = telemetry.report();
+        let root = report.find_span("root").unwrap();
+        let worker = report.find_span("on_worker").unwrap();
+        assert_ne!(root.tid, worker.tid, "different OS threads, different tid");
+        assert_eq!(report.threads[&worker.tid], "worker");
+        assert_eq!(report.threads.len(), 2);
+    }
+
+    #[test]
+    fn chrome_trace_emits_valid_trace_events() {
+        let (clock, telemetry) = fake();
+        {
+            let span = telemetry.span("sweep");
+            span.set_attr("machine", "lab");
+            clock.advance(2_000);
+            let inner = telemetry.span("files.scan");
+            inner.event("checkpoint");
+            clock.advance(1_000);
+        }
+        let trace = telemetry.report().chrome_trace();
+        let events = trace.as_arr().expect("top level is an array");
+        // 1 thread_name metadata + 2 X spans + 1 instant.
+        assert_eq!(events.len(), 4);
+        let get = |obj: &JsonValue, key: &str| {
+            obj.as_obj()
+                .unwrap()
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or(JsonValue::Null)
+        };
+        assert_eq!(get(&events[0], "ph").as_str().unwrap(), "M");
+        let sweep = &events[1];
+        assert_eq!(get(sweep, "name").as_str().unwrap(), "sweep");
+        assert_eq!(get(sweep, "ph").as_str().unwrap(), "X");
+        assert_eq!(get(sweep, "ts").as_f64().unwrap(), 0.0);
+        assert_eq!(get(sweep, "dur").as_f64().unwrap(), 3.0, "3µs total");
+        assert_eq!(get(sweep, "pid").as_u64().unwrap(), 1);
+        let instant = &events[3];
+        assert_eq!(get(instant, "ph").as_str().unwrap(), "i");
+        assert_eq!(get(instant, "ts").as_f64().unwrap(), 2.0);
+        // Round-trips through the parser (what verify.sh validates).
+        let text = trace.render_pretty(2);
+        assert!(JsonValue::parse(&text).is_ok());
     }
 }

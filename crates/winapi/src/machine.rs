@@ -13,6 +13,7 @@ use strider_kernel::{Kernel, SyscallId};
 use strider_nt_core::{FileRecordNumber, NtPath, NtStatus, NtString, Pid, Tick};
 use strider_ntfs::{NtfsError, NtfsVolume};
 use strider_support::fault::{FaultPlan, Stall, TransientFaults};
+use strider_support::obs::FlightRecorder;
 
 /// How a query enters the chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,6 +209,7 @@ pub struct Machine {
     image_tampers: Vec<(String, Arc<dyn RawImageTamper>)>,
     tick_tasks: Vec<Box<dyn TickTask>>,
     faults: Option<FaultInjector>,
+    flight: Option<FlightRecorder>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -237,6 +239,7 @@ impl Machine {
             image_tampers: Vec::new(),
             tick_tasks: Vec::new(),
             faults: None,
+            flight: None,
         }
     }
 
@@ -847,6 +850,25 @@ impl Machine {
         self.faults = None;
     }
 
+    /// Attaches a flight-recorder handle: the fallible `try_*` read paths
+    /// log every injected stall, transient failure, and applied
+    /// corruption plan into it, so a degraded pipeline's black box shows
+    /// the device-level trouble that preceded the failure.
+    pub fn set_flight_recorder(&mut self, recorder: FlightRecorder) {
+        self.flight = Some(recorder);
+    }
+
+    /// Detaches the flight-recorder handle.
+    pub fn clear_flight_recorder(&mut self) {
+        self.flight = None;
+    }
+
+    fn flight_fault(&self, what: &str, detail: &str) {
+        if let Some(recorder) = &self.flight {
+            recorder.fault(what, detail);
+        }
+    }
+
     /// Fallible [`read_raw_volume_image`]: consumes one transient fault
     /// ([`NtStatus::DeviceNotReady`]) if armed, then returns the (possibly
     /// plan-corrupted) image bytes.
@@ -860,16 +882,21 @@ impl Machine {
     pub fn try_read_raw_volume_image(&self) -> Result<Vec<u8>, NtStatus> {
         if let Some(f) = &self.faults {
             if f.volume_stall.as_ref().is_some_and(|s| s.poll_pending()) {
+                self.flight_fault("volume.read", "stalled (Pending)");
                 return Err(NtStatus::Pending);
             }
             if f.volume_faults.as_ref().is_some_and(|t| t.should_fail()) {
+                self.flight_fault("volume.read", "transient DeviceNotReady");
                 return Err(NtStatus::DeviceNotReady);
             }
         }
         let bytes = self.read_raw_volume_image();
         Ok(
             match self.faults.as_ref().and_then(|f| f.volume_plan.as_ref()) {
-                Some(plan) => plan.apply(&bytes),
+                Some(plan) => {
+                    self.flight_fault("volume.read", "corruption plan applied");
+                    plan.apply(&bytes)
+                }
                 None => bytes,
             },
         )
@@ -888,9 +915,11 @@ impl Machine {
     pub fn try_copy_hive_bytes(&self, mount: &NtPath) -> Result<Vec<u8>, NtStatus> {
         if let Some(f) = &self.faults {
             if f.hive_stall.as_ref().is_some_and(|s| s.poll_pending()) {
+                self.flight_fault("hive.copy", "stalled (Pending)");
                 return Err(NtStatus::Pending);
             }
             if f.hive_faults.as_ref().is_some_and(|t| t.should_fail()) {
+                self.flight_fault("hive.copy", "transient DeviceNotReady");
                 return Err(NtStatus::DeviceNotReady);
             }
         }
@@ -904,7 +933,10 @@ impl Machine {
                 .map(|(_, p)| p)
         });
         Ok(match plan {
-            Some(plan) => plan.apply(&bytes),
+            Some(plan) => {
+                self.flight_fault("hive.copy", &format!("corruption plan applied to {mount}"));
+                plan.apply(&bytes)
+            }
             None => bytes,
         })
     }
@@ -920,19 +952,24 @@ impl Machine {
     pub fn try_crash_dump(&self) -> Result<Vec<u8>, NtStatus> {
         if let Some(f) = &self.faults {
             if f.dump_stall.as_ref().is_some_and(|s| s.poll_pending()) {
+                self.flight_fault("kernel.dump", "stalled (Pending)");
                 return Err(NtStatus::Pending);
             }
             if f.dump_faults.as_ref().is_some_and(|t| t.should_fail()) {
+                self.flight_fault("kernel.dump", "transient DeviceNotReady");
                 return Err(NtStatus::DeviceNotReady);
             }
         }
-        let bytes = self
-            .kernel
-            .try_crash_dump()
-            .ok_or(NtStatus::DeviceNotReady)?;
+        let bytes = self.kernel.try_crash_dump().ok_or_else(|| {
+            self.flight_fault("kernel.dump", "kernel capture DeviceNotReady");
+            NtStatus::DeviceNotReady
+        })?;
         Ok(
             match self.faults.as_ref().and_then(|f| f.dump_plan.as_ref()) {
-                Some(plan) => plan.apply(&bytes),
+                Some(plan) => {
+                    self.flight_fault("kernel.dump", "corruption plan applied");
+                    plan.apply(&bytes)
+                }
                 None => bytes,
             },
         )
@@ -1218,6 +1255,38 @@ mod tests {
             m.try_copy_hive_bytes(&p("HKLM\\NOPE")).unwrap_err(),
             NtStatus::ObjectNameNotFound
         );
+    }
+
+    #[test]
+    fn fault_events_land_in_an_attached_flight_recorder() {
+        use strider_support::obs::{FakeClock, FlightEventKind};
+        let mut m = Machine::with_base_system("blackbox").unwrap();
+        let recorder = FlightRecorder::new(Arc::new(FakeClock::new()));
+        m.set_flight_recorder(recorder.clone());
+        m.set_fault_injector(
+            FaultInjector::new()
+                .fail_volume_reads(1)
+                .stall_dump_reads(Stall::after_polls(1))
+                .corrupt_volume(FaultPlan::new(1).bit_flips(4)),
+        );
+        assert!(m.try_read_raw_volume_image().is_err()); // transient
+        assert!(m.try_read_raw_volume_image().is_ok()); // corrupted
+        assert!(m.try_crash_dump().is_err()); // stalled once
+        let dump = recorder.snapshot();
+        let details: Vec<&str> = dump.events.iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(
+            details,
+            vec![
+                "transient DeviceNotReady",
+                "corruption plan applied",
+                "stalled (Pending)",
+            ]
+        );
+        assert!(dump.events.iter().all(|e| e.kind == FlightEventKind::Fault));
+        // Detached: reads stop logging.
+        m.clear_flight_recorder();
+        assert!(m.try_crash_dump().is_ok());
+        assert_eq!(recorder.snapshot().len(), dump.len());
     }
 
     #[test]

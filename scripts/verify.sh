@@ -49,4 +49,18 @@ cargo test -q --offline --test supervision
 FAULT_SEED="${FAULT_SEED:-20260807}" cargo test -q --offline --test properties \
     fault_chaos_sweeps_always_terminate_with_consistent_health
 
+# Observability suite: flight-recorder black boxes, monitor regression
+# detection, Chrome-trace export, and bounded-telemetry guarantees. The
+# monitor example is self-validating — it re-parses its own exported JSON
+# through support::json, checks the SCAN_TELEMETRY_* schema keys, and
+# requires one tid per pipeline in the Chrome trace — so running it green
+# IS the check; the file tests below only confirm the artifacts landed.
+echo "==> observability suite (flight recorder, monitor, trace export)"
+cargo test -q --offline --test observability
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+STRIDER_BENCH_DIR="$OBS_DIR" cargo run -q --offline --example monitor
+test -f "$OBS_DIR/SCAN_TELEMETRY_monitor.json"
+test -f "$OBS_DIR/SCAN_TRACE_monitor.json"
+
 echo "==> OK"

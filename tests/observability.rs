@@ -1,0 +1,354 @@
+//! Diagnosability integration tests: flight-recorder black boxes on
+//! degraded pipelines, the continuous sweep monitor's regression
+//! detection, Chrome-trace export, and bounded always-on telemetry.
+//!
+//! Everything runs on a [`FakeClock`] with the deterministic base-system
+//! workload, so failures reproduce bit-for-bit: stalls advance simulated
+//! time via polling, latency "regressions" are injected fault plans, and
+//! the monitor's incident stream is a pure function of the scenario.
+
+use std::sync::Arc;
+use strider_ghostbuster_repro::prelude::*;
+use strider_support::fault::Stall;
+use strider_support::json::JsonValue;
+use strider_support::obs::{FakeClock, FlightEventKind, FLIGHT_CAPACITY, SKETCH_MAX_BUCKETS};
+
+fn infected_machine() -> Machine {
+    let mut m = Machine::with_base_system("victim").unwrap();
+    HackerDefender::default().infect(&mut m).unwrap();
+    m
+}
+
+/// A resilient policy with a 2 ms pipeline budget, polling stalled reads
+/// every 100 µs on the given fake clock.
+fn supervised_policy(clock: Arc<FakeClock>) -> ScanPolicy {
+    ScanPolicy::resilient()
+        .with_clock(clock)
+        .with_poll(100_000, 0)
+        .with_pipeline_budget(2_000_000)
+        .with_sweep_budget(10_000_000)
+}
+
+// ---------------------------------------------------------------------
+// Black boxes: a degraded pipeline ships its own evidence trail
+// ---------------------------------------------------------------------
+
+#[test]
+fn degraded_pipeline_carries_a_flight_dump_ending_at_the_failure() {
+    let mut m = infected_machine();
+    m.set_fault_injector(FaultInjector::new().stall_volume_reads(Stall::forever()));
+    let clock = Arc::new(FakeClock::default());
+    let gb = GhostBuster::new()
+        .with_policy(supervised_policy(clock.clone()))
+        .with_telemetry(Telemetry::with_clock(clock));
+
+    let report = gb.inside_sweep(&mut m).unwrap();
+
+    assert!(
+        matches!(report.health.files, PipelineStatus::Degraded { .. }),
+        "{}",
+        report.health
+    );
+    let dump = report
+        .black_box("files")
+        .expect("degraded pipeline snapshots the flight recorder");
+    assert!(!dump.is_empty(), "black box must not be empty");
+    let last = dump.last().expect("non-empty dump has a last event");
+    assert_eq!(last.kind, FlightEventKind::Mark);
+    assert_eq!(last.what, "files");
+    assert_eq!(
+        last.detail, "pipeline degraded: operation timed out",
+        "the dump ends at the failure record"
+    );
+    // The events leading up to it include the device-level stall the
+    // injector produced — the "what happened just before" evidence.
+    assert!(
+        dump.events
+            .iter()
+            .any(|e| e.kind == FlightEventKind::Fault && e.what == "volume.read"),
+        "device stall events precede the failure:\n{}",
+        dump.render()
+    );
+    // Healthy pipelines ship no black box.
+    assert!(report.black_box("registry").is_none());
+
+    // The report's Display output surfaces the black box too.
+    let rendered = report.to_string();
+    assert!(
+        rendered.contains("black box files:"),
+        "report display mentions the black box:\n{rendered}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// SweepMonitor: baseline comparison raises typed incidents
+// ---------------------------------------------------------------------
+
+fn fake_monitor(clock: Arc<FakeClock>) -> SweepMonitor {
+    SweepMonitor::new(GhostBuster::new().with_policy(supervised_policy(clock)))
+        .with_config(MonitorConfig::default().with_interval_ns(1_000_000))
+}
+
+#[test]
+fn monitor_raises_an_incident_when_a_file_becomes_hidden() {
+    let clock = Arc::new(FakeClock::default());
+    let mut machine = Machine::with_base_system("victim").unwrap();
+    let mut monitor = fake_monitor(clock);
+
+    let baseline = monitor.record_baseline(&mut machine).unwrap();
+    assert!(baseline.findings.is_empty(), "clean machine at baseline");
+
+    // Quiet periods raise nothing.
+    let calm = monitor.observe(&mut machine).unwrap();
+    assert!(calm.incidents.is_empty(), "{:?}", calm.incidents);
+
+    // Then the machine is infected between sweeps.
+    HackerDefender::default().infect(&mut machine).unwrap();
+    let alarmed = monitor.observe(&mut machine).unwrap();
+
+    let hidden: Vec<_> = alarmed
+        .incidents
+        .iter()
+        .filter_map(|i| match i {
+            MonitorIncident::NewHiddenResource {
+                pipeline,
+                identity,
+                flight,
+                ..
+            } => Some((pipeline.as_str(), identity.as_str(), flight)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        hidden
+            .iter()
+            .any(|(pipeline, identity, _)| *pipeline == "files" && identity.contains("hxdef")),
+        "the newly hidden file is reported: {:?}",
+        alarmed.incidents
+    );
+    for (_, _, flight) in &hidden {
+        assert!(!flight.is_empty(), "incidents carry the flight dump");
+    }
+    // No latency regression was injected, so none is reported.
+    assert!(
+        !alarmed
+            .incidents
+            .iter()
+            .any(|i| matches!(i, MonitorIncident::LatencyRegression { .. })),
+        "{:?}",
+        alarmed.incidents
+    );
+}
+
+#[test]
+fn monitor_flags_an_injected_latency_regression() {
+    let clock = Arc::new(FakeClock::default());
+    let mut machine = Machine::with_base_system("victim").unwrap();
+    let mut monitor = fake_monitor(clock);
+    monitor.record_baseline(&mut machine).unwrap();
+
+    // A finite stall: the file pipeline still completes (after five
+    // 100 µs polls on the fake clock) but is now ~500 µs slower than the
+    // instantaneous baseline — past the default 2x + 100 µs threshold.
+    machine.set_fault_injector(FaultInjector::new().stall_volume_reads(Stall::after_polls(5)));
+    let observation = monitor.observe(&mut machine).unwrap();
+
+    assert!(
+        observation.report.health.files.is_ok(),
+        "the stall resolves within budget — this is a slowdown, not an outage: {}",
+        observation.report.health
+    );
+    let regression = observation
+        .incidents
+        .iter()
+        .find_map(|i| match i {
+            MonitorIncident::LatencyRegression {
+                pipeline,
+                baseline_ns,
+                observed_ns,
+                flight,
+            } if pipeline == "files" => Some((*baseline_ns, *observed_ns, flight)),
+            _ => None,
+        })
+        .expect("files latency regression is raised");
+    let (baseline_ns, observed_ns, flight) = regression;
+    assert!(
+        observed_ns >= 500_000,
+        "five 100 µs polls show up in the duration: {observed_ns}"
+    );
+    assert!(observed_ns > baseline_ns);
+    assert!(
+        flight
+            .events
+            .iter()
+            .any(|e| e.kind == FlightEventKind::Fault && e.detail.contains("stalled")),
+        "the incident's flight dump shows the stall:\n{}",
+        flight.render()
+    );
+    // The rolling series saw both the calm baseline-shaped sweep and the
+    // slow one.
+    let series = monitor.series("files.duration_ns").expect("series exists");
+    assert_eq!(series.len(), 1);
+    assert!(series.last().unwrap() >= 500_000.0);
+}
+
+#[test]
+fn monitor_reports_a_health_downgrade_with_the_black_box() {
+    let clock = Arc::new(FakeClock::default());
+    let mut machine = Machine::with_base_system("victim").unwrap();
+    let mut monitor = fake_monitor(clock);
+    monitor.record_baseline(&mut machine).unwrap();
+
+    machine.set_fault_injector(FaultInjector::new().stall_volume_reads(Stall::forever()));
+    let observation = monitor.observe(&mut machine).unwrap();
+
+    let downgrade = observation
+        .incidents
+        .iter()
+        .find_map(|i| match i {
+            MonitorIncident::HealthDowngrade {
+                pipeline,
+                reason,
+                flight,
+            } if pipeline == "files" => Some((reason.clone(), flight)),
+            _ => None,
+        })
+        .expect("files health downgrade is raised");
+    assert_eq!(downgrade.0, "operation timed out");
+    assert!(!downgrade.1.is_empty());
+}
+
+#[test]
+fn monitor_baseline_survives_a_json_round_trip_across_monitors() {
+    let clock = Arc::new(FakeClock::default());
+    let mut machine = Machine::with_base_system("victim").unwrap();
+    let mut monitor = fake_monitor(clock.clone());
+    let serialized = monitor.record_baseline(&mut machine).unwrap().serialize();
+
+    // A fresh monitor (fleet restart) resumes from the stored snapshot and
+    // still detects the infection.
+    let mut resumed = fake_monitor(clock);
+    resumed.set_baseline(SweepBaseline::deserialize(&serialized).unwrap());
+    HackerDefender::default().infect(&mut machine).unwrap();
+    let observation = resumed.observe(&mut machine).unwrap();
+    assert!(
+        observation
+            .incidents
+            .iter()
+            .any(|i| matches!(i, MonitorIncident::NewHiddenResource { .. })),
+        "{:?}",
+        observation.incidents
+    );
+}
+
+// ---------------------------------------------------------------------
+// Chrome-trace export: one timeline, four pipeline threads
+// ---------------------------------------------------------------------
+
+#[test]
+fn chrome_trace_distinguishes_the_four_pipeline_threads() {
+    let mut m = infected_machine();
+    let clock = Arc::new(FakeClock::default());
+    let telemetry = Telemetry::with_clock(clock.clone());
+    GhostBuster::new()
+        .with_policy(supervised_policy(clock))
+        .with_telemetry(telemetry.clone())
+        .inside_sweep(&mut m)
+        .unwrap();
+    let report = telemetry.report();
+
+    // The export round-trips through the hermetic JSON parser.
+    let trace = JsonValue::parse(&report.chrome_trace().render()).unwrap();
+    let events = trace.as_arr().expect("trace_event array format");
+    assert!(!events.is_empty());
+
+    let mut pipeline_tids = std::collections::BTreeMap::new();
+    for event in events {
+        let obj = event.as_obj().expect("every trace event is an object");
+        let field = |k: &str| obj.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        let str_field = |k: &str| field(k).and_then(|v| v.as_str().ok());
+        let ph = str_field("ph").expect("ph");
+        assert!(field("pid").and_then(|v| v.as_u64().ok()).is_some(), "pid");
+        let tid = field("tid").and_then(|v| v.as_u64().ok()).expect("tid");
+        let name = str_field("name").expect("name");
+        match ph {
+            "X" => {
+                assert!(field("ts").and_then(|v| v.as_f64().ok()).is_some());
+                assert!(field("dur").and_then(|v| v.as_f64().ok()).is_some());
+                if let Some(pipeline) = name.strip_suffix(".scan_inside") {
+                    pipeline_tids.insert(pipeline.to_string(), tid);
+                }
+            }
+            "i" => assert!(field("ts").and_then(|v| v.as_f64().ok()).is_some()),
+            "M" => assert_eq!(name, "thread_name"),
+            other => panic!("unexpected trace phase {other:?}"),
+        }
+    }
+    assert_eq!(
+        pipeline_tids.keys().collect::<Vec<_>>(),
+        ["files", "modules", "processes", "registry"],
+        "all four pipelines appear"
+    );
+    let mut tids: Vec<u64> = pipeline_tids.values().copied().collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert_eq!(tids.len(), 4, "each pipeline ran on its own thread");
+}
+
+// ---------------------------------------------------------------------
+// Bounded always-on telemetry
+// ---------------------------------------------------------------------
+
+#[test]
+fn a_million_samples_stay_under_the_documented_bucket_cap() {
+    let telemetry = Telemetry::new();
+    // Adversarial spread: ~9 decades of latencies, plus zeros.
+    for i in 0..1_000_000u64 {
+        let value = ((i % 997) + 1) as f64 * 10f64.powi((i % 9) as i32);
+        telemetry.histogram_record("stress.latency_ns", value);
+    }
+    telemetry.histogram_record("stress.latency_ns", 0.0);
+    let report = telemetry.report();
+    let sketch = &report.histograms["stress.latency_ns"];
+    assert_eq!(sketch.count(), 1_000_001);
+    assert!(
+        sketch.bucket_count() <= SKETCH_MAX_BUCKETS,
+        "{} buckets exceeds the documented cap",
+        sketch.bucket_count()
+    );
+    // Quantiles still answer from bounded state.
+    assert!(sketch.percentile(50.0).is_some());
+    assert_eq!(sketch.percentile(0.0), Some(0.0));
+}
+
+#[test]
+fn flight_recorder_events_do_not_grow_the_report_json_unboundedly() {
+    let clock = Arc::new(FakeClock::default());
+    let telemetry = Telemetry::with_clock(clock.clone());
+    let sized_render = |t: &Telemetry| {
+        use strider_support::json::ToJson;
+        t.report().to_json().render().len()
+    };
+
+    for i in 0..FLIGHT_CAPACITY {
+        clock.advance(10);
+        telemetry.recorder().mark("warmup", &format!("event {i}"));
+    }
+    let after_fill = sized_render(&telemetry);
+
+    // Ten more rings' worth of events: the ring overwrites, the report
+    // JSON stays the same size (modulo timestamp digit drift).
+    for i in 0..FLIGHT_CAPACITY * 10 {
+        clock.advance(10);
+        telemetry.recorder().mark("steady", &format!("event {i}"));
+    }
+    let after_flood = sized_render(&telemetry);
+
+    let report = telemetry.report();
+    assert_eq!(report.flight.len(), FLIGHT_CAPACITY, "capacity respected");
+    assert_eq!(report.flight.dropped, (FLIGHT_CAPACITY * 10) as u64);
+    assert!(
+        after_flood < after_fill + after_fill / 5,
+        "report JSON must not grow with event volume: {after_fill} -> {after_flood}"
+    );
+}

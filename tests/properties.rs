@@ -886,3 +886,56 @@ fn fault_plan_application_is_deterministic() {
         },
     );
 }
+
+// ---------------------------------------------------------------------
+// Histogram sketches
+// ---------------------------------------------------------------------
+
+#[test]
+fn histogram_sketch_merge_matches_single_recording() {
+    // Bucketing is deterministic per value, so merging partition sketches
+    // must reproduce the single-sketch bucket map exactly — quantiles are
+    // bit-identical, a stronger bound than the sketch's one-bucket
+    // relative-error guarantee.
+    check(
+        "histogram_sketch_merge_matches_single_recording",
+        Config::default(),
+        |rng| {
+            gen::vec_of(rng, 0, 300, |r| {
+                // Spread samples across ~7 decades, including exact zeros.
+                let value = if r.chance(1, 16) {
+                    0.0
+                } else {
+                    r.next_f64() * 10f64.powi(r.gen_range(0..8u32) as i32)
+                };
+                (value, r.next_below(4) as usize)
+            })
+        },
+        |samples| {
+            let mut single = HistogramSketch::new();
+            let mut parts = vec![HistogramSketch::new(); 4];
+            for (value, part) in samples {
+                single.record(*value);
+                parts[part % 4].record(*value);
+            }
+            let mut merged = HistogramSketch::new();
+            for part in &parts {
+                merged.merge(part);
+            }
+            prop_assert_eq!(merged.count(), single.count());
+            prop_assert_eq!(merged.bucket_count(), single.bucket_count());
+            for pct in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+                prop_assert_eq!(merged.percentile(pct), single.percentile(pct));
+            }
+            match (merged.mean(), single.mean()) {
+                // Partitioning reorders the f64 sum, so the mean may drift
+                // by rounding only.
+                (Some(a), Some(b)) => {
+                    prop_assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
+                }
+                (a, b) => prop_assert_eq!(a.is_none(), b.is_none()),
+            }
+            Ok(())
+        },
+    );
+}
