@@ -73,6 +73,26 @@ impl SweepReport {
             + self.modules.net_detections().len()
     }
 
+    /// Wall time each pipeline spent scanning (summed across stabilization
+    /// passes), keyed by pipeline name, read from the sweep's telemetry
+    /// span forest. Empty when the sweep ran without telemetry; a pipeline
+    /// that never scanned (restored from a checkpoint, breaker-rejected
+    /// before its span opened) reports 0.
+    pub fn pipeline_durations(&self) -> std::collections::BTreeMap<String, u64> {
+        let mut durations = std::collections::BTreeMap::new();
+        if let Some(report) = &self.telemetry {
+            let totals = report.phase_totals();
+            for pipeline in ["files", "registry", "processes", "modules"] {
+                let span_name = format!("{pipeline}.scan_inside");
+                durations.insert(
+                    pipeline.to_string(),
+                    totals.get(&span_name).map_or(0, |t| t.total_ns),
+                );
+            }
+        }
+        durations
+    }
+
     /// Total noise-classified findings (false-positive candidates).
     pub fn noise_count(&self) -> usize {
         self.files.noise_detections().len()

@@ -25,6 +25,22 @@
 //! benchmarks: the Tripwire-style [`CrossTimeDiff`] and the VICE-style
 //! [`HookScanner`].
 //!
+//! # The operational layer
+//!
+//! The paper's detector is a loop body; this crate also ships the loop.
+//! A [`ScanPolicy`] turns a sweep into a *supervised* sweep: retries with
+//! backoff, salvage-mode parsing, per-pipeline/per-sweep time budgets,
+//! cooperative cancellation, and circuit breakers
+//! ([`ScanPolicy::supervised`] is the production posture). A sweep records
+//! per-pipeline progress into a [`SweepCheckpoint`]
+//! ([`GhostBuster::inside_sweep_checkpointed`]) that serializes to JSON and
+//! [`resume`](GhostBuster::resume)s after a kill — interrupted pipelines
+//! are deliberately *not* checkpointed: a timeout is a reason to re-run,
+//! not a result. [`SweepMonitor`] runs the loop continuously against a
+//! recorded baseline and raises [`MonitorIncident`]s, each carrying the
+//! flight-recorder dump of the pass that tripped it. Fleet-scale fan-out of
+//! these supervised sweeps lives upstream in `strider-fleet`.
+//!
 //! # Examples
 //!
 //! ```
@@ -46,6 +62,33 @@
 //!     .with_advanced(AdvancedSource::ThreadTable)
 //!     .scan_processes_inside(&mut machine)?;
 //! assert!(advanced.has_detections());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! A supervised whole-machine sweep on a fake clock, checkpointed so it
+//! could resume after a kill:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use strider_ghostbuster::{GhostBuster, ScanPolicy, SweepCheckpoint};
+//! use strider_ghostware::{Ghostware, HackerDefender};
+//! use strider_support::obs::FakeClock;
+//! use strider_winapi::Machine;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut machine = Machine::with_base_system("victim")?;
+//! HackerDefender::default().infect(&mut machine)?;
+//!
+//! let clock = Arc::new(FakeClock::new());
+//! let detector = GhostBuster::new()
+//!     .with_policy(ScanPolicy::supervised().with_clock(clock));
+//! let mut checkpoint = SweepCheckpoint::new(&machine);
+//! let report = detector.inside_sweep_checkpointed(&mut machine, &mut checkpoint)?;
+//!
+//! assert!(report.is_infected());
+//! assert!(report.health.files.is_ok());
+//! assert!(checkpoint.is_complete()); // nothing left to resume
 //! # Ok(())
 //! # }
 //! ```

@@ -26,7 +26,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 use strider_nt_core::NtStatus;
-use strider_support::obs::{fmt_ns, Clock, FlightDump, Telemetry, TelemetryReport};
+use strider_support::obs::{fmt_ns, Clock, FlightDump, Telemetry};
 use strider_winapi::Machine;
 
 /// The four inside-sweep pipelines, in sweep order.
@@ -124,7 +124,7 @@ impl SweepBaseline {
         SweepBaseline {
             machine: machine.to_string(),
             taken_at_ns,
-            pipeline_duration_ns: pipeline_durations(report.telemetry.as_ref()),
+            pipeline_duration_ns: report.pipeline_durations(),
             findings: finding_keys(report).collect(),
             degraded: degraded_pipelines(&report.health)
                 .map(|(name, _)| name.to_string())
@@ -489,7 +489,7 @@ impl SweepMonitor {
             }
         }
 
-        let durations = pipeline_durations(report.telemetry.as_ref());
+        let durations = report.pipeline_durations();
         for pipeline in PIPELINES {
             let observed = durations.get(pipeline).copied().unwrap_or(0);
             let base = baseline
@@ -539,7 +539,7 @@ impl SweepMonitor {
             "sweep.degraded",
             degraded_pipelines(&report.health).count() as f64,
         );
-        for (pipeline, duration) in pipeline_durations(report.telemetry.as_ref()) {
+        for (pipeline, duration) in report.pipeline_durations() {
             push(&format!("{pipeline}.duration_ns"), duration as f64);
         }
         if let Some(telemetry) = &report.telemetry {
@@ -573,23 +573,6 @@ fn finding_key(pipeline: &str, identity: &str) -> String {
 
 fn finding_keys(report: &SweepReport) -> impl Iterator<Item = String> + '_ {
     findings(report).map(|(pipeline, d)| finding_key(pipeline, &d.identity))
-}
-
-/// Wall time each pipeline spent scanning, summed across stabilization
-/// passes, read from the telemetry span forest.
-fn pipeline_durations(telemetry: Option<&TelemetryReport>) -> BTreeMap<String, u64> {
-    let mut durations = BTreeMap::new();
-    if let Some(report) = telemetry {
-        let totals = report.phase_totals();
-        for pipeline in PIPELINES {
-            let span_name = format!("{pipeline}.scan_inside");
-            durations.insert(
-                pipeline.to_string(),
-                totals.get(&span_name).map_or(0, |t| t.total_ns),
-            );
-        }
-    }
-    durations
 }
 
 /// The degraded pipelines of a health record, in sweep order.

@@ -1,0 +1,72 @@
+//! Fleet-scale sweeping: the paper's enterprise deployment story — "IT
+//! organizations can remotely deploy the solution on a large number of
+//! desktops" — as a service layer over the single-machine detector.
+//!
+//! Three pieces compose:
+//!
+//! * [`FleetRegistry`] — a deterministic fleet of seeded machines with a
+//!   controlled ghostware mix (sizes vary, infections spread evenly,
+//!   families cycle through the detectable corpus), so fleet-level claims
+//!   can be asserted exactly;
+//! * [`FleetScheduler`] — a work-stealing worker pool fanning supervised
+//!   [`inside sweeps`](strider_ghostbuster::GhostBuster::inside_sweep)
+//!   across the fleet, each shard under its own cancellation scope, time
+//!   budgets, and fresh circuit breakers, with per-shard
+//!   checkpoint/resume ([`FleetCheckpoint`]) and batched result ingest
+//!   over a bounded channel;
+//! * [`FleetReport`] — the order-independent merge: fleet infection rate,
+//!   per-family/per-technique prevalence, per-pipeline health rollups,
+//!   and fleet-wide latency quantiles from merged
+//!   [`HistogramSketch`](strider_support::obs::HistogramSketch)es.
+//!
+//! [`FleetMonitor`] adds the continuous story: one
+//! [`SweepMonitor`](strider_ghostbuster::SweepMonitor) per shard (every
+//! machine diffs against its *own* baseline) with fleet rollup series and
+//! [`FleetIncident`]s tagged by shard, each carrying that shard's
+//! flight-recorder dump as evidence.
+//!
+//! # Examples
+//!
+//! ```
+//! use strider_fleet::{FleetRegistry, FleetScheduler, FleetSpec};
+//! use strider_ghostbuster::{AdvancedSource, GhostBuster, ScanPolicy};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 6 seeded machines, 2 of them infected.
+//! let mut fleet = FleetRegistry::seeded(&FleetSpec::clean(6, 42).with_infected(2))?;
+//! let scheduler = FleetScheduler::new(
+//!     GhostBuster::new()
+//!         .with_advanced(AdvancedSource::ThreadTable)
+//!         .with_policy(ScanPolicy::supervised()),
+//! )
+//! .with_workers(2);
+//!
+//! let report = scheduler.sweep(&mut fleet)?;
+//! assert_eq!(report.swept, 6);
+//! assert_eq!(report.infected, 2);
+//! assert!((report.infection_rate() - 2.0 / 6.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod monitor;
+mod registry;
+mod report;
+mod scheduler;
+
+pub use monitor::{FleetIncident, FleetMonitor, FleetObservation};
+pub use registry::{FleetMachine, FleetRegistry, FleetSpec, ShardId};
+pub use report::{FleetCheckpoint, FleetReport, PipelineRollup, Prevalence, ShardResult};
+pub use scheduler::{FleetControl, FleetScheduler};
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::{
+        FleetCheckpoint, FleetControl, FleetIncident, FleetMachine, FleetMonitor, FleetObservation,
+        FleetRegistry, FleetReport, FleetScheduler, FleetSpec, PipelineRollup, Prevalence, ShardId,
+        ShardResult,
+    };
+}

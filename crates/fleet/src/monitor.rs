@@ -1,0 +1,318 @@
+//! Fleet-wide drift monitoring: one [`SweepMonitor`] per shard (so every
+//! machine diffs against *its own* baseline) plus fleet-level rollup
+//! series, with incidents tagged by shard.
+
+use crate::registry::{FleetRegistry, ShardId};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use strider_ghostbuster::{
+    GhostBuster, MetricSeries, MonitorConfig, MonitorIncident, MonitorObservation, SweepMonitor,
+};
+use strider_nt_core::NtStatus;
+use strider_support::obs::Clock;
+
+/// A [`MonitorIncident`] tagged with the shard it fired on. The wrapped
+/// incident carries that shard's flight-recorder dump as evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetIncident {
+    /// The shard the incident concerns.
+    pub shard: ShardId,
+    /// That shard's machine name.
+    pub machine: String,
+    /// The underlying per-machine incident.
+    pub incident: MonitorIncident,
+}
+
+impl fmt::Display for FleetIncident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]: {}", self.shard, self.machine, self.incident)
+    }
+}
+
+/// One fleet-wide monitoring pass: every shard's observation plus the
+/// incidents raised across the fleet.
+#[derive(Debug, Clone)]
+pub struct FleetObservation {
+    /// Monitor clock reading when the pass started.
+    pub at_ns: u64,
+    /// Per-shard observations, in shard order.
+    pub shards: Vec<MonitorObservation>,
+    /// Every incident of the pass, tagged with its shard.
+    pub incidents: Vec<FleetIncident>,
+}
+
+impl FleetObservation {
+    /// Shards whose sweep found something suspicious this pass.
+    pub fn infected_shards(&self) -> Vec<ShardId> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.report.is_infected())
+            .map(|(i, _)| ShardId(i as u32))
+            .collect()
+    }
+}
+
+/// Drives one [`SweepMonitor`] per fleet machine and rolls their signals
+/// up into fleet-level [`MetricSeries`].
+///
+/// Per-shard baselines matter because machines differ: a 30 s file scan is
+/// normal on a large shard and a regression on a tiny one. The fleet
+/// monitor therefore compares every machine against *its own* recorded
+/// baseline, and only the rollups (infected count, total incidents,
+/// degraded pipelines) are fleet-global.
+///
+/// Monitoring passes run shard-serially on the calling thread: the
+/// monitor's job is drift detection on a schedule, not throughput — use
+/// [`FleetScheduler`](crate::FleetScheduler) when sweep latency is what
+/// matters.
+#[derive(Debug, Clone)]
+pub struct FleetMonitor {
+    detector: GhostBuster,
+    config: MonitorConfig,
+    shards: Vec<SweepMonitor>,
+    machines: Vec<String>,
+    series: BTreeMap<String, MetricSeries>,
+    passes_run: u64,
+}
+
+impl FleetMonitor {
+    /// A fleet monitor cloning per-shard monitors from `detector`, with
+    /// default [`MonitorConfig`].
+    pub fn new(detector: GhostBuster) -> Self {
+        FleetMonitor {
+            detector,
+            config: MonitorConfig::default(),
+            shards: Vec::new(),
+            machines: Vec::new(),
+            series: BTreeMap::new(),
+            passes_run: 0,
+        }
+    }
+
+    /// Replaces the monitor configuration (shared by every shard monitor).
+    pub fn with_config(mut self, config: MonitorConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// How many fleet passes have run (baselines excluded).
+    pub fn passes_run(&self) -> u64 {
+        self.passes_run
+    }
+
+    /// The per-shard monitor, once baselines are recorded.
+    pub fn shard(&self, shard: ShardId) -> Option<&SweepMonitor> {
+        self.shards.get(shard.0 as usize)
+    }
+
+    /// The fleet-level rolling series for a metric, if observed.
+    pub fn series(&self, name: &str) -> Option<&MetricSeries> {
+        self.series.get(name)
+    }
+
+    /// Names of every fleet-level metric with a rolling series, sorted.
+    pub fn series_names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    fn clock(&self) -> Arc<dyn Clock> {
+        self.detector.policy().clock().clone()
+    }
+
+    /// Records one baseline sweep per machine, creating the per-shard
+    /// monitors. Each shard's monitor gets its own detector clone with
+    /// fresh circuit breakers, so one machine's failures never trip
+    /// another's breakers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard's sweep failure.
+    pub fn record_baselines(&mut self, fleet: &mut FleetRegistry) -> Result<usize, NtStatus> {
+        let policy = self.detector.policy().clone();
+        self.shards = fleet
+            .machines()
+            .iter()
+            .map(|_| {
+                SweepMonitor::new(self.detector.clone().with_policy(policy.clone()))
+                    .with_config(self.config.clone())
+            })
+            .collect();
+        self.machines = fleet
+            .machines()
+            .iter()
+            .map(|m| m.machine.name().to_string())
+            .collect();
+        for (monitor, shard) in self.shards.iter_mut().zip(fleet.machines_mut()) {
+            monitor.record_baseline(&mut shard.machine)?;
+        }
+        Ok(self.shards.len())
+    }
+
+    /// Runs one monitoring pass over the whole fleet: every shard is
+    /// observed against its own baseline, incidents are tagged with their
+    /// shard, and the fleet rollup series are updated.
+    ///
+    /// # Errors
+    ///
+    /// [`NtStatus::InvalidParameter`] when baselines were not recorded for
+    /// this fleet; otherwise propagates the first failing shard sweep.
+    pub fn observe(&mut self, fleet: &mut FleetRegistry) -> Result<FleetObservation, NtStatus> {
+        if self.shards.len() != fleet.len()
+            || fleet
+                .machines()
+                .iter()
+                .zip(&self.machines)
+                .any(|(m, name)| m.machine.name() != name)
+        {
+            return Err(NtStatus::InvalidParameter);
+        }
+        let at_ns = self.clock().now_ns();
+        let mut observations = Vec::with_capacity(fleet.len());
+        let mut incidents = Vec::new();
+        for (i, (monitor, shard)) in self.shards.iter_mut().zip(fleet.machines_mut()).enumerate() {
+            let observation = monitor.observe(&mut shard.machine)?;
+            for incident in &observation.incidents {
+                incidents.push(FleetIncident {
+                    shard: ShardId(i as u32),
+                    machine: shard.machine.name().to_string(),
+                    incident: incident.clone(),
+                });
+            }
+            observations.push(observation);
+        }
+
+        let history = self.config.history;
+        let mut push = |name: &str, value: f64| {
+            self.series
+                .entry(name.to_string())
+                .or_insert_with(|| MetricSeries::new(history))
+                .push(value);
+        };
+        push(
+            "fleet.infected",
+            observations
+                .iter()
+                .filter(|o| o.report.is_infected())
+                .count() as f64,
+        );
+        push(
+            "fleet.suspicious",
+            observations
+                .iter()
+                .map(|o| o.report.suspicious_count())
+                .sum::<usize>() as f64,
+        );
+        push(
+            "fleet.degraded",
+            observations
+                .iter()
+                .map(|o| o.report.health.degraded_pipelines().len())
+                .sum::<usize>() as f64,
+        );
+        push("fleet.incidents", incidents.len() as f64);
+
+        self.passes_run += 1;
+        Ok(FleetObservation {
+            at_ns,
+            shards: observations,
+            incidents,
+        })
+    }
+
+    /// Runs `passes` monitoring passes, sleeping the configured interval
+    /// on the policy clock between consecutive passes.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first pass that fails outright.
+    pub fn run(
+        &mut self,
+        fleet: &mut FleetRegistry,
+        passes: usize,
+    ) -> Result<Vec<FleetObservation>, NtStatus> {
+        let clock = self.clock();
+        let mut observations = Vec::with_capacity(passes);
+        for i in 0..passes {
+            if i > 0 {
+                clock.sleep_ns(self.config.interval_ns);
+            }
+            observations.push(self.observe(fleet)?);
+        }
+        Ok(observations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::FleetSpec;
+    use strider_ghostbuster::ScanPolicy;
+    use strider_support::obs::FakeClock;
+
+    fn fake_monitor() -> FleetMonitor {
+        let policy = ScanPolicy::resilient().with_clock(Arc::new(FakeClock::new()));
+        FleetMonitor::new(GhostBuster::new().with_policy(policy))
+    }
+
+    #[test]
+    fn observe_without_baselines_is_rejected() {
+        let mut fleet = FleetRegistry::seeded(&FleetSpec::clean(2, 3)).unwrap();
+        let mut monitor = fake_monitor();
+        assert_eq!(
+            monitor.observe(&mut fleet).unwrap_err(),
+            NtStatus::InvalidParameter
+        );
+    }
+
+    #[test]
+    fn quiet_fleet_raises_no_incidents_and_fills_series() {
+        let mut fleet = FleetRegistry::seeded(&FleetSpec::clean(3, 13)).unwrap();
+        let mut monitor = fake_monitor();
+        assert_eq!(monitor.record_baselines(&mut fleet).unwrap(), 3);
+        let passes = monitor.run(&mut fleet, 2).unwrap();
+        assert_eq!(passes.len(), 2);
+        assert!(passes.iter().all(|p| p.incidents.is_empty()));
+        assert_eq!(monitor.passes_run(), 2);
+        let infected = monitor.series("fleet.infected").unwrap();
+        assert_eq!(infected.len(), 2);
+        assert_eq!(infected.last(), Some(0.0));
+        assert!(monitor.shard(ShardId(0)).unwrap().baseline().is_some());
+    }
+
+    #[test]
+    fn new_infection_is_tagged_with_its_shard() {
+        use strider_ghostware::{Ghostware, HackerDefender};
+        let mut fleet = FleetRegistry::seeded(&FleetSpec::clean(3, 29)).unwrap();
+        let mut monitor = fake_monitor();
+        monitor.record_baselines(&mut fleet).unwrap();
+
+        HackerDefender::default()
+            .infect(&mut fleet.machines_mut()[1].machine)
+            .unwrap();
+        let pass = monitor.observe(&mut fleet).unwrap();
+        assert!(!pass.incidents.is_empty());
+        assert!(
+            pass.incidents.iter().all(|i| i.shard == ShardId(1)),
+            "{:?}",
+            pass.incidents
+        );
+        assert!(pass
+            .incidents
+            .iter()
+            .any(|i| matches!(i.incident, MonitorIncident::NewHiddenResource { .. })));
+        assert_eq!(pass.infected_shards(), vec![ShardId(1)]);
+        let rendered = pass.incidents[0].to_string();
+        assert!(rendered.starts_with("shard-001 ["), "{rendered}");
+        assert_eq!(
+            monitor.series("fleet.incidents").unwrap().last(),
+            Some(pass.incidents.len() as f64)
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Seeded machine fleets: deterministic populations with a controlled
+//! ghostware mix.
+
+use std::fmt;
+use strider_ghostware::{Aphex, Fu, Ghostware, HackerDefender, Infection, ProBotSe, Vanquish};
+use strider_nt_core::NtStatus;
+use strider_winapi::Machine;
+use strider_workload::{populate, WorkloadSpec};
+
+/// A machine's position in the fleet, used to tag results, incidents, and
+/// checkpoints. Displays as `shard-003`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard-{:03}", self.0)
+    }
+}
+
+/// How to build a fleet: how many machines, how many of them infected, and
+/// the seed every per-machine population derives from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSpec {
+    /// Number of machines in the fleet.
+    pub machines: u32,
+    /// Fleet-level RNG seed; equal specs produce identical fleets.
+    pub seed: u64,
+    /// Exactly this many machines are infected, spread evenly across the
+    /// fleet, families cycling through the detectable corpus.
+    pub infected: u32,
+}
+
+impl FleetSpec {
+    /// A fleet of `machines` seeded machines, none infected.
+    pub fn clean(machines: u32, seed: u64) -> Self {
+        FleetSpec {
+            machines,
+            seed,
+            infected: 0,
+        }
+    }
+
+    /// Sets the infected-machine count (capped at the fleet size).
+    pub fn with_infected(mut self, infected: u32) -> Self {
+        self.infected = infected.min(self.machines);
+        self
+    }
+
+    /// The shard indices that receive an infection: `infected` machines
+    /// spread evenly across the fleet, deterministically.
+    pub fn infected_shards(&self) -> Vec<u32> {
+        if self.infected == 0 {
+            return Vec::new();
+        }
+        (0..self.infected)
+            .map(|j| j * self.machines / self.infected)
+            .collect()
+    }
+}
+
+/// The ghostware families a seeded fleet cycles through — every member is
+/// detectable by a supervised inside sweep in advanced mode, so a seeded
+/// fleet's detected infection rate can be asserted exactly.
+fn family_for(slot: usize) -> Box<dyn Ghostware> {
+    match slot % 5 {
+        0 => Box::new(HackerDefender::default()),
+        1 => Box::new(Fu::default()),
+        2 => Box::new(ProBotSe::default()),
+        3 => Box::new(Vanquish::default()),
+        _ => Box::new(Aphex::default()),
+    }
+}
+
+/// One machine of the fleet, with its seeded ground truth.
+#[derive(Debug)]
+pub struct FleetMachine {
+    /// The machine's shard position.
+    pub id: ShardId,
+    /// The simulated machine itself.
+    pub machine: Machine,
+    /// The infecting family's name, when this machine was seeded infected.
+    pub family: Option<String>,
+    /// The infection ground truth recorded at seeding time.
+    pub infection: Option<Infection>,
+}
+
+impl FleetMachine {
+    /// Whether this machine was seeded with ghostware.
+    pub fn is_seeded_infected(&self) -> bool {
+        self.infection.is_some()
+    }
+}
+
+/// A deterministic fleet of seeded machines: same [`FleetSpec`], same
+/// machines, same infections — byte for byte.
+///
+/// Machine sizes vary across the fleet (every fourth machine gets a
+/// [`WorkloadSpec::small`] population instead of [`WorkloadSpec::tiny`]),
+/// so schedulers are exercised against uneven shard costs, which is what
+/// makes work-stealing worth having.
+#[derive(Debug)]
+pub struct FleetRegistry {
+    spec: FleetSpec,
+    machines: Vec<FleetMachine>,
+}
+
+impl FleetRegistry {
+    /// Builds the fleet the spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate failures from machine population or infection
+    /// (none occur for well-formed specs).
+    pub fn seeded(spec: &FleetSpec) -> Result<Self, NtStatus> {
+        let infected = spec.infected_shards();
+        let mut machines = Vec::with_capacity(spec.machines as usize);
+        for i in 0..spec.machines {
+            let name = format!("fleet-{}-m{i:03}", spec.seed);
+            let mut machine = Machine::with_base_system(&name)?;
+            let machine_seed = spec.seed.wrapping_mul(1_000_003).wrapping_add(u64::from(i));
+            let workload = if i % 4 == 3 {
+                WorkloadSpec::small(machine_seed)
+            } else {
+                WorkloadSpec::tiny(machine_seed)
+            };
+            populate(&mut machine, &workload)?;
+            machine.tick(1);
+
+            let (family, infection) = match infected.iter().position(|&s| s == i) {
+                Some(slot) => {
+                    let sample = family_for(slot);
+                    let infection = sample.infect(&mut machine)?;
+                    (Some(sample.name().to_string()), Some(infection))
+                }
+                None => (None, None),
+            };
+            machines.push(FleetMachine {
+                id: ShardId(i),
+                machine,
+                family,
+                infection,
+            });
+        }
+        Ok(FleetRegistry {
+            spec: spec.clone(),
+            machines,
+        })
+    }
+
+    /// The spec the fleet was built from.
+    pub fn spec(&self) -> &FleetSpec {
+        &self.spec
+    }
+
+    /// Number of machines in the fleet.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether the fleet holds no machines.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// The fleet's machines, in shard order.
+    pub fn machines(&self) -> &[FleetMachine] {
+        &self.machines
+    }
+
+    /// The fleet's machines, mutably — sweeps mutate machine state (the
+    /// scanner process entering, clock ticks).
+    pub fn machines_mut(&mut self) -> &mut [FleetMachine] {
+        &mut self.machines
+    }
+
+    /// How many machines were seeded infected.
+    pub fn seeded_infected(&self) -> usize {
+        self.machines
+            .iter()
+            .filter(|m| m.is_seeded_infected())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_id_display_pads() {
+        assert_eq!(ShardId(3).to_string(), "shard-003");
+        assert_eq!(ShardId(42).to_string(), "shard-042");
+    }
+
+    #[test]
+    fn infected_shards_spread_evenly_and_exactly() {
+        let spec = FleetSpec::clean(8, 1).with_infected(4);
+        assert_eq!(spec.infected_shards(), vec![0, 2, 4, 6]);
+        let all = FleetSpec::clean(3, 1).with_infected(9);
+        assert_eq!(all.infected, 3, "capped at fleet size");
+        assert_eq!(all.infected_shards(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn seeded_fleet_is_deterministic() {
+        let spec = FleetSpec::clean(6, 77).with_infected(2);
+        let a = FleetRegistry::seeded(&spec).unwrap();
+        let b = FleetRegistry::seeded(&spec).unwrap();
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.seeded_infected(), 2);
+        for (ma, mb) in a.machines().iter().zip(b.machines()) {
+            assert_eq!(ma.machine.name(), mb.machine.name());
+            assert_eq!(ma.family, mb.family);
+            assert_eq!(
+                ma.machine.volume().record_count(),
+                mb.machine.volume().record_count()
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_varies_machine_sizes() {
+        let fleet = FleetRegistry::seeded(&FleetSpec::clean(8, 5)).unwrap();
+        let counts: Vec<usize> = fleet
+            .machines()
+            .iter()
+            .map(|m| m.machine.volume().record_count())
+            .collect();
+        assert!(
+            counts[3] > counts[0] * 2,
+            "every fourth machine is larger: {counts:?}"
+        );
+    }
+}

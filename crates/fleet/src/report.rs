@@ -1,0 +1,319 @@
+//! Fleet-level aggregation: per-shard results merged into one
+//! [`FleetReport`], and the durable [`FleetCheckpoint`] a killed fleet
+//! sweep resumes from.
+
+use crate::registry::{FleetRegistry, ShardId};
+use std::collections::BTreeMap;
+use std::fmt;
+use strider_ghostbuster::{PipelineStatus, SweepCheckpoint, SweepReport};
+use strider_support::obs::HistogramSketch;
+
+/// One machine's contribution to a fleet sweep.
+#[derive(Debug, Clone)]
+pub struct ShardResult {
+    /// Which shard this is.
+    pub shard: ShardId,
+    /// The machine's name.
+    pub machine: String,
+    /// The seeded family, when the fleet seeded this machine infected.
+    pub family: Option<String>,
+    /// The seeded hiding techniques (display names), when infected.
+    pub techniques: Vec<String>,
+    /// Whether the fleet's ground truth says this machine is infected.
+    pub seeded_infected: bool,
+    /// Whether the result was restored verbatim from a checkpoint instead
+    /// of swept this run (restored results carry no telemetry).
+    pub restored: bool,
+    /// The shard's sweep.
+    pub report: SweepReport,
+}
+
+/// Seeded-vs-detected counts for one family or technique.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Prevalence {
+    /// Machines seeded with it.
+    pub seeded: u64,
+    /// Of those, machines whose sweep came back infected.
+    pub detected: u64,
+}
+
+/// How one pipeline fared across the whole fleet.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineRollup {
+    /// Shards where the pipeline ran clean.
+    pub ok: u64,
+    /// Shards where its truth source was salvage-parsed.
+    pub salvaged: u64,
+    /// Shards where it degraded (timeout, cancellation, panic, breaker,
+    /// truth source lost).
+    pub degraded: u64,
+}
+
+/// The merged outcome of a fleet sweep.
+///
+/// Every aggregate here is order-independent — counts add and
+/// [`HistogramSketch`]es merge bucket-wise — so the report is identical no
+/// matter how the scheduler interleaved the shards.
+#[derive(Debug, Clone, Default)]
+pub struct FleetReport {
+    /// Fleet size.
+    pub machines: u64,
+    /// Shards with a result this run (swept or restored).
+    pub swept: u64,
+    /// Shards whose sweep found something suspicious.
+    pub infected: u64,
+    /// Swept shards the fleet's ground truth seeded infected.
+    pub seeded_infected: u64,
+    /// Seeded-vs-detected prevalence per ghostware family.
+    pub families: BTreeMap<String, Prevalence>,
+    /// Seeded-vs-detected prevalence per hiding technique.
+    pub techniques: BTreeMap<String, Prevalence>,
+    /// Per-pipeline health rollups across the fleet.
+    pub health: BTreeMap<String, PipelineRollup>,
+    /// Fleet-wide latency sketches, merged from every swept shard's
+    /// telemetry histograms (keyed by probe name, e.g.
+    /// `files.dir_query_ns`).
+    pub latency: BTreeMap<String, HistogramSketch>,
+    /// Shards that never produced a result (the sweep was stopped or
+    /// cancelled before a worker reached them).
+    pub unswept: Vec<ShardId>,
+    results: Vec<ShardResult>,
+}
+
+impl FleetReport {
+    /// Folds one shard's result into the aggregates and retains it.
+    pub(crate) fn absorb(&mut self, result: ShardResult) {
+        self.swept += 1;
+        let detected = result.report.is_infected();
+        if detected {
+            self.infected += 1;
+        }
+        if result.seeded_infected {
+            self.seeded_infected += 1;
+        }
+        if let Some(family) = &result.family {
+            let entry = self.families.entry(family.clone()).or_default();
+            entry.seeded += 1;
+            if detected {
+                entry.detected += 1;
+            }
+        }
+        for technique in &result.techniques {
+            let entry = self.techniques.entry(technique.clone()).or_default();
+            entry.seeded += 1;
+            if detected {
+                entry.detected += 1;
+            }
+        }
+        let health = &result.report.health;
+        for (pipeline, status) in [
+            ("files", &health.files),
+            ("registry", &health.registry),
+            ("processes", &health.processes),
+            ("modules", &health.modules),
+        ] {
+            let rollup = self.health.entry(pipeline.to_string()).or_default();
+            match status {
+                PipelineStatus::Ok => rollup.ok += 1,
+                PipelineStatus::Salvaged { .. } => rollup.salvaged += 1,
+                PipelineStatus::Degraded { .. } => rollup.degraded += 1,
+            }
+        }
+        if let Some(telemetry) = &result.report.telemetry {
+            for (name, sketch) in &telemetry.histograms {
+                self.latency.entry(name.clone()).or_default().merge(sketch);
+            }
+        }
+        self.results.push(result);
+    }
+
+    /// Sorts results into shard order and records which shards never
+    /// reported.
+    pub(crate) fn finalize(&mut self, machines: u64) {
+        self.machines = machines;
+        self.results.sort_by_key(|r| r.shard);
+        self.unswept = (0..machines as u32)
+            .map(ShardId)
+            .filter(|id| !self.results.iter().any(|r| r.shard == *id))
+            .collect();
+    }
+
+    /// Every shard's result, in shard order.
+    pub fn results(&self) -> &[ShardResult] {
+        &self.results
+    }
+
+    /// A specific shard's result, if it reported.
+    pub fn result(&self, shard: ShardId) -> Option<&ShardResult> {
+        self.results.iter().find(|r| r.shard == shard)
+    }
+
+    /// Fraction of swept machines found infected (0 when nothing swept).
+    pub fn infection_rate(&self) -> f64 {
+        if self.swept == 0 {
+            0.0
+        } else {
+            self.infected as f64 / self.swept as f64
+        }
+    }
+
+    /// A fleet-wide latency percentile for one probe (e.g. the p95 of
+    /// `files.dir_query_ns` across every machine).
+    pub fn latency_percentile(&self, probe: &str, pct: f64) -> Option<f64> {
+        self.latency.get(probe).and_then(|s| s.percentile(pct))
+    }
+
+    /// Whether every shard reported and none degraded.
+    pub fn is_complete_and_healthy(&self) -> bool {
+        self.unswept.is_empty() && self.health.values().all(|r| r.degraded == 0)
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet sweep: {}/{} machines swept, {} infected ({:.1}%), {} unswept",
+            self.swept,
+            self.machines,
+            self.infected,
+            self.infection_rate() * 100.0,
+            self.unswept.len()
+        )?;
+        if !self.families.is_empty() {
+            writeln!(f, "families (detected/seeded):")?;
+            for (family, p) in &self.families {
+                writeln!(f, "  {family:<20} {}/{}", p.detected, p.seeded)?;
+            }
+        }
+        if !self.techniques.is_empty() {
+            writeln!(f, "techniques (detected/seeded):")?;
+            for (technique, p) in &self.techniques {
+                writeln!(f, "  {technique:<20} {}/{}", p.detected, p.seeded)?;
+            }
+        }
+        writeln!(f, "pipeline health (ok/salvaged/degraded):")?;
+        for (pipeline, r) in &self.health {
+            writeln!(f, "  {pipeline:<10} {}/{}/{}", r.ok, r.salvaged, r.degraded)?;
+        }
+        for (probe, sketch) in &self.latency {
+            if let (Some(p50), Some(p95)) = (sketch.percentile(50.0), sketch.percentile(95.0)) {
+                writeln!(
+                    f,
+                    "latency {probe}: p50 {p50:.0} ns, p95 {p95:.0} ns over {} samples",
+                    sketch.count()
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Durable progress of a fleet sweep: one [`SweepCheckpoint`] per shard,
+/// updated in place as pipelines finish. Serialize it when a fleet sweep
+/// dies; a later [`FleetScheduler::sweep_checkpointed`] run against the
+/// same fleet restores the complete shards verbatim and re-sweeps only the
+/// rest.
+///
+/// [`FleetScheduler::sweep_checkpointed`]: crate::FleetScheduler::sweep_checkpointed
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetCheckpoint {
+    /// The fleet seed the checkpoint belongs to.
+    pub fleet_seed: u64,
+    /// The fleet's machine names, in shard order — resuming against a
+    /// different fleet is rejected.
+    pub machines: Vec<String>,
+    /// Per-shard sweep progress, in shard order.
+    pub shards: Vec<SweepCheckpoint>,
+}
+
+strider_support::impl_json!(struct FleetCheckpoint { fleet_seed, machines, shards });
+
+impl FleetCheckpoint {
+    /// An empty checkpoint for a fresh sweep of `fleet`.
+    pub fn new(fleet: &FleetRegistry) -> Self {
+        FleetCheckpoint {
+            fleet_seed: fleet.spec().seed,
+            machines: fleet
+                .machines()
+                .iter()
+                .map(|m| m.machine.name().to_string())
+                .collect(),
+            shards: fleet
+                .machines()
+                .iter()
+                .map(|m| SweepCheckpoint::new(&m.machine))
+                .collect(),
+        }
+    }
+
+    /// Whether the checkpoint describes this fleet (same seed, same
+    /// machines in the same order).
+    pub fn matches(&self, fleet: &FleetRegistry) -> bool {
+        self.fleet_seed == fleet.spec().seed
+            && self.machines.len() == fleet.len()
+            && self.shards.len() == fleet.len()
+            && fleet
+                .machines()
+                .iter()
+                .zip(&self.machines)
+                .all(|(m, name)| m.machine.name() == name)
+    }
+
+    /// The shards still holding unfinished pipelines, in shard order.
+    pub fn unfinished_shards(&self) -> Vec<ShardId> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, cp)| !cp.is_complete())
+            .map(|(i, _)| ShardId(i as u32))
+            .collect()
+    }
+
+    /// Whether every shard's every pipeline has a recorded outcome.
+    pub fn is_complete(&self) -> bool {
+        self.shards.iter().all(SweepCheckpoint::is_complete)
+    }
+
+    /// Renders the checkpoint as a JSON document.
+    pub fn serialize(&self) -> String {
+        use strider_support::json::ToJson;
+        self.to_json().render()
+    }
+
+    /// Parses a checkpoint from [`FleetCheckpoint::serialize`] output.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or a document that is not a fleet
+    /// checkpoint.
+    pub fn deserialize(text: &str) -> Result<Self, strider_support::json::JsonError> {
+        use strider_support::json::{FromJson, JsonValue};
+        Self::from_json(&JsonValue::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::FleetSpec;
+
+    #[test]
+    fn empty_fleet_checkpoint_round_trips() {
+        let fleet = FleetRegistry::seeded(&FleetSpec::clean(3, 9)).unwrap();
+        let checkpoint = FleetCheckpoint::new(&fleet);
+        assert!(checkpoint.matches(&fleet));
+        assert_eq!(checkpoint.unfinished_shards().len(), 3);
+        assert!(!checkpoint.is_complete());
+        let parsed = FleetCheckpoint::deserialize(&checkpoint.serialize()).unwrap();
+        assert_eq!(parsed, checkpoint);
+    }
+
+    #[test]
+    fn checkpoint_rejects_a_different_fleet() {
+        let a = FleetRegistry::seeded(&FleetSpec::clean(3, 1)).unwrap();
+        let b = FleetRegistry::seeded(&FleetSpec::clean(3, 2)).unwrap();
+        let checkpoint = FleetCheckpoint::new(&a);
+        assert!(!checkpoint.matches(&b));
+    }
+}

@@ -1,0 +1,465 @@
+//! The work-stealing fleet scheduler: supervised sweeps fanned across a
+//! bounded scoped-thread worker pool, with batched result ingest over a
+//! bounded channel.
+
+use crate::registry::{FleetMachine, FleetRegistry, ShardId};
+use crate::report::{FleetCheckpoint, FleetReport, ShardResult};
+use std::collections::VecDeque;
+use strider_ghostbuster::{
+    DiffReport, GhostBuster, PipelineStatus, ScanMeta, SweepCheckpoint, SweepHealth, SweepReport,
+    ViewKind,
+};
+use strider_nt_core::NtStatus;
+use strider_support::obs::Telemetry;
+use strider_support::sync::{bounded, Mutex, Sender};
+use strider_support::task::CancellationToken;
+use strider_winapi::Machine;
+
+/// What a streaming observer tells the scheduler after each shard result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetControl {
+    /// Keep sweeping.
+    Continue,
+    /// Cancel the rest of the fleet: in-flight shards stop at their next
+    /// supervision checkpoint (their pipelines land interrupted, so they
+    /// stay unfinished in the checkpoint), queued shards are never
+    /// started, and already-received results are kept.
+    Stop,
+}
+
+/// Per-shard metadata captured before the machines are handed to the
+/// worker pool (which holds them mutably for the whole sweep).
+#[derive(Debug, Clone)]
+struct ShardMeta {
+    machine: String,
+    family: Option<String>,
+    techniques: Vec<String>,
+    seeded_infected: bool,
+}
+
+impl ShardMeta {
+    fn of(machine: &FleetMachine) -> Self {
+        ShardMeta {
+            machine: machine.machine.name().to_string(),
+            family: machine.family.clone(),
+            techniques: machine
+                .infection
+                .as_ref()
+                .map(|i| i.techniques.iter().map(ToString::to_string).collect())
+                .unwrap_or_default(),
+            seeded_infected: machine.is_seeded_infected(),
+        }
+    }
+
+    fn result(&self, shard: ShardId, restored: bool, report: SweepReport) -> ShardResult {
+        ShardResult {
+            shard,
+            machine: self.machine.clone(),
+            family: self.family.clone(),
+            techniques: self.techniques.clone(),
+            seeded_infected: self.seeded_infected,
+            restored,
+            report,
+        }
+    }
+}
+
+/// Fans supervised [`GhostBuster::inside_sweep_checkpointed`] runs across
+/// a bounded pool of scoped worker threads.
+///
+/// Shards are dealt round-robin onto per-worker deques; a worker that
+/// drains its own deque steals from the back of its neighbours', so a
+/// worker stuck on one slow machine (large volume, injected stall) does
+/// not strand the shards queued behind it. Each shard runs under its own
+/// supervision scope — a child of the scheduler's [`CancellationToken`],
+/// the policy's per-pipeline/per-sweep budgets, and *fresh* circuit
+/// breakers — so one machine's pathology degrades that shard, never the
+/// fleet. Results flow back to the calling thread in batches over a
+/// bounded channel and are merged into a [`FleetReport`] as they arrive.
+#[derive(Debug, Clone)]
+pub struct FleetScheduler {
+    detector: GhostBuster,
+    workers: usize,
+    batch: usize,
+    cancellation: CancellationToken,
+}
+
+impl FleetScheduler {
+    /// A scheduler driving the given detector with 4 workers and a result
+    /// batch size of 8.
+    pub fn new(detector: GhostBuster) -> Self {
+        FleetScheduler {
+            detector,
+            workers: 4,
+            batch: 8,
+            cancellation: CancellationToken::new(),
+        }
+    }
+
+    /// Sets the worker-pool size (minimum 1). `workers = 1` serializes the
+    /// fleet, which makes interleavings deterministic in tests.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets how many shard results a worker accumulates before sending
+    /// them to the ingest thread (minimum 1).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Hands the scheduler an externally owned cancellation token:
+    /// cancelling it stops the whole fleet sweep at the next supervision
+    /// checkpoints, exactly like a streaming observer returning
+    /// [`FleetControl::Stop`].
+    pub fn with_cancellation(mut self, token: CancellationToken) -> Self {
+        self.cancellation = token;
+        self
+    }
+
+    /// The cancellation token fleet sweeps observe.
+    pub fn cancellation(&self) -> &CancellationToken {
+        &self.cancellation
+    }
+
+    /// The detector each shard's sweep is cloned from.
+    pub fn detector(&self) -> &GhostBuster {
+        &self.detector
+    }
+
+    /// Configured worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Sweeps the whole fleet and merges the results.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on fleet-level parameter errors; a failing shard lands
+    /// as a degraded [`ShardResult`], not an error.
+    pub fn sweep(&self, fleet: &mut FleetRegistry) -> Result<FleetReport, NtStatus> {
+        let mut checkpoint = FleetCheckpoint::new(fleet);
+        self.sweep_checkpointed(fleet, &mut checkpoint)
+    }
+
+    /// [`FleetScheduler::sweep`], but recording per-shard progress into
+    /// `checkpoint`: shards already complete in it are restored verbatim
+    /// (no scan, no telemetry) and everything else is swept and recorded.
+    ///
+    /// # Errors
+    ///
+    /// [`NtStatus::InvalidParameter`] when the checkpoint was taken on a
+    /// different fleet.
+    pub fn sweep_checkpointed(
+        &self,
+        fleet: &mut FleetRegistry,
+        checkpoint: &mut FleetCheckpoint,
+    ) -> Result<FleetReport, NtStatus> {
+        self.sweep_streaming(fleet, checkpoint, |_| FleetControl::Continue)
+    }
+
+    /// The streaming core: every [`ShardResult`] is shown to `observer`
+    /// (on the calling thread, in arrival order) before being merged;
+    /// returning [`FleetControl::Stop`] cancels the remaining fleet while
+    /// already-produced results keep draining into the report.
+    ///
+    /// # Errors
+    ///
+    /// [`NtStatus::InvalidParameter`] when the checkpoint was taken on a
+    /// different fleet.
+    pub fn sweep_streaming(
+        &self,
+        fleet: &mut FleetRegistry,
+        checkpoint: &mut FleetCheckpoint,
+        mut observer: impl FnMut(&ShardResult) -> FleetControl,
+    ) -> Result<FleetReport, NtStatus> {
+        if !checkpoint.matches(fleet) {
+            return Err(NtStatus::InvalidParameter);
+        }
+        let machines = fleet.len() as u64;
+        let meta: Vec<ShardMeta> = fleet.machines().iter().map(ShardMeta::of).collect();
+        let mut report = FleetReport::default();
+        // The whole fleet run shares one cancellation root — a child of the
+        // scheduler token, so external cancels propagate in while a Stop
+        // here does not poison the scheduler for later (resume) runs.
+        let root = self.cancellation.child();
+
+        // Shards already complete in the checkpoint are restored on the
+        // calling thread — no scan, no worker, no telemetry.
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, shard) in checkpoint.shards.iter().enumerate() {
+            if shard.is_complete() {
+                let result = meta[i].result(ShardId(i as u32), true, restore_report(shard));
+                if observer(&result) == FleetControl::Stop {
+                    root.cancel();
+                }
+                report.absorb(result);
+            } else {
+                pending.push(i);
+            }
+        }
+
+        if !pending.is_empty() && !root.is_cancelled() {
+            let workers = self.workers.min(pending.len());
+
+            // Deal pending shards round-robin onto per-worker deques.
+            let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+            for (n, &shard) in pending.iter().enumerate() {
+                deques[n % workers].push_back(shard);
+            }
+            let queues: Vec<Mutex<VecDeque<usize>>> = deques.into_iter().map(Mutex::new).collect();
+
+            // Exclusive per-shard slots: each worker locks exactly the
+            // machine and checkpoint of the shard it is sweeping.
+            let machine_slots: Vec<Mutex<&mut FleetMachine>> =
+                fleet.machines_mut().iter_mut().map(Mutex::new).collect();
+            let checkpoint_slots: Vec<Mutex<&mut SweepCheckpoint>> =
+                checkpoint.shards.iter_mut().map(Mutex::new).collect();
+
+            let (tx, rx) = bounded::<Vec<ShardResult>>(workers);
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let tx = tx.clone();
+                    let root = root.clone();
+                    let queues = &queues;
+                    let machine_slots = &machine_slots;
+                    let checkpoint_slots = &checkpoint_slots;
+                    let meta = &meta;
+                    std::thread::Builder::new()
+                        .name(format!("fleet-worker-{w}"))
+                        .spawn_scoped(scope, move || {
+                            self.worker(
+                                w,
+                                &root,
+                                queues,
+                                machine_slots,
+                                checkpoint_slots,
+                                meta,
+                                &tx,
+                            );
+                        })
+                        .expect("spawn fleet worker");
+                }
+                drop(tx);
+                // Ingest on the calling thread: drain batches as workers
+                // produce them — the bounded channel applies backpressure
+                // if this loop (the observer) is slow.
+                for batch in rx.iter() {
+                    for result in batch {
+                        if observer(&result) == FleetControl::Stop {
+                            root.cancel();
+                        }
+                        report.absorb(result);
+                    }
+                }
+            });
+        }
+
+        report.finalize(machines);
+        Ok(report)
+    }
+
+    /// One worker's loop: drain the own deque from the front, then steal
+    /// from the back of the neighbours'.
+    #[allow(clippy::too_many_arguments)]
+    fn worker(
+        &self,
+        index: usize,
+        root: &CancellationToken,
+        queues: &[Mutex<VecDeque<usize>>],
+        machine_slots: &[Mutex<&mut FleetMachine>],
+        checkpoint_slots: &[Mutex<&mut SweepCheckpoint>],
+        meta: &[ShardMeta],
+        tx: &Sender<Vec<ShardResult>>,
+    ) {
+        let mut batch: Vec<ShardResult> = Vec::with_capacity(self.batch);
+        loop {
+            if root.is_cancelled() {
+                break;
+            }
+            let Some(shard) = take_shard(index, queues) else {
+                break;
+            };
+            let mut slot = machine_slots[shard].lock();
+            let mut shard_checkpoint = checkpoint_slots[shard].lock();
+            let report = self.sweep_shard(&mut slot.machine, &mut shard_checkpoint, root);
+            drop(shard_checkpoint);
+            drop(slot);
+            batch.push(meta[shard].result(ShardId(shard as u32), false, report));
+            if batch.len() >= self.batch && tx.send(std::mem::take(&mut batch)).is_err() {
+                break;
+            }
+        }
+        if !batch.is_empty() {
+            let _ = tx.send(batch);
+        }
+    }
+
+    /// Runs one shard's supervised sweep with per-shard isolation: its own
+    /// cancellation child, fresh circuit breakers (rebuilt by
+    /// `with_policy`), and its own telemetry registry so latency sketches
+    /// never bleed across machines.
+    fn sweep_shard(
+        &self,
+        machine: &mut Machine,
+        checkpoint: &mut SweepCheckpoint,
+        root: &CancellationToken,
+    ) -> SweepReport {
+        let policy = self.detector.policy().clone();
+        let telemetry = Telemetry::with_clock(policy.clock().clone());
+        let detector = self
+            .detector
+            .clone()
+            .with_policy(policy)
+            .with_cancellation(root.child())
+            .with_telemetry(telemetry);
+        match detector.inside_sweep_checkpointed(machine, checkpoint) {
+            Ok(report) => report,
+            // The sweep itself degrades per pipeline; an Err here means the
+            // scanner could not even enter the machine. That is a shard
+            // failure, not a fleet failure: synthesize an all-degraded
+            // report so the rollups show it.
+            Err(e) => entry_failure_report(machine, &e.to_string()),
+        }
+    }
+}
+
+/// Pops the next shard: own deque front first (cache-warm order), then a
+/// steal from the back of another worker's deque.
+fn take_shard(own: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+    if let Some(shard) = queues[own].lock().pop_front() {
+        return Some(shard);
+    }
+    let n = queues.len();
+    for offset in 1..n {
+        if let Some(shard) = queues[(own + offset) % n].lock().pop_back() {
+            return Some(shard);
+        }
+    }
+    None
+}
+
+/// Rebuilds a [`SweepReport`] from a complete checkpoint — the restored
+/// shard's reports and health verbatim, no telemetry, no black boxes.
+fn restore_report(checkpoint: &SweepCheckpoint) -> SweepReport {
+    let files = checkpoint.files.clone().expect("complete checkpoint");
+    let registry = checkpoint.registry.clone().expect("complete checkpoint");
+    let processes = checkpoint.processes.clone().expect("complete checkpoint");
+    let modules = checkpoint.modules.clone().expect("complete checkpoint");
+    SweepReport {
+        files: files.report,
+        hooks: registry.report,
+        processes: processes.report,
+        modules: modules.report,
+        health: SweepHealth {
+            files: files.status,
+            registry: registry.status,
+            processes: processes.status,
+            modules: modules.status,
+        },
+        telemetry: None,
+        black_boxes: Vec::new(),
+    }
+}
+
+/// The all-degraded report for a machine the scanner could not enter.
+fn entry_failure_report(machine: &Machine, reason: &str) -> SweepReport {
+    let now = machine.now();
+    let empty = |view: ViewKind| DiffReport {
+        truth_meta: ScanMeta::new(view, now),
+        lie_meta: ScanMeta::new(ViewKind::HighLevelWin32, now),
+        detections: Vec::new(),
+        phantom_in_lie: Vec::new(),
+    };
+    let degraded = || PipelineStatus::Degraded {
+        reason: format!("could not enter machine: {reason}"),
+    };
+    SweepReport {
+        files: empty(ViewKind::LowLevelMft),
+        hooks: empty(ViewKind::LowLevelHiveParse),
+        processes: empty(ViewKind::LowLevelApl),
+        modules: empty(ViewKind::LowLevelKernelModules),
+        health: SweepHealth {
+            files: degraded(),
+            registry: degraded(),
+            processes: degraded(),
+            modules: degraded(),
+        },
+        telemetry: None,
+        black_boxes: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::FleetSpec;
+    use strider_ghostbuster::{AdvancedSource, ScanPolicy};
+
+    fn scheduler() -> FleetScheduler {
+        FleetScheduler::new(
+            GhostBuster::new()
+                .with_advanced(AdvancedSource::ThreadTable)
+                .with_policy(ScanPolicy::supervised()),
+        )
+    }
+
+    #[test]
+    fn sweep_detects_exactly_the_seeded_infections() {
+        let mut fleet = FleetRegistry::seeded(&FleetSpec::clean(10, 11).with_infected(5)).unwrap();
+        let report = scheduler().with_workers(2).sweep(&mut fleet).unwrap();
+        assert_eq!(report.machines, 10);
+        assert_eq!(report.swept, 10);
+        assert_eq!(report.seeded_infected, 5);
+        assert_eq!(report.infected, 5, "{report}");
+        assert!(report.unswept.is_empty());
+        // All five families are seeded once and each is detected.
+        assert_eq!(report.families.len(), 5, "{:?}", report.families);
+        for (family, p) in &report.families {
+            assert_eq!(p.detected, p.seeded, "family {family} missed");
+        }
+        // Every detected machine matches the seeded ground truth exactly.
+        for result in report.results() {
+            assert_eq!(
+                result.report.is_infected(),
+                result.seeded_infected,
+                "{} wrong verdict",
+                result.shard
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_mismatch_is_rejected() {
+        let mut fleet = FleetRegistry::seeded(&FleetSpec::clean(2, 1)).unwrap();
+        let other = FleetRegistry::seeded(&FleetSpec::clean(2, 2)).unwrap();
+        let mut checkpoint = FleetCheckpoint::new(&other);
+        let err = scheduler()
+            .sweep_checkpointed(&mut fleet, &mut checkpoint)
+            .unwrap_err();
+        assert_eq!(err, NtStatus::InvalidParameter);
+    }
+
+    #[test]
+    fn restored_shards_are_not_rescanned() {
+        let mut fleet = FleetRegistry::seeded(&FleetSpec::clean(4, 21).with_infected(2)).unwrap();
+        let mut checkpoint = FleetCheckpoint::new(&fleet);
+        let first = scheduler()
+            .sweep_checkpointed(&mut fleet, &mut checkpoint)
+            .unwrap();
+        assert!(checkpoint.is_complete());
+        let second = scheduler()
+            .sweep_checkpointed(&mut fleet, &mut checkpoint)
+            .unwrap();
+        assert_eq!(second.swept, 4);
+        assert!(second.results().iter().all(|r| r.restored));
+        assert!(second
+            .results()
+            .iter()
+            .all(|r| r.report.telemetry.is_none()));
+        assert_eq!(second.infected, first.infected);
+    }
+}

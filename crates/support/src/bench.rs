@@ -3,7 +3,7 @@
 //! `strider-bench` keeps the `criterion` API shape — [`Criterion`],
 //! [`Criterion::benchmark_group`], [`Bencher::iter`] /
 //! [`Bencher::iter_batched`], [`Throughput`], [`BatchSize`] and the
-//! [`criterion_group!`]/[`criterion_main!`](crate::criterion_main) macros —
+//! [`criterion_group!`](crate::criterion_group)/[`criterion_main!`](crate::criterion_main) macros —
 //! so the eleven bench files read unchanged. What it does differently:
 //!
 //! * every finished group writes `BENCH_<group>.json` at the **workspace

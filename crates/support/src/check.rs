@@ -8,8 +8,10 @@
 //!
 //! * generators are plain closures `Fn(&mut SplitMix64) -> T` (helpers for
 //!   the common shapes live in [`gen`]),
-//! * properties return `Result<(), String>`; the [`prop_assert!`] /
-//!   [`prop_assert_eq!`] / [`prop_assert_ne!`] macros mirror the `proptest`
+//! * properties return `Result<(), String>`; the
+//!   [`prop_assert!`](crate::prop_assert) /
+//!   [`prop_assert_eq!`](crate::prop_assert_eq) /
+//!   [`prop_assert_ne!`](crate::prop_assert_ne) macros mirror the `proptest`
 //!   assertion forms,
 //! * shrinking is value-based via the [`Shrink`] trait (the `quickcheck`
 //!   approach): integers halve toward zero, collections drop elements and

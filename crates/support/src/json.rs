@@ -14,7 +14,7 @@
 //! * a strict, non-recursive-descent-bomb parser ([`JsonValue::parse`],
 //!   depth-capped) and a writer ([`JsonValue::render`] /
 //!   [`JsonValue::render_pretty`]),
-//! * the [`impl_json!`] macro — the `#[derive]` replacement invoked next to
+//! * the [`impl_json!`](crate::impl_json) macro — the `#[derive]` replacement invoked next to
 //!   each model type in `nt-core`, `ntfs`, `hive`, `kernel`, `winapi`, and
 //!   `core`.
 //!

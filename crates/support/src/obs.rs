@@ -238,8 +238,8 @@ pub const SKETCH_MAX_BUCKETS: usize = 2048;
 
 /// A mergeable, bounded-memory log-linear histogram (DDSketch/HDR style).
 ///
-/// Samples land in buckets whose boundaries grow geometrically by
-/// [`SKETCH_GAMMA`]; the sketch stores only per-bucket counts plus exact
+/// Samples land in buckets whose boundaries grow geometrically
+/// (γ = 1.02); the sketch stores only per-bucket counts plus exact
 /// `count / sum / min / max`, so memory is bounded by
 /// [`SKETCH_MAX_BUCKETS`] no matter how many samples are recorded —
 /// recording a million samples costs the same as recording a hundred.

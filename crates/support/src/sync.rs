@@ -1,4 +1,5 @@
-//! `Mutex`/`RwLock` wrappers replacing `parking_lot`.
+//! `Mutex`/`RwLock` wrappers replacing `parking_lot`, plus the bounded
+//! channel and isolation helpers the fleet fan-out rides on.
 //!
 //! `strider-kernel` declared `parking_lot` for its non-poisoning lock API.
 //! These wrappers provide the same call shape over `std::sync`: `lock()`,
@@ -6,6 +7,11 @@
 //! a poisoned lock (a panic while held) is transparently recovered rather
 //! than propagated — a simulated kernel that has already panicked is being
 //! torn down, and the detector's shared state is all plain data.
+//!
+//! [`bounded`] is the crossbeam-channel-shaped seam the fleet scheduler
+//! uses for batched result ingest: many worker threads send, one ingest
+//! thread drains, and the bound applies backpressure so a slow ingester
+//! throttles the workers instead of buffering the whole fleet's results.
 
 /// A mutual-exclusion lock with `parking_lot`-style non-poisoning `lock()`.
 #[derive(Debug, Default)]
@@ -60,6 +66,72 @@ impl<T> RwLock<T> {
     pub fn into_inner(self) -> T {
         self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
+}
+
+/// The sending half of a [`bounded`] channel. Clone one per producer
+/// thread; the channel closes when every sender has been dropped.
+#[derive(Debug, Clone)]
+pub struct Sender<T>(std::sync::mpsc::SyncSender<T>);
+
+impl<T> Sender<T> {
+    /// Sends `value`, blocking while the channel is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back when the receiver has been dropped — the
+    /// producer's cue to stop working, not a panic.
+    pub fn send(&self, value: T) -> Result<(), T> {
+        self.0.send(value).map_err(|e| e.0)
+    }
+}
+
+/// The receiving half of a [`bounded`] channel.
+#[derive(Debug)]
+pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+impl<T> Receiver<T> {
+    /// Blocks for the next value; `None` once every sender has dropped
+    /// and the buffer is drained — the loop-is-over signal.
+    pub fn recv(&self) -> Option<T> {
+        self.0.recv().ok()
+    }
+
+    /// Returns a value only if one is already buffered.
+    pub fn try_recv(&self) -> Option<T> {
+        self.0.try_recv().ok()
+    }
+
+    /// Drains the channel until it closes, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(|| self.recv())
+    }
+}
+
+/// A bounded multi-producer single-consumer channel (the
+/// `crossbeam_channel::bounded` call shape over `std::sync::mpsc`).
+///
+/// A `capacity` of 0 is a rendezvous channel: every send blocks until the
+/// receiver takes the value, which makes producer/consumer interleaving
+/// fully synchronous — useful in deterministic tests.
+///
+/// # Examples
+///
+/// ```
+/// use strider_support::sync::bounded;
+///
+/// let (tx, rx) = bounded(4);
+/// std::thread::scope(|scope| {
+///     for worker in 0..3 {
+///         let tx = tx.clone();
+///         scope.spawn(move || tx.send(worker).unwrap());
+///     }
+///     drop(tx); // close our handle so the drain below terminates
+///     assert_eq!(rx.iter().count(), 3);
+/// });
+/// ```
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+    (Sender(tx), Receiver(rx))
 }
 
 /// Runs `f` on a freshly spawned, named thread and joins it, converting a
@@ -154,6 +226,30 @@ mod tests {
         let sum = run_isolated("borrows", || data.iter().sum::<u32>());
         assert_eq!(sum, Ok(6));
         assert_eq!(data.len(), 3);
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure_and_closes_on_drop() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        // Capacity 1: the second send must wait for the drain below.
+        let producer = std::thread::spawn(move || {
+            tx.send(2).unwrap();
+            tx.send(3).unwrap();
+        });
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+        producer.join().unwrap();
+        assert_eq!(rx.recv(), None, "all senders dropped");
+        assert!(rx.try_recv().is_none());
+    }
+
+    #[test]
+    fn bounded_channel_send_fails_once_the_receiver_is_gone() {
+        let (tx, rx) = bounded(2);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(7));
     }
 
     #[test]

@@ -24,6 +24,18 @@ pub struct WorkloadSpec {
 }
 
 impl WorkloadSpec {
+    /// A tiny machine for fleet-scale tests and benches, where dozens to
+    /// hundreds of machines are populated per run (tens of files each).
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            seed,
+            file_count: 80,
+            dir_count: 10,
+            registry_key_count: 40,
+            process_count: 4,
+        }
+    }
+
     /// A small machine for unit tests (hundreds of files).
     pub fn small(seed: u64) -> Self {
         Self {

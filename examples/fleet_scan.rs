@@ -1,78 +1,156 @@
-//! Enterprise fleet scan: the paper's RIS deployment story — "corporate IT
-//! organizations can remotely deploy the solution on a large number of
-//! desktops without requiring user cooperation". A fleet of machines, a few
-//! of them infected with different families, swept inside-the-box and (for
-//! the suspicious ones) re-checked with the RIS network-boot outside flow.
+//! Enterprise fleet scan on the fleet service: the paper's RIS deployment
+//! story — "corporate IT organizations can remotely deploy the solution on
+//! a large number of desktops without requiring user cooperation" — run as
+//! a supervised, work-stealing fleet sweep with merged reporting, fault
+//! isolation, checkpoint/resume, and continuous fleet monitoring.
+//!
+//! Self-validating and headless: it runs on a [`FakeClock`], asserts the
+//! fleet statistics exactly, and survives an injected device stall with a
+//! shard-tagged degradation instead of a fleet failure, so CI can run it
+//! as a smoke test:
 //!
 //! ```sh
 //! cargo run --example fleet_scan
 //! ```
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
 use strider_ghostbuster_repro::prelude::*;
+use strider_support::fault::Stall;
+use strider_support::obs::FakeClock;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let infections: [Option<Box<dyn Ghostware>>; 8] = [
-        None,
-        Some(Box::new(HackerDefender::default())),
-        None,
-        Some(Box::new(Fu::default())),
-        None,
-        Some(Box::new(ProBotSe::default())),
-        None,
-        None,
-    ];
+    let clock = Arc::new(FakeClock::default());
+    let policy = ScanPolicy::resilient()
+        .with_clock(clock.clone())
+        .with_poll(100_000, 0)
+        .with_pipeline_budget(2_000_000)
+        .with_sweep_budget(10_000_000);
+    let detector = GhostBuster::new()
+        .with_advanced(AdvancedSource::ThreadTable)
+        .with_policy(policy.clone());
 
-    println!(
-        "{:<10} {:<8} {:>10} {:>8} {:>12} {:>14}",
-        "machine", "class", "suspicious", "noise", "RIS verdict", "ground truth"
-    );
-    println!("{}", "-".repeat(70));
+    // ----------------------------------------------------------------
+    // Stage 1: sweep a 12-machine fleet (3 seeded infections) on a
+    // 4-worker pool and check the merged report exactly.
+    // ----------------------------------------------------------------
+    let spec = FleetSpec::clean(12, 2026).with_infected(3);
+    let mut fleet = FleetRegistry::seeded(&spec)?;
+    let scheduler = FleetScheduler::new(detector.clone()).with_workers(4);
 
-    let mut correct = 0;
-    for (profile, infection) in paper_profiles().iter().zip(infections.iter()) {
-        let mut machine = standard_lab_machine(
-            profile.name,
-            &WorkloadSpec::small(7000 + u64::from(profile.cpu_mhz)),
-            profile.ccm_enabled,
-        )?;
-        machine.tick(350);
-        let truly_infected = infection.is_some();
-        if let Some(sample) = infection {
-            sample.infect(&mut machine)?;
-        }
-
-        // Stage 1: the cheap inside-the-box sweep on every desktop.
-        let gb = GhostBuster::new().with_advanced(AdvancedSource::ThreadTable);
-        let inside = gb.inside_sweep(&mut machine)?;
-
-        // Stage 2: suspicious machines get the RIS network-boot re-check.
-        let ris_verdict = if inside.is_infected() {
-            let outside = gb.ris_outside_sweep(&mut machine, 100)?;
-            if outside.is_infected() {
-                "infected"
-            } else {
-                "clean"
-            }
-        } else {
-            "-"
-        };
-
-        let verdict_matches = inside.is_infected() == truly_infected;
-        if verdict_matches {
-            correct += 1;
-        }
-        println!(
-            "{:<10} {:<8} {:>10} {:>8} {:>12} {:>14}",
-            profile.name,
-            profile.class.split(' ').next().unwrap_or(""),
-            inside.suspicious_count(),
-            inside.noise_count(),
-            ris_verdict,
-            if truly_infected { "infected" } else { "clean" },
+    let report = scheduler.sweep(&mut fleet)?;
+    println!("{report}");
+    assert_eq!(report.swept, 12);
+    assert_eq!(report.infected, 3, "every seeded infection is detected");
+    assert_eq!(report.seeded_infected, 3);
+    for result in report.results() {
+        assert_eq!(
+            result.report.is_infected(),
+            result.seeded_infected,
+            "{} wrong verdict",
+            result.shard
         );
-        assert!(verdict_matches, "{}: wrong verdict", profile.name);
     }
-    println!("{}", "-".repeat(70));
-    println!("fleet verdicts correct: {correct}/8");
+
+    // The fleet latency sketches are the exact merge of the per-shard
+    // sketches — order-independent, so the pool's interleaving is free.
+    let mut serial: BTreeMap<String, HistogramSketch> = BTreeMap::new();
+    for result in report.results() {
+        let telemetry = result.report.telemetry.as_ref().expect("swept telemetry");
+        for (name, sketch) in &telemetry.histograms {
+            serial.entry(name.clone()).or_default().merge(sketch);
+        }
+    }
+    assert_eq!(serial, report.latency, "merged sketches must be exact");
+    let p95 = report
+        .latency_percentile("files.dir_query_ns", 95.0)
+        .expect("fleet-wide file-probe sketch");
+    println!("fleet files.dir_query_ns p95: {p95:.0} ns");
+
+    // ----------------------------------------------------------------
+    // Stage 2: one machine's volume stalls forever. The shard degrades
+    // and stays unfinished in the checkpoint; the fleet completes.
+    // (One worker: the fleet shares one fake clock, and the stalled
+    // shard's polling advances it past concurrent shards' budgets.)
+    // ----------------------------------------------------------------
+    fleet.machines_mut()[7]
+        .machine
+        .set_fault_injector(FaultInjector::new().stall_volume_reads(Stall::forever()));
+    let serial_scheduler = FleetScheduler::new(detector.clone()).with_workers(1);
+    let mut checkpoint = FleetCheckpoint::new(&fleet);
+    let stalled_run = serial_scheduler.sweep_checkpointed(&mut fleet, &mut checkpoint)?;
+
+    let stalled = stalled_run.result(ShardId(7)).expect("shard reported");
+    println!(
+        "\nshard-007 under stall: files {}, registry {}",
+        stalled.report.health.files, stalled.report.health.registry
+    );
+    assert!(stalled.report.health.files.is_degraded());
+    assert!(stalled.report.health.registry.is_ok());
+    assert_eq!(
+        stalled_run.swept, 12,
+        "the stall cost a pipeline, not the fleet"
+    );
+    assert_eq!(stalled_run.health["files"].degraded, 1);
+    if let Some(black_box) = stalled.report.black_box("files") {
+        println!("shard-007 black box: {} flight events", black_box.len());
+        assert!(!black_box.is_empty());
+    }
+    assert_eq!(
+        checkpoint.unfinished_shards(),
+        vec![ShardId(7)],
+        "a timeout is a reason to re-run, not a result"
+    );
+
+    // The checkpoint survives a kill as JSON; resume re-sweeps only the
+    // stalled shard once the device recovers.
+    let mut parsed = FleetCheckpoint::deserialize(&checkpoint.serialize())?;
+    fleet.machines_mut()[7]
+        .machine
+        .set_fault_injector(FaultInjector::new());
+    let resumed = serial_scheduler.sweep_checkpointed(&mut fleet, &mut parsed)?;
+    assert!(parsed.is_complete());
+    assert_eq!(
+        resumed
+            .results()
+            .iter()
+            .filter(|r| !r.restored)
+            .map(|r| r.shard)
+            .collect::<Vec<_>>(),
+        vec![ShardId(7)],
+        "only the stalled shard is re-swept"
+    );
+    assert_eq!(resumed.health["files"].degraded, 0);
+    println!("resume re-swept shard-007 only; fleet clean");
+
+    // ----------------------------------------------------------------
+    // Stage 3: continuous fleet monitoring — per-shard baselines, then a
+    // rootkit lands on one machine and the incident arrives shard-tagged
+    // with that shard's flight dump as evidence.
+    // ----------------------------------------------------------------
+    let mut clean_fleet = FleetRegistry::seeded(&FleetSpec::clean(6, 4096))?;
+    let mut monitor = FleetMonitor::new(GhostBuster::new().with_policy(policy))
+        .with_config(MonitorConfig::default().with_interval_ns(1_000_000_000));
+    monitor.record_baselines(&mut clean_fleet)?;
+    let calm = monitor.run(&mut clean_fleet, 2)?;
+    let calm_incidents: usize = calm.iter().map(|p| p.incidents.len()).sum();
+    assert_eq!(calm_incidents, 0, "a clean fleet must stay quiet");
+
+    HackerDefender::default().infect(&mut clean_fleet.machines_mut()[4].machine)?;
+    let pass = monitor.observe(&mut clean_fleet)?;
+    println!("\nfleet incidents after infection of shard-004:");
+    for incident in &pass.incidents {
+        println!("  {incident}");
+        assert_eq!(incident.shard, ShardId(4));
+        assert!(!incident.incident.flight().is_empty());
+    }
+    assert!(pass
+        .incidents
+        .iter()
+        .any(|i| matches!(i.incident, MonitorIncident::NewHiddenResource { .. })));
+    assert_eq!(pass.infected_shards(), vec![ShardId(4)]);
+    assert_eq!(monitor.series("fleet.infected").unwrap().last(), Some(1.0));
+
+    println!("\nOK");
     Ok(())
 }

@@ -63,4 +63,21 @@ STRIDER_BENCH_DIR="$OBS_DIR" cargo run -q --offline --example monitor
 test -f "$OBS_DIR/SCAN_TELEMETRY_monitor.json"
 test -f "$OBS_DIR/SCAN_TRACE_monitor.json"
 
+# Fleet suite: the work-stealing fleet scheduler — exact 64-machine fleet
+# statistics with merged-sketch equality, shard-level fault isolation,
+# kill-mid-fleet checkpoint resume, and shard-tagged monitor incidents.
+# The fleet_scan example is self-validating the same way the monitor
+# example is: running it green IS the check.
+echo "==> fleet suite (scheduler, checkpoint/resume, fleet monitor)"
+cargo test -q --offline --test fleet
+cargo run -q --offline --example fleet_scan >/dev/null
+
+# Rustdoc gate: the public-facing crates must document cleanly — broken
+# intra-doc links or missing docs on public items fail the build here, not
+# on docs.rs.
+echo "==> cargo doc --offline --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -q \
+    -p strider-fleet -p strider-ghostbuster -p strider-support \
+    -p strider-ghostbuster-repro
+
 echo "==> OK"

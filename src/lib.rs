@@ -16,6 +16,8 @@
 //! * [`unixfs`] — the Section 5 Unix substrate and rootkits.
 //! * [`workload`] — deterministic machine population and the cost model.
 //! * [`ghostbuster`] — the cross-view-diff detector itself.
+//! * [`fleet`] — the fleet-scale sweep service (seeded fleets, the
+//!   work-stealing scheduler, merged fleet reports, the fleet monitor).
 //!
 //! # Examples
 //!
@@ -31,6 +33,7 @@
 //! # }
 //! ```
 
+pub use strider_fleet as fleet;
 pub use strider_ghostbuster as ghostbuster;
 pub use strider_ghostware as ghostware;
 pub use strider_hive as hive;
@@ -43,6 +46,7 @@ pub use strider_workload as workload;
 
 /// One-stop imports for examples and tests.
 pub mod prelude {
+    pub use strider_fleet::prelude::*;
     pub use strider_ghostbuster::prelude::*;
     pub use strider_ghostware::prelude::*;
     pub use strider_hive::prelude::*;

@@ -1,0 +1,310 @@
+//! Fleet-scale integration tests: a seeded 64-machine fleet swept on the
+//! work-stealing pool, merged-sketch equality against a serial merge,
+//! shard-level fault isolation, and kill-mid-fleet resume.
+//!
+//! Everything runs on a [`FakeClock`]: stalled devices are polled in
+//! simulated time, so "a shard stalls past its two-millisecond budget"
+//! costs microseconds of wall clock.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use strider_ghostbuster_repro::prelude::*;
+use strider_support::fault::Stall;
+use strider_support::obs::FakeClock;
+
+/// The supervised fleet policy every test drives: resilient scanning with
+/// per-pipeline/per-sweep budgets on a shared fake clock.
+fn fleet_policy(clock: Arc<FakeClock>) -> ScanPolicy {
+    ScanPolicy::resilient()
+        .with_clock(clock)
+        .with_poll(100_000, 0)
+        .with_pipeline_budget(2_000_000)
+        .with_sweep_budget(10_000_000)
+}
+
+fn detector(clock: Arc<FakeClock>) -> GhostBuster {
+    GhostBuster::new()
+        .with_advanced(AdvancedSource::ThreadTable)
+        .with_policy(fleet_policy(clock))
+}
+
+// ---------------------------------------------------------------------
+// Exact fleet statistics and merge equality on the worker pool
+// ---------------------------------------------------------------------
+
+#[test]
+fn pool_sweep_of_64_machines_reports_exact_rate_and_merge_equal_sketches() {
+    let clock = Arc::new(FakeClock::default());
+    let mut fleet = FleetRegistry::seeded(&FleetSpec::clean(64, 6401).with_infected(16)).unwrap();
+    assert_eq!(fleet.seeded_infected(), 16);
+
+    let scheduler = FleetScheduler::new(detector(clock)).with_workers(4);
+    let report = scheduler.sweep(&mut fleet).unwrap();
+
+    // Exact fleet infection rate: every seeded machine detected, nothing
+    // else flagged.
+    assert_eq!(report.machines, 64);
+    assert_eq!(report.swept, 64);
+    assert_eq!(report.infected, 16, "{report}");
+    assert_eq!(report.seeded_infected, 16);
+    assert!((report.infection_rate() - 0.25).abs() < 1e-12);
+    assert!(report.unswept.is_empty());
+    for result in report.results() {
+        assert_eq!(
+            result.report.is_infected(),
+            result.seeded_infected,
+            "{} wrong verdict",
+            result.shard
+        );
+    }
+
+    // Prevalence tables: the five families cycle over 16 infections, and
+    // every family/technique seeded is detected at full rate.
+    assert_eq!(report.families.len(), 5, "{:?}", report.families);
+    assert_eq!(report.families.values().map(|p| p.seeded).sum::<u64>(), 16);
+    for (family, p) in &report.families {
+        assert_eq!(p.detected, p.seeded, "family {family} missed");
+    }
+    assert!(!report.techniques.is_empty());
+    for (technique, p) in &report.techniques {
+        assert_eq!(p.detected, p.seeded, "technique {technique} missed");
+    }
+
+    // Health rollup: all four pipelines clean on all 64 shards.
+    for pipeline in ["files", "registry", "processes", "modules"] {
+        let rollup = &report.health[pipeline];
+        assert_eq!((rollup.ok, rollup.salvaged, rollup.degraded), (64, 0, 0));
+    }
+
+    // Merged-quantile equality: merging each shard's sketches serially in
+    // shard order (the "single registry" merge) must produce *exactly* the
+    // fleet report's sketches — bucket counts add, so the merge is
+    // order-independent even though the pool finished shards in an
+    // arbitrary interleaving.
+    let mut serial: BTreeMap<String, HistogramSketch> = BTreeMap::new();
+    for result in report.results() {
+        let telemetry = result
+            .report
+            .telemetry
+            .as_ref()
+            .expect("swept shards carry telemetry");
+        for (name, sketch) in &telemetry.histograms {
+            serial.entry(name.clone()).or_default().merge(sketch);
+        }
+    }
+    assert_eq!(serial, report.latency);
+    for probe in [
+        "files.dir_query_ns",
+        "registry.key_probe_ns",
+        "modules.proc_query_ns",
+    ] {
+        let fleet_sketch = &report.latency[probe];
+        let serial_sketch = &serial[probe];
+        assert!(fleet_sketch.count() > 0, "{probe} recorded nothing");
+        for pct in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(
+                fleet_sketch.percentile(pct),
+                serial_sketch.percentile(pct),
+                "{probe} p{pct} differs"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault isolation: one stalled shard degrades alone
+// ---------------------------------------------------------------------
+
+#[test]
+fn stalled_shard_lands_degraded_without_sinking_the_fleet_report() {
+    let clock = Arc::new(FakeClock::default());
+    let mut fleet = FleetRegistry::seeded(&FleetSpec::clean(8, 777).with_infected(2)).unwrap();
+    fleet.machines_mut()[5]
+        .machine
+        .set_fault_injector(FaultInjector::new().stall_volume_reads(Stall::forever()));
+
+    // One worker: the fleet's shards share one *fake* clock, and the
+    // stalled shard's deadline polling advances it by whole pipeline
+    // budgets — a concurrent shard would see that jump mid-scan and time
+    // out too. Serial shards start their deadlines after the jump, so the
+    // degradation stays exactly where it was injected.
+    let scheduler = FleetScheduler::new(detector(clock)).with_workers(1);
+    let mut checkpoint = FleetCheckpoint::new(&fleet);
+    let report = scheduler
+        .sweep_checkpointed(&mut fleet, &mut checkpoint)
+        .unwrap();
+
+    // Every shard reported — the stall cost one pipeline of one shard.
+    assert_eq!(report.swept, 8);
+    assert!(report.unswept.is_empty());
+    let stalled = report.result(ShardId(5)).unwrap();
+    assert_eq!(
+        stalled.report.health.files,
+        PipelineStatus::Degraded {
+            reason: "operation timed out".to_string()
+        }
+    );
+    assert!(stalled.report.health.registry.is_ok());
+    let rollup = &report.health["files"];
+    assert_eq!((rollup.ok, rollup.degraded), (7, 1));
+    for pipeline in ["registry", "processes", "modules"] {
+        assert_eq!(report.health[pipeline].degraded, 0);
+    }
+    // The infections elsewhere in the fleet are still found.
+    assert_eq!(report.infected, 2);
+
+    // A timeout is a reason to re-run, not a result: the stalled shard's
+    // files pipeline is not checkpointed, so only that shard is unfinished.
+    assert_eq!(checkpoint.unfinished_shards(), vec![ShardId(5)]);
+
+    // Clear the fault and resume: the seven finished shards are restored
+    // verbatim, shard 5 alone is re-swept, and the fleet completes clean.
+    fleet.machines_mut()[5]
+        .machine
+        .set_fault_injector(FaultInjector::new());
+    let resumed = scheduler
+        .sweep_checkpointed(&mut fleet, &mut checkpoint)
+        .unwrap();
+    assert!(checkpoint.is_complete());
+    assert_eq!(resumed.swept, 8);
+    for result in resumed.results() {
+        assert_eq!(
+            result.restored,
+            result.shard != ShardId(5),
+            "{}",
+            result.shard
+        );
+    }
+    assert_eq!(resumed.health["files"].degraded, 0);
+    assert_eq!(resumed.infected, 2);
+}
+
+// ---------------------------------------------------------------------
+// Kill-mid-fleet: stop, serialize the checkpoint, resume the rest
+// ---------------------------------------------------------------------
+
+#[test]
+fn killed_fleet_sweep_resumes_only_the_unfinished_shards() {
+    let clock = Arc::new(FakeClock::default());
+    let mut fleet = FleetRegistry::seeded(&FleetSpec::clean(6, 31).with_infected(3)).unwrap();
+    // One worker, batch size one: shards complete one at a time, so the
+    // stop lands early enough to leave work behind.
+    let scheduler = FleetScheduler::new(detector(clock))
+        .with_workers(1)
+        .with_batch(1);
+
+    let mut checkpoint = FleetCheckpoint::new(&fleet);
+    let mut seen = 0;
+    let report = scheduler
+        .sweep_streaming(&mut fleet, &mut checkpoint, |_| {
+            seen += 1;
+            if seen >= 2 {
+                FleetControl::Stop
+            } else {
+                FleetControl::Continue
+            }
+        })
+        .unwrap();
+
+    // The stop left shards behind, and the checkpoint knows exactly which:
+    // a shard is either complete in the checkpoint or due a re-sweep.
+    // (Cancellation may interrupt a shard mid-sweep — its result was
+    // reported this run, but its pipelines were not checkpointed.)
+    let done: BTreeSet<ShardId> = (0..6)
+        .map(ShardId)
+        .filter(|id| !checkpoint.unfinished_shards().contains(id))
+        .collect();
+    let unfinished = checkpoint.unfinished_shards();
+    assert!(!unfinished.is_empty(), "stop must leave work behind");
+    assert!(done.len() >= 2, "two results were observed before the stop");
+    assert!(!checkpoint.is_complete());
+    assert_eq!(
+        report.swept + report.unswept.len() as u64,
+        6,
+        "every shard is either reported or unswept"
+    );
+    // Unswept shards are necessarily unfinished in the checkpoint.
+    for id in &report.unswept {
+        assert!(unfinished.contains(id), "{id} unswept but checkpointed");
+    }
+
+    // The checkpoint survives the kill as JSON.
+    let mut parsed = FleetCheckpoint::deserialize(&checkpoint.serialize()).unwrap();
+    assert_eq!(parsed, checkpoint);
+
+    // Resume from the parsed checkpoint: complete shards restore verbatim
+    // (no scan, no telemetry), unfinished shards re-sweep, and the fleet
+    // statistics come out exact.
+    let resumed = scheduler
+        .sweep_checkpointed(&mut fleet, &mut parsed)
+        .unwrap();
+    assert!(parsed.is_complete());
+    assert_eq!(resumed.swept, 6);
+    assert!(resumed.unswept.is_empty());
+    for result in resumed.results() {
+        assert_eq!(
+            result.restored,
+            done.contains(&result.shard),
+            "{} should {}have been restored",
+            result.shard,
+            if done.contains(&result.shard) {
+                ""
+            } else {
+                "not "
+            }
+        );
+        if result.restored {
+            assert!(result.report.telemetry.is_none());
+        }
+    }
+    assert_eq!(resumed.infected, 3);
+    assert_eq!(resumed.seeded_infected, 3);
+}
+
+// ---------------------------------------------------------------------
+// Fleet monitor: incidents carry their shard and its evidence
+// ---------------------------------------------------------------------
+
+#[test]
+fn fleet_monitor_tags_incidents_with_shard_and_flight_evidence() {
+    let clock = Arc::new(FakeClock::default());
+    let mut fleet = FleetRegistry::seeded(&FleetSpec::clean(4, 91)).unwrap();
+    let mut monitor = FleetMonitor::new(GhostBuster::new().with_policy(fleet_policy(clock)))
+        .with_config(MonitorConfig::default().with_interval_ns(1_000_000_000));
+    assert_eq!(monitor.record_baselines(&mut fleet).unwrap(), 4);
+
+    // Quiet fleet: no incidents across two scheduled passes.
+    let calm = monitor.run(&mut fleet, 2).unwrap();
+    assert!(calm.iter().all(|p| p.incidents.is_empty()));
+
+    // A rootkit lands on shard 2 and its volume starts stalling.
+    HackerDefender::default()
+        .infect(&mut fleet.machines_mut()[2].machine)
+        .unwrap();
+    fleet.machines_mut()[2]
+        .machine
+        .set_fault_injector(FaultInjector::new().stall_volume_reads(Stall::after_polls(5)));
+
+    let pass = monitor.observe(&mut fleet).unwrap();
+    assert!(
+        pass.incidents.iter().all(|i| i.shard == ShardId(2)),
+        "{:?}",
+        pass.incidents
+    );
+    assert!(pass
+        .incidents
+        .iter()
+        .any(|i| matches!(i.incident, MonitorIncident::NewHiddenResource { .. })));
+    assert!(pass
+        .incidents
+        .iter()
+        .any(|i| matches!(i.incident, MonitorIncident::LatencyRegression { .. })));
+    for incident in &pass.incidents {
+        assert!(
+            !incident.incident.flight().is_empty(),
+            "incident must carry the shard's flight dump: {incident}"
+        );
+    }
+    assert_eq!(pass.infected_shards(), vec![ShardId(2)]);
+    assert_eq!(monitor.series("fleet.infected").unwrap().last(), Some(1.0));
+}

@@ -57,7 +57,7 @@ fn every_dependency_is_a_workspace_path() {
     let mut manifests = Vec::new();
     collect_manifests(&manifest_root(), &mut manifests);
     assert!(
-        manifests.len() >= 12,
+        manifests.len() >= 13,
         "expected the root + all crate manifests, found {}",
         manifests.len()
     );
