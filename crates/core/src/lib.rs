@@ -135,6 +135,10 @@ pub use report::{Detection, DiffReport, FileCategory, NoiseClass, NoiseFilter, R
 pub use scanfile::{parse_scan_file, write_scan_file, ScanFileError};
 pub use signature::{Signature, SignatureHit, SignatureScanner};
 pub use snapshot::{FileFact, HookFact, ModuleFact, ProcessFact, ScanMeta, Snapshot, ViewKind};
+pub use strider_support::alert::{
+    AlertCondition, AlertEngine, AlertLog, AlertRule, AlertState, AlertTransition, Exposition,
+    Severity, TimeSeries,
+};
 pub use strider_support::obs::{
     FakeClock, FlightDump, FlightEvent, FlightEventKind, FlightRecorder, HistogramSketch,
     MonotonicClock, Telemetry, TelemetryReport,
@@ -147,14 +151,14 @@ pub use unixgb::{UnixBinaryIntegrity, UnixDetection, UnixGhostBuster, UnixReport
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::{
-        cross_view_diff, injected_sweep, install_benign_wrapper, AdvancedSource, AsepMonitor,
-        BreakerState, CancellationToken, CircuitBreaker, CrossTimeDiff, Deadline, Detection,
-        DiffReport, DriverScanner, FileCategory, FileScanner, FlightDump, FlightRecorder,
-        GhostBuster, HistogramSketch, HookScanner, InjectedSweepReport, MonitorConfig,
-        MonitorIncident, NoiseClass, NoiseFilter, OutsideRegistryMode, PipelineCheckpoint,
-        PipelineStatus, ProcessScanner, RegistryScanner, ResourceKind, ScanMeta, ScanPolicy,
-        SignatureScanner, Snapshot, Supervision, SweepBaseline, SweepBreakers, SweepCheckpoint,
-        SweepHealth, SweepMonitor, SweepReport, Telemetry, TelemetryReport, TimeBudget,
-        UnixGhostBuster, ViewKind,
+        cross_view_diff, injected_sweep, install_benign_wrapper, AdvancedSource, AlertCondition,
+        AlertEngine, AlertRule, AlertState, AsepMonitor, BreakerState, CancellationToken,
+        CircuitBreaker, CrossTimeDiff, Deadline, Detection, DiffReport, DriverScanner,
+        FileCategory, FileScanner, FlightDump, FlightRecorder, GhostBuster, HistogramSketch,
+        HookScanner, InjectedSweepReport, MonitorConfig, MonitorIncident, NoiseClass, NoiseFilter,
+        OutsideRegistryMode, PipelineCheckpoint, PipelineStatus, ProcessScanner, RegistryScanner,
+        ResourceKind, ScanMeta, ScanPolicy, Severity, SignatureScanner, Snapshot, Supervision,
+        SweepBaseline, SweepBreakers, SweepCheckpoint, SweepHealth, SweepMonitor, SweepReport,
+        Telemetry, TelemetryReport, TimeBudget, TimeSeries, UnixGhostBuster, ViewKind,
     };
 }

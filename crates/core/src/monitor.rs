@@ -1,20 +1,32 @@
 //! Continuous sweep monitoring: scheduled re-sweeps, rolling metric
-//! series, and regression detection against a recorded baseline.
+//! series, and declarative alerting against a recorded baseline.
 //!
 //! The paper's operational story (§6) is not one sweep but *continuous*
 //! cross-view scanning of live machines. [`SweepMonitor`] drives repeated
 //! [`GhostBuster::inside_sweep`]s on the policy's [`Clock`] schedule,
-//! keeps bounded time-series of the key metrics (per-pipeline durations,
-//! entry counts, defect/timeout counters, findings), and compares every
-//! sweep against a [`SweepBaseline`] snapshot, raising a typed
-//! [`MonitorIncident`] — each carrying that sweep's flight-recorder dump
-//! — when something drifts:
+//! keeps bounded timestamped [`TimeSeries`] of the key metrics
+//! (per-pipeline durations, entry counts, defect/timeout counters,
+//! findings), and feeds them through an [`AlertEngine`] after every
+//! sweep. The three classic drift checks are *built-in rules* derived
+//! from the [`SweepBaseline`] and [`MonitorConfig`]:
 //!
-//! * a finding not present at baseline ([`MonitorIncident::NewHiddenResource`]),
-//! * a pipeline running slower than the configured threshold over its
-//!   baseline duration ([`MonitorIncident::LatencyRegression`]),
-//! * a pipeline degrading that was healthy at baseline
-//!   ([`MonitorIncident::HealthDowngrade`]).
+//! * `new_hidden_resource` — a finding not present at baseline
+//!   ([`MonitorIncident::NewHiddenResource`]),
+//! * `latency.<pipeline>` — a pipeline running slower than
+//!   `baseline * latency_factor + latency_floor_ns`
+//!   ([`MonitorIncident::LatencyRegression`]),
+//! * `health_downgrade` — a pipeline degrading that was healthy at
+//!   baseline ([`MonitorIncident::HealthDowngrade`]).
+//!
+//! Callers can [`add_rule`](SweepMonitor::add_rule) their own
+//! [`AlertRule`]s (thresholds, rates, absence, quantiles, with `for_ns`
+//! hysteresis) over the same series. Every rule transition lands in the
+//! engine's bounded [`AlertLog`] *and* in the sweep's flight recorder,
+//! so each typed [`MonitorIncident`] — and any black box — carries the
+//! alert trail as evidence. [`SweepMonitor::write_prom`] snapshots the
+//! whole plane (telemetry counters/gauges/histograms, series gauges,
+//! active alerts) as a Prometheus-text `TELEMETRY_EXPO_<label>.prom`
+//! file.
 //!
 //! Baselines round-trip through [`crate::GhostBuster`]-independent JSON
 //! ([`SweepBaseline::serialize`]), so a fleet operator can record one
@@ -22,12 +34,24 @@
 
 use crate::ghostbuster::{GhostBuster, SweepReport};
 use crate::policy::{PipelineStatus, SweepHealth};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use strider_nt_core::NtStatus;
-use strider_support::obs::{fmt_ns, Clock, FlightDump, Telemetry};
+use strider_support::alert::{
+    AlertCondition, AlertEngine, AlertLog, AlertRule, AlertTransition, Exposition, Severity,
+    TimeSeries,
+};
+use strider_support::obs::{fmt_ns, Clock, FlightDump, Telemetry, TelemetryReport};
 use strider_winapi::Machine;
+
+/// The rolling per-sweep series type. The untimestamped `MetricSeries`
+/// of earlier releases is now the timestamped
+/// [`strider_support::alert::TimeSeries`] — same bounded-ring behaviour
+/// and queries, but each sample carries the policy-clock reading it was
+/// observed at, which is what windowed alert conditions key on.
+pub type MetricSeries = TimeSeries;
 
 /// The four inside-sweep pipelines, in sweep order.
 const PIPELINES: [&str; 4] = ["files", "registry", "processes", "modules"];
@@ -152,8 +176,9 @@ impl SweepBaseline {
 }
 
 /// A drift the monitor detected between a sweep and its baseline. Every
-/// variant carries the sweep's flight-recorder dump, so the incident
-/// ships its own evidence trail.
+/// variant carries the sweep's flight-recorder dump — including the
+/// alert transitions of that sweep — so the incident ships its own
+/// evidence trail.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MonitorIncident {
     /// A suspicious finding absent from the baseline — on a monitored
@@ -237,103 +262,53 @@ impl fmt::Display for MonitorIncident {
     }
 }
 
-/// A bounded rolling series of per-sweep metric values (oldest dropped
-/// first), with simple quantile/mean queries for dashboards.
-#[derive(Debug, Clone, PartialEq)]
-pub struct MetricSeries {
-    cap: usize,
-    points: VecDeque<f64>,
-}
-
-impl MetricSeries {
-    /// A series retaining at most `cap` points.
-    pub fn new(cap: usize) -> Self {
-        MetricSeries {
-            cap: cap.max(1),
-            points: VecDeque::new(),
-        }
-    }
-
-    /// Appends a point, evicting the oldest when full.
-    pub fn push(&mut self, value: f64) {
-        if self.points.len() == self.cap {
-            self.points.pop_front();
-        }
-        self.points.push_back(value);
-    }
-
-    /// Number of retained points.
-    pub fn len(&self) -> usize {
-        self.points.len()
-    }
-
-    /// Whether the series holds no points.
-    pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
-    }
-
-    /// The most recent point.
-    pub fn last(&self) -> Option<f64> {
-        self.points.back().copied()
-    }
-
-    /// Mean over the retained window.
-    pub fn mean(&self) -> Option<f64> {
-        if self.points.is_empty() {
-            return None;
-        }
-        Some(self.points.iter().sum::<f64>() / self.points.len() as f64)
-    }
-
-    /// Nearest-rank quantile (`pct` in `0..=100`) over the retained
-    /// window.
-    pub fn quantile(&self, pct: f64) -> Option<f64> {
-        if self.points.is_empty() {
-            return None;
-        }
-        let mut sorted: Vec<f64> = self.points.iter().copied().collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric points are finite"));
-        let rank = ((pct.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-        Some(sorted[rank.min(sorted.len() - 1)])
-    }
-
-    /// The retained points, oldest first.
-    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
-        self.points.iter().copied()
-    }
-}
-
-/// One monitored sweep: the report, when it ran, and any incidents it
-/// raised against the baseline.
+/// One monitored sweep: the report, when it ran, the alert transitions
+/// it triggered, and any incidents it raised against the baseline.
 #[derive(Debug, Clone)]
 pub struct MonitorObservation {
     /// Monitor clock reading when the sweep started.
     pub at_ns: u64,
-    /// The sweep itself (telemetry always attached).
+    /// The sweep itself (telemetry always attached, re-frozen after
+    /// alert evaluation so its flight dump includes this sweep's alert
+    /// transitions).
     pub report: SweepReport,
+    /// Alert-rule transitions this sweep's evaluation produced.
+    pub transitions: Vec<AlertTransition>,
     /// Drift detected against the baseline (empty without a baseline).
     pub incidents: Vec<MonitorIncident>,
 }
 
 /// Drives repeated supervised sweeps on a [`Clock`] schedule and watches
-/// for sweep-over-sweep drift.
+/// for sweep-over-sweep drift through an [`AlertEngine`].
 ///
 /// Each sweep runs with a *fresh* [`Telemetry`] registry on the policy's
 /// clock, so reports never bleed into each other and every observation
-/// carries its own span forest, metrics, and flight-recorder dump.
+/// carries its own span forest, metrics, and flight-recorder dump. After
+/// the sweep, its metrics are folded into the rolling [`TimeSeries`] and
+/// the engine evaluates every rule — the built-ins derived from the
+/// baseline plus any caller-added rules — recording transitions into the
+/// sweep's flight ring *before* the attached report is frozen.
+///
+/// Recording or installing a baseline, replacing the configuration, or
+/// adding a rule rebuilds the engine, which resets alert states (a new
+/// comparison anchor means old breach streaks are meaningless).
 ///
 /// # Examples
 ///
 /// ```
+/// use std::sync::Arc;
 /// use strider_ghostbuster::{GhostBuster, ScanPolicy, SweepMonitor};
+/// use strider_support::obs::FakeClock;
 /// use strider_winapi::Machine;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut machine = Machine::with_base_system("lab-1")?;
-/// let mut monitor = SweepMonitor::new(GhostBuster::new().with_policy(ScanPolicy::resilient()));
+/// let policy = ScanPolicy::resilient().with_clock(Arc::new(FakeClock::new()));
+/// let mut monitor = SweepMonitor::new(GhostBuster::new().with_policy(policy));
 /// monitor.record_baseline(&mut machine)?;
 /// let observations = monitor.run(&mut machine, 3)?;
 /// assert!(observations.iter().all(|o| o.incidents.is_empty()));
+/// assert!(monitor.alerts().firing().is_empty());
 /// # Ok(())
 /// # }
 /// ```
@@ -342,7 +317,10 @@ pub struct SweepMonitor {
     detector: GhostBuster,
     config: MonitorConfig,
     baseline: Option<SweepBaseline>,
-    series: BTreeMap<String, MetricSeries>,
+    series: BTreeMap<String, TimeSeries>,
+    custom_rules: Vec<AlertRule>,
+    engine: AlertEngine,
+    last_telemetry: Option<TelemetryReport>,
     sweeps_run: u64,
 }
 
@@ -356,14 +334,38 @@ impl SweepMonitor {
             config: MonitorConfig::default(),
             baseline: None,
             series: BTreeMap::new(),
+            custom_rules: Vec::new(),
+            engine: AlertEngine::new(),
+            last_telemetry: None,
             sweeps_run: 0,
         }
     }
 
-    /// Replaces the monitor configuration.
+    /// Replaces the monitor configuration (rebuilding the built-in rules,
+    /// which resets alert states).
     pub fn with_config(mut self, config: MonitorConfig) -> Self {
         self.config = config;
+        self.rebuild_engine();
         self
+    }
+
+    /// Adds a custom [`AlertRule`] evaluated after every sweep, builder
+    /// style. See [`add_rule`](Self::add_rule).
+    pub fn with_rule(mut self, rule: AlertRule) -> Self {
+        self.add_rule(rule);
+        self
+    }
+
+    /// Adds a custom [`AlertRule`] evaluated over the monitor's series
+    /// after every sweep. A rule sharing a name with an existing rule
+    /// (including a built-in) replaces it and resets its state.
+    pub fn add_rule(&mut self, rule: AlertRule) {
+        if let Some(existing) = self.custom_rules.iter_mut().find(|r| r.name == rule.name) {
+            *existing = rule.clone();
+        } else {
+            self.custom_rules.push(rule.clone());
+        }
+        self.engine.add_rule(rule);
     }
 
     /// The active configuration.
@@ -376,9 +378,11 @@ impl SweepMonitor {
         self.baseline.as_ref()
     }
 
-    /// Installs a previously recorded (e.g. deserialized) baseline.
+    /// Installs a previously recorded (e.g. deserialized) baseline,
+    /// rebuilding the built-in rules around it.
     pub fn set_baseline(&mut self, baseline: SweepBaseline) {
         self.baseline = Some(baseline);
+        self.rebuild_engine();
     }
 
     /// How many monitored sweeps have run (baseline excluded).
@@ -396,16 +400,65 @@ impl SweepMonitor {
         self.series.keys().map(String::as_str).collect()
     }
 
+    /// The alert engine: rule states, currently-firing rules, and the
+    /// bounded transition log.
+    pub fn alerts(&self) -> &AlertEngine {
+        &self.engine
+    }
+
+    /// The bounded alert-transition history (shorthand for
+    /// `alerts().log()`).
+    pub fn alert_log(&self) -> &AlertLog {
+        self.engine.log()
+    }
+
     fn clock(&self) -> Arc<dyn Clock> {
         self.detector.policy().clock().clone()
     }
 
-    fn instrumented_sweep(&self, machine: &mut Machine) -> Result<SweepReport, NtStatus> {
-        let telemetry = Telemetry::with_clock(self.clock());
-        self.detector
-            .clone()
-            .with_telemetry(telemetry)
-            .inside_sweep(machine)
+    /// Derives the built-in rules from the baseline and config, keeps
+    /// caller rules, and resets all alert states.
+    fn rebuild_engine(&mut self) {
+        let mut rules = Vec::new();
+        if let Some(baseline) = &self.baseline {
+            for pipeline in PIPELINES {
+                let base = baseline
+                    .pipeline_duration_ns
+                    .get(pipeline)
+                    .copied()
+                    .unwrap_or(0);
+                rules.push(
+                    AlertRule::new(
+                        &format!("latency.{pipeline}"),
+                        &format!("{pipeline}.duration_ns"),
+                        AlertCondition::AboveBaseline {
+                            baseline: base as f64,
+                            factor: self.config.latency_factor,
+                            floor: self.config.latency_floor_ns as f64,
+                        },
+                    )
+                    .with_severity(Severity::Warning),
+                );
+            }
+            rules.push(
+                AlertRule::new(
+                    "new_hidden_resource",
+                    "sweep.new_findings",
+                    AlertCondition::Above(0.0),
+                )
+                .with_severity(Severity::Critical),
+            );
+            rules.push(
+                AlertRule::new(
+                    "health_downgrade",
+                    "sweep.downgrades",
+                    AlertCondition::Above(0.0),
+                )
+                .with_severity(Severity::Critical),
+            );
+        }
+        rules.extend(self.custom_rules.iter().cloned());
+        self.engine = AlertEngine::with_rules(rules);
     }
 
     /// Runs one sweep and records it as the comparison baseline (replacing
@@ -417,26 +470,49 @@ impl SweepMonitor {
     /// Propagates sweep failures.
     pub fn record_baseline(&mut self, machine: &mut Machine) -> Result<&SweepBaseline, NtStatus> {
         let at_ns = self.clock().now_ns();
-        let report = self.instrumented_sweep(machine)?;
+        let telemetry = Telemetry::with_clock(self.clock());
+        let report = self
+            .detector
+            .clone()
+            .with_telemetry(telemetry)
+            .inside_sweep(machine)?;
         self.baseline = Some(SweepBaseline::from_report(machine.name(), at_ns, &report));
+        self.rebuild_engine();
         Ok(self.baseline.as_ref().expect("just recorded"))
     }
 
-    /// Runs one monitored sweep: scan, compare against the baseline, and
-    /// fold the sweep's metrics into the rolling series.
+    /// Runs one monitored sweep: scan, fold the sweep's metrics into the
+    /// rolling series, evaluate every alert rule (recording transitions
+    /// into the sweep's flight ring before the report freezes), and
+    /// translate firing built-in rules into typed incidents.
     ///
     /// # Errors
     ///
     /// Propagates sweep failures.
     pub fn observe(&mut self, machine: &mut Machine) -> Result<MonitorObservation, NtStatus> {
         let at_ns = self.clock().now_ns();
-        let report = self.instrumented_sweep(machine)?;
-        let incidents = self.compare(&report);
-        self.update_series(&report);
+        let telemetry = Telemetry::with_clock(self.clock());
+        let mut report = self
+            .detector
+            .clone()
+            .with_telemetry(telemetry.clone())
+            .inside_sweep(machine)?;
+        let now_ns = self.clock().now_ns();
+        self.update_series(now_ns, &report);
+        let transitions = self
+            .engine
+            .evaluate(&self.series, now_ns, Some(telemetry.recorder()));
+        // Re-freeze the attached telemetry: the sweep froze its own copy
+        // before the alert pass ran, and incidents should ship flight
+        // dumps that include this sweep's alert transitions.
+        report.telemetry = Some(telemetry.report());
+        let incidents = self.incidents(&report);
+        self.last_telemetry = report.telemetry.clone();
         self.sweeps_run += 1;
         Ok(MonitorObservation {
             at_ns,
             report,
+            transitions,
             incidents,
         })
     }
@@ -466,7 +542,53 @@ impl SweepMonitor {
         Ok(observations)
     }
 
-    fn compare(&self, report: &SweepReport) -> Vec<MonitorIncident> {
+    /// The monitor's current state as a Prometheus-text [`Exposition`]:
+    /// the last sweep's telemetry (counters, gauges, histogram buckets),
+    /// every rolling series' newest value as a `monitor_*` gauge, the
+    /// sweep counter, and the active-alert families.
+    pub fn prometheus(&self) -> Exposition {
+        let mut expo = self
+            .last_telemetry
+            .as_ref()
+            .map(TelemetryReport::prometheus)
+            .unwrap_or_default();
+        for (name, series) in &self.series {
+            if let Some(value) = series.last() {
+                expo.gauge(&format!("monitor.{name}"), value);
+            }
+        }
+        expo.counter("strider_monitor_sweeps_total", self.sweeps_run);
+        expo.alerts(&self.engine);
+        expo
+    }
+
+    /// Writes [`prometheus`](Self::prometheus) as
+    /// `TELEMETRY_EXPO_<label>.prom` into
+    /// [`strider_support::bench::report_dir`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; rejects labels with no alphanumeric
+    /// content.
+    pub fn write_prom(&self, label: &str) -> std::io::Result<PathBuf> {
+        self.prometheus().write(label)
+    }
+
+    /// Writes [`prometheus`](Self::prometheus) as
+    /// `TELEMETRY_EXPO_<label>.prom` into `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; rejects labels with no alphanumeric
+    /// content.
+    pub fn write_prom_in(&self, dir: &Path, label: &str) -> std::io::Result<PathBuf> {
+        self.prometheus().write_in(dir, label)
+    }
+
+    /// Translates the built-in rules' firing states into typed incidents,
+    /// reconstructing the per-finding / per-pipeline payloads from the
+    /// report the way the pre-engine monitor did.
+    fn incidents(&self, report: &SweepReport) -> Vec<MonitorIncident> {
         let Some(baseline) = &self.baseline else {
             return Vec::new();
         };
@@ -477,61 +599,73 @@ impl SweepMonitor {
             .unwrap_or_default();
         let mut incidents = Vec::new();
 
-        for (pipeline, detection) in findings(report) {
-            let key = finding_key(pipeline, &detection.identity);
-            if !baseline.findings.contains(&key) {
-                incidents.push(MonitorIncident::NewHiddenResource {
-                    pipeline: pipeline.to_string(),
-                    identity: detection.identity.clone(),
-                    detail: detection.detail.clone(),
-                    flight: flight.clone(),
-                });
+        if self.engine.is_firing("new_hidden_resource") {
+            for (pipeline, detection) in findings(report) {
+                let key = finding_key(pipeline, &detection.identity);
+                if !baseline.findings.contains(&key) {
+                    incidents.push(MonitorIncident::NewHiddenResource {
+                        pipeline: pipeline.to_string(),
+                        identity: detection.identity.clone(),
+                        detail: detection.detail.clone(),
+                        flight: flight.clone(),
+                    });
+                }
             }
         }
 
         let durations = report.pipeline_durations();
         for pipeline in PIPELINES {
-            let observed = durations.get(pipeline).copied().unwrap_or(0);
-            let base = baseline
-                .pipeline_duration_ns
-                .get(pipeline)
-                .copied()
-                .unwrap_or(0);
-            let threshold =
-                base as f64 * self.config.latency_factor + self.config.latency_floor_ns as f64;
-            if observed as f64 > threshold {
+            if self.engine.is_firing(&format!("latency.{pipeline}")) {
                 incidents.push(MonitorIncident::LatencyRegression {
                     pipeline: pipeline.to_string(),
-                    baseline_ns: base,
-                    observed_ns: observed,
+                    baseline_ns: baseline
+                        .pipeline_duration_ns
+                        .get(pipeline)
+                        .copied()
+                        .unwrap_or(0),
+                    observed_ns: durations.get(pipeline).copied().unwrap_or(0),
                     flight: flight.clone(),
                 });
             }
         }
 
-        for (pipeline, status) in degraded_pipelines(&report.health) {
-            if !baseline.degraded.iter().any(|p| p == pipeline) {
-                let reason = match status {
-                    PipelineStatus::Degraded { reason } => reason.clone(),
-                    _ => unreachable!("degraded_pipelines yields Degraded only"),
-                };
-                incidents.push(MonitorIncident::HealthDowngrade {
-                    pipeline: pipeline.to_string(),
-                    reason,
-                    flight: flight.clone(),
-                });
+        if self.engine.is_firing("health_downgrade") {
+            for (pipeline, status) in degraded_pipelines(&report.health) {
+                if !baseline.degraded.iter().any(|p| p == pipeline) {
+                    let reason = match status {
+                        PipelineStatus::Degraded { reason } => reason.clone(),
+                        _ => unreachable!("degraded_pipelines yields Degraded only"),
+                    };
+                    incidents.push(MonitorIncident::HealthDowngrade {
+                        pipeline: pipeline.to_string(),
+                        reason,
+                        flight: flight.clone(),
+                    });
+                }
             }
         }
         incidents
     }
 
-    fn update_series(&mut self, report: &SweepReport) {
+    fn update_series(&mut self, at_ns: u64, report: &SweepReport) {
+        // Baseline-relative counts feed the built-in threshold rules, so
+        // the engine sees exactly what the old compare() saw.
+        let new_findings = self.baseline.as_ref().map(|baseline| {
+            finding_keys(report)
+                .filter(|key| !baseline.findings.contains(key))
+                .count()
+        });
+        let downgrades = self.baseline.as_ref().map(|baseline| {
+            degraded_pipelines(&report.health)
+                .filter(|(pipeline, _)| !baseline.degraded.iter().any(|p| p == pipeline))
+                .count()
+        });
         let history = self.config.history;
         let mut push = |name: &str, value: f64| {
             self.series
                 .entry(name.to_string())
-                .or_insert_with(|| MetricSeries::new(history))
-                .push(value);
+                .or_insert_with(|| TimeSeries::new(history))
+                .push(at_ns, value);
         };
         push("sweep.suspicious", report.suspicious_count() as f64);
         push("sweep.noise", report.noise_count() as f64);
@@ -539,8 +673,15 @@ impl SweepMonitor {
             "sweep.degraded",
             degraded_pipelines(&report.health).count() as f64,
         );
-        for (pipeline, duration) in report.pipeline_durations() {
-            push(&format!("{pipeline}.duration_ns"), duration as f64);
+        // Every pipeline gets a sample every sweep (0 when it produced no
+        // span), so baseline-relative latency rules never compare against
+        // a stale value.
+        let durations = report.pipeline_durations();
+        for pipeline in PIPELINES {
+            push(
+                &format!("{pipeline}.duration_ns"),
+                durations.get(pipeline).copied().unwrap_or(0) as f64,
+            );
         }
         if let Some(telemetry) = &report.telemetry {
             for (name, value) in &telemetry.counters {
@@ -551,6 +692,12 @@ impl SweepMonitor {
                     push(name, *value as f64);
                 }
             }
+        }
+        if let Some(count) = new_findings {
+            push("sweep.new_findings", count as f64);
+        }
+        if let Some(count) = downgrades {
+            push("sweep.downgrades", count as f64);
         }
     }
 }
@@ -593,7 +740,7 @@ fn degraded_pipelines(
 mod tests {
     use super::*;
     use crate::policy::ScanPolicy;
-    use strider_support::obs::FakeClock;
+    use strider_support::obs::{FakeClock, FlightEventKind};
 
     fn fake_monitor() -> (Arc<FakeClock>, SweepMonitor) {
         let clock = Arc::new(FakeClock::new());
@@ -622,12 +769,15 @@ mod tests {
         let observations = monitor.run(&mut machine, 3).unwrap();
         assert_eq!(observations.len(), 3);
         assert!(observations.iter().all(|o| o.incidents.is_empty()));
+        assert!(observations.iter().all(|o| o.transitions.is_empty()));
         assert_eq!(monitor.sweeps_run(), 3);
         let suspicious = monitor.series("sweep.suspicious").unwrap();
         assert_eq!(suspicious.len(), 3);
         assert_eq!(suspicious.last(), Some(0.0));
         assert_eq!(suspicious.quantile(100.0), Some(0.0));
         assert!(monitor.series("files.duration_ns").is_some());
+        assert!(monitor.alerts().firing().is_empty());
+        assert!(monitor.alert_log().is_empty());
     }
 
     #[test]
@@ -646,15 +796,71 @@ mod tests {
     #[test]
     fn metric_series_is_bounded_and_queries_work() {
         let mut series = MetricSeries::new(3);
-        for v in [1.0, 2.0, 3.0, 4.0] {
-            series.push(v);
+        for (i, v) in [1.0, 2.0, 3.0, 4.0].into_iter().enumerate() {
+            series.push(i as u64 * 100, v);
         }
         assert_eq!(series.len(), 3, "oldest point evicted");
-        assert_eq!(series.values().collect::<Vec<_>>(), vec![2.0, 3.0, 4.0]);
+        assert_eq!(series.values(), vec![2.0, 3.0, 4.0]);
         assert_eq!(series.last(), Some(4.0));
         assert_eq!(series.mean(), Some(3.0));
         assert_eq!(series.quantile(0.0), Some(2.0));
         assert_eq!(series.quantile(100.0), Some(4.0));
         assert!(MetricSeries::new(2).quantile(50.0).is_none());
+    }
+
+    #[test]
+    fn zero_history_config_still_retains_the_newest_sample() {
+        // `MonitorConfig { history: 0, .. }` is directly constructible,
+        // bypassing `with_history`'s clamp — the series itself must clamp.
+        let (_clock, monitor) = fake_monitor();
+        let mut monitor = monitor.with_config(MonitorConfig {
+            history: 0,
+            ..MonitorConfig::default()
+        });
+        let mut machine = Machine::with_base_system("lab-zero").unwrap();
+        monitor.record_baseline(&mut machine).unwrap();
+        monitor.run(&mut machine, 2).unwrap();
+        let suspicious = monitor.series("sweep.suspicious").unwrap();
+        assert_eq!(suspicious.len(), 1, "capacity clamped to 1, not 0");
+        assert_eq!(suspicious.last(), Some(0.0));
+    }
+
+    #[test]
+    fn custom_rule_transitions_reach_log_and_flight_dump() {
+        let (_clock, monitor) = fake_monitor();
+        let mut monitor = monitor.with_rule(
+            AlertRule::new(
+                "always_on",
+                "sweep.suspicious",
+                AlertCondition::Below(1_000.0),
+            )
+            .with_severity(Severity::Info),
+        );
+        let mut machine = Machine::with_base_system("lab-rule").unwrap();
+        monitor.record_baseline(&mut machine).unwrap();
+        let observation = monitor.observe(&mut machine).unwrap();
+        assert_eq!(observation.transitions.len(), 1);
+        assert!(monitor.alerts().is_firing("always_on"));
+        assert_eq!(monitor.alert_log().len(), 1);
+        // The re-frozen report's flight dump carries the alert event.
+        let flight = &observation.report.telemetry.as_ref().unwrap().flight;
+        assert!(flight
+            .events
+            .iter()
+            .any(|e| e.kind == FlightEventKind::Alert && e.what == "always_on"));
+    }
+
+    #[test]
+    fn exposition_snapshot_includes_series_and_alerts() {
+        let (_clock, mut monitor) = fake_monitor();
+        let mut machine = Machine::with_base_system("lab-prom").unwrap();
+        monitor.record_baseline(&mut machine).unwrap();
+        monitor.observe(&mut machine).unwrap();
+        let text = monitor.prometheus().render();
+        assert!(text.contains("strider_monitor_sweeps_total 1"));
+        assert!(text.contains("monitor_sweep_suspicious 0"));
+        assert!(text.contains(
+            "strider_alert_active{rule=\"new_hidden_resource\",severity=\"critical\"} 0"
+        ));
     }
 }

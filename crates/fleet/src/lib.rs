@@ -23,7 +23,13 @@
 //! [`SweepMonitor`](strider_ghostbuster::SweepMonitor) per shard (every
 //! machine diffs against its *own* baseline) with fleet rollup series and
 //! [`FleetIncident`]s tagged by shard, each carrying that shard's
-//! flight-recorder dump as evidence.
+//! flight-recorder dump as evidence. On top of the rollups sits an
+//! alerting plane: a [`FleetAlertPolicy`] installs fleet-level rules
+//! (infection-rate spike, degraded-shard fraction, p95 sweep-latency SLO)
+//! into an [`AlertEngine`](strider_support::alert::AlertEngine) evaluated
+//! after every pass, and both the live monitor and the merged
+//! [`FleetReport`] export Prometheus-text snapshots
+//! (`TELEMETRY_EXPO_<label>.prom`).
 //!
 //! # Examples
 //!
@@ -57,7 +63,7 @@ mod registry;
 mod report;
 mod scheduler;
 
-pub use monitor::{FleetIncident, FleetMonitor, FleetObservation};
+pub use monitor::{FleetAlertPolicy, FleetIncident, FleetMonitor, FleetObservation};
 pub use registry::{FleetMachine, FleetRegistry, FleetSpec, ShardId};
 pub use report::{FleetCheckpoint, FleetReport, PipelineRollup, Prevalence, ShardResult};
 pub use scheduler::{FleetControl, FleetScheduler};
@@ -65,8 +71,8 @@ pub use scheduler::{FleetControl, FleetScheduler};
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::{
-        FleetCheckpoint, FleetControl, FleetIncident, FleetMachine, FleetMonitor, FleetObservation,
-        FleetRegistry, FleetReport, FleetScheduler, FleetSpec, PipelineRollup, Prevalence, ShardId,
-        ShardResult,
+        FleetAlertPolicy, FleetCheckpoint, FleetControl, FleetIncident, FleetMachine, FleetMonitor,
+        FleetObservation, FleetRegistry, FleetReport, FleetScheduler, FleetSpec, PipelineRollup,
+        Prevalence, ShardId, ShardResult,
     };
 }

@@ -1,16 +1,23 @@
 //! Fleet-wide drift monitoring: one [`SweepMonitor`] per shard (so every
 //! machine diffs against *its own* baseline) plus fleet-level rollup
-//! series, with incidents tagged by shard.
+//! series, with incidents tagged by shard and fleet-level alert rules
+//! (infection-rate spike, degraded-shard fraction, sweep-latency SLO)
+//! evaluated after every pass.
 
 use crate::registry::{FleetRegistry, ShardId};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use strider_ghostbuster::{
     GhostBuster, MetricSeries, MonitorConfig, MonitorIncident, MonitorObservation, SweepMonitor,
 };
 use strider_nt_core::NtStatus;
-use strider_support::obs::Clock;
+use strider_support::alert::{
+    AlertCondition, AlertEngine, AlertLog, AlertRule, AlertTransition, Exposition, Severity,
+    TimeSeries,
+};
+use strider_support::obs::{Clock, FlightDump, FlightRecorder};
 
 /// A [`MonitorIncident`] tagged with the shard it fired on. The wrapped
 /// incident carries that shard's flight-recorder dump as evidence.
@@ -30,8 +37,99 @@ impl fmt::Display for FleetIncident {
     }
 }
 
+/// Thresholds for the built-in fleet-level alert rules.
+///
+/// Three rules watch the rollup series after every pass:
+///
+/// * `fleet.infection_spike` — `fleet.infection_rate` above
+///   [`infection_rate_max`](Self::infection_rate_max) (critical);
+/// * `fleet.degraded_shards` — `fleet.degraded_fraction` (fraction of
+///   shards with at least one degraded pipeline) above
+///   [`degraded_fraction_max`](Self::degraded_fraction_max) (warning);
+/// * `fleet.latency_slo` — `fleet.p95_sweep_ns` (nearest-rank p95 of
+///   per-shard sweep durations this pass) above
+///   [`sweep_p95_slo_ns`](Self::sweep_p95_slo_ns) (warning).
+///
+/// All three share one [`for_ns`](Self::for_ns) hold: a rule must stay
+/// breached that long (on the policy clock) before it fires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetAlertPolicy {
+    /// Infection-rate ceiling (fraction of shards), default 0.25.
+    pub infection_rate_max: f64,
+    /// Degraded-shard-fraction ceiling, default 0.25.
+    pub degraded_fraction_max: f64,
+    /// Per-pass p95 sweep-duration SLO in nanoseconds; default
+    /// `u64::MAX` (no latency SLO).
+    pub sweep_p95_slo_ns: u64,
+    /// Hysteresis hold applied to every fleet rule, default 0.
+    pub for_ns: u64,
+}
+
+impl Default for FleetAlertPolicy {
+    fn default() -> Self {
+        FleetAlertPolicy {
+            infection_rate_max: 0.25,
+            degraded_fraction_max: 0.25,
+            sweep_p95_slo_ns: u64::MAX,
+            for_ns: 0,
+        }
+    }
+}
+
+impl FleetAlertPolicy {
+    /// Sets the infection-rate ceiling.
+    pub fn with_infection_rate_max(mut self, max: f64) -> Self {
+        self.infection_rate_max = max;
+        self
+    }
+
+    /// Sets the degraded-shard-fraction ceiling.
+    pub fn with_degraded_fraction_max(mut self, max: f64) -> Self {
+        self.degraded_fraction_max = max;
+        self
+    }
+
+    /// Sets the p95 sweep-duration SLO.
+    pub fn with_sweep_p95_slo_ns(mut self, slo_ns: u64) -> Self {
+        self.sweep_p95_slo_ns = slo_ns;
+        self
+    }
+
+    /// Sets the hysteresis hold shared by the fleet rules.
+    pub fn with_for_ns(mut self, for_ns: u64) -> Self {
+        self.for_ns = for_ns;
+        self
+    }
+
+    fn rules(&self) -> Vec<AlertRule> {
+        vec![
+            AlertRule::new(
+                "fleet.infection_spike",
+                "fleet.infection_rate",
+                AlertCondition::Above(self.infection_rate_max),
+            )
+            .with_for_ns(self.for_ns)
+            .with_severity(Severity::Critical),
+            AlertRule::new(
+                "fleet.degraded_shards",
+                "fleet.degraded_fraction",
+                AlertCondition::Above(self.degraded_fraction_max),
+            )
+            .with_for_ns(self.for_ns)
+            .with_severity(Severity::Warning),
+            AlertRule::new(
+                "fleet.latency_slo",
+                "fleet.p95_sweep_ns",
+                AlertCondition::Above(self.sweep_p95_slo_ns as f64),
+            )
+            .with_for_ns(self.for_ns)
+            .with_severity(Severity::Warning),
+        ]
+    }
+}
+
 /// One fleet-wide monitoring pass: every shard's observation plus the
-/// incidents raised across the fleet.
+/// incidents and fleet-level alert transitions raised across the fleet.
 #[derive(Debug, Clone)]
 pub struct FleetObservation {
     /// Monitor clock reading when the pass started.
@@ -40,6 +138,8 @@ pub struct FleetObservation {
     pub shards: Vec<MonitorObservation>,
     /// Every incident of the pass, tagged with its shard.
     pub incidents: Vec<FleetIncident>,
+    /// Fleet-level alert transitions this pass produced.
+    pub transitions: Vec<AlertTransition>,
 }
 
 impl FleetObservation {
@@ -55,13 +155,19 @@ impl FleetObservation {
 }
 
 /// Drives one [`SweepMonitor`] per fleet machine and rolls their signals
-/// up into fleet-level [`MetricSeries`].
+/// up into fleet-level [`MetricSeries`], with a fleet-scope
+/// [`AlertEngine`] on top.
 ///
 /// Per-shard baselines matter because machines differ: a 30 s file scan is
 /// normal on a large shard and a regression on a tiny one. The fleet
 /// monitor therefore compares every machine against *its own* recorded
 /// baseline, and only the rollups (infected count, total incidents,
-/// degraded pipelines) are fleet-global.
+/// degraded pipelines, infection rate, degraded fraction, p95 sweep
+/// latency) are fleet-global. The [`FleetAlertPolicy`] rules — plus any
+/// [`add_rule`](Self::add_rule)d custom rules — are evaluated over those
+/// rollup series after every pass, and every transition lands in the
+/// monitor's own [`FlightRecorder`] (see [`flight`](Self::flight)) so
+/// fleet alerts carry a black box just like shard incidents do.
 ///
 /// Monitoring passes run shard-serially on the calling thread: the
 /// monitor's job is drift detection on a schedule, not throughput — use
@@ -71,6 +177,10 @@ impl FleetObservation {
 pub struct FleetMonitor {
     detector: GhostBuster,
     config: MonitorConfig,
+    alert_policy: FleetAlertPolicy,
+    custom_rules: Vec<AlertRule>,
+    engine: AlertEngine,
+    recorder: FlightRecorder,
     shards: Vec<SweepMonitor>,
     machines: Vec<String>,
     series: BTreeMap<String, MetricSeries>,
@@ -79,11 +189,18 @@ pub struct FleetMonitor {
 
 impl FleetMonitor {
     /// A fleet monitor cloning per-shard monitors from `detector`, with
-    /// default [`MonitorConfig`].
+    /// default [`MonitorConfig`] and [`FleetAlertPolicy`].
     pub fn new(detector: GhostBuster) -> Self {
+        let recorder = FlightRecorder::new(detector.policy().clock().clone());
+        let alert_policy = FleetAlertPolicy::default();
+        let engine = AlertEngine::with_rules(alert_policy.rules());
         FleetMonitor {
             detector,
             config: MonitorConfig::default(),
+            alert_policy,
+            custom_rules: Vec::new(),
+            engine,
+            recorder,
             shards: Vec::new(),
             machines: Vec::new(),
             series: BTreeMap::new(),
@@ -97,9 +214,67 @@ impl FleetMonitor {
         self
     }
 
+    /// Replaces the fleet alert policy, rebuilding the fleet rules (which
+    /// resets their states; custom rules are kept).
+    pub fn with_alert_policy(mut self, policy: FleetAlertPolicy) -> Self {
+        self.alert_policy = policy;
+        self.rebuild_engine();
+        self
+    }
+
+    /// Adds a custom fleet-level [`AlertRule`] over the rollup series,
+    /// builder style.
+    pub fn with_rule(mut self, rule: AlertRule) -> Self {
+        self.add_rule(rule);
+        self
+    }
+
+    /// Adds a custom fleet-level [`AlertRule`] evaluated over the rollup
+    /// series after every pass. A rule sharing a name with an existing
+    /// rule (including a fleet built-in) replaces it and resets its
+    /// state.
+    pub fn add_rule(&mut self, rule: AlertRule) {
+        if let Some(existing) = self.custom_rules.iter_mut().find(|r| r.name == rule.name) {
+            *existing = rule.clone();
+        } else {
+            self.custom_rules.push(rule.clone());
+        }
+        self.engine.add_rule(rule);
+    }
+
+    fn rebuild_engine(&mut self) {
+        let mut rules = self.alert_policy.rules();
+        rules.extend(self.custom_rules.iter().cloned());
+        self.engine = AlertEngine::with_rules(rules);
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &MonitorConfig {
         &self.config
+    }
+
+    /// The active fleet alert policy.
+    pub fn alert_policy(&self) -> &FleetAlertPolicy {
+        &self.alert_policy
+    }
+
+    /// The fleet-level alert engine: rule states, firing rules, and the
+    /// bounded transition log.
+    pub fn alerts(&self) -> &AlertEngine {
+        &self.engine
+    }
+
+    /// The bounded fleet alert-transition history (shorthand for
+    /// `alerts().log()`).
+    pub fn alert_log(&self) -> &AlertLog {
+        self.engine.log()
+    }
+
+    /// A snapshot of the fleet monitor's own flight ring — fleet alert
+    /// transitions land here, so a firing fleet rule ships evidence the
+    /// same way shard incidents do.
+    pub fn flight(&self) -> FlightDump {
+        self.recorder.snapshot()
     }
 
     /// How many fleet passes have run (baselines excluded).
@@ -157,7 +332,8 @@ impl FleetMonitor {
 
     /// Runs one monitoring pass over the whole fleet: every shard is
     /// observed against its own baseline, incidents are tagged with their
-    /// shard, and the fleet rollup series are updated.
+    /// shard, the fleet rollup series are updated, and the fleet alert
+    /// rules are evaluated.
     ///
     /// # Errors
     ///
@@ -188,20 +364,35 @@ impl FleetMonitor {
             observations.push(observation);
         }
 
+        let now_ns = self.clock().now_ns();
+        let shard_count = observations.len().max(1) as f64;
+        let infected = observations
+            .iter()
+            .filter(|o| o.report.is_infected())
+            .count() as f64;
+        let degraded_shards = observations
+            .iter()
+            .filter(|o| !o.report.health.degraded_pipelines().is_empty())
+            .count() as f64;
+        // Nearest-rank p95 of per-shard whole-sweep durations this pass.
+        let mut sweep_ns: Vec<u64> = observations
+            .iter()
+            .map(|o| o.report.pipeline_durations().values().sum::<u64>())
+            .collect();
+        sweep_ns.sort_unstable();
+        let p95_ns = sweep_ns
+            .get(((0.95 * sweep_ns.len() as f64).ceil() as usize).saturating_sub(1))
+            .copied()
+            .unwrap_or(0);
+
         let history = self.config.history;
         let mut push = |name: &str, value: f64| {
             self.series
                 .entry(name.to_string())
-                .or_insert_with(|| MetricSeries::new(history))
-                .push(value);
+                .or_insert_with(|| TimeSeries::new(history))
+                .push(now_ns, value);
         };
-        push(
-            "fleet.infected",
-            observations
-                .iter()
-                .filter(|o| o.report.is_infected())
-                .count() as f64,
-        );
+        push("fleet.infected", infected);
         push(
             "fleet.suspicious",
             observations
@@ -217,12 +408,20 @@ impl FleetMonitor {
                 .sum::<usize>() as f64,
         );
         push("fleet.incidents", incidents.len() as f64);
+        push("fleet.infection_rate", infected / shard_count);
+        push("fleet.degraded_fraction", degraded_shards / shard_count);
+        push("fleet.p95_sweep_ns", p95_ns as f64);
+
+        let transitions = self
+            .engine
+            .evaluate(&self.series, now_ns, Some(&self.recorder));
 
         self.passes_run += 1;
         Ok(FleetObservation {
             at_ns,
             shards: observations,
             incidents,
+            transitions,
         })
     }
 
@@ -246,6 +445,44 @@ impl FleetMonitor {
             observations.push(self.observe(fleet)?);
         }
         Ok(observations)
+    }
+
+    /// The fleet monitor's current state as a Prometheus-text
+    /// [`Exposition`]: every fleet rollup series' newest value as a
+    /// `fleet_*` gauge, the pass counter, and the active fleet alerts.
+    pub fn prometheus(&self) -> Exposition {
+        let mut expo = Exposition::new();
+        for (name, series) in &self.series {
+            if let Some(value) = series.last() {
+                expo.gauge(name, value);
+            }
+        }
+        expo.counter("strider_fleet_passes_total", self.passes_run);
+        expo.alerts(&self.engine);
+        expo
+    }
+
+    /// Writes [`prometheus`](Self::prometheus) as
+    /// `TELEMETRY_EXPO_<label>.prom` into
+    /// [`strider_support::bench::report_dir`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; rejects labels with no alphanumeric
+    /// content.
+    pub fn write_prom(&self, label: &str) -> std::io::Result<PathBuf> {
+        self.prometheus().write(label)
+    }
+
+    /// Writes [`prometheus`](Self::prometheus) as
+    /// `TELEMETRY_EXPO_<label>.prom` into `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; rejects labels with no alphanumeric
+    /// content.
+    pub fn write_prom_in(&self, dir: &Path, label: &str) -> std::io::Result<PathBuf> {
+        self.prometheus().write_in(dir, label)
     }
 }
 
@@ -279,11 +516,17 @@ mod tests {
         let passes = monitor.run(&mut fleet, 2).unwrap();
         assert_eq!(passes.len(), 2);
         assert!(passes.iter().all(|p| p.incidents.is_empty()));
+        assert!(passes.iter().all(|p| p.transitions.is_empty()));
         assert_eq!(monitor.passes_run(), 2);
         let infected = monitor.series("fleet.infected").unwrap();
         assert_eq!(infected.len(), 2);
         assert_eq!(infected.last(), Some(0.0));
+        assert_eq!(
+            monitor.series("fleet.infection_rate").unwrap().last(),
+            Some(0.0)
+        );
         assert!(monitor.shard(ShardId(0)).unwrap().baseline().is_some());
+        assert!(monitor.alerts().firing().is_empty());
     }
 
     #[test]
@@ -314,5 +557,33 @@ mod tests {
             monitor.series("fleet.incidents").unwrap().last(),
             Some(pass.incidents.len() as f64)
         );
+    }
+
+    #[test]
+    fn infection_spike_fires_the_fleet_rule_with_flight_evidence() {
+        use strider_ghostware::{Ghostware, HackerDefender};
+        let mut fleet = FleetRegistry::seeded(&FleetSpec::clean(3, 31)).unwrap();
+        let mut monitor = fake_monitor();
+        monitor.record_baselines(&mut fleet).unwrap();
+
+        // 1/3 infected > 0.25 default ceiling.
+        HackerDefender::default()
+            .infect(&mut fleet.machines_mut()[0].machine)
+            .unwrap();
+        let pass = monitor.observe(&mut fleet).unwrap();
+        assert!(monitor.alerts().is_firing("fleet.infection_spike"));
+        assert!(pass
+            .transitions
+            .iter()
+            .any(|t| t.rule == "fleet.infection_spike"));
+        assert!(monitor
+            .flight()
+            .events
+            .iter()
+            .any(|e| e.what == "fleet.infection_spike"));
+        let prom = monitor.prometheus().render();
+        assert!(prom.contains(
+            "strider_alert_active{rule=\"fleet.infection_spike\",severity=\"critical\"} 1"
+        ));
     }
 }

@@ -5,7 +5,9 @@
 use crate::registry::{FleetRegistry, ShardId};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use strider_ghostbuster::{PipelineStatus, SweepCheckpoint, SweepReport};
+use strider_support::alert::Exposition;
 use strider_support::obs::HistogramSketch;
 
 /// One machine's contribution to a fleet sweep.
@@ -167,6 +169,66 @@ impl FleetReport {
     pub fn is_complete_and_healthy(&self) -> bool {
         self.unswept.is_empty() && self.health.values().all(|r| r.degraded == 0)
     }
+
+    /// The merged fleet sweep as a Prometheus-text [`Exposition`]: sweep
+    /// counters, the infection rate, per-pipeline health rollups and
+    /// per-family/per-technique prevalence as labelled gauges, and the
+    /// fleet-wide latency sketches as cumulative histograms.
+    pub fn prometheus(&self) -> Exposition {
+        let mut expo = Exposition::new();
+        expo.counter("strider_fleet_machines_total", self.machines);
+        expo.counter("strider_fleet_swept_total", self.swept);
+        expo.counter("strider_fleet_infected_total", self.infected);
+        expo.counter("strider_fleet_seeded_infected_total", self.seeded_infected);
+        expo.counter("strider_fleet_unswept_total", self.unswept.len() as u64);
+        expo.gauge("strider_fleet_infection_rate", self.infection_rate());
+        for (pipeline, rollup) in &self.health {
+            for (state, count) in [
+                ("ok", rollup.ok),
+                ("salvaged", rollup.salvaged),
+                ("degraded", rollup.degraded),
+            ] {
+                expo.gauge_with(
+                    "strider_fleet_pipeline_health",
+                    &[("pipeline", pipeline), ("state", state)],
+                    count as f64,
+                );
+            }
+        }
+        for (kind, table) in [("family", &self.families), ("technique", &self.techniques)] {
+            for (name, p) in table {
+                expo.gauge_with("strider_fleet_seeded", &[(kind, name)], p.seeded as f64);
+                expo.gauge_with("strider_fleet_detected", &[(kind, name)], p.detected as f64);
+            }
+        }
+        for (probe, sketch) in &self.latency {
+            expo.histogram(probe, sketch);
+        }
+        expo
+    }
+
+    /// Writes [`prometheus`](Self::prometheus) as
+    /// `TELEMETRY_EXPO_<label>.prom` into
+    /// [`strider_support::bench::report_dir`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; rejects labels with no alphanumeric
+    /// content.
+    pub fn write_prom(&self, label: &str) -> std::io::Result<PathBuf> {
+        self.prometheus().write(label)
+    }
+
+    /// Writes [`prometheus`](Self::prometheus) as
+    /// `TELEMETRY_EXPO_<label>.prom` into `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; rejects labels with no alphanumeric
+    /// content.
+    pub fn write_prom_in(&self, dir: &Path, label: &str) -> std::io::Result<PathBuf> {
+        self.prometheus().write_in(dir, label)
+    }
 }
 
 impl fmt::Display for FleetReport {
@@ -307,6 +369,17 @@ mod tests {
         assert!(!checkpoint.is_complete());
         let parsed = FleetCheckpoint::deserialize(&checkpoint.serialize()).unwrap();
         assert_eq!(parsed, checkpoint);
+    }
+
+    #[test]
+    fn report_exposition_renders_counters_and_rate() {
+        let mut report = FleetReport::default();
+        report.finalize(4);
+        let text = report.prometheus().render();
+        assert!(text.contains("# TYPE strider_fleet_machines_total counter"));
+        assert!(text.contains("strider_fleet_machines_total 4"));
+        assert!(text.contains("strider_fleet_infection_rate 0"));
+        assert!(text.contains("strider_fleet_unswept_total 4"));
     }
 
     #[test]

@@ -638,6 +638,18 @@ impl<T: FromJson> FromJson for Vec<T> {
     }
 }
 
+impl<T: ToJson> ToJson for std::collections::VecDeque<T> {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for std::collections::VecDeque<T> {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        value.as_arr()?.iter().map(T::from_json).collect()
+    }
+}
+
 impl<T: ToJson> ToJson for Option<T> {
     fn to_json(&self) -> JsonValue {
         match self {

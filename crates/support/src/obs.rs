@@ -358,6 +358,32 @@ impl HistogramSketch {
         Some(self.sum / self.count as f64)
     }
 
+    /// Exact running sum of all recorded samples (0.0 when empty). SLO
+    /// and rate rules divide this by [`count`](Self::count); Prometheus
+    /// exposition emits it as the `_sum` line.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// The sketch's cumulative bucket view: `(upper_bound, cumulative
+    /// count)` pairs in ascending bound order, exactly the shape a
+    /// Prometheus `_bucket{le="..."}` series wants. The underflow bucket
+    /// (samples `<= 0`) appears as bound `0`; the caller supplies the
+    /// final `+Inf` bucket from [`count`](Self::count).
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len() + 1);
+        let mut cumulative = 0u64;
+        if self.zero_count > 0 {
+            cumulative += self.zero_count;
+            out.push((0.0, cumulative));
+        }
+        for (&index, &n) in &self.buckets {
+            cumulative += n;
+            out.push((SKETCH_GAMMA.powi(index), cumulative));
+        }
+        out
+    }
+
     /// Smallest recorded sample.
     pub fn min(&self) -> Option<f64> {
         (self.count > 0).then_some(self.min)
@@ -432,6 +458,8 @@ pub enum FlightEventKind {
     Breaker,
     /// A cancellation or deadline interrupt was observed.
     Cancel,
+    /// An alert rule changed state (see [`crate::alert::AlertEngine`]).
+    Alert,
     /// A free-form caller annotation.
     Mark,
 }
@@ -445,6 +473,7 @@ crate::impl_json!(
         Fault,
         Breaker,
         Cancel,
+        Alert,
         Mark,
     }
 );
@@ -459,6 +488,7 @@ impl fmt::Display for FlightEventKind {
             FlightEventKind::Fault => "fault",
             FlightEventKind::Breaker => "breaker",
             FlightEventKind::Cancel => "cancel",
+            FlightEventKind::Alert => "alert",
             FlightEventKind::Mark => "mark",
         };
         f.write_str(label)
@@ -1308,7 +1338,7 @@ pub fn sanitize_label(label: &str) -> Option<String> {
     (!trimmed.is_empty()).then(|| trimmed.to_string())
 }
 
-fn checked_label(label: &str) -> std::io::Result<String> {
+pub(crate) fn checked_label(label: &str) -> std::io::Result<String> {
     sanitize_label(label).ok_or_else(|| {
         std::io::Error::new(
             std::io::ErrorKind::InvalidInput,

@@ -63,6 +63,18 @@ STRIDER_BENCH_DIR="$OBS_DIR" cargo run -q --offline --example monitor
 test -f "$OBS_DIR/SCAN_TELEMETRY_monitor.json"
 test -f "$OBS_DIR/SCAN_TRACE_monitor.json"
 
+# Alerting suite: declarative alert rules over timestamped series —
+# for_ns hysteresis on the fake clock, absence rules, built-in monitor
+# rules, the exposition-format property, and the self-validating example
+# (which asserts the whole Pending→Firing→Resolved lifecycle and re-reads
+# its own TELEMETRY_EXPO_* file before printing OK).
+echo "==> alerting suite (rules, hysteresis, Prometheus exposition)"
+cargo test -q --offline --test alerting
+cargo test -q --offline --test properties \
+    prometheus_exposition_is_stable_and_parseable_for_any_telemetry
+STRIDER_BENCH_DIR="$OBS_DIR" cargo run -q --offline --example alerting >/dev/null
+test -f "$OBS_DIR/TELEMETRY_EXPO_alerting.prom"
+
 # Fleet suite: the work-stealing fleet scheduler — exact 64-machine fleet
 # statistics with merged-sketch equality, shard-level fault isolation,
 # kill-mid-fleet checkpoint resume, and shard-tagged monitor incidents.

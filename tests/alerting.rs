@@ -1,0 +1,250 @@
+//! Alerting-plane integration tests: declarative alert rules riding the
+//! sweep monitor, `for_ns` hysteresis on the fake clock, absence rules
+//! catching stalled heartbeats, and the Prometheus-text exposition files
+//! operators scrape.
+//!
+//! Everything runs on a [`FakeClock`], so the Pending→Firing→Resolved
+//! lifecycle is a pure function of the scenario: a stall advances
+//! simulated time by exactly five 100 µs polls, and a rule with a 2.5 ms
+//! hold fires on exactly the pass where the breach has been sustained
+//! that long.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use strider_ghostbuster_repro::prelude::*;
+use strider_support::fault::Stall;
+use strider_support::obs::{Clock, FakeClock, FlightEventKind, FlightRecorder};
+
+fn supervised_policy(clock: Arc<FakeClock>) -> ScanPolicy {
+    ScanPolicy::resilient()
+        .with_clock(clock)
+        .with_poll(100_000, 0)
+        .with_pipeline_budget(2_000_000)
+        .with_sweep_budget(10_000_000)
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("strider-{name}-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A finite volume stall: five 100 µs polls, so the files pipeline
+/// completes ~500 µs slower than the instantaneous baseline. Re-armed
+/// before every sweep so each pass sees the same slowdown.
+fn arm_stall(machine: &mut Machine) {
+    machine.set_fault_injector(FaultInjector::new().stall_volume_reads(Stall::after_polls(5)));
+}
+
+// ---------------------------------------------------------------------
+// The headline lifecycle: a hand-written rule with hysteresis fires
+// deterministically, leaves evidence everywhere, and resolves
+// ---------------------------------------------------------------------
+
+#[test]
+fn custom_rule_with_hysteresis_fires_and_resolves_deterministically() {
+    let clock = Arc::new(FakeClock::default());
+    let mut machine = Machine::with_base_system("victim").unwrap();
+    let mut monitor =
+        SweepMonitor::new(GhostBuster::new().with_policy(supervised_policy(clock.clone())))
+            .with_rule(
+                AlertRule::new(
+                    "slow_files",
+                    "files.duration_ns",
+                    AlertCondition::Above(400_000.0),
+                )
+                .with_for_ns(2_500_000)
+                .with_severity(Severity::Critical),
+            );
+    monitor.record_baseline(&mut machine).unwrap();
+
+    // Pass 1 (t≈0): the stall pushes files.duration_ns to ~500 µs. The
+    // rule is breached but held by `for_ns`: Pending, not Firing.
+    arm_stall(&mut machine);
+    let pass1 = monitor.observe(&mut machine).unwrap();
+    assert_eq!(
+        monitor.alerts().state("slow_files"),
+        Some(AlertState::Pending)
+    );
+    assert!(!monitor.alerts().is_firing("slow_files"));
+    assert!(
+        pass1
+            .transitions
+            .iter()
+            .any(|t| t.rule == "slow_files" && t.to == AlertState::Pending),
+        "{:?}",
+        pass1.transitions
+    );
+
+    // Pass 2, one simulated millisecond later: the breach has been held
+    // ~1.5 ms < 2.5 ms. Hysteresis: still Pending, never Firing early.
+    clock.advance(1_000_000);
+    arm_stall(&mut machine);
+    let pass2 = monitor.observe(&mut machine).unwrap();
+    assert_eq!(
+        monitor.alerts().state("slow_files"),
+        Some(AlertState::Pending)
+    );
+    assert!(
+        pass2.transitions.iter().all(|t| t.rule != "slow_files"),
+        "no transition while the hold is running: {:?}",
+        pass2.transitions
+    );
+
+    // Pass 3, another millisecond on: the breach has now been sustained
+    // ~3.0 ms ≥ 2.5 ms — the rule fires on exactly this pass.
+    clock.advance(1_000_000);
+    arm_stall(&mut machine);
+    let pass3 = monitor.observe(&mut machine).unwrap();
+    assert!(monitor.alerts().is_firing("slow_files"));
+    let firing = pass3
+        .transitions
+        .iter()
+        .find(|t| t.rule == "slow_files")
+        .expect("the pending→firing transition is reported");
+    assert_eq!(firing.from, AlertState::Pending);
+    assert_eq!(firing.to, AlertState::Firing);
+    assert_eq!(firing.severity, Severity::Critical);
+
+    // The same transition is durable in the alert log…
+    assert!(
+        monitor
+            .alert_log()
+            .entries()
+            .any(|t| t.rule == "slow_files" && t.to == AlertState::Firing),
+        "{:?}",
+        monitor.alert_log().entries().collect::<Vec<_>>()
+    );
+    // …and visible in the sweep's own flight dump, next to the fault
+    // events that caused it.
+    let flight = pass3
+        .report
+        .telemetry
+        .as_ref()
+        .expect("monitored sweeps carry telemetry")
+        .flight
+        .clone();
+    assert!(
+        flight
+            .events
+            .iter()
+            .any(|e| e.kind == FlightEventKind::Alert
+                && e.what == "slow_files"
+                && e.detail.contains("firing")),
+        "alert transition lands in the black box:\n{}",
+        flight.render()
+    );
+
+    // While firing, the exposition file an operator scrapes says so.
+    let dir = scratch_dir("alerting-lifecycle");
+    let path = monitor.write_prom_in(&dir, "lifecycle").unwrap();
+    assert_eq!(path.file_name().unwrap(), "TELEMETRY_EXPO_lifecycle.prom");
+    let text = fs::read_to_string(&path).unwrap();
+    assert!(
+        text.contains("strider_alert_active{rule=\"slow_files\",severity=\"critical\"} 1"),
+        "{text}"
+    );
+    assert!(text.contains("# TYPE strider_alert_active gauge"), "{text}");
+    fs::remove_dir_all(&dir).unwrap();
+
+    // Pass 4: the stall is gone, the sweep is instantaneous again, and
+    // the rule resolves — Firing → Inactive, transition on this pass.
+    clock.advance(1_000_000);
+    machine.set_fault_injector(FaultInjector::new());
+    let pass4 = monitor.observe(&mut machine).unwrap();
+    assert!(!monitor.alerts().is_firing("slow_files"));
+    let resolved = pass4
+        .transitions
+        .iter()
+        .find(|t| t.rule == "slow_files")
+        .expect("the firing→inactive transition is reported");
+    assert_eq!(resolved.from, AlertState::Firing);
+    assert_eq!(resolved.to, AlertState::Inactive);
+    // Lifetime: inactive→pending, pending→firing, firing→inactive.
+    assert_eq!(monitor.alerts().transitions("slow_files"), 3);
+}
+
+// ---------------------------------------------------------------------
+// Absence rules: a stalled shard stops heartbeating and the engine says so
+// ---------------------------------------------------------------------
+
+#[test]
+fn absence_rule_detects_a_stalled_heartbeat_and_recovers() {
+    let clock = Arc::new(FakeClock::default());
+    let recorder = FlightRecorder::new(clock.clone());
+    let mut engine = AlertEngine::with_rules(vec![AlertRule::new(
+        "shard_heartbeat_lost",
+        "shard.heartbeat",
+        AlertCondition::Absent {
+            window_ns: 3_000_000,
+        },
+    )
+    .with_severity(Severity::Critical)]);
+
+    // Healthy: a heartbeat every simulated millisecond.
+    let mut metrics = BTreeMap::new();
+    let mut heartbeat = TimeSeries::new(16);
+    for _ in 0..3 {
+        clock.advance(1_000_000);
+        heartbeat.push(clock.now_ns(), 1.0);
+    }
+    metrics.insert("shard.heartbeat".to_string(), heartbeat);
+    assert!(engine
+        .evaluate(&metrics, clock.now_ns(), Some(&recorder))
+        .is_empty());
+
+    // The shard stalls: 3.5 ms with no heartbeat blows the 3 ms window.
+    clock.advance(3_500_000);
+    let transitions = engine.evaluate(&metrics, clock.now_ns(), Some(&recorder));
+    assert!(engine.is_firing("shard_heartbeat_lost"), "{transitions:?}");
+    assert!(transitions
+        .iter()
+        .any(|t| t.rule == "shard_heartbeat_lost" && t.to == AlertState::Firing));
+    assert!(recorder
+        .snapshot()
+        .events
+        .iter()
+        .any(|e| e.kind == FlightEventKind::Alert && e.what == "shard_heartbeat_lost"));
+
+    // The shard comes back; the next heartbeat resolves the alert.
+    metrics
+        .get_mut("shard.heartbeat")
+        .unwrap()
+        .push(clock.now_ns(), 1.0);
+    let resolved = engine.evaluate(&metrics, clock.now_ns(), Some(&recorder));
+    assert!(!engine.is_firing("shard_heartbeat_lost"));
+    assert!(resolved
+        .iter()
+        .any(|t| t.rule == "shard_heartbeat_lost" && t.to == AlertState::Inactive));
+}
+
+// ---------------------------------------------------------------------
+// Built-in monitor rules keep the old incident semantics
+// ---------------------------------------------------------------------
+
+#[test]
+fn built_in_rules_drive_incidents_and_expose_their_state() {
+    let clock = Arc::new(FakeClock::default());
+    let mut machine = Machine::with_base_system("victim").unwrap();
+    let mut monitor = SweepMonitor::new(GhostBuster::new().with_policy(supervised_policy(clock)));
+    monitor.record_baseline(&mut machine).unwrap();
+
+    HackerDefender::default().infect(&mut machine).unwrap();
+    let observation = monitor.observe(&mut machine).unwrap();
+
+    // The infection trips the built-in new-finding rule, and the incident
+    // stream is derived from exactly that rule's firing state.
+    assert!(monitor.alerts().is_firing("new_hidden_resource"));
+    assert!(observation
+        .incidents
+        .iter()
+        .any(|i| matches!(i, MonitorIncident::NewHiddenResource { .. })));
+    let prom = monitor.prometheus().render();
+    assert!(
+        prom.contains("strider_alert_active{rule=\"new_hidden_resource\",severity=\"critical\"} 1"),
+        "{prom}"
+    );
+    assert!(prom.contains("strider_monitor_sweeps_total 1"), "{prom}");
+}

@@ -308,3 +308,74 @@ fn fleet_monitor_tags_incidents_with_shard_and_flight_evidence() {
     assert_eq!(pass.infected_shards(), vec![ShardId(2)]);
     assert_eq!(monitor.series("fleet.infected").unwrap().last(), Some(1.0));
 }
+
+// ---------------------------------------------------------------------
+// Fleet alerting: rollup rules fire on spikes and export to Prometheus
+// ---------------------------------------------------------------------
+
+#[test]
+fn fleet_infection_spike_rule_fires_and_exports_prometheus_text() {
+    let clock = Arc::new(FakeClock::default());
+    let mut fleet = FleetRegistry::seeded(&FleetSpec::clean(8, 47)).unwrap();
+    let mut monitor = FleetMonitor::new(GhostBuster::new().with_policy(fleet_policy(clock)))
+        .with_config(MonitorConfig::default().with_interval_ns(1_000_000_000))
+        .with_alert_policy(FleetAlertPolicy::default().with_infection_rate_max(0.25));
+    monitor.record_baselines(&mut fleet).unwrap();
+
+    // A quiet pass: rate 0, nothing pending or firing.
+    let calm = monitor.observe(&mut fleet).unwrap();
+    assert!(calm.transitions.is_empty(), "{:?}", calm.transitions);
+
+    // Rootkits land on 3 of 8 shards: infection rate 0.375 > 0.25.
+    for shard in [1usize, 4, 6] {
+        HackerDefender::default()
+            .infect(&mut fleet.machines_mut()[shard].machine)
+            .unwrap();
+    }
+    let pass = monitor.observe(&mut fleet).unwrap();
+    assert_eq!(
+        monitor.series("fleet.infection_rate").unwrap().last(),
+        Some(0.375)
+    );
+    assert!(monitor.alerts().is_firing("fleet.infection_spike"));
+    assert!(
+        pass.transitions
+            .iter()
+            .any(|t| t.rule == "fleet.infection_spike" && t.severity == Severity::Critical),
+        "{:?}",
+        pass.transitions
+    );
+    // The fleet monitor keeps its own black box for alert transitions.
+    assert!(monitor
+        .flight()
+        .events
+        .iter()
+        .any(|e| e.what == "fleet.infection_spike"));
+
+    // Operators scrape the same state as Prometheus text.
+    let dir = std::env::temp_dir().join(format!("strider-fleet-alerts-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = monitor.write_prom_in(&dir, "fleet").unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(
+        text.contains(
+            "strider_alert_active{rule=\"fleet.infection_spike\",severity=\"critical\"} 1"
+        ),
+        "{text}"
+    );
+    assert!(text.contains("fleet_infection_rate 0.375"), "{text}");
+    assert!(text.contains("strider_fleet_passes_total 2"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // Disinfect wipes nothing here — but a fresh clean fleet pass would
+    // resolve the rule; the merged sweep report exports too.
+    let report = FleetScheduler::new(detector(Arc::new(FakeClock::default())))
+        .sweep(&mut fleet)
+        .unwrap();
+    let expo = report.prometheus().render();
+    assert!(expo.contains("strider_fleet_swept_total 8"), "{expo}");
+    assert!(
+        expo.contains("strider_fleet_infection_rate 0.375"),
+        "{expo}"
+    );
+}

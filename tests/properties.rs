@@ -939,3 +939,101 @@ fn histogram_sketch_merge_matches_single_recording() {
         },
     );
 }
+
+// ---------------------------------------------------------------------
+// Prometheus exposition: stable, parseable text for any telemetry
+// ---------------------------------------------------------------------
+
+/// Arbitrary telemetry contents: a mixed op tape of counter adds, gauge
+/// sets, and histogram records with dotted metric names (which the
+/// exposition must sanitize into the Prometheus charset).
+fn telemetry_ops(rng: &mut SplitMix64) -> Vec<(u8, String, f64)> {
+    gen::vec_of(rng, 0, 24, |r| {
+        let kind = r.next_below(3) as u8;
+        let prefix = ["c", "g", "h"][kind as usize];
+        let name = if r.chance(1, 2) {
+            format!("{prefix}{}.{}", gen::name(r, 1, 6), gen::name(r, 1, 6))
+        } else {
+            format!("{prefix}{}", gen::name(r, 1, 8))
+        };
+        (kind, name, r.next_f64() * 1e9)
+    })
+}
+
+#[test]
+fn prometheus_exposition_is_stable_and_parseable_for_any_telemetry() {
+    use strider_support::alert::prom_name;
+
+    check(
+        "prometheus_exposition_is_stable_and_parseable_for_any_telemetry",
+        Config::with_cases(64),
+        telemetry_ops,
+        |ops| {
+            let telemetry = Telemetry::new();
+            for (kind, name, value) in ops {
+                match kind {
+                    0 => telemetry.counter_add(name, *value as u64),
+                    1 => telemetry.gauge_set(name, *value),
+                    _ => telemetry.histogram_record(name, *value),
+                }
+            }
+            let report = telemetry.report();
+            let expo = report.prometheus();
+            let text = expo.render();
+
+            // Stable: rendering is deterministic, and a second exposition
+            // built from the same report is byte-identical.
+            prop_assert_eq!(&text, &expo.render());
+            prop_assert_eq!(&text, &report.prometheus().render());
+
+            // Parseable: every line is either a `# TYPE` header or a
+            // `name[{labels}] value` sample in the Prometheus charset.
+            for line in text.lines() {
+                if let Some(rest) = line.strip_prefix("# TYPE ") {
+                    let mut parts = rest.split(' ');
+                    let family = parts.next().unwrap_or("");
+                    let kind = parts.next().unwrap_or("");
+                    prop_assert!(!family.is_empty());
+                    prop_assert!(family
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'));
+                    prop_assert!(matches!(kind, "counter" | "gauge" | "histogram"));
+                    prop_assert!(parts.next().is_none());
+                } else {
+                    let (metric, value) = line
+                        .rsplit_once(' ')
+                        .ok_or_else(|| format!("sample line is `name value`: {line:?}"))?;
+                    prop_assert!(
+                        value == "+Inf" || value == "-Inf" || value.parse::<f64>().is_ok()
+                    );
+                    let bare = metric.split('{').next().unwrap_or("");
+                    prop_assert!(!bare.is_empty());
+                    prop_assert!(!bare.starts_with(|c: char| c.is_ascii_digit()));
+                    prop_assert!(bare
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'));
+                    if metric.len() > bare.len() {
+                        prop_assert!(metric.ends_with('}'));
+                    }
+                }
+            }
+
+            // Histogram invariants in the rendered text: cumulative
+            // buckets never decrease and the +Inf bucket equals _count.
+            for (name, sketch) in &report.histograms {
+                let family = prom_name(name);
+                let buckets: Vec<u64> = text
+                    .lines()
+                    .filter(|l| l.starts_with(&format!("{family}_bucket{{le=")))
+                    .map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap())
+                    .collect();
+                prop_assert!(!buckets.is_empty());
+                prop_assert!(buckets.windows(2).all(|w| w[0] <= w[1]));
+                let count_line = format!("{family}_count {}", sketch.count());
+                prop_assert!(text.lines().any(|l| l == count_line));
+                prop_assert_eq!(*buckets.last().unwrap(), sketch.count());
+            }
+            Ok(())
+        },
+    );
+}
