@@ -1,0 +1,57 @@
+//! Evasion-hardening cost: what the randomized, decoyed, quorum-diffed
+//! sweep pays over the naive postures on the same machine.
+//!
+//! Three knobs drive the overhead, and the scenarios isolate them:
+//! quorum passes multiply every pipeline diff (5× by default), decoys add
+//! one discarded query per `decoy_every` real queries (+25% query volume
+//! at the default 4), and the per-pass enumeration shuffles are
+//! O(n log n)-free pointer swaps that should cost nothing measurable.
+//! `hardened-no-decoys` versus `hardened-default` separates the decoy tax
+//! from the quorum tax; `resilient-stabilized` is the pre-arms-race
+//! production posture the overhead is measured against. The DESIGN §5.10
+//! cost model quotes this bench's output (`BENCH_evasion.json`).
+
+use std::time::Duration;
+use strider_bench::victim_machine_sized;
+use strider_ghostbuster::{EvasionHardening, GhostBuster, ScanPolicy};
+use strider_support::bench::Criterion;
+use strider_support::{criterion_group, criterion_main};
+use strider_workload::WorkloadSpec;
+
+fn bench_evasion_hardening(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evasion");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+
+    let scenarios: [(&str, ScanPolicy); 4] = [
+        ("strict-single-pass", ScanPolicy::strict()),
+        ("resilient-stabilized", ScanPolicy::resilient()),
+        (
+            "hardened-no-decoys",
+            ScanPolicy::supervised().with_hardening(Some(EvasionHardening {
+                decoy_every: 0,
+                ..EvasionHardening::default()
+            })),
+        ),
+        ("hardened-default", ScanPolicy::hardened()),
+    ];
+
+    for (label, policy) in scenarios {
+        let mut machine = victim_machine_sized(&WorkloadSpec::small(42)).expect("machine builds");
+        let gb = GhostBuster::new().with_policy(policy);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let report = gb.inside_sweep(&mut machine).unwrap();
+                // A clean machine must stay clean under every posture —
+                // decoys and quorum voting add cost, never noise.
+                assert_eq!(report.suspicious_count(), 0);
+                report.noise_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evasion_hardening);
+criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! Hidden-file detection (paper, Section 2).
 
 use crate::diff::cross_view_diff;
+use crate::harden::{file_scan_decoys, DecoyPump, PassCounter};
 use crate::instrument::{record_chain, record_view_entries, LatencyProbe};
 use crate::policy::{interrupt_status, ScanPolicy};
 use crate::report::{Detection, DiffReport, FileCategory, NoiseClass, NoiseFilter, ResourceKind};
@@ -20,6 +21,7 @@ pub struct FileScanner {
     telemetry: Option<Telemetry>,
     policy: ScanPolicy,
     supervision: Supervision,
+    pass_counter: PassCounter,
 }
 
 impl FileScanner {
@@ -60,6 +62,10 @@ impl FileScanner {
     /// [`Supervision::unsupervised`] — never interrupted.
     pub fn with_supervision(mut self, supervision: Supervision) -> Self {
         self.supervision = supervision;
+        // A re-supervised scanner starts a fresh pipeline run: its quorum
+        // passes must index hardening streams from 0 again, so sweep
+        // results stay seed-deterministic however runs are scheduled.
+        self.pass_counter = PassCounter::default();
         self
     }
 
@@ -93,6 +99,17 @@ impl FileScanner {
         let probe = LatencyProbe::new(self.telemetry.as_ref(), "files.dir_query_ns");
         let mut chain = ChainStats::default();
         let mut snap = Snapshot::new(ScanMeta::new(view, machine.now()));
+        // Hardened scans shuffle descent order per pass and interleave
+        // decoy queries, so the walk neither enumerates in a predictable
+        // order nor emits the same-kind burst ghostware fingerprints.
+        let mut order_rng = self
+            .policy
+            .hardening
+            .map(|h| h.pass_stream("files", self.pass_counter.next()));
+        let mut pump = match self.policy.hardening {
+            Some(h) => DecoyPump::new(h.decoy_every, file_scan_decoys()),
+            None => DecoyPump::disabled(),
+        };
         let mut stack = vec![NtPath::root_of(machine.volume().label())];
         while let Some(dir) = stack.pop() {
             self.supervision.checkpoint().map_err(interrupt_status)?;
@@ -119,11 +136,13 @@ impl FileScanner {
                 }
             };
             probe.finish(query_started);
+            pump.tick(machine, ctx);
             snap.meta.io.record_entries(rows.len() as u64);
+            let mut subdirs = Vec::new();
             for row in rows {
                 if let Row::File(f) = row {
                     if f.is_dir {
-                        stack.push(f.path.clone());
+                        subdirs.push(f.path.clone());
                     }
                     snap.insert(
                         f.path.fold_key(),
@@ -136,8 +155,17 @@ impl FileScanner {
                     );
                 }
             }
+            if let Some(rng) = &mut order_rng {
+                rng.shuffle(&mut subdirs);
+            }
+            stack.extend(subdirs);
         }
         record_view_entries(self.telemetry.as_ref(), &span, "files", view, snap.len());
+        if pump.issued() > 0 {
+            if let Some(t) = &self.telemetry {
+                t.counter_add("files.decoys", pump.issued());
+            }
+        }
         span.set_attr("api_calls", snap.meta.io.api_calls);
         record_chain(&span, &chain);
         Ok(snap)

@@ -93,6 +93,18 @@ impl SweepReport {
         durations
     }
 
+    /// Total findings classified [`NoiseClass::Flickering`] — resources
+    /// that appeared and vanished across quorum passes, the signature of
+    /// scan-aware evasive hiding. Zero on any sweep run without
+    /// [`EvasionHardening`](crate::policy::EvasionHardening) (single-shot
+    /// diffs cannot observe flicker).
+    pub fn flicker_score(&self) -> usize {
+        self.files.flicker_score()
+            + self.hooks.flicker_score()
+            + self.processes.flicker_score()
+            + self.modules.flicker_score()
+    }
+
     /// Total noise-classified findings (false-positive candidates).
     pub fn noise_count(&self) -> usize {
         self.files.noise_detections().len()
@@ -539,7 +551,9 @@ impl GhostBuster {
                 flight,
             }
         };
-        match run_isolated(name, || self.policy.stabilize(scan)) {
+        // `quorum_diff` is plain stabilization when hardening is off, and
+        // majority-vote flicker scoring over K passes when it is armed.
+        match run_isolated(name, || self.policy.quorum_diff(scan)) {
             Ok(Ok(report)) => {
                 if let Some(b) = breaker {
                     b.record_success();
@@ -653,94 +667,122 @@ impl GhostBuster {
         let budget = self.policy.pipeline_budget_ns;
         let mut black_boxes: Vec<(String, FlightDump)> = Vec::new();
 
-        let (files, files_status) = match &checkpoint.files {
-            Some(done) => (done.report.clone(), done.status.clone()),
-            None => {
-                let scanner = self
-                    .files
-                    .clone()
-                    .with_supervision(root.child(clock.clone(), budget));
-                let outcome = self.run_pipeline(
-                    "files",
-                    ViewKind::LowLevelMft,
-                    now,
-                    &span,
-                    self.breakers.as_ref().map(|b| &b.files),
-                    || scanner.scan_inside(machine, &ctx),
-                );
-                outcome.save(&mut checkpoint.files);
-                if let Some(flight) = outcome.flight {
-                    black_boxes.push(("files".to_string(), flight));
+        // Hardened sweeps run the pipelines in a seed-derived order, so an
+        // adversary watching the query stream cannot rely on "files first,
+        // modules last" to schedule its lies. The order is a pure function
+        // of the hardening seed — fixed seed, byte-identical sweep.
+        let mut order = ["files", "registry", "processes", "modules"];
+        if let Some(h) = self.policy.hardening {
+            h.stream("pipeline-order").shuffle(&mut order);
+        }
+        let mut slot_files = None;
+        let mut slot_registry = None;
+        let mut slot_processes = None;
+        let mut slot_modules = None;
+        for name in order {
+            match name {
+                "files" => {
+                    slot_files = Some(match &checkpoint.files {
+                        Some(done) => (done.report.clone(), done.status.clone()),
+                        None => {
+                            let scanner = self
+                                .files
+                                .clone()
+                                .with_supervision(root.child(clock.clone(), budget));
+                            let outcome = self.run_pipeline(
+                                "files",
+                                ViewKind::LowLevelMft,
+                                now,
+                                &span,
+                                self.breakers.as_ref().map(|b| &b.files),
+                                || scanner.scan_inside(machine, &ctx),
+                            );
+                            outcome.save(&mut checkpoint.files);
+                            if let Some(flight) = outcome.flight {
+                                black_boxes.push(("files".to_string(), flight));
+                            }
+                            (outcome.report, outcome.status)
+                        }
+                    });
                 }
-                (outcome.report, outcome.status)
-            }
-        };
-        let (hooks, registry_status) = match &checkpoint.registry {
-            Some(done) => (done.report.clone(), done.status.clone()),
-            None => {
-                let scanner = self
-                    .registry
-                    .clone()
-                    .with_supervision(root.child(clock.clone(), budget));
-                let outcome = self.run_pipeline(
-                    "registry",
-                    ViewKind::LowLevelHiveParse,
-                    now,
-                    &span,
-                    self.breakers.as_ref().map(|b| &b.registry),
-                    || scanner.scan_inside(machine, &ctx),
-                );
-                outcome.save(&mut checkpoint.registry);
-                if let Some(flight) = outcome.flight {
-                    black_boxes.push(("registry".to_string(), flight));
+                "registry" => {
+                    slot_registry = Some(match &checkpoint.registry {
+                        Some(done) => (done.report.clone(), done.status.clone()),
+                        None => {
+                            let scanner = self
+                                .registry
+                                .clone()
+                                .with_supervision(root.child(clock.clone(), budget));
+                            let outcome = self.run_pipeline(
+                                "registry",
+                                ViewKind::LowLevelHiveParse,
+                                now,
+                                &span,
+                                self.breakers.as_ref().map(|b| &b.registry),
+                                || scanner.scan_inside(machine, &ctx),
+                            );
+                            outcome.save(&mut checkpoint.registry);
+                            if let Some(flight) = outcome.flight {
+                                black_boxes.push(("registry".to_string(), flight));
+                            }
+                            (outcome.report, outcome.status)
+                        }
+                    });
                 }
-                (outcome.report, outcome.status)
-            }
-        };
-        let (processes, processes_status) = match &checkpoint.processes {
-            Some(done) => (done.report.clone(), done.status.clone()),
-            None => {
-                let scanner = self
-                    .processes
-                    .clone()
-                    .with_supervision(root.child(clock.clone(), budget));
-                let outcome = self.run_pipeline(
-                    "processes",
-                    ViewKind::LowLevelApl,
-                    now,
-                    &span,
-                    self.breakers.as_ref().map(|b| &b.processes),
-                    || scanner.scan_inside(machine, &ctx, self.advanced),
-                );
-                outcome.save(&mut checkpoint.processes);
-                if let Some(flight) = outcome.flight {
-                    black_boxes.push(("processes".to_string(), flight));
+                "processes" => {
+                    slot_processes = Some(match &checkpoint.processes {
+                        Some(done) => (done.report.clone(), done.status.clone()),
+                        None => {
+                            let scanner = self
+                                .processes
+                                .clone()
+                                .with_supervision(root.child(clock.clone(), budget));
+                            let outcome = self.run_pipeline(
+                                "processes",
+                                ViewKind::LowLevelApl,
+                                now,
+                                &span,
+                                self.breakers.as_ref().map(|b| &b.processes),
+                                || scanner.scan_inside(machine, &ctx, self.advanced),
+                            );
+                            outcome.save(&mut checkpoint.processes);
+                            if let Some(flight) = outcome.flight {
+                                black_boxes.push(("processes".to_string(), flight));
+                            }
+                            (outcome.report, outcome.status)
+                        }
+                    });
                 }
-                (outcome.report, outcome.status)
-            }
-        };
-        let (modules, modules_status) = match &checkpoint.modules {
-            Some(done) => (done.report.clone(), done.status.clone()),
-            None => {
-                let scanner = self
-                    .processes
-                    .clone()
-                    .with_supervision(root.child(clock.clone(), budget));
-                let outcome = self.run_pipeline(
-                    "modules",
-                    ViewKind::LowLevelKernelModules,
-                    now,
-                    &span,
-                    self.breakers.as_ref().map(|b| &b.modules),
-                    || scanner.scan_modules_inside(machine, &ctx),
-                );
-                outcome.save(&mut checkpoint.modules);
-                if let Some(flight) = outcome.flight {
-                    black_boxes.push(("modules".to_string(), flight));
+                _ => {
+                    slot_modules = Some(match &checkpoint.modules {
+                        Some(done) => (done.report.clone(), done.status.clone()),
+                        None => {
+                            let scanner = self
+                                .processes
+                                .clone()
+                                .with_supervision(root.child(clock.clone(), budget));
+                            let outcome = self.run_pipeline(
+                                "modules",
+                                ViewKind::LowLevelKernelModules,
+                                now,
+                                &span,
+                                self.breakers.as_ref().map(|b| &b.modules),
+                                || scanner.scan_modules_inside(machine, &ctx),
+                            );
+                            outcome.save(&mut checkpoint.modules);
+                            if let Some(flight) = outcome.flight {
+                                black_boxes.push(("modules".to_string(), flight));
+                            }
+                            (outcome.report, outcome.status)
+                        }
+                    });
                 }
-                (outcome.report, outcome.status)
             }
-        };
+        }
+        let (files, files_status) = slot_files.expect("files pipeline always runs");
+        let (hooks, registry_status) = slot_registry.expect("registry pipeline always runs");
+        let (processes, processes_status) = slot_processes.expect("processes pipeline always runs");
+        let (modules, modules_status) = slot_modules.expect("modules pipeline always runs");
         drop(span);
         Ok(SweepReport {
             files,
@@ -787,12 +829,29 @@ impl GhostBuster {
         };
         let mut black_boxes: Vec<(String, FlightDump)> = Vec::new();
         let ctx = self.enter(machine)?;
-        let file_lie = self.files.high_scan(machine, &ctx, ChainEntry::Win32)?;
-        let hook_lie = self.registry.high_scan(machine, &ctx, ChainEntry::Win32);
-        let proc_lie = self.processes.high_scan(machine, &ctx, ChainEntry::Win32)?;
-        let module_lie = self
-            .processes
-            .high_module_scan(machine, &ctx, ChainEntry::Win32)?;
+        // Under a hardened policy the pre-reboot lie is the *intersection*
+        // of K captures: ghostware that hides intermittently (flicker
+        // tactics) only has to dodge one capture to dodge a single-shot
+        // lie, but dodging all K means being visible in every one — and
+        // any resource it hid even once lands truth-only in the diff.
+        let quorum = self.policy.hardening.map_or(1, |h| h.passes());
+        let mut file_caps = Vec::with_capacity(quorum as usize);
+        let mut hook_caps = Vec::with_capacity(quorum as usize);
+        let mut proc_caps = Vec::with_capacity(quorum as usize);
+        let mut module_caps = Vec::with_capacity(quorum as usize);
+        for _ in 0..quorum {
+            file_caps.push(self.files.high_scan(machine, &ctx, ChainEntry::Win32)?);
+            hook_caps.push(self.registry.high_scan(machine, &ctx, ChainEntry::Win32));
+            proc_caps.push(self.processes.high_scan(machine, &ctx, ChainEntry::Win32)?);
+            module_caps.push(
+                self.processes
+                    .high_module_scan(machine, &ctx, ChainEntry::Win32)?,
+            );
+        }
+        let file_lie = intersect_captures(file_caps);
+        let hook_lie = intersect_captures(hook_caps);
+        let proc_lie = intersect_captures(proc_caps);
+        let module_lie = intersect_captures(module_caps);
         // The dump is captured pre-reboot, while the ghostware (and any
         // injected dump faults) are live. A permanently failing or
         // unparseable dump degrades the two volatile pipelines only.
@@ -1028,6 +1087,28 @@ impl GhostBuster {
         }
         removed
     }
+}
+
+/// Intersects repeated lie captures by identity key: a resource absent from
+/// *any* capture was hidden at some point during the window, so it must not
+/// count as honestly visible. Flicker-hiding ghostware that dodges a single
+/// pre-reboot capture by coin-flip cannot dodge the intersection of K. The
+/// final capture supplies the metadata (its I/O totals already include the
+/// earlier passes' machine-side work).
+fn intersect_captures<T: Clone>(
+    mut captures: Vec<crate::snapshot::Snapshot<T>>,
+) -> crate::snapshot::Snapshot<T> {
+    let last = captures.pop().expect("at least one lie capture");
+    if captures.is_empty() {
+        return last;
+    }
+    let mut out = crate::snapshot::Snapshot::new(last.meta.clone());
+    for (key, fact) in last.iter() {
+        if captures.iter().all(|earlier| earlier.contains(key)) {
+            out.insert(key.clone(), fact.clone());
+        }
+    }
+    out
 }
 
 /// An empty report standing in for a pipeline whose truth source was lost:

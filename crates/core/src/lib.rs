@@ -102,6 +102,7 @@ mod diff;
 mod drivers;
 mod files;
 mod ghostbuster;
+mod harden;
 mod hookscan;
 mod inject;
 mod instrument;
@@ -128,7 +129,7 @@ pub use inject::{injected_sweep, InjectedSweepReport, PerProcessReport};
 pub use monitor::{
     MetricSeries, MonitorConfig, MonitorIncident, MonitorObservation, SweepBaseline, SweepMonitor,
 };
-pub use policy::{interrupt_status, PipelineStatus, ScanPolicy, SweepHealth};
+pub use policy::{interrupt_status, EvasionHardening, PipelineStatus, ScanPolicy, SweepHealth};
 pub use process::{AdvancedSource, ProcessScanner};
 pub use registry::{OutsideRegistryMode, RegistryScanner};
 pub use report::{Detection, DiffReport, FileCategory, NoiseClass, NoiseFilter, ResourceKind};
@@ -154,11 +155,12 @@ pub mod prelude {
         cross_view_diff, injected_sweep, install_benign_wrapper, AdvancedSource, AlertCondition,
         AlertEngine, AlertRule, AlertState, AsepMonitor, BreakerState, CancellationToken,
         CircuitBreaker, CrossTimeDiff, Deadline, Detection, DiffReport, DriverScanner,
-        FileCategory, FileScanner, FlightDump, FlightRecorder, GhostBuster, HistogramSketch,
-        HookScanner, InjectedSweepReport, MonitorConfig, MonitorIncident, NoiseClass, NoiseFilter,
-        OutsideRegistryMode, PipelineCheckpoint, PipelineStatus, ProcessScanner, RegistryScanner,
-        ResourceKind, ScanMeta, ScanPolicy, Severity, SignatureScanner, Snapshot, Supervision,
-        SweepBaseline, SweepBreakers, SweepCheckpoint, SweepHealth, SweepMonitor, SweepReport,
-        Telemetry, TelemetryReport, TimeBudget, TimeSeries, UnixGhostBuster, ViewKind,
+        EvasionHardening, FileCategory, FileScanner, FlightDump, FlightRecorder, GhostBuster,
+        HistogramSketch, HookScanner, InjectedSweepReport, MonitorConfig, MonitorIncident,
+        NoiseClass, NoiseFilter, OutsideRegistryMode, PipelineCheckpoint, PipelineStatus,
+        ProcessScanner, RegistryScanner, ResourceKind, ScanMeta, ScanPolicy, Severity,
+        SignatureScanner, Snapshot, Supervision, SweepBaseline, SweepBreakers, SweepCheckpoint,
+        SweepHealth, SweepMonitor, SweepReport, Telemetry, TelemetryReport, TimeBudget, TimeSeries,
+        UnixGhostBuster, ViewKind,
     };
 }

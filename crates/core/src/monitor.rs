@@ -16,7 +16,12 @@
 //!   `baseline * latency_factor + latency_floor_ns`
 //!   ([`MonitorIncident::LatencyRegression`]),
 //! * `health_downgrade` — a pipeline degrading that was healthy at
-//!   baseline ([`MonitorIncident::HealthDowngrade`]).
+//!   baseline ([`MonitorIncident::HealthDowngrade`]),
+//! * `evasion_suspected` — the sweep's quorum passes saw a resource
+//!   appear and vanish (`evasion.flicker_score > 0`), the signature of
+//!   scan-aware evasive hiding ([`MonitorIncident::EvasionSuspected`]).
+//!   Unlike the drift rules this one needs no baseline: an unstable lie
+//!   is evidence on its own.
 //!
 //! Callers can [`add_rule`](SweepMonitor::add_rule) their own
 //! [`AlertRule`]s (thresholds, rates, absence, quantiles, with `for_ns`
@@ -213,6 +218,23 @@ pub enum MonitorIncident {
         /// Flight-recorder dump ending at the failure.
         flight: FlightDump,
     },
+    /// A resource flickered — it was present in some of a hardened
+    /// sweep's quorum passes and absent from others. Honest resources
+    /// don't do that; scan-aware ghostware toggling its hooks mid-sweep
+    /// does. Raised per [`NoiseClass::Flickering`] finding whenever the
+    /// `evasion_suspected` built-in rule fires; needs no baseline.
+    ///
+    /// [`NoiseClass::Flickering`]: crate::report::NoiseClass::Flickering
+    EvasionSuspected {
+        /// Pipeline whose quorum diff observed the flicker.
+        pipeline: String,
+        /// The flickering resource's cross-view identity key.
+        identity: String,
+        /// Human-readable description, including the quorum tally.
+        detail: String,
+        /// Flight-recorder dump of the detecting sweep.
+        flight: FlightDump,
+    },
 }
 
 impl MonitorIncident {
@@ -221,7 +243,8 @@ impl MonitorIncident {
         match self {
             MonitorIncident::NewHiddenResource { pipeline, .. }
             | MonitorIncident::LatencyRegression { pipeline, .. }
-            | MonitorIncident::HealthDowngrade { pipeline, .. } => pipeline,
+            | MonitorIncident::HealthDowngrade { pipeline, .. }
+            | MonitorIncident::EvasionSuspected { pipeline, .. } => pipeline,
         }
     }
 
@@ -230,7 +253,8 @@ impl MonitorIncident {
         match self {
             MonitorIncident::NewHiddenResource { flight, .. }
             | MonitorIncident::LatencyRegression { flight, .. }
-            | MonitorIncident::HealthDowngrade { flight, .. } => flight,
+            | MonitorIncident::HealthDowngrade { flight, .. }
+            | MonitorIncident::EvasionSuspected { flight, .. } => flight,
         }
     }
 }
@@ -258,6 +282,12 @@ impl fmt::Display for MonitorIncident {
             MonitorIncident::HealthDowngrade {
                 pipeline, reason, ..
             } => write!(f, "health downgrade [{pipeline}]: {reason}"),
+            MonitorIncident::EvasionSuspected {
+                pipeline,
+                identity,
+                detail,
+                ..
+            } => write!(f, "evasion suspected [{pipeline}] {identity}: {detail}"),
         }
     }
 }
@@ -329,7 +359,7 @@ impl SweepMonitor {
     /// [`MonitorConfig`]. Any telemetry already attached to the detector
     /// is ignored — the monitor attaches a fresh registry per sweep.
     pub fn new(detector: GhostBuster) -> Self {
-        SweepMonitor {
+        let mut monitor = SweepMonitor {
             detector,
             config: MonitorConfig::default(),
             baseline: None,
@@ -338,7 +368,11 @@ impl SweepMonitor {
             engine: AlertEngine::new(),
             last_telemetry: None,
             sweeps_run: 0,
-        }
+        };
+        // The baseline-free built-ins (evasion_suspected) are live from
+        // the first sweep, not only once a baseline is recorded.
+        monitor.rebuild_engine();
+        monitor
     }
 
     /// Replaces the monitor configuration (rebuilding the built-in rules,
@@ -457,6 +491,18 @@ impl SweepMonitor {
                 .with_severity(Severity::Critical),
             );
         }
+        // Baseline-free: flicker is self-evident, no comparison anchor
+        // needed. `evasion.flicker_score` stays 0 on unhardened policies
+        // (a single-shot diff cannot observe flicker), so the rule only
+        // ever fires under EvasionHardening.
+        rules.push(
+            AlertRule::new(
+                "evasion_suspected",
+                "evasion.flicker_score",
+                AlertCondition::Above(0.0),
+            )
+            .with_severity(Severity::Critical),
+        );
         rules.extend(self.custom_rules.iter().cloned());
         self.engine = AlertEngine::with_rules(rules);
     }
@@ -589,15 +635,29 @@ impl SweepMonitor {
     /// reconstructing the per-finding / per-pipeline payloads from the
     /// report the way the pre-engine monitor did.
     fn incidents(&self, report: &SweepReport) -> Vec<MonitorIncident> {
-        let Some(baseline) = &self.baseline else {
-            return Vec::new();
-        };
         let flight = report
             .telemetry
             .as_ref()
             .map(|t| t.flight.clone())
             .unwrap_or_default();
         let mut incidents = Vec::new();
+
+        // Evasion incidents need no baseline: a flickering resource is
+        // its own evidence.
+        if self.engine.is_firing("evasion_suspected") {
+            for (pipeline, detection) in flickering(report) {
+                incidents.push(MonitorIncident::EvasionSuspected {
+                    pipeline: pipeline.to_string(),
+                    identity: detection.identity.clone(),
+                    detail: detection.detail.clone(),
+                    flight: flight.clone(),
+                });
+            }
+        }
+
+        let Some(baseline) = &self.baseline else {
+            return incidents;
+        };
 
         if self.engine.is_firing("new_hidden_resource") {
             for (pipeline, detection) in findings(report) {
@@ -669,6 +729,7 @@ impl SweepMonitor {
         };
         push("sweep.suspicious", report.suspicious_count() as f64);
         push("sweep.noise", report.noise_count() as f64);
+        push("evasion.flicker_score", report.flicker_score() as f64);
         push(
             "sweep.degraded",
             degraded_pipelines(&report.health).count() as f64,
@@ -714,6 +775,24 @@ fn findings(report: &SweepReport) -> impl Iterator<Item = (&'static str, &crate:
         .flat_map(|(name, diff)| diff.net_detections().into_iter().map(move |d| (name, d)))
 }
 
+/// Every [`NoiseClass::Flickering`] finding with its owning pipeline.
+///
+/// [`NoiseClass::Flickering`]: crate::report::NoiseClass::Flickering
+fn flickering(report: &SweepReport) -> impl Iterator<Item = (&'static str, &crate::Detection)> {
+    let per = [
+        ("files", &report.files),
+        ("registry", &report.hooks),
+        ("processes", &report.processes),
+        ("modules", &report.modules),
+    ];
+    per.into_iter().flat_map(|(name, diff)| {
+        diff.detections
+            .iter()
+            .filter(|d| matches!(d.noise, crate::report::NoiseClass::Flickering))
+            .map(move |d| (name, d))
+    })
+}
+
 fn finding_key(pipeline: &str, identity: &str) -> String {
     format!("{pipeline}|{identity}")
 }
@@ -749,11 +828,20 @@ mod tests {
         (clock, monitor)
     }
 
+    /// The fixture every baseline-driven test repeated by hand: a
+    /// fake-clock monitor with a baseline already recorded against a
+    /// fresh base-system machine named `name`.
+    fn baselined(name: &str) -> (Arc<FakeClock>, SweepMonitor, Machine) {
+        let (clock, mut monitor) = fake_monitor();
+        let mut machine = Machine::with_base_system(name).unwrap();
+        monitor.record_baseline(&mut machine).unwrap();
+        (clock, monitor, machine)
+    }
+
     #[test]
     fn baseline_round_trips_through_json() {
-        let (_clock, mut monitor) = fake_monitor();
-        let mut machine = Machine::with_base_system("lab-json").unwrap();
-        let baseline = monitor.record_baseline(&mut machine).unwrap().clone();
+        let (_clock, monitor, _machine) = baselined("lab-json");
+        let baseline = monitor.baseline().unwrap().clone();
         let text = baseline.serialize();
         let parsed = SweepBaseline::deserialize(&text).unwrap();
         assert_eq!(parsed, baseline);
@@ -763,9 +851,7 @@ mod tests {
 
     #[test]
     fn clean_machine_raises_no_incidents_and_fills_series() {
-        let (_clock, mut monitor) = fake_monitor();
-        let mut machine = Machine::with_base_system("lab-quiet").unwrap();
-        monitor.record_baseline(&mut machine).unwrap();
+        let (_clock, mut monitor, mut machine) = baselined("lab-quiet");
         let observations = monitor.run(&mut machine, 3).unwrap();
         assert_eq!(observations.len(), 3);
         assert!(observations.iter().all(|o| o.incidents.is_empty()));
@@ -782,10 +868,8 @@ mod tests {
 
     #[test]
     fn run_sleeps_the_interval_between_sweeps() {
-        let (clock, mut monitor) = fake_monitor();
-        monitor = monitor.with_config(MonitorConfig::default().with_interval_ns(1_000));
-        let mut machine = Machine::with_base_system("lab-tick").unwrap();
-        monitor.record_baseline(&mut machine).unwrap();
+        let (clock, monitor, mut machine) = baselined("lab-tick");
+        let mut monitor = monitor.with_config(MonitorConfig::default().with_interval_ns(1_000));
         let observations = monitor.run(&mut machine, 3).unwrap();
         // Two gaps between three sweeps; nothing else advances the fake
         // clock on a fault-free machine.
@@ -812,13 +896,11 @@ mod tests {
     fn zero_history_config_still_retains_the_newest_sample() {
         // `MonitorConfig { history: 0, .. }` is directly constructible,
         // bypassing `with_history`'s clamp — the series itself must clamp.
-        let (_clock, monitor) = fake_monitor();
+        let (_clock, monitor, mut machine) = baselined("lab-zero");
         let mut monitor = monitor.with_config(MonitorConfig {
             history: 0,
             ..MonitorConfig::default()
         });
-        let mut machine = Machine::with_base_system("lab-zero").unwrap();
-        monitor.record_baseline(&mut machine).unwrap();
         monitor.run(&mut machine, 2).unwrap();
         let suspicious = monitor.series("sweep.suspicious").unwrap();
         assert_eq!(suspicious.len(), 1, "capacity clamped to 1, not 0");
@@ -827,7 +909,7 @@ mod tests {
 
     #[test]
     fn custom_rule_transitions_reach_log_and_flight_dump() {
-        let (_clock, monitor) = fake_monitor();
+        let (_clock, monitor, mut machine) = baselined("lab-rule");
         let mut monitor = monitor.with_rule(
             AlertRule::new(
                 "always_on",
@@ -836,8 +918,6 @@ mod tests {
             )
             .with_severity(Severity::Info),
         );
-        let mut machine = Machine::with_base_system("lab-rule").unwrap();
-        monitor.record_baseline(&mut machine).unwrap();
         let observation = monitor.observe(&mut machine).unwrap();
         assert_eq!(observation.transitions.len(), 1);
         assert!(monitor.alerts().is_firing("always_on"));
@@ -851,10 +931,38 @@ mod tests {
     }
 
     #[test]
+    fn evasive_flicker_raises_evasion_suspected_without_a_baseline() {
+        use strider_ghostware::{EvasiveGhostware, EvasiveTactic, Ghostware};
+        let clock = Arc::new(FakeClock::new());
+        let policy = ScanPolicy::hardened().with_clock(clock);
+        let mut monitor = SweepMonitor::new(GhostBuster::new().with_policy(policy));
+        let mut machine = Machine::with_base_system("lab-evasion").unwrap();
+        // Unhide-during-low-scan guarantees a flickering finding under a
+        // hardened sweep: the pre-raw-read quorum pass sees the lie, the
+        // post-raw-read passes see honesty.
+        EvasiveGhostware::new(EvasiveTactic::UnhideDuringLowScan { window: 1_000_000 })
+            .infect(&mut machine)
+            .unwrap();
+        // No baseline on purpose: flicker needs no comparison anchor.
+        let observation = monitor.observe(&mut machine).unwrap();
+        assert!(observation.report.flicker_score() > 0);
+        assert!(monitor.alerts().is_firing("evasion_suspected"));
+        let evasion: Vec<_> = observation
+            .incidents
+            .iter()
+            .filter(|i| matches!(i, MonitorIncident::EvasionSuspected { .. }))
+            .collect();
+        assert!(!evasion.is_empty(), "typed incidents carry the findings");
+        assert!(evasion
+            .iter()
+            .all(|i| i.to_string().contains("evasion suspected")));
+        let series = monitor.series("evasion.flicker_score").unwrap();
+        assert!(series.last().unwrap() > 0.0);
+    }
+
+    #[test]
     fn exposition_snapshot_includes_series_and_alerts() {
-        let (_clock, mut monitor) = fake_monitor();
-        let mut machine = Machine::with_base_system("lab-prom").unwrap();
-        monitor.record_baseline(&mut machine).unwrap();
+        let (_clock, mut monitor, mut machine) = baselined("lab-prom");
         monitor.observe(&mut machine).unwrap();
         let text = monitor.prometheus().render();
         assert!(text.contains("strider_monitor_sweeps_total 1"));

@@ -21,14 +21,96 @@
 //!   going, and the lost pipeline is marked [`PipelineStatus::Degraded`] in
 //!   the report's [`SweepHealth`] rather than failing the other three.
 
-use crate::report::DiffReport;
+use crate::report::{Detection, DiffReport, NoiseClass};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 use strider_nt_core::NtStatus;
 use strider_support::json::{FromJson, JsonError, JsonValue, ToJson};
 use strider_support::obs::{Clock, MonotonicClock};
+use strider_support::rng::{fnv1a, SplitMix64};
 use strider_support::task::{Interrupt, Supervision};
+
+/// Anti-evasion knobs: seeded randomization, decoy queries, and quorum
+/// diffing (the detector side of the arms race in
+/// `strider_ghostware::evasive`).
+///
+/// Scan-aware ghostware defeats a *predictable* scanner: a fixed pipeline
+/// order and enumeration order make bulk scans fingerprintable, and the
+/// "two passes agree" stabilization rule accepts whichever lie holds still
+/// for two passes. Hardening randomizes what the adversary can fingerprint
+/// and replaces agreement with majority vote:
+///
+/// * **seeded randomization** — pipeline order and within-pipeline
+///   enumeration order are shuffled from `seed`, so equal seeds reproduce
+///   byte-identical sweeps while the adversary cannot predict read order;
+/// * **decoy queries** — every `decoy_every` real queries the scanners
+///   issue a discarded query of a *different* kind, breaking the
+///   same-kind bursts that burst-sensing ghostware keys on;
+/// * **quorum diffing** — each pipeline diff runs `quorum_passes` times;
+///   findings in a majority of passes are kept as-is, and findings that
+///   appear-and-vanish become [`NoiseClass::Flickering`] detections
+///   instead of silently dropping out.
+///
+/// [`NoiseClass::Flickering`]: crate::report::NoiseClass::Flickering
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvasionHardening {
+    /// Master seed; every randomized decision derives from it, so a fixed
+    /// seed makes the whole hardened sweep reproducible.
+    pub seed: u64,
+    /// Diff passes per pipeline for the majority vote (clamped to ≥ 2 at
+    /// use; a finding needs `quorum_passes / 2 + 1` appearances to count
+    /// as stable).
+    pub quorum_passes: u32,
+    /// Issue one decoy query per this many real queries; `0` disables
+    /// decoys.
+    pub decoy_every: u32,
+}
+
+impl Default for EvasionHardening {
+    fn default() -> Self {
+        Self {
+            seed: 0x57D1DE57,
+            quorum_passes: 5,
+            decoy_every: 4,
+        }
+    }
+}
+
+impl EvasionHardening {
+    /// Default hardening with a caller-chosen seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// The quorum size actually used (`quorum_passes`, at least 2).
+    pub fn passes(&self) -> u32 {
+        self.quorum_passes.max(2)
+    }
+
+    /// Appearances a finding needs to count as stable rather than
+    /// flickering.
+    pub fn majority(&self) -> u32 {
+        self.passes() / 2 + 1
+    }
+
+    /// A per-label random stream: `seed ^ fnv1a(label)`, so independent
+    /// consumers (pipeline order, each scanner's enumeration shuffle)
+    /// draw decorrelated but reproducible streams from one seed.
+    pub fn stream(&self, label: &str) -> SplitMix64 {
+        SplitMix64::seed_from_u64(self.seed ^ fnv1a(label.as_bytes()))
+    }
+
+    /// A per-label, per-pass stream: like [`EvasionHardening::stream`] but
+    /// folding in a pass counter so consecutive quorum passes enumerate in
+    /// *different* orders while the whole sequence stays seed-determined.
+    pub fn pass_stream(&self, label: &str, pass: u64) -> SplitMix64 {
+        SplitMix64::seed_from_u64(self.seed ^ fnv1a(label.as_bytes()) ^ pass.wrapping_mul(0x9E37))
+    }
+}
 
 /// Resilience knobs for scans and sweeps.
 ///
@@ -84,6 +166,10 @@ pub struct ScanPolicy {
     /// How long an open breaker rejects a pipeline before admitting a
     /// half-open probe, in nanoseconds on the policy clock.
     pub breaker_cooldown_ns: u64,
+    /// Anti-evasion hardening: seeded randomized scan order, decoy
+    /// queries, and quorum diffing. `None` (the default) keeps the
+    /// historical deterministic order and plain stabilization.
+    pub hardening: Option<EvasionHardening>,
     clock: Arc<dyn Clock>,
 }
 
@@ -101,6 +187,7 @@ impl fmt::Debug for ScanPolicy {
             .field("sweep_budget_ns", &self.sweep_budget_ns)
             .field("breaker_threshold", &self.breaker_threshold)
             .field("breaker_cooldown_ns", &self.breaker_cooldown_ns)
+            .field("hardening", &self.hardening)
             .finish_non_exhaustive()
     }
 }
@@ -127,6 +214,7 @@ impl ScanPolicy {
             sweep_budget_ns: None,
             breaker_threshold: 0,
             breaker_cooldown_ns: 100_000_000,
+            hardening: None,
             clock: Arc::new(MonotonicClock::new()),
         }
     }
@@ -154,6 +242,16 @@ impl ScanPolicy {
             sweep_budget_ns: Some(10_000_000_000),
             breaker_threshold: 3,
             ..Self::resilient()
+        }
+    }
+
+    /// Adversarial posture: everything [`ScanPolicy::supervised`] does,
+    /// plus default [`EvasionHardening`] — randomized scan order, decoy
+    /// queries, and 5-pass quorum diffs with flicker scoring.
+    pub fn hardened() -> Self {
+        Self {
+            hardening: Some(EvasionHardening::default()),
+            ..Self::supervised()
         }
     }
 
@@ -211,6 +309,12 @@ impl ScanPolicy {
     pub fn with_breaker(mut self, threshold: u32, cooldown_ns: u64) -> Self {
         self.breaker_threshold = threshold;
         self.breaker_cooldown_ns = cooldown_ns;
+        self
+    }
+
+    /// Arms (or, with `None`, disarms) anti-evasion hardening.
+    pub fn with_hardening(mut self, hardening: Option<EvasionHardening>) -> Self {
+        self.hardening = hardening;
         self
     }
 
@@ -324,6 +428,74 @@ impl ScanPolicy {
             prev = next;
         }
         Ok(prev)
+    }
+
+    /// The hardened replacement for [`ScanPolicy::stabilize`]: with
+    /// [`hardening`](Self::hardening) unset this *is* `stabilize`; with it
+    /// set, the scan runs `quorum_passes` times and every finding is
+    /// majority-voted.
+    ///
+    /// Stabilization's weakness is that it trusts agreement: ghostware
+    /// that senses the scan and lies consistently for two passes (or tells
+    /// the truth for two passes) walks through it. The quorum instead
+    /// *counts*: a finding present in `majority()` or more passes keeps
+    /// its classification from the latest pass it appeared in; a finding
+    /// that appeared in at least one pass but fewer than the majority is
+    /// re-labeled [`NoiseClass::Flickering`] with its pass count in the
+    /// detail — appear-and-vanish is the signature of scan-aware evasion,
+    /// not grounds for dismissal. Phantom identities are unioned across
+    /// passes. Metadata comes from the final pass; detections are emitted
+    /// in identity order, so a fixed hardening seed yields a byte-identical
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing pass.
+    pub fn quorum_diff<E>(
+        &self,
+        mut scan: impl FnMut() -> Result<DiffReport, E>,
+    ) -> Result<DiffReport, E> {
+        let Some(hardening) = self.hardening else {
+            return self.stabilize(scan);
+        };
+        let passes = hardening.passes();
+        let majority = hardening.majority();
+        let mut tally: std::collections::BTreeMap<String, (u32, Detection)> =
+            std::collections::BTreeMap::new();
+        let mut phantoms: BTreeSet<String> = BTreeSet::new();
+        let mut last = scan()?;
+        for pass in 0..passes {
+            let report = if pass == 0 {
+                &last
+            } else {
+                last = scan()?;
+                &last
+            };
+            for d in &report.detections {
+                let entry = tally
+                    .entry(d.identity.clone())
+                    .or_insert_with(|| (0, d.clone()));
+                entry.0 += 1;
+                entry.1 = d.clone();
+            }
+            phantoms.extend(report.phantom_in_lie.iter().cloned());
+        }
+        let mut out = last;
+        out.detections = tally
+            .into_values()
+            .map(|(count, mut d)| {
+                if count < majority {
+                    d.detail = format!(
+                        "{} (flickered: seen in {count} of {passes} quorum passes)",
+                        d.detail
+                    );
+                    d.noise = NoiseClass::Flickering;
+                }
+                d
+            })
+            .collect();
+        out.phantom_in_lie = phantoms.into_iter().collect();
+        Ok(out)
     }
 }
 

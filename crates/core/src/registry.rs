@@ -1,6 +1,7 @@
 //! Hidden-ASEP and hidden-Registry detection (paper, Section 3).
 
 use crate::diff::cross_view_diff;
+use crate::harden::{registry_scan_decoys, DecoyPump, PassCounter};
 use crate::instrument::{record_chain, record_view_entries, LatencyProbe};
 use crate::policy::{interrupt_status, ScanPolicy};
 use crate::report::{Detection, DiffReport, NoiseClass, ResourceKind};
@@ -33,6 +34,7 @@ struct ApiKeyView<'a> {
     path: NtPath,
     io: Rc<RefCell<IoStats>>,
     chain: Option<Rc<RefCell<ChainStats>>>,
+    pump: Option<Rc<RefCell<DecoyPump>>>,
 }
 
 impl<'a> ApiKeyView<'a> {
@@ -53,6 +55,10 @@ impl<'a> ApiKeyView<'a> {
                 .unwrap_or_default(),
         };
         io.record_entries(rows.len() as u64);
+        drop(io);
+        if let Some(pump) = &self.pump {
+            pump.borrow_mut().tick(self.machine, self.ctx);
+        }
         rows
     }
 }
@@ -80,6 +86,7 @@ impl<'a> KeyView for ApiKeyView<'a> {
                     path: self.path.join(k.name),
                     io: Rc::clone(&self.io),
                     chain: self.chain.clone(),
+                    pump: self.pump.clone(),
                 },
             )),
             _ => None,
@@ -144,6 +151,7 @@ pub struct RegistryScanner {
     telemetry: Option<Telemetry>,
     policy: ScanPolicy,
     supervision: Supervision,
+    pass_counter: PassCounter,
 }
 
 impl Default for RegistryScanner {
@@ -153,6 +161,7 @@ impl Default for RegistryScanner {
             telemetry: None,
             policy: ScanPolicy::default(),
             supervision: Supervision::unsupervised(),
+            pass_counter: PassCounter::default(),
         }
     }
 }
@@ -187,6 +196,9 @@ impl RegistryScanner {
     /// [`Supervision::unsupervised`] — never interrupted.
     pub fn with_supervision(mut self, supervision: Supervision) -> Self {
         self.supervision = supervision;
+        // A re-supervised scanner starts a fresh pipeline run; see
+        // `harden::PassCounter`.
+        self.pass_counter = PassCounter::default();
         self
     }
 
@@ -213,6 +225,18 @@ impl RegistryScanner {
         let chain = span
             .is_recording()
             .then(|| Rc::new(RefCell::new(ChainStats::default())));
+        // Hardened scans probe the ASEP catalog in a per-pass shuffled
+        // order and interleave non-Registry decoy queries, so probe runs
+        // neither enumerate predictably nor form same-kind bursts.
+        let mut catalog = self.catalog.clone();
+        let pump = self.policy.hardening.map(|h| {
+            h.pass_stream("registry", self.pass_counter.next())
+                .shuffle(&mut catalog);
+            Rc::new(RefCell::new(DecoyPump::new(
+                h.decoy_every,
+                registry_scan_decoys(machine.volume().label()),
+            )))
+        });
         let hooks = asep::extract_hooks_with(
             |path| {
                 // The key must be enumerable for the view to exist.
@@ -229,6 +253,9 @@ impl RegistryScanner {
                     None => machine.query(ctx, &probe, entry).is_ok(),
                 };
                 latency.finish(probe_started);
+                if let Some(pump) = &pump {
+                    pump.borrow_mut().tick(machine, ctx);
+                }
                 reachable.then(|| ApiKeyView {
                     machine,
                     ctx,
@@ -236,9 +263,10 @@ impl RegistryScanner {
                     path: path.clone(),
                     io: Rc::clone(&io),
                     chain: chain.clone(),
+                    pump: pump.clone(),
                 })
             },
-            &self.catalog,
+            &catalog,
         );
         let mut snap = Snapshot::new(ScanMeta::new(view, machine.now()));
         snap.meta.io = *io.borrow();
@@ -246,6 +274,14 @@ impl RegistryScanner {
             snap.insert(hook.identity(), hook);
         }
         record_view_entries(self.telemetry.as_ref(), &span, "registry", view, snap.len());
+        if let Some(pump) = &pump {
+            let issued = pump.borrow().issued();
+            if issued > 0 {
+                if let Some(t) = &self.telemetry {
+                    t.counter_add("registry.decoys", issued);
+                }
+            }
+        }
         span.set_attr("api_calls", snap.meta.io.api_calls);
         if let Some(chain) = &chain {
             record_chain(&span, &chain.borrow());
@@ -445,6 +481,7 @@ impl RegistryScanner {
                 path: hive.mount().clone(),
                 io: Rc::clone(&io),
                 chain: chain.clone(),
+                pump: None,
             };
             walk_key_view(
                 &root,

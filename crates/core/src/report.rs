@@ -76,6 +76,11 @@ pub enum NoiseClass {
     /// The backing Registry record is corrupt rather than hidden — the
     /// paper's single Registry false positive.
     LikelyCorruption,
+    /// Appeared in some quorum passes and vanished in others — the
+    /// signature of scan-aware evasion (flicker hiding, unhide-on-scan).
+    /// Counted with [`NoiseClass::Suspicious`] in
+    /// [`DiffReport::net_detections`]: an unstable lie is still a lie.
+    Flickering,
 }
 
 impl fmt::Display for NoiseClass {
@@ -84,6 +89,7 @@ impl fmt::Display for NoiseClass {
             NoiseClass::Suspicious => "suspicious",
             NoiseClass::LikelyServiceChurn => "likely service churn",
             NoiseClass::LikelyCorruption => "likely corruption",
+            NoiseClass::Flickering => "flickering (evasion suspected)",
         };
         f.write_str(s)
     }
@@ -192,7 +198,7 @@ impl DiffReport {
     pub fn net_detections(&self) -> Vec<&Detection> {
         self.detections
             .iter()
-            .filter(|d| d.noise == NoiseClass::Suspicious)
+            .filter(|d| matches!(d.noise, NoiseClass::Suspicious | NoiseClass::Flickering))
             .collect()
     }
 
@@ -201,8 +207,17 @@ impl DiffReport {
     pub fn noise_detections(&self) -> Vec<&Detection> {
         self.detections
             .iter()
-            .filter(|d| d.noise != NoiseClass::Suspicious)
+            .filter(|d| !matches!(d.noise, NoiseClass::Suspicious | NoiseClass::Flickering))
             .collect()
+    }
+
+    /// Findings that appeared and vanished across quorum passes — the
+    /// per-pipeline evasion signal ([`NoiseClass::Flickering`]).
+    pub fn flicker_score(&self) -> usize {
+        self.detections
+            .iter()
+            .filter(|d| d.noise == NoiseClass::Flickering)
+            .count()
     }
 
     /// The scan-pair time gap in ticks — the FP driver.
@@ -270,6 +285,7 @@ strider_support::impl_json!(
         Suspicious,
         LikelyServiceChurn,
         LikelyCorruption,
+        Flickering,
     }
 );
 strider_support::impl_json!(struct Detection { kind, identity, detail, category, noise });

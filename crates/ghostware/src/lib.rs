@@ -49,11 +49,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod evasive;
 pub mod filters;
 pub mod targeted;
 pub mod unix;
 mod windows;
 
+pub use evasive::{EvasionSense, EvasiveGhostware, EvasiveTactic};
 pub use windows::ads::AdsHider;
 pub use windows::aphex::Aphex;
 pub use windows::berbew::Berbew;
@@ -164,6 +166,16 @@ pub trait Ghostware {
     fn infect(&self, machine: &mut Machine) -> Result<Infection, NtStatus>;
 }
 
+/// Parses a compile-time path literal. Every sample drops artifacts at
+/// hard-coded paths; when one of those literals is malformed the panic
+/// must name *which* literal, not just say "static" — so all static
+/// parses route through here.
+pub(crate) fn static_path(literal: &str) -> NtPath {
+    literal
+        .parse()
+        .unwrap_or_else(|e| panic!("static path literal {literal:?} failed to parse: {e:?}"))
+}
+
 /// Instantiates the full Figure 3 corpus: the ten file-hiding programs in
 /// paper order.
 pub fn file_hiding_corpus() -> Vec<Box<dyn Ghostware>> {
@@ -207,6 +219,7 @@ pub fn process_hiding_corpus() -> Vec<Box<dyn Ghostware>> {
 
 /// Convenient re-exports.
 pub mod prelude {
+    pub use crate::evasive::{EvasionSense, EvasiveGhostware, EvasiveTactic};
     pub use crate::targeted::{ScannerAwareHider, UtilityTargetedHider};
     pub use crate::unix::{Darkside, Superkit, Synapsis, T0rnkit, UnixInfection, UnixRootkit};
     pub use crate::{

@@ -13,8 +13,8 @@
 //!   scanner) restores the diff.
 
 use crate::filters::hide_names_containing;
-use crate::{Ghostware, Infection, Technique};
-use strider_nt_core::{NtPath, NtStatus};
+use crate::{static_path, Ghostware, Infection, Technique};
+use strider_nt_core::NtStatus;
 use strider_winapi::{HookScope, Machine, QueryKind};
 
 /// Hides its artifacts only from the named utility processes.
@@ -42,9 +42,7 @@ impl Ghostware for UtilityTargetedHider {
     }
 
     fn infect(&self, machine: &mut Machine) -> Result<Infection, NtStatus> {
-        let exe: NtPath = "C:\\windows\\system32\\targbot.exe"
-            .parse()
-            .expect("static");
+        let exe = static_path("C:\\windows\\system32\\targbot.exe");
         machine.win32_create_file(&exe, b"MZ targbot")?;
         machine.spawn_process("targbot.exe", &exe.to_string())?;
         machine.install_ntdll_hook(
@@ -82,7 +80,7 @@ impl Ghostware for ScannerAwareHider {
     }
 
     fn infect(&self, machine: &mut Machine) -> Result<Infection, NtStatus> {
-        let exe: NtPath = "C:\\windows\\system32\\sneaky.exe".parse().expect("static");
+        let exe = static_path("C:\\windows\\system32\\sneaky.exe");
         machine.win32_create_file(&exe, b"MZ sneaky EVILSIG")?;
         machine.spawn_process("sneaky.exe", &exe.to_string())?;
         machine.install_ntdll_hook(

@@ -8,7 +8,7 @@
 //! native API (Section 3). A mechanism-targeting detector finds nothing to
 //! detect here; the cross-view diff still does.
 
-use crate::{Ghostware, Infection, Technique};
+use crate::{static_path, Ghostware, Infection, Technique};
 use strider_hive::{Value, ValueData};
 use strider_nt_core::{NtPath, NtStatus, NtString};
 use strider_winapi::Machine;
@@ -26,9 +26,7 @@ impl Ghostware for NamingTrick {
         let mut hidden = Vec::new();
 
         // Trailing dot.
-        let dot: NtPath = "C:\\windows\\system32\\svchost.exe."
-            .parse()
-            .expect("static");
+        let dot = static_path("C:\\windows\\system32\\svchost.exe.");
         machine.native_create_file(&dot, b"MZ payload")?;
         hidden.push(dot);
 
@@ -38,7 +36,7 @@ impl Ghostware for NamingTrick {
         hidden.push(space);
 
         // Reserved device name.
-        let reserved: NtPath = "C:\\temp\\nul.cfg".parse().expect("static");
+        let reserved = static_path("C:\\temp\\nul.cfg");
         machine.native_create_file(&reserved, b"config")?;
         hidden.push(reserved);
 
@@ -56,9 +54,7 @@ impl Ghostware for NamingTrick {
         hidden.push(deep_file);
 
         // Registry value with an embedded NUL in its counted name.
-        let run: NtPath = "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run"
-            .parse()
-            .expect("static");
+        let run = static_path("HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run");
         let mut units: Vec<u16> = "loader".encode_utf16().collect();
         units.push(0);
         units.extend("x".encode_utf16());

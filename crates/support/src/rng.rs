@@ -82,6 +82,28 @@ impl SplitMix64 {
     pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
         &items[self.gen_range(0..items.len())]
     }
+
+    /// Shuffles `items` in place (Fisher–Yates). Equal seeds yield equal
+    /// permutations on every platform, which is what makes randomized sweep
+    /// scheduling reproducible from a policy seed.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+/// FNV-1a over `bytes` — a tiny, platform-stable string hash for deriving
+/// per-label seeds (`base_seed ^ fnv1a(label)`) so independent consumers of
+/// one policy seed get decorrelated but reproducible streams.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF29CE484222325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001B3);
+    }
+    hash
 }
 
 /// Integer types usable with [`SplitMix64::gen_range`].
@@ -154,6 +176,21 @@ mod tests {
             let x = rng.next_f64();
             assert!((0.0..1.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic_and_a_permutation() {
+        let mut a: Vec<u32> = (0..32).collect();
+        let mut b: Vec<u32> = (0..32).collect();
+        SplitMix64::seed_from_u64(11).shuffle(&mut a);
+        SplitMix64::seed_from_u64(11).shuffle(&mut b);
+        assert_eq!(a, b, "equal seeds give equal permutations");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>(), "still a permutation");
+        let mut c: Vec<u32> = (0..32).collect();
+        SplitMix64::seed_from_u64(12).shuffle(&mut c);
+        assert_ne!(a, c, "different seeds shuffle differently");
     }
 
     #[test]

@@ -62,6 +62,7 @@
 mod hooks;
 mod machine;
 mod query;
+mod tap;
 mod trace;
 
 pub use hooks::{
@@ -74,6 +75,7 @@ pub use query::{
     CallContext, FileRow, ModuleRow, ProcessRow, Query, QueryKind, RegKeyRow, RegValueRow, Row,
 };
 pub use strider_support::fault::{FaultPlan, TransientFaults};
+pub use tap::{RawSource, ScanTap};
 pub use trace::{ChainStats, ChainTrace, LevelHop};
 
 /// Convenient re-exports.
@@ -81,7 +83,7 @@ pub mod prelude {
     pub use crate::{
         CallContext, ChainEntry, ChainStats, ChainTrace, DiskImage, FaultInjector, FaultPlan,
         FileRow, HiveCopyTamper, Hook, HookId, HookRegistry, HookScope, HookStyle, Level, LevelHop,
-        Machine, ModuleRow, ProcessRow, Query, QueryFilter, QueryKind, RawImageTamper, RegKeyRow,
-        RegValueRow, Row, TickTask, TransientFaults,
+        Machine, ModuleRow, ProcessRow, Query, QueryFilter, QueryKind, RawImageTamper, RawSource,
+        RegKeyRow, RegValueRow, Row, ScanTap, TickTask, TransientFaults,
     };
 }

@@ -6,6 +6,7 @@ use crate::hooks::{
 use crate::query::{
     CallContext, FileRow, ModuleRow, ProcessRow, Query, QueryKind, RegKeyRow, RegValueRow, Row,
 };
+use crate::tap::{RawSource, ScanTap};
 use crate::trace::{ChainTrace, LevelHop};
 use std::sync::Arc;
 use strider_hive::{Registry, RegistryError, ValueData};
@@ -210,6 +211,7 @@ pub struct Machine {
     tick_tasks: Vec<Box<dyn TickTask>>,
     faults: Option<FaultInjector>,
     flight: Option<FlightRecorder>,
+    tap: ScanTap,
 }
 
 impl std::fmt::Debug for Machine {
@@ -240,6 +242,7 @@ impl Machine {
             tick_tasks: Vec::new(),
             faults: None,
             flight: None,
+            tap: ScanTap::new(),
         }
     }
 
@@ -511,6 +514,7 @@ impl Machine {
         query: &Query,
         entry: ChainEntry,
     ) -> Result<Vec<Row>, NtStatus> {
+        self.tap.record_query(query.kind(), &ctx.image_name);
         let mut rows = self.truth_rows(query)?;
         for level in Level::ALL {
             if entry == ChainEntry::Native && !level.applies_to_native_calls() {
@@ -539,6 +543,7 @@ impl Machine {
         query: &Query,
         entry: ChainEntry,
     ) -> Result<(Vec<Row>, ChainTrace), NtStatus> {
+        self.tap.record_query(query.kind(), &ctx.image_name);
         let mut rows = self.truth_rows(query)?;
         let mut trace = ChainTrace {
             kind: query.kind(),
@@ -812,6 +817,7 @@ impl Machine {
     /// scan does. Ghostware with sufficient privilege may tamper with this
     /// copy — which is why this source is a truth *approximation*.
     pub fn read_raw_volume_image(&self) -> Vec<u8> {
+        self.tap.record_raw_read(RawSource::Volume);
         let mut bytes = self.volume.to_image();
         for (_, t) in &self.image_tampers {
             bytes = t.tamper(bytes);
@@ -822,6 +828,7 @@ impl Machine {
     /// Copies a hive's backing bytes from inside the box (the low-level
     /// Registry scan's "copy and parse" step), subject to tampering.
     pub fn copy_hive_bytes(&self, mount: &NtPath) -> Option<Vec<u8>> {
+        self.tap.record_raw_read(RawSource::Hive);
         let hive = self
             .registry
             .hives()
@@ -861,6 +868,16 @@ impl Machine {
     /// Detaches the flight-recorder handle.
     pub fn clear_flight_recorder(&mut self) {
         self.flight = None;
+    }
+
+    /// A clone-handle view of in-flight scan activity, as observable from
+    /// inside the box: query counts, same-kind enumeration runs, recent
+    /// caller names, and raw truth-source reads. Installed ghostware uses
+    /// this to sense scans and adapt (see `strider_ghostware::evasive`);
+    /// [`Machine::snapshot_disk`] is deliberately *not* recorded here —
+    /// outside-the-box capture is invisible from inside the box.
+    pub fn scan_tap(&self) -> ScanTap {
+        self.tap.clone()
     }
 
     fn flight_fault(&self, what: &str, detail: &str) {
@@ -960,6 +977,7 @@ impl Machine {
                 return Err(NtStatus::DeviceNotReady);
             }
         }
+        self.tap.record_raw_read(RawSource::Dump);
         let bytes = self.kernel.try_crash_dump().ok_or_else(|| {
             self.flight_fault("kernel.dump", "kernel capture DeviceNotReady");
             NtStatus::DeviceNotReady

@@ -84,6 +84,16 @@ echo "==> fleet suite (scheduler, checkpoint/resume, fleet monitor)"
 cargo test -q --offline --test fleet
 cargo run -q --offline --example fleet_scan >/dev/null
 
+# Evasion suite: the adversarial arms race. The tactic × scan-mode matrix
+# (every tactic defeats a naive mode, none defeats the hardened or the
+# outside-the-box sweep, fixed seeds give byte-identical hardened reports),
+# the chaos property with an evasive adversary riding along, and the
+# self-validating evasion example (naive sweep loses, hardened monitor
+# raises EvasionSuspected with flight evidence).
+echo "==> evasion suite (tactic matrix, hardened sweeps, evasion monitor)"
+cargo test -q --offline --test evasion_matrix
+cargo run -q --offline --example evasion >/dev/null
+
 # Rustdoc gate: the public-facing crates must document cleanly — broken
 # intra-doc links or missing docs on public items fail the build here, not
 # on docs.rs.

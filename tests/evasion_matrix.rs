@@ -1,0 +1,195 @@
+//! The adversarial arms-race matrix: every evasive tactic against every
+//! scan posture, in the style of the paper's result tables.
+//!
+//! Rows are [`EvasiveTactic`]s, columns are scan modes:
+//!
+//! | tactic                 | naive single | naive stabilized | hardened | outside |
+//! |------------------------|--------------|------------------|----------|---------|
+//! | unhide-during-low-scan | caught       | **defeated**     | caught   | caught  |
+//! | rehook-after-sweep     | see test     | **defeated**     | caught   | caught  |
+//! | flicker-hiding         | **defeated** | **defeated**     | caught   | caught  |
+//!
+//! Two invariants anchor the table: every tactic defeats at least one
+//! naive mode (the arms race is real), and **no** tactic defeats the
+//! hardened sweep or the outside-the-box sweep. The outside scan stays
+//! undefeatable by construction — `Machine::snapshot_disk` never touches
+//! the scan tap the ghostware senses through — and the hardened policy's
+//! quorum diff turns the one thing adaptive hiding cannot avoid
+//! (inconsistency across passes) into [`NoiseClass::Flickering`]
+//! findings.
+//!
+//! Everything here is deterministic: machines are rebuilt per cell, and
+//! all randomness (detector and adversary) flows from pinned seeds.
+
+use strider_ghostbuster_repro::prelude::*;
+
+/// A fresh lab machine with one evasive infection installed.
+fn infected(tactic: EvasiveTactic) -> Machine {
+    let mut m = Machine::with_base_system("evasion-lab").expect("machine builds");
+    EvasiveGhostware::new(tactic)
+        .infect(&mut m)
+        .expect("infects");
+    m
+}
+
+fn inside(policy: ScanPolicy, tactic: EvasiveTactic) -> SweepReport {
+    let mut m = infected(tactic);
+    GhostBuster::new()
+        .with_policy(policy)
+        .inside_sweep(&mut m)
+        .expect("sweeps")
+}
+
+fn outside(tactic: EvasiveTactic) -> SweepReport {
+    let mut m = infected(tactic);
+    GhostBuster::new()
+        .with_policy(ScanPolicy::hardened())
+        .winpe_outside_sweep(&mut m, 100)
+        .expect("sweeps")
+}
+
+/// The tactic parameters the matrix pins. Each is tuned to *actually*
+/// defeat its naive column — a weak adversary would make the hardened
+/// column's win meaningless.
+fn unhide() -> EvasiveTactic {
+    // Honest for a million queries after any raw read: effectively
+    // "honest until reboot", the strongest version of the tactic.
+    EvasiveTactic::UnhideDuringLowScan { window: 1_000_000 }
+}
+
+fn rehook() -> EvasiveTactic {
+    // Six consecutive same-kind enumeration queries fingerprint a bulk
+    // scan; once sensed, lies stay down effectively forever.
+    EvasiveTactic::RehookAfterSweep {
+        burst: 6,
+        rehook_after: 1_000_000,
+    }
+}
+
+fn flicker() -> EvasiveTactic {
+    // Grace covers every appearance a naive sweep can cause; only the
+    // hardened sweep's quorum passes and decoy queries burn through it.
+    EvasiveTactic::FlickerHiding {
+        seed: 41,
+        grace: 12,
+    }
+}
+
+#[test]
+fn unhide_during_low_scan_beats_stabilization_but_not_quorum() {
+    // Naive single pass: the files lie is collected *before* the first
+    // raw volume read, so the rootkit is still lying — caught.
+    let single = inside(ScanPolicy::strict(), unhide());
+    assert!(single.is_infected(), "single-pass sweep must catch it");
+
+    // Stabilized: pass 1 disagrees with the honest passes 2 and 3, which
+    // agree with each other — the stabilizer accepts the clean pair.
+    let stabilized = inside(ScanPolicy::resilient(), unhide());
+    assert!(
+        !stabilized.is_infected(),
+        "the tactic must defeat two-passes-agree stabilization: {stabilized}"
+    );
+
+    // Hardened: the lying first pass is outvoted but not forgotten — it
+    // surfaces as a flickering finding.
+    let hardened = inside(ScanPolicy::hardened(), unhide());
+    assert!(hardened.is_infected(), "quorum diff must catch it");
+    assert!(
+        hardened.flicker_score() > 0,
+        "the catch is flicker-scored: {hardened}"
+    );
+}
+
+#[test]
+fn rehook_after_sweep_beats_stabilization_but_not_decoys() {
+    // Stabilized: pass 1's enumeration burst is sensed early, lies drop,
+    // and the later (honest, agreeing) passes win the stabilizer.
+    let stabilized = inside(ScanPolicy::resilient(), rehook());
+    assert!(
+        !stabilized.is_infected(),
+        "the tactic must defeat stabilized sweeps: {stabilized}"
+    );
+
+    // Hardened: decoy queries cap every same-kind run below the burst
+    // threshold, so the sensor never trips and the lies are *stable* —
+    // caught by the ordinary cross-view diff in every quorum pass.
+    let hardened = inside(ScanPolicy::hardened(), rehook());
+    assert!(hardened.is_infected(), "decoys must blind the burst sensor");
+    assert!(
+        hardened.suspicious_count() > hardened.flicker_score(),
+        "rehook lies are stable under decoys, not flickering: {hardened}"
+    );
+}
+
+#[test]
+fn flicker_hiding_beats_naive_sweeps_but_not_flicker_scoring() {
+    // Both naive modes: every resource is within its grace allowance for
+    // the handful of appearances a naive sweep causes — fully visible,
+    // nothing to diff.
+    let single = inside(ScanPolicy::strict(), flicker());
+    assert!(
+        !single.is_infected(),
+        "grace must cover a single-pass sweep: {single}"
+    );
+    let stabilized = inside(ScanPolicy::resilient(), flicker());
+    assert!(
+        !stabilized.is_infected(),
+        "grace must cover a stabilized sweep: {stabilized}"
+    );
+
+    // Hardened: quorum passes plus decoy traffic exhaust the grace, the
+    // coin starts hiding, and the inconsistency is the detection.
+    let hardened = inside(ScanPolicy::hardened(), flicker());
+    assert!(
+        hardened.is_infected(),
+        "quorum passes must exhaust the grace: {hardened}"
+    );
+}
+
+#[test]
+fn no_tactic_defeats_the_outside_the_box_sweep() {
+    for (name, tactic) in [
+        ("unhide-during-low-scan", unhide()),
+        ("rehook-after-sweep", rehook()),
+        ("flicker-hiding", flicker()),
+    ] {
+        let report = outside(tactic);
+        assert!(
+            report.is_infected(),
+            "{name} must not survive the outside-the-box sweep: {report}"
+        );
+    }
+}
+
+#[test]
+fn every_tactic_defeats_at_least_one_naive_mode() {
+    // The arms race is real: each tactic wins somewhere, or the hardened
+    // policy would be hardening against nothing.
+    for (name, tactic) in [
+        ("unhide-during-low-scan", unhide()),
+        ("rehook-after-sweep", rehook()),
+        ("flicker-hiding", flicker()),
+    ] {
+        let single = inside(ScanPolicy::strict(), tactic);
+        let stabilized = inside(ScanPolicy::resilient(), tactic);
+        assert!(
+            !single.is_infected() || !stabilized.is_infected(),
+            "{name} defeats no naive mode — not an evasion tactic at all"
+        );
+    }
+}
+
+#[test]
+fn hardened_sweeps_are_byte_identical_for_equal_seeds() {
+    // All detector randomization (pipeline order, enumeration shuffles,
+    // decoy scheduling) derives from the policy seed, so a fixed seed
+    // reproduces the sweep byte for byte — the property that makes
+    // randomized fleet sweeps diffable across machines and months.
+    let run = |seed: u64| {
+        let policy =
+            ScanPolicy::supervised().with_hardening(Some(EvasionHardening::with_seed(seed)));
+        inside(policy, flicker()).to_string()
+    };
+    assert_eq!(run(7), run(7), "equal seeds: byte-identical reports");
+    assert_eq!(run(99), run(99), "any fixed seed reproduces");
+}

@@ -379,3 +379,43 @@ fn fleet_infection_spike_rule_fires_and_exports_prometheus_text() {
         "{expo}"
     );
 }
+
+// ---------------------------------------------------------------------
+// Hardened-policy plumb-through
+// ---------------------------------------------------------------------
+
+#[test]
+fn hardened_policy_flows_through_the_scheduler_to_every_shard() {
+    // Half the fleet runs flicker-hiding evasive rootkits. The standard
+    // resilient fleet policy misses every one (the tactic is built to
+    // defeat stabilized sweeps); swapping *only* the detector's policy
+    // for the hardened preset catches every one — proof the scheduler
+    // clones the hardened policy into each shard's sweep rather than
+    // falling back to a default.
+    let tactic = EvasiveTactic::FlickerHiding {
+        seed: 41,
+        grace: 12,
+    };
+    let build = || {
+        let mut fleet = FleetRegistry::seeded(&FleetSpec::clean(6, 4242)).unwrap();
+        for shard in fleet.machines_mut().iter_mut().take(3) {
+            EvasiveGhostware::new(tactic)
+                .infect(&mut shard.machine)
+                .unwrap();
+        }
+        fleet
+    };
+
+    let naive = FleetScheduler::new(detector(Arc::new(FakeClock::default()))).with_workers(3);
+    let report = naive.sweep(&mut build()).unwrap();
+    assert_eq!(report.infected, 0, "naive fleet sweep is blind: {report}");
+
+    let hardened = GhostBuster::new()
+        .with_policy(ScanPolicy::hardened().with_clock(Arc::new(FakeClock::default())));
+    let scheduler = FleetScheduler::new(hardened).with_workers(3);
+    let report = scheduler.sweep(&mut build()).unwrap();
+    assert_eq!(
+        report.infected, 3,
+        "hardened policy must reach every shard: {report}"
+    );
+}

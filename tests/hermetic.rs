@@ -150,6 +150,25 @@ fn support_crate_declares_every_replacement_module() {
 }
 
 #[test]
+fn evasion_seam_modules_stay_declared() {
+    // The adversarial arms race spans three crates: the observation tap
+    // the ghostware senses through, the evasive samples themselves, and
+    // the scanner-side hardening plumbing. A refactor that drops any of
+    // these modules silently disarms `tests/evasion_matrix.rs`.
+    for (lib, module) in [
+        ("crates/winapi/src/lib.rs", "tap"),
+        ("crates/ghostware/src/lib.rs", "evasive"),
+        ("crates/core/src/lib.rs", "harden"),
+    ] {
+        let text = fs::read_to_string(manifest_root().join(lib)).expect("readable lib.rs");
+        assert!(
+            text.contains(&format!("mod {module};")),
+            "{lib} lost its `{module}` module"
+        );
+    }
+}
+
+#[test]
 fn support_crate_has_no_dependencies_at_all() {
     let manifest = manifest_root().join("crates/support/Cargo.toml");
     let text = fs::read_to_string(&manifest).expect("support manifest");

@@ -817,6 +817,24 @@ fn fault_chaos_sweeps_always_terminate_with_consistent_health() {
 
             let mut m = Machine::with_base_system("chaos").unwrap();
             HackerDefender::default().infect(&mut m).unwrap();
+            // A scan-aware adversary rides along, its tactic and knobs
+            // seeded from the case: the liveness and health-consistency
+            // properties must hold even when the lie *adapts* to the scan
+            // while the truth sources fail underneath it.
+            let tactic = match seed % 3 {
+                0 => EvasiveTactic::UnhideDuringLowScan {
+                    window: seed % 509 + 1,
+                },
+                1 => EvasiveTactic::RehookAfterSweep {
+                    burst: seed % 7 + 2,
+                    rehook_after: seed % 61 + 1,
+                },
+                _ => EvasiveTactic::FlickerHiding {
+                    seed: *seed,
+                    grace: seed % 9,
+                },
+            };
+            EvasiveGhostware::new(tactic).infect(&mut m).unwrap();
             let mut inject = FaultInjector::new()
                 .fail_volume_reads(u32::from(knob(2) % 3))
                 .fail_hive_reads(u32::from(knob(3) % 3));
