@@ -10,11 +10,12 @@
 //! single-core host where pure CPU work cannot scale.
 
 use std::time::Duration;
-use strider_fleet::{FleetRegistry, FleetScheduler, FleetSpec};
+use strider_fleet::{DurabilityMode, FleetRegistry, FleetScheduler, FleetSpec};
 use strider_ghostbuster::{AdvancedSource, GhostBuster, ScanPolicy};
 use strider_support::bench::{Criterion, Throughput};
 use strider_support::fault::Stall;
 use strider_support::obs::Telemetry;
+use strider_support::store::RecordStore;
 use strider_support::{criterion_group, criterion_main};
 use strider_winapi::FaultInjector;
 
@@ -81,6 +82,38 @@ fn bench_fleet_scan(c: &mut Criterion) {
             });
         });
     }
+
+    // Checkpointed sweeps: the durable state plane's two persistence
+    // modes at pool-4, priced against the in-memory pool-4 run above.
+    // WAL mode appends one framed record per completed shard (O(1) in the
+    // fleet size); rewrite mode commits the whole fleet checkpoint via
+    // temp+rename after every shard (O(fleet) × shards). A fresh store
+    // per iteration keeps every run a cold start — resuming would skip
+    // the sweeps entirely.
+    let durable_dir =
+        std::env::temp_dir().join(format!("strider-bench-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&durable_dir);
+    std::fs::create_dir_all(&durable_dir).expect("bench store dir");
+    for (label, mode) in [
+        ("checkpointed-wal", DurabilityMode::WalAppend),
+        ("checkpointed-rewrite", DurabilityMode::FullRewrite),
+    ] {
+        let scheduler = FleetScheduler::new(detector()).with_workers(4);
+        let mut run = 0u64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                arm_device_latency(&mut fleet);
+                run += 1;
+                let path = durable_dir.join(format!("{label}-{run}.wal"));
+                let store = RecordStore::open(path).expect("bench store");
+                let report = scheduler.sweep_durable(&mut fleet, &store, mode).unwrap();
+                assert_eq!(report.swept, u64::from(MACHINES));
+                assert_eq!(report.infected, 16);
+                report.swept
+            });
+        });
+    }
+    let _ = std::fs::remove_dir_all(&durable_dir);
     group.finish();
 }
 

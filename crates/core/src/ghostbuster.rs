@@ -93,7 +93,7 @@ impl SweepReport {
         durations
     }
 
-    /// Total findings classified [`NoiseClass::Flickering`] — resources
+    /// Total findings classified [`NoiseClass::Flickering`](crate::report::NoiseClass::Flickering) — resources
     /// that appeared and vanished across quorum passes, the signature of
     /// scan-aware evasive hiding. Zero on any sweep run without
     /// [`EvasionHardening`](crate::policy::EvasionHardening) (single-shot
@@ -242,6 +242,40 @@ impl SweepCheckpoint {
     pub fn deserialize(text: &str) -> Result<Self, strider_support::json::JsonError> {
         use strider_support::json::{FromJson, JsonValue};
         Self::from_json(&JsonValue::parse(text)?)
+    }
+
+    /// Commits the checkpoint to `store` as a new generation — an atomic
+    /// temp+rename publish that also retains the previous generation, so
+    /// post-crash corruption of the newest record falls back instead of
+    /// losing the sweep's progress.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O errors (including injected crashes).
+    pub fn save_to(&self, store: &strider_support::store::RecordStore) -> std::io::Result<u64> {
+        store.commit(self.serialize().as_bytes())
+    }
+
+    /// Loads the newest recoverable checkpoint from `store`. `Ok(None)`
+    /// means no usable checkpoint survived — a first run, or damage past
+    /// every generation — which callers treat as a cold start, never a
+    /// panic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O errors; damaged records fall back silently to
+    /// the previous generation.
+    pub fn load_from(store: &strider_support::store::RecordStore) -> std::io::Result<Option<Self>> {
+        let recovered = store.recover()?;
+        for record in recovered.records.iter().rev() {
+            if let Some(checkpoint) = std::str::from_utf8(&record.payload)
+                .ok()
+                .and_then(|text| Self::deserialize(text).ok())
+            {
+                return Ok(Some(checkpoint));
+            }
+        }
+        Ok(None)
     }
 }
 

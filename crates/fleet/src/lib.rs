@@ -19,6 +19,21 @@
 //!   and fleet-wide latency quantiles from merged
 //!   [`HistogramSketch`](strider_support::obs::HistogramSketch)es.
 //!
+//! The fleet is crash-safe and self-healing. A
+//! [`FleetScheduler::sweep_durable`] journals per-shard progress into a
+//! checksummed, generational
+//! [`RecordStore`](strider_support::store::RecordStore) — one O(1)
+//! appended record per completed shard ([`DurabilityMode::WalAppend`]) or
+//! a whole-checkpoint atomic rewrite per shard
+//! ([`DurabilityMode::FullRewrite`], the benchmark baseline) — so the
+//! process can be killed at any write byte and a rerun resumes to a
+//! merged report whose [`FleetReport::result_digest`] is byte-identical
+//! to an uninterrupted run's. A [`FleetHealPolicy`] adds per-shard retry
+//! budgets with seeded exponential backoff; a shard that exhausts its
+//! budget is fenced as [`ShardDisposition::Quarantined`] with
+//! flight-recorder evidence — surfaced in [`FleetReport::quarantined`],
+//! never silently dropped and never an `Err` that sinks the fleet.
+//!
 //! [`FleetMonitor`] adds the continuous story: one
 //! [`SweepMonitor`](strider_ghostbuster::SweepMonitor) per shard (every
 //! machine diffs against its *own* baseline) with fleet rollup series and
@@ -58,21 +73,33 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod durable;
 mod monitor;
 mod registry;
 mod report;
 mod scheduler;
 
-pub use monitor::{FleetAlertPolicy, FleetIncident, FleetMonitor, FleetObservation};
+pub use durable::{
+    recover_state, DurabilityMode, DurableFleetState, DurableSweepError, FleetHealPolicy,
+    QuarantineRecord,
+};
+pub use monitor::{
+    FleetAlertPolicy, FleetIncident, FleetMonitor, FleetObservation, ShardFailure, ShardQuarantine,
+};
 pub use registry::{FleetMachine, FleetRegistry, FleetSpec, ShardId};
-pub use report::{FleetCheckpoint, FleetReport, PipelineRollup, Prevalence, ShardResult};
+pub use report::{
+    CheckpointMismatch, FleetCheckpoint, FleetReport, PipelineRollup, Prevalence, ShardDisposition,
+    ShardResult,
+};
 pub use scheduler::{FleetControl, FleetScheduler};
 
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::{
-        FleetAlertPolicy, FleetCheckpoint, FleetControl, FleetIncident, FleetMachine, FleetMonitor,
+        CheckpointMismatch, DurabilityMode, DurableFleetState, DurableSweepError, FleetAlertPolicy,
+        FleetCheckpoint, FleetControl, FleetHealPolicy, FleetIncident, FleetMachine, FleetMonitor,
         FleetObservation, FleetRegistry, FleetReport, FleetScheduler, FleetSpec, PipelineRollup,
-        Prevalence, ShardId, ShardResult,
+        Prevalence, QuarantineRecord, ShardDisposition, ShardFailure, ShardId, ShardQuarantine,
+        ShardResult,
     };
 }

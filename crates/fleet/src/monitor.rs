@@ -128,16 +128,82 @@ impl FleetAlertPolicy {
     }
 }
 
-/// One fleet-wide monitoring pass: every shard's observation plus the
-/// incidents and fleet-level alert transitions raised across the fleet.
+/// One shard's failed monitoring pass: the sweep could not enter the
+/// machine, or its report came back with degraded pipelines. Failures are
+/// counted per shard; enough *consecutive* ones quarantine the shard
+/// (see [`FleetMonitor::with_quarantine_after`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardFailure {
+    /// The failing shard.
+    pub shard: ShardId,
+    /// That shard's machine name.
+    pub machine: String,
+    /// Why the pass failed.
+    pub reason: String,
+    /// Consecutive failed passes including this one.
+    pub consecutive: u32,
+}
+
+impl fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] failed pass ({} consecutive): {}",
+            self.shard, self.machine, self.consecutive, self.reason
+        )
+    }
+}
+
+/// A shard the fleet monitor has fenced off after too many consecutive
+/// failed passes. Quarantined shards are skipped by later passes (their
+/// failures no longer drown the rollups) but stay visible — in
+/// [`FleetMonitor::quarantined`], the `fleet.quarantined` series, and
+/// this record's flight-recorder evidence — until an operator
+/// [`unquarantine`](FleetMonitor::unquarantine)s them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardQuarantine {
+    /// The fenced shard.
+    pub shard: ShardId,
+    /// That shard's machine name.
+    pub machine: String,
+    /// Consecutive failed passes that tripped the fence.
+    pub failures: u32,
+    /// The final failure's reason.
+    pub reason: String,
+    /// The monitor's flight ring at fencing time — the failure events
+    /// leading up to the quarantine.
+    pub evidence: FlightDump,
+}
+
+impl fmt::Display for ShardQuarantine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] QUARANTINED after {} failed passes: {}",
+            self.shard, self.machine, self.failures, self.reason
+        )
+    }
+}
+
+/// One fleet-wide monitoring pass: every observed shard's observation
+/// plus the incidents, failures, and fleet-level alert transitions raised
+/// across the fleet.
 #[derive(Debug, Clone)]
 pub struct FleetObservation {
     /// Monitor clock reading when the pass started.
     pub at_ns: u64,
-    /// Per-shard observations, in shard order.
+    /// Which shards were observed this pass, parallel to `shards`. Equals
+    /// every shard in shard order unless some are quarantined.
+    pub shard_ids: Vec<ShardId>,
+    /// Per-observed-shard observations, parallel to `shard_ids`.
     pub shards: Vec<MonitorObservation>,
     /// Every incident of the pass, tagged with its shard.
     pub incidents: Vec<FleetIncident>,
+    /// Shards whose pass failed this round (entry error or degraded
+    /// pipelines) — the raw signal behind quarantine counting.
+    pub failures: Vec<ShardFailure>,
+    /// Shards currently quarantined (and therefore skipped this pass).
+    pub quarantined: Vec<ShardId>,
     /// Fleet-level alert transitions this pass produced.
     pub transitions: Vec<AlertTransition>,
 }
@@ -145,11 +211,11 @@ pub struct FleetObservation {
 impl FleetObservation {
     /// Shards whose sweep found something suspicious this pass.
     pub fn infected_shards(&self) -> Vec<ShardId> {
-        self.shards
+        self.shard_ids
             .iter()
-            .enumerate()
+            .zip(&self.shards)
             .filter(|(_, o)| o.report.is_infected())
-            .map(|(i, _)| ShardId(i as u32))
+            .map(|(id, _)| *id)
             .collect()
     }
 }
@@ -185,6 +251,9 @@ pub struct FleetMonitor {
     machines: Vec<String>,
     series: BTreeMap<String, MetricSeries>,
     passes_run: u64,
+    quarantine_after: u32,
+    failure_streaks: Vec<u32>,
+    quarantined: BTreeMap<u32, ShardQuarantine>,
 }
 
 impl FleetMonitor {
@@ -205,7 +274,35 @@ impl FleetMonitor {
             machines: Vec::new(),
             series: BTreeMap::new(),
             passes_run: 0,
+            quarantine_after: u32::MAX,
+            failure_streaks: Vec::new(),
+            quarantined: BTreeMap::new(),
         }
+    }
+
+    /// Fences a shard after `passes` *consecutive* failed passes (entry
+    /// error or degraded pipelines): later passes skip it, its record
+    /// lands in [`quarantined`](Self::quarantined) with flight evidence,
+    /// and the `fleet.quarantined` series counts it. Default: never
+    /// (`u32::MAX`). A successful pass resets a shard's streak.
+    pub fn with_quarantine_after(mut self, passes: u32) -> Self {
+        self.quarantine_after = passes.max(1);
+        self
+    }
+
+    /// The shards currently fenced off, in shard order.
+    pub fn quarantined(&self) -> Vec<&ShardQuarantine> {
+        self.quarantined.values().collect()
+    }
+
+    /// Lifts a shard's quarantine (after the operator fixed the machine)
+    /// and resets its failure streak so the next pass observes it again.
+    /// Returns whether the shard was quarantined.
+    pub fn unquarantine(&mut self, shard: ShardId) -> bool {
+        if let Some(streak) = self.failure_streaks.get_mut(shard.0 as usize) {
+            *streak = 0;
+        }
+        self.quarantined.remove(&shard.0).is_some()
     }
 
     /// Replaces the monitor configuration (shared by every shard monitor).
@@ -324,21 +421,31 @@ impl FleetMonitor {
             .iter()
             .map(|m| m.machine.name().to_string())
             .collect();
+        self.failure_streaks = vec![0; self.shards.len()];
+        self.quarantined.clear();
         for (monitor, shard) in self.shards.iter_mut().zip(fleet.machines_mut()) {
             monitor.record_baseline(&mut shard.machine)?;
         }
         Ok(self.shards.len())
     }
 
-    /// Runs one monitoring pass over the whole fleet: every shard is
-    /// observed against its own baseline, incidents are tagged with their
-    /// shard, the fleet rollup series are updated, and the fleet alert
-    /// rules are evaluated.
+    /// Runs one monitoring pass over the whole fleet: every
+    /// non-quarantined shard is observed against its own baseline,
+    /// incidents are tagged with their shard, the fleet rollup series are
+    /// updated, and the fleet alert rules are evaluated.
+    ///
+    /// A shard whose pass fails — the scanner cannot enter the machine,
+    /// or the observation comes back with degraded pipelines — no longer
+    /// sinks the fleet: the failure is recorded (with a flight event) in
+    /// [`FleetObservation::failures`], and once a shard fails
+    /// [`with_quarantine_after`](Self::with_quarantine_after) consecutive
+    /// passes it is fenced off and skipped until
+    /// [`unquarantine`](Self::unquarantine)d.
     ///
     /// # Errors
     ///
-    /// [`NtStatus::InvalidParameter`] when baselines were not recorded for
-    /// this fleet; otherwise propagates the first failing shard sweep.
+    /// [`NtStatus::InvalidParameter`] when baselines were not recorded
+    /// for this fleet.
     pub fn observe(&mut self, fleet: &mut FleetRegistry) -> Result<FleetObservation, NtStatus> {
         if self.shards.len() != fleet.len()
             || fleet
@@ -349,19 +456,74 @@ impl FleetMonitor {
         {
             return Err(NtStatus::InvalidParameter);
         }
+        if self.failure_streaks.len() != self.shards.len() {
+            self.failure_streaks = vec![0; self.shards.len()];
+        }
         let at_ns = self.clock().now_ns();
+        let mut shard_ids = Vec::with_capacity(fleet.len());
         let mut observations = Vec::with_capacity(fleet.len());
         let mut incidents = Vec::new();
+        let mut failures = Vec::new();
         for (i, (monitor, shard)) in self.shards.iter_mut().zip(fleet.machines_mut()).enumerate() {
-            let observation = monitor.observe(&mut shard.machine)?;
-            for incident in &observation.incidents {
-                incidents.push(FleetIncident {
-                    shard: ShardId(i as u32),
-                    machine: shard.machine.name().to_string(),
-                    incident: incident.clone(),
-                });
+            if self.quarantined.contains_key(&(i as u32)) {
+                continue;
             }
-            observations.push(observation);
+            let machine_name = shard.machine.name().to_string();
+            let failure_reason = match monitor.observe(&mut shard.machine) {
+                Ok(observation) => {
+                    for incident in &observation.incidents {
+                        incidents.push(FleetIncident {
+                            shard: ShardId(i as u32),
+                            machine: machine_name.clone(),
+                            incident: incident.clone(),
+                        });
+                    }
+                    let degraded = observation.report.health.degraded_pipelines();
+                    let reason = (!degraded.is_empty())
+                        .then(|| format!("degraded pipelines: {}", degraded.join(", ")));
+                    shard_ids.push(ShardId(i as u32));
+                    observations.push(observation);
+                    reason
+                }
+                Err(status) => Some(format!("could not observe machine: {status:?}")),
+            };
+            match failure_reason {
+                None => self.failure_streaks[i] = 0,
+                Some(reason) => {
+                    self.failure_streaks[i] += 1;
+                    let consecutive = self.failure_streaks[i];
+                    self.recorder.fault(
+                        "fleet.shard_failure",
+                        &format!(
+                            "shard-{i:03} [{machine_name}] pass failed ({consecutive} consecutive): {reason}"
+                        ),
+                    );
+                    failures.push(ShardFailure {
+                        shard: ShardId(i as u32),
+                        machine: machine_name.clone(),
+                        reason: reason.clone(),
+                        consecutive,
+                    });
+                    if consecutive >= self.quarantine_after {
+                        self.recorder.fault(
+                            "fleet.shard_quarantine",
+                            &format!(
+                                "shard-{i:03} [{machine_name}] fenced after {consecutive} failed passes"
+                            ),
+                        );
+                        self.quarantined.insert(
+                            i as u32,
+                            ShardQuarantine {
+                                shard: ShardId(i as u32),
+                                machine: machine_name,
+                                failures: consecutive,
+                                reason,
+                                evidence: self.recorder.snapshot(),
+                            },
+                        );
+                    }
+                }
+            }
         }
 
         let now_ns = self.clock().now_ns();
@@ -411,6 +573,8 @@ impl FleetMonitor {
         push("fleet.infection_rate", infected / shard_count);
         push("fleet.degraded_fraction", degraded_shards / shard_count);
         push("fleet.p95_sweep_ns", p95_ns as f64);
+        push("fleet.failures", failures.len() as f64);
+        push("fleet.quarantined", self.quarantined.len() as f64);
 
         let transitions = self
             .engine
@@ -419,8 +583,11 @@ impl FleetMonitor {
         self.passes_run += 1;
         Ok(FleetObservation {
             at_ns,
+            shard_ids,
             shards: observations,
             incidents,
+            failures,
+            quarantined: self.quarantined.keys().map(|&i| ShardId(i)).collect(),
             transitions,
         })
     }

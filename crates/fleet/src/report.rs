@@ -8,7 +8,118 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use strider_ghostbuster::{PipelineStatus, SweepCheckpoint, SweepReport};
 use strider_support::alert::Exposition;
-use strider_support::obs::HistogramSketch;
+use strider_support::json::{FromJson, JsonError, JsonValue, ToJson};
+use strider_support::obs::{FlightDump, HistogramSketch};
+
+/// How a shard's result came to be — swept fresh, restored from a
+/// checkpoint, recovered after retries, or quarantined when its retry
+/// budget ran out.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum ShardDisposition {
+    /// Swept this run on the first attempt.
+    #[default]
+    Swept,
+    /// Restored verbatim from a checkpoint (no telemetry).
+    Restored,
+    /// Swept successfully, but only after `attempts` tries — the
+    /// self-healing retry loop cleared its degraded pipelines and backed
+    /// off between attempts.
+    Recovered {
+        /// Total attempts including the successful one (always ≥ 2).
+        attempts: u32,
+    },
+    /// The shard failed every attempt in its retry budget and was fenced
+    /// off. Its report is the last failed attempt's (verdict untrusted);
+    /// the fleet aggregates exclude it from sweep/infection/health counts
+    /// and surface it in [`FleetReport::quarantined`] instead.
+    Quarantined {
+        /// Attempts burned before giving up.
+        attempts: u32,
+        /// Why the final attempt failed.
+        reason: String,
+        /// Flight-recorder evidence: one fault event per failed attempt.
+        evidence: FlightDump,
+    },
+}
+
+impl ShardDisposition {
+    /// Whether this shard was fenced off after exhausting its retries.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, ShardDisposition::Quarantined { .. })
+    }
+}
+
+impl fmt::Display for ShardDisposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardDisposition::Swept => write!(f, "swept"),
+            ShardDisposition::Restored => write!(f, "restored"),
+            ShardDisposition::Recovered { attempts } => {
+                write!(f, "recovered (attempt {attempts})")
+            }
+            ShardDisposition::Quarantined {
+                attempts, reason, ..
+            } => {
+                write!(f, "QUARANTINED after {attempts} attempts: {reason}")
+            }
+        }
+    }
+}
+
+// Hand-written (rather than `impl_json!`) because the macro does not cover
+// named-field enum variants: unit variants render as bare strings, payload
+// variants as single-key objects, matching the macro's enum convention.
+impl ToJson for ShardDisposition {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            ShardDisposition::Swept => JsonValue::Str("Swept".to_string()),
+            ShardDisposition::Restored => JsonValue::Str("Restored".to_string()),
+            ShardDisposition::Recovered { attempts } => JsonValue::Obj(vec![(
+                "Recovered".to_string(),
+                JsonValue::Obj(vec![(
+                    "attempts".to_string(),
+                    JsonValue::UInt(u64::from(*attempts)),
+                )]),
+            )]),
+            ShardDisposition::Quarantined {
+                attempts,
+                reason,
+                evidence,
+            } => JsonValue::Obj(vec![(
+                "Quarantined".to_string(),
+                JsonValue::Obj(vec![
+                    (
+                        "attempts".to_string(),
+                        JsonValue::UInt(u64::from(*attempts)),
+                    ),
+                    ("reason".to_string(), JsonValue::Str(reason.clone())),
+                    ("evidence".to_string(), evidence.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for ShardDisposition {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        match value {
+            JsonValue::Str(s) if s == "Swept" => Ok(ShardDisposition::Swept),
+            JsonValue::Str(s) if s == "Restored" => Ok(ShardDisposition::Restored),
+            JsonValue::Obj(fields) => match fields.as_slice() {
+                [(tag, body)] if tag == "Recovered" => Ok(ShardDisposition::Recovered {
+                    attempts: body.field("attempts")?.as_u64()? as u32,
+                }),
+                [(tag, body)] if tag == "Quarantined" => Ok(ShardDisposition::Quarantined {
+                    attempts: body.field("attempts")?.as_u64()? as u32,
+                    reason: body.field("reason")?.as_str()?.to_string(),
+                    evidence: FlightDump::from_json(body.field("evidence")?)?,
+                }),
+                _ => Err(JsonError("unknown ShardDisposition variant".to_string())),
+            },
+            _ => Err(JsonError("expected a ShardDisposition".to_string())),
+        }
+    }
+}
 
 /// One machine's contribution to a fleet sweep.
 #[derive(Debug, Clone)]
@@ -24,8 +135,12 @@ pub struct ShardResult {
     /// Whether the fleet's ground truth says this machine is infected.
     pub seeded_infected: bool,
     /// Whether the result was restored verbatim from a checkpoint instead
-    /// of swept this run (restored results carry no telemetry).
+    /// of swept this run (restored results carry no telemetry). Kept as a
+    /// convenience mirror of `disposition == Restored`.
     pub restored: bool,
+    /// How this result came to be — swept, restored, recovered after
+    /// retries, or quarantined.
+    pub disposition: ShardDisposition,
     /// The shard's sweep.
     pub report: SweepReport,
 }
@@ -79,12 +194,28 @@ pub struct FleetReport {
     /// Shards that never produced a result (the sweep was stopped or
     /// cancelled before a worker reached them).
     pub unswept: Vec<ShardId>,
+    /// Shards fenced off after exhausting their retry budget, in shard
+    /// order. Their verdicts are untrusted, so they are excluded from
+    /// `swept`/`infected`/health/latency — but they are never silently
+    /// dropped: each keeps its [`ShardResult`] (with flight-recorder
+    /// evidence in its [`ShardDisposition::Quarantined`]) in `results`.
+    pub quarantined: Vec<ShardId>,
     results: Vec<ShardResult>,
 }
 
 impl FleetReport {
     /// Folds one shard's result into the aggregates and retains it.
+    ///
+    /// Quarantined shards are surfaced (in [`FleetReport::quarantined`]
+    /// and `results`) but kept out of every detection aggregate: a shard
+    /// whose sweep never succeeded has no trustworthy verdict, and letting
+    /// it vote would skew infection rates and pipeline health.
     pub(crate) fn absorb(&mut self, result: ShardResult) {
+        if result.disposition.is_quarantined() {
+            self.quarantined.push(result.shard);
+            self.results.push(result);
+            return;
+        }
         self.swept += 1;
         let detected = result.report.is_infected();
         if detected {
@@ -134,6 +265,7 @@ impl FleetReport {
     pub(crate) fn finalize(&mut self, machines: u64) {
         self.machines = machines;
         self.results.sort_by_key(|r| r.shard);
+        self.quarantined.sort();
         self.unswept = (0..machines as u32)
             .map(ShardId)
             .filter(|id| !self.results.iter().any(|r| r.shard == *id))
@@ -165,9 +297,76 @@ impl FleetReport {
         self.latency.get(probe).and_then(|s| s.percentile(pct))
     }
 
-    /// Whether every shard reported and none degraded.
+    /// Whether every shard reported and none degraded or was quarantined.
     pub fn is_complete_and_healthy(&self) -> bool {
-        self.unswept.is_empty() && self.health.values().all(|r| r.degraded == 0)
+        self.unswept.is_empty()
+            && self.quarantined.is_empty()
+            && self.health.values().all(|r| r.degraded == 0)
+    }
+
+    /// A canonical digest of the sweep's *results* — every per-shard
+    /// verdict, health status, and detection count, plus the quarantine
+    /// and unswept sets — rendered as one deterministic string.
+    ///
+    /// This is the kill-anywhere equality criterion: a sweep crashed at
+    /// any byte offset and resumed from its durable store must produce a
+    /// digest byte-identical to an uninterrupted run. The digest therefore
+    /// excludes the things a resume legitimately changes without changing
+    /// the *outcome*: wall-clock ticks (a re-swept machine's clock has
+    /// advanced), telemetry/latency sketches (restored shards carry none
+    /// by design), and whether a given shard was swept live, restored, or
+    /// recovered on a retry. Quarantined shards contribute their attempt
+    /// count and reason, not their untrusted last-attempt report.
+    pub fn result_digest(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet|machines={}|swept={}|infected={}|seeded={}",
+            self.machines, self.swept, self.infected, self.seeded_infected
+        );
+        for (kind, table) in [("family", &self.families), ("technique", &self.techniques)] {
+            for (name, p) in table {
+                let _ = writeln!(
+                    out,
+                    "{kind}|{name}|seeded={}|detected={}",
+                    p.seeded, p.detected
+                );
+            }
+        }
+        for result in &self.results {
+            if let ShardDisposition::Quarantined {
+                attempts, reason, ..
+            } = &result.disposition
+            {
+                let _ = writeln!(
+                    out,
+                    "shard|{:03}|{}|quarantined|attempts={attempts}|reason={reason}",
+                    result.shard.0, result.machine
+                );
+                continue;
+            }
+            let h = &result.report.health;
+            let _ = writeln!(
+                out,
+                "shard|{:03}|{}|seeded={}|infected={}|files={}:{}|registry={}:{}|processes={}:{}|modules={}:{}",
+                result.shard.0,
+                result.machine,
+                result.seeded_infected,
+                result.report.is_infected(),
+                status_kind(&h.files),
+                result.report.files.net_detections().len(),
+                status_kind(&h.registry),
+                result.report.hooks.net_detections().len(),
+                status_kind(&h.processes),
+                result.report.processes.net_detections().len(),
+                status_kind(&h.modules),
+                result.report.modules.net_detections().len(),
+            );
+        }
+        let unswept: Vec<String> = self.unswept.iter().map(|s| s.0.to_string()).collect();
+        let _ = writeln!(out, "unswept|{}", unswept.join(","));
+        out
     }
 
     /// The merged fleet sweep as a Prometheus-text [`Exposition`]: sweep
@@ -181,6 +380,10 @@ impl FleetReport {
         expo.counter("strider_fleet_infected_total", self.infected);
         expo.counter("strider_fleet_seeded_infected_total", self.seeded_infected);
         expo.counter("strider_fleet_unswept_total", self.unswept.len() as u64);
+        expo.counter(
+            "strider_fleet_quarantined_total",
+            self.quarantined.len() as u64,
+        );
         expo.gauge("strider_fleet_infection_rate", self.infection_rate());
         for (pipeline, rollup) in &self.health {
             for (state, count) in [
@@ -235,13 +438,23 @@ impl fmt::Display for FleetReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "fleet sweep: {}/{} machines swept, {} infected ({:.1}%), {} unswept",
+            "fleet sweep: {}/{} machines swept, {} infected ({:.1}%), {} unswept, {} quarantined",
             self.swept,
             self.machines,
             self.infected,
             self.infection_rate() * 100.0,
-            self.unswept.len()
+            self.unswept.len(),
+            self.quarantined.len()
         )?;
+        for shard in &self.quarantined {
+            if let Some(result) = self.result(*shard) {
+                writeln!(
+                    f,
+                    "  quarantined shard-{:03} [{}]: {}",
+                    shard.0, result.machine, result.disposition
+                )?;
+            }
+        }
         if !self.families.is_empty() {
             writeln!(f, "families (detected/seeded):")?;
             for (family, p) in &self.families {
@@ -270,6 +483,80 @@ impl fmt::Display for FleetReport {
         Ok(())
     }
 }
+
+/// The digest spelling of a pipeline status: the kind only, because a
+/// degraded reason can embed timing detail that differs between a live
+/// sweep and its resumed twin.
+fn status_kind(status: &PipelineStatus) -> &'static str {
+    match status {
+        PipelineStatus::Ok => "ok",
+        PipelineStatus::Salvaged { .. } => "salvaged",
+        PipelineStatus::Degraded { .. } => "degraded",
+    }
+}
+
+/// Why a [`FleetCheckpoint`] was rejected against a live fleet: the
+/// typed version of the boolean [`FleetCheckpoint::matches`] check, so a
+/// resume can report *what* drifted instead of a bare
+/// `InvalidParameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointMismatch {
+    /// The checkpoint was taken against a fleet with a different seed.
+    Seed {
+        /// The seed recorded in the checkpoint.
+        recorded: u64,
+        /// The live fleet's seed.
+        live: u64,
+    },
+    /// The checkpoint describes a fleet of a different size.
+    Size {
+        /// Shards recorded in the checkpoint.
+        recorded: usize,
+        /// Machines in the live fleet.
+        live: usize,
+    },
+    /// A shard's recorded machine name does not match the live fleet.
+    Machine {
+        /// The mismatching shard.
+        shard: ShardId,
+        /// The name recorded in the checkpoint.
+        recorded: String,
+        /// The live machine's name.
+        live: String,
+    },
+}
+
+impl fmt::Display for CheckpointMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointMismatch::Seed { recorded, live } => {
+                write!(
+                    f,
+                    "checkpoint fleet seed {recorded} does not match live fleet seed {live}"
+                )
+            }
+            CheckpointMismatch::Size { recorded, live } => {
+                write!(
+                    f,
+                    "checkpoint records {recorded} shards but the live fleet has {live} machines"
+                )
+            }
+            CheckpointMismatch::Machine {
+                shard,
+                recorded,
+                live,
+            } => {
+                write!(
+                    f,
+                    "shard-{:03} is recorded as machine {recorded:?} but the live fleet has {live:?}",
+                    shard.0
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointMismatch {}
 
 /// Durable progress of a fleet sweep: one [`SweepCheckpoint`] per shard,
 /// updated in place as pipelines finish. Serialize it when a fleet sweep
@@ -312,14 +599,39 @@ impl FleetCheckpoint {
     /// Whether the checkpoint describes this fleet (same seed, same
     /// machines in the same order).
     pub fn matches(&self, fleet: &FleetRegistry) -> bool {
-        self.fleet_seed == fleet.spec().seed
-            && self.machines.len() == fleet.len()
-            && self.shards.len() == fleet.len()
-            && fleet
-                .machines()
-                .iter()
-                .zip(&self.machines)
-                .all(|(m, name)| m.machine.name() == name)
+        self.validate(fleet).is_ok()
+    }
+
+    /// Checks the checkpoint against a live fleet and reports the first
+    /// drift as a typed [`CheckpointMismatch`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the recorded fleet seed, shard count, or any machine
+    /// name does not match `fleet`.
+    pub fn validate(&self, fleet: &FleetRegistry) -> Result<(), CheckpointMismatch> {
+        if self.fleet_seed != fleet.spec().seed {
+            return Err(CheckpointMismatch::Seed {
+                recorded: self.fleet_seed,
+                live: fleet.spec().seed,
+            });
+        }
+        if self.machines.len() != fleet.len() || self.shards.len() != fleet.len() {
+            return Err(CheckpointMismatch::Size {
+                recorded: self.machines.len().max(self.shards.len()),
+                live: fleet.len(),
+            });
+        }
+        for (i, (m, name)) in fleet.machines().iter().zip(&self.machines).enumerate() {
+            if m.machine.name() != name {
+                return Err(CheckpointMismatch::Machine {
+                    shard: ShardId(i as u32),
+                    recorded: name.clone(),
+                    live: m.machine.name().to_string(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The shards still holding unfinished pipelines, in shard order.

@@ -2,15 +2,20 @@
 //! bounded scoped-thread worker pool, with batched result ingest over a
 //! bounded channel.
 
+use crate::durable::{
+    fleet_record, quarantine_record, shard_record, DurabilityMode, DurableSweepError,
+    FleetHealPolicy, QuarantineRecord,
+};
 use crate::registry::{FleetMachine, FleetRegistry, ShardId};
-use crate::report::{FleetCheckpoint, FleetReport, ShardResult};
-use std::collections::VecDeque;
+use crate::report::{FleetCheckpoint, FleetReport, ShardDisposition, ShardResult};
+use std::collections::{BTreeMap, VecDeque};
 use strider_ghostbuster::{
     DiffReport, GhostBuster, PipelineStatus, ScanMeta, SweepCheckpoint, SweepHealth, SweepReport,
     ViewKind,
 };
 use strider_nt_core::NtStatus;
-use strider_support::obs::Telemetry;
+use strider_support::obs::{FlightRecorder, Telemetry};
+use strider_support::store::RecordStore;
 use strider_support::sync::{bounded, Mutex, Sender};
 use strider_support::task::CancellationToken;
 use strider_winapi::Machine;
@@ -51,18 +56,41 @@ impl ShardMeta {
         }
     }
 
-    fn result(&self, shard: ShardId, restored: bool, report: SweepReport) -> ShardResult {
+    fn result(
+        &self,
+        shard: ShardId,
+        disposition: ShardDisposition,
+        report: SweepReport,
+    ) -> ShardResult {
         ShardResult {
             shard,
             machine: self.machine.clone(),
             family: self.family.clone(),
             techniques: self.techniques.clone(),
             seeded_infected: self.seeded_infected,
-            restored,
+            restored: disposition == ShardDisposition::Restored,
+            disposition,
             report,
         }
     }
 }
+
+/// What a worker ships back per shard: the result, plus a snapshot of the
+/// shard's checkpoint when the sweep is persisting (taken while the
+/// worker still holds the shard's checkpoint lock, so the ingest thread
+/// can journal it without touching the slot).
+#[derive(Clone)]
+struct WorkerItem {
+    result: ShardResult,
+    checkpoint: Option<SweepCheckpoint>,
+}
+
+/// The per-shard journaling hook a durable sweep threads into the core:
+/// called on the ingest thread after each worker-swept shard, with the
+/// checkpoint snapshot (absent for quarantined shards — their journal
+/// entry is the quarantine record inside the result's disposition).
+type PersistFn<'a> =
+    &'a mut dyn FnMut(u32, Option<&SweepCheckpoint>, &ShardResult) -> std::io::Result<()>;
 
 /// Fans supervised [`GhostBuster::inside_sweep_checkpointed`] runs across
 /// a bounded pool of scoped worker threads.
@@ -82,6 +110,7 @@ pub struct FleetScheduler {
     workers: usize,
     batch: usize,
     cancellation: CancellationToken,
+    heal: Option<FleetHealPolicy>,
 }
 
 impl FleetScheduler {
@@ -93,7 +122,24 @@ impl FleetScheduler {
             workers: 4,
             batch: 8,
             cancellation: CancellationToken::new(),
+            heal: None,
         }
+    }
+
+    /// Turns on self-healing: a shard whose attempt fails (cannot enter
+    /// the machine, or any pipeline degraded) is retried with seeded
+    /// exponential backoff through the policy clock, up to the policy's
+    /// attempt budget; past it the shard lands
+    /// [`ShardDisposition::Quarantined`] with flight-recorder evidence —
+    /// never a silent drop, never an `Err` that sinks the fleet.
+    pub fn with_heal(mut self, policy: FleetHealPolicy) -> Self {
+        self.heal = Some(policy);
+        self
+    }
+
+    /// The self-healing policy, when one is set.
+    pub fn heal_policy(&self) -> Option<&FleetHealPolicy> {
+        self.heal.as_ref()
     }
 
     /// Sets the worker-pool size (minimum 1). `workers = 1` serializes the
@@ -176,6 +222,123 @@ impl FleetScheduler {
         checkpoint: &mut FleetCheckpoint,
         mut observer: impl FnMut(&ShardResult) -> FleetControl,
     ) -> Result<FleetReport, NtStatus> {
+        self.sweep_core(fleet, checkpoint, &mut observer, &BTreeMap::new(), None)
+    }
+
+    /// A crash-safe fleet sweep journaled into `store`: progress is
+    /// recovered from the store (typed-validated against the live fleet),
+    /// already-complete shards are restored, previously quarantined
+    /// shards stay fenced, and every newly completed shard is persisted
+    /// before the sweep moves on — kill the process at any byte of any
+    /// write and a rerun of this method resumes to a merged report whose
+    /// [`FleetReport::result_digest`] is byte-identical to an
+    /// uninterrupted run's.
+    ///
+    /// In [`DurabilityMode::WalAppend`] a fresh sweep writes one base
+    /// record and then one O(1) appended record per shard;
+    /// [`DurabilityMode::FullRewrite`] re-commits the whole merged
+    /// checkpoint per shard (the naive baseline the bench quantifies).
+    ///
+    /// # Errors
+    ///
+    /// [`DurableSweepError::Mismatch`] when the store's checkpoint was
+    /// taken on a different fleet; [`DurableSweepError::Io`] when the
+    /// store fails (an injected [`CrashPlan`] kill surfaces here — the
+    /// simulated process death); [`DurableSweepError::Fleet`] for sweep
+    /// parameter errors.
+    ///
+    /// [`CrashPlan`]: strider_support::fault::CrashPlan
+    pub fn sweep_durable(
+        &self,
+        fleet: &mut FleetRegistry,
+        store: &RecordStore,
+        mode: DurabilityMode,
+    ) -> Result<FleetReport, DurableSweepError> {
+        let (mut checkpoint, fenced) = match FleetCheckpoint::resume(fleet, store)? {
+            Some(state) => (state.checkpoint, state.quarantined),
+            None => (FleetCheckpoint::new(fleet), BTreeMap::new()),
+        };
+        // A fresh WAL needs its base record before any shard record can
+        // land; a resumed store already has one. FullRewrite's base is
+        // simply its first whole-checkpoint commit.
+        if mode == DurabilityMode::WalAppend && store.recover()?.records.is_empty() {
+            store.append(fleet_record(&checkpoint, &fenced).as_bytes())?;
+        }
+        // The journaling closure keeps its own merged view (`shadow`) so
+        // FullRewrite can re-commit the whole state while the live
+        // checkpoint is mutably held by the worker slots.
+        let mut shadow = checkpoint.clone();
+        let mut shadow_fenced = fenced.clone();
+        let mut io_failure: Option<std::io::Error> = None;
+        let mut persist = |shard: u32,
+                           snapshot: Option<&SweepCheckpoint>,
+                           result: &ShardResult|
+         -> std::io::Result<()> {
+            let outcome = (|| -> std::io::Result<()> {
+                if let ShardDisposition::Quarantined {
+                    attempts,
+                    reason,
+                    evidence,
+                } = &result.disposition
+                {
+                    let q = QuarantineRecord {
+                        shard,
+                        machine: result.machine.clone(),
+                        attempts: *attempts,
+                        reason: reason.clone(),
+                        evidence: evidence.clone(),
+                    };
+                    if mode == DurabilityMode::WalAppend {
+                        store.append(quarantine_record(&q).as_bytes())?;
+                    }
+                    shadow_fenced.insert(shard, q);
+                } else if let Some(cp) = snapshot {
+                    if mode == DurabilityMode::WalAppend {
+                        store.append(shard_record(shard, cp).as_bytes())?;
+                    }
+                    shadow.shards[shard as usize] = cp.clone();
+                }
+                if mode == DurabilityMode::FullRewrite {
+                    store.commit(fleet_record(&shadow, &shadow_fenced).as_bytes())?;
+                }
+                Ok(())
+            })();
+            if let Err(e) = outcome {
+                let stub = std::io::Error::new(e.kind(), "journal write failed");
+                io_failure = Some(e);
+                return Err(stub);
+            }
+            Ok(())
+        };
+        let mut observer = |_: &ShardResult| FleetControl::Continue;
+        let outcome = self.sweep_core(
+            fleet,
+            &mut checkpoint,
+            &mut observer,
+            &fenced,
+            Some(&mut persist),
+        );
+        if let Some(e) = io_failure {
+            return Err(DurableSweepError::Io(e));
+        }
+        outcome.map_err(DurableSweepError::Fleet)
+    }
+
+    /// The shared sweep engine behind every public sweep entry point.
+    ///
+    /// `quarantined` are shards a previous (durable) run already fenced:
+    /// they are surfaced as [`ShardDisposition::Quarantined`] results
+    /// without being swept. `persist` is the durable journaling hook,
+    /// called on the ingest thread per worker-swept shard; when it fails
+    /// the run cancels (the simulated process death) and stops journaling.
+    fn sweep_core(
+        &self,
+        fleet: &mut FleetRegistry,
+        checkpoint: &mut FleetCheckpoint,
+        observer: &mut dyn FnMut(&ShardResult) -> FleetControl,
+        quarantined: &BTreeMap<u32, QuarantineRecord>,
+        mut persist: Option<PersistFn<'_>>,
+    ) -> Result<FleetReport, NtStatus> {
         if !checkpoint.matches(fleet) {
             return Err(NtStatus::InvalidParameter);
         }
@@ -188,11 +351,29 @@ impl FleetScheduler {
         let root = self.cancellation.child();
 
         // Shards already complete in the checkpoint are restored on the
-        // calling thread — no scan, no worker, no telemetry.
+        // calling thread — no scan, no worker, no telemetry — and shards
+        // a previous run quarantined stay fenced.
         let mut pending: Vec<usize> = Vec::new();
         for (i, shard) in checkpoint.shards.iter().enumerate() {
-            if shard.is_complete() {
-                let result = meta[i].result(ShardId(i as u32), true, restore_report(shard));
+            if let Some(q) = quarantined.get(&(i as u32)) {
+                let disposition = ShardDisposition::Quarantined {
+                    attempts: q.attempts,
+                    reason: q.reason.clone(),
+                    evidence: q.evidence.clone(),
+                };
+                let fallback =
+                    entry_failure_report(&fleet.machines()[i].machine, "shard is quarantined");
+                let result = meta[i].result(ShardId(i as u32), disposition, fallback);
+                if observer(&result) == FleetControl::Stop {
+                    root.cancel();
+                }
+                report.absorb(result);
+            } else if shard.is_complete() {
+                let result = meta[i].result(
+                    ShardId(i as u32),
+                    ShardDisposition::Restored,
+                    restore_report(shard),
+                );
                 if observer(&result) == FleetControl::Stop {
                     root.cancel();
                 }
@@ -204,6 +385,7 @@ impl FleetScheduler {
 
         if !pending.is_empty() && !root.is_cancelled() {
             let workers = self.workers.min(pending.len());
+            let snapshot_checkpoints = persist.is_some();
 
             // Deal pending shards round-robin onto per-worker deques.
             let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
@@ -219,7 +401,7 @@ impl FleetScheduler {
             let checkpoint_slots: Vec<Mutex<&mut SweepCheckpoint>> =
                 checkpoint.shards.iter_mut().map(Mutex::new).collect();
 
-            let (tx, rx) = bounded::<Vec<ShardResult>>(workers);
+            let (tx, rx) = bounded::<Vec<WorkerItem>>(workers);
             std::thread::scope(|scope| {
                 for w in 0..workers {
                     let tx = tx.clone();
@@ -238,6 +420,7 @@ impl FleetScheduler {
                                 machine_slots,
                                 checkpoint_slots,
                                 meta,
+                                snapshot_checkpoints,
                                 &tx,
                             );
                         })
@@ -246,13 +429,25 @@ impl FleetScheduler {
                 drop(tx);
                 // Ingest on the calling thread: drain batches as workers
                 // produce them — the bounded channel applies backpressure
-                // if this loop (the observer) is slow.
+                // if this loop (the observer or the journal) is slow.
                 for batch in rx.iter() {
-                    for result in batch {
-                        if observer(&result) == FleetControl::Stop {
+                    for item in batch {
+                        if let Some(p) = persist.as_mut() {
+                            let shard = item.result.shard.0;
+                            if p(shard, item.checkpoint.as_ref(), &item.result).is_err() {
+                                // The journal write died (a crash plan, a
+                                // full disk): treat it as the process
+                                // dying — cancel the fleet and stop
+                                // journaling, but keep draining so the
+                                // scoped workers can exit.
+                                persist = None;
+                                root.cancel();
+                            }
+                        }
+                        if observer(&item.result) == FleetControl::Stop {
                             root.cancel();
                         }
-                        report.absorb(result);
+                        report.absorb(item.result);
                     }
                 }
             });
@@ -273,9 +468,10 @@ impl FleetScheduler {
         machine_slots: &[Mutex<&mut FleetMachine>],
         checkpoint_slots: &[Mutex<&mut SweepCheckpoint>],
         meta: &[ShardMeta],
-        tx: &Sender<Vec<ShardResult>>,
+        snapshot_checkpoints: bool,
+        tx: &Sender<Vec<WorkerItem>>,
     ) {
-        let mut batch: Vec<ShardResult> = Vec::with_capacity(self.batch);
+        let mut batch: Vec<WorkerItem> = Vec::with_capacity(self.batch);
         loop {
             if root.is_cancelled() {
                 break;
@@ -285,16 +481,92 @@ impl FleetScheduler {
             };
             let mut slot = machine_slots[shard].lock();
             let mut shard_checkpoint = checkpoint_slots[shard].lock();
-            let report = self.sweep_shard(&mut slot.machine, &mut shard_checkpoint, root);
+            let (report, disposition) =
+                self.run_shard(shard as u32, &mut slot.machine, &mut shard_checkpoint, root);
+            let snapshot = (snapshot_checkpoints && !disposition.is_quarantined())
+                .then(|| (**shard_checkpoint).clone());
             drop(shard_checkpoint);
             drop(slot);
-            batch.push(meta[shard].result(ShardId(shard as u32), false, report));
+            batch.push(WorkerItem {
+                result: meta[shard].result(ShardId(shard as u32), disposition, report),
+                checkpoint: snapshot,
+            });
             if batch.len() >= self.batch && tx.send(std::mem::take(&mut batch)).is_err() {
                 break;
             }
         }
         if !batch.is_empty() {
             let _ = tx.send(batch);
+        }
+    }
+
+    /// One shard, end to end: a single sweep attempt without a heal
+    /// policy; with one, the self-healing loop — retry failed attempts
+    /// (entry failure or any degraded pipeline) with seeded exponential
+    /// backoff through the policy clock, clearing the checkpointed
+    /// degraded pipelines so they re-run, and quarantine the shard with
+    /// flight-recorder evidence once the attempt budget is spent.
+    fn run_shard(
+        &self,
+        shard: u32,
+        machine: &mut Machine,
+        checkpoint: &mut SweepCheckpoint,
+        root: &CancellationToken,
+    ) -> (SweepReport, ShardDisposition) {
+        let Some(heal) = &self.heal else {
+            let report = self.sweep_shard(machine, checkpoint, root);
+            return (report, ShardDisposition::Swept);
+        };
+        let clock = self.detector.policy().clock().clone();
+        let recorder = FlightRecorder::new(clock.clone());
+        let mut attempt = 1u32;
+        loop {
+            let report = self.sweep_shard(machine, checkpoint, root);
+            let degraded = report.health.degraded_pipelines();
+            let succeeded = |attempt: u32| {
+                if attempt == 1 {
+                    ShardDisposition::Swept
+                } else {
+                    ShardDisposition::Recovered { attempts: attempt }
+                }
+            };
+            if degraded.is_empty() {
+                return (report, succeeded(attempt));
+            }
+            let reason = format!("degraded pipelines: {}", degraded.join(", "));
+            recorder.fault(
+                "shard.attempt",
+                &format!(
+                    "shard-{shard:03} attempt {attempt}/{}: {reason}",
+                    heal.max_attempts
+                ),
+            );
+            if root.is_cancelled() {
+                // The degradation came from (or raced with) a fleet-wide
+                // cancel, not the machine — never quarantine on it.
+                return (report, succeeded(attempt));
+            }
+            if attempt >= heal.max_attempts {
+                recorder.fault(
+                    "shard.quarantine",
+                    &format!("shard-{shard:03} fenced after {attempt} attempts"),
+                );
+                return (
+                    report,
+                    ShardDisposition::Quarantined {
+                        attempts: attempt,
+                        reason,
+                        evidence: recorder.snapshot(),
+                    },
+                );
+            }
+            // Give the retry a clean slate on exactly the failed
+            // pipelines: degraded outcomes that were checkpointed (e.g. a
+            // lost truth source) must be cleared or the next attempt
+            // would restore the failure instead of re-scanning.
+            clear_degraded(checkpoint);
+            clock.sleep_ns(heal.backoff_ns(shard, attempt));
+            attempt += 1;
         }
     }
 
@@ -340,6 +612,22 @@ fn take_shard(own: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
         }
     }
     None
+}
+
+/// Clears a shard checkpoint's degraded pipeline entries so a heal retry
+/// re-scans exactly what failed while keeping the healthy pipelines'
+/// recorded outcomes.
+fn clear_degraded(checkpoint: &mut SweepCheckpoint) {
+    for entry in [
+        &mut checkpoint.files,
+        &mut checkpoint.registry,
+        &mut checkpoint.processes,
+        &mut checkpoint.modules,
+    ] {
+        if entry.as_ref().is_some_and(|cp| cp.status.is_degraded()) {
+            *entry = None;
+        }
+    }
 }
 
 /// Rebuilds a [`SweepReport`] from a complete checkpoint — the restored

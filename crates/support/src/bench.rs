@@ -181,7 +181,9 @@ impl BenchmarkGroup<'_> {
         );
         let path = report_dir().join(&file_name);
         let report = self.to_json();
-        if let Err(error) = std::fs::write(&path, report.render_pretty(2)) {
+        if let Err(error) =
+            crate::store::atomic_write_file(&path, report.render_pretty(2).as_bytes())
+        {
             eprintln!("bench: could not write {}: {error}", path.display());
             return;
         }

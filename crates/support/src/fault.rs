@@ -18,7 +18,7 @@
 
 use crate::rng::SplitMix64;
 use std::fmt;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 /// Disk sector size used for torn-write faults.
 pub const SECTOR_BYTES: usize = 512;
@@ -316,6 +316,128 @@ impl Clone for Stall {
 }
 
 // ---------------------------------------------------------------------
+// CrashPlan — "the process dies mid-write" (a durability fault)
+// ---------------------------------------------------------------------
+
+/// Where a [`CrashPlan`] kills the writer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Die after exactly `n` cumulative bytes have reached the file across
+    /// all writes the plan observed — the write that crosses the threshold
+    /// lands only its admitted prefix, leaving a torn tail on disk.
+    AtWriteByte(u64),
+    /// Die after the commit image is fully written but before the atomic
+    /// rename publishes it — the visible file keeps its previous state.
+    BeforeRename,
+}
+
+/// A one-shot, seeded process-death injection for durable writers.
+///
+/// The plan observes every byte a [`store::RecordStore`](crate::store)
+/// write pushes toward disk and, at the configured [`CrashPoint`], stops
+/// the write mid-byte-stream and returns the distinctive
+/// [`CrashPlan::crash_error`] — the caller treats that as the process
+/// dying and must recover by reopening the store. Interior-mutable like
+/// [`TransientFaults`], and one-shot: after firing once, later writes
+/// pass through untouched (the "restarted" process is healthy).
+///
+/// # Examples
+///
+/// ```
+/// use strider_support::fault::CrashPlan;
+///
+/// let plan = CrashPlan::at_write_byte(10);
+/// assert_eq!(plan.admit(8), None); // first 8 bytes land whole
+/// assert_eq!(plan.admit(8), Some(2)); // crash: only 2 of these 8 land
+/// assert!(plan.fired());
+/// assert_eq!(plan.admit(8), None); // one-shot: later writes pass
+/// ```
+#[derive(Debug)]
+pub struct CrashPlan {
+    point: CrashPoint,
+    written: AtomicU64,
+    fired: AtomicBool,
+}
+
+const CRASH_MESSAGE: &str = "injected crash (CrashPlan)";
+
+impl CrashPlan {
+    /// A plan that kills the writer once `n` cumulative bytes have landed.
+    pub fn at_write_byte(n: u64) -> Self {
+        Self {
+            point: CrashPoint::AtWriteByte(n),
+            written: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    /// A plan that kills a commit after its temp file is complete but
+    /// before the rename that would publish it.
+    pub fn before_rename() -> Self {
+        Self {
+            point: CrashPoint::BeforeRename,
+            written: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    /// A plan that never fires — used to *measure* how many bytes an
+    /// uninterrupted run writes, so a crash matrix can enumerate every
+    /// offset in `0..written()`.
+    pub fn never() -> Self {
+        Self::at_write_byte(u64::MAX)
+    }
+
+    /// The configured kill point.
+    pub fn point(&self) -> CrashPoint {
+        self.point
+    }
+
+    /// Whether the crash has fired.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Total bytes offered to writes so far (admitted or not).
+    pub fn written(&self) -> u64 {
+        self.written.load(Ordering::SeqCst)
+    }
+
+    /// Accounts a write of `len` bytes. `None` lets the full write through;
+    /// `Some(keep)` means the crash fires *inside this write*: exactly
+    /// `keep` bytes may land, then the writer must fail with
+    /// [`CrashPlan::crash_error`].
+    pub fn admit(&self, len: u64) -> Option<u64> {
+        let before = self.written.fetch_add(len, Ordering::SeqCst);
+        let CrashPoint::AtWriteByte(at) = self.point else {
+            return None;
+        };
+        if before + len > at && !self.fired.swap(true, Ordering::SeqCst) {
+            Some(at.saturating_sub(before))
+        } else {
+            None
+        }
+    }
+
+    /// Whether a commit should die *now*, between temp-write and rename.
+    /// Consumes the plan's one shot when it returns `true`.
+    pub fn take_rename_crash(&self) -> bool {
+        self.point == CrashPoint::BeforeRename && !self.fired.swap(true, Ordering::SeqCst)
+    }
+
+    /// The error an injected crash surfaces as. Distinguishable from real
+    /// I/O failures via [`CrashPlan::is_crash`].
+    pub fn crash_error() -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::Interrupted, CRASH_MESSAGE)
+    }
+
+    /// Whether `err` is an injected crash (as opposed to a real I/O error).
+    pub fn is_crash(err: &std::io::Error) -> bool {
+        err.kind() == std::io::ErrorKind::Interrupted && err.to_string().contains(CRASH_MESSAGE)
+    }
+}
+
+// ---------------------------------------------------------------------
 // Salvage vocabulary
 // ---------------------------------------------------------------------
 
@@ -529,5 +651,50 @@ mod tests {
         let s = Salvaged::clean(5u32);
         assert!(s.is_clean());
         assert_eq!(s.value, 5);
+    }
+
+    #[test]
+    fn crash_plan_fires_once_at_the_exact_byte() {
+        let plan = CrashPlan::at_write_byte(100);
+        assert_eq!(plan.admit(60), None);
+        assert_eq!(plan.admit(60), Some(40), "crash splits the second write");
+        assert!(plan.fired());
+        assert_eq!(plan.admit(1000), None, "one-shot: the restart is healthy");
+        assert_eq!(plan.written(), 1120);
+    }
+
+    #[test]
+    fn crash_plan_at_byte_zero_admits_nothing() {
+        let plan = CrashPlan::at_write_byte(0);
+        assert_eq!(plan.admit(5), Some(0));
+        assert!(plan.fired());
+    }
+
+    #[test]
+    fn rename_crash_consumes_the_one_shot() {
+        let plan = CrashPlan::before_rename();
+        assert_eq!(plan.admit(512), None, "byte writes pass through");
+        assert!(plan.take_rename_crash());
+        assert!(!plan.take_rename_crash(), "second commit survives");
+        let byte_plan = CrashPlan::at_write_byte(3);
+        assert!(!byte_plan.take_rename_crash(), "wrong point never fires");
+    }
+
+    #[test]
+    fn never_plan_only_measures() {
+        let plan = CrashPlan::never();
+        assert_eq!(plan.admit(1 << 30), None);
+        assert_eq!(plan.written(), 1 << 30);
+        assert!(!plan.fired());
+    }
+
+    #[test]
+    fn crash_errors_are_recognizable() {
+        let err = CrashPlan::crash_error();
+        assert!(CrashPlan::is_crash(&err));
+        let real = std::io::Error::new(std::io::ErrorKind::Interrupted, "EINTR");
+        assert!(!CrashPlan::is_crash(&real));
+        let other = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert!(!CrashPlan::is_crash(&other));
     }
 }

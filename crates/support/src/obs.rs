@@ -1215,7 +1215,7 @@ impl TelemetryReport {
     /// content (see [`sanitize_label`]) as `InvalidInput`.
     pub fn write_json_in(&self, dir: &std::path::Path, label: &str) -> std::io::Result<PathBuf> {
         let path = dir.join(format!("SCAN_TELEMETRY_{}.json", checked_label(label)?));
-        std::fs::write(&path, self.to_json().render_pretty(2))?;
+        crate::store::atomic_write_file(&path, self.to_json().render_pretty(2).as_bytes())?;
         Ok(path)
     }
 
@@ -1316,7 +1316,7 @@ impl TelemetryReport {
         label: &str,
     ) -> std::io::Result<PathBuf> {
         let path = dir.join(format!("SCAN_TRACE_{}.json", checked_label(label)?));
-        std::fs::write(&path, self.chrome_trace().render_pretty(2))?;
+        crate::store::atomic_write_file(&path, self.chrome_trace().render_pretty(2).as_bytes())?;
         Ok(path)
     }
 }

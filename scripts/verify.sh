@@ -84,6 +84,23 @@ echo "==> fleet suite (scheduler, checkpoint/resume, fleet monitor)"
 cargo test -q --offline --test fleet
 cargo run -q --offline --example fleet_scan >/dev/null
 
+# Durability suite: the crash-safe state plane. Record-store unit tests,
+# the durable-sweep/quarantine fleet tests, and the crash matrix — seeded
+# kill points at journal frame boundaries (±1) and random interior bytes,
+# each of which must resume to a result digest byte-identical to an
+# uninterrupted run — plus the bit-flip generation-fallback property. The
+# durability example is self-validating (kill mid-journal, resume, compare
+# digests, flip a bit, fall back a generation): running it green IS the
+# check. The crash matrix honours FAULT_SEED like the corruption suite.
+echo "==> durability suite (record store, crash matrix, quarantine, resume)"
+cargo test -q --offline -p strider-support store
+cargo test -q --offline -p strider-fleet
+cargo test -q --offline --test fleet durable
+cargo test -q --offline --test fleet quarantine
+FAULT_SEED="${FAULT_SEED:-20260809}" cargo test -q --offline --test properties \
+    -- fault_crash_matrix fault_bit_flipped
+cargo run -q --offline --example durability >/dev/null
+
 # Evasion suite: the adversarial arms race. The tactic × scan-mode matrix
 # (every tactic defeats a naive mode, none defeats the hardened or the
 # outside-the-box sweep, fixed seeds give byte-identical hardened reports),

@@ -419,3 +419,268 @@ fn hardened_policy_flows_through_the_scheduler_to_every_shard() {
         "hardened policy must reach every shard: {report}"
     );
 }
+
+// ---------------------------------------------------------------------
+// Self-healing: retry budgets, recovery, and quarantine
+// ---------------------------------------------------------------------
+
+/// A heal policy with a tiny backoff window so retries cost microseconds
+/// of fake-clock time.
+fn heal(max_attempts: u32) -> FleetHealPolicy {
+    FleetHealPolicy::default()
+        .with_max_attempts(max_attempts)
+        .with_backoff(100_000, 400_000)
+}
+
+#[test]
+fn permanently_stalled_shard_is_quarantined_with_flight_evidence() {
+    let clock = Arc::new(FakeClock::default());
+    let mut fleet = FleetRegistry::seeded(&FleetSpec::clean(6, 61).with_infected(2)).unwrap();
+    // Infections land on shards 0 and 3; stall a clean shard forever.
+    fleet.machines_mut()[1]
+        .machine
+        .set_fault_injector(FaultInjector::new().stall_volume_reads(Stall::forever()));
+
+    let scheduler = FleetScheduler::new(detector(clock))
+        .with_workers(1)
+        .with_heal(heal(2));
+    let report = scheduler.sweep(&mut fleet).unwrap();
+
+    // The sick shard burned its budget and was fenced — not silently
+    // dropped, and not an Err that sank the fleet.
+    assert_eq!(report.quarantined, vec![ShardId(1)], "{report}");
+    let fenced = report
+        .result(ShardId(1))
+        .expect("quarantined shard keeps its result");
+    match &fenced.disposition {
+        ShardDisposition::Quarantined {
+            attempts,
+            reason,
+            evidence,
+        } => {
+            assert_eq!(*attempts, 2);
+            assert!(reason.contains("files"), "{reason}");
+            assert!(
+                evidence.events.iter().any(|e| e.what == "shard.attempt"),
+                "evidence must show the failed attempts: {evidence:?}"
+            );
+            assert!(evidence.events.iter().any(|e| e.what == "shard.quarantine"));
+        }
+        other => panic!("expected quarantine, got {other:?}"),
+    }
+
+    // The fence keeps the untrusted verdict out of every aggregate: five
+    // shards swept, both seeded infections (shards 0 and 3) still found,
+    // and the health rollup only counts the healthy shards.
+    assert_eq!(report.swept, 5);
+    assert_eq!(report.infected, 2);
+    assert_eq!(report.seeded_infected, 2);
+    let rollup = &report.health["files"];
+    assert_eq!((rollup.ok, rollup.degraded), (5, 0));
+    assert!(report.unswept.is_empty());
+    assert!(!report.is_complete_and_healthy());
+}
+
+#[test]
+fn transiently_stalled_shard_recovers_on_a_retry() {
+    let clock = Arc::new(FakeClock::default());
+    let mut fleet = FleetRegistry::seeded(&FleetSpec::clean(4, 43).with_infected(1)).unwrap();
+    // 25 pending polls: the first attempt's 2 ms files budget drains at
+    // most 20 of them and times out; the retry drains the rest and
+    // completes inside its (fresh) budget.
+    fleet.machines_mut()[2]
+        .machine
+        .set_fault_injector(FaultInjector::new().stall_volume_reads(Stall::after_polls(25)));
+
+    let scheduler = FleetScheduler::new(detector(clock))
+        .with_workers(1)
+        .with_heal(heal(3));
+    let report = scheduler.sweep(&mut fleet).unwrap();
+
+    assert!(report.quarantined.is_empty(), "{report}");
+    assert_eq!(report.swept, 4);
+    let healed = report.result(ShardId(2)).unwrap();
+    match healed.disposition {
+        ShardDisposition::Recovered { attempts } => assert!(attempts >= 2, "{attempts}"),
+        ref other => panic!("expected a recovery, got {other:?}"),
+    }
+    assert!(
+        healed.report.health.files.is_ok(),
+        "{:?}",
+        healed.report.health
+    );
+    assert!(report.is_complete_and_healthy(), "{report}");
+    // Untouched shards swept clean on the first attempt.
+    assert_eq!(
+        report.result(ShardId(1)).unwrap().disposition,
+        ShardDisposition::Swept
+    );
+}
+
+// ---------------------------------------------------------------------
+// Durable sweeps: kill-anywhere resume and persistent quarantine
+// ---------------------------------------------------------------------
+
+fn durable_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("strider-fleet-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn durable_sweep_killed_mid_journal_resumes_to_an_identical_digest() {
+    use strider_support::fault::CrashPlan;
+    use strider_support::store::RecordStore;
+
+    let spec = FleetSpec::clean(5, 1951).with_infected(2);
+    let build = || FleetRegistry::seeded(&spec).unwrap();
+    let scheduler = || {
+        FleetScheduler::new(detector(Arc::new(FakeClock::default())))
+            .with_workers(1)
+            .with_batch(1)
+    };
+    let dir = durable_dir("kill-resume");
+
+    // Reference: an uninterrupted durable run, measuring journal bytes.
+    let plan = Arc::new(CrashPlan::never());
+    let store = RecordStore::open(dir.join("ref.wal"))
+        .unwrap()
+        .with_crash_plan(plan.clone());
+    let reference = scheduler()
+        .sweep_durable(&mut build(), &store, DurabilityMode::WalAppend)
+        .unwrap()
+        .result_digest();
+    let total_bytes = plan.written();
+    assert!(total_bytes > 0);
+
+    // Kill mid-journal (about two thirds in — inside a shard record),
+    // then restart: fresh registry, reopened store, same call.
+    let path = dir.join("killed.wal");
+    let plan = Arc::new(CrashPlan::at_write_byte(total_bytes * 2 / 3));
+    let store = RecordStore::open(&path).unwrap().with_crash_plan(plan);
+    let err = scheduler()
+        .sweep_durable(&mut build(), &store, DurabilityMode::WalAppend)
+        .unwrap_err();
+    assert!(err.is_injected_crash(), "{err}");
+
+    let store = RecordStore::open(&path).unwrap();
+    let resumed = scheduler()
+        .sweep_durable(&mut build(), &store, DurabilityMode::WalAppend)
+        .unwrap();
+    assert!(
+        resumed.results().iter().any(|r| r.restored),
+        "the journal must have saved some shards"
+    );
+    assert_eq!(resumed.result_digest(), reference);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn quarantine_survives_the_durable_store_and_stays_fenced_on_resume() {
+    use strider_support::store::RecordStore;
+
+    let clock = Arc::new(FakeClock::default());
+    let mut fleet = FleetRegistry::seeded(&FleetSpec::clean(4, 71).with_infected(1)).unwrap();
+    fleet.machines_mut()[3]
+        .machine
+        .set_fault_injector(FaultInjector::new().stall_volume_reads(Stall::forever()));
+    let scheduler = FleetScheduler::new(detector(clock))
+        .with_workers(1)
+        .with_heal(heal(2));
+
+    let dir = durable_dir("quarantine");
+    let store = RecordStore::open(dir.join("fleet.wal")).unwrap();
+    let first = scheduler
+        .sweep_durable(&mut fleet, &store, DurabilityMode::WalAppend)
+        .unwrap();
+    assert_eq!(first.quarantined, vec![ShardId(3)]);
+
+    // Restart against the same store: the fence is restored from the
+    // journal — the sick shard is NOT re-swept (its stall would burn the
+    // budget again), and the digest matches the first run exactly.
+    let store = RecordStore::open(dir.join("fleet.wal")).unwrap();
+    let mut fresh = FleetRegistry::seeded(&FleetSpec::clean(4, 71).with_infected(1)).unwrap();
+    fresh.machines_mut()[3]
+        .machine
+        .set_fault_injector(FaultInjector::new().stall_volume_reads(Stall::forever()));
+    let second = scheduler
+        .sweep_durable(&mut fresh, &store, DurabilityMode::WalAppend)
+        .unwrap();
+    assert_eq!(second.quarantined, vec![ShardId(3)]);
+    assert_eq!(second.result_digest(), first.result_digest());
+    match &second.result(ShardId(3)).unwrap().disposition {
+        ShardDisposition::Quarantined {
+            attempts, evidence, ..
+        } => {
+            assert_eq!(*attempts, 2);
+            assert!(!evidence.events.is_empty(), "evidence survives the journal");
+        }
+        other => panic!("expected a restored quarantine, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Monitor self-healing: failing shards are fenced, not fatal
+// ---------------------------------------------------------------------
+
+#[test]
+fn monitor_quarantines_a_failing_shard_instead_of_sinking_the_fleet() {
+    let clock = Arc::new(FakeClock::default());
+    let mut fleet = FleetRegistry::seeded(&FleetSpec::clean(3, 97)).unwrap();
+    let mut monitor = FleetMonitor::new(detector(clock)).with_quarantine_after(2);
+    assert_eq!(monitor.record_baselines(&mut fleet).unwrap(), 3);
+
+    // Break shard 1 after the baselines: every later pass degrades it.
+    fleet.machines_mut()[1]
+        .machine
+        .set_fault_injector(FaultInjector::new().stall_volume_reads(Stall::forever()));
+
+    // Pass 1: the failure is surfaced, counted, and the pass still
+    // completes for the whole fleet.
+    let pass = monitor.observe(&mut fleet).unwrap();
+    assert_eq!(pass.failures.len(), 1, "{:?}", pass.failures);
+    assert_eq!(pass.failures[0].shard, ShardId(1));
+    assert_eq!(pass.failures[0].consecutive, 1);
+    assert_eq!(pass.shards.len(), 3);
+    assert!(pass.quarantined.is_empty());
+
+    // Pass 2: second consecutive failure trips the fence.
+    let pass = monitor.observe(&mut fleet).unwrap();
+    assert_eq!(pass.failures[0].consecutive, 2);
+    assert_eq!(pass.quarantined, vec![ShardId(1)]);
+    let fenced = monitor.quarantined();
+    assert_eq!(fenced.len(), 1);
+    assert_eq!(fenced[0].shard, ShardId(1));
+    assert!(
+        fenced[0]
+            .evidence
+            .events
+            .iter()
+            .any(|e| e.what == "fleet.shard_failure"),
+        "quarantine carries the failure trail"
+    );
+
+    // Pass 3: the fenced shard is skipped — two shards observed, no new
+    // failures, and the rollup series records the fence.
+    let pass = monitor.observe(&mut fleet).unwrap();
+    assert_eq!(pass.shards.len(), 2);
+    assert_eq!(pass.shard_ids, vec![ShardId(0), ShardId(2)]);
+    assert!(pass.failures.is_empty());
+    assert_eq!(
+        monitor.series("fleet.quarantined").unwrap().last(),
+        Some(1.0)
+    );
+
+    // Operator fixes the machine and lifts the fence: the next pass
+    // observes all three shards again, clean.
+    fleet.machines_mut()[1]
+        .machine
+        .set_fault_injector(FaultInjector::new());
+    assert!(monitor.unquarantine(ShardId(1)));
+    let pass = monitor.observe(&mut fleet).unwrap();
+    assert_eq!(pass.shards.len(), 3);
+    assert!(pass.failures.is_empty(), "{:?}", pass.failures);
+    assert!(monitor.quarantined().is_empty());
+}
