@@ -1,0 +1,72 @@
+//! The bench regression gate CLI: diffs fresh `BENCH_*.json` reports
+//! against committed baselines with per-metric noise thresholds.
+//!
+//! ```text
+//! bench_diff [--baseline DIR] [--fresh DIR]
+//!            [--time-frac F] [--alloc-frac F] [--min-time-ns N]
+//! ```
+//!
+//! Both directories default to the workspace root (honouring
+//! `STRIDER_BENCH_DIR`), so a bare `bench_diff` after `cargo bench`
+//! compares the working tree's regenerated reports against themselves —
+//! the deterministic smoke run `verify.sh` uses. In CI the intended flow
+//! is: copy the committed reports aside, re-run the benches, then
+//! `bench_diff --baseline <copy> --fresh .`. Exits 1 when any metric
+//! regressed past its threshold.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use strider_support::bench::{compare_bench_dirs, report_dir, DiffThresholds};
+
+fn main() -> ExitCode {
+    let mut baseline = report_dir();
+    let mut fresh = report_dir();
+    let mut thresholds = DiffThresholds::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a {what}")))
+        };
+        match flag.as_str() {
+            "--baseline" => baseline = PathBuf::from(value("directory")),
+            "--fresh" => fresh = PathBuf::from(value("directory")),
+            "--time-frac" => thresholds.time_frac = parse_f64(&flag, &value("number")),
+            "--alloc-frac" => thresholds.alloc_frac = parse_f64(&flag, &value("number")),
+            "--min-time-ns" => thresholds.min_time_ns = parse_f64(&flag, &value("number")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_diff [--baseline DIR] [--fresh DIR] \
+                     [--time-frac F] [--alloc-frac F] [--min-time-ns N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => fail(&format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+
+    match compare_bench_dirs(&baseline, &fresh, &thresholds) {
+        Ok(comparison) => {
+            print!("{}", comparison.render());
+            if comparison.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(error) => {
+            eprintln!("bench_diff: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_f64(flag: &str, raw: &str) -> f64 {
+    raw.parse()
+        .unwrap_or_else(|_| fail(&format!("{flag}: {raw:?} is not a number")))
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("bench_diff: {message}");
+    std::process::exit(2);
+}

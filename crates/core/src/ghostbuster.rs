@@ -12,6 +12,7 @@ use strider_hive::prelude::AsepHook;
 use strider_kernel::MemoryDump;
 use strider_nt_core::{NtStatus, NtString, Tick};
 use strider_support::obs::{FlightDump, MaybeSpan, Telemetry, TelemetryReport};
+use strider_support::prof::PerfReport;
 use strider_support::sync::run_isolated;
 use strider_support::task::{
     BreakerState, CancellationToken, CircuitBreaker, Deadline, Supervision,
@@ -105,6 +106,18 @@ impl SweepReport {
             + self.modules.flicker_score()
     }
 
+    /// The sweep's critical-path attribution report — self-time hotspots,
+    /// the longest root-to-leaf span chain, and the work/wait/alloc
+    /// decomposition — computed over the captured telemetry span forest.
+    /// `label` names the analysis (and any `SCAN_PERF_<label>.json` export
+    /// via [`PerfReport::write_json`]). `None` when the sweep ran without
+    /// telemetry: there is no span tree to attribute.
+    pub fn perf_report(&self, label: &str) -> Option<PerfReport> {
+        self.telemetry
+            .as_ref()
+            .map(|report| PerfReport::from_telemetry(label, report))
+    }
+
     /// Total noise-classified findings (false-positive candidates).
     pub fn noise_count(&self) -> usize {
         self.files.noise_detections().len()
@@ -149,6 +162,13 @@ impl fmt::Display for SweepReport {
             for line in telemetry.summary_lines(2) {
                 writeln!(f, "{line}")?;
             }
+            // Attribution rides below the span summary so existing
+            // consumers see strictly appended lines.
+            write!(
+                f,
+                "{}",
+                PerfReport::from_telemetry("sweep", telemetry).render()
+            )?;
         }
         Ok(())
     }

@@ -40,11 +40,23 @@
 //! [`FleetIncident`]s tagged by shard, each carrying that shard's
 //! flight-recorder dump as evidence. On top of the rollups sits an
 //! alerting plane: a [`FleetAlertPolicy`] installs fleet-level rules
-//! (infection-rate spike, degraded-shard fraction, p95 sweep-latency SLO)
-//! into an [`AlertEngine`](strider_support::alert::AlertEngine) evaluated
+//! (infection-rate spike, degraded-shard fraction, p95 sweep-latency SLO,
+//! worker starvation) into an
+//! [`AlertEngine`](strider_support::alert::AlertEngine) evaluated
 //! after every pass, and both the live monitor and the merged
 //! [`FleetReport`] export Prometheus-text snapshots
 //! (`TELEMETRY_EXPO_<label>.prom`).
+//!
+//! Performance attribution rides on the same machinery:
+//! [`FleetScheduler::sweep_traced`] records every scheduler decision
+//! (shard enqueue, steal, sweep start/finish) on the policy clock and
+//! returns a [`FleetTrace`] that derives queue-wait and
+//! worker-occupancy metrics, feeds them into the monitor's
+//! `fleet.queue_wait_p95_ns` / `fleet.worker_idle_fraction` series (see
+//! [`FleetMonitor::ingest_trace`]), and merges scheduler lanes, named
+//! worker lanes, and every shard's telemetry spans — on globally unique
+//! tids — into one fleet-wide Chrome trace
+//! (`FLEET_TRACE_<label>.json`).
 //!
 //! # Examples
 //!
@@ -78,6 +90,7 @@ mod monitor;
 mod registry;
 mod report;
 mod scheduler;
+mod trace;
 
 pub use durable::{
     recover_state, DurabilityMode, DurableFleetState, DurableSweepError, FleetHealPolicy,
@@ -92,14 +105,15 @@ pub use report::{
     ShardResult,
 };
 pub use scheduler::{FleetControl, FleetScheduler};
+pub use trace::{FleetTrace, SchedEvent, SchedEventKind, ShardTrace};
 
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::{
         CheckpointMismatch, DurabilityMode, DurableFleetState, DurableSweepError, FleetAlertPolicy,
         FleetCheckpoint, FleetControl, FleetHealPolicy, FleetIncident, FleetMachine, FleetMonitor,
-        FleetObservation, FleetRegistry, FleetReport, FleetScheduler, FleetSpec, PipelineRollup,
-        Prevalence, QuarantineRecord, ShardDisposition, ShardFailure, ShardId, ShardQuarantine,
-        ShardResult,
+        FleetObservation, FleetRegistry, FleetReport, FleetScheduler, FleetSpec, FleetTrace,
+        PipelineRollup, Prevalence, QuarantineRecord, SchedEvent, SchedEventKind, ShardDisposition,
+        ShardFailure, ShardId, ShardQuarantine, ShardResult, ShardTrace,
     };
 }

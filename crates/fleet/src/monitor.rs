@@ -39,7 +39,7 @@ impl fmt::Display for FleetIncident {
 
 /// Thresholds for the built-in fleet-level alert rules.
 ///
-/// Three rules watch the rollup series after every pass:
+/// Four rules watch the rollup series after every pass:
 ///
 /// * `fleet.infection_spike` — `fleet.infection_rate` above
 ///   [`infection_rate_max`](Self::infection_rate_max) (critical);
@@ -48,9 +48,15 @@ impl fmt::Display for FleetIncident {
 ///   [`degraded_fraction_max`](Self::degraded_fraction_max) (warning);
 /// * `fleet.latency_slo` — `fleet.p95_sweep_ns` (nearest-rank p95 of
 ///   per-shard sweep durations this pass) above
-///   [`sweep_p95_slo_ns`](Self::sweep_p95_slo_ns) (warning).
+///   [`sweep_p95_slo_ns`](Self::sweep_p95_slo_ns) (warning);
+/// * `fleet.worker_starvation` — `fleet.queue_wait_p95_ns` (p95 shard
+///   queue wait from an ingested [`FleetTrace`](crate::FleetTrace), see
+///   [`FleetMonitor::ingest_trace`]) above
+///   [`queue_wait_p95_max_ns`](Self::queue_wait_p95_max_ns) (warning):
+///   shards sitting that long on worker deques means the pool is
+///   under-provisioned or a worker is wedged on one slow machine.
 ///
-/// All three share one [`for_ns`](Self::for_ns) hold: a rule must stay
+/// All rules share one [`for_ns`](Self::for_ns) hold: a rule must stay
 /// breached that long (on the policy clock) before it fires.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetAlertPolicy {
@@ -61,6 +67,9 @@ pub struct FleetAlertPolicy {
     /// Per-pass p95 sweep-duration SLO in nanoseconds; default
     /// `u64::MAX` (no latency SLO).
     pub sweep_p95_slo_ns: u64,
+    /// Ceiling on the p95 shard queue wait in nanoseconds; default
+    /// `u64::MAX` (no starvation watch).
+    pub queue_wait_p95_max_ns: u64,
     /// Hysteresis hold applied to every fleet rule, default 0.
     pub for_ns: u64,
 }
@@ -71,6 +80,7 @@ impl Default for FleetAlertPolicy {
             infection_rate_max: 0.25,
             degraded_fraction_max: 0.25,
             sweep_p95_slo_ns: u64::MAX,
+            queue_wait_p95_max_ns: u64::MAX,
             for_ns: 0,
         }
     }
@@ -92,6 +102,13 @@ impl FleetAlertPolicy {
     /// Sets the p95 sweep-duration SLO.
     pub fn with_sweep_p95_slo_ns(mut self, slo_ns: u64) -> Self {
         self.sweep_p95_slo_ns = slo_ns;
+        self
+    }
+
+    /// Sets the p95 shard-queue-wait ceiling behind
+    /// `fleet.worker_starvation`.
+    pub fn with_queue_wait_p95_max_ns(mut self, max_ns: u64) -> Self {
+        self.queue_wait_p95_max_ns = max_ns;
         self
     }
 
@@ -121,6 +138,13 @@ impl FleetAlertPolicy {
                 "fleet.latency_slo",
                 "fleet.p95_sweep_ns",
                 AlertCondition::Above(self.sweep_p95_slo_ns as f64),
+            )
+            .with_for_ns(self.for_ns)
+            .with_severity(Severity::Warning),
+            AlertRule::new(
+                "fleet.worker_starvation",
+                "fleet.queue_wait_p95_ns",
+                AlertCondition::Above(self.queue_wait_p95_max_ns as f64),
             )
             .with_for_ns(self.for_ns)
             .with_severity(Severity::Warning),
@@ -590,6 +614,32 @@ impl FleetMonitor {
             quarantined: self.quarantined.keys().map(|&i| ShardId(i)).collect(),
             transitions,
         })
+    }
+
+    /// Feeds a traced sweep's scheduler timeline into the fleet rollup
+    /// series: pushes `fleet.queue_wait_p95_ns` (p95 shard queue wait)
+    /// and `fleet.worker_idle_fraction` (capacity spent outside shard
+    /// sweeps) at the current clock reading, then re-evaluates the fleet
+    /// alert rules so `fleet.worker_starvation` can fire. Returns the
+    /// alert transitions the evaluation produced.
+    ///
+    /// Unlike [`observe`](Self::observe) this needs no baselines: the
+    /// trace comes from a
+    /// [`FleetScheduler::sweep_traced`](crate::FleetScheduler::sweep_traced)
+    /// run, not from this monitor's own pass.
+    pub fn ingest_trace(&mut self, trace: &crate::FleetTrace) -> Vec<AlertTransition> {
+        let now_ns = self.clock().now_ns();
+        let history = self.config.history;
+        let mut push = |name: &str, value: f64| {
+            self.series
+                .entry(name.to_string())
+                .or_insert_with(|| TimeSeries::new(history))
+                .push(now_ns, value);
+        };
+        push("fleet.queue_wait_p95_ns", trace.queue_wait_p95_ns() as f64);
+        push("fleet.worker_idle_fraction", trace.worker_idle_fraction());
+        self.engine
+            .evaluate(&self.series, now_ns, Some(&self.recorder))
     }
 
     /// Runs `passes` monitoring passes, sleeping the configured interval

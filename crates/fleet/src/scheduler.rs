@@ -8,6 +8,7 @@ use crate::durable::{
 };
 use crate::registry::{FleetMachine, FleetRegistry, ShardId};
 use crate::report::{FleetCheckpoint, FleetReport, ShardDisposition, ShardResult};
+use crate::trace::{FleetTrace, SchedEventKind, ShardTrace, TraceSink};
 use std::collections::{BTreeMap, VecDeque};
 use strider_ghostbuster::{
     DiffReport, GhostBuster, PipelineStatus, ScanMeta, SweepCheckpoint, SweepHealth, SweepReport,
@@ -222,7 +223,84 @@ impl FleetScheduler {
         checkpoint: &mut FleetCheckpoint,
         mut observer: impl FnMut(&ShardResult) -> FleetControl,
     ) -> Result<FleetReport, NtStatus> {
-        self.sweep_core(fleet, checkpoint, &mut observer, &BTreeMap::new(), None)
+        self.sweep_core(
+            fleet,
+            checkpoint,
+            &mut observer,
+            &BTreeMap::new(),
+            None,
+            None,
+        )
+    }
+
+    /// [`FleetScheduler::sweep`], but also recording the fleet timeline:
+    /// every scheduler decision (shard enqueue, steal, sweep start and
+    /// finish) stamped on the policy clock, plus each swept shard's
+    /// telemetry snapshot. The returned [`FleetTrace`] derives queue-wait
+    /// and worker-occupancy metrics and merges everything —
+    /// scheduler lanes, named worker lanes, and all shard spans on
+    /// globally unique tids — into one fleet-wide Chrome trace.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on fleet-level parameter errors, like
+    /// [`FleetScheduler::sweep`].
+    pub fn sweep_traced(
+        &self,
+        fleet: &mut FleetRegistry,
+    ) -> Result<(FleetReport, FleetTrace), NtStatus> {
+        let mut checkpoint = FleetCheckpoint::new(fleet);
+        self.sweep_traced_checkpointed(fleet, &mut checkpoint)
+    }
+
+    /// [`FleetScheduler::sweep_traced`] with checkpoint/resume semantics:
+    /// shards already complete in `checkpoint` are restored without
+    /// appearing in the timeline (they never reach a worker).
+    ///
+    /// # Errors
+    ///
+    /// [`NtStatus::InvalidParameter`] when the checkpoint was taken on a
+    /// different fleet.
+    pub fn sweep_traced_checkpointed(
+        &self,
+        fleet: &mut FleetRegistry,
+        checkpoint: &mut FleetCheckpoint,
+    ) -> Result<(FleetReport, FleetTrace), NtStatus> {
+        let clock = self.detector.policy().clock().clone();
+        let sink = TraceSink::new(clock.clone());
+        let start_ns = clock.now_ns();
+        let mut observer = |_: &ShardResult| FleetControl::Continue;
+        let report = self.sweep_core(
+            fleet,
+            checkpoint,
+            &mut observer,
+            &BTreeMap::new(),
+            None,
+            Some(&sink),
+        )?;
+        let end_ns = clock.now_ns();
+        let (workers, events) = sink.into_parts();
+        let shards = report
+            .results()
+            .iter()
+            .filter_map(|r| {
+                r.report.telemetry.clone().map(|telemetry| ShardTrace {
+                    shard: r.shard.0,
+                    machine: r.machine.clone(),
+                    telemetry,
+                })
+            })
+            .collect();
+        Ok((
+            report,
+            FleetTrace {
+                workers,
+                start_ns,
+                end_ns,
+                events,
+                shards,
+            },
+        ))
     }
 
     /// A crash-safe fleet sweep journaled into `store`: progress is
@@ -317,6 +395,7 @@ impl FleetScheduler {
             &mut observer,
             &fenced,
             Some(&mut persist),
+            None,
         );
         if let Some(e) = io_failure {
             return Err(DurableSweepError::Io(e));
@@ -331,6 +410,7 @@ impl FleetScheduler {
     /// without being swept. `persist` is the durable journaling hook,
     /// called on the ingest thread per worker-swept shard; when it fails
     /// the run cancels (the simulated process death) and stops journaling.
+    /// `tracer` records the scheduler timeline for traced sweeps.
     fn sweep_core(
         &self,
         fleet: &mut FleetRegistry,
@@ -338,6 +418,7 @@ impl FleetScheduler {
         observer: &mut dyn FnMut(&ShardResult) -> FleetControl,
         quarantined: &BTreeMap<u32, QuarantineRecord>,
         mut persist: Option<PersistFn<'_>>,
+        tracer: Option<&TraceSink>,
     ) -> Result<FleetReport, NtStatus> {
         if !checkpoint.matches(fleet) {
             return Err(NtStatus::InvalidParameter);
@@ -387,10 +468,22 @@ impl FleetScheduler {
             let workers = self.workers.min(pending.len());
             let snapshot_checkpoints = persist.is_some();
 
+            if let Some(t) = tracer {
+                t.set_workers(workers);
+            }
+
             // Deal pending shards round-robin onto per-worker deques.
             let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
             for (n, &shard) in pending.iter().enumerate() {
                 deques[n % workers].push_back(shard);
+                if let Some(t) = tracer {
+                    t.record(
+                        shard as u32,
+                        SchedEventKind::Enqueue {
+                            worker: n % workers,
+                        },
+                    );
+                }
             }
             let queues: Vec<Mutex<VecDeque<usize>>> = deques.into_iter().map(Mutex::new).collect();
 
@@ -422,6 +515,7 @@ impl FleetScheduler {
                                 meta,
                                 snapshot_checkpoints,
                                 &tx,
+                                tracer,
                             );
                         })
                         .expect("spawn fleet worker");
@@ -470,19 +564,37 @@ impl FleetScheduler {
         meta: &[ShardMeta],
         snapshot_checkpoints: bool,
         tx: &Sender<Vec<WorkerItem>>,
+        tracer: Option<&TraceSink>,
     ) {
         let mut batch: Vec<WorkerItem> = Vec::with_capacity(self.batch);
         loop {
             if root.is_cancelled() {
                 break;
             }
-            let Some(shard) = take_shard(index, queues) else {
+            let Some((shard, stolen_from)) = take_shard(index, queues) else {
                 break;
             };
+            if let Some(t) = tracer {
+                if let Some(victim) = stolen_from {
+                    t.record(
+                        shard as u32,
+                        SchedEventKind::Steal {
+                            from: victim,
+                            by: index,
+                        },
+                    );
+                }
+            }
             let mut slot = machine_slots[shard].lock();
             let mut shard_checkpoint = checkpoint_slots[shard].lock();
+            if let Some(t) = tracer {
+                t.record(shard as u32, SchedEventKind::Start { worker: index });
+            }
             let (report, disposition) =
                 self.run_shard(shard as u32, &mut slot.machine, &mut shard_checkpoint, root);
+            if let Some(t) = tracer {
+                t.record(shard as u32, SchedEventKind::Finish { worker: index });
+            }
             let snapshot = (snapshot_checkpoints && !disposition.is_quarantined())
                 .then(|| (**shard_checkpoint).clone());
             drop(shard_checkpoint);
@@ -600,15 +712,17 @@ impl FleetScheduler {
 }
 
 /// Pops the next shard: own deque front first (cache-warm order), then a
-/// steal from the back of another worker's deque.
-fn take_shard(own: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+/// steal from the back of another worker's deque. Returns the shard and,
+/// for a steal, the deque it came from.
+fn take_shard(own: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<(usize, Option<usize>)> {
     if let Some(shard) = queues[own].lock().pop_front() {
-        return Some(shard);
+        return Some((shard, None));
     }
     let n = queues.len();
     for offset in 1..n {
-        if let Some(shard) = queues[(own + offset) % n].lock().pop_back() {
-            return Some(shard);
+        let victim = (own + offset) % n;
+        if let Some(shard) = queues[victim].lock().pop_back() {
+            return Some((shard, Some(victim)));
         }
     }
     None

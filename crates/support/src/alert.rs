@@ -1144,7 +1144,10 @@ impl Exposition {
 
 impl TelemetryReport {
     /// The report's counters, gauges, and histogram sketches as a
-    /// Prometheus-text [`Exposition`] snapshot.
+    /// Prometheus-text [`Exposition`] snapshot, plus per-phase
+    /// allocation attribution (`strider_phase_allocs_total` /
+    /// `strider_phase_alloc_bytes_total`, labelled by span name) from
+    /// the [`crate::prof`] counting allocator.
     pub fn prometheus(&self) -> Exposition {
         let mut expo = Exposition::new();
         for (name, value) in &self.counters {
@@ -1155,6 +1158,20 @@ impl TelemetryReport {
         }
         for (name, sketch) in &self.histograms {
             expo.histogram(name, sketch);
+        }
+        for (phase, total) in &self.phase_totals() {
+            if total.allocs > 0 || total.alloc_bytes > 0 {
+                expo.counter_with(
+                    "strider_phase_allocs_total",
+                    &[("phase", phase)],
+                    total.allocs,
+                );
+                expo.counter_with(
+                    "strider_phase_alloc_bytes_total",
+                    &[("phase", phase)],
+                    total.alloc_bytes,
+                );
+            }
         }
         expo
     }

@@ -88,6 +88,7 @@ impl Clock for MonotonicClock {
     }
 
     fn sleep_ns(&self, ns: u64) {
+        crate::prof::note_wait_ns(ns);
         std::thread::sleep(std::time::Duration::from_nanos(ns));
     }
 }
@@ -121,6 +122,7 @@ impl Clock for FakeClock {
     }
 
     fn sleep_ns(&self, ns: u64) {
+        crate::prof::note_wait_ns(ns);
         self.advance(ns);
     }
 }
@@ -706,6 +708,13 @@ struct SpanSlot {
     attrs: Vec<(String, AttrValue)>,
     events: Vec<SpanEvent>,
     children: Vec<usize>,
+    /// Allocation/wait attribution, written once when the guard closes
+    /// on its opening thread (see [`crate::prof`]); zero for spans
+    /// still open at report time or closed cross-thread.
+    allocs: u64,
+    alloc_bytes: u64,
+    peak_bytes: u64,
+    wait_ns: u64,
 }
 
 #[derive(Debug, Default)]
@@ -847,10 +856,14 @@ impl Telemetry {
         self.inner
             .recorder
             .record(FlightEventKind::SpanStart, name, "");
+        // The attribution scope opens last, after the span's own
+        // bookkeeping allocations, so a span is charged for what runs
+        // inside it — not for the cost of being recorded.
         SpanGuard {
             telemetry: self.clone(),
             index,
             ended: false,
+            scope: Some(crate::prof::begin_scope()),
         }
     }
 
@@ -903,6 +916,10 @@ impl Telemetry {
                 tid: slot.tid,
                 attrs: slot.attrs.clone(),
                 events: slot.events.clone(),
+                allocs: slot.allocs,
+                alloc_bytes: slot.alloc_bytes,
+                peak_bytes: slot.peak_bytes,
+                wait_ns: slot.wait_ns,
                 children: slot
                     .children
                     .iter()
@@ -932,6 +949,9 @@ pub struct SpanGuard {
     telemetry: Telemetry,
     index: usize,
     ended: bool,
+    /// The allocation-attribution scope opened with the span; consumed
+    /// at close (empty when the guard is dropped on another thread).
+    scope: Option<crate::prof::ScopeToken>,
 }
 
 impl SpanGuard {
@@ -970,8 +990,20 @@ impl SpanGuard {
         }
         self.ended = true;
         let now = self.telemetry.now_ns();
+        // Close the attribution scope before any close bookkeeping
+        // allocates, so the span's own teardown is charged to its
+        // parent, not to it.
+        let measured = self
+            .scope
+            .take()
+            .map(crate::prof::ScopeToken::end)
+            .unwrap_or_default();
         let mut state = self.telemetry.inner.state.lock();
         state.spans[self.index].end_ns = Some(now);
+        state.spans[self.index].allocs = measured.allocs;
+        state.spans[self.index].alloc_bytes = measured.alloc_bytes;
+        state.spans[self.index].peak_bytes = measured.peak_bytes;
+        state.spans[self.index].wait_ns = measured.wait_ns;
         let name = state.spans[self.index].name.clone();
         let took = now.saturating_sub(state.spans[self.index].start_ns);
         // Pop back to (and including) this span; any children left open by
@@ -1059,11 +1091,37 @@ pub struct SpanRecord {
     pub attrs: Vec<(String, AttrValue)>,
     /// Events, in firing order.
     pub events: Vec<SpanEvent>,
+    /// Heap allocations performed while the span was open (inclusive of
+    /// children), counted by the [`crate::prof`] global allocator on
+    /// the span's opening thread. Zero for spans still open at report
+    /// time or whose guard was dropped on another thread.
+    pub allocs: u64,
+    /// Bytes allocated while the span was open (inclusive; same caveats
+    /// as [`allocs`](Self::allocs)).
+    pub alloc_bytes: u64,
+    /// Peak net heap footprint the span added above its starting level
+    /// on its thread (see [`crate::prof::begin_scope`]).
+    pub peak_bytes: u64,
+    /// Nanoseconds the span's thread spent in [`Clock::sleep_ns`] while
+    /// the span was open (inclusive): supervised polls, retry backoff.
+    pub wait_ns: u64,
     /// Child spans, in open order.
     pub children: Vec<SpanRecord>,
 }
 
-crate::impl_json!(struct SpanRecord { name, start_ns, end_ns, tid, attrs, events, children });
+crate::impl_json!(struct SpanRecord {
+    name,
+    start_ns,
+    end_ns,
+    tid,
+    attrs,
+    events,
+    allocs,
+    alloc_bytes,
+    peak_bytes,
+    wait_ns,
+    children
+});
 
 impl SpanRecord {
     /// The span's wall duration.
@@ -1122,6 +1180,9 @@ impl TelemetryReport {
             let entry = totals.entry(span.name.clone()).or_default();
             entry.count += 1;
             entry.total_ns += span.duration_ns();
+            entry.allocs += span.allocs;
+            entry.alloc_bytes += span.alloc_bytes;
+            entry.wait_ns += span.wait_ns;
             for child in &span.children {
                 walk(child, totals);
             }
@@ -1220,11 +1281,14 @@ impl TelemetryReport {
     }
 
     /// The span forest in Chrome `trace_event` JSON array format: one
-    /// complete (`"ph":"X"`) event per span, one instant (`"ph":"i"`)
-    /// event per span event, plus `thread_name` metadata so Perfetto /
-    /// `chrome://tracing` labels each pipeline thread. Timestamps are in
-    /// microseconds as the format requires; `pid` is always 1 (one
-    /// process), `tid` is the registry-stable [`SpanRecord::tid`].
+    /// complete (`"ph":"X"`) event per span, one counter (`"ph":"C"`)
+    /// event per span with allocation activity (series `allocs` /
+    /// `alloc_bytes`, emitted at the span's close), one instant
+    /// (`"ph":"i"`) event per span event, plus `thread_name` metadata so
+    /// Perfetto / `chrome://tracing` labels each pipeline thread.
+    /// Timestamps are in microseconds as the format requires; `pid` is
+    /// always 1 (one process), `tid` is the registry-stable
+    /// [`SpanRecord::tid`].
     pub fn chrome_trace(&self) -> JsonValue {
         fn attr_json(value: &AttrValue) -> JsonValue {
             match value {
@@ -1254,6 +1318,23 @@ impl TelemetryReport {
                 ("tid".into(), JsonValue::UInt(span.tid)),
                 ("args".into(), JsonValue::Obj(args)),
             ]));
+            if span.allocs > 0 || span.alloc_bytes > 0 {
+                out.push(JsonValue::Obj(vec![
+                    ("name".into(), JsonValue::Str("mem".into())),
+                    ("cat".into(), JsonValue::Str("scan".into())),
+                    ("ph".into(), JsonValue::Str("C".into())),
+                    ("ts".into(), JsonValue::Float(span.end_ns as f64 / 1e3)),
+                    ("pid".into(), JsonValue::UInt(1)),
+                    ("tid".into(), JsonValue::UInt(span.tid)),
+                    (
+                        "args".into(),
+                        JsonValue::Obj(vec![
+                            ("allocs".into(), JsonValue::UInt(span.allocs)),
+                            ("alloc_bytes".into(), JsonValue::UInt(span.alloc_bytes)),
+                        ]),
+                    ),
+                ]));
+            }
             for event in &span.events {
                 let args: Vec<(String, JsonValue)> = event
                     .attrs
@@ -1354,9 +1435,15 @@ pub struct PhaseTotal {
     pub count: u64,
     /// Summed wall duration across them.
     pub total_ns: u64,
+    /// Summed heap allocations (inclusive, per [`SpanRecord::allocs`]).
+    pub allocs: u64,
+    /// Summed allocated bytes (inclusive).
+    pub alloc_bytes: u64,
+    /// Summed sleep time (inclusive, per [`SpanRecord::wait_ns`]).
+    pub wait_ns: u64,
 }
 
-crate::impl_json!(struct PhaseTotal { count, total_ns });
+crate::impl_json!(struct PhaseTotal { count, total_ns, allocs, alloc_bytes, wait_ns });
 
 /// Renders a nanosecond duration with a human-scale unit.
 ///
@@ -1375,6 +1462,24 @@ pub fn fmt_ns(ns: u64) -> String {
         format!("{:.1}ms", ns as f64 / 1e6)
     } else {
         format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Renders a byte count with a human-scale binary unit, the byte-count
+/// sibling of [`fmt_ns`]: the printed magnitude always stays below 1000
+/// of its unit (`999.9KiB` rolls up to `1.0MiB` rather than printing a
+/// four-digit mantissa).
+pub fn fmt_bytes(bytes: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b < KIB {
+        format!("{bytes}B")
+    } else if b < 999.95 * KIB {
+        format!("{:.1}KiB", b / KIB)
+    } else if b < 999.95 * KIB * KIB {
+        format!("{:.1}MiB", b / (KIB * KIB))
+    } else {
+        format!("{:.2}GiB", b / (KIB * KIB * KIB))
     }
 }
 
@@ -1757,8 +1862,6 @@ mod tests {
         }
         let trace = telemetry.report().chrome_trace();
         let events = trace.as_arr().expect("top level is an array");
-        // 1 thread_name metadata + 2 X spans + 1 instant.
-        assert_eq!(events.len(), 4);
         let get = |obj: &JsonValue, key: &str| {
             obj.as_obj()
                 .unwrap()
@@ -1767,18 +1870,86 @@ mod tests {
                 .map(|(_, v)| v.clone())
                 .unwrap_or(JsonValue::Null)
         };
-        assert_eq!(get(&events[0], "ph").as_str().unwrap(), "M");
-        let sweep = &events[1];
+        let by_ph = |ph: &str| -> Vec<&JsonValue> {
+            events
+                .iter()
+                .filter(|e| get(e, "ph").as_str().ok() == Some(ph))
+                .collect()
+        };
+        // 1 thread_name metadata + 2 X spans + 1 instant, plus one "C"
+        // memory counter per span that allocated (both do: recording a
+        // child span / an event allocates inside the parent's window).
+        assert_eq!(by_ph("M").len(), 1);
+        assert_eq!(by_ph("X").len(), 2);
+        assert_eq!(by_ph("i").len(), 1);
+        assert_eq!(by_ph("C").len(), 2);
+        assert_eq!(events.len(), 6);
+        let sweep = by_ph("X")[0];
         assert_eq!(get(sweep, "name").as_str().unwrap(), "sweep");
-        assert_eq!(get(sweep, "ph").as_str().unwrap(), "X");
         assert_eq!(get(sweep, "ts").as_f64().unwrap(), 0.0);
         assert_eq!(get(sweep, "dur").as_f64().unwrap(), 3.0, "3µs total");
         assert_eq!(get(sweep, "pid").as_u64().unwrap(), 1);
-        let instant = &events[3];
-        assert_eq!(get(instant, "ph").as_str().unwrap(), "i");
+        let instant = by_ph("i")[0];
         assert_eq!(get(instant, "ts").as_f64().unwrap(), 2.0);
+        let counter = by_ph("C")[0];
+        assert_eq!(get(counter, "name").as_str().unwrap(), "mem");
+        assert!(
+            get(counter, "args")
+                .field("allocs")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                > 0
+        );
         // Round-trips through the parser (what verify.sh validates).
         let text = trace.render_pretty(2);
         assert!(JsonValue::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn spans_attribute_allocations_and_waits() {
+        let (clock, telemetry) = fake();
+        let waited_before = crate::prof::thread_stats().wait_ns;
+        {
+            let _sweep = telemetry.span("sweep");
+            {
+                let _alloc_heavy = telemetry.span("alloc_heavy");
+                let v: Vec<u8> = vec![0; 64 * 1024];
+                drop(v);
+            }
+            {
+                let _backoff = telemetry.span("backoff");
+                clock.sleep_ns(1_234);
+            }
+        }
+        let _ = waited_before;
+        let report = telemetry.report();
+        let heavy = report.find_span("alloc_heavy").unwrap();
+        assert!(heavy.allocs >= 1, "the vec was counted: {heavy:?}");
+        assert!(heavy.alloc_bytes >= 64 * 1024);
+        assert!(heavy.peak_bytes >= 64 * 1024);
+        let backoff = report.find_span("backoff").unwrap();
+        assert_eq!(backoff.wait_ns, 1_234, "the sleep is attributed");
+        let sweep = report.find_span("sweep").unwrap();
+        assert!(sweep.allocs >= heavy.allocs, "attribution is inclusive");
+        assert!(sweep.wait_ns >= backoff.wait_ns);
+        // The rollup carries the same attribution.
+        let totals = report.phase_totals();
+        assert_eq!(totals["backoff"].wait_ns, 1_234);
+        assert!(totals["alloc_heavy"].alloc_bytes >= 64 * 1024);
+    }
+
+    #[test]
+    fn fmt_bytes_picks_units() {
+        assert_eq!(fmt_bytes(0), "0B");
+        assert_eq!(fmt_bytes(1023), "1023B");
+        assert_eq!(fmt_bytes(1024), "1.0KiB");
+        assert_eq!(fmt_bytes(64 * 1024), "64.0KiB");
+        assert_eq!(fmt_bytes(1024 * 1024), "1.0MiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024 * 1024), "3.00GiB");
+        // The rendered magnitude never reaches four digits: the last
+        // value that rounds to 999.9KiB stays, the next rolls up.
+        assert_eq!(fmt_bytes(1_023_948), "999.9KiB");
+        assert_eq!(fmt_bytes(1_023_949), "1.0MiB");
     }
 }

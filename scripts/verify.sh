@@ -111,6 +111,22 @@ echo "==> evasion suite (tactic matrix, hardened sweeps, evasion monitor)"
 cargo test -q --offline --test evasion_matrix
 cargo run -q --offline --example evasion >/dev/null
 
+# Profiling suite: the performance attribution plane. Allocation-counter
+# and critical-path unit tests, the span-program properties (self-time
+# bounds, exact leaf alloc attribution, PerfReport round-trips), the
+# self-validating profiling example (the hardened-vs-stabilized quorum
+# tax decomposed into work/wait/alloc, plus the 64-machine fleet sweep
+# merged — scheduler lanes, named workers, all shard spans — into one
+# Chrome trace), and a bench_diff smoke run: the committed BENCH_*.json
+# baselines diffed against themselves must pass the regression gate.
+echo "==> profiling suite (alloc profiler, critical path, fleet trace, bench gate)"
+cargo test -q --offline -p strider-support prof
+cargo test -q --offline --test properties prof_
+STRIDER_BENCH_DIR="$OBS_DIR" cargo run -q --offline --example profiling >/dev/null
+test -f "$OBS_DIR/SCAN_PERF_hardened.json"
+test -f "$OBS_DIR/FLEET_TRACE_fleet64.json"
+scripts/bench_diff >/dev/null
+
 # Rustdoc gate: the public-facing crates must document cleanly — broken
 # intra-doc links or missing docs on public items fail the build here, not
 # on docs.rs.

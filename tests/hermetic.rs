@@ -140,7 +140,8 @@ fn support_crate_declares_every_replacement_module() {
     let lib = manifest_root().join("crates/support/src/lib.rs");
     let text = fs::read_to_string(&lib).expect("support lib.rs");
     for module in [
-        "json", "bytes", "sync", "rng", "check", "bench", "obs", "fault", "task", "alert", "store",
+        "json", "bytes", "sync", "rng", "check", "bench", "obs", "prof", "fault", "task", "alert",
+        "store",
     ] {
         assert!(
             text.contains(&format!("pub mod {module};")),

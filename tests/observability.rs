@@ -281,6 +281,11 @@ fn chrome_trace_distinguishes_the_four_pipeline_threads() {
             }
             "i" => assert!(field("ts").and_then(|v| v.as_f64().ok()).is_some()),
             "M" => assert_eq!(name, "thread_name"),
+            "C" => {
+                // Allocation counter samples ride alongside the spans.
+                assert_eq!(name, "mem");
+                assert!(field("ts").and_then(|v| v.as_f64().ok()).is_some());
+            }
             other => panic!("unexpected trace phase {other:?}"),
         }
     }

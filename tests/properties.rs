@@ -1267,3 +1267,240 @@ fn fault_bit_flipped_checkpoint_falls_back_one_generation_without_panic() {
         },
     );
 }
+
+// ---------------------------------------------------------------------
+// Performance attribution: span timing, alloc accounting, PerfReport
+// ---------------------------------------------------------------------
+
+use strider_support::json::{FromJson, JsonValue, ToJson};
+use strider_support::obs::{SpanGuard, SpanRecord, TelemetryReport};
+use strider_support::prof::{self, AllocStats, PerfReport};
+
+/// A random span program: a tape of `(op, advance_ns, alloc_size)` where
+/// `op % 5` selects push-span / pop-span / advance-clock / sleep (counted
+/// as wait) / allocate-inside-the-open-span. Unbalanced tapes are fine:
+/// stray pops are ignored and open spans are closed at the end.
+fn span_tape(rng: &mut SplitMix64) -> Vec<(u8, u64, u32)> {
+    gen::vec_of(rng, 0, 48, |r| {
+        (
+            r.next_below(5) as u8,
+            r.next_below(1_000_000),
+            r.next_below(4_096) as u32,
+        )
+    })
+}
+
+/// Executes a span tape against a fake-clock telemetry while tracking what
+/// each span *should* have been charged. Returns the frozen report, the
+/// per-span plan `(allocs, alloc_bytes, spawned_child)` indexed by span
+/// number (span `i` is named `s{i}`), and the thread's allocation counters
+/// around the run. Everything the executor itself needs is pre-allocated
+/// before the window opens, so the only in-window, in-span allocations are
+/// the deliberate `Vec::with_capacity` ones plus the telemetry's own
+/// bookkeeping — which the span machinery charges to the *parent* scope,
+/// keeping leaf spans exact.
+fn run_span_tape(
+    tape: &[(u8, u64, u32)],
+) -> (
+    TelemetryReport,
+    Vec<(u64, u64, bool)>,
+    AllocStats,
+    AllocStats,
+) {
+    use strider_support::obs::Clock as _;
+    let clock = Arc::new(FakeClock::default());
+    let telemetry = Telemetry::with_clock(clock.clone());
+    let pushes = tape.iter().filter(|(op, ..)| op % 5 == 0).count();
+    let alloc_ops = tape.iter().filter(|(op, ..)| op % 5 == 4).count();
+    let names: Vec<String> = (0..pushes).map(|i| format!("s{i}")).collect();
+    let mut planned: Vec<(u64, u64, bool)> = vec![(0, 0, false); pushes];
+    let mut holder: Vec<Vec<u8>> = Vec::with_capacity(alloc_ops);
+    let mut guards: Vec<(usize, SpanGuard)> = Vec::with_capacity(pushes);
+    let mut next_push = 0usize;
+
+    let before = prof::thread_stats();
+    for &(op, adv, size) in tape {
+        match op % 5 {
+            0 => {
+                if let Some((parent, _)) = guards.last() {
+                    planned[*parent].2 = true;
+                }
+                let guard = telemetry.span(&names[next_push]);
+                guards.push((next_push, guard));
+                next_push += 1;
+            }
+            1 => {
+                guards.pop();
+            }
+            2 => clock.advance(adv % 1_000_000),
+            3 => clock.sleep_ns(adv % 1_000_000),
+            4 => {
+                let size = (size as usize % 4_096).max(1);
+                if let Some((open, _)) = guards.last() {
+                    planned[*open].0 += 1;
+                    planned[*open].1 += size as u64;
+                }
+                holder.push(Vec::with_capacity(size));
+            }
+            _ => unreachable!(),
+        }
+    }
+    while guards.pop().is_some() {}
+    let after = prof::thread_stats();
+    drop(holder);
+    (telemetry.report(), planned, before, after)
+}
+
+#[test]
+fn prof_span_self_times_never_exceed_wall_duration() {
+    fn walk(span: &SpanRecord) -> Result<(), String> {
+        let kids: u64 = span.children.iter().map(|c| c.duration_ns()).sum();
+        prop_assert!(
+            kids <= span.duration_ns(),
+            "children of {} ({kids} ns) overflow the parent ({} ns)",
+            span.name,
+            span.duration_ns()
+        );
+        span.children.iter().try_for_each(walk)
+    }
+    check(
+        "prof_span_self_times_never_exceed_wall_duration",
+        Config::with_cases(48),
+        span_tape,
+        |tape| {
+            let (report, ..) = run_span_tape(tape);
+            report.spans.iter().try_for_each(walk)?;
+
+            // Self time telescopes: work + wait over the whole tree is
+            // exactly the root durations, which fit inside the wall.
+            let perf = PerfReport::from_telemetry("prop", &report);
+            let roots: u64 = report.spans.iter().map(|s| s.duration_ns()).sum();
+            prop_assert_eq!(perf.work_ns + perf.wait_ns, roots);
+            prop_assert!(perf.work_ns + perf.wait_ns <= perf.wall_ns);
+            prop_assert!(perf.hotspots.len() <= 8);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prof_span_alloc_attribution_sums_to_thread_totals() {
+    fn walk(
+        span: &SpanRecord,
+        planned: &[(u64, u64, bool)],
+        seen: &mut (u64, u64),
+    ) -> Result<(), String> {
+        let index: usize = span.name[1..]
+            .parse()
+            .map_err(|e| format!("span name {:?}: {e}", span.name))?;
+        let (allocs, bytes, spawned_child) = planned[index];
+        prop_assert_eq!(spawned_child, !span.children.is_empty());
+        // A span's recorded counters are inclusive; its *self* share is
+        // what remains after subtracting the direct children.
+        let child_allocs: u64 = span.children.iter().map(|c| c.allocs).sum();
+        let child_bytes: u64 = span.children.iter().map(|c| c.alloc_bytes).sum();
+        prop_assert!(
+            child_allocs <= span.allocs,
+            "children overflow {}",
+            span.name
+        );
+        prop_assert!(child_bytes <= span.alloc_bytes);
+        let self_allocs = span.allocs - child_allocs;
+        let self_bytes = span.alloc_bytes - child_bytes;
+        if span.children.is_empty() {
+            // Leaf spans are exact: span bookkeeping is charged to the
+            // parent scope, so only the deliberate allocations remain.
+            prop_assert_eq!(self_allocs, allocs);
+            prop_assert_eq!(self_bytes, bytes);
+        } else {
+            // Interior spans absorb their children's open/close
+            // bookkeeping on top of what the tape planned.
+            prop_assert!(self_allocs >= allocs);
+            prop_assert!(self_bytes >= bytes);
+        }
+        seen.0 += self_allocs;
+        seen.1 += self_bytes;
+        span.children
+            .iter()
+            .try_for_each(|c| walk(c, planned, seen))
+    }
+    check(
+        "prof_span_alloc_attribution_sums_to_thread_totals",
+        Config::with_cases(48),
+        span_tape,
+        |tape| {
+            let (report, planned, before, after) = run_span_tape(tape);
+            let mut attributed = (0u64, 0u64);
+            report
+                .spans
+                .iter()
+                .try_for_each(|s| walk(s, &planned, &mut attributed))?;
+
+            // Everything attributed to a span happened on this thread
+            // inside the measurement window...
+            let delta_allocs = after.allocs - before.allocs;
+            let delta_bytes = after.alloc_bytes - before.alloc_bytes;
+            prop_assert!(attributed.0 <= delta_allocs);
+            prop_assert!(attributed.1 <= delta_bytes);
+            // ...and covers at least the tape's deliberate allocations.
+            let wanted: (u64, u64) = planned
+                .iter()
+                .fold((0, 0), |acc, p| (acc.0 + p.0, acc.1 + p.1));
+            prop_assert!(attributed.0 >= wanted.0);
+            prop_assert!(attributed.1 >= wanted.1);
+
+            // The counters balance: net live bytes moved by exactly
+            // allocated-minus-freed over the same window.
+            let delta_freed = after.dealloc_bytes - before.dealloc_bytes;
+            prop_assert_eq!(
+                after.current_bytes - before.current_bytes,
+                delta_bytes as i64 - delta_freed as i64
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prof_perf_report_roundtrips_and_critical_path_is_a_root_chain() {
+    check(
+        "prof_perf_report_roundtrips_and_critical_path_is_a_root_chain",
+        Config::with_cases(48),
+        span_tape,
+        |tape| {
+            let (report, ..) = run_span_tape(tape);
+            let perf = PerfReport::from_telemetry("prop", &report);
+
+            // JSON round trip through the hermetic codec is lossless.
+            let text = perf.to_json().render();
+            let parsed = JsonValue::parse(&text).map_err(|e| e.to_string())?;
+            let back = PerfReport::from_json(&parsed).map_err(|e| e.to_string())?;
+            prop_assert_eq!(&back, &perf);
+
+            // The critical path is a real root-to-leaf chain: each step
+            // names a span at that depth (with its exact duration) that is
+            // a child of the previous step, and the last step is a leaf.
+            if report.spans.is_empty() {
+                prop_assert!(perf.critical_path.is_empty());
+                return Ok(());
+            }
+            prop_assert!(!perf.critical_path.is_empty());
+            let mut candidates: Vec<&SpanRecord> = report.spans.iter().collect();
+            let mut matched: Vec<&SpanRecord> = Vec::new();
+            for step in &perf.critical_path {
+                matched = candidates
+                    .iter()
+                    .copied()
+                    .filter(|s| s.name == step.name && s.duration_ns() == step.duration_ns)
+                    .collect();
+                prop_assert!(!matched.is_empty(), "no span matches step {:?}", step.name);
+                candidates = matched.iter().flat_map(|s| s.children.iter()).collect();
+            }
+            prop_assert!(
+                matched.iter().any(|s| s.children.is_empty()),
+                "the critical path must end at a leaf span"
+            );
+            Ok(())
+        },
+    );
+}
